@@ -1,0 +1,105 @@
+// Ablation: DL-guided loop permutation versus the original order, on the
+// kernels where the DL model changes the order (Sec. III-B1) — the core of
+// the paper's "cache-aware affine transformation" claim. Measured on the
+// native structures the compiler's choices correspond to.
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+namespace {
+
+constexpr std::int64_t N = 700;
+
+struct P {
+  std::vector<double> C, A, B;
+  P() : C(N * N), A(N * N), B(N * N) {
+    seed(A, "A");
+    seed(B, "B");
+    reset();
+  }
+  void reset() { seed(C, "C"); }
+};
+
+// gemm inner product in the ORIGINAL order (i, j, k): B walked column-wise.
+void BM_gemm_orig_order(benchmark::State& state) {
+  static P p;
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < N; ++i)
+      for (std::int64_t j = 0; j < N; ++j) {
+        double acc = p.C[i * N + j];
+        for (std::int64_t k = 0; k < N; ++k)
+          acc += p.A[i * N + k] * p.B[k * N + j];
+        p.C[i * N + j] = acc;
+      }
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N * N);
+}
+
+// DL order (i, k, j): every access stride-1 in the innermost loop.
+void BM_gemm_dl_order(benchmark::State& state) {
+  static P p;
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < N; ++i)
+      for (std::int64_t k = 0; k < N; ++k) {
+        double a = p.A[i * N + k];
+        const double* __restrict b = &p.B[k * N];
+        double* __restrict c = &p.C[i * N];
+        for (std::int64_t j = 0; j < N; ++j) c[j] += a * b[j];
+      }
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N * N);
+}
+
+// mvt's transposed product: original (i, j) walks A columns; DL picks the
+// row-streaming order with an array reduction.
+void BM_mvt_orig_order(benchmark::State& state) {
+  static P p;
+  std::vector<double> x(N), y(N);
+  seed(y, "y");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(x.begin(), x.end(), 0.0);
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < N; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < N; ++j) acc += p.A[j * N + i] * y[j];
+      x[i] = acc;
+    }
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N);
+}
+void BM_mvt_dl_order(benchmark::State& state) {
+  static P p;
+  std::vector<double> x(N), y(N);
+  seed(y, "y");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(x.begin(), x.end(), 0.0);
+    state.ResumeTiming();
+    for (std::int64_t j = 0; j < N; ++j) {
+      double yj = y[j];
+      const double* __restrict a = &p.A[j * N];
+      for (std::int64_t i = 0; i < N; ++i) x[i] += a[i] * yj;
+    }
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N);
+}
+
+BENCHMARK(BM_gemm_orig_order)->Name("ablation/dl_permutation/gemm_ijk")->UseRealTime();
+BENCHMARK(BM_gemm_dl_order)->Name("ablation/dl_permutation/gemm_ikj")->UseRealTime();
+BENCHMARK(BM_mvt_orig_order)->Name("ablation/dl_permutation/mvt_colwalk")->UseRealTime();
+BENCHMARK(BM_mvt_dl_order)->Name("ablation/dl_permutation/mvt_rowstream")->UseRealTime();
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

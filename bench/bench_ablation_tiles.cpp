@@ -1,0 +1,64 @@
+// Ablation: tile-size sensitivity of the poly+AST gemm structure (the
+// paper fixes 32 for each tilable dimension; Sec. IV-C lists tile-size
+// exploration as future work). Also validates the DL model's premise that
+// mem_cost(t) has a capacity-bounded sweet spot.
+#include "common/bench_common.hpp"
+#include "common/bench_driver.hpp"
+
+namespace polyast::bench {
+namespace {
+
+constexpr std::int64_t N = 320;
+
+struct TiledGemm {
+  std::vector<double> C, A, B;
+  TiledGemm() : C(N * N), A(N * N), B(N * N) {
+    seed(A, "A");
+    seed(B, "B");
+    reset();
+  }
+  void reset() { seed(C, "C"); }
+};
+
+void gemmTiled(TiledGemm& p, std::int64_t tile) {
+  runtime::parallelFor(pool(), 0, N, [&](std::int64_t i) {
+    double* __restrict c = &p.C[i * N];
+    for (std::int64_t kt = 0; kt < N; kt += tile)
+      for (std::int64_t jt = 0; jt < N; jt += tile) {
+        std::int64_t kHi = std::min(N, kt + tile);
+        std::int64_t jHi = std::min(N, jt + tile);
+        for (std::int64_t k = kt; k < kHi; ++k) {
+          double a = p.A[i * N + k];
+          const double* __restrict b = &p.B[k * N];
+          for (std::int64_t j = jt; j < jHi; ++j) c[j] += a * b[j];
+        }
+      }
+  });
+}
+
+void BM_tile(benchmark::State& state) {
+  static TiledGemm p;
+  std::int64_t tile = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    gemmTiled(p, tile);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N * N);
+}
+
+BENCHMARK(BM_tile)
+    ->Name("ablation/gemm_tile_size")->UseRealTime()
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(N);  // N == untiled
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation: register-tiling (unroll-and-jam) factors on the poly+AST gemm
+// inner tile. The paper reports up to 2x from register tiling with
+// empirically chosen factors (Sec. IV-C).
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+namespace {
+
+constexpr std::int64_t N = 320;
+constexpr std::int64_t T = 32;
+
+struct P {
+  std::vector<double> C, A, B;
+  P() : C(N * N), A(N * N), B(N * N) {
+    seed(A, "A");
+    seed(B, "B");
+    reset();
+  }
+  void reset() { seed(C, "C"); }
+};
+
+template <int UK>
+void gemmUnrolled(P& p) {
+  runtime::parallelFor(pool(), 0, N, [&](std::int64_t i) {
+    double* __restrict c = &p.C[i * N];
+    for (std::int64_t kt = 0; kt < N; kt += T)
+      for (std::int64_t jt = 0; jt < N; jt += T) {
+        std::int64_t kHi = std::min(N, kt + T), jHi = std::min(N, jt + T);
+        std::int64_t k = kt;
+        for (; k + UK <= kHi; k += UK) {
+          double a[UK];
+          const double* b[UK];
+          for (int u = 0; u < UK; ++u) {
+            a[u] = p.A[i * N + k + u];
+            b[u] = &p.B[(k + u) * N];
+          }
+          for (std::int64_t j = jt; j < jHi; ++j) {
+            double acc = c[j];
+            for (int u = 0; u < UK; ++u) acc += a[u] * b[u][j];
+            c[j] = acc;
+          }
+        }
+        for (; k < kHi; ++k) {
+          double a = p.A[i * N + k];
+          const double* __restrict b = &p.B[k * N];
+          for (std::int64_t j = jt; j < jHi; ++j) c[j] += a * b[j];
+        }
+      }
+  });
+}
+
+template <int UK>
+void BM_unroll(benchmark::State& state) {
+  static P p;
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    gemmUnrolled<UK>(p);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N * N);
+}
+
+BENCHMARK(BM_unroll<1>)->Name("ablation/gemm_unroll_k/1")->UseRealTime();
+BENCHMARK(BM_unroll<2>)->Name("ablation/gemm_unroll_k/2")->UseRealTime();
+BENCHMARK(BM_unroll<4>)->Name("ablation/gemm_unroll_k/4")->UseRealTime();
+BENCHMARK(BM_unroll<6>)->Name("ablation/gemm_unroll_k/6")->UseRealTime();
+BENCHMARK(BM_unroll<8>)->Name("ablation/gemm_unroll_k/8")->UseRealTime();
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Figures 10-12 stand-in: thread-count sweep (the paper's second machine,
+// a 32-core Power7, re-runs Figs. 7-9 at higher parallelism). One
+// representative kernel per parallelism class, swept over explicit thread
+// counts — on a multicore host this reproduces the scaling dimension; on a
+// single core every row degenerates to the same number, which is itself
+// the documented substitution.
+#include "common/bench_common.hpp"
+#include "common/native_blas.hpp"
+#include "common/native_pipeline.hpp"
+#include "common/native_reduction.hpp"
+
+namespace polyast::bench {
+namespace {
+
+void BM_gemm_threads(benchmark::State& state) {
+  static GemmProblem p(256);
+  runtime::ThreadPool localPool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    gemmPolyast(p, localPool);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, p.flops());
+}
+
+void BM_atax_threads(benchmark::State& state) {
+  static AtaxProblem p(1400, 1400);
+  runtime::ThreadPool localPool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    ataxPolyast(p, localPool);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, p.flops());
+}
+
+void BM_seidel_pipeline_threads(benchmark::State& state) {
+  static Seidel2dProblem p(10, 500);
+  runtime::ThreadPool localPool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    seidel2dPolyast(p, localPool);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, p.flops());
+}
+
+void BM_seidel_wavefront_threads(benchmark::State& state) {
+  static Seidel2dProblem p(10, 500);
+  runtime::ThreadPool localPool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    seidel2dPocc(p, localPool);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, p.flops());
+}
+
+BENCHMARK(BM_gemm_threads)
+    ->Name("fig10/gemm_polyast/threads")->UseRealTime()
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_atax_threads)
+    ->Name("fig11/atax_polyast/threads")->UseRealTime()
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_seidel_pipeline_threads)
+    ->Name("fig12/seidel_pipeline/threads")->UseRealTime()
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_seidel_wavefront_threads)
+    ->Name("fig12/seidel_wavefront/threads")->UseRealTime()
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Figure 5: the three micro-examples contrasting the poly+AST strategy
+// (use the outermost parallelism *of the locality-best loop order*,
+// whatever its kind) against the doall-only strategy (permute until the
+// outer loop is doall, sacrificing per-thread locality).
+//
+//   copy:      A[i][j] = alpha * B[i][j]        — both flows identical
+//   colsum:    S[j]   += alpha * X[i][j]        — reduction vs permuted doall
+//   stencil:   C[i][j] = f(C[i-1][j], ...)      — pipeline vs permuted doall
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+namespace {
+
+constexpr std::int64_t N = 1500;
+
+struct Fig5Data {
+  std::vector<double> A, B, S, X, C;
+  Fig5Data()
+      : A(N * N), B(N * N), S(N), X(N * N), C(N * N) {
+    seed(B, "B");
+    seed(X, "X");
+    reset();
+  }
+  void reset() {
+    std::fill(A.begin(), A.end(), 0.0);
+    std::fill(S.begin(), S.end(), 0.0);
+    seed(C, "C");
+  }
+};
+
+Fig5Data& data() {
+  static Fig5Data d;
+  return d;
+}
+
+const double alpha = 1.5;
+
+// ---- copy (doall in both flows) ------------------------------------------
+void BM_copy(benchmark::State& state) {
+  auto& d = data();
+  for (auto _ : state) {
+    runtime::parallelForBlocked(pool(), 0, N, [&](std::int64_t lo,
+                                                  std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i)
+        for (std::int64_t j = 0; j < N; ++j)
+          d.A[i * N + j] = alpha * d.B[i * N + j];
+    });
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, static_cast<double>(N) * N);
+}
+BENCHMARK(BM_copy)->Name("fig5/copy/both")->UseRealTime();
+
+// ---- column sum ------------------------------------------------------------
+void BM_colsum_reduction(benchmark::State& state) {
+  // poly+AST: (i, j) order kept (stride-1 X rows), S as array reduction.
+  auto& d = data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(d.S.begin(), d.S.end(), 0.0);
+    state.ResumeTiming();
+    runtime::parallelReduce(
+        pool(), 0, N, d.S.data(), static_cast<std::size_t>(N),
+        [&](double* sPriv, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const double* __restrict x = &d.X[i * N];
+            for (std::int64_t j = 0; j < N; ++j) sPriv[j] += alpha * x[j];
+          }
+        });
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N);
+}
+void BM_colsum_doall(benchmark::State& state) {
+  // doall-only: j permuted outermost — each thread walks an X column
+  // (stride N).
+  auto& d = data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(d.S.begin(), d.S.end(), 0.0);
+    state.ResumeTiming();
+    runtime::parallelFor(pool(), 0, N, [&](std::int64_t j) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < N; ++i) acc += alpha * d.X[i * N + j];
+      d.S[j] += acc;
+    });
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 2.0 * static_cast<double>(N) * N);
+}
+BENCHMARK(BM_colsum_reduction)->Name("fig5/colsum/polyast_reduction")->UseRealTime();
+BENCHMARK(BM_colsum_doall)->Name("fig5/colsum/doall_only")->UseRealTime();
+
+// ---- column stencil ----------------------------------------------------------
+void BM_stencil_pipeline(benchmark::State& state) {
+  // poly+AST: keep (i, j) — stride-1 inner j — and pipeline the i-carried
+  // dependence over row blocks.
+  auto& d = data();
+  constexpr std::int64_t kBlk = 64;
+  std::int64_t rb = (N - 2 + kBlk - 1) / kBlk;
+  std::int64_t cb = (N + kBlk - 1) / kBlk;
+  for (auto _ : state) {
+    state.PauseTiming();
+    seed(d.C, "C");
+    state.ResumeTiming();
+    runtime::pipeline2D(pool(), rb, cb, [&](std::int64_t r, std::int64_t c) {
+      std::int64_t ilo = 1 + r * kBlk, ihi = std::min(N - 1, ilo + kBlk);
+      std::int64_t jlo = c * kBlk, jhi = std::min(N, jlo + kBlk);
+      for (std::int64_t i = ilo; i < ihi; ++i) {
+        const double* __restrict cn = &d.C[(i - 1) * N];
+        double* __restrict cc = &d.C[i * N];
+        const double* __restrict cs = &d.C[(i + 1) * N];
+        for (std::int64_t j = jlo; j < jhi; ++j)
+          cc[j] = 0.33 * (cn[j] + cc[j] + cs[j]);
+      }
+    });
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 3.0 * static_cast<double>(N - 2) * N);
+}
+void BM_stencil_doall(benchmark::State& state) {
+  // doall-only: j permuted outermost (legal — no j-carried dependence) so
+  // every thread walks C columns with stride N.
+  auto& d = data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    seed(d.C, "C");
+    state.ResumeTiming();
+    runtime::parallelFor(pool(), 0, N, [&](std::int64_t j) {
+      for (std::int64_t i = 1; i < N - 1; ++i)
+        d.C[i * N + j] = 0.33 * (d.C[(i - 1) * N + j] + d.C[i * N + j] +
+                                 d.C[(i + 1) * N + j]);
+    });
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, 3.0 * static_cast<double>(N - 2) * N);
+}
+BENCHMARK(BM_stencil_pipeline)->Name("fig5/stencil/polyast_pipeline")->UseRealTime();
+BENCHMARK(BM_stencil_doall)->Name("fig5/stencil/doall_only")->UseRealTime();
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

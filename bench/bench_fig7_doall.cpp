@@ -1,0 +1,205 @@
+// Figure 7: PolyBench kernels whose dominant parallelism is doall
+// (2mm, 3mm, doitgen, fdtd-apml, gemm, gesummv, syr2k, syrk), comparing
+// the variants of Sec. V-A: orig (≈ icc-auto), pocc, pocc_vect, iterative
+// (best of the legal PoCC variants), poly+ast.
+//
+// GF/s appears as a per-row counter; higher is better. On a single-core
+// host the deltas reflect loop structure (vectorization + locality); use
+// POLYAST_THREADS=N on a multicore host for the full figure.
+#include "common/bench_driver.hpp"
+#include "common/native_blas.hpp"
+
+namespace polyast::bench {
+namespace {
+
+// ---- gemm ----------------------------------------------------------------
+GemmProblem& gemmP() {
+  static GemmProblem p(256);
+  return p;
+}
+void BM_gemm_orig(benchmark::State& s) {
+  timeVariant(s, gemmP(), gemmOrig, gemmOrig, "gemm/orig");
+}
+void BM_gemm_pocc(benchmark::State& s) {
+  timeVariant(s, gemmP(), gemmOrig,
+              [](GemmProblem& p) { gemmPocc(p, pool()); }, "gemm/pocc");
+}
+void BM_gemm_pocc_vect(benchmark::State& s) {
+  timeVariant(s, gemmP(), gemmOrig,
+              [](GemmProblem& p) { gemmPoccVect(p, pool()); },
+              "gemm/pocc_vect");
+}
+void BM_gemm_polyast(benchmark::State& s) {
+  timeVariant(s, gemmP(), gemmOrig,
+              [](GemmProblem& p) { gemmPolyast(p, pool()); },
+              "gemm/polyast");
+}
+BENCHMARK(BM_gemm_orig)->Name("fig7/gemm/orig")->UseRealTime();
+BENCHMARK(BM_gemm_pocc)->Name("fig7/gemm/pocc")->UseRealTime();
+BENCHMARK(BM_gemm_pocc_vect)->Name("fig7/gemm/pocc_vect")->UseRealTime();
+BENCHMARK(BM_gemm_polyast)->Name("fig7/gemm/polyast")->UseRealTime();
+
+// ---- 2mm -----------------------------------------------------------------
+Mm2Problem& mm2P() {
+  static Mm2Problem p(240);
+  return p;
+}
+void BM_2mm_orig(benchmark::State& s) {
+  timeVariant(s, mm2P(), mm2Orig, mm2Orig, "2mm/orig");
+}
+void BM_2mm_pocc(benchmark::State& s) {
+  timeVariant(s, mm2P(), mm2Orig,
+              [](Mm2Problem& p) { mm2Pocc(p, pool()); }, "2mm/pocc");
+}
+void BM_2mm_pocc_vect(benchmark::State& s) {
+  timeVariant(s, mm2P(), mm2Orig,
+              [](Mm2Problem& p) { mm2PoccVect(p, pool()); },
+              "2mm/pocc_vect");
+}
+void BM_2mm_polyast(benchmark::State& s) {
+  timeVariant(s, mm2P(), mm2Orig,
+              [](Mm2Problem& p) { mm2Polyast(p, pool()); }, "2mm/polyast");
+}
+BENCHMARK(BM_2mm_orig)->Name("fig7/2mm/orig")->UseRealTime();
+BENCHMARK(BM_2mm_pocc)->Name("fig7/2mm/pocc")->UseRealTime();
+BENCHMARK(BM_2mm_pocc_vect)->Name("fig7/2mm/pocc_vect")->UseRealTime();
+BENCHMARK(BM_2mm_polyast)->Name("fig7/2mm/polyast")->UseRealTime();
+
+// ---- 3mm -----------------------------------------------------------------
+Mm3Problem& mm3P() {
+  static Mm3Problem p(220);
+  return p;
+}
+void BM_3mm_orig(benchmark::State& s) {
+  timeVariant(s, mm3P(), mm3Orig, mm3Orig, "3mm/orig");
+}
+void BM_3mm_pocc(benchmark::State& s) {
+  timeVariant(s, mm3P(), mm3Orig,
+              [](Mm3Problem& p) { mm3Pocc(p, pool()); }, "3mm/pocc");
+}
+void BM_3mm_pocc_vect(benchmark::State& s) {
+  timeVariant(s, mm3P(), mm3Orig,
+              [](Mm3Problem& p) { mm3PoccVect(p, pool()); },
+              "3mm/pocc_vect");
+}
+void BM_3mm_polyast(benchmark::State& s) {
+  timeVariant(s, mm3P(), mm3Orig,
+              [](Mm3Problem& p) { mm3Polyast(p, pool()); }, "3mm/polyast");
+}
+BENCHMARK(BM_3mm_orig)->Name("fig7/3mm/orig")->UseRealTime();
+BENCHMARK(BM_3mm_pocc)->Name("fig7/3mm/pocc")->UseRealTime();
+BENCHMARK(BM_3mm_pocc_vect)->Name("fig7/3mm/pocc_vect")->UseRealTime();
+BENCHMARK(BM_3mm_polyast)->Name("fig7/3mm/polyast")->UseRealTime();
+
+// ---- syrk ------------------------------------------------------------------
+SyrkProblem& syrkP() {
+  static SyrkProblem p(256, 256);
+  return p;
+}
+void BM_syrk_orig(benchmark::State& s) {
+  timeVariant(s, syrkP(), syrkOrig, syrkOrig, "syrk/orig");
+}
+void BM_syrk_pocc(benchmark::State& s) {
+  timeVariant(s, syrkP(), syrkOrig,
+              [](SyrkProblem& p) { syrkPocc(p, pool()); }, "syrk/pocc");
+}
+void BM_syrk_polyast(benchmark::State& s) {
+  timeVariant(s, syrkP(), syrkOrig,
+              [](SyrkProblem& p) { syrkPolyast(p, pool()); },
+              "syrk/polyast");
+}
+BENCHMARK(BM_syrk_orig)->Name("fig7/syrk/orig")->UseRealTime();
+BENCHMARK(BM_syrk_pocc)->Name("fig7/syrk/pocc")->UseRealTime();
+BENCHMARK(BM_syrk_polyast)->Name("fig7/syrk/polyast")->UseRealTime();
+
+// ---- syr2k -----------------------------------------------------------------
+Syr2kProblem& syr2kP() {
+  static Syr2kProblem p(220, 220);
+  return p;
+}
+void BM_syr2k_orig(benchmark::State& s) {
+  timeVariant(s, syr2kP(), syr2kOrig, syr2kOrig, "syr2k/orig");
+}
+void BM_syr2k_pocc(benchmark::State& s) {
+  timeVariant(s, syr2kP(), syr2kOrig,
+              [](Syr2kProblem& p) { syr2kPocc(p, pool()); }, "syr2k/pocc");
+}
+void BM_syr2k_polyast(benchmark::State& s) {
+  timeVariant(s, syr2kP(), syr2kOrig,
+              [](Syr2kProblem& p) { syr2kPolyast(p, pool()); },
+              "syr2k/polyast");
+}
+BENCHMARK(BM_syr2k_orig)->Name("fig7/syr2k/orig")->UseRealTime();
+BENCHMARK(BM_syr2k_pocc)->Name("fig7/syr2k/pocc")->UseRealTime();
+BENCHMARK(BM_syr2k_polyast)->Name("fig7/syr2k/polyast")->UseRealTime();
+
+// ---- doitgen ---------------------------------------------------------------
+DoitgenProblem& doitgenP() {
+  static DoitgenProblem p(48, 48, 48);
+  return p;
+}
+void BM_doitgen_orig(benchmark::State& s) {
+  timeVariant(s, doitgenP(), doitgenOrig, doitgenOrig, "doitgen/orig");
+}
+void BM_doitgen_pocc(benchmark::State& s) {
+  timeVariant(s, doitgenP(), doitgenOrig,
+              [](DoitgenProblem& p) { doitgenPocc(p, pool()); },
+              "doitgen/pocc");
+}
+void BM_doitgen_polyast(benchmark::State& s) {
+  timeVariant(s, doitgenP(), doitgenOrig,
+              [](DoitgenProblem& p) { doitgenPolyast(p, pool()); },
+              "doitgen/polyast");
+}
+BENCHMARK(BM_doitgen_orig)->Name("fig7/doitgen/orig")->UseRealTime();
+BENCHMARK(BM_doitgen_pocc)->Name("fig7/doitgen/pocc")->UseRealTime();
+BENCHMARK(BM_doitgen_polyast)->Name("fig7/doitgen/polyast")->UseRealTime();
+
+// ---- gesummv ----------------------------------------------------------------
+GesummvProblem& gesummvP() {
+  static GesummvProblem p(1500);
+  return p;
+}
+void BM_gesummv_orig(benchmark::State& s) {
+  timeVariant(s, gesummvP(), gesummvOrig, gesummvOrig, "gesummv/orig");
+}
+void BM_gesummv_pocc(benchmark::State& s) {
+  timeVariant(s, gesummvP(), gesummvOrig,
+              [](GesummvProblem& p) { gesummvPocc(p, pool()); },
+              "gesummv/pocc");
+}
+void BM_gesummv_polyast(benchmark::State& s) {
+  timeVariant(s, gesummvP(), gesummvOrig,
+              [](GesummvProblem& p) { gesummvPolyast(p, pool()); },
+              "gesummv/polyast");
+}
+BENCHMARK(BM_gesummv_orig)->Name("fig7/gesummv/orig")->UseRealTime();
+BENCHMARK(BM_gesummv_pocc)->Name("fig7/gesummv/pocc")->UseRealTime();
+BENCHMARK(BM_gesummv_polyast)->Name("fig7/gesummv/polyast")->UseRealTime();
+
+// ---- fdtd-apml -----------------------------------------------------------
+FdtdApmlProblem& apmlP() {
+  static FdtdApmlProblem p(96, 96, 96);
+  return p;
+}
+void BM_apml_orig(benchmark::State& s) {
+  timeVariant(s, apmlP(), fdtdApmlOrig, fdtdApmlOrig, "fdtd-apml/orig");
+}
+void BM_apml_pocc(benchmark::State& s) {
+  timeVariant(s, apmlP(), fdtdApmlOrig,
+              [](FdtdApmlProblem& p) { fdtdApmlPocc(p, pool()); },
+              "fdtd-apml/pocc");
+}
+void BM_apml_polyast(benchmark::State& s) {
+  timeVariant(s, apmlP(), fdtdApmlOrig,
+              [](FdtdApmlProblem& p) { fdtdApmlPolyast(p, pool()); },
+              "fdtd-apml/polyast");
+}
+BENCHMARK(BM_apml_orig)->Name("fig7/fdtd-apml/orig")->UseRealTime();
+BENCHMARK(BM_apml_pocc)->Name("fig7/fdtd-apml/pocc")->UseRealTime();
+BENCHMARK(BM_apml_polyast)->Name("fig7/fdtd-apml/polyast")->UseRealTime();
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

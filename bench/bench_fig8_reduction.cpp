@@ -1,0 +1,90 @@
+// Figure 8: kernels whose dominant parallelism is a reduction
+// (atax, bicg, cholesky, correlation, covariance, gemver, mvt, symm,
+// trisolv). The poly+AST flow keeps the locality-best order and uses the
+// array-reduction runtime; the doall-only baseline permutes loops to find
+// an outer doall (column walks over the matrices).
+#include "common/bench_driver.hpp"
+#include "common/native_reduction.hpp"
+
+namespace polyast::bench {
+namespace {
+
+#define POLYAST_BENCH3(KERNEL, PROB, ORIG, POCC, POLYAST)                   \
+  PROB& KERNEL##P();                                                        \
+  void BM_##KERNEL##_orig(benchmark::State& s) {                            \
+    timeVariant(s, KERNEL##P(), ORIG, ORIG, #KERNEL "/orig");               \
+  }                                                                         \
+  void BM_##KERNEL##_pocc(benchmark::State& s) {                            \
+    timeVariant(s, KERNEL##P(), ORIG, [](PROB& p) { POCC(p, pool()); },     \
+                #KERNEL "/pocc");                                           \
+  }                                                                         \
+  void BM_##KERNEL##_polyast(benchmark::State& s) {                         \
+    timeVariant(s, KERNEL##P(), ORIG, [](PROB& p) { POLYAST(p, pool()); },  \
+                #KERNEL "/polyast");                                        \
+  }                                                                         \
+  BENCHMARK(BM_##KERNEL##_orig)->Name("fig8/" #KERNEL "/orig")->UseRealTime();      \
+  BENCHMARK(BM_##KERNEL##_pocc)->Name("fig8/" #KERNEL "/pocc")->UseRealTime();      \
+  BENCHMARK(BM_##KERNEL##_polyast)->Name("fig8/" #KERNEL "/polyast")->UseRealTime();
+
+POLYAST_BENCH3(atax, AtaxProblem, ataxOrig, ataxPocc, ataxPolyast)
+AtaxProblem& ataxP() {
+  static AtaxProblem p(1400, 1400);
+  return p;
+}
+
+POLYAST_BENCH3(bicg, BicgProblem, bicgOrig, bicgPocc, bicgPolyast)
+BicgProblem& bicgP() {
+  static BicgProblem p(1400, 1400);
+  return p;
+}
+
+POLYAST_BENCH3(mvt, MvtProblem, mvtOrig, mvtPocc, mvtPolyast)
+MvtProblem& mvtP() {
+  static MvtProblem p(1400);
+  return p;
+}
+
+POLYAST_BENCH3(gemver, GemverProblem, gemverOrig, gemverPocc, gemverPolyast)
+GemverProblem& gemverP() {
+  static GemverProblem p(1200);
+  return p;
+}
+
+POLYAST_BENCH3(symm, SymmProblem, symmOrig, symmPocc, symmPolyast)
+SymmProblem& symmP() {
+  static SymmProblem p(256, 256);
+  return p;
+}
+
+POLYAST_BENCH3(trisolv, TrisolvProblem, trisolvOrig, trisolvPocc,
+               trisolvPolyast)
+TrisolvProblem& trisolvP() {
+  static TrisolvProblem p(1600);
+  return p;
+}
+
+POLYAST_BENCH3(cholesky, CholeskyProblem, choleskyOrig, choleskyPocc,
+               choleskyPolyast)
+CholeskyProblem& choleskyP() {
+  static CholeskyProblem p(400);
+  return p;
+}
+
+POLYAST_BENCH3(correlation, CorrelationProblem, correlationOrig,
+               correlationPocc, correlationPolyast)
+CorrelationProblem& correlationP() {
+  static CorrelationProblem p(450, 450);
+  return p;
+}
+
+POLYAST_BENCH3(covariance, CovarianceProblem, covarianceOrig,
+               covariancePocc, covariancePolyast)
+CovarianceProblem& covarianceP() {
+  static CovarianceProblem p(450, 450);
+  return p;
+}
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

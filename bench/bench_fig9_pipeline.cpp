@@ -1,0 +1,65 @@
+// Figure 9: kernels with pipeline parallelism (adi, fdtd-2d,
+// jacobi-1d-imper, jacobi-2d-imper, seidel-2d). The poly+AST flow uses the
+// point-to-point pipeline construct; the baseline uses barriered doall /
+// wavefront schedules. The paper runs these on the `large` dataset to
+// provide enough parallelism.
+#include "common/bench_driver.hpp"
+#include "common/native_pipeline.hpp"
+
+namespace polyast::bench {
+namespace {
+
+#define POLYAST_BENCH3(KERNEL, PROB, ORIG, POCC, POLYAST)                   \
+  PROB& KERNEL##P();                                                        \
+  void BM_##KERNEL##_orig(benchmark::State& s) {                            \
+    timeVariant(s, KERNEL##P(), ORIG, ORIG, #KERNEL "/orig");               \
+  }                                                                         \
+  void BM_##KERNEL##_pocc(benchmark::State& s) {                            \
+    timeVariant(s, KERNEL##P(), ORIG, [](PROB& p) { POCC(p, pool()); },     \
+                #KERNEL "/pocc");                                           \
+  }                                                                         \
+  void BM_##KERNEL##_polyast(benchmark::State& s) {                         \
+    timeVariant(s, KERNEL##P(), ORIG, [](PROB& p) { POLYAST(p, pool()); },  \
+                #KERNEL "/polyast");                                        \
+  }                                                                         \
+  BENCHMARK(BM_##KERNEL##_orig)->Name("fig9/" #KERNEL "/orig")->UseRealTime();      \
+  BENCHMARK(BM_##KERNEL##_pocc)->Name("fig9/" #KERNEL "/pocc")->UseRealTime();      \
+  BENCHMARK(BM_##KERNEL##_polyast)->Name("fig9/" #KERNEL "/polyast")->UseRealTime();
+
+POLYAST_BENCH3(jacobi1d, Jacobi1dProblem, jacobi1dOrig, jacobi1dPocc,
+               jacobi1dPolyast)
+Jacobi1dProblem& jacobi1dP() {
+  static Jacobi1dProblem p(100, 200000);
+  return p;
+}
+
+POLYAST_BENCH3(jacobi2d, Jacobi2dProblem, jacobi2dOrig, jacobi2dPocc,
+               jacobi2dPolyast)
+Jacobi2dProblem& jacobi2dP() {
+  static Jacobi2dProblem p(30, 500);
+  return p;
+}
+
+POLYAST_BENCH3(seidel2d, Seidel2dProblem, seidel2dOrig, seidel2dPocc,
+               seidel2dPolyast)
+Seidel2dProblem& seidel2dP() {
+  static Seidel2dProblem p(20, 500);
+  return p;
+}
+
+POLYAST_BENCH3(fdtd2d, Fdtd2dProblem, fdtd2dOrig, fdtd2dPocc, fdtd2dPolyast)
+Fdtd2dProblem& fdtd2dP() {
+  static Fdtd2dProblem p(30, 400, 400);
+  return p;
+}
+
+POLYAST_BENCH3(adi, AdiProblem, adiOrig, adiPocc, adiPolyast)
+AdiProblem& adiP() {
+  static AdiProblem p(10, 400);
+  return p;
+}
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table I: 2mm performance comparison — original vs PoCC (maximal fusion,
+// the Fig. 2 structure) vs our flow (the Fig. 3 structure).
+//
+// Paper (absolute numbers are machine-specific; the *ordering* and rough
+// ratios are the reproduction target):
+//   Nehalem: original 2.4 GF/s | PoCC 14 GF/s | our flow 19 GF/s
+//   Power7:  original 0.5 GF/s | PoCC 29 GF/s | our flow 62 GF/s
+#include "common/bench_driver.hpp"
+#include "common/native_blas.hpp"
+
+namespace polyast::bench {
+namespace {
+
+Mm2Problem& problem() {
+  static Mm2Problem p(320);
+  return p;
+}
+
+void BM_original(benchmark::State& s) {
+  timeVariant(s, problem(), mm2Orig, mm2Orig, "table1/original");
+}
+void BM_pocc_maxfuse(benchmark::State& s) {
+  // The paper's Fig. 2 code: maximal fusion with the triangular c2 loop
+  // and the vectorization-hostile tmp[c1][c2-c7] access.
+  timeVariant(s, problem(), mm2Orig,
+              [](Mm2Problem& p) { mm2PoccMaxfuse(p, pool()); },
+              "table1/pocc");
+}
+void BM_polyast(benchmark::State& s) {
+  timeVariant(s, problem(), mm2Orig,
+              [](Mm2Problem& p) { mm2Polyast(p, pool()); },
+              "table1/polyast");
+}
+
+BENCHMARK(BM_original)->Name("table1/2mm/original")->UseRealTime();
+BENCHMARK(BM_pocc_maxfuse)->Name("table1/2mm/pocc_maxfuse")->UseRealTime();
+BENCHMARK(BM_polyast)->Name("table1/2mm/our_flow")->UseRealTime();
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

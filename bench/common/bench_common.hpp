@@ -1,0 +1,82 @@
+// Shared infrastructure for the figure/table benchmarks.
+//
+// Each PolyBench kernel is implemented natively in the loop structures the
+// three compilers under comparison produce (verified against the IR
+// pipeline by the structure tests in tests/):
+//   * orig      — the PolyBench reference loops, compiled at -O3
+//                 (stand-in for the paper's icc-auto / xlc-auto variants),
+//   * pocc      — Pluto smartfuse + rectangular tiling + doall-only
+//                 parallelization, wavefront tile schedule for stencils,
+//   * pocc_vect — pocc plus the intra-tile SIMD permutation,
+//   * polyast   — this paper's flow: DL-driven fusion/permutation,
+//                 AST tiling, register tiling, doall/reduction/pipeline
+//                 parallelism via the point-to-point runtime.
+//
+// Variants are validated against `orig` on seeded inputs before timing
+// (relative tolerance covers reassociated reductions). GF/s is reported
+// through a google-benchmark counter.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "support/error.hpp"
+
+namespace polyast::bench {
+
+/// Deterministic fill matching exec::Context::seedAll (values in [0.5,1.5)).
+inline void seed(std::vector<double>& buf, const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : name) h = (h ^ static_cast<std::uint64_t>(c)) * 1099511628211ull;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    std::uint64_t x = h ^ (i * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    buf[i] = 0.5 + static_cast<double>(x % 1000003ull) / 1000003.0;
+  }
+}
+
+inline double checksum(const std::vector<double>& buf) {
+  double s = 0.0, w = 1.0;
+  for (double x : buf) {
+    s += w * x;
+    w = (w >= 4.0) ? 1.0 : w + 1e-4;
+  }
+  return s;
+}
+
+inline void expectClose(double a, double b, const char* what) {
+  double denom = std::fabs(a) + std::fabs(b) + 1.0;
+  POLYAST_CHECK(std::fabs(a - b) / denom < 1e-6,
+                std::string("variant diverges from reference: ") + what);
+}
+
+/// The shared pool for all benchmarks; --threads N via the POLYAST_THREADS
+/// environment variable (stands in for the 8-core / 32-core machines).
+inline runtime::ThreadPool& pool() {
+  static runtime::ThreadPool instance([] {
+    if (const char* env = std::getenv("POLYAST_THREADS"))
+      return static_cast<unsigned>(std::atoi(env));
+    return 0u;
+  }());
+  return instance;
+}
+
+/// Registers the GFLOP/s counter for the current iteration count.
+inline void reportGflops(benchmark::State& state, double flopsPerIter) {
+  state.counters["GF/s"] = benchmark::Counter(
+      flopsPerIter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+constexpr std::int64_t kTile = 32;      ///< paper: tile size 32
+constexpr std::int64_t kTimeTile = 5;   ///< paper: outer time-tile size 5
+
+}  // namespace polyast::bench

@@ -1,0 +1,32 @@
+// Benchmark registration helper: validates a variant against the reference
+// implementation once, then times it with the reset excluded.
+#pragma once
+
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+
+/// Runs one timed benchmark over `variant`, after a one-time differential
+/// validation against `reference` on the same problem instance.
+template <typename Problem, typename Ref, typename Variant>
+void timeVariant(benchmark::State& state, Problem& p, Ref reference,
+                 Variant variant, const char* label) {
+  // One-time validation (per benchmark registration).
+  p.reset();
+  reference(p);
+  double want = p.check();
+  p.reset();
+  variant(p);
+  expectClose(p.check(), want, label);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.reset();
+    state.ResumeTiming();
+    variant(p);
+    benchmark::ClobberMemory();
+  }
+  reportGflops(state, p.flops());
+}
+
+}  // namespace polyast::bench

@@ -1,0 +1,811 @@
+#include "common/native_blas.hpp"
+
+#include <algorithm>
+
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+
+namespace {
+inline std::int64_t mn(std::int64_t a, std::int64_t b) {
+  return a < b ? a : b;
+}
+}  // namespace
+
+// ========================= gemm ==========================================
+
+GemmProblem::GemmProblem(std::int64_t n)
+    : NI(n), NJ(n), NK(n),
+      C(static_cast<std::size_t>(n * n)),
+      A(static_cast<std::size_t>(n * n)),
+      B(static_cast<std::size_t>(n * n)) {
+  seed(A, "A");
+  seed(B, "B");
+  reset();
+}
+void GemmProblem::reset() { seed(C, "C"); }
+double GemmProblem::flops() const {
+  return 2.0 * static_cast<double>(NI) * static_cast<double>(NJ) *
+             static_cast<double>(NK) +
+         static_cast<double>(NI) * static_cast<double>(NJ);
+}
+double GemmProblem::check() const { return checksum(C); }
+
+void gemmOrig(GemmProblem& p) {
+  // PolyBench reference: (i, j) with the k reduction innermost.
+  for (std::int64_t i = 0; i < p.NI; ++i)
+    for (std::int64_t j = 0; j < p.NJ; ++j) {
+      double acc = p.C[i * p.NJ + j] * p.beta;
+      for (std::int64_t k = 0; k < p.NK; ++k)
+        acc += p.alpha * p.A[i * p.NK + k] * p.B[k * p.NJ + j];
+      p.C[i * p.NJ + j] = acc;
+    }
+}
+
+void gemmPocc(GemmProblem& p, ThreadPool& pool) {
+  // smartfuse + rectangular tiling, original intra-tile order (i, j, k);
+  // outer tile loop doall.
+  runtime::parallelFor(pool, 0, (p.NI + kTile - 1) / kTile, [&](std::int64_t
+                                                                    it) {
+    std::int64_t i0 = it * kTile, i1 = mn(p.NI, i0 + kTile);
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < p.NJ; ++j) p.C[i * p.NJ + j] *= p.beta;
+    for (std::int64_t jt = 0; jt < p.NJ; jt += kTile)
+      for (std::int64_t kt = 0; kt < p.NK; kt += kTile)
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t j = jt; j < mn(p.NJ, jt + kTile); ++j) {
+            double acc = p.C[i * p.NJ + j];
+            for (std::int64_t k = kt; k < mn(p.NK, kt + kTile); ++k)
+              acc += p.alpha * p.A[i * p.NK + k] * p.B[k * p.NJ + j];
+            p.C[i * p.NJ + j] = acc;
+          }
+  });
+}
+
+void gemmPoccVect(GemmProblem& p, ThreadPool& pool) {
+  // pocc + intra-tile permutation (i, k, j): stride-1 j innermost.
+  runtime::parallelFor(pool, 0, (p.NI + kTile - 1) / kTile, [&](std::int64_t
+                                                                    it) {
+    std::int64_t i0 = it * kTile, i1 = mn(p.NI, i0 + kTile);
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < p.NJ; ++j) p.C[i * p.NJ + j] *= p.beta;
+    for (std::int64_t jt = 0; jt < p.NJ; jt += kTile)
+      for (std::int64_t kt = 0; kt < p.NK; kt += kTile)
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t k = kt; k < mn(p.NK, kt + kTile); ++k) {
+            double a = p.alpha * p.A[i * p.NK + k];
+            const double* __restrict b = &p.B[k * p.NJ];
+            double* __restrict c = &p.C[i * p.NJ];
+            for (std::int64_t j = jt; j < mn(p.NJ, jt + kTile); ++j)
+              c[j] += a * b[j];
+          }
+  });
+}
+
+void gemmPolyast(GemmProblem& p, ThreadPool& pool) {
+  // DL order (i, k, j), init distributed, (k, j) band tiled, 2x2 register
+  // tile on (k, j), doall over i.
+  runtime::parallelFor(pool, 0, p.NI, [&](std::int64_t i) {
+    double* __restrict c = &p.C[i * p.NJ];
+    for (std::int64_t j = 0; j < p.NJ; ++j) c[j] *= p.beta;
+    for (std::int64_t kt = 0; kt < p.NK; kt += kTile)
+      for (std::int64_t jt = 0; jt < p.NJ; jt += kTile) {
+        std::int64_t kHi = mn(p.NK, kt + kTile), jHi = mn(p.NJ, jt + kTile);
+        std::int64_t k = kt;
+        for (; k + 1 < kHi; k += 2) {
+          double a0 = p.alpha * p.A[i * p.NK + k];
+          double a1 = p.alpha * p.A[i * p.NK + k + 1];
+          const double* __restrict b0 = &p.B[k * p.NJ];
+          const double* __restrict b1 = &p.B[(k + 1) * p.NJ];
+          std::int64_t j = jt;
+          for (; j + 1 < jHi; j += 2) {
+            c[j] += a0 * b0[j] + a1 * b1[j];
+            c[j + 1] += a0 * b0[j + 1] + a1 * b1[j + 1];
+          }
+          for (; j < jHi; ++j) c[j] += a0 * b0[j] + a1 * b1[j];
+        }
+        for (; k < kHi; ++k) {
+          double a0 = p.alpha * p.A[i * p.NK + k];
+          const double* __restrict b0 = &p.B[k * p.NJ];
+          for (std::int64_t j = jt; j < jHi; ++j) c[j] += a0 * b0[j];
+        }
+      }
+  });
+}
+
+// ========================= 2mm ===========================================
+
+Mm2Problem::Mm2Problem(std::int64_t n)
+    : N(n),
+      tmp(static_cast<std::size_t>(n * n)),
+      A(static_cast<std::size_t>(n * n)),
+      B(static_cast<std::size_t>(n * n)),
+      C(static_cast<std::size_t>(n * n)),
+      D(static_cast<std::size_t>(n * n)) {
+  seed(A, "A");
+  seed(B, "B");
+  seed(C, "C");
+  reset();
+}
+void Mm2Problem::reset() {
+  seed(D, "D");
+  std::fill(tmp.begin(), tmp.end(), 0.0);
+}
+double Mm2Problem::flops() const {
+  double n = static_cast<double>(N);
+  return 4.0 * n * n * n + 2.0 * n * n;
+}
+double Mm2Problem::check() const { return checksum(D); }
+
+void mm2Orig(Mm2Problem& p) {
+  std::int64_t N = p.N;
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < N; ++k)
+        acc += p.alpha * p.A[i * N + k] * p.B[k * N + j];
+      p.tmp[i * N + j] = acc;
+    }
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      double acc = p.D[i * N + j] * p.beta;
+      for (std::int64_t k = 0; k < N; ++k)
+        acc += p.tmp[i * N + k] * p.C[k * N + j];
+      p.D[i * N + j] = acc;
+    }
+}
+
+void mm2Pocc(Mm2Problem& p, ThreadPool& pool) {
+  // smartfuse: the two products stay separate nests (no same-level reuse),
+  // each tiled with the original (i, j, k) intra-tile order.
+  std::int64_t N = p.N;
+  auto matmulOrigOrder = [&](double* __restrict out,
+                             const double* __restrict a,
+                             const double* __restrict b, double scaleIn,
+                             double scaleProd) {
+    runtime::parallelFor(pool, 0, (N + kTile - 1) / kTile, [&](std::int64_t
+                                                                   it) {
+      std::int64_t i0 = it * kTile, i1 = mn(N, i0 + kTile);
+      for (std::int64_t i = i0; i < i1; ++i)
+        for (std::int64_t j = 0; j < N; ++j) out[i * N + j] *= scaleIn;
+      for (std::int64_t jt = 0; jt < N; jt += kTile)
+        for (std::int64_t kt = 0; kt < N; kt += kTile)
+          for (std::int64_t i = i0; i < i1; ++i)
+            for (std::int64_t j = jt; j < mn(N, jt + kTile); ++j) {
+              double acc = out[i * N + j];
+              for (std::int64_t k = kt; k < mn(N, kt + kTile); ++k)
+                acc += scaleProd * a[i * N + k] * b[k * N + j];
+              out[i * N + j] = acc;
+            }
+    });
+  };
+  std::fill(p.tmp.begin(), p.tmp.end(), 0.0);
+  matmulOrigOrder(p.tmp.data(), p.A.data(), p.B.data(), 0.0, p.alpha);
+  matmulOrigOrder(p.D.data(), p.tmp.data(), p.C.data(), p.beta, 1.0);
+}
+
+void mm2PoccMaxfuse(Mm2Problem& p, ThreadPool& pool) {
+  // Fig. 2: maximal fusion interleaves the consumer U along the anti-
+  // diagonal c2 = j + k, producing the triangular loop and the complex
+  // tmp[c1][c2-c7] access the paper highlights as vectorization-hostile.
+  std::int64_t N = p.N;
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t c1) {
+    for (std::int64_t c2 = 0; c2 < N; ++c2) {
+      p.D[c1 * N + c2] *= p.beta;
+      double acc = 0.0;
+      for (std::int64_t c7 = 0; c7 < N; ++c7)
+        acc += p.alpha * p.A[c1 * N + c7] * p.B[c7 * N + c2];
+      p.tmp[c1 * N + c2] = acc;
+      for (std::int64_t c7 = 0; c7 <= c2; ++c7)
+        p.D[c1 * N + c7] += p.tmp[c1 * N + (c2 - c7)] * p.C[(c2 - c7) * N + c7];
+    }
+    for (std::int64_t c2 = N; c2 <= 2 * N - 2; ++c2)
+      for (std::int64_t c7 = c2 - N + 1; c7 < N; ++c7)
+        p.D[c1 * N + c7] += p.tmp[c1 * N + (c2 - c7)] * p.C[(c2 - c7) * N + c7];
+  });
+}
+
+void mm2PoccVect(Mm2Problem& p, ThreadPool& pool) {
+  // pocc + intra-tile (i, k, j) permutation in both products.
+  std::int64_t N = p.N;
+  auto matmulIkj = [&](double* __restrict out, const double* __restrict a,
+                       const double* __restrict b, double scaleIn,
+                       double scaleProd) {
+    runtime::parallelFor(pool, 0, (N + kTile - 1) / kTile, [&](std::int64_t
+                                                                   it) {
+      std::int64_t i0 = it * kTile, i1 = mn(N, i0 + kTile);
+      for (std::int64_t i = i0; i < i1; ++i)
+        for (std::int64_t j = 0; j < N; ++j) out[i * N + j] *= scaleIn;
+      for (std::int64_t jt = 0; jt < N; jt += kTile)
+        for (std::int64_t kt = 0; kt < N; kt += kTile)
+          for (std::int64_t i = i0; i < i1; ++i)
+            for (std::int64_t k = kt; k < mn(N, kt + kTile); ++k) {
+              double s = scaleProd * a[i * N + k];
+              for (std::int64_t j = jt; j < mn(N, jt + kTile); ++j)
+                out[i * N + j] += s * b[k * N + j];
+            }
+    });
+  };
+  std::fill(p.tmp.begin(), p.tmp.end(), 0.0);
+  matmulIkj(p.tmp.data(), p.A.data(), p.B.data(), 0.0, p.alpha);
+  matmulIkj(p.D.data(), p.tmp.data(), p.C.data(), p.beta, 1.0);
+}
+
+void mm2Polyast(Mm2Problem& p, ThreadPool& pool) {
+  // Fig. 3: everything fused under the outer i loop; per i-row the tmp row
+  // is produced (i, k, j) and immediately consumed — inter-tile locality on
+  // tmp — with 2x2 register tiling inside.
+  std::int64_t N = p.N;
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) {
+    double* __restrict trow = &p.tmp[i * N];
+    double* __restrict drow = &p.D[i * N];
+    for (std::int64_t j = 0; j < N; ++j) trow[j] = 0.0;
+    for (std::int64_t kt = 0; kt < N; kt += kTile)
+      for (std::int64_t jt = 0; jt < N; jt += kTile) {
+        std::int64_t kHi = mn(N, kt + kTile), jHi = mn(N, jt + kTile);
+        for (std::int64_t k = kt; k < kHi; ++k) {
+          double a0 = p.alpha * p.A[i * N + k];
+          const double* __restrict b0 = &p.B[k * N];
+          for (std::int64_t j = jt; j < jHi; ++j) trow[j] += a0 * b0[j];
+        }
+      }
+    for (std::int64_t j = 0; j < N; ++j) drow[j] *= p.beta;
+    for (std::int64_t kt = 0; kt < N; kt += kTile)
+      for (std::int64_t jt = 0; jt < N; jt += kTile) {
+        std::int64_t kHi = mn(N, kt + kTile), jHi = mn(N, jt + kTile);
+        std::int64_t k = kt;
+        for (; k + 1 < kHi; k += 2) {
+          double t0 = trow[k], t1 = trow[k + 1];
+          const double* __restrict c0 = &p.C[k * N];
+          const double* __restrict c1 = &p.C[(k + 1) * N];
+          std::int64_t j = jt;
+          for (; j + 1 < jHi; j += 2) {
+            drow[j] += t0 * c0[j] + t1 * c1[j];
+            drow[j + 1] += t0 * c0[j + 1] + t1 * c1[j + 1];
+          }
+          for (; j < jHi; ++j) drow[j] += t0 * c0[j] + t1 * c1[j];
+        }
+        for (; k < kHi; ++k) {
+          double t0 = trow[k];
+          const double* __restrict c0 = &p.C[k * N];
+          for (std::int64_t j = jt; j < jHi; ++j) drow[j] += t0 * c0[j];
+        }
+      }
+  });
+}
+
+// ========================= 3mm ===========================================
+
+Mm3Problem::Mm3Problem(std::int64_t n)
+    : N(n),
+      E(static_cast<std::size_t>(n * n)),
+      A(static_cast<std::size_t>(n * n)),
+      B(static_cast<std::size_t>(n * n)),
+      F(static_cast<std::size_t>(n * n)),
+      C(static_cast<std::size_t>(n * n)),
+      D(static_cast<std::size_t>(n * n)),
+      G(static_cast<std::size_t>(n * n)) {
+  seed(A, "A");
+  seed(B, "B");
+  seed(C, "C");
+  seed(D, "D");
+  reset();
+}
+void Mm3Problem::reset() {
+  std::fill(E.begin(), E.end(), 0.0);
+  std::fill(F.begin(), F.end(), 0.0);
+  std::fill(G.begin(), G.end(), 0.0);
+}
+double Mm3Problem::flops() const {
+  double n = static_cast<double>(N);
+  return 6.0 * n * n * n;
+}
+double Mm3Problem::check() const { return checksum(G); }
+
+namespace {
+void mmSetIjk(std::int64_t N, double* out, const double* a, const double* b) {
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < N; ++k) acc += a[i * N + k] * b[k * N + j];
+      out[i * N + j] = acc;
+    }
+}
+void mmTiledIjk(std::int64_t N, double* out, const double* a, const double* b,
+                ThreadPool& pool) {
+  runtime::parallelFor(pool, 0, (N + kTile - 1) / kTile, [&](std::int64_t it) {
+    std::int64_t i0 = it * kTile, i1 = mn(N, i0 + kTile);
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < N; ++j) out[i * N + j] = 0.0;
+    for (std::int64_t jt = 0; jt < N; jt += kTile)
+      for (std::int64_t kt = 0; kt < N; kt += kTile)
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t j = jt; j < mn(N, jt + kTile); ++j) {
+            double acc = out[i * N + j];
+            for (std::int64_t k = kt; k < mn(N, kt + kTile); ++k)
+              acc += a[i * N + k] * b[k * N + j];
+            out[i * N + j] = acc;
+          }
+  });
+}
+void mmTiledIkj(std::int64_t N, double* out, const double* a, const double* b,
+                ThreadPool& pool) {
+  runtime::parallelFor(pool, 0, (N + kTile - 1) / kTile, [&](std::int64_t it) {
+    std::int64_t i0 = it * kTile, i1 = mn(N, i0 + kTile);
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < N; ++j) out[i * N + j] = 0.0;
+    for (std::int64_t jt = 0; jt < N; jt += kTile)
+      for (std::int64_t kt = 0; kt < N; kt += kTile)
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t k = kt; k < mn(N, kt + kTile); ++k) {
+            double s = a[i * N + k];
+            for (std::int64_t j = jt; j < mn(N, jt + kTile); ++j)
+              out[i * N + j] += s * b[k * N + j];
+          }
+  });
+}
+/// polyast per-row product with 2x2 register tile (out row must be zeroed).
+void mmRowPolyast(std::int64_t N, double* __restrict outRow,
+                  const double* __restrict aRow, const double* b) {
+  for (std::int64_t kt = 0; kt < N; kt += kTile)
+    for (std::int64_t jt = 0; jt < N; jt += kTile) {
+      std::int64_t kHi = mn(N, kt + kTile), jHi = mn(N, jt + kTile);
+      std::int64_t k = kt;
+      for (; k + 1 < kHi; k += 2) {
+        double a0 = aRow[k], a1 = aRow[k + 1];
+        const double* __restrict b0 = &b[k * N];
+        const double* __restrict b1 = &b[(k + 1) * N];
+        std::int64_t j = jt;
+        for (; j + 1 < jHi; j += 2) {
+          outRow[j] += a0 * b0[j] + a1 * b1[j];
+          outRow[j + 1] += a0 * b0[j + 1] + a1 * b1[j + 1];
+        }
+        for (; j < jHi; ++j) outRow[j] += a0 * b0[j] + a1 * b1[j];
+      }
+      for (; k < kHi; ++k) {
+        double a0 = aRow[k];
+        const double* __restrict b0 = &b[k * N];
+        for (std::int64_t j = jt; j < jHi; ++j) outRow[j] += a0 * b0[j];
+      }
+    }
+}
+}  // namespace
+
+void mm3Orig(Mm3Problem& p) {
+  mmSetIjk(p.N, p.E.data(), p.A.data(), p.B.data());
+  mmSetIjk(p.N, p.F.data(), p.C.data(), p.D.data());
+  mmSetIjk(p.N, p.G.data(), p.E.data(), p.F.data());
+}
+void mm3Pocc(Mm3Problem& p, ThreadPool& pool) {
+  mmTiledIjk(p.N, p.E.data(), p.A.data(), p.B.data(), pool);
+  mmTiledIjk(p.N, p.F.data(), p.C.data(), p.D.data(), pool);
+  mmTiledIjk(p.N, p.G.data(), p.E.data(), p.F.data(), pool);
+}
+void mm3PoccVect(Mm3Problem& p, ThreadPool& pool) {
+  mmTiledIkj(p.N, p.E.data(), p.A.data(), p.B.data(), pool);
+  mmTiledIkj(p.N, p.F.data(), p.C.data(), p.D.data(), pool);
+  mmTiledIkj(p.N, p.G.data(), p.E.data(), p.F.data(), pool);
+}
+void mm3Polyast(Mm3Problem& p, ThreadPool& pool) {
+  // F first (whole), then E and G fused per i-row: G's row i consumes E's
+  // row i immediately (the DL flow's inter-statement locality).
+  std::int64_t N = p.N;
+  mmTiledIkj(N, p.F.data(), p.C.data(), p.D.data(), pool);
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) {
+    double* __restrict e = &p.E[i * N];
+    double* __restrict g = &p.G[i * N];
+    for (std::int64_t j = 0; j < N; ++j) e[j] = 0.0;
+    mmRowPolyast(N, e, &p.A[i * N], p.B.data());
+    for (std::int64_t j = 0; j < N; ++j) g[j] = 0.0;
+    mmRowPolyast(N, g, e, p.F.data());
+  });
+}
+
+// ========================= syrk ==========================================
+
+SyrkProblem::SyrkProblem(std::int64_t n, std::int64_t m)
+    : N(n), M(m),
+      C(static_cast<std::size_t>(n * n)),
+      A(static_cast<std::size_t>(n * m)) {
+  seed(A, "A");
+  reset();
+}
+void SyrkProblem::reset() { seed(C, "C"); }
+double SyrkProblem::flops() const {
+  double n = static_cast<double>(N), m = static_cast<double>(M);
+  return 3.0 * n * n * m + n * n;
+}
+double SyrkProblem::check() const { return checksum(C); }
+
+void syrkOrig(SyrkProblem& p) {
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.N; ++j) p.C[i * p.N + j] *= p.beta;
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.N; ++j)
+      for (std::int64_t k = 0; k < p.M; ++k)
+        p.C[i * p.N + j] += p.alpha * p.A[i * p.M + k] * p.A[j * p.M + k];
+}
+
+void syrkPocc(SyrkProblem& p, ThreadPool& pool) {
+  runtime::parallelFor(pool, 0, (p.N + kTile - 1) / kTile, [&](std::int64_t
+                                                                   it) {
+    std::int64_t i0 = it * kTile, i1 = mn(p.N, i0 + kTile);
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < p.N; ++j) p.C[i * p.N + j] *= p.beta;
+    for (std::int64_t jt = 0; jt < p.N; jt += kTile)
+      for (std::int64_t kt = 0; kt < p.M; kt += kTile)
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t j = jt; j < mn(p.N, jt + kTile); ++j) {
+            double acc = p.C[i * p.N + j];
+            for (std::int64_t k = kt; k < mn(p.M, kt + kTile); ++k)
+              acc += p.alpha * p.A[i * p.M + k] * p.A[j * p.M + k];
+            p.C[i * p.N + j] = acc;
+          }
+  });
+}
+
+void syrkPoccVect(SyrkProblem& p, ThreadPool& pool) {
+  // Both A accesses are k-contiguous: the inner dot product stays, and the
+  // vect permutation keeps (i, j, k) — equivalent to pocc here.
+  syrkPocc(p, pool);
+}
+
+void syrkPolyast(SyrkProblem& p, ThreadPool& pool) {
+  // (i, j) tiles doall, dot-product kernel with 2x unroll on j so A[j] rows
+  // are reused from registers/L1.
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double* __restrict c = &p.C[i * p.N];
+    const double* __restrict ai = &p.A[i * p.M];
+    for (std::int64_t j = 0; j < p.N; ++j) c[j] *= p.beta;
+    for (std::int64_t jt = 0; jt < p.N; jt += kTile)
+      for (std::int64_t kt = 0; kt < p.M; kt += kTile) {
+        std::int64_t jHi = mn(p.N, jt + kTile), kHi = mn(p.M, kt + kTile);
+        std::int64_t j = jt;
+        for (; j + 1 < jHi; j += 2) {
+          const double* __restrict aj0 = &p.A[j * p.M];
+          const double* __restrict aj1 = &p.A[(j + 1) * p.M];
+          double s0 = 0.0, s1 = 0.0;
+          for (std::int64_t k = kt; k < kHi; ++k) {
+            s0 += ai[k] * aj0[k];
+            s1 += ai[k] * aj1[k];
+          }
+          c[j] += p.alpha * s0;
+          c[j + 1] += p.alpha * s1;
+        }
+        for (; j < jHi; ++j) {
+          const double* __restrict aj = &p.A[j * p.M];
+          double s = 0.0;
+          for (std::int64_t k = kt; k < kHi; ++k) s += ai[k] * aj[k];
+          c[j] += p.alpha * s;
+        }
+      }
+  });
+}
+
+// ========================= syr2k =========================================
+
+Syr2kProblem::Syr2kProblem(std::int64_t n, std::int64_t m)
+    : N(n), M(m),
+      C(static_cast<std::size_t>(n * n)),
+      A(static_cast<std::size_t>(n * m)),
+      B(static_cast<std::size_t>(n * m)) {
+  seed(A, "A");
+  seed(B, "B");
+  reset();
+}
+void Syr2kProblem::reset() { seed(C, "C"); }
+double Syr2kProblem::flops() const {
+  double n = static_cast<double>(N), m = static_cast<double>(M);
+  return 6.0 * n * n * m + n * n;
+}
+double Syr2kProblem::check() const { return checksum(C); }
+
+void syr2kOrig(Syr2kProblem& p) {
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.N; ++j) p.C[i * p.N + j] *= p.beta;
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.N; ++j)
+      for (std::int64_t k = 0; k < p.M; ++k)
+        p.C[i * p.N + j] += p.alpha * p.A[i * p.M + k] * p.B[j * p.M + k] +
+                            p.alpha * p.B[i * p.M + k] * p.A[j * p.M + k];
+}
+
+void syr2kPocc(Syr2kProblem& p, ThreadPool& pool) {
+  runtime::parallelFor(pool, 0, (p.N + kTile - 1) / kTile, [&](std::int64_t
+                                                                   it) {
+    std::int64_t i0 = it * kTile, i1 = mn(p.N, i0 + kTile);
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < p.N; ++j) p.C[i * p.N + j] *= p.beta;
+    for (std::int64_t jt = 0; jt < p.N; jt += kTile)
+      for (std::int64_t kt = 0; kt < p.M; kt += kTile)
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t j = jt; j < mn(p.N, jt + kTile); ++j) {
+            double acc = p.C[i * p.N + j];
+            for (std::int64_t k = kt; k < mn(p.M, kt + kTile); ++k)
+              acc += p.alpha * p.A[i * p.M + k] * p.B[j * p.M + k] +
+                     p.alpha * p.B[i * p.M + k] * p.A[j * p.M + k];
+            p.C[i * p.N + j] = acc;
+          }
+  });
+}
+
+void syr2kPoccVect(Syr2kProblem& p, ThreadPool& pool) { syr2kPocc(p, pool); }
+
+void syr2kPolyast(Syr2kProblem& p, ThreadPool& pool) {
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double* __restrict c = &p.C[i * p.N];
+    const double* __restrict ai = &p.A[i * p.M];
+    const double* __restrict bi = &p.B[i * p.M];
+    for (std::int64_t j = 0; j < p.N; ++j) c[j] *= p.beta;
+    for (std::int64_t jt = 0; jt < p.N; jt += kTile)
+      for (std::int64_t kt = 0; kt < p.M; kt += kTile) {
+        std::int64_t jHi = mn(p.N, jt + kTile), kHi = mn(p.M, kt + kTile);
+        for (std::int64_t j = jt; j < jHi; ++j) {
+          const double* __restrict aj = &p.A[j * p.M];
+          const double* __restrict bj = &p.B[j * p.M];
+          double s = 0.0;
+          for (std::int64_t k = kt; k < kHi; ++k)
+            s += ai[k] * bj[k] + bi[k] * aj[k];
+          c[j] += p.alpha * s;
+        }
+      }
+  });
+}
+
+// ========================= doitgen =======================================
+
+DoitgenProblem::DoitgenProblem(std::int64_t r, std::int64_t q, std::int64_t pp)
+    : NR(r), NQ(q), NP(pp),
+      A(static_cast<std::size_t>(r * q * pp)),
+      sum(static_cast<std::size_t>(pp)),
+      C4(static_cast<std::size_t>(pp * pp)) {
+  seed(C4, "C4");
+  reset();
+}
+void DoitgenProblem::reset() { seed(A, "A"); }
+double DoitgenProblem::flops() const {
+  return 2.0 * static_cast<double>(NR) * static_cast<double>(NQ) *
+         static_cast<double>(NP) * static_cast<double>(NP);
+}
+double DoitgenProblem::check() const { return checksum(A); }
+
+void doitgenOrig(DoitgenProblem& p) {
+  std::vector<double> sum(static_cast<std::size_t>(p.NP));
+  for (std::int64_t r = 0; r < p.NR; ++r)
+    for (std::int64_t q = 0; q < p.NQ; ++q) {
+      double* arow = &p.A[(r * p.NQ + q) * p.NP];
+      for (std::int64_t j = 0; j < p.NP; ++j) {
+        double acc = 0.0;
+        for (std::int64_t s = 0; s < p.NP; ++s)
+          acc += arow[s] * p.C4[s * p.NP + j];
+        sum[static_cast<std::size_t>(j)] = acc;
+      }
+      for (std::int64_t j = 0; j < p.NP; ++j)
+        arow[j] = sum[static_cast<std::size_t>(j)];
+    }
+}
+
+void doitgenPocc(DoitgenProblem& p, ThreadPool& pool) {
+  // Doall over r with per-thread sum buffers, original (p, s) order.
+  runtime::parallelFor(pool, 0, p.NR, [&](std::int64_t r) {
+    std::vector<double> sum(static_cast<std::size_t>(p.NP));
+    for (std::int64_t q = 0; q < p.NQ; ++q) {
+      double* arow = &p.A[(r * p.NQ + q) * p.NP];
+      for (std::int64_t j = 0; j < p.NP; ++j) {
+        double acc = 0.0;
+        for (std::int64_t s = 0; s < p.NP; ++s)
+          acc += arow[s] * p.C4[s * p.NP + j];
+        sum[static_cast<std::size_t>(j)] = acc;
+      }
+      for (std::int64_t j = 0; j < p.NP; ++j)
+        arow[j] = sum[static_cast<std::size_t>(j)];
+    }
+  });
+}
+
+void doitgenPolyast(DoitgenProblem& p, ThreadPool& pool) {
+  // DL order: (s, j) — C4 rows stream with stride-1 j, sum kept hot.
+  runtime::parallelFor(pool, 0, p.NR, [&](std::int64_t r) {
+    std::vector<double> sum(static_cast<std::size_t>(p.NP));
+    for (std::int64_t q = 0; q < p.NQ; ++q) {
+      double* __restrict arow = &p.A[(r * p.NQ + q) * p.NP];
+      double* __restrict su = sum.data();
+      for (std::int64_t j = 0; j < p.NP; ++j) su[j] = 0.0;
+      for (std::int64_t s = 0; s < p.NP; ++s) {
+        double a = arow[s];
+        const double* __restrict c4 = &p.C4[s * p.NP];
+        for (std::int64_t j = 0; j < p.NP; ++j) su[j] += a * c4[j];
+      }
+      for (std::int64_t j = 0; j < p.NP; ++j) arow[j] = su[j];
+    }
+  });
+}
+
+// ========================= gesummv =======================================
+
+GesummvProblem::GesummvProblem(std::int64_t n)
+    : N(n),
+      A(static_cast<std::size_t>(n * n)),
+      B(static_cast<std::size_t>(n * n)),
+      x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n)),
+      tmp(static_cast<std::size_t>(n)) {
+  seed(A, "A");
+  seed(B, "B");
+  seed(x, "x");
+  reset();
+}
+void GesummvProblem::reset() {
+  std::fill(y.begin(), y.end(), 0.0);
+  std::fill(tmp.begin(), tmp.end(), 0.0);
+}
+double GesummvProblem::flops() const {
+  double n = static_cast<double>(N);
+  return 4.0 * n * n + 3.0 * n;
+}
+double GesummvProblem::check() const { return checksum(y); }
+
+void gesummvOrig(GesummvProblem& p) {
+  for (std::int64_t i = 0; i < p.N; ++i) {
+    double t = 0.0, yy = 0.0;
+    for (std::int64_t j = 0; j < p.N; ++j) {
+      t += p.A[i * p.N + j] * p.x[j];
+      yy += p.B[i * p.N + j] * p.x[j];
+    }
+    p.tmp[i] = t;
+    p.y[i] = p.alpha * t + p.beta * yy;
+  }
+}
+
+void gesummvPocc(GesummvProblem& p, ThreadPool& pool) {
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double t = 0.0, yy = 0.0;
+    for (std::int64_t j = 0; j < p.N; ++j) {
+      t += p.A[i * p.N + j] * p.x[j];
+      yy += p.B[i * p.N + j] * p.x[j];
+    }
+    p.tmp[i] = t;
+    p.y[i] = p.alpha * t + p.beta * yy;
+  });
+}
+
+void gesummvPolyast(GesummvProblem& p, ThreadPool& pool) {
+  // Same structure (gesummv is already fused and stride-1); blocked doall
+  // amortizes scheduling.
+  runtime::parallelForBlocked(pool, 0, p.N, [&](std::int64_t lo,
+                                                std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double* __restrict a = &p.A[i * p.N];
+      const double* __restrict b = &p.B[i * p.N];
+      const double* __restrict xv = p.x.data();
+      double t = 0.0, yy = 0.0;
+      for (std::int64_t j = 0; j < p.N; ++j) {
+        t += a[j] * xv[j];
+        yy += b[j] * xv[j];
+      }
+      p.tmp[i] = t;
+      p.y[i] = p.alpha * t + p.beta * yy;
+    }
+  });
+}
+
+// ========================= fdtd-apml =====================================
+
+FdtdApmlProblem::FdtdApmlProblem(std::int64_t cz, std::int64_t cym,
+                                 std::int64_t cxm)
+    : CZ(cz), CYM(cym), CXM(cxm) {
+  auto sz = [&](std::int64_t a, std::int64_t b, std::int64_t c) {
+    return static_cast<std::size_t>(a * b * c);
+  };
+  Ex.resize(sz(CZ, CYM + 1, CXM + 1));
+  Ey.resize(sz(CZ, CYM + 1, CXM + 1));
+  Hz.resize(sz(CZ, CYM + 1, CXM + 1));
+  Bza.resize(sz(CZ, CYM + 1, CXM + 1));
+  Ry.resize(static_cast<std::size_t>(CZ * (CYM + 1)));
+  Ax.resize(static_cast<std::size_t>(CZ * (CXM + 1)));
+  clf.resize(static_cast<std::size_t>(CZ * (CYM + 1)));
+  tmp.resize(static_cast<std::size_t>(CZ * (CYM + 1)));
+  cymh.resize(static_cast<std::size_t>(CYM + 1));
+  cyph.resize(static_cast<std::size_t>(CYM + 1));
+  cxmh.resize(static_cast<std::size_t>(CXM + 1));
+  cxph.resize(static_cast<std::size_t>(CXM + 1));
+  czm.resize(static_cast<std::size_t>(CZ));
+  czp.resize(static_cast<std::size_t>(CZ));
+  seed(Ex, "Ex");
+  seed(Ey, "Ey");
+  seed(Ry, "Ry");
+  seed(Ax, "Ax");
+  seed(cymh, "cymh");
+  seed(cyph, "cyph");
+  seed(cxmh, "cxmh");
+  seed(cxph, "cxph");
+  seed(czm, "czm");
+  seed(czp, "czp");
+  reset();
+}
+void FdtdApmlProblem::reset() {
+  seed(Hz, "Hz");
+  seed(Bza, "Bza");
+}
+double FdtdApmlProblem::flops() const {
+  return 25.0 * static_cast<double>(CZ) * static_cast<double>(CYM) *
+         static_cast<double>(CXM);
+}
+double FdtdApmlProblem::check() const {
+  return checksum(Hz) + checksum(Bza);
+}
+
+namespace {
+/// One (iz, iy) row of the APML update (interior + boundaries).
+void apmlRow(FdtdApmlProblem& p, std::int64_t iz, std::int64_t iy) {
+  std::int64_t W = p.CXM + 1;
+  std::int64_t rowBase = (iz * (p.CYM + 1) + iy) * W;
+  std::int64_t rowUp = (iz * (p.CYM + 1) + iy + 1) * W;
+  std::int64_t rowCym = (iz * (p.CYM + 1) + p.CYM) * W;
+  double clf, tmp;
+  for (std::int64_t ix = 0; ix < p.CXM; ++ix) {
+    clf = p.Ex[rowBase + ix] - p.Ex[rowUp + ix] + p.Ey[rowBase + ix + 1] -
+          p.Ey[rowBase + ix];
+    tmp = (p.cymh[iy] / p.cyph[iy]) * p.Bza[rowBase + ix] -
+          (p.ch / p.cyph[iy]) * clf;
+    p.Hz[rowBase + ix] =
+        (p.cxmh[ix] / p.cxph[ix]) * p.Hz[rowBase + ix] +
+        (p.mui * p.czp[iz] / p.cxph[ix]) * tmp -
+        (p.mui * p.czm[iz] / p.cxph[ix]) * p.Bza[rowBase + ix];
+    p.Bza[rowBase + ix] = tmp;
+  }
+  clf = p.Ex[rowBase + p.CXM] - p.Ex[rowUp + p.CXM] +
+        p.Ry[iz * (p.CYM + 1) + iy] - p.Ey[rowBase + p.CXM];
+  tmp = (p.cymh[iy] / p.cyph[iy]) * p.Bza[rowBase + p.CXM] -
+        (p.ch / p.cyph[iy]) * clf;
+  p.Hz[rowBase + p.CXM] =
+      (p.cxmh[p.CXM] / p.cxph[p.CXM]) * p.Hz[rowBase + p.CXM] +
+      (p.mui * p.czp[iz] / p.cxph[p.CXM]) * tmp -
+      (p.mui * p.czm[iz] / p.cxph[p.CXM]) * p.Bza[rowBase + p.CXM];
+  p.Bza[rowBase + p.CXM] = tmp;
+  for (std::int64_t ix = 0; ix < p.CXM; ++ix) {
+    clf = p.Ex[rowCym + ix] - p.Ax[iz * (p.CXM + 1) + ix] +
+          p.Ey[rowCym + ix + 1] - p.Ey[rowCym + ix];
+    tmp = (p.cymh[p.CYM] / p.cyph[iy]) * p.Bza[rowBase + ix] -
+          (p.ch / p.cyph[iy]) * clf;
+    p.Hz[rowCym + ix] = (p.cxmh[ix] / p.cxph[ix]) * p.Hz[rowCym + ix] +
+                        (p.mui * p.czp[iz] / p.cxph[ix]) * tmp -
+                        (p.mui * p.czm[iz] / p.cxph[ix]) * p.Bza[rowCym + ix];
+    p.Bza[rowCym + ix] = tmp;
+  }
+  clf = p.Ex[rowCym + p.CXM] - p.Ax[iz * (p.CXM + 1) + p.CXM] +
+        p.Ry[iz * (p.CYM + 1) + p.CYM] - p.Ey[rowCym + p.CXM];
+  tmp = (p.cymh[p.CYM] / p.cyph[p.CYM]) * p.Bza[rowBase + p.CXM] -
+        (p.ch / p.cyph[p.CYM]) * clf;
+  p.Hz[rowCym + p.CXM] =
+      (p.cxmh[p.CXM] / p.cxph[p.CXM]) * p.Hz[rowCym + p.CXM] +
+      (p.mui * p.czp[iz] / p.cxph[p.CXM]) * tmp -
+      (p.mui * p.czm[iz] / p.cxph[p.CXM]) * p.Bza[rowCym + p.CXM];
+  p.Bza[rowCym + p.CXM] = tmp;
+}
+}  // namespace
+
+void fdtdApmlOrig(FdtdApmlProblem& p) {
+  for (std::int64_t iz = 0; iz < p.CZ; ++iz)
+    for (std::int64_t iy = 0; iy < p.CYM; ++iy) apmlRow(p, iz, iy);
+}
+
+void fdtdApmlPocc(FdtdApmlProblem& p, ThreadPool& pool) {
+  // Outer iz is doall (rows of the same iz share Hz[iz][CYM][*] through
+  // the boundary statements, so iy stays sequential).
+  runtime::parallelFor(pool, 0, p.CZ, [&](std::int64_t iz) {
+    for (std::int64_t iy = 0; iy < p.CYM; ++iy) apmlRow(p, iz, iy);
+  });
+}
+
+void fdtdApmlPolyast(FdtdApmlProblem& p, ThreadPool& pool) {
+  // Same doall structure; blocked distribution keeps each thread on
+  // contiguous iz slabs (better TLB behaviour per the DL model).
+  runtime::parallelForBlocked(pool, 0, p.CZ, [&](std::int64_t lo,
+                                                 std::int64_t hi) {
+    for (std::int64_t iz = lo; iz < hi; ++iz)
+      for (std::int64_t iy = 0; iy < p.CYM; ++iy) apmlRow(p, iz, iy);
+  });
+}
+
+}  // namespace polyast::bench

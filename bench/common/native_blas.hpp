@@ -1,0 +1,134 @@
+// Native variant implementations for the linear-algebra kernels.
+//
+// Each problem struct owns the buffers; each variant function implements
+// one compiler's output structure (see bench_common.hpp). All matrices are
+// row-major.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+
+namespace polyast::bench {
+
+using runtime::ThreadPool;
+
+// ---- gemm: C = alpha*A.B + beta*C --------------------------------------
+struct GemmProblem {
+  std::int64_t NI, NJ, NK;
+  std::vector<double> C, A, B;
+  double alpha = 1.5, beta = 1.2;
+  explicit GemmProblem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void gemmOrig(GemmProblem& p);
+void gemmPocc(GemmProblem& p, ThreadPool& pool);
+void gemmPoccVect(GemmProblem& p, ThreadPool& pool);
+void gemmPolyast(GemmProblem& p, ThreadPool& pool);
+
+// ---- 2mm: tmp = alpha*A.B; D = beta*D + tmp.C ---------------------------
+struct Mm2Problem {
+  std::int64_t N;  // square NI=NJ=NK=NL
+  std::vector<double> tmp, A, B, C, D;
+  double alpha = 1.5, beta = 1.2;
+  explicit Mm2Problem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void mm2Orig(Mm2Problem& p);
+void mm2Pocc(Mm2Problem& p, ThreadPool& pool);       // smartfuse + tiling
+void mm2PoccMaxfuse(Mm2Problem& p, ThreadPool& pool);  // Fig. 2 structure
+void mm2PoccVect(Mm2Problem& p, ThreadPool& pool);
+void mm2Polyast(Mm2Problem& p, ThreadPool& pool);    // Fig. 3 structure
+
+// ---- 3mm: E=A.B; F=C.D; G=E.F -------------------------------------------
+struct Mm3Problem {
+  std::int64_t N;
+  std::vector<double> E, A, B, F, C, D, G;
+  explicit Mm3Problem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void mm3Orig(Mm3Problem& p);
+void mm3Pocc(Mm3Problem& p, ThreadPool& pool);
+void mm3PoccVect(Mm3Problem& p, ThreadPool& pool);
+void mm3Polyast(Mm3Problem& p, ThreadPool& pool);
+
+// ---- syrk: C = alpha*A.A^T + beta*C -------------------------------------
+struct SyrkProblem {
+  std::int64_t N, M;
+  std::vector<double> C, A;
+  double alpha = 1.5, beta = 1.2;
+  SyrkProblem(std::int64_t n, std::int64_t m);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void syrkOrig(SyrkProblem& p);
+void syrkPocc(SyrkProblem& p, ThreadPool& pool);
+void syrkPoccVect(SyrkProblem& p, ThreadPool& pool);
+void syrkPolyast(SyrkProblem& p, ThreadPool& pool);
+
+// ---- syr2k ---------------------------------------------------------------
+struct Syr2kProblem {
+  std::int64_t N, M;
+  std::vector<double> C, A, B;
+  double alpha = 1.5, beta = 1.2;
+  Syr2kProblem(std::int64_t n, std::int64_t m);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void syr2kOrig(Syr2kProblem& p);
+void syr2kPocc(Syr2kProblem& p, ThreadPool& pool);
+void syr2kPoccVect(Syr2kProblem& p, ThreadPool& pool);
+void syr2kPolyast(Syr2kProblem& p, ThreadPool& pool);
+
+// ---- doitgen -------------------------------------------------------------
+struct DoitgenProblem {
+  std::int64_t NR, NQ, NP;
+  std::vector<double> A, sum, C4;
+  DoitgenProblem(std::int64_t r, std::int64_t q, std::int64_t p);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void doitgenOrig(DoitgenProblem& p);
+void doitgenPocc(DoitgenProblem& p, ThreadPool& pool);
+void doitgenPolyast(DoitgenProblem& p, ThreadPool& pool);
+
+// ---- gesummv -------------------------------------------------------------
+struct GesummvProblem {
+  std::int64_t N;
+  std::vector<double> A, B, x, y, tmp;
+  double alpha = 1.5, beta = 1.2;
+  explicit GesummvProblem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void gesummvOrig(GesummvProblem& p);
+void gesummvPocc(GesummvProblem& p, ThreadPool& pool);
+void gesummvPolyast(GesummvProblem& p, ThreadPool& pool);
+
+// ---- fdtd-apml (doall-dominant) ------------------------------------------
+struct FdtdApmlProblem {
+  std::int64_t CZ, CYM, CXM;
+  std::vector<double> Ex, Ey, Hz, Bza, Ry, Ax, clf, tmp;
+  std::vector<double> cymh, cyph, cxmh, cxph, czm, czp;
+  double ch = 0.85, mui = 0.65;
+  FdtdApmlProblem(std::int64_t cz, std::int64_t cym, std::int64_t cxm);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void fdtdApmlOrig(FdtdApmlProblem& p);
+void fdtdApmlPocc(FdtdApmlProblem& p, ThreadPool& pool);
+void fdtdApmlPolyast(FdtdApmlProblem& p, ThreadPool& pool);
+
+}  // namespace polyast::bench

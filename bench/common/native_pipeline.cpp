@@ -1,0 +1,531 @@
+#include "common/native_pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+
+namespace {
+inline std::int64_t mn(std::int64_t a, std::int64_t b) {
+  return a < b ? a : b;
+}
+inline std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+constexpr std::int64_t kBlock = 64;  ///< stencil cell-block edge
+}  // namespace
+
+// ========================= jacobi-1d =====================================
+
+Jacobi1dProblem::Jacobi1dProblem(std::int64_t t, std::int64_t n)
+    : T(t), N(n),
+      A(static_cast<std::size_t>(n)),
+      B(static_cast<std::size_t>(n)) {
+  reset();
+}
+void Jacobi1dProblem::reset() {
+  seed(A, "A");
+  seed(B, "B");
+}
+double Jacobi1dProblem::flops() const {
+  return 4.0 * static_cast<double>(T) * static_cast<double>(N);
+}
+double Jacobi1dProblem::check() const { return checksum(A); }
+
+void jacobi1dOrig(Jacobi1dProblem& p) {
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    for (std::int64_t i = 1; i < p.N - 1; ++i)
+      p.B[i] = 0.33333 * (p.A[i - 1] + p.A[i] + p.A[i + 1]);
+    for (std::int64_t j = 1; j < p.N - 1; ++j) p.A[j] = p.B[j];
+  }
+}
+
+void jacobi1dPocc(Jacobi1dProblem& p, ThreadPool& pool) {
+  // Doall-only: each sweep parallel, barrier between the two sweeps and
+  // between time steps.
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    runtime::parallelForBlocked(pool, 1, p.N - 1, [&](std::int64_t lo,
+                                                      std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i)
+        p.B[i] = 0.33333 * (p.A[i - 1] + p.A[i] + p.A[i + 1]);
+    });
+    runtime::parallelForBlocked(pool, 1, p.N - 1, [&](std::int64_t lo,
+                                                      std::int64_t hi) {
+      for (std::int64_t j = lo; j < hi; ++j) p.A[j] = p.B[j];
+    });
+  }
+}
+
+void jacobi1dPolyast(Jacobi1dProblem& p, ThreadPool& pool) {
+  // Time-tiled pipeline: cells (t-in-tile, w) with block index b = w - 2t;
+  // within a cell: B-update of block b, then A-copy of block b-1 (the
+  // shifted fusion the affine stage selects). Componentwise non-negative
+  // cell dependences by construction (see DESIGN.md).
+  std::int64_t NB = ceilDiv(p.N - 2, kBlock);
+  for (std::int64_t tt = 0; tt < p.T; tt += kTimeTile) {
+    std::int64_t steps = mn(kTimeTile, p.T - tt);
+    std::int64_t cols = NB + 1 + 2 * (steps - 1);
+    runtime::pipeline2D(pool, steps, cols, [&](std::int64_t tdx,
+                                               std::int64_t w) {
+      std::int64_t b = w - 2 * tdx;
+      if (b < 0 || b > NB) return;
+      if (b < NB) {
+        std::int64_t lo = 1 + b * kBlock, hi = mn(p.N - 1, lo + kBlock);
+        for (std::int64_t i = lo; i < hi; ++i)
+          p.B[i] = 0.33333 * (p.A[i - 1] + p.A[i] + p.A[i + 1]);
+      }
+      if (b >= 1) {
+        std::int64_t lo = 1 + (b - 1) * kBlock, hi = mn(p.N - 1, lo + kBlock);
+        for (std::int64_t j = lo; j < hi; ++j) p.A[j] = p.B[j];
+      }
+    });
+  }
+}
+
+// ========================= jacobi-2d =====================================
+
+Jacobi2dProblem::Jacobi2dProblem(std::int64_t t, std::int64_t n)
+    : T(t), N(n),
+      A(static_cast<std::size_t>(n * n)),
+      B(static_cast<std::size_t>(n * n)) {
+  reset();
+}
+void Jacobi2dProblem::reset() {
+  seed(A, "A");
+  seed(B, "B");
+}
+double Jacobi2dProblem::flops() const {
+  double n = static_cast<double>(N);
+  return 5.0 * static_cast<double>(T) * n * n;
+}
+double Jacobi2dProblem::check() const { return checksum(A); }
+
+namespace {
+inline void jacobi2dBRows(Jacobi2dProblem& p, std::int64_t rlo,
+                          std::int64_t rhi, std::int64_t clo,
+                          std::int64_t chi) {
+  std::int64_t N = p.N;
+  for (std::int64_t i = rlo; i < rhi; ++i) {
+    const double* __restrict an = &p.A[(i - 1) * N];
+    const double* __restrict ac = &p.A[i * N];
+    const double* __restrict as = &p.A[(i + 1) * N];
+    double* __restrict b = &p.B[i * N];
+    for (std::int64_t j = clo; j < chi; ++j)
+      b[j] = 0.2 * (ac[j] + ac[j - 1] + ac[j + 1] + as[j] + an[j]);
+  }
+}
+inline void jacobi2dCopyRows(Jacobi2dProblem& p, std::int64_t rlo,
+                             std::int64_t rhi, std::int64_t clo,
+                             std::int64_t chi) {
+  std::int64_t N = p.N;
+  for (std::int64_t i = rlo; i < rhi; ++i)
+    for (std::int64_t j = clo; j < chi; ++j) p.A[i * N + j] = p.B[i * N + j];
+}
+}  // namespace
+
+void jacobi2dOrig(Jacobi2dProblem& p) {
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    jacobi2dBRows(p, 1, p.N - 1, 1, p.N - 1);
+    jacobi2dCopyRows(p, 1, p.N - 1, 1, p.N - 1);
+  }
+}
+
+void jacobi2dPocc(Jacobi2dProblem& p, ThreadPool& pool) {
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    runtime::parallelForBlocked(pool, 1, p.N - 1, [&](std::int64_t lo,
+                                                      std::int64_t hi) {
+      jacobi2dBRows(p, lo, hi, 1, p.N - 1);
+    });
+    runtime::parallelForBlocked(pool, 1, p.N - 1, [&](std::int64_t lo,
+                                                      std::int64_t hi) {
+      jacobi2dCopyRows(p, lo, hi, 1, p.N - 1);
+    });
+  }
+}
+
+void jacobi2dPolyast(Jacobi2dProblem& p, ThreadPool& pool) {
+  // Time-tiled fused sweep as a 3-D doacross (the paper's treatment of the
+  // 2-D stencils: outer time-tile of kTimeTile steps, skewed space
+  // blocks). Cell (tdx, u, v) with block (r, c) = (u - 2*tdx, v - 2*tdx)
+  // performs the B-update of block (r, c) and the A-copy of block
+  // (r-1, c-1) at time tt + tdx; the 2-per-step skew makes every
+  // dependence componentwise non-negative in (tdx, u, v), which
+  // pipeline3D's predecessor waits cover transitively.
+  std::int64_t NB = ceilDiv(p.N - 2, kBlock);
+  auto range = [&](std::int64_t b) {
+    std::int64_t lo = 1 + b * kBlock;
+    return std::pair<std::int64_t, std::int64_t>{lo, mn(p.N - 1, lo + kBlock)};
+  };
+  for (std::int64_t tt = 0; tt < p.T; tt += kTimeTile) {
+    std::int64_t steps = mn(kTimeTile, p.T - tt);
+    std::int64_t span = NB + 1 + 2 * (steps - 1);
+    runtime::pipeline3D(pool, steps, span, span, [&](std::int64_t tdx,
+                                                     std::int64_t u,
+                                                     std::int64_t v) {
+      std::int64_t r = u - 2 * tdx, c = v - 2 * tdx;
+      if (r < 0 || r > NB || c < 0 || c > NB) return;
+      if (r < NB && c < NB) {
+        auto [rlo, rhi] = range(r);
+        auto [clo, chi] = range(c);
+        jacobi2dBRows(p, rlo, rhi, clo, chi);
+      }
+      if (r >= 1 && c >= 1) {
+        auto [rlo, rhi] = range(r - 1);
+        auto [clo, chi] = range(c - 1);
+        jacobi2dCopyRows(p, rlo, rhi, clo, chi);
+      }
+    });
+  }
+}
+
+// ========================= seidel-2d =====================================
+
+Seidel2dProblem::Seidel2dProblem(std::int64_t t, std::int64_t n)
+    : T(t), N(n), A(static_cast<std::size_t>(n * n)) {
+  reset();
+}
+void Seidel2dProblem::reset() { seed(A, "A"); }
+double Seidel2dProblem::flops() const {
+  double n = static_cast<double>(N);
+  return 9.0 * static_cast<double>(T) * n * n;
+}
+double Seidel2dProblem::check() const { return checksum(A); }
+
+namespace {
+/// One parallelogram block of the Gauss-Seidel sweep: rows [rlo, rhi),
+/// skewed columns w = i + j in [wlo, whi). The point-space dependences
+/// (1,-1), (0,1), (1,0), (1,1) all become componentwise non-negative in
+/// (i, w), so any block decomposition executed in p2p/wavefront order is
+/// legal.
+inline void seidelBlock(Seidel2dProblem& p, std::int64_t rlo,
+                        std::int64_t rhi, std::int64_t wlo,
+                        std::int64_t whi) {
+  std::int64_t N = p.N;
+  for (std::int64_t i = rlo; i < rhi; ++i) {
+    double* __restrict an = &p.A[(i - 1) * N];
+    double* __restrict ac = &p.A[i * N];
+    double* __restrict as = &p.A[(i + 1) * N];
+    std::int64_t jlo = std::max<std::int64_t>(1, wlo - i);
+    std::int64_t jhi = mn(N - 1, whi - i);
+    for (std::int64_t j = jlo; j < jhi; ++j)
+      ac[j] = (an[j - 1] + an[j] + an[j + 1] + ac[j - 1] + ac[j] +
+               ac[j + 1] + as[j - 1] + as[j] + as[j + 1]) /
+              9.0;
+  }
+}
+}  // namespace
+
+void seidel2dOrig(Seidel2dProblem& p) {
+  for (std::int64_t t = 0; t < p.T; ++t)
+    seidelBlock(p, 1, p.N - 1, 2, 2 * p.N - 3);
+}
+
+namespace {
+/// Shared cell geometry: cells (r, u) map to rows block r and skewed
+/// column block u.
+template <typename Executor>
+void seidelSweep(Seidel2dProblem& p, ThreadPool& pool, Executor exec) {
+  std::int64_t NB = ceilDiv(p.N - 2, kBlock);
+  std::int64_t WB = ceilDiv(2 * p.N - 5, kBlock);
+  exec(pool, NB, WB, [&p](std::int64_t r, std::int64_t u) {
+    std::int64_t rlo = 1 + r * kBlock, rhi = mn(p.N - 1, rlo + kBlock);
+    std::int64_t wlo = 2 + u * kBlock, whi = mn(2 * p.N - 3, wlo + kBlock);
+    seidelBlock(p, rlo, rhi, wlo, whi);
+  });
+}
+}  // namespace
+
+void seidel2dPocc(Seidel2dProblem& p, ThreadPool& pool) {
+  for (std::int64_t t = 0; t < p.T; ++t)
+    seidelSweep(p, pool, [](ThreadPool& pl, std::int64_t r, std::int64_t c,
+                            auto cell) {
+      return runtime::wavefront2D(pl, r, c, cell);
+    });
+}
+
+void seidel2dPolyast(Seidel2dProblem& p, ThreadPool& pool) {
+  for (std::int64_t t = 0; t < p.T; ++t)
+    seidelSweep(p, pool, [](ThreadPool& pl, std::int64_t r, std::int64_t c,
+                            auto cell) {
+      return runtime::pipeline2D(pl, r, c, cell);
+    });
+}
+
+// ========================= fdtd-2d =======================================
+
+Fdtd2dProblem::Fdtd2dProblem(std::int64_t t, std::int64_t nx, std::int64_t ny)
+    : T(t), NX(nx), NY(ny),
+      ex(static_cast<std::size_t>(nx * ny)),
+      ey(static_cast<std::size_t>(nx * ny)),
+      hz(static_cast<std::size_t>(nx * ny)),
+      fict(static_cast<std::size_t>(t)) {
+  seed(fict, "fict");
+  reset();
+}
+void Fdtd2dProblem::reset() {
+  seed(ex, "ex");
+  seed(ey, "ey");
+  seed(hz, "hz");
+}
+double Fdtd2dProblem::flops() const {
+  return 11.0 * static_cast<double>(T) * static_cast<double>(NX) *
+         static_cast<double>(NY);
+}
+double Fdtd2dProblem::check() const {
+  return checksum(ex) + checksum(ey) + checksum(hz);
+}
+
+namespace {
+inline void fdtdERows(Fdtd2dProblem& p, std::int64_t t, std::int64_t rlo,
+                      std::int64_t rhi, std::int64_t clo, std::int64_t chi) {
+  std::int64_t NY = p.NY;
+  for (std::int64_t i = rlo; i < rhi; ++i) {
+    double* __restrict eyr = &p.ey[i * NY];
+    double* __restrict exr = &p.ex[i * NY];
+    const double* __restrict hzr = &p.hz[i * NY];
+    const double* __restrict hzn = i > 0 ? &p.hz[(i - 1) * NY] : nullptr;
+    if (i == 0) {
+      for (std::int64_t j = clo; j < chi; ++j) eyr[j] = p.fict[t];
+    } else {
+      for (std::int64_t j = clo; j < chi; ++j)
+        eyr[j] -= 0.5 * (hzr[j] - hzn[j]);
+    }
+    for (std::int64_t j = std::max<std::int64_t>(1, clo); j < chi; ++j)
+      exr[j] -= 0.5 * (hzr[j] - hzr[j - 1]);
+  }
+}
+inline void fdtdHzRows(Fdtd2dProblem& p, std::int64_t rlo, std::int64_t rhi,
+                       std::int64_t clo, std::int64_t chi) {
+  std::int64_t NY = p.NY;
+  rhi = mn(rhi, p.NX - 1);
+  chi = mn(chi, p.NY - 1);
+  for (std::int64_t i = rlo; i < rhi; ++i) {
+    double* __restrict hzr = &p.hz[i * NY];
+    const double* __restrict exr = &p.ex[i * NY];
+    const double* __restrict eyr = &p.ey[i * NY];
+    const double* __restrict eys = &p.ey[(i + 1) * NY];
+    for (std::int64_t j = clo; j < chi; ++j)
+      hzr[j] -= 0.7 * (exr[j + 1] - exr[j] + eys[j] - eyr[j]);
+  }
+}
+}  // namespace
+
+void fdtd2dOrig(Fdtd2dProblem& p) {
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    fdtdERows(p, t, 0, p.NX, 0, p.NY);
+    fdtdHzRows(p, 0, p.NX, 0, p.NY);
+  }
+}
+
+void fdtd2dPocc(Fdtd2dProblem& p, ThreadPool& pool) {
+  // Doall sweeps with a barrier between the E and H phases.
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    runtime::parallelForBlocked(pool, 0, p.NX, [&](std::int64_t lo,
+                                                   std::int64_t hi) {
+      fdtdERows(p, t, lo, hi, 0, p.NY);
+    });
+    runtime::parallelForBlocked(pool, 0, p.NX, [&](std::int64_t lo,
+                                                   std::int64_t hi) {
+      fdtdHzRows(p, lo, hi, 0, p.NY);
+    });
+  }
+}
+
+void fdtd2dPolyast(Fdtd2dProblem& p, ThreadPool& pool) {
+  // Fused E/H sweep as a skewed p2p pipeline: cell (r, u), c = u - r:
+  // E-update of block (r, c), Hz-update of block (r-1, c-1). Hz reads
+  // ex[i][j+1] / ey[i+1][j], produced by this cell's E part or earlier
+  // cells (componentwise non-negative after the skew).
+  std::int64_t RB = ceilDiv(p.NX, kBlock), CB = ceilDiv(p.NY, kBlock);
+  auto rangeR = [&](std::int64_t b) {
+    std::int64_t lo = b * kBlock;
+    return std::pair<std::int64_t, std::int64_t>{lo, mn(p.NX, lo + kBlock)};
+  };
+  auto rangeC = [&](std::int64_t b) {
+    std::int64_t lo = b * kBlock;
+    return std::pair<std::int64_t, std::int64_t>{lo, mn(p.NY, lo + kBlock)};
+  };
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    runtime::pipeline2D(pool, RB + 1, RB + 1 + CB, [&](std::int64_t r,
+                                                       std::int64_t u) {
+      std::int64_t c = u - r;
+      if (c < 0 || c > CB) return;
+      if (r < RB && c < CB) {
+        auto [rlo, rhi] = rangeR(r);
+        auto [clo, chi] = rangeC(c);
+        fdtdERows(p, t, rlo, rhi, clo, chi);
+      }
+      if (r >= 1 && c >= 1) {
+        auto [rlo, rhi] = rangeR(r - 1);
+        auto [clo, chi] = rangeC(c - 1);
+        fdtdHzRows(p, rlo, rhi, clo, chi);
+      }
+    });
+  }
+}
+
+// ========================= adi ===========================================
+
+AdiProblem::AdiProblem(std::int64_t t, std::int64_t n)
+    : T(t), N(n),
+      X(static_cast<std::size_t>(n * n)),
+      A(static_cast<std::size_t>(n * n)),
+      B(static_cast<std::size_t>(n * n)),
+      X0(static_cast<std::size_t>(n * n)),
+      B0(static_cast<std::size_t>(n * n)) {
+  seed(X0, "X");
+  seed(A, "A");
+  seed(B0, "B");
+  for (auto& a : A) a *= 0.1;  // damp the sweeps (see kernels_solvers.cpp)
+  reset();
+}
+void AdiProblem::reset() {
+  X = X0;
+  B = B0;
+}
+double AdiProblem::flops() const {
+  double n = static_cast<double>(N);
+  return 30.0 * static_cast<double>(T) * n * n;
+}
+double AdiProblem::check() const { return checksum(X) + checksum(B); }
+
+namespace {
+/// The three row phases of one ADI step for row i1, fused (forward sweep,
+/// normalization, back substitution) — the poly+AST per-row locality win.
+inline void adiRowFused(AdiProblem& p, std::int64_t i1) {
+  std::int64_t N = p.N;
+  double* __restrict x = &p.X[i1 * N];
+  double* __restrict b = &p.B[i1 * N];
+  const double* __restrict a = &p.A[i1 * N];
+  for (std::int64_t i2 = 1; i2 < N; ++i2) {
+    x[i2] -= x[i2 - 1] * a[i2] / b[i2 - 1];
+    b[i2] -= a[i2] * a[i2] / b[i2 - 1];
+  }
+  x[N - 1] /= b[N - 1];
+  for (std::int64_t i2 = 0; i2 < N - 2; ++i2)
+    x[N - i2 - 2] =
+        (x[N - 2 - i2] - x[N - i2 - 3] * a[N - i2 - 3]) / b[N - 3 - i2];
+}
+}  // namespace
+
+void adiOrig(AdiProblem& p) {
+  std::int64_t N = p.N;
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    // Row phases exactly as in the PolyBench source (three separate nests).
+    for (std::int64_t i1 = 0; i1 < N; ++i1)
+      for (std::int64_t i2 = 1; i2 < N; ++i2) {
+        p.X[i1 * N + i2] -=
+            p.X[i1 * N + i2 - 1] * p.A[i1 * N + i2] / p.B[i1 * N + i2 - 1];
+        p.B[i1 * N + i2] -=
+            p.A[i1 * N + i2] * p.A[i1 * N + i2] / p.B[i1 * N + i2 - 1];
+      }
+    for (std::int64_t i1 = 0; i1 < N; ++i1)
+      p.X[i1 * N + N - 1] /= p.B[i1 * N + N - 1];
+    for (std::int64_t i1 = 0; i1 < N; ++i1)
+      for (std::int64_t i2 = 0; i2 < N - 2; ++i2)
+        p.X[i1 * N + N - i2 - 2] =
+            (p.X[i1 * N + N - 2 - i2] -
+             p.X[i1 * N + N - i2 - 3] * p.A[i1 * N + N - i2 - 3]) /
+            p.B[i1 * N + N - 3 - i2];
+    // Column phases.
+    for (std::int64_t i1 = 1; i1 < N; ++i1)
+      for (std::int64_t i2 = 0; i2 < N; ++i2) {
+        p.X[i1 * N + i2] -=
+            p.X[(i1 - 1) * N + i2] * p.A[i1 * N + i2] / p.B[(i1 - 1) * N + i2];
+        p.B[i1 * N + i2] -=
+            p.A[i1 * N + i2] * p.A[i1 * N + i2] / p.B[(i1 - 1) * N + i2];
+      }
+    for (std::int64_t i2 = 0; i2 < N; ++i2)
+      p.X[(N - 1) * N + i2] /= p.B[(N - 1) * N + i2];
+    for (std::int64_t i1 = 0; i1 < N - 2; ++i1)
+      for (std::int64_t i2 = 0; i2 < N; ++i2)
+        p.X[(N - i1 - 2) * N + i2] =
+            (p.X[(N - 2 - i1) * N + i2] -
+             p.X[(N - i1 - 3) * N + i2] * p.A[(N - 3 - i1) * N + i2]) /
+            p.B[(N - 2 - i1) * N + i2];
+  }
+}
+
+void adiPocc(AdiProblem& p, ThreadPool& pool) {
+  // Doall-only: each of the six phases parallelized separately. The column
+  // phases become i2-outer doall (stride-N walks).
+  std::int64_t N = p.N;
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i1) {
+      for (std::int64_t i2 = 1; i2 < N; ++i2) {
+        p.X[i1 * N + i2] -=
+            p.X[i1 * N + i2 - 1] * p.A[i1 * N + i2] / p.B[i1 * N + i2 - 1];
+        p.B[i1 * N + i2] -=
+            p.A[i1 * N + i2] * p.A[i1 * N + i2] / p.B[i1 * N + i2 - 1];
+      }
+    });
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i1) {
+      p.X[i1 * N + N - 1] /= p.B[i1 * N + N - 1];
+    });
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i1) {
+      for (std::int64_t i2 = 0; i2 < N - 2; ++i2)
+        p.X[i1 * N + N - i2 - 2] =
+            (p.X[i1 * N + N - 2 - i2] -
+             p.X[i1 * N + N - i2 - 3] * p.A[i1 * N + N - i2 - 3]) /
+            p.B[i1 * N + N - 3 - i2];
+    });
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i2) {
+      for (std::int64_t i1 = 1; i1 < N; ++i1) {
+        p.X[i1 * N + i2] -= p.X[(i1 - 1) * N + i2] * p.A[i1 * N + i2] /
+                            p.B[(i1 - 1) * N + i2];
+        p.B[i1 * N + i2] -= p.A[i1 * N + i2] * p.A[i1 * N + i2] /
+                            p.B[(i1 - 1) * N + i2];
+      }
+    });
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i2) {
+      p.X[(N - 1) * N + i2] /= p.B[(N - 1) * N + i2];
+    });
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i2) {
+      for (std::int64_t i1 = 0; i1 < N - 2; ++i1)
+        p.X[(N - i1 - 2) * N + i2] =
+            (p.X[(N - 2 - i1) * N + i2] -
+             p.X[(N - i1 - 3) * N + i2] * p.A[(N - 3 - i1) * N + i2]) /
+            p.B[(N - 2 - i1) * N + i2];
+    });
+  }
+}
+
+void adiPolyast(AdiProblem& p, ThreadPool& pool) {
+  // Row phases fused per row (one pass over each row instead of three);
+  // column phases blocked over i2 so every thread keeps stride-1 rows
+  // while walking i1 — single parallel region per phase group.
+  std::int64_t N = p.N;
+  for (std::int64_t t = 0; t < p.T; ++t) {
+    runtime::parallelFor(pool, 0, N, [&](std::int64_t i1) {
+      adiRowFused(p, i1);
+    });
+    runtime::parallelForBlocked(pool, 0, N, [&](std::int64_t lo,
+                                                std::int64_t hi) {
+      for (std::int64_t i1 = 1; i1 < N; ++i1) {
+        double* __restrict x = &p.X[i1 * N];
+        double* __restrict b = &p.B[i1 * N];
+        const double* __restrict a = &p.A[i1 * N];
+        const double* __restrict xp = &p.X[(i1 - 1) * N];
+        const double* __restrict bp = &p.B[(i1 - 1) * N];
+        for (std::int64_t i2 = lo; i2 < hi; ++i2) {
+          x[i2] -= xp[i2] * a[i2] / bp[i2];
+          b[i2] -= a[i2] * a[i2] / bp[i2];
+        }
+      }
+      for (std::int64_t i2 = lo; i2 < hi; ++i2)
+        p.X[(N - 1) * N + i2] /= p.B[(N - 1) * N + i2];
+      for (std::int64_t i1 = 0; i1 < N - 2; ++i1) {
+        double* __restrict xw = &p.X[(N - i1 - 2) * N];
+        const double* __restrict xr = &p.X[(N - 2 - i1) * N];
+        const double* __restrict xd = &p.X[(N - i1 - 3) * N];
+        const double* __restrict ad = &p.A[(N - 3 - i1) * N];
+        const double* __restrict bd = &p.B[(N - 2 - i1) * N];
+        for (std::int64_t i2 = lo; i2 < hi; ++i2)
+          xw[i2] = (xr[i2] - xd[i2] * ad[i2]) / bd[i2];
+      }
+    });
+  }
+}
+
+}  // namespace polyast::bench

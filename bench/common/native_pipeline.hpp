@@ -1,0 +1,85 @@
+// Native variants for the pipeline-dominant kernels (Fig. 9 group).
+//
+// The poly+AST flow runs stencil sweeps as point-to-point pipelines over
+// skewed cell grids (runtime::pipeline2D — the OpenMP `await` extension of
+// Fig. 6 left); the PoCC baseline executes the same cell grids as
+// wavefront doall with a barrier per diagonal (Fig. 6 right), matching the
+// paper's "pipeline parallelism is typically implemented as inefficient
+// wavefront schedules".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+
+namespace polyast::bench {
+
+using runtime::ThreadPool;
+
+// ---- jacobi-1d-imper -------------------------------------------------------
+struct Jacobi1dProblem {
+  std::int64_t T, N;
+  std::vector<double> A, B;
+  Jacobi1dProblem(std::int64_t t, std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void jacobi1dOrig(Jacobi1dProblem& p);
+void jacobi1dPocc(Jacobi1dProblem& p, ThreadPool& pool);
+void jacobi1dPolyast(Jacobi1dProblem& p, ThreadPool& pool);
+
+// ---- jacobi-2d-imper -------------------------------------------------------
+struct Jacobi2dProblem {
+  std::int64_t T, N;
+  std::vector<double> A, B;
+  Jacobi2dProblem(std::int64_t t, std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void jacobi2dOrig(Jacobi2dProblem& p);
+void jacobi2dPocc(Jacobi2dProblem& p, ThreadPool& pool);
+void jacobi2dPolyast(Jacobi2dProblem& p, ThreadPool& pool);
+
+// ---- seidel-2d --------------------------------------------------------------
+struct Seidel2dProblem {
+  std::int64_t T, N;
+  std::vector<double> A;
+  Seidel2dProblem(std::int64_t t, std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void seidel2dOrig(Seidel2dProblem& p);
+void seidel2dPocc(Seidel2dProblem& p, ThreadPool& pool);     // wavefront
+void seidel2dPolyast(Seidel2dProblem& p, ThreadPool& pool);  // p2p pipeline
+
+// ---- fdtd-2d ----------------------------------------------------------------
+struct Fdtd2dProblem {
+  std::int64_t T, NX, NY;
+  std::vector<double> ex, ey, hz, fict;
+  Fdtd2dProblem(std::int64_t t, std::int64_t nx, std::int64_t ny);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void fdtd2dOrig(Fdtd2dProblem& p);
+void fdtd2dPocc(Fdtd2dProblem& p, ThreadPool& pool);
+void fdtd2dPolyast(Fdtd2dProblem& p, ThreadPool& pool);
+
+// ---- adi --------------------------------------------------------------------
+struct AdiProblem {
+  std::int64_t T, N;
+  std::vector<double> X, A, B, X0, B0;
+  AdiProblem(std::int64_t t, std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void adiOrig(AdiProblem& p);
+void adiPocc(AdiProblem& p, ThreadPool& pool);
+void adiPolyast(AdiProblem& p, ThreadPool& pool);
+
+}  // namespace polyast::bench

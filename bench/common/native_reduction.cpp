@@ -1,0 +1,758 @@
+#include "common/native_reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bench_common.hpp"
+
+namespace polyast::bench {
+
+// ========================= atax ==========================================
+
+AtaxProblem::AtaxProblem(std::int64_t nx, std::int64_t ny)
+    : NX(nx), NY(ny),
+      A(static_cast<std::size_t>(nx * ny)),
+      x(static_cast<std::size_t>(ny)),
+      y(static_cast<std::size_t>(ny)),
+      tmp(static_cast<std::size_t>(nx)) {
+  seed(A, "A");
+  seed(x, "x");
+  reset();
+}
+void AtaxProblem::reset() {
+  std::fill(y.begin(), y.end(), 0.0);
+  std::fill(tmp.begin(), tmp.end(), 0.0);
+}
+double AtaxProblem::flops() const {
+  return 4.0 * static_cast<double>(NX) * static_cast<double>(NY);
+}
+double AtaxProblem::check() const { return checksum(y); }
+
+void ataxOrig(AtaxProblem& p) {
+  for (std::int64_t i = 0; i < p.NX; ++i) {
+    double t = 0.0;
+    for (std::int64_t j = 0; j < p.NY; ++j) t += p.A[i * p.NY + j] * p.x[j];
+    p.tmp[i] = t;
+    for (std::int64_t j = 0; j < p.NY; ++j)
+      p.y[j] += p.A[i * p.NY + j] * t;
+  }
+}
+
+void ataxPocc(AtaxProblem& p, ThreadPool& pool) {
+  // Doall-only: the y update is parallelized by making j outer, which
+  // walks A column-wise (stride NY) — Fig. 5's right column.
+  runtime::parallelFor(pool, 0, p.NX, [&](std::int64_t i) {
+    double t = 0.0;
+    for (std::int64_t j = 0; j < p.NY; ++j) t += p.A[i * p.NY + j] * p.x[j];
+    p.tmp[i] = t;
+  });
+  runtime::parallelFor(pool, 0, p.NY, [&](std::int64_t j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < p.NX; ++i)
+      acc += p.A[i * p.NY + j] * p.tmp[i];
+    p.y[j] += acc;
+  });
+}
+
+void ataxPolyast(AtaxProblem& p, ThreadPool& pool) {
+  // Fused i loop (one pass over A) with y as an array reduction.
+  runtime::parallelReduce(
+      pool, 0, p.NX, p.y.data(), static_cast<std::size_t>(p.NY),
+      [&](double* yPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict a = &p.A[i * p.NY];
+          double t = 0.0;
+          for (std::int64_t j = 0; j < p.NY; ++j) t += a[j] * p.x[j];
+          p.tmp[i] = t;
+          for (std::int64_t j = 0; j < p.NY; ++j) yPriv[j] += a[j] * t;
+        }
+      });
+}
+
+// ========================= bicg ==========================================
+
+BicgProblem::BicgProblem(std::int64_t nx, std::int64_t ny)
+    : NX(nx), NY(ny),
+      A(static_cast<std::size_t>(nx * ny)),
+      s(static_cast<std::size_t>(ny)),
+      q(static_cast<std::size_t>(nx)),
+      pvec(static_cast<std::size_t>(ny)),
+      r(static_cast<std::size_t>(nx)) {
+  seed(A, "A");
+  seed(pvec, "p");
+  seed(r, "r");
+  reset();
+}
+void BicgProblem::reset() {
+  std::fill(s.begin(), s.end(), 0.0);
+  std::fill(q.begin(), q.end(), 0.0);
+}
+double BicgProblem::flops() const {
+  return 4.0 * static_cast<double>(NX) * static_cast<double>(NY);
+}
+double BicgProblem::check() const { return checksum(s) + checksum(q); }
+
+void bicgOrig(BicgProblem& p) {
+  for (std::int64_t i = 0; i < p.NX; ++i) {
+    double qq = 0.0;
+    for (std::int64_t j = 0; j < p.NY; ++j) {
+      p.s[j] += p.r[i] * p.A[i * p.NY + j];
+      qq += p.A[i * p.NY + j] * p.pvec[j];
+    }
+    p.q[i] = qq;
+  }
+}
+
+void bicgPocc(BicgProblem& p, ThreadPool& pool) {
+  // Doall-only: distribute, permute the s update to j-outer (column walk).
+  runtime::parallelFor(pool, 0, p.NY, [&](std::int64_t j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < p.NX; ++i)
+      acc += p.r[i] * p.A[i * p.NY + j];
+    p.s[j] += acc;
+  });
+  runtime::parallelFor(pool, 0, p.NX, [&](std::int64_t i) {
+    double qq = 0.0;
+    for (std::int64_t j = 0; j < p.NY; ++j)
+      qq += p.A[i * p.NY + j] * p.pvec[j];
+    p.q[i] = qq;
+  });
+}
+
+void bicgPolyast(BicgProblem& p, ThreadPool& pool) {
+  // Fused single pass over A; s accumulated as an array reduction.
+  runtime::parallelReduce(
+      pool, 0, p.NX, p.s.data(), static_cast<std::size_t>(p.NY),
+      [&](double* sPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict a = &p.A[i * p.NY];
+          double ri = p.r[i], qq = 0.0;
+          for (std::int64_t j = 0; j < p.NY; ++j) {
+            sPriv[j] += ri * a[j];
+            qq += a[j] * p.pvec[j];
+          }
+          p.q[i] = qq;
+        }
+      });
+}
+
+// ========================= mvt ===========================================
+
+MvtProblem::MvtProblem(std::int64_t n)
+    : N(n),
+      A(static_cast<std::size_t>(n * n)),
+      x1(static_cast<std::size_t>(n)),
+      x2(static_cast<std::size_t>(n)),
+      y1(static_cast<std::size_t>(n)),
+      y2(static_cast<std::size_t>(n)) {
+  seed(A, "A");
+  seed(y1, "y1");
+  seed(y2, "y2");
+  reset();
+}
+void MvtProblem::reset() {
+  seed(x1, "x1");
+  seed(x2, "x2");
+}
+double MvtProblem::flops() const {
+  double n = static_cast<double>(N);
+  return 4.0 * n * n;
+}
+double MvtProblem::check() const { return checksum(x1) + checksum(x2); }
+
+void mvtOrig(MvtProblem& p) {
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.N; ++j)
+      p.x1[i] += p.A[i * p.N + j] * p.y1[j];
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.N; ++j)
+      p.x2[i] += p.A[j * p.N + i] * p.y2[j];
+}
+
+void mvtPocc(MvtProblem& p, ThreadPool& pool) {
+  // Both nests are outer-doall as written; the second walks A columns.
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < p.N; ++j)
+      acc += p.A[i * p.N + j] * p.y1[j];
+    p.x1[i] += acc;
+  });
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < p.N; ++j)
+      acc += p.A[j * p.N + i] * p.y2[j];
+    p.x2[i] += acc;
+  });
+}
+
+void mvtPolyast(MvtProblem& p, ThreadPool& pool) {
+  // Fused single pass over A rows: x1 row product + x2 column product via
+  // array reduction (the DL permutation makes both accesses stride-1).
+  runtime::parallelReduce(
+      pool, 0, p.N, p.x2.data(), static_cast<std::size_t>(p.N),
+      [&](double* x2Priv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) {  // j indexes A rows here
+          const double* __restrict a = &p.A[j * p.N];
+          double y2j = p.y2[j], acc = 0.0;
+          for (std::int64_t i = 0; i < p.N; ++i) {
+            acc += a[i] * p.y1[i];
+            x2Priv[i] += a[i] * y2j;
+          }
+          p.x1[j] += acc;
+        }
+      });
+}
+
+// ========================= gemver ========================================
+
+GemverProblem::GemverProblem(std::int64_t n)
+    : N(n), A(static_cast<std::size_t>(n * n)) {
+  auto init = [&](std::vector<double>& v, const char* nm) {
+    v.resize(static_cast<std::size_t>(n));
+    seed(v, nm);
+  };
+  init(u1, "u1");
+  init(v1, "v1");
+  init(u2, "u2");
+  init(v2, "v2");
+  init(y, "y");
+  init(z, "z");
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  w.assign(static_cast<std::size_t>(n), 0.0);
+  reset();
+}
+void GemverProblem::reset() {
+  seed(A, "A");
+  std::fill(x.begin(), x.end(), 0.0);
+  std::fill(w.begin(), w.end(), 0.0);
+}
+double GemverProblem::flops() const {
+  double n = static_cast<double>(N);
+  return 10.0 * n * n;
+}
+double GemverProblem::check() const { return checksum(w); }
+
+void gemverOrig(GemverProblem& p) {
+  std::int64_t N = p.N;
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j < N; ++j)
+      p.A[i * N + j] += p.u1[i] * p.v1[j] + p.u2[i] * p.v2[j];
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j < N; ++j)
+      p.x[i] += p.beta * p.A[j * N + i] * p.y[j];
+  for (std::int64_t i = 0; i < N; ++i) p.x[i] += p.z[i];
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j < N; ++j)
+      p.w[i] += p.alpha * p.A[i * N + j] * p.x[j];
+}
+
+void gemverPocc(GemverProblem& p, ThreadPool& pool) {
+  std::int64_t N = p.N;
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) {
+    for (std::int64_t j = 0; j < N; ++j)
+      p.A[i * N + j] += p.u1[i] * p.v1[j] + p.u2[i] * p.v2[j];
+  });
+  // x update parallelized as i-outer doall: column walk over A.
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < N; ++j)
+      acc += p.beta * p.A[j * N + i] * p.y[j];
+    p.x[i] += acc + p.z[i];
+  });
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < N; ++j)
+      acc += p.alpha * p.A[i * N + j] * p.x[j];
+    p.w[i] += acc;
+  });
+}
+
+void gemverPolyast(GemverProblem& p, ThreadPool& pool) {
+  std::int64_t N = p.N;
+  // A update and the x^T A product fused row-wise; x via array reduction.
+  runtime::parallelReduce(
+      pool, 0, N, p.x.data(), static_cast<std::size_t>(N),
+      [&](double* xPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t j = lo; j < hi; ++j) {  // row j of A
+          double* __restrict a = &p.A[j * N];
+          double uj1 = p.u1[j], uj2 = p.u2[j], yj = p.beta * p.y[j];
+          for (std::int64_t i = 0; i < N; ++i) {
+            a[i] += uj1 * p.v1[i] + uj2 * p.v2[i];
+            xPriv[i] += yj * a[i];
+          }
+        }
+      });
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) { p.x[i] += p.z[i]; });
+  runtime::parallelFor(pool, 0, N, [&](std::int64_t i) {
+    const double* __restrict a = &p.A[i * N];
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < N; ++j) acc += p.alpha * a[j] * p.x[j];
+    p.w[i] += acc;
+  });
+}
+
+// ========================= symm ==========================================
+
+SymmProblem::SymmProblem(std::int64_t ni, std::int64_t nj)
+    : NI(ni), NJ(nj),
+      C(static_cast<std::size_t>(nj * nj)),
+      A(static_cast<std::size_t>(nj * ni)),
+      B(static_cast<std::size_t>(ni * nj)) {
+  seed(A, "A");
+  seed(B, "B");
+  reset();
+}
+void SymmProblem::reset() { seed(C, "C"); }
+double SymmProblem::flops() const {
+  return 2.0 * static_cast<double>(NI) * static_cast<double>(NJ) *
+         static_cast<double>(NJ);
+}
+double SymmProblem::check() const { return checksum(C); }
+
+void symmOrig(SymmProblem& p) {
+  for (std::int64_t i = 0; i < p.NI; ++i)
+    for (std::int64_t j = 0; j < p.NJ; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < j; ++k) {
+        p.C[k * p.NJ + j] += p.alpha * p.A[k * p.NI + i] * p.B[i * p.NJ + j];
+        acc += p.B[k * p.NJ + j] * p.A[k * p.NI + i];
+      }
+      p.C[i * p.NJ + j] =
+          p.beta * p.C[i * p.NJ + j] +
+          p.alpha * p.A[i * p.NI + i] * p.B[i * p.NJ + j] + p.alpha * acc;
+    }
+}
+
+void symmPocc(SymmProblem& p, ThreadPool& pool) {
+  // At fixed i the j iterations are independent (the C[k][j] scatter stays
+  // within column j): inner doall, original access order.
+  for (std::int64_t i = 0; i < p.NI; ++i) {
+    runtime::parallelFor(pool, 0, p.NJ, [&](std::int64_t j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < j; ++k) {
+        p.C[k * p.NJ + j] += p.alpha * p.A[k * p.NI + i] * p.B[i * p.NJ + j];
+        acc += p.B[k * p.NJ + j] * p.A[k * p.NI + i];
+      }
+      p.C[i * p.NJ + j] =
+          p.beta * p.C[i * p.NJ + j] +
+          p.alpha * p.A[i * p.NI + i] * p.B[i * p.NJ + j] + p.alpha * acc;
+    });
+  }
+}
+
+void symmPolyast(SymmProblem& p, ThreadPool& pool) {
+  // Same inner doall but blocked over j so each thread walks contiguous
+  // C/B columns, with the A column value hoisted.
+  for (std::int64_t i = 0; i < p.NI; ++i) {
+    const double* __restrict bi = &p.B[i * p.NJ];
+    double aii = p.A[i * p.NI + i];
+    runtime::parallelForBlocked(pool, 0, p.NJ, [&](std::int64_t lo,
+                                                   std::int64_t hi) {
+      for (std::int64_t j = lo; j < hi; ++j) {
+        double acc = 0.0;
+        double bij = bi[j];
+        for (std::int64_t k = 0; k < j; ++k) {
+          double aki = p.A[k * p.NI + i];
+          p.C[k * p.NJ + j] += p.alpha * aki * bij;
+          acc += p.B[k * p.NJ + j] * aki;
+        }
+        p.C[i * p.NJ + j] =
+            p.beta * p.C[i * p.NJ + j] + p.alpha * aii * bij + p.alpha * acc;
+      }
+    });
+  }
+}
+
+// ========================= trisolv =======================================
+
+TrisolvProblem::TrisolvProblem(std::int64_t n)
+    : N(n),
+      A(static_cast<std::size_t>(n * n)),
+      x(static_cast<std::size_t>(n)),
+      c(static_cast<std::size_t>(n)) {
+  seed(A, "A");
+  seed(c, "c");
+  // Dominant diagonal keeps the solve well conditioned.
+  for (std::int64_t i = 0; i < n; ++i)
+    A[static_cast<std::size_t>(i * n + i)] += static_cast<double>(n);
+  reset();
+}
+void TrisolvProblem::reset() { std::fill(x.begin(), x.end(), 0.0); }
+double TrisolvProblem::flops() const {
+  double n = static_cast<double>(N);
+  return n * n + 2.0 * n;
+}
+double TrisolvProblem::check() const { return checksum(x); }
+
+void trisolvOrig(TrisolvProblem& p) {
+  for (std::int64_t i = 0; i < p.N; ++i) {
+    double acc = p.c[i];
+    for (std::int64_t j = 0; j < i; ++j) acc -= p.A[i * p.N + j] * p.x[j];
+    p.x[i] = acc / p.A[i * p.N + i];
+  }
+}
+
+void trisolvPocc(TrisolvProblem& p, ThreadPool& pool) {
+  // Sequential dependence chain; the baseline keeps the original order.
+  (void)pool;
+  trisolvOrig(p);
+}
+
+void trisolvPolyast(TrisolvProblem& p, ThreadPool& pool) {
+  // Blocked forward substitution: diagonal blocks sequential, the update
+  // of the trailing rows after each block is doall.
+  std::int64_t B = kTile;
+  for (std::int64_t bi = 0; bi < p.N; bi += B) {
+    std::int64_t hi = std::min(p.N, bi + B);
+    for (std::int64_t i = bi; i < hi; ++i) {
+      double acc = p.c[i];
+      for (std::int64_t j = bi; j < i; ++j)
+        acc -= p.A[i * p.N + j] * p.x[j];
+      p.x[i] = (acc - 0.0) / p.A[i * p.N + i];
+    }
+    // Push the block's contribution into the remaining right-hand sides.
+    runtime::parallelFor(pool, hi, p.N, [&](std::int64_t i) {
+      double acc = 0.0;
+      const double* __restrict a = &p.A[i * p.N];
+      for (std::int64_t j = bi; j < hi; ++j) acc += a[j] * p.x[j];
+      p.c[i] -= acc;
+    });
+  }
+}
+
+// ========================= cholesky ======================================
+
+CholeskyProblem::CholeskyProblem(std::int64_t n)
+    : N(n),
+      A(static_cast<std::size_t>(n * n)),
+      pdiag(static_cast<std::size_t>(n)),
+      base(static_cast<std::size_t>(n * n)) {
+  seed(base, "A");
+  // Symmetric positive definite base matrix.
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double v = 0.1 * (base[static_cast<std::size_t>(i * n + j)] +
+                        base[static_cast<std::size_t>(j * n + i)]);
+      if (i == j) v += 2.0 * static_cast<double>(n);
+      A[static_cast<std::size_t>(i * n + j)] = v;
+    }
+  base = A;
+  reset();
+}
+void CholeskyProblem::reset() {
+  A = base;
+  std::fill(pdiag.begin(), pdiag.end(), 0.0);
+}
+double CholeskyProblem::flops() const {
+  double n = static_cast<double>(N);
+  return n * n * n / 3.0;
+}
+double CholeskyProblem::check() const {
+  // Only the lower triangle plus p carries the result.
+  double s = 0.0;
+  for (std::int64_t i = 0; i < N; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      s += A[static_cast<std::size_t>(i * N + j)] * (j == i ? 0.0 : 1.0);
+  return s + checksum(pdiag);
+}
+
+void choleskyOrig(CholeskyProblem& p) {
+  for (std::int64_t i = 0; i < p.N; ++i) {
+    double x = p.A[i * p.N + i];
+    for (std::int64_t j = 0; j < i; ++j) {
+      double a = p.A[i * p.N + j];
+      x -= a * a;
+    }
+    p.pdiag[i] = 1.0 / std::sqrt(x);
+    for (std::int64_t j = i + 1; j < p.N; ++j) {
+      double acc = p.A[i * p.N + j];
+      for (std::int64_t k = 0; k < i; ++k)
+        acc -= p.A[j * p.N + k] * p.A[i * p.N + k];
+      p.A[j * p.N + i] = acc * p.pdiag[i];
+    }
+  }
+}
+
+void choleskyPocc(CholeskyProblem& p, ThreadPool& pool) {
+  // The column factorization's j loop is doall at each i.
+  for (std::int64_t i = 0; i < p.N; ++i) {
+    double x = p.A[i * p.N + i];
+    for (std::int64_t j = 0; j < i; ++j) {
+      double a = p.A[i * p.N + j];
+      x -= a * a;
+    }
+    p.pdiag[i] = 1.0 / std::sqrt(x);
+    runtime::parallelFor(pool, i + 1, p.N, [&](std::int64_t j) {
+      double acc = p.A[i * p.N + j];
+      for (std::int64_t k = 0; k < i; ++k)
+        acc -= p.A[j * p.N + k] * p.A[i * p.N + k];
+      p.A[j * p.N + i] = acc * p.pdiag[i];
+    });
+  }
+}
+
+void choleskyPolyast(CholeskyProblem& p, ThreadPool& pool) {
+  // Same parallel structure plus blocked, stride-1 inner dot products.
+  for (std::int64_t i = 0; i < p.N; ++i) {
+    const double* __restrict ai = &p.A[i * p.N];
+    double x = ai[i];
+    for (std::int64_t j = 0; j < i; ++j) x -= ai[j] * ai[j];
+    p.pdiag[i] = 1.0 / std::sqrt(x);
+    runtime::parallelForBlocked(pool, i + 1, p.N, [&](std::int64_t lo,
+                                                      std::int64_t hi) {
+      for (std::int64_t j = lo; j < hi; ++j) {
+        const double* __restrict aj = &p.A[j * p.N];
+        double acc = ai[j];
+        for (std::int64_t k = 0; k < i; ++k) acc -= aj[k] * ai[k];
+        p.A[j * p.N + i] = acc * p.pdiag[i];
+      }
+    });
+  }
+}
+
+// ========================= correlation ===================================
+
+CorrelationProblem::CorrelationProblem(std::int64_t n, std::int64_t m)
+    : N(n), M(m),
+      data(static_cast<std::size_t>(n * m)),
+      dataOrig(static_cast<std::size_t>(n * m)),
+      mean(static_cast<std::size_t>(m)),
+      stddev(static_cast<std::size_t>(m)),
+      symmat(static_cast<std::size_t>(m * m)) {
+  seed(dataOrig, "data");
+  reset();
+}
+void CorrelationProblem::reset() {
+  data = dataOrig;
+  std::fill(mean.begin(), mean.end(), 0.0);
+  std::fill(stddev.begin(), stddev.end(), 0.0);
+  std::fill(symmat.begin(), symmat.end(), 0.0);
+}
+double CorrelationProblem::flops() const {
+  double n = static_cast<double>(N), m = static_cast<double>(M);
+  return m * m * n + 5.0 * m * n;
+}
+double CorrelationProblem::check() const { return checksum(symmat); }
+
+
+void correlationOrig(CorrelationProblem& p) {
+  const double eps = 0.1;
+  double fn = static_cast<double>(p.N);
+  for (std::int64_t j = 0; j < p.M; ++j) {
+    double m = 0.0;
+    for (std::int64_t i = 0; i < p.N; ++i) m += p.data[i * p.M + j];
+    p.mean[j] = m / fn;
+  }
+  for (std::int64_t j = 0; j < p.M; ++j) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < p.N; ++i) {
+      double d = p.data[i * p.M + j] - p.mean[j];
+      s += d * d;
+    }
+    s = std::sqrt(s / fn);
+    p.stddev[j] = s <= eps ? 1.0 : s;
+  }
+  double sq = std::sqrt(fn);
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.M; ++j)
+      p.data[i * p.M + j] =
+          (p.data[i * p.M + j] - p.mean[j]) / (sq * p.stddev[j]);
+  for (std::int64_t j1 = 0; j1 < p.M - 1; ++j1) {
+    p.symmat[j1 * p.M + j1] = 1.0;
+    for (std::int64_t j2 = j1 + 1; j2 < p.M; ++j2) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < p.N; ++i)
+        acc += p.data[i * p.M + j1] * p.data[i * p.M + j2];
+      p.symmat[j1 * p.M + j2] = acc;
+      p.symmat[j2 * p.M + j1] = acc;
+    }
+  }
+  p.symmat[(p.M - 1) * p.M + (p.M - 1)] = 1.0;
+}
+
+void correlationPocc(CorrelationProblem& p, ThreadPool& pool) {
+  // Doall-only: mean/stddev parallel over columns (column-walks of data),
+  // symmat rows doall.
+  const double eps = 0.1;
+  double fn = static_cast<double>(p.N);
+  runtime::parallelFor(pool, 0, p.M, [&](std::int64_t j) {
+    double m = 0.0;
+    for (std::int64_t i = 0; i < p.N; ++i) m += p.data[i * p.M + j];
+    p.mean[j] = m / fn;
+    double s = 0.0;
+    for (std::int64_t i = 0; i < p.N; ++i) {
+      double d = p.data[i * p.M + j] - p.mean[j];
+      s += d * d;
+    }
+    s = std::sqrt(s / fn);
+    p.stddev[j] = s <= eps ? 1.0 : s;
+  });
+  double sq = std::sqrt(fn);
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    for (std::int64_t j = 0; j < p.M; ++j)
+      p.data[i * p.M + j] =
+          (p.data[i * p.M + j] - p.mean[j]) / (sq * p.stddev[j]);
+  });
+  runtime::parallelFor(pool, 0, p.M - 1, [&](std::int64_t j1) {
+    p.symmat[j1 * p.M + j1] = 1.0;
+    for (std::int64_t j2 = j1 + 1; j2 < p.M; ++j2) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < p.N; ++i)
+        acc += p.data[i * p.M + j1] * p.data[i * p.M + j2];
+      p.symmat[j1 * p.M + j2] = acc;
+      p.symmat[j2 * p.M + j1] = acc;
+    }
+  });
+  p.symmat[(p.M - 1) * p.M + (p.M - 1)] = 1.0;
+}
+
+void correlationPolyast(CorrelationProblem& p, ThreadPool& pool) {
+  // Row-wise passes over data (stride-1) with array reductions for the
+  // column statistics; the symmat product is tiled (i outer streams rows).
+  const double eps = 0.1;
+  double fn = static_cast<double>(p.N);
+  runtime::parallelReduce(
+      pool, 0, p.N, p.mean.data(), static_cast<std::size_t>(p.M),
+      [&](double* meanPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict d = &p.data[i * p.M];
+          for (std::int64_t j = 0; j < p.M; ++j) meanPriv[j] += d[j];
+        }
+      });
+  for (std::int64_t j = 0; j < p.M; ++j) p.mean[j] /= fn;
+  runtime::parallelReduce(
+      pool, 0, p.N, p.stddev.data(), static_cast<std::size_t>(p.M),
+      [&](double* sdPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict d = &p.data[i * p.M];
+          for (std::int64_t j = 0; j < p.M; ++j) {
+            double dd = d[j] - p.mean[j];
+            sdPriv[j] += dd * dd;
+          }
+        }
+      });
+  double sq = std::sqrt(fn);
+  for (std::int64_t j = 0; j < p.M; ++j) {
+    double s = std::sqrt(p.stddev[j] / fn);
+    p.stddev[j] = s <= eps ? 1.0 : s;
+  }
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double* __restrict d = &p.data[i * p.M];
+    for (std::int64_t j = 0; j < p.M; ++j)
+      d[j] = (d[j] - p.mean[j]) / (sq * p.stddev[j]);
+  });
+  // symmat = data^T data (upper triangle) via row-streaming reduction.
+  runtime::parallelReduce(
+      pool, 0, p.N, p.symmat.data(), p.symmat.size(),
+      [&](double* smPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict d = &p.data[i * p.M];
+          for (std::int64_t j1 = 0; j1 < p.M - 1; ++j1) {
+            double dj1 = d[j1];
+            for (std::int64_t j2 = j1 + 1; j2 < p.M; ++j2)
+              smPriv[j1 * p.M + j2] += dj1 * d[j2];
+          }
+        }
+      });
+  for (std::int64_t j1 = 0; j1 < p.M; ++j1) {
+    p.symmat[j1 * p.M + j1] = 1.0;
+    for (std::int64_t j2 = j1 + 1; j2 < p.M; ++j2)
+      p.symmat[j2 * p.M + j1] = p.symmat[j1 * p.M + j2];
+  }
+}
+
+// ========================= covariance ====================================
+
+CovarianceProblem::CovarianceProblem(std::int64_t n, std::int64_t m)
+    : N(n), M(m),
+      data(static_cast<std::size_t>(n * m)),
+      dataOrig(static_cast<std::size_t>(n * m)),
+      mean(static_cast<std::size_t>(m)),
+      symmat(static_cast<std::size_t>(m * m)) {
+  seed(dataOrig, "data");
+  reset();
+}
+void CovarianceProblem::reset() {
+  data = dataOrig;
+  std::fill(mean.begin(), mean.end(), 0.0);
+  std::fill(symmat.begin(), symmat.end(), 0.0);
+}
+double CovarianceProblem::flops() const {
+  double n = static_cast<double>(N), m = static_cast<double>(M);
+  return m * m * n + 3.0 * m * n;
+}
+double CovarianceProblem::check() const { return checksum(symmat); }
+
+void covarianceOrig(CovarianceProblem& p) {
+  double fn = static_cast<double>(p.N);
+  for (std::int64_t j = 0; j < p.M; ++j) {
+    double m = 0.0;
+    for (std::int64_t i = 0; i < p.N; ++i) m += p.data[i * p.M + j];
+    p.mean[j] = m / fn;
+  }
+  for (std::int64_t i = 0; i < p.N; ++i)
+    for (std::int64_t j = 0; j < p.M; ++j) p.data[i * p.M + j] -= p.mean[j];
+  for (std::int64_t j1 = 0; j1 < p.M; ++j1)
+    for (std::int64_t j2 = j1; j2 < p.M; ++j2) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < p.N; ++i)
+        acc += p.data[i * p.M + j1] * p.data[i * p.M + j2];
+      p.symmat[j1 * p.M + j2] = acc;
+      p.symmat[j2 * p.M + j1] = acc;
+    }
+}
+
+void covariancePocc(CovarianceProblem& p, ThreadPool& pool) {
+  double fn = static_cast<double>(p.N);
+  runtime::parallelFor(pool, 0, p.M, [&](std::int64_t j) {
+    double m = 0.0;
+    for (std::int64_t i = 0; i < p.N; ++i) m += p.data[i * p.M + j];
+    p.mean[j] = m / fn;
+  });
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    for (std::int64_t j = 0; j < p.M; ++j) p.data[i * p.M + j] -= p.mean[j];
+  });
+  runtime::parallelFor(pool, 0, p.M, [&](std::int64_t j1) {
+    for (std::int64_t j2 = j1; j2 < p.M; ++j2) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < p.N; ++i)
+        acc += p.data[i * p.M + j1] * p.data[i * p.M + j2];
+      p.symmat[j1 * p.M + j2] = acc;
+      p.symmat[j2 * p.M + j1] = acc;
+    }
+  });
+}
+
+void covariancePolyast(CovarianceProblem& p, ThreadPool& pool) {
+  double fn = static_cast<double>(p.N);
+  runtime::parallelReduce(
+      pool, 0, p.N, p.mean.data(), static_cast<std::size_t>(p.M),
+      [&](double* meanPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict d = &p.data[i * p.M];
+          for (std::int64_t j = 0; j < p.M; ++j) meanPriv[j] += d[j];
+        }
+      });
+  for (std::int64_t j = 0; j < p.M; ++j) p.mean[j] /= fn;
+  runtime::parallelFor(pool, 0, p.N, [&](std::int64_t i) {
+    double* __restrict d = &p.data[i * p.M];
+    for (std::int64_t j = 0; j < p.M; ++j) d[j] -= p.mean[j];
+  });
+  runtime::parallelReduce(
+      pool, 0, p.N, p.symmat.data(), p.symmat.size(),
+      [&](double* smPriv, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double* __restrict d = &p.data[i * p.M];
+          for (std::int64_t j1 = 0; j1 < p.M; ++j1) {
+            double dj1 = d[j1];
+            for (std::int64_t j2 = j1; j2 < p.M; ++j2)
+              smPriv[j1 * p.M + j2] += dj1 * d[j2];
+          }
+        }
+      });
+  for (std::int64_t j1 = 0; j1 < p.M; ++j1)
+    for (std::int64_t j2 = j1 + 1; j2 < p.M; ++j2)
+      p.symmat[j2 * p.M + j1] = p.symmat[j1 * p.M + j2];
+}
+
+}  // namespace polyast::bench

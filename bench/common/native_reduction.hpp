@@ -1,0 +1,138 @@
+// Native variants for the reduction-dominant kernels (Fig. 8 group).
+//
+// The contrast the paper draws (Fig. 5): the poly+AST flow keeps the
+// locality-best loop order and parallelizes the outer loop as a
+// *reduction* (privatized array accumulation), while the doall-only
+// baseline permutes the loops to expose an outer doall, sacrificing
+// per-thread locality and vectorization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+
+namespace polyast::bench {
+
+using runtime::ThreadPool;
+
+// ---- atax: y = A^T (A x) -------------------------------------------------
+struct AtaxProblem {
+  std::int64_t NX, NY;
+  std::vector<double> A, x, y, tmp;
+  AtaxProblem(std::int64_t nx, std::int64_t ny);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void ataxOrig(AtaxProblem& p);
+void ataxPocc(AtaxProblem& p, ThreadPool& pool);     // doall via permutation
+void ataxPolyast(AtaxProblem& p, ThreadPool& pool);  // outer reduction
+
+// ---- bicg ----------------------------------------------------------------
+struct BicgProblem {
+  std::int64_t NX, NY;
+  std::vector<double> A, s, q, pvec, r;
+  BicgProblem(std::int64_t nx, std::int64_t ny);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void bicgOrig(BicgProblem& p);
+void bicgPocc(BicgProblem& p, ThreadPool& pool);
+void bicgPolyast(BicgProblem& p, ThreadPool& pool);
+
+// ---- mvt -----------------------------------------------------------------
+struct MvtProblem {
+  std::int64_t N;
+  std::vector<double> A, x1, x2, y1, y2;
+  explicit MvtProblem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void mvtOrig(MvtProblem& p);
+void mvtPocc(MvtProblem& p, ThreadPool& pool);
+void mvtPolyast(MvtProblem& p, ThreadPool& pool);
+
+// ---- gemver ----------------------------------------------------------------
+struct GemverProblem {
+  std::int64_t N;
+  std::vector<double> A, u1, v1, u2, v2, x, y, z, w;
+  double alpha = 1.5, beta = 1.2;
+  explicit GemverProblem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void gemverOrig(GemverProblem& p);
+void gemverPocc(GemverProblem& p, ThreadPool& pool);
+void gemverPolyast(GemverProblem& p, ThreadPool& pool);
+
+// ---- symm ------------------------------------------------------------------
+struct SymmProblem {
+  std::int64_t NI, NJ;
+  std::vector<double> C, A, B;
+  double alpha = 1.5, beta = 1.2;
+  SymmProblem(std::int64_t ni, std::int64_t nj);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void symmOrig(SymmProblem& p);
+void symmPocc(SymmProblem& p, ThreadPool& pool);
+void symmPolyast(SymmProblem& p, ThreadPool& pool);
+
+// ---- trisolv ----------------------------------------------------------------
+struct TrisolvProblem {
+  std::int64_t N;
+  std::vector<double> A, x, c;
+  explicit TrisolvProblem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void trisolvOrig(TrisolvProblem& p);
+void trisolvPocc(TrisolvProblem& p, ThreadPool& pool);
+void trisolvPolyast(TrisolvProblem& p, ThreadPool& pool);
+
+// ---- cholesky ----------------------------------------------------------------
+struct CholeskyProblem {
+  std::int64_t N;
+  std::vector<double> A, pdiag, base;
+  explicit CholeskyProblem(std::int64_t n);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void choleskyOrig(CholeskyProblem& p);
+void choleskyPocc(CholeskyProblem& p, ThreadPool& pool);
+void choleskyPolyast(CholeskyProblem& p, ThreadPool& pool);
+
+// ---- correlation ----------------------------------------------------------------
+struct CorrelationProblem {
+  std::int64_t N, M;
+  std::vector<double> data, dataOrig, mean, stddev, symmat;
+  CorrelationProblem(std::int64_t n, std::int64_t m);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void correlationOrig(CorrelationProblem& p);
+void correlationPocc(CorrelationProblem& p, ThreadPool& pool);
+void correlationPolyast(CorrelationProblem& p, ThreadPool& pool);
+
+// ---- covariance ----------------------------------------------------------------
+struct CovarianceProblem {
+  std::int64_t N, M;
+  std::vector<double> data, dataOrig, mean, symmat;
+  CovarianceProblem(std::int64_t n, std::int64_t m);
+  void reset();
+  double flops() const;
+  double check() const;
+};
+void covarianceOrig(CovarianceProblem& p);
+void covariancePocc(CovarianceProblem& p, ThreadPool& pool);
+void covariancePolyast(CovarianceProblem& p, ThreadPool& pool);
+
+}  // namespace polyast::bench

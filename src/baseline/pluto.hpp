@@ -1,0 +1,55 @@
+// Pluto/PoCC-like integrated polyhedral optimizer — the comparator of
+// Sec. V (variants `pocc` and `pocc vect`).
+//
+// The baseline mirrors the paper's description of the PoCC configuration:
+//   * Pluto-style fusion: maxfuse or smartfuse, fusing whenever legal
+//     (maxfuse) or whenever the groups share an array (smartfuse), with
+//     reuse-distance-minimizing retiming — no DL profitability gate,
+//   * original loop order (reuse-distance minimization keeps the input
+//     order in our restricted schedule class),
+//   * skewing + rectangular tiling of every permutable band,
+//   * doall-only coarse-grain parallelization of the tile loops — loops
+//     with forward dependences become a *wavefront* doall (skewed tile
+//     schedule) instead of point-to-point pipelines, and reductions are
+//     treated as serializing dependences,
+//   * optionally (`vectorizeIntraTile`, the `pocc vect` variant) an
+//     additional intra-tile loop permutation placing the most contiguous
+//     iterator innermost.
+#pragma once
+
+#include "ir/ast.hpp"
+#include "transform/affine.hpp"
+#include "transform/ast_stage.hpp"
+
+namespace polyast::baseline {
+
+struct PlutoOptions {
+  enum class Fuse { Max, Smart, None };
+  Fuse fuse = Fuse::Smart;
+  transform::AstOptions ast;
+  /// pocc_vect: permute intra-tile point loops for SIMD contiguity.
+  bool vectorizeIntraTile = false;
+  bool registerTiling = true;
+};
+
+struct PlutoReport {
+  int wavefronts = 0;
+  int bandsTiled = 0;
+  int intraTilePermutations = 0;
+};
+
+/// Runs the baseline optimizer; output is annotated with Doall marks only
+/// (pipeline loops appear as wavefronted tile loops).
+ir::Program plutoOptimize(const ir::Program& program,
+                          const PlutoOptions& options = {},
+                          PlutoReport* report = nullptr);
+
+/// Converts a loop pair (outer sequential tile loop + chained inner tile
+/// loop with forward dependences) into a wavefront: a sequential wave loop
+/// scans diagonals and the original outer loop becomes doall, with the
+/// inner tile fixed as wave - outer (kept exact through per-statement
+/// guards). Returns true if applied. Exposed for tests and Fig. 6.
+bool wavefrontTiles(ir::Program& program, const std::shared_ptr<ir::Loop>& t1,
+                    const std::shared_ptr<ir::Loop>& t2);
+
+}  // namespace polyast::baseline

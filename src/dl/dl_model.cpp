@@ -1,0 +1,209 @@
+#include "dl/dl_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace polyast::dl {
+
+using ir::AffExpr;
+
+namespace {
+
+/// One deduplicated array reference.
+struct Ref {
+  std::string array;
+  std::vector<AffExpr> subs;
+};
+
+std::vector<Ref> collectRefs(const LoopNestModel& nest) {
+  std::vector<Ref> refs;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& array, const std::vector<AffExpr>& subs) {
+    std::ostringstream key;
+    key << array;
+    for (const auto& s : subs) key << "[" << s.str() << "]";
+    if (seen.insert(key.str()).second) refs.push_back({array, subs});
+  };
+  for (const auto& s : nest.stmts) {
+    add(s->lhsArray, s->lhsSubs);
+    std::vector<ir::ArrayUse> uses;
+    ir::collectArrayUses(s->rhs, uses);
+    for (const auto& u : uses) add(u.array, u.subs);
+  }
+  return refs;
+}
+
+/// Span of distinct values a subscript takes over the tile:
+/// 1 + sum_i |coeff_i| * (t_i - 1).
+double subscriptSpan(const AffExpr& sub,
+                     const std::map<std::string, std::int64_t>& tile) {
+  double span = 1.0;
+  for (const auto& [name, coeff] : sub.coeffs()) {
+    auto it = tile.find(name);
+    std::int64_t t = it == tile.end() ? 1 : it->second;
+    span += static_cast<double>(std::llabs(coeff)) *
+            static_cast<double>(t - 1);
+  }
+  return span;
+}
+
+/// Unit stride along the fastest-varying dimension: the last subscript has
+/// some iterator with |coeff| == 1.
+bool lastDimUnitStride(const Ref& ref) {
+  if (ref.subs.empty()) return false;
+  for (const auto& [name, coeff] : ref.subs.back().coeffs()) {
+    (void)name;
+    if (coeff == 1 || coeff == -1) return true;
+  }
+  return false;
+}
+
+double refDistinctLines(const Ref& ref,
+                        const std::map<std::string, std::int64_t>& tile,
+                        const CacheParams& cache) {
+  if (ref.subs.empty()) return 1.0;  // scalar: one line
+  double lines = 1.0;
+  for (std::size_t d = 0; d + 1 < ref.subs.size(); ++d)
+    lines *= subscriptSpan(ref.subs[d], tile);
+  double lastSpan = subscriptSpan(ref.subs.back(), tile);
+  if (lastDimUnitStride(ref))
+    lastSpan = std::max(1.0, lastSpan / static_cast<double>(cache.lineSize));
+  return lines * lastSpan;
+}
+
+}  // namespace
+
+namespace {
+
+/// Canonical per-dimension shape of a reference under the given tile sizes:
+/// per dim, the multiset of (|coeff|, tile size) pairs plus a flag for the
+/// constant. Two references to the same array with equal shapes are treated
+/// as one uniformly-generated group — they touch (nearly) the same lines
+/// when executed under a common tile (e.g. tmp[i][j] written and tmp[i][k]
+/// read inside one fused i-loop).
+std::string refShape(const Ref& ref,
+                     const std::map<std::string, std::int64_t>& tile) {
+  std::ostringstream os;
+  os << ref.array;
+  for (const auto& sub : ref.subs) {
+    os << "|";
+    std::vector<std::pair<std::int64_t, std::int64_t>> terms;
+    for (const auto& [name, coeff] : sub.coeffs()) {
+      auto it = tile.find(name);
+      terms.push_back({std::llabs(coeff),
+                       it == tile.end() ? 1 : it->second});
+    }
+    std::sort(terms.begin(), terms.end());
+    for (const auto& [c, t] : terms) os << c << "x" << t << ",";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+double distinctLines(const LoopNestModel& nest,
+                     const std::map<std::string, std::int64_t>& tile,
+                     const CacheParams& cache) {
+  double total = 0.0;
+  std::set<std::string> shapes;
+  for (const auto& ref : collectRefs(nest)) {
+    if (!shapes.insert(refShape(ref, tile)).second) continue;
+    total += refDistinctLines(ref, tile, cache);
+  }
+  return total;
+}
+
+double memCostPerIteration(const LoopNestModel& nest,
+                           const std::map<std::string, std::int64_t>& tile,
+                           const CacheParams& cache) {
+  double iters = 1.0;
+  for (const auto& it : nest.iters) {
+    auto t = tile.find(it);
+    iters *= t == tile.end() ? 1.0 : static_cast<double>(t->second);
+  }
+  POLYAST_CHECK(iters > 0.0, "empty tile in memCostPerIteration");
+  return cache.costPerLine * distinctLines(nest, tile, cache) / iters;
+}
+
+int contiguityCount(const LoopNestModel& nest, const std::string& iter) {
+  int count = 0;
+  for (const auto& ref : collectRefs(nest)) {
+    if (ref.subs.empty()) continue;
+    std::int64_t c = ref.subs.back().coeff(iter);
+    if (c == 1 || c == -1) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> bestPermutationOrder(const LoopNestModel& nest,
+                                              const CacheParams& cache) {
+  const std::int64_t nominal = 32;
+  std::map<std::string, std::int64_t> tile;
+  for (const auto& it : nest.iters) tile[it] = nominal;
+  double base = memCostPerIteration(nest, tile, cache);
+
+  struct Entry {
+    std::string iter;
+    double derivative;
+    int contiguity;
+    std::size_t depth;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t d = 0; d < nest.iters.size(); ++d) {
+    const std::string& it = nest.iters[d];
+    std::map<std::string, std::int64_t> bumped = tile;
+    bumped[it] = nominal + 1;
+    double dcost = memCostPerIteration(nest, bumped, cache) - base;
+    entries.push_back({it, dcost, contiguityCount(nest, it), d});
+  }
+  // Innermost = most negative derivative; ties: higher contiguity, then
+  // deeper original position. We sort for the *outer-to-inner* output, so
+  // reverse all comparisons.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     const double eps = 1e-12;
+                     if (std::fabs(a.derivative - b.derivative) > eps)
+                       return a.derivative > b.derivative;  // flattest outer
+                     if (a.contiguity != b.contiguity)
+                       return a.contiguity < b.contiguity;
+                     return a.depth < b.depth;  // preserve original nesting
+                   });
+  std::vector<std::string> order;
+  order.reserve(entries.size());
+  for (const auto& e : entries) order.push_back(e.iter);
+  return order;
+}
+
+double minMemCost(const LoopNestModel& nest, const CacheParams& cache) {
+  double best = -1.0;
+  for (std::int64_t t : {4, 8, 16, 32, 64, 128, 256}) {
+    std::map<std::string, std::int64_t> tile;
+    for (const auto& it : nest.iters) tile[it] = t;
+    if (distinctLines(nest, tile, cache) >
+        static_cast<double>(cache.capacityLines))
+      continue;
+    double cost = memCostPerIteration(nest, tile, cache);
+    if (best < 0.0 || cost < best) best = cost;
+  }
+  if (best < 0.0) {
+    // Even the smallest tile exceeds capacity: use it anyway (the model
+    // degrades gracefully; tiling still bounds the working set).
+    std::map<std::string, std::int64_t> tile;
+    for (const auto& it : nest.iters) tile[it] = 4;
+    best = memCostPerIteration(nest, tile, cache);
+  }
+  return best;
+}
+
+bool fusionProfitable(const LoopNestModel& a, const LoopNestModel& b,
+                      const LoopNestModel& fused, const CacheParams& cache) {
+  // Per-iteration costs are comparable because the nests share the fused
+  // iteration space: running them separately pays both costs.
+  return minMemCost(fused, cache) < minMemCost(a, cache) + minMemCost(b, cache);
+}
+
+}  // namespace polyast::dl

@@ -1,0 +1,74 @@
+// The DL (Distinct Lines) memory cost model (Sec. III-B of the paper,
+// following Ferrante/Sarkar/Thrash and Sarkar's locality analysis).
+//
+// DL estimates the number of distinct cache lines (or TLB entries) touched
+// by one tile of a loop nest, as a function of the tile sizes. From it we
+// derive:
+//   * mem_cost(t) = Cost_line * DL(t) / prod(t)   — per-iteration memory
+//     cost (Sec. III-B),
+//   * the best permutation order: ascending order of d(mem_cost)/d(t_i),
+//     most negative innermost (Sec. III-B1), with ties broken by a
+//     vectorization-friendliness count (stride-1 contiguity) — this is the
+//     paper's "maximize the number of clean inner loops" objective,
+//   * loop fusion profitability: fusion is profitable when the minimum
+//     mem_cost over capacity-feasible tile sizes decreases (Sec. III-B2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+
+namespace polyast::dl {
+
+/// Target cache/TLB level parameters (element-granularity line size).
+struct CacheParams {
+  std::int64_t lineSize = 8;        ///< elements per line (64B / double)
+  std::int64_t capacityLines = 4096;  ///< lines in the modeled cache (256KB)
+  double costPerLine = 1.0;         ///< miss penalty weight
+};
+
+/// A loop nest to model: the ordered iterators and the statements inside.
+struct LoopNestModel {
+  std::vector<std::string> iters;  ///< outermost first
+  std::vector<std::shared_ptr<const ir::Stmt>> stmts;
+};
+
+/// Number of distinct lines accessed by one tile, with tile size
+/// `tile[it]` per iterator (iterators absent from the map contribute a
+/// span of 1). Duplicate references (same array, same subscripts) are
+/// counted once — they hit the same lines (group reuse).
+double distinctLines(const LoopNestModel& nest,
+                     const std::map<std::string, std::int64_t>& tile,
+                     const CacheParams& cache);
+
+/// Per-iteration memory cost: costPerLine * DL(tile) / prod(tile).
+double memCostPerIteration(const LoopNestModel& nest,
+                           const std::map<std::string, std::int64_t>& tile,
+                           const CacheParams& cache);
+
+/// Number of references in the nest for which `iter` is the fastest-varying
+/// subscript dimension with unit stride (candidate for contiguous SIMD
+/// access when placed innermost).
+int contiguityCount(const LoopNestModel& nest, const std::string& iter);
+
+/// The most profitable loop order, outermost first. Sorting key: DL cost
+/// derivative (most negative innermost), ties broken by contiguityCount
+/// (higher innermost), then by original depth (deeper stays inner).
+std::vector<std::string> bestPermutationOrder(const LoopNestModel& nest,
+                                              const CacheParams& cache);
+
+/// Minimum per-iteration memory cost over capacity-feasible uniform tile
+/// sizes (power-of-two grid); the tile size must keep DL within capacity.
+double minMemCost(const LoopNestModel& nest, const CacheParams& cache);
+
+/// Fusion profitability (Sec. III-B2): true when fusing `a` and `b` (which
+/// share the iteration space of `fused`) reduces the minimum achievable
+/// per-iteration memory cost.
+bool fusionProfitable(const LoopNestModel& a, const LoopNestModel& b,
+                      const LoopNestModel& fused, const CacheParams& cache);
+
+}  // namespace polyast::dl

@@ -1,0 +1,270 @@
+#include "ir/ast.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace polyast::ir {
+
+std::string parallelKindName(ParallelKind k) {
+  switch (k) {
+    case ParallelKind::None: return "seq";
+    case ParallelKind::Doall: return "doall";
+    case ParallelKind::Reduction: return "reduction";
+    case ParallelKind::Pipeline: return "pipeline";
+    case ParallelKind::ReductionPipeline: return "reduction+pipeline";
+  }
+  return "?";
+}
+
+NodePtr Block::clone() const {
+  auto b = std::make_shared<Block>();
+  b->children.reserve(children.size());
+  for (const auto& c : children) b->children.push_back(c->clone());
+  return b;
+}
+
+const AffExpr& Bound::single() const {
+  POLYAST_CHECK(parts.size() == 1, "bound is not a single affine part");
+  return parts.front();
+}
+
+void Bound::substitute(const std::string& name, const AffExpr& repl) {
+  for (auto& p : parts) p = p.substituted(name, repl);
+}
+
+std::string Bound::str(bool isLower) const {
+  POLYAST_CHECK(!parts.empty(), "empty bound");
+  if (parts.size() == 1) return parts.front().str();
+  std::ostringstream os;
+  os << (isLower ? "max(" : "min(");
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) os << ", ";
+    os << parts[i].str();
+  }
+  os << ")";
+  return os.str();
+}
+
+NodePtr Loop::clone() const {
+  auto l = std::make_shared<Loop>();
+  l->iter = iter;
+  l->lower = lower;
+  l->upper = upper;
+  l->step = step;
+  l->body = std::static_pointer_cast<Block>(body->clone());
+  l->parallel = parallel;
+  l->isTileLoop = isTileLoop;
+  l->isPointLoop = isPointLoop;
+  l->unroll = unroll;
+  return l;
+}
+
+NodePtr Stmt::clone() const {
+  auto s = std::make_shared<Stmt>();
+  s->id = id;
+  s->label = label;
+  s->op = op;
+  s->lhsArray = lhsArray;
+  s->lhsSubs = lhsSubs;
+  s->rhs = rhs;  // Expr trees are immutable and safely shared.
+  s->isReductionUpdate = isReductionUpdate;
+  s->guards = guards;
+  return s;
+}
+
+std::string Stmt::str() const {
+  std::ostringstream os;
+  os << lhsArray;
+  for (const auto& s : lhsSubs) os << "[" << s.str() << "]";
+  switch (op) {
+    case AssignOp::Set: os << " = "; break;
+    case AssignOp::AddAssign: os << " += "; break;
+    case AssignOp::SubAssign: os << " -= "; break;
+    case AssignOp::MulAssign: os << " *= "; break;
+    case AssignOp::DivAssign: os << " /= "; break;
+  }
+  os << rhs->str() << ";";
+  return os.str();
+}
+
+Program Program::deepCopy() const {
+  Program p;
+  p.name = name;
+  p.params = params;
+  p.paramDefaults = paramDefaults;
+  p.arrays = arrays;
+  p.root = std::static_pointer_cast<Block>(root->clone());
+  return p;
+}
+
+const ArrayDecl& Program::array(const std::string& arrayName) const {
+  for (const auto& a : arrays)
+    if (a.name == arrayName) return a;
+  POLYAST_CHECK(false, "unknown array: " + arrayName);
+}
+
+bool Program::isParam(const std::string& n) const {
+  return std::find(params.begin(), params.end(), n) != params.end();
+}
+
+void Program::forEachStmt(
+    const std::function<void(const std::shared_ptr<Stmt>&,
+                             const std::vector<std::shared_ptr<Loop>>&)>& fn)
+    const {
+  std::vector<std::shared_ptr<Loop>> loops;
+  std::function<void(const NodePtr&)> walk = [&](const NodePtr& n) {
+    switch (n->kind) {
+      case Node::Kind::Block:
+        for (const auto& c : std::static_pointer_cast<Block>(n)->children)
+          walk(c);
+        break;
+      case Node::Kind::Loop: {
+        auto l = std::static_pointer_cast<Loop>(n);
+        loops.push_back(l);
+        walk(l->body);
+        loops.pop_back();
+        break;
+      }
+      case Node::Kind::Stmt:
+        fn(std::static_pointer_cast<Stmt>(n), loops);
+        break;
+    }
+  };
+  walk(root);
+}
+
+std::vector<std::shared_ptr<Stmt>> Program::statements() const {
+  std::vector<std::shared_ptr<Stmt>> out;
+  forEachStmt([&](const std::shared_ptr<Stmt>& s,
+                  const std::vector<std::shared_ptr<Loop>>&) {
+    out.push_back(s);
+  });
+  return out;
+}
+
+std::map<int, std::vector<std::shared_ptr<Loop>>> Program::enclosingLoops()
+    const {
+  std::map<int, std::vector<std::shared_ptr<Loop>>> out;
+  forEachStmt([&](const std::shared_ptr<Stmt>& s,
+                  const std::vector<std::shared_ptr<Loop>>& loops) {
+    out[s->id] = loops;
+  });
+  return out;
+}
+
+void substituteIterInTree(const NodePtr& node, const std::string& name,
+                          const AffExpr& repl) {
+  switch (node->kind) {
+    case Node::Kind::Block:
+      for (const auto& c : std::static_pointer_cast<Block>(node)->children)
+        substituteIterInTree(c, name, repl);
+      break;
+    case Node::Kind::Loop: {
+      auto l = std::static_pointer_cast<Loop>(node);
+      POLYAST_CHECK(l->iter != name,
+                    "substituting an iterator shadowed by an inner loop");
+      l->lower.substitute(name, repl);
+      l->upper.substitute(name, repl);
+      substituteIterInTree(l->body, name, repl);
+      break;
+    }
+    case Node::Kind::Stmt: {
+      auto s = std::static_pointer_cast<Stmt>(node);
+      for (auto& sub : s->lhsSubs) sub = sub.substituted(name, repl);
+      for (auto& g : s->guards) g = g.substituted(name, repl);
+      s->rhs = substituteIter(s->rhs, name, repl);
+      break;
+    }
+  }
+}
+
+void renameIterInTree(const NodePtr& node, const std::string& from,
+                      const std::string& to) {
+  switch (node->kind) {
+    case Node::Kind::Block:
+      for (const auto& c : std::static_pointer_cast<Block>(node)->children)
+        renameIterInTree(c, from, to);
+      break;
+    case Node::Kind::Loop: {
+      auto l = std::static_pointer_cast<Loop>(node);
+      if (l->iter == from) l->iter = to;
+      l->lower.substitute(from, AffExpr::term(to));
+      l->upper.substitute(from, AffExpr::term(to));
+      renameIterInTree(l->body, from, to);
+      break;
+    }
+    case Node::Kind::Stmt: {
+      auto s = std::static_pointer_cast<Stmt>(node);
+      AffExpr repl = AffExpr::term(to);
+      for (auto& sub : s->lhsSubs) sub = sub.substituted(from, repl);
+      for (auto& g : s->guards) g = g.substituted(from, repl);
+      s->rhs = substituteIter(s->rhs, from, repl);
+      break;
+    }
+  }
+}
+
+namespace {
+void printRec(const NodePtr& node, int indent, std::ostringstream& os) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (node->kind) {
+    case Node::Kind::Block:
+      for (const auto& c : std::static_pointer_cast<Block>(node)->children)
+        printRec(c, indent, os);
+      break;
+    case Node::Kind::Loop: {
+      auto l = std::static_pointer_cast<Loop>(node);
+      if (l->parallel != ParallelKind::None)
+        os << pad << "#pragma polyast " << parallelKindName(l->parallel)
+           << "\n";
+      os << pad << "for (" << l->iter << " = " << l->lower.str(true) << "; "
+         << l->iter << " < " << l->upper.str(false) << "; " << l->iter;
+      if (l->step == 1) os << "++";
+      else os << " += " << l->step;
+      os << ") {";
+      if (l->isTileLoop) os << "  // tile";
+      os << "\n";
+      printRec(l->body, indent + 1, os);
+      os << pad << "}\n";
+      break;
+    }
+    case Node::Kind::Stmt: {
+      auto s = std::static_pointer_cast<Stmt>(node);
+      os << pad;
+      if (!s->guards.empty()) {
+        os << "if (";
+        for (std::size_t i = 0; i < s->guards.size(); ++i) {
+          if (i) os << " && ";
+          os << s->guards[i].str() << " >= 0";
+        }
+        os << ") ";
+      }
+      if (!s->label.empty()) os << s->label << ": ";
+      os << s->str() << "\n";
+      break;
+    }
+  }
+}
+}  // namespace
+
+std::string printNode(const NodePtr& node, int indent) {
+  std::ostringstream os;
+  printRec(node, indent, os);
+  return os.str();
+}
+
+std::string printProgram(const Program& p) {
+  std::ostringstream os;
+  os << "// " << p.name << "(";
+  for (std::size_t i = 0; i < p.params.size(); ++i) {
+    if (i) os << ", ";
+    os << p.params[i];
+  }
+  os << ")\n";
+  os << printNode(p.root);
+  return os.str();
+}
+
+}  // namespace polyast::ir

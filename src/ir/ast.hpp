@@ -1,0 +1,151 @@
+// Loop AST nodes and the Program container.
+//
+// A Program is a tree of Block / Loop / Stmt nodes. Statements are the
+// polyhedral statements of the paper: single (compound-)assignments whose
+// subscripts are affine. Loops carry affine bounds (max-of lower parts,
+// min-of upper parts, exclusive upper bound as in C) and the parallelism
+// annotations produced by the AST-based stage (Sec. IV-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace polyast::ir {
+
+/// Parallelism kinds detected by the AST stage (Sec. IV-A of the paper).
+enum class ParallelKind {
+  None,
+  Doall,
+  Reduction,
+  Pipeline,
+  ReductionPipeline,
+};
+
+std::string parallelKindName(ParallelKind k);
+
+/// Compound-assignment operators appearing in statement bodies.
+enum class AssignOp { Set, AddAssign, SubAssign, MulAssign, DivAssign };
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+struct Node {
+  enum class Kind { Block, Loop, Stmt };
+  explicit Node(Kind k) : kind(k) {}
+  virtual ~Node() = default;
+  virtual NodePtr clone() const = 0;
+
+  const Kind kind;
+};
+
+struct Block final : Node {
+  Block() : Node(Kind::Block) {}
+  NodePtr clone() const override;
+
+  std::vector<NodePtr> children;
+};
+
+/// A loop bound: the max (for lower) or min (for upper) of affine parts.
+struct Bound {
+  std::vector<AffExpr> parts;
+
+  Bound() = default;
+  Bound(AffExpr e) : parts{std::move(e)} {}  // NOLINT
+  Bound(std::int64_t c) : parts{AffExpr(c)} {}  // NOLINT
+
+  bool isSingle() const { return parts.size() == 1; }
+  const AffExpr& single() const;
+  void substitute(const std::string& name, const AffExpr& repl);
+  std::string str(bool isLower) const;
+};
+
+struct Loop final : Node {
+  Loop() : Node(Kind::Loop) {}
+  NodePtr clone() const override;
+
+  std::string iter;
+  Bound lower;       ///< inclusive: iter >= max(lower.parts)
+  Bound upper;       ///< exclusive: iter <  min(upper.parts)
+  std::int64_t step = 1;
+  std::shared_ptr<Block> body = std::make_shared<Block>();
+
+  ParallelKind parallel = ParallelKind::None;
+  bool isTileLoop = false;   ///< inter-tile loop created by tiling
+  bool isPointLoop = false;  ///< intra-tile loop of a tiled (permutable) band
+  std::int64_t unroll = 1;   ///< register-tiling unroll factor applied
+};
+
+struct Stmt final : Node {
+  Stmt() : Node(Kind::Stmt) {}
+  NodePtr clone() const override;
+
+  int id = -1;          ///< stable identity across transformations
+  std::string label;    ///< e.g. "S"
+  AssignOp op = AssignOp::Set;
+  std::string lhsArray;
+  std::vector<AffExpr> lhsSubs;
+  ExprPtr rhs;
+  /// Reduction-recognition flag: `op` is += / -= and the lhs does not
+  /// otherwise appear on the rhs — set during IR construction and used by
+  /// the parallelism detector (Sec. IV-A).
+  bool isReductionUpdate = false;
+  /// Execution guards: the statement runs only when every expression is
+  /// >= 0. Produced by code generation when statements with different
+  /// domains are fused into one loop.
+  std::vector<AffExpr> guards;
+
+  std::string str() const;
+};
+
+/// Array declaration; dimension sizes are affine in the program parameters.
+struct ArrayDecl {
+  std::string name;
+  std::vector<AffExpr> dims;
+};
+
+class Program {
+ public:
+  std::string name;
+  std::vector<std::string> params;
+  std::map<std::string, std::int64_t> paramDefaults;
+  std::vector<ArrayDecl> arrays;
+  std::shared_ptr<Block> root = std::make_shared<Block>();
+
+  Program deepCopy() const;
+
+  const ArrayDecl& array(const std::string& arrayName) const;
+  bool isParam(const std::string& n) const;
+
+  /// All statements in execution (textual) order.
+  std::vector<std::shared_ptr<Stmt>> statements() const;
+  /// Loops enclosing each statement, outermost first (keyed by Stmt::id).
+  std::map<int, std::vector<std::shared_ptr<Loop>>> enclosingLoops() const;
+
+  /// Visits every (stmt, enclosing loops) pair in textual order.
+  void forEachStmt(const std::function<void(
+      const std::shared_ptr<Stmt>&,
+      const std::vector<std::shared_ptr<Loop>>&)>& fn) const;
+};
+
+/// Substitutes an iterator by an affine expression everywhere below `node`
+/// (bounds, subscripts, value expressions). Used by skewing and shifting.
+/// Refuses to cross a loop that (re)defines `name`.
+void substituteIterInTree(const NodePtr& node, const std::string& name,
+                          const AffExpr& repl);
+
+/// Renames an iterator, including the defining loop header(s), everywhere
+/// below `node`. Used by strip-mining and unrolling.
+void renameIterInTree(const NodePtr& node, const std::string& from,
+                      const std::string& to);
+
+/// Renders the subtree as C-like source (used by tests, examples, docs).
+std::string printNode(const NodePtr& node, int indent = 0);
+std::string printProgram(const Program& p);
+
+}  // namespace polyast::ir

@@ -1,0 +1,99 @@
+// Fluent builder for constructing Programs (the public kernel-definition
+// API used by src/kernels, the examples, and the tests).
+//
+//   ProgramBuilder b("gemm");
+//   b.param("NI", 512).param("NJ", 512).param("NK", 512);
+//   b.array("C", {b.p("NI"), b.p("NJ")});
+//   b.beginLoop("i", 0, b.p("NI"));
+//   ...
+//   Program prog = b.build();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "support/error.hpp"
+
+namespace polyast::ir {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) {
+    prog_.name = std::move(name);
+    open_.push_back(prog_.root);
+  }
+
+  ProgramBuilder& param(const std::string& name, std::int64_t defaultValue) {
+    prog_.params.push_back(name);
+    prog_.paramDefaults[name] = defaultValue;
+    return *this;
+  }
+
+  ProgramBuilder& array(const std::string& name, std::vector<AffExpr> dims) {
+    prog_.arrays.push_back({name, std::move(dims)});
+    return *this;
+  }
+
+  /// Affine term for a parameter or iterator name.
+  AffExpr p(const std::string& name) const { return AffExpr::term(name); }
+
+  /// Opens `for (iter = lower; iter < upper; iter++)`.
+  ProgramBuilder& beginLoop(const std::string& iter, Bound lower,
+                            Bound upper) {
+    auto l = std::make_shared<Loop>();
+    l->iter = iter;
+    l->lower = std::move(lower);
+    l->upper = std::move(upper);
+    open_.back()->children.push_back(l);
+    open_.push_back(l->body);
+    return *this;
+  }
+
+  ProgramBuilder& endLoop() {
+    POLYAST_CHECK(open_.size() > 1, "endLoop without matching beginLoop");
+    open_.pop_back();
+    return *this;
+  }
+
+  /// Adds a statement `lhs[subs] op rhs;`. Statement ids are assigned in
+  /// textual order.
+  ProgramBuilder& stmt(const std::string& label, const std::string& lhsArray,
+                       std::vector<AffExpr> lhsSubs, AssignOp op,
+                       ExprPtr rhs) {
+    auto s = std::make_shared<Stmt>();
+    s->id = nextId_++;
+    s->label = label;
+    s->lhsArray = lhsArray;
+    s->lhsSubs = std::move(lhsSubs);
+    s->op = op;
+    s->rhs = std::move(rhs);
+    s->isReductionUpdate = detectReduction(*s);
+    open_.back()->children.push_back(s);
+    return *this;
+  }
+
+  Program build() {
+    POLYAST_CHECK(open_.size() == 1, "build with unclosed loops");
+    return std::move(prog_);
+  }
+
+ private:
+  /// A += / -= whose rhs never re-reads the lhs cell is a candidate
+  /// reduction update (commutative & associative accumulation).
+  static bool detectReduction(const Stmt& s) {
+    if (s.op != AssignOp::AddAssign && s.op != AssignOp::SubAssign)
+      return false;
+    std::vector<ArrayUse> uses;
+    collectArrayUses(s.rhs, uses);
+    for (const auto& u : uses)
+      if (u.array == s.lhsArray) return false;
+    return true;
+  }
+
+  Program prog_;
+  std::vector<std::shared_ptr<Block>> open_;
+  int nextId_ = 0;
+};
+
+}  // namespace polyast::ir

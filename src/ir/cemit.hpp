@@ -1,0 +1,34 @@
+// C source emission: turns a Program (original or transformed) into a
+// complete, self-contained C translation unit — the source-to-source
+// output of the compiler, suitable for compilation by any native C
+// compiler (the paper's methodology: the polyhedral/AST flow emits C,
+// ICC/XLC does the backend work).
+//
+// The generated file contains:
+//   * POLYAST_MAX/MIN helpers for multi-part loop bounds,
+//   * parameter macros (overridable with -DNAME=value),
+//   * heap-allocated arrays with the library's deterministic seeding (so a
+//     binary's checksum is directly comparable with the interpreter's),
+//   * the kernel function with the transformed loop nest; parallel loops
+//     carry OpenMP pragmas (`parallel for`, `parallel for reduction`) when
+//     expressible, and `/* polyast: pipeline */` markers otherwise,
+//   * a main() that times the kernel and prints a checksum.
+#pragma once
+
+#include <string>
+
+#include "ir/ast.hpp"
+
+namespace polyast::ir {
+
+struct CEmitOptions {
+  /// Emit OpenMP pragmas on doall loops (otherwise plain comments).
+  bool openmp = true;
+  /// Emit the benchmark main() (otherwise just the kernel function).
+  bool withMain = true;
+};
+
+/// Emits a complete C file for the program.
+std::string emitC(const Program& program, const CEmitOptions& options = {});
+
+}  // namespace polyast::ir

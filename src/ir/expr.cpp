@@ -1,0 +1,301 @@
+#include "ir/expr.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rational.hpp"
+
+namespace polyast::ir {
+
+AffExpr AffExpr::term(const std::string& name, std::int64_t coeff) {
+  AffExpr e;
+  if (coeff != 0) e.coeffs_[name] = coeff;
+  return e;
+}
+
+std::int64_t AffExpr::coeff(const std::string& name) const {
+  auto it = coeffs_.find(name);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+void AffExpr::dropZeros() {
+  for (auto it = coeffs_.begin(); it != coeffs_.end();)
+    it = it->second == 0 ? coeffs_.erase(it) : std::next(it);
+}
+
+AffExpr AffExpr::operator+(const AffExpr& o) const {
+  AffExpr e = *this;
+  for (const auto& [n, c] : o.coeffs_)
+    e.coeffs_[n] = checkedAdd(e.coeff(n), c);
+  e.constant_ = checkedAdd(e.constant_, o.constant_);
+  e.dropZeros();
+  return e;
+}
+
+AffExpr AffExpr::operator-(const AffExpr& o) const {
+  return *this + o * -1;
+}
+
+AffExpr AffExpr::operator*(std::int64_t k) const {
+  AffExpr e;
+  if (k == 0) return e;
+  for (const auto& [n, c] : coeffs_) e.coeffs_[n] = checkedMul(c, k);
+  e.constant_ = checkedMul(constant_, k);
+  return e;
+}
+
+AffExpr AffExpr::substituted(const std::string& name,
+                             const AffExpr& repl) const {
+  std::int64_t c = coeff(name);
+  if (c == 0) return *this;
+  AffExpr e = *this;
+  e.coeffs_.erase(name);
+  return e + repl * c;
+}
+
+AffExpr AffExpr::renamed(const std::string& from, const std::string& to) const {
+  return substituted(from, AffExpr::term(to));
+}
+
+std::int64_t AffExpr::evaluate(
+    const std::map<std::string, std::int64_t>& env) const {
+  std::int64_t v = constant_;
+  for (const auto& [n, c] : coeffs_) {
+    auto it = env.find(n);
+    POLYAST_CHECK(it != env.end(), "unbound variable in AffExpr: " + n);
+    v = checkedAdd(v, checkedMul(c, it->second));
+  }
+  return v;
+}
+
+std::string AffExpr::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [n, c] : coeffs_) {
+    if (c > 0 && !first) os << "+";
+    if (c == -1) os << "-";
+    else if (c != 1) os << c << "*";
+    os << n;
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (constant_ >= 0 && !first) os << "+";
+    os << constant_;
+  }
+  return os.str();
+}
+
+namespace {
+ExprPtr make(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+}  // namespace
+
+ExprPtr intLit(std::int64_t v) {
+  Expr e;
+  e.kind = Expr::Kind::IntLit;
+  e.intValue = v;
+  return make(std::move(e));
+}
+
+ExprPtr floatLit(double v) {
+  Expr e;
+  e.kind = Expr::Kind::FloatLit;
+  e.floatValue = v;
+  return make(std::move(e));
+}
+
+ExprPtr iterRef(const std::string& name) {
+  Expr e;
+  e.kind = Expr::Kind::IterRef;
+  e.name = name;
+  return make(std::move(e));
+}
+
+ExprPtr paramRef(const std::string& name) {
+  Expr e;
+  e.kind = Expr::Kind::ParamRef;
+  e.name = name;
+  return make(std::move(e));
+}
+
+ExprPtr arrayRef(const std::string& name, std::vector<AffExpr> subs) {
+  Expr e;
+  e.kind = Expr::Kind::ArrayRef;
+  e.name = name;
+  e.subs = std::move(subs);
+  return make(std::move(e));
+}
+
+ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b) {
+  Expr e;
+  e.kind = Expr::Kind::Binary;
+  e.binOp = op;
+  e.lhs = std::move(a);
+  e.rhs = std::move(b);
+  return make(std::move(e));
+}
+
+ExprPtr unary(UnOp op, ExprPtr a) {
+  Expr e;
+  e.kind = Expr::Kind::Unary;
+  e.unOp = op;
+  e.lhs = std::move(a);
+  return make(std::move(e));
+}
+
+ExprPtr select(ExprPtr cond, ExprPtr a, ExprPtr b) {
+  Expr e;
+  e.kind = Expr::Kind::Select;
+  e.cond = std::move(cond);
+  e.lhs = std::move(a);
+  e.rhs = std::move(b);
+  return make(std::move(e));
+}
+
+ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Add, std::move(a), std::move(b));
+}
+ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Sub, std::move(a), std::move(b));
+}
+ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Mul, std::move(a), std::move(b));
+}
+ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Div, std::move(a), std::move(b));
+}
+
+namespace {
+/// Builds an integer expression tree equivalent to an affine expression.
+ExprPtr affToExpr(const AffExpr& a) {
+  ExprPtr acc;
+  auto addTerm = [&acc](ExprPtr t) {
+    acc = acc ? binary(BinOp::Add, acc, std::move(t)) : std::move(t);
+  };
+  for (const auto& [n, c] : a.coeffs()) {
+    ExprPtr v = iterRef(n);
+    if (c != 1) v = binary(BinOp::Mul, intLit(c), std::move(v));
+    addTerm(std::move(v));
+  }
+  if (a.constant() != 0 || !acc) addTerm(intLit(a.constant()));
+  return acc;
+}
+}  // namespace
+
+ExprPtr substituteIter(const ExprPtr& e, const std::string& name,
+                       const AffExpr& repl) {
+  if (!e) return e;
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::ParamRef:
+      return e;
+    case Expr::Kind::IterRef: {
+      if (e->name != name) return e;
+      if (repl.coeffs().size() == 1 && repl.constant() == 0 &&
+          repl.coeffs().begin()->second == 1)
+        return iterRef(repl.coeffs().begin()->first);
+      return affToExpr(repl);
+    }
+    case Expr::Kind::ArrayRef: {
+      bool changed = false;
+      std::vector<AffExpr> subs;
+      subs.reserve(e->subs.size());
+      for (const auto& s : e->subs) {
+        AffExpr t = s.substituted(name, repl);
+        changed = changed || !(t == s);
+        subs.push_back(std::move(t));
+      }
+      if (!changed) return e;
+      return arrayRef(e->name, std::move(subs));
+    }
+    case Expr::Kind::Binary: {
+      ExprPtr l = substituteIter(e->lhs, name, repl);
+      ExprPtr r = substituteIter(e->rhs, name, repl);
+      if (l == e->lhs && r == e->rhs) return e;
+      return binary(e->binOp, std::move(l), std::move(r));
+    }
+    case Expr::Kind::Unary: {
+      ExprPtr l = substituteIter(e->lhs, name, repl);
+      if (l == e->lhs) return e;
+      return unary(e->unOp, std::move(l));
+    }
+    case Expr::Kind::Select: {
+      ExprPtr c = substituteIter(e->cond, name, repl);
+      ExprPtr l = substituteIter(e->lhs, name, repl);
+      ExprPtr r = substituteIter(e->rhs, name, repl);
+      if (c == e->cond && l == e->lhs && r == e->rhs) return e;
+      return select(std::move(c), std::move(l), std::move(r));
+    }
+  }
+  POLYAST_CHECK(false, "unreachable expression kind");
+}
+
+void collectArrayUses(const ExprPtr& e, std::vector<ArrayUse>& out) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::ArrayRef) out.push_back({e->name, e->subs});
+  collectArrayUses(e->cond, out);
+  collectArrayUses(e->lhs, out);
+  collectArrayUses(e->rhs, out);
+}
+
+std::string Expr::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::IntLit:
+      os << intValue;
+      break;
+    case Kind::FloatLit: {
+      std::ostringstream fs;
+      fs << floatValue;
+      os << fs.str();
+      if (fs.str().find('.') == std::string::npos &&
+          fs.str().find('e') == std::string::npos)
+        os << ".0";
+      break;
+    }
+    case Kind::IterRef:
+    case Kind::ParamRef:
+      os << name;
+      break;
+    case Kind::ArrayRef:
+      os << name;
+      for (const auto& s : subs) os << "[" << s.str() << "]";
+      break;
+    case Kind::Binary: {
+      const char* op = "?";
+      switch (binOp) {
+        case BinOp::Add: op = " + "; break;
+        case BinOp::Sub: op = " - "; break;
+        case BinOp::Mul: op = " * "; break;
+        case BinOp::Div: op = " / "; break;
+        case BinOp::Min: op = ", "; break;
+        case BinOp::Max: op = ", "; break;
+        case BinOp::Lt: op = " < "; break;
+        case BinOp::Le: op = " <= "; break;
+        case BinOp::Gt: op = " > "; break;
+        case BinOp::Ge: op = " >= "; break;
+        case BinOp::Eq: op = " == "; break;
+      }
+      if (binOp == BinOp::Min) os << "min(";
+      if (binOp == BinOp::Max) os << "max(";
+      if (binOp != BinOp::Min && binOp != BinOp::Max) os << "(";
+      os << lhs->str() << op << rhs->str() << ")";
+      break;
+    }
+    case Kind::Unary:
+      switch (unOp) {
+        case UnOp::Neg: os << "(-" << lhs->str() << ")"; break;
+        case UnOp::Sqrt: os << "sqrt(" << lhs->str() << ")"; break;
+        case UnOp::Exp: os << "exp(" << lhs->str() << ")"; break;
+        case UnOp::Abs: os << "fabs(" << lhs->str() << ")"; break;
+      }
+      break;
+    case Kind::Select:
+      os << "(" << cond->str() << " ? " << lhs->str() << " : " << rhs->str()
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace polyast::ir

@@ -1,0 +1,116 @@
+// Expression trees for statement bodies, and affine expressions for loop
+// bounds / array subscripts.
+//
+// The IR separates two expression languages, mirroring the paper's split:
+//   * AffExpr — affine expressions over loop iterators and global
+//     parameters. Loop bounds and (analyzable) array subscripts are affine;
+//     the polyhedral layer only ever sees these.
+//   * Expr — general value expressions (the computation inside a statement).
+//     The AST-based stage and the interpreter handle these; they may contain
+//     sqrt / select / division, which the polyhedral layer treats as opaque.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace polyast::ir {
+
+/// Affine expression: sum(coeff[name] * name) + constant, over iterator and
+/// parameter names.
+class AffExpr {
+ public:
+  AffExpr() = default;
+  explicit AffExpr(std::int64_t constant) : constant_(constant) {}
+  static AffExpr term(const std::string& name, std::int64_t coeff = 1);
+
+  std::int64_t constant() const { return constant_; }
+  const std::map<std::string, std::int64_t>& coeffs() const { return coeffs_; }
+  std::int64_t coeff(const std::string& name) const;
+  bool isConstant() const { return coeffs_.empty(); }
+
+  AffExpr operator+(const AffExpr& o) const;
+  AffExpr operator-(const AffExpr& o) const;
+  AffExpr operator*(std::int64_t k) const;
+  AffExpr& operator+=(const AffExpr& o) { return *this = *this + o; }
+  bool operator==(const AffExpr& o) const = default;
+
+  /// Replaces a name by an affine expression (used by skewing/shifting).
+  AffExpr substituted(const std::string& name, const AffExpr& repl) const;
+  /// Renames a variable (used by strip-mining / unrolling).
+  AffExpr renamed(const std::string& from, const std::string& to) const;
+
+  std::int64_t evaluate(
+      const std::map<std::string, std::int64_t>& env) const;
+
+  std::string str() const;
+
+ private:
+  void dropZeros();
+
+  std::map<std::string, std::int64_t> coeffs_;
+  std::int64_t constant_ = 0;
+};
+
+enum class BinOp { Add, Sub, Mul, Div, Min, Max, Lt, Le, Gt, Ge, Eq };
+enum class UnOp { Neg, Sqrt, Exp, Abs };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// General value expression node (immutable; shared between trees).
+struct Expr {
+  enum class Kind {
+    IntLit,    ///< integer literal
+    FloatLit,  ///< floating-point literal
+    IterRef,   ///< loop iterator (integer-valued)
+    ParamRef,  ///< global parameter (integer-valued)
+    ArrayRef,  ///< array element load: name[subs...]
+    Binary,
+    Unary,
+    Select,  ///< cond ? a : b
+  };
+
+  Kind kind;
+  std::int64_t intValue = 0;   // IntLit
+  double floatValue = 0.0;     // FloatLit
+  std::string name;            // IterRef / ParamRef / ArrayRef
+  std::vector<AffExpr> subs;   // ArrayRef subscripts (affine)
+  BinOp binOp = BinOp::Add;
+  UnOp unOp = UnOp::Neg;
+  ExprPtr lhs, rhs, cond;
+
+  std::string str() const;
+};
+
+ExprPtr intLit(std::int64_t v);
+ExprPtr floatLit(double v);
+ExprPtr iterRef(const std::string& name);
+ExprPtr paramRef(const std::string& name);
+ExprPtr arrayRef(const std::string& name, std::vector<AffExpr> subs);
+ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr unary(UnOp op, ExprPtr a);
+ExprPtr select(ExprPtr cond, ExprPtr a, ExprPtr b);
+
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, ExprPtr b);
+ExprPtr operator/(ExprPtr a, ExprPtr b);
+
+/// Applies an affine substitution to every iterator occurrence in the
+/// expression: each IterRef and each affine subscript has `name` replaced by
+/// `repl`. IterRefs whose substitution is non-trivial become equivalent
+/// integer expression trees.
+ExprPtr substituteIter(const ExprPtr& e, const std::string& name,
+                       const AffExpr& repl);
+
+/// Collects the array references (name + subscripts) appearing in `e`.
+struct ArrayUse {
+  std::string array;
+  std::vector<AffExpr> subs;
+};
+void collectArrayUses(const ExprPtr& e, std::vector<ArrayUse>& out);
+
+}  // namespace polyast::ir

@@ -1,0 +1,41 @@
+// Shared shorthand for kernel definitions (internal to src/kernels).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+
+namespace polyast::kernels::detail {
+
+using ir::AffExpr;
+using ir::AssignOp;
+using ir::ExprPtr;
+using ir::ProgramBuilder;
+
+/// Affine term for an iterator or parameter.
+inline AffExpr v(const std::string& name) { return AffExpr::term(name); }
+/// Affine constant.
+inline AffExpr n(std::int64_t c) { return AffExpr(c); }
+
+inline ExprPtr ref(const std::string& array, std::vector<AffExpr> subs) {
+  return ir::arrayRef(array, std::move(subs));
+}
+inline ExprPtr lit(double x) { return ir::floatLit(x); }
+
+/// Parameter lookup with kernel-default fallback, for flops lambdas.
+inline double P(const std::map<std::string, std::int64_t>& params,
+                const std::string& name) {
+  auto it = params.find(name);
+  return it == params.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+void registerBlas(std::vector<KernelInfo>& out);
+void registerSolvers(std::vector<KernelInfo>& out);
+void registerStencils(std::vector<KernelInfo>& out);
+void registerDatamining(std::vector<KernelInfo>& out);
+
+}  // namespace polyast::kernels::detail

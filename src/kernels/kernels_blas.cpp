@@ -1,0 +1,441 @@
+// Linear-algebra kernels of PolyBench/C 3.2 (Table II).
+#include "kernels/detail.hpp"
+
+namespace polyast::kernels::detail {
+
+namespace {
+
+ir::Program build2mm() {
+  ProgramBuilder b("2mm");
+  b.param("NI", 24).param("NJ", 24).param("NK", 24).param("NL", 24);
+  b.array("tmp", {v("NI"), v("NJ")});
+  b.array("A", {v("NI"), v("NK")});
+  b.array("B", {v("NK"), v("NJ")});
+  b.array("C", {v("NJ"), v("NL")});
+  b.array("D", {v("NI"), v("NL")});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  // tmp = alpha * A . B
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NJ"));
+  b.stmt("R", "tmp", {v("i"), v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("k", 0, v("NK"));
+  b.stmt("S", "tmp", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("alpha", {n(0)}) * ref("A", {v("i"), v("k")}) *
+             ref("B", {v("k"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  // D = beta * D + tmp . C
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NL"));
+  b.stmt("T", "D", {v("i"), v("j")}, AssignOp::MulAssign,
+         ref("beta", {n(0)}));
+  b.beginLoop("k", 0, v("NJ"));
+  b.stmt("U", "D", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("tmp", {v("i"), v("k")}) * ref("C", {v("k"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program build3mm() {
+  ProgramBuilder b("3mm");
+  b.param("NI", 20).param("NJ", 20).param("NK", 20).param("NL", 20)
+      .param("NM", 20);
+  b.array("E", {v("NI"), v("NJ")});
+  b.array("A", {v("NI"), v("NK")});
+  b.array("B", {v("NK"), v("NJ")});
+  b.array("F", {v("NJ"), v("NL")});
+  b.array("C", {v("NJ"), v("NM")});
+  b.array("D", {v("NM"), v("NL")});
+  b.array("G", {v("NI"), v("NL")});
+  // E := A.B
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NJ"));
+  b.stmt("S1", "E", {v("i"), v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("k", 0, v("NK"));
+  b.stmt("S2", "E", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("A", {v("i"), v("k")}) * ref("B", {v("k"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  // F := C.D
+  b.beginLoop("i", 0, v("NJ"));
+  b.beginLoop("j", 0, v("NL"));
+  b.stmt("S3", "F", {v("i"), v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("k", 0, v("NM"));
+  b.stmt("S4", "F", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("C", {v("i"), v("k")}) * ref("D", {v("k"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  // G := E.F
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NL"));
+  b.stmt("S5", "G", {v("i"), v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("k", 0, v("NJ"));
+  b.stmt("S6", "G", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("E", {v("i"), v("k")}) * ref("F", {v("k"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildGemm() {
+  ProgramBuilder b("gemm");
+  b.param("NI", 24).param("NJ", 24).param("NK", 24);
+  b.array("C", {v("NI"), v("NJ")});
+  b.array("A", {v("NI"), v("NK")});
+  b.array("B", {v("NK"), v("NJ")});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NJ"));
+  b.stmt("S1", "C", {v("i"), v("j")}, AssignOp::MulAssign,
+         ref("beta", {n(0)}));
+  b.beginLoop("k", 0, v("NK"));
+  b.stmt("S2", "C", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("alpha", {n(0)}) * ref("A", {v("i"), v("k")}) *
+             ref("B", {v("k"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildSyrk() {
+  ProgramBuilder b("syrk");
+  b.param("NI", 24).param("NJ", 24);
+  b.array("C", {v("NI"), v("NI")});
+  b.array("A", {v("NI"), v("NJ")});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NI"));
+  b.stmt("S1", "C", {v("i"), v("j")}, AssignOp::MulAssign,
+         ref("beta", {n(0)}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NI"));
+  b.beginLoop("k", 0, v("NJ"));
+  b.stmt("S2", "C", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("alpha", {n(0)}) * ref("A", {v("i"), v("k")}) *
+             ref("A", {v("j"), v("k")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildSyr2k() {
+  ProgramBuilder b("syr2k");
+  b.param("NI", 24).param("NJ", 24);
+  b.array("C", {v("NI"), v("NI")});
+  b.array("A", {v("NI"), v("NJ")});
+  b.array("B", {v("NI"), v("NJ")});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NI"));
+  b.stmt("S1", "C", {v("i"), v("j")}, AssignOp::MulAssign,
+         ref("beta", {n(0)}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NI"));
+  b.beginLoop("k", 0, v("NJ"));
+  b.stmt("S2", "C", {v("i"), v("j")}, AssignOp::AddAssign,
+         ref("alpha", {n(0)}) * ref("A", {v("i"), v("k")}) *
+                 ref("B", {v("j"), v("k")}) +
+             ref("alpha", {n(0)}) * ref("B", {v("i"), v("k")}) *
+                 ref("A", {v("j"), v("k")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildSymm() {
+  // PolyBench 3.2 symm; the scalar accumulator is a one-element array.
+  ProgramBuilder b("symm");
+  b.param("NI", 20).param("NJ", 20);
+  b.array("C", {v("NJ"), v("NJ")});
+  b.array("A", {v("NJ"), v("NI")});
+  b.array("B", {v("NI"), v("NJ")});
+  b.array("acc", {n(1)});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  b.beginLoop("i", 0, v("NI"));
+  b.beginLoop("j", 0, v("NJ"));
+  b.stmt("S1", "acc", {n(0)}, AssignOp::Set, lit(0.0));
+  b.beginLoop("k", 0, v("j"));
+  b.stmt("S2", "C", {v("k"), v("j")}, AssignOp::AddAssign,
+         ref("alpha", {n(0)}) * ref("A", {v("k"), v("i")}) *
+             ref("B", {v("i"), v("j")}));
+  b.stmt("S3", "acc", {n(0)}, AssignOp::AddAssign,
+         ref("B", {v("k"), v("j")}) * ref("A", {v("k"), v("i")}));
+  b.endLoop();
+  b.stmt("S4", "C", {v("i"), v("j")}, AssignOp::Set,
+         ref("beta", {n(0)}) * ref("C", {v("i"), v("j")}) +
+             ref("alpha", {n(0)}) * ref("A", {v("i"), v("i")}) *
+                 ref("B", {v("i"), v("j")}) +
+             ref("alpha", {n(0)}) * ref("acc", {n(0)}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildDoitgen() {
+  ProgramBuilder b("doitgen");
+  b.param("NR", 12).param("NQ", 12).param("NP", 12);
+  b.array("A", {v("NR"), v("NQ"), v("NP")});
+  b.array("sum", {v("NR"), v("NQ"), v("NP")});
+  b.array("C4", {v("NP"), v("NP")});
+  b.beginLoop("r", 0, v("NR"));
+  b.beginLoop("q", 0, v("NQ"));
+  b.beginLoop("p", 0, v("NP"));
+  b.stmt("S1", "sum", {v("r"), v("q"), v("p")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("s", 0, v("NP"));
+  b.stmt("S2", "sum", {v("r"), v("q"), v("p")}, AssignOp::AddAssign,
+         ref("A", {v("r"), v("q"), v("s")}) * ref("C4", {v("s"), v("p")}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("p", 0, v("NP"));
+  b.stmt("S3", "A", {v("r"), v("q"), v("p")}, AssignOp::Set,
+         ref("sum", {v("r"), v("q"), v("p")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildGesummv() {
+  ProgramBuilder b("gesummv");
+  b.param("N", 32);
+  b.array("A", {v("N"), v("N")});
+  b.array("B", {v("N"), v("N")});
+  b.array("x", {v("N")});
+  b.array("y", {v("N")});
+  b.array("tmp", {v("N")});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S1", "tmp", {v("i")}, AssignOp::Set, lit(0.0));
+  b.stmt("S2", "y", {v("i")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("j", 0, v("N"));
+  b.stmt("S3", "tmp", {v("i")}, AssignOp::AddAssign,
+         ref("A", {v("i"), v("j")}) * ref("x", {v("j")}));
+  b.stmt("S4", "y", {v("i")}, AssignOp::AddAssign,
+         ref("B", {v("i"), v("j")}) * ref("x", {v("j")}));
+  b.endLoop();
+  b.stmt("S5", "y", {v("i")}, AssignOp::Set,
+         ref("alpha", {n(0)}) * ref("tmp", {v("i")}) +
+             ref("beta", {n(0)}) * ref("y", {v("i")}));
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildGemver() {
+  ProgramBuilder b("gemver");
+  b.param("N", 32);
+  b.array("A", {v("N"), v("N")});
+  b.array("u1", {v("N")});
+  b.array("v1", {v("N")});
+  b.array("u2", {v("N")});
+  b.array("v2", {v("N")});
+  b.array("x", {v("N")});
+  b.array("y", {v("N")});
+  b.array("z", {v("N")});
+  b.array("w", {v("N")});
+  b.array("alpha", {n(1)});
+  b.array("beta", {n(1)});
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("N"));
+  b.stmt("S1", "A", {v("i"), v("j")}, AssignOp::Set,
+         ref("A", {v("i"), v("j")}) + ref("u1", {v("i")}) *
+                 ref("v1", {v("j")}) +
+             ref("u2", {v("i")}) * ref("v2", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("N"));
+  b.stmt("S2", "x", {v("i")}, AssignOp::AddAssign,
+         ref("beta", {n(0)}) * ref("A", {v("j"), v("i")}) *
+             ref("y", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S3", "x", {v("i")}, AssignOp::AddAssign, ref("z", {v("i")}));
+  b.endLoop();
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("N"));
+  b.stmt("S4", "w", {v("i")}, AssignOp::AddAssign,
+         ref("alpha", {n(0)}) * ref("A", {v("i"), v("j")}) *
+             ref("x", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildMvt() {
+  ProgramBuilder b("mvt");
+  b.param("N", 32);
+  b.array("A", {v("N"), v("N")});
+  b.array("x1", {v("N")});
+  b.array("x2", {v("N")});
+  b.array("y1", {v("N")});
+  b.array("y2", {v("N")});
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("N"));
+  b.stmt("S1", "x1", {v("i")}, AssignOp::AddAssign,
+         ref("A", {v("i"), v("j")}) * ref("y1", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("N"));
+  b.stmt("S2", "x2", {v("i")}, AssignOp::AddAssign,
+         ref("A", {v("j"), v("i")}) * ref("y2", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildAtax() {
+  ProgramBuilder b("atax");
+  b.param("NX", 32).param("NY", 32);
+  b.array("A", {v("NX"), v("NY")});
+  b.array("x", {v("NY")});
+  b.array("y", {v("NY")});
+  b.array("tmp", {v("NX")});
+  b.beginLoop("i", 0, v("NY"));
+  b.stmt("S1", "y", {v("i")}, AssignOp::Set, lit(0.0));
+  b.endLoop();
+  b.beginLoop("i", 0, v("NX"));
+  b.stmt("S2", "tmp", {v("i")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("j", 0, v("NY"));
+  b.stmt("S3", "tmp", {v("i")}, AssignOp::AddAssign,
+         ref("A", {v("i"), v("j")}) * ref("x", {v("j")}));
+  b.endLoop();
+  b.beginLoop("j", 0, v("NY"));
+  b.stmt("S4", "y", {v("j")}, AssignOp::AddAssign,
+         ref("A", {v("i"), v("j")}) * ref("tmp", {v("i")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildBicg() {
+  ProgramBuilder b("bicg");
+  b.param("NX", 32).param("NY", 32);
+  b.array("A", {v("NX"), v("NY")});
+  b.array("s", {v("NY")});
+  b.array("q", {v("NX")});
+  b.array("p", {v("NY")});
+  b.array("r", {v("NX")});
+  b.beginLoop("i", 0, v("NY"));
+  b.stmt("S1", "s", {v("i")}, AssignOp::Set, lit(0.0));
+  b.endLoop();
+  b.beginLoop("i", 0, v("NX"));
+  b.stmt("S2", "q", {v("i")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("j", 0, v("NY"));
+  b.stmt("S3", "s", {v("j")}, AssignOp::AddAssign,
+         ref("r", {v("i")}) * ref("A", {v("i"), v("j")}));
+  b.stmt("S4", "q", {v("i")}, AssignOp::AddAssign,
+         ref("A", {v("i"), v("j")}) * ref("p", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+}  // namespace
+
+void registerBlas(std::vector<KernelInfo>& out) {
+  using Group = KernelInfo::Group;
+  out.push_back({"2mm", "2 matrix multiplications (D = A.B; E = D.C)",
+                 Group::Doall, build2mm,
+                 [](const auto& p) {
+                   return 2.0 * P(p, "NI") * P(p, "NJ") * P(p, "NK") +
+                          P(p, "NI") * P(p, "NJ") +
+                          2.0 * P(p, "NI") * P(p, "NL") * P(p, "NJ") +
+                          P(p, "NI") * P(p, "NL");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"3mm", "3 matrix multiplications (E=A.B; F=C.D; G=E.F)",
+                 Group::Doall, build3mm,
+                 [](const auto& p) {
+                   return 2.0 * P(p, "NI") * P(p, "NJ") * P(p, "NK") +
+                          2.0 * P(p, "NJ") * P(p, "NL") * P(p, "NM") +
+                          2.0 * P(p, "NI") * P(p, "NL") * P(p, "NJ");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"atax", "matrix transpose and vector multiplication",
+                 Group::Reduction, buildAtax,
+                 [](const auto& p) {
+                   return 4.0 * P(p, "NX") * P(p, "NY");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"bicg", "BiCG sub-kernel of BiCGStab linear solver",
+                 Group::Reduction, buildBicg,
+                 [](const auto& p) {
+                   return 4.0 * P(p, "NX") * P(p, "NY");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"doitgen", "multiresolution analysis kernel (MADNESS)",
+                 Group::Doall, buildDoitgen,
+                 [](const auto& p) {
+                   return 2.0 * P(p, "NR") * P(p, "NQ") * P(p, "NP") *
+                          P(p, "NP");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"gemm", "matrix multiply C = alpha.A.B + beta.C",
+                 Group::Doall, buildGemm,
+                 [](const auto& p) {
+                   return 2.0 * P(p, "NI") * P(p, "NJ") * P(p, "NK") +
+                          P(p, "NI") * P(p, "NJ");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"gemver", "vector multiplication and matrix addition",
+                 Group::Reduction, buildGemver,
+                 [](const auto& p) {
+                   return 10.0 * P(p, "N") * P(p, "N");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"gesummv", "scalar, vector and matrix multiplication",
+                 Group::Doall, buildGesummv,
+                 [](const auto& p) {
+                   return 4.0 * P(p, "N") * P(p, "N") + 3.0 * P(p, "N");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"mvt", "matrix-vector product and transpose",
+                 Group::Reduction, buildMvt,
+                 [](const auto& p) {
+                   return 4.0 * P(p, "N") * P(p, "N");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"symm", "symmetric matrix multiply", Group::Reduction,
+                 buildSymm,
+                 [](const auto& p) {
+                   return 4.0 * P(p, "NI") * P(p, "NJ") * P(p, "NJ") / 2.0;
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"syr2k", "symmetric rank-2k operations", Group::Doall,
+                 buildSyr2k,
+                 [](const auto& p) {
+                   return 6.0 * P(p, "NI") * P(p, "NI") * P(p, "NJ") +
+                          P(p, "NI") * P(p, "NI");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"syrk", "symmetric rank-k operations", Group::Doall,
+                 buildSyrk,
+                 [](const auto& p) {
+                   return 3.0 * P(p, "NI") * P(p, "NI") * P(p, "NJ") +
+                          P(p, "NI") * P(p, "NI");
+                 },
+                 /*prepare=*/{}});
+}
+
+}  // namespace polyast::kernels::detail

@@ -1,0 +1,123 @@
+// Data-mining kernels of PolyBench/C 3.2: correlation, covariance.
+#include "kernels/detail.hpp"
+
+namespace polyast::kernels::detail {
+
+namespace {
+
+ir::Program buildCorrelation() {
+  ProgramBuilder b("correlation");
+  b.param("N", 24).param("M", 24);
+  b.array("data", {v("N"), v("M")});
+  b.array("mean", {v("M")});
+  b.array("stddev", {v("M")});
+  b.array("symmat", {v("M"), v("M")});
+  const double eps = 0.1;
+  // Means.
+  b.beginLoop("j", 0, v("M"));
+  b.stmt("S1", "mean", {v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S2", "mean", {v("j")}, AssignOp::AddAssign,
+         ref("data", {v("i"), v("j")}));
+  b.endLoop();
+  b.stmt("S3", "mean", {v("j")}, AssignOp::DivAssign, ir::paramRef("N"));
+  b.endLoop();
+  // Standard deviations (guarded against near-zero via select).
+  b.beginLoop("j", 0, v("M"));
+  b.stmt("S4", "stddev", {v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S5", "stddev", {v("j")}, AssignOp::AddAssign,
+         (ref("data", {v("i"), v("j")}) - ref("mean", {v("j")})) *
+             (ref("data", {v("i"), v("j")}) - ref("mean", {v("j")})));
+  b.endLoop();
+  b.stmt("S6", "stddev", {v("j")}, AssignOp::DivAssign, ir::paramRef("N"));
+  b.stmt("S7", "stddev", {v("j")}, AssignOp::Set,
+         ir::unary(ir::UnOp::Sqrt, ref("stddev", {v("j")})));
+  b.stmt("S8", "stddev", {v("j")}, AssignOp::Set,
+         ir::select(ir::binary(ir::BinOp::Le, ref("stddev", {v("j")}),
+                               lit(eps)),
+                    lit(1.0), ref("stddev", {v("j")})));
+  b.endLoop();
+  // Center and reduce the column vectors.
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("M"));
+  b.stmt("S9", "data", {v("i"), v("j")}, AssignOp::SubAssign,
+         ref("mean", {v("j")}));
+  b.stmt("S10", "data", {v("i"), v("j")}, AssignOp::DivAssign,
+         ir::unary(ir::UnOp::Sqrt, ir::paramRef("N")) *
+             ref("stddev", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  // Correlation matrix (strict upper triangle + unit diagonal).
+  b.beginLoop("j1", 0, v("M") - n(1));
+  b.stmt("S11", "symmat", {v("j1"), v("j1")}, AssignOp::Set, lit(1.0));
+  b.beginLoop("j2", v("j1") + n(1), v("M"));
+  b.stmt("S12", "symmat", {v("j1"), v("j2")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S13", "symmat", {v("j1"), v("j2")}, AssignOp::AddAssign,
+         ref("data", {v("i"), v("j1")}) * ref("data", {v("i"), v("j2")}));
+  b.endLoop();
+  b.stmt("S14", "symmat", {v("j2"), v("j1")}, AssignOp::Set,
+         ref("symmat", {v("j1"), v("j2")}));
+  b.endLoop();
+  b.endLoop();
+  b.stmt("S15", "symmat", {v("M") - n(1), v("M") - n(1)}, AssignOp::Set,
+         lit(1.0));
+  return b.build();
+}
+
+ir::Program buildCovariance() {
+  ProgramBuilder b("covariance");
+  b.param("N", 24).param("M", 24);
+  b.array("data", {v("N"), v("M")});
+  b.array("mean", {v("M")});
+  b.array("symmat", {v("M"), v("M")});
+  b.beginLoop("j", 0, v("M"));
+  b.stmt("S1", "mean", {v("j")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S2", "mean", {v("j")}, AssignOp::AddAssign,
+         ref("data", {v("i"), v("j")}));
+  b.endLoop();
+  b.stmt("S3", "mean", {v("j")}, AssignOp::DivAssign, ir::paramRef("N"));
+  b.endLoop();
+  b.beginLoop("i", 0, v("N"));
+  b.beginLoop("j", 0, v("M"));
+  b.stmt("S4", "data", {v("i"), v("j")}, AssignOp::SubAssign,
+         ref("mean", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("j1", 0, v("M"));
+  b.beginLoop("j2", v("j1"), v("M"));
+  b.stmt("S5", "symmat", {v("j1"), v("j2")}, AssignOp::Set, lit(0.0));
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S6", "symmat", {v("j1"), v("j2")}, AssignOp::AddAssign,
+         ref("data", {v("i"), v("j1")}) * ref("data", {v("i"), v("j2")}));
+  b.endLoop();
+  b.stmt("S7", "symmat", {v("j2"), v("j1")}, AssignOp::Set,
+         ref("symmat", {v("j1"), v("j2")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+}  // namespace
+
+void registerDatamining(std::vector<KernelInfo>& out) {
+  using Group = KernelInfo::Group;
+  out.push_back({"correlation", "correlation computation", Group::Reduction,
+                 buildCorrelation,
+                 [](const auto& p) {
+                   double N = P(p, "N"), M = P(p, "M");
+                   return 2.0 * M * N + 3.0 * M * N + M * M * N;
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"covariance", "covariance computation", Group::Reduction,
+                 buildCovariance,
+                 [](const auto& p) {
+                   double N = P(p, "N"), M = P(p, "M");
+                   return 2.0 * M * N + M * N + M * M * N;
+                 },
+                 /*prepare=*/{}});
+}
+
+}  // namespace polyast::kernels::detail

@@ -1,0 +1,158 @@
+// Solver kernels of PolyBench/C 3.2: cholesky, trisolv, adi.
+#include "kernels/detail.hpp"
+
+namespace polyast::kernels::detail {
+
+namespace {
+
+ir::Program buildTrisolv() {
+  ProgramBuilder b("trisolv");
+  b.param("N", 32);
+  b.array("A", {v("N"), v("N")});
+  b.array("x", {v("N")});
+  b.array("c", {v("N")});
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S1", "x", {v("i")}, AssignOp::Set, ref("c", {v("i")}));
+  b.beginLoop("j", 0, v("i"));
+  b.stmt("S2", "x", {v("i")}, AssignOp::SubAssign,
+         ref("A", {v("i"), v("j")}) * ref("x", {v("j")}));
+  b.endLoop();
+  b.stmt("S3", "x", {v("i")}, AssignOp::DivAssign,
+         ref("A", {v("i"), v("i")}));
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildCholesky() {
+  // The scalar accumulator `x` of the reference code is a one-element
+  // array "acc"; p holds the reciprocal square roots.
+  ProgramBuilder b("cholesky");
+  b.param("N", 24);
+  b.array("A", {v("N"), v("N")});
+  b.array("p", {v("N")});
+  b.array("acc", {n(1)});
+  b.beginLoop("i", 0, v("N"));
+  b.stmt("S1", "acc", {n(0)}, AssignOp::Set, ref("A", {v("i"), v("i")}));
+  b.beginLoop("j", 0, v("i"));
+  b.stmt("S2", "acc", {n(0)}, AssignOp::SubAssign,
+         ref("A", {v("i"), v("j")}) * ref("A", {v("i"), v("j")}));
+  b.endLoop();
+  b.stmt("S3", "p", {v("i")}, AssignOp::Set,
+         lit(1.0) / ir::unary(ir::UnOp::Sqrt, ref("acc", {n(0)})));
+  b.beginLoop("j", v("i") + n(1), v("N"));
+  b.stmt("S4", "acc", {n(0)}, AssignOp::Set, ref("A", {v("i"), v("j")}));
+  b.beginLoop("k", 0, v("i"));
+  b.stmt("S5", "acc", {n(0)}, AssignOp::SubAssign,
+         ref("A", {v("j"), v("k")}) * ref("A", {v("i"), v("k")}));
+  b.endLoop();
+  b.stmt("S6", "A", {v("j"), v("i")}, AssignOp::Set,
+         ref("acc", {n(0)}) * ref("p", {v("i")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildAdi() {
+  ProgramBuilder b("adi");
+  b.param("TSTEPS", 2).param("N", 16);
+  b.array("X", {v("N"), v("N")});
+  b.array("A", {v("N"), v("N")});
+  b.array("B", {v("N"), v("N")});
+  b.beginLoop("t", 0, v("TSTEPS"));
+  // Row sweep (forward substitution along columns).
+  b.beginLoop("i1", 0, v("N"));
+  b.beginLoop("i2", 1, v("N"));
+  b.stmt("S1", "X", {v("i1"), v("i2")}, AssignOp::SubAssign,
+         ref("X", {v("i1"), v("i2") - n(1)}) * ref("A", {v("i1"), v("i2")}) /
+             ref("B", {v("i1"), v("i2") - n(1)}));
+  b.stmt("S2", "B", {v("i1"), v("i2")}, AssignOp::SubAssign,
+         ref("A", {v("i1"), v("i2")}) * ref("A", {v("i1"), v("i2")}) /
+             ref("B", {v("i1"), v("i2") - n(1)}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i1", 0, v("N"));
+  b.stmt("S3", "X", {v("i1"), v("N") - n(1)}, AssignOp::DivAssign,
+         ref("B", {v("i1"), v("N") - n(1)}));
+  b.endLoop();
+  // Row back-substitution.
+  b.beginLoop("i1", 0, v("N"));
+  b.beginLoop("i2", 0, v("N") - n(2));
+  b.stmt("S4", "X", {v("i1"), v("N") - v("i2") - n(2)}, AssignOp::Set,
+         (ref("X", {v("i1"), v("N") - n(2) - v("i2")}) -
+          ref("X", {v("i1"), v("N") - v("i2") - n(3)}) *
+              ref("A", {v("i1"), v("N") - v("i2") - n(3)})) /
+             ref("B", {v("i1"), v("N") - n(3) - v("i2")}));
+  b.endLoop();
+  b.endLoop();
+  // Column sweep.
+  b.beginLoop("i1", 1, v("N"));
+  b.beginLoop("i2", 0, v("N"));
+  b.stmt("S5", "X", {v("i1"), v("i2")}, AssignOp::SubAssign,
+         ref("X", {v("i1") - n(1), v("i2")}) * ref("A", {v("i1"), v("i2")}) /
+             ref("B", {v("i1") - n(1), v("i2")}));
+  b.stmt("S6", "B", {v("i1"), v("i2")}, AssignOp::SubAssign,
+         ref("A", {v("i1"), v("i2")}) * ref("A", {v("i1"), v("i2")}) /
+             ref("B", {v("i1") - n(1), v("i2")}));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i2", 0, v("N"));
+  b.stmt("S7", "X", {v("N") - n(1), v("i2")}, AssignOp::DivAssign,
+         ref("B", {v("N") - n(1), v("i2")}));
+  b.endLoop();
+  // Column back-substitution.
+  b.beginLoop("i1", 0, v("N") - n(2));
+  b.beginLoop("i2", 0, v("N"));
+  b.stmt("S8", "X", {v("N") - v("i1") - n(2), v("i2")}, AssignOp::Set,
+         (ref("X", {v("N") - n(2) - v("i1"), v("i2")}) -
+          ref("X", {v("N") - v("i1") - n(3), v("i2")}) *
+              ref("A", {v("N") - n(3) - v("i1"), v("i2")})) /
+             ref("B", {v("N") - n(2) - v("i1"), v("i2")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+}  // namespace
+
+void registerSolvers(std::vector<KernelInfo>& out) {
+  using Group = KernelInfo::Group;
+  out.push_back({"adi", "alternating direction implicit solver",
+                 Group::Pipeline, buildAdi,
+                 [](const auto& p) {
+                   return 30.0 * P(p, "TSTEPS") * P(p, "N") * P(p, "N");
+                 },
+                 // Damp the off-diagonal coefficients so the repeated
+                 // X -= X*A/B sweeps stay bounded (the PolyBench inputs are
+                 // similarly well-conditioned).
+                 [](exec::Context& ctx) {
+                   for (double& x : ctx.buffer("A")) x *= 0.1;
+                 }});
+  out.push_back({"cholesky", "Cholesky decomposition", Group::Reduction,
+                 buildCholesky,
+                 [](const auto& p) {
+                   double N = P(p, "N");
+                   return N * N * N / 3.0 + 2.0 * N * N;
+                 },
+                 // Make A symmetric positive definite: 0.1*(M+M^T) + 2N*I.
+                 [](exec::Context& ctx) {
+                   auto& A = ctx.buffer("A");
+                   std::int64_t N = ctx.dims("A")[0];
+                   std::vector<double> spd(A.size());
+                   for (std::int64_t i = 0; i < N; ++i)
+                     for (std::int64_t j = 0; j < N; ++j)
+                       spd[i * N + j] =
+                           0.1 * (A[i * N + j] + A[j * N + i]) +
+                           (i == j ? 2.0 * static_cast<double>(N) : 0.0);
+                   A = spd;
+                 }});
+  out.push_back({"trisolv", "triangular solver", Group::Reduction,
+                 buildTrisolv,
+                 [](const auto& p) {
+                   double N = P(p, "N");
+                   return N * N + 2.0 * N;
+                 },
+                 /*prepare=*/{}});
+}
+
+}  // namespace polyast::kernels::detail

@@ -1,0 +1,261 @@
+// Stencil kernels of PolyBench/C 3.2: jacobi-1d/2d, seidel-2d, fdtd-2d,
+// fdtd-apml.
+#include "kernels/detail.hpp"
+
+namespace polyast::kernels::detail {
+
+namespace {
+
+ir::Program buildJacobi1d() {
+  ProgramBuilder b("jacobi-1d-imper");
+  b.param("TSTEPS", 4).param("N", 64);
+  b.array("A", {v("N")});
+  b.array("B", {v("N")});
+  b.beginLoop("t", 0, v("TSTEPS"));
+  b.beginLoop("i", 1, v("N") - n(1));
+  b.stmt("S1", "B", {v("i")}, AssignOp::Set,
+         lit(0.33333) * (ref("A", {v("i") - n(1)}) + ref("A", {v("i")}) +
+                         ref("A", {v("i") + n(1)})));
+  b.endLoop();
+  b.beginLoop("j", 1, v("N") - n(1));
+  b.stmt("S2", "A", {v("j")}, AssignOp::Set, ref("B", {v("j")}));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildJacobi2d() {
+  ProgramBuilder b("jacobi-2d-imper");
+  b.param("TSTEPS", 3).param("N", 20);
+  b.array("A", {v("N"), v("N")});
+  b.array("B", {v("N"), v("N")});
+  b.beginLoop("t", 0, v("TSTEPS"));
+  b.beginLoop("i", 1, v("N") - n(1));
+  b.beginLoop("j", 1, v("N") - n(1));
+  b.stmt("S1", "B", {v("i"), v("j")}, AssignOp::Set,
+         lit(0.2) * (ref("A", {v("i"), v("j")}) +
+                     ref("A", {v("i"), v("j") - n(1)}) +
+                     ref("A", {v("i"), v("j") + n(1)}) +
+                     ref("A", {v("i") + n(1), v("j")}) +
+                     ref("A", {v("i") - n(1), v("j")})));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 1, v("N") - n(1));
+  b.beginLoop("j", 1, v("N") - n(1));
+  b.stmt("S2", "A", {v("i"), v("j")}, AssignOp::Set,
+         ref("B", {v("i"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildSeidel2d() {
+  ProgramBuilder b("seidel-2d");
+  b.param("TSTEPS", 3).param("N", 20);
+  b.array("A", {v("N"), v("N")});
+  b.beginLoop("t", 0, v("TSTEPS"));
+  b.beginLoop("i", 1, v("N") - n(1));
+  b.beginLoop("j", 1, v("N") - n(1));
+  b.stmt("S1", "A", {v("i"), v("j")}, AssignOp::Set,
+         (ref("A", {v("i") - n(1), v("j") - n(1)}) +
+          ref("A", {v("i") - n(1), v("j")}) +
+          ref("A", {v("i") - n(1), v("j") + n(1)}) +
+          ref("A", {v("i"), v("j") - n(1)}) + ref("A", {v("i"), v("j")}) +
+          ref("A", {v("i"), v("j") + n(1)}) +
+          ref("A", {v("i") + n(1), v("j") - n(1)}) +
+          ref("A", {v("i") + n(1), v("j")}) +
+          ref("A", {v("i") + n(1), v("j") + n(1)})) /
+             lit(9.0));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildFdtd2d() {
+  ProgramBuilder b("fdtd-2d");
+  b.param("TSTEPS", 3).param("NX", 20).param("NY", 20);
+  b.array("ex", {v("NX"), v("NY")});
+  b.array("ey", {v("NX"), v("NY")});
+  b.array("hz", {v("NX"), v("NY")});
+  b.array("fict", {v("TSTEPS")});
+  b.beginLoop("t", 0, v("TSTEPS"));
+  b.beginLoop("j", 0, v("NY"));
+  b.stmt("S1", "ey", {n(0), v("j")}, AssignOp::Set, ref("fict", {v("t")}));
+  b.endLoop();
+  b.beginLoop("i", 1, v("NX"));
+  b.beginLoop("j", 0, v("NY"));
+  b.stmt("S2", "ey", {v("i"), v("j")}, AssignOp::SubAssign,
+         lit(0.5) * (ref("hz", {v("i"), v("j")}) -
+                     ref("hz", {v("i") - n(1), v("j")})));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("NX"));
+  b.beginLoop("j", 1, v("NY"));
+  b.stmt("S3", "ex", {v("i"), v("j")}, AssignOp::SubAssign,
+         lit(0.5) * (ref("hz", {v("i"), v("j")}) -
+                     ref("hz", {v("i"), v("j") - n(1)})));
+  b.endLoop();
+  b.endLoop();
+  b.beginLoop("i", 0, v("NX") - n(1));
+  b.beginLoop("j", 0, v("NY") - n(1));
+  b.stmt("S4", "hz", {v("i"), v("j")}, AssignOp::SubAssign,
+         lit(0.7) * (ref("ex", {v("i"), v("j") + n(1)}) -
+                     ref("ex", {v("i"), v("j")}) +
+                     ref("ey", {v("i") + n(1), v("j")}) -
+                     ref("ey", {v("i"), v("j")})));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+ir::Program buildFdtdApml() {
+  // FDTD with anisotropic perfectly matched layer (interior update plus the
+  // ix = Cxm and iy = Cym boundary updates, as in PolyBench/C 3.2; the
+  // scalar temporaries clf/tmp are modeled per (iz,iy) as in the original).
+  ProgramBuilder b("fdtd-apml");
+  b.param("CZ", 12).param("CYM", 12).param("CXM", 12);
+  b.array("Ex", {v("CZ"), v("CYM") + n(1), v("CXM") + n(1)});
+  b.array("Ey", {v("CZ"), v("CYM") + n(1), v("CXM") + n(1)});
+  b.array("Hz", {v("CZ"), v("CYM") + n(1), v("CXM") + n(1)});
+  b.array("Bza", {v("CZ"), v("CYM") + n(1), v("CXM") + n(1)});
+  b.array("Ry", {v("CZ"), v("CYM") + n(1)});
+  b.array("Ax", {v("CZ"), v("CXM") + n(1)});
+  b.array("clf", {v("CZ"), v("CYM") + n(1)});
+  b.array("tmp", {v("CZ"), v("CYM") + n(1)});
+  b.array("cymh", {v("CYM") + n(1)});
+  b.array("cyph", {v("CYM") + n(1)});
+  b.array("cxmh", {v("CXM") + n(1)});
+  b.array("cxph", {v("CXM") + n(1)});
+  b.array("czm", {v("CZ")});
+  b.array("czp", {v("CZ")});
+  const double ch = 0.85;
+  const double mui = 0.65;
+  auto izy = [&](const char* a) { return ref(a, {v("iz"), v("iy")}); };
+  b.beginLoop("iz", 0, v("CZ"));
+  b.beginLoop("iy", 0, v("CYM"));
+  // Interior sweep over ix.
+  b.beginLoop("ix", 0, v("CXM"));
+  b.stmt("S1", "clf", {v("iz"), v("iy")}, AssignOp::Set,
+         ref("Ex", {v("iz"), v("iy"), v("ix")}) -
+             ref("Ex", {v("iz"), v("iy") + n(1), v("ix")}) +
+             ref("Ey", {v("iz"), v("iy"), v("ix") + n(1)}) -
+             ref("Ey", {v("iz"), v("iy"), v("ix")}));
+  b.stmt("S2", "tmp", {v("iz"), v("iy")}, AssignOp::Set,
+         (ref("cymh", {v("iy")}) / ref("cyph", {v("iy")})) *
+                 ref("Bza", {v("iz"), v("iy"), v("ix")}) -
+             (lit(ch) / ref("cyph", {v("iy")})) * izy("clf"));
+  b.stmt("S3", "Hz", {v("iz"), v("iy"), v("ix")}, AssignOp::Set,
+         (ref("cxmh", {v("ix")}) / ref("cxph", {v("ix")})) *
+                 ref("Hz", {v("iz"), v("iy"), v("ix")}) +
+             (lit(mui) * ref("czp", {v("iz")}) / ref("cxph", {v("ix")})) *
+                 izy("tmp") -
+             (lit(mui) * ref("czm", {v("iz")}) / ref("cxph", {v("ix")})) *
+                 ref("Bza", {v("iz"), v("iy"), v("ix")}));
+  b.stmt("S4", "Bza", {v("iz"), v("iy"), v("ix")}, AssignOp::Set,
+         izy("tmp"));
+  b.endLoop();
+  // ix = CXM boundary.
+  b.stmt("S5", "clf", {v("iz"), v("iy")}, AssignOp::Set,
+         ref("Ex", {v("iz"), v("iy"), v("CXM")}) -
+             ref("Ex", {v("iz"), v("iy") + n(1), v("CXM")}) +
+             ref("Ry", {v("iz"), v("iy")}) -
+             ref("Ey", {v("iz"), v("iy"), v("CXM")}));
+  b.stmt("S6", "tmp", {v("iz"), v("iy")}, AssignOp::Set,
+         (ref("cymh", {v("iy")}) / ref("cyph", {v("iy")})) *
+                 ref("Bza", {v("iz"), v("iy"), v("CXM")}) -
+             (lit(ch) / ref("cyph", {v("iy")})) * izy("clf"));
+  b.stmt("S7", "Hz", {v("iz"), v("iy"), v("CXM")}, AssignOp::Set,
+         (ref("cxmh", {v("CXM")}) / ref("cxph", {v("CXM")})) *
+                 ref("Hz", {v("iz"), v("iy"), v("CXM")}) +
+             (lit(mui) * ref("czp", {v("iz")}) / ref("cxph", {v("CXM")})) *
+                 izy("tmp") -
+             (lit(mui) * ref("czm", {v("iz")}) / ref("cxph", {v("CXM")})) *
+                 ref("Bza", {v("iz"), v("iy"), v("CXM")}));
+  b.stmt("S8", "Bza", {v("iz"), v("iy"), v("CXM")}, AssignOp::Set,
+         izy("tmp"));
+  // iy = CYM boundary sweep over ix.
+  b.beginLoop("ix", 0, v("CXM"));
+  b.stmt("S9", "clf", {v("iz"), v("iy")}, AssignOp::Set,
+         ref("Ex", {v("iz"), v("CYM"), v("ix")}) -
+             ref("Ax", {v("iz"), v("ix")}) +
+             ref("Ey", {v("iz"), v("CYM"), v("ix") + n(1)}) -
+             ref("Ey", {v("iz"), v("CYM"), v("ix")}));
+  b.stmt("S10", "tmp", {v("iz"), v("iy")}, AssignOp::Set,
+         (ref("cymh", {v("CYM")}) / ref("cyph", {v("iy")})) *
+                 ref("Bza", {v("iz"), v("iy"), v("ix")}) -
+             (lit(ch) / ref("cyph", {v("iy")})) * izy("clf"));
+  b.stmt("S11", "Hz", {v("iz"), v("CYM"), v("ix")}, AssignOp::Set,
+         (ref("cxmh", {v("ix")}) / ref("cxph", {v("ix")})) *
+                 ref("Hz", {v("iz"), v("CYM"), v("ix")}) +
+             (lit(mui) * ref("czp", {v("iz")}) / ref("cxph", {v("ix")})) *
+                 izy("tmp") -
+             (lit(mui) * ref("czm", {v("iz")}) / ref("cxph", {v("ix")})) *
+                 ref("Bza", {v("iz"), v("CYM"), v("ix")}));
+  b.stmt("S12", "Bza", {v("iz"), v("CYM"), v("ix")}, AssignOp::Set,
+         izy("tmp"));
+  b.endLoop();
+  // (ix, iy) = (CXM, CYM) corner.
+  b.stmt("S13", "clf", {v("iz"), v("iy")}, AssignOp::Set,
+         ref("Ex", {v("iz"), v("CYM"), v("CXM")}) -
+             ref("Ax", {v("iz"), v("CXM")}) +
+             ref("Ry", {v("iz"), v("CYM")}) -
+             ref("Ey", {v("iz"), v("CYM"), v("CXM")}));
+  b.stmt("S14", "tmp", {v("iz"), v("iy")}, AssignOp::Set,
+         (ref("cymh", {v("CYM")}) / ref("cyph", {v("CYM")})) *
+                 ref("Bza", {v("iz"), v("iy"), v("CXM")}) -
+             (lit(ch) / ref("cyph", {v("CYM")})) * izy("clf"));
+  b.stmt("S15", "Hz", {v("iz"), v("CYM"), v("CXM")}, AssignOp::Set,
+         (ref("cxmh", {v("CXM")}) / ref("cxph", {v("CXM")})) *
+                 ref("Hz", {v("iz"), v("CYM"), v("CXM")}) +
+             (lit(mui) * ref("czp", {v("iz")}) / ref("cxph", {v("CXM")})) *
+                 izy("tmp") -
+             (lit(mui) * ref("czm", {v("iz")}) / ref("cxph", {v("CXM")})) *
+                 ref("Bza", {v("iz"), v("CYM"), v("CXM")}));
+  b.stmt("S16", "Bza", {v("iz"), v("CYM"), v("CXM")}, AssignOp::Set,
+         izy("tmp"));
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+}  // namespace
+
+void registerStencils(std::vector<KernelInfo>& out) {
+  using Group = KernelInfo::Group;
+  out.push_back({"fdtd-2d", "2-D finite different time domain kernel",
+                 Group::Pipeline, buildFdtd2d,
+                 [](const auto& p) {
+                   return 11.0 * P(p, "TSTEPS") * P(p, "NX") * P(p, "NY");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"fdtd-apml",
+                 "FDTD using anisotropic perfectly matched layer",
+                 Group::Doall, buildFdtdApml,
+                 [](const auto& p) {
+                   return 25.0 * P(p, "CZ") * P(p, "CYM") * P(p, "CXM");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"jacobi-1d-imper", "1-D Jacobi stencil computation",
+                 Group::Pipeline, buildJacobi1d,
+                 [](const auto& p) {
+                   return 4.0 * P(p, "TSTEPS") * P(p, "N");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"jacobi-2d-imper", "2-D Jacobi stencil computation",
+                 Group::Pipeline, buildJacobi2d,
+                 [](const auto& p) {
+                   return 5.0 * P(p, "TSTEPS") * P(p, "N") * P(p, "N");
+                 },
+                 /*prepare=*/{}});
+  out.push_back({"seidel-2d", "2-D Seidel stencil computation",
+                 Group::Pipeline, buildSeidel2d,
+                 [](const auto& p) {
+                   return 9.0 * P(p, "TSTEPS") * P(p, "N") * P(p, "N");
+                 },
+                 /*prepare=*/{}});
+}
+
+}  // namespace polyast::kernels::detail

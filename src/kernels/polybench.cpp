@@ -1,0 +1,48 @@
+#include "kernels/polybench.hpp"
+
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+#include "support/error.hpp"
+
+namespace polyast::kernels {
+
+const std::vector<KernelInfo>& allKernels() {
+  static const std::vector<KernelInfo> registry = [] {
+    std::vector<KernelInfo> out;
+    detail::registerBlas(out);
+    detail::registerSolvers(out);
+    detail::registerStencils(out);
+    detail::registerDatamining(out);
+    // Table II lists the benchmarks alphabetically.
+    std::sort(out.begin(), out.end(),
+              [](const KernelInfo& a, const KernelInfo& b) {
+                return a.name < b.name;
+              });
+    return out;
+  }();
+  return registry;
+}
+
+const KernelInfo& kernel(const std::string& name) {
+  for (const auto& k : allKernels())
+    if (k.name == name) return k;
+  POLYAST_CHECK(false, "unknown kernel: " + name);
+}
+
+ir::Program buildKernel(const std::string& name) { return kernel(name).build(); }
+
+exec::Context makeContext(const ir::Program& program,
+                          std::map<std::string, std::int64_t> params) {
+  exec::Context ctx(program, std::move(params));
+  ctx.seedAll();
+  for (const auto& k : allKernels()) {
+    if (program.name.rfind(k.name, 0) == 0) {  // name or name_scheduled etc.
+      if (k.prepare) k.prepare(ctx);
+      return ctx;
+    }
+  }
+  return ctx;
+}
+
+}  // namespace polyast::kernels

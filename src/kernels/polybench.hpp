@@ -1,0 +1,48 @@
+// PolyBench/C 3.2 kernel suite as IR specifications (Table II of the paper).
+//
+// Every one of the 22 evaluated benchmarks is reconstructed from its
+// PolyBench/C 3.2 definition as a Program built through the public builder
+// API. Default parameter values are scaled so interpreter-based validation
+// stays fast; the benchmark harness overrides them per experiment.
+//
+// Scalars in the original C sources (e.g. `acc` in symm, `x` in cholesky)
+// are modeled as one-element arrays, which preserves their serializing
+// dependences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/interp.hpp"
+#include "ir/ast.hpp"
+
+namespace polyast::kernels {
+
+struct KernelInfo {
+  std::string name;
+  std::string description;
+  /// Dominant parallelism per the paper's grouping of Figures 7-9.
+  enum class Group { Doall, Reduction, Pipeline } group;
+  std::function<ir::Program()> build;
+  /// Floating-point operations for a parameter binding (GF/s reporting).
+  std::function<double(const std::map<std::string, std::int64_t>&)> flops;
+  /// Optional input conditioning applied after Context::seedAll (e.g.
+  /// cholesky needs a symmetric positive-definite matrix, adi needs a
+  /// damped coefficient array to stay numerically stable).
+  std::function<void(exec::Context&)> prepare;
+};
+
+/// All 22 kernels of Table II, in the paper's order.
+const std::vector<KernelInfo>& allKernels();
+
+const KernelInfo& kernel(const std::string& name);
+ir::Program buildKernel(const std::string& name);
+
+/// Seeded and conditioned execution context for differential testing.
+exec::Context makeContext(const ir::Program& program,
+                          std::map<std::string, std::int64_t> params = {});
+
+}  // namespace polyast::kernels

@@ -1,0 +1,411 @@
+#include "poly/codegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace polyast::poly {
+
+using ir::AffExpr;
+
+namespace {
+
+/// Per-statement transformed view.
+struct TStmt {
+  const PolyStmt* ps = nullptr;
+  const Schedule* sched = nullptr;
+  /// Transformed domain over [c_1..c_d, params...].
+  IntSet domain;
+  /// Bounds of level k (0-based) as affine expressions over outer new
+  /// iterators and params; lower inclusive, upper exclusive.
+  std::vector<std::vector<AffExpr>> lowers, uppers;
+  std::shared_ptr<ir::Stmt> newStmt;
+};
+
+std::string levelName(const CodegenOptions& opt, std::size_t level) {
+  return opt.iterPrefix + std::to_string(level + 1);
+}
+
+/// Converts a constraint row over [c_1..c_k-1 outer, params] (c_k removed)
+/// into an AffExpr using the level names.
+AffExpr rowToAff(const std::vector<std::int64_t>& coeffs,
+                 std::int64_t constant, std::size_t numOuter,
+                 const std::vector<std::string>& params,
+                 const CodegenOptions& opt) {
+  AffExpr e(constant);
+  for (std::size_t i = 0; i < numOuter; ++i)
+    if (coeffs[i] != 0) e += AffExpr::term(levelName(opt, i), coeffs[i]);
+  for (std::size_t p = 0; p < params.size(); ++p)
+    if (coeffs[numOuter + p] != 0)
+      e += AffExpr::term(params[p], coeffs[numOuter + p]);
+  return e;
+}
+
+/// Removes redundant parts from a lower/upper part list: part i is redundant
+/// if the set restricted by all the *other* parts cannot violate it.
+std::vector<AffExpr> pruneParts(const IntSet& projected, std::size_t varIdx,
+                                std::vector<AffExpr> parts, bool isLower,
+                                std::size_t numOuter,
+                                const std::vector<std::string>& params,
+                                const CodegenOptions& opt) {
+  // Dedupe first.
+  std::vector<AffExpr> uniq;
+  for (const auto& p : parts)
+    if (std::find(uniq.begin(), uniq.end(), p) == uniq.end())
+      uniq.push_back(p);
+  parts = std::move(uniq);
+  if (parts.size() <= 1) return parts;
+
+  auto affToRow = [&](const AffExpr& a) {
+    std::vector<std::int64_t> row(projected.numVars(), 0);
+    std::int64_t c = a.constant();
+    for (const auto& [name, coeff] : a.coeffs()) {
+      bool found = false;
+      for (std::size_t i = 0; i < numOuter; ++i)
+        if (name == levelName(opt, i)) {
+          row[i] = coeff;
+          found = true;
+          break;
+        }
+      if (found) continue;
+      for (std::size_t p = 0; p < params.size(); ++p)
+        if (name == params[p]) {
+          row[numOuter + 1 + p] = coeff;
+          found = true;
+          break;
+        }
+      POLYAST_CHECK(found, "unknown name in bound part: " + name);
+    }
+    return std::make_pair(row, c);
+  };
+
+  std::vector<AffExpr> kept;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    // Test whether part i can be violated while all other parts (and the
+    // projected set's own constraints) hold.
+    IntSet test = projected;
+    for (std::size_t j = 0; j < parts.size(); ++j) {
+      auto [row, c] = affToRow(parts[j]);
+      if (j == i) {
+        if (isLower) {
+          // violation: var <= part - 1  =>  part - var - 1 >= 0
+          row[varIdx] -= 1;
+          test.addInequality(std::move(row), c - 1);
+        } else {
+          // violation: var >= part  =>  var - part >= 0
+          for (auto& v : row) v = -v;
+          row[varIdx] += 1;
+          test.addInequality(std::move(row), -c);
+        }
+      } else {
+        if (isLower) {
+          // var >= part  =>  var - part >= 0
+          for (auto& v : row) v = -v;
+          row[varIdx] += 1;
+          test.addInequality(std::move(row), -c);
+        } else {
+          // var < part  =>  part - var - 1 >= 0
+          row[varIdx] -= 1;
+          test.addInequality(std::move(row), c - 1);
+        }
+      }
+    }
+    if (!test.isEmpty()) kept.push_back(parts[i]);
+  }
+  if (kept.empty()) kept.push_back(parts.front());
+  return kept;
+}
+
+/// Extracts per-level bounds of the transformed domain.
+void computeBounds(TStmt& t, const Scop& scop, const CodegenOptions& opt) {
+  std::size_t d = t.sched->depth();
+  std::size_t np = scop.params.size();
+  t.lowers.resize(d);
+  t.uppers.resize(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    // Keep [c_1..c_k, params]; variable of interest is index k.
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i <= k; ++i) keep.push_back(i);
+    for (std::size_t p = 0; p < np; ++p) keep.push_back(d + p);
+    IntSet proj = t.domain.project(keep);
+    POLYAST_CHECK(!proj.isEmpty(), "empty transformed domain");
+    for (const auto& c : proj.constraints()) {
+      std::int64_t a = c.coeffs[k];
+      if (a == 0) continue;
+      POLYAST_CHECK(a == 1 || a == -1 || c.isEquality,
+                    "non-unit bound coefficient outside restricted class");
+      // Build `rest` with the c_k column removed, keeping outer + params.
+      std::vector<std::int64_t> rest;
+      rest.reserve(c.coeffs.size() - 1);
+      for (std::size_t i = 0; i < c.coeffs.size(); ++i)
+        if (i != k) rest.push_back(c.coeffs[i]);
+      if (c.isEquality) {
+        POLYAST_CHECK(a == 1 || a == -1,
+                      "non-unit equality coefficient in bounds");
+        // a*ck + rest + const == 0  =>  ck == -(rest+const)/a
+        std::vector<std::int64_t> r = rest;
+        std::int64_t cc = c.constant;
+        if (a == 1)
+          for (auto& v : r) v = -v;
+        std::int64_t k0 = a == 1 ? -cc : cc;
+        AffExpr val = rowToAff(r, k0, k, scop.params, opt);
+        t.lowers[k].push_back(val);
+        t.uppers[k].push_back(val + AffExpr(1));
+      } else if (a == 1) {
+        // ck + rest + const >= 0  =>  ck >= -(rest + const)
+        std::vector<std::int64_t> r = rest;
+        for (auto& v : r) v = -v;
+        t.lowers[k].push_back(rowToAff(r, -c.constant, k, scop.params, opt));
+      } else {
+        // -ck + rest + const >= 0  =>  ck <= rest + const  (upper exclusive)
+        t.uppers[k].push_back(
+            rowToAff(rest, c.constant + 1, k, scop.params, opt));
+      }
+    }
+    POLYAST_CHECK(!t.lowers[k].empty() && !t.uppers[k].empty(),
+                  "unbounded loop level in transformed domain");
+    t.lowers[k] = pruneParts(t.domain.project(keep), k, std::move(t.lowers[k]),
+                             /*isLower=*/true, k, scop.params, opt);
+    t.uppers[k] = pruneParts(t.domain.project(keep), k, std::move(t.uppers[k]),
+                             /*isLower=*/false, k, scop.params, opt);
+  }
+}
+
+/// Builds the transformed statement (subscripts/rhs rewritten into the new
+/// iterators).
+void buildNewStmt(TStmt& t, const CodegenOptions& opt) {
+  auto s = std::static_pointer_cast<ir::Stmt>(t.ps->stmt->clone());
+  std::size_t d = t.sched->depth();
+  // Simultaneous substitution old_j -> sign_k * c_k - sign_k * shift_k is
+  // safe sequentially because the new names are fresh.
+  for (std::size_t k = 0; k < d; ++k) {
+    std::size_t j = t.sched->sourceIter(k);
+    std::int64_t sg = t.sched->sign(k);
+    AffExpr repl = AffExpr::term(levelName(opt, k), sg) +
+                   t.sched->shift[k] * -sg;
+    const std::string& oldName = t.ps->iters[j];
+    for (auto& sub : s->lhsSubs) sub = sub.substituted(oldName, repl);
+    for (auto& g : s->guards) g = g.substituted(oldName, repl);
+    s->rhs = ir::substituteIter(s->rhs, oldName, repl);
+  }
+  t.newStmt = std::move(s);
+}
+
+/// Computes the transformed domain over [c_1..c_d, params].
+IntSet transformDomain(const PolyStmt& ps, const Schedule& sched,
+                       const Scop& scop, const CodegenOptions& opt) {
+  std::size_t d = sched.depth();
+  std::size_t np = scop.params.size();
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < d; ++k) names.push_back(levelName(opt, k));
+  names.insert(names.end(), scop.params.begin(), scop.params.end());
+  IntSet out(names);
+  // Old iterator j at level k(j): old_j = sign * c_k - sign * shift_k.
+  std::vector<std::size_t> levelOf(d);
+  for (std::size_t k = 0; k < d; ++k) levelOf[sched.sourceIter(k)] = k;
+  for (const auto& c : ps.domain.constraints()) {
+    std::vector<std::int64_t> row(d + np, 0);
+    std::int64_t constant = c.constant;
+    for (std::size_t j = 0; j < d; ++j) {
+      std::int64_t coeff = c.coeffs[j];
+      if (coeff == 0) continue;
+      std::size_t k = levelOf[j];
+      std::int64_t sg = sched.sign(k);
+      row[k] += coeff * sg;
+      // -coeff * sign * shift_k contributes to params/constant.
+      const AffExpr& sh = sched.shift[k];
+      constant -= coeff * sg * sh.constant();
+      for (const auto& [name, pc] : sh.coeffs()) {
+        auto pt = std::find(scop.params.begin(), scop.params.end(), name);
+        POLYAST_CHECK(pt != scop.params.end(),
+                      "shift must be affine in params: " + name);
+        row[d + static_cast<std::size_t>(pt - scop.params.begin())] -=
+            coeff * sg * pc;
+      }
+    }
+    for (std::size_t p = 0; p < np; ++p) row[d + p] += c.coeffs[d + p];
+    Constraint nc;
+    nc.coeffs = std::move(row);
+    nc.constant = constant;
+    nc.isEquality = c.isEquality;
+    out.addConstraint(std::move(nc));
+  }
+  return out;
+}
+
+/// Merges the bound part lists of the statements fused at one level. All
+/// statements must agree up to the constant term of single-part bounds;
+/// statements that do not span the full merged range get guards.
+struct MergedBound {
+  std::vector<AffExpr> parts;
+};
+
+/// True iff `a <= b` (isLower) or `a >= b` (!isLower) for every value of
+/// the free variables, under the parameter-minimum assumption. Outer loop
+/// iterators are left unconstrained, which makes the test conservative.
+bool dominates(const AffExpr& a, const AffExpr& b, bool isLower,
+               const Scop& scop) {
+  std::vector<std::string> names;
+  auto collect = [&names](const AffExpr& e) {
+    for (const auto& [n2, c] : e.coeffs()) {
+      (void)c;
+      if (std::find(names.begin(), names.end(), n2) == names.end())
+        names.push_back(n2);
+    }
+  };
+  collect(a);
+  collect(b);
+  IntSet set(names);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (std::find(scop.params.begin(), scop.params.end(), names[i]) !=
+        scop.params.end()) {
+      std::vector<std::int64_t> row(names.size(), 0);
+      row[i] = 1;
+      set.addInequality(std::move(row), -scop.options.paramMin);
+    }
+  }
+  // Violation: a - b >= 1 (isLower) or b - a >= 1 (!isLower).
+  AffExpr diff = isLower ? a - b : b - a;
+  std::vector<std::int64_t> row(names.size(), 0);
+  for (std::size_t i = 0; i < names.size(); ++i) row[i] = diff.coeff(names[i]);
+  set.addInequality(std::move(row), diff.constant() - 1);
+  return set.isEmpty();
+}
+
+MergedBound mergeBounds(const Scop& scop,
+                        const std::vector<const TStmt*>& group, std::size_t k,
+                        bool isLower) {
+  const auto& first =
+      isLower ? group.front()->lowers[k] : group.front()->uppers[k];
+  bool allSame = true;
+  for (const TStmt* t : group) {
+    const auto& parts = isLower ? t->lowers[k] : t->uppers[k];
+    if (!(parts == first)) allSame = false;
+  }
+  if (allSame) return {first};
+  // Differing bounds: each statement must have a single part; the merged
+  // loop bound is a part that covers (dominates) every other — smallest
+  // lower bound / largest upper bound for all variable values.
+  std::vector<AffExpr> candidates;
+  for (const TStmt* t : group) {
+    const auto& parts = isLower ? t->lowers[k] : t->uppers[k];
+    POLYAST_CHECK(parts.size() == 1,
+                  "cannot fuse statements with multi-part differing bounds");
+    candidates.push_back(parts.front());
+  }
+  for (const AffExpr& cand : candidates) {
+    bool coversAll = true;
+    for (const AffExpr& other : candidates) {
+      if (cand == other) continue;
+      if (!dominates(cand, other, isLower, scop)) {
+        coversAll = false;
+        break;
+      }
+    }
+    if (coversAll) return {{cand}};
+  }
+  POLYAST_CHECK(false,
+                "cannot fuse statements: no bound dominates the others");
+}
+
+/// Emits guards on a statement when its own bounds are tighter than the
+/// fused loop's bounds.
+void addGuards(const TStmt& t, std::size_t k, const MergedBound& lo,
+               const MergedBound& hi, const CodegenOptions& opt,
+               ir::Stmt& s) {
+  AffExpr ck = AffExpr::term(levelName(opt, k));
+  for (const auto& part : t.lowers[k]) {
+    if (std::find(lo.parts.begin(), lo.parts.end(), part) != lo.parts.end())
+      continue;
+    s.guards.push_back(ck - part);  // ck - lower >= 0
+  }
+  for (const auto& part : t.uppers[k]) {
+    if (std::find(hi.parts.begin(), hi.parts.end(), part) != hi.parts.end())
+      continue;
+    s.guards.push_back(part - ck - AffExpr(1));  // upper - 1 - ck >= 0
+  }
+}
+
+void buildTree(const Scop& scop, std::vector<TStmt*> stmts, std::size_t k,
+               const std::shared_ptr<ir::Block>& parent,
+               const CodegenOptions& opt) {
+  // Group by beta_k, emit groups in increasing beta order.
+  std::map<std::int64_t, std::vector<TStmt*>> groups;
+  for (TStmt* t : stmts) {
+    POLYAST_CHECK(k < t->sched->beta.size(), "beta vector too short");
+    groups[t->sched->beta[k]].push_back(t);
+  }
+  for (auto& [beta, group] : groups) {
+    (void)beta;
+    bool anyLeaf = false, anyLoop = false;
+    for (TStmt* t : group)
+      (t->sched->depth() == k ? anyLeaf : anyLoop) = true;
+    POLYAST_CHECK(!(anyLeaf && anyLoop),
+                  "beta group mixes leaf statements and loops");
+    if (anyLeaf) {
+      // Leaf statements tied at this beta are ordered by the trailing beta
+      // row, when present (schedules fused through their whole depth).
+      std::stable_sort(group.begin(), group.end(),
+                       [k](const TStmt* a, const TStmt* b) {
+                         auto trailing = [k](const TStmt* t) {
+                           return k + 1 < t->sched->beta.size()
+                                      ? t->sched->beta[k + 1]
+                                      : 0;
+                         };
+                         return trailing(a) < trailing(b);
+                       });
+      for (TStmt* t : group) parent->children.push_back(t->newStmt);
+      continue;
+    }
+    std::vector<const TStmt*> cgroup(group.begin(), group.end());
+    MergedBound lo = mergeBounds(scop, cgroup, k, /*isLower=*/true);
+    MergedBound hi = mergeBounds(scop, cgroup, k, /*isLower=*/false);
+    auto loop = std::make_shared<ir::Loop>();
+    loop->iter = levelName(opt, k);
+    loop->lower.parts = lo.parts;
+    loop->upper.parts = hi.parts;
+    for (TStmt* t : group) addGuards(*t, k, lo, hi, opt, *t->newStmt);
+    parent->children.push_back(loop);
+    buildTree(scop, std::move(group), k + 1, loop->body, opt);
+  }
+}
+
+}  // namespace
+
+ir::Program applySchedules(const Scop& scop, const ScheduleMap& schedules,
+                           const CodegenOptions& options) {
+  POLYAST_CHECK(scop.program != nullptr, "scop without program");
+  ir::Program out;
+  out.name = scop.program->name + "_scheduled";
+  out.params = scop.program->params;
+  out.paramDefaults = scop.program->paramDefaults;
+  out.arrays = scop.program->arrays;
+
+  std::vector<TStmt> tstmts(scop.stmts.size());
+  for (std::size_t i = 0; i < scop.stmts.size(); ++i) {
+    const PolyStmt& ps = scop.stmts[i];
+    auto it = schedules.find(ps.stmt->id);
+    POLYAST_CHECK(it != schedules.end(),
+                  "missing schedule for statement " + ps.stmt->label);
+    const Schedule& sched = it->second;
+    POLYAST_CHECK(sched.depth() == ps.iters.size(),
+                  "schedule depth mismatch for " + ps.stmt->label);
+    POLYAST_CHECK(sched.alpha.isSignedPermutation(),
+                  "alpha must be a signed permutation");
+    TStmt& t = tstmts[i];
+    t.ps = &ps;
+    t.sched = &sched;
+    t.domain = transformDomain(ps, sched, scop, options);
+    computeBounds(t, scop, options);
+    buildNewStmt(t, options);
+  }
+  std::vector<TStmt*> all;
+  all.reserve(tstmts.size());
+  for (auto& t : tstmts) all.push_back(&t);
+  buildTree(scop, std::move(all), 0, out.root, options);
+  return out;
+}
+
+}  // namespace polyast::poly

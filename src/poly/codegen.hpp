@@ -1,0 +1,35 @@
+// Polyhedral code generation for restricted 2d+1 schedules.
+//
+// This is the (deliberately small) replacement for CLooG: because the
+// schedules are limited to fusion/distribution/code-motion (beta), signed
+// permutation (alpha) and parameter-affine retiming (c), the generated code
+// is a direct reordering of the original loops:
+//   * the transformed tree is built by recursively grouping statements on
+//     their beta prefix,
+//   * per-statement loop bounds at each level are obtained by projecting the
+//     transformed iteration domain (Fourier–Motzkin) onto the outer levels,
+//   * statements fused into one loop whose domains differ get the loop's
+//     union bounds plus affine guards.
+// The result is an ordinary ir::Program, executable by the interpreter and
+// transformable by the AST-based stage — matching the paper's observation
+// that simpler generated loop structure is a feature, not a limitation.
+#pragma once
+
+#include "ir/ast.hpp"
+#include "poly/schedule.hpp"
+#include "poly/scop.hpp"
+
+namespace polyast::poly {
+
+struct CodegenOptions {
+  /// Prefix for the generated loop iterator names ("c" gives c1, c2, ...).
+  std::string iterPrefix = "c";
+};
+
+/// Builds the transformed program implementing `schedules` on `scop`.
+/// Throws polyast::Error if the schedule requires bound structures outside
+/// the restricted class (see DESIGN.md), or if a schedule is missing.
+ir::Program applySchedules(const Scop& scop, const ScheduleMap& schedules,
+                           const CodegenOptions& options = {});
+
+}  // namespace polyast::poly

@@ -1,0 +1,254 @@
+#include "poly/dependence.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace polyast::poly {
+
+using ir::AffExpr;
+
+std::string depKindName(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+    case DepKind::Input: return "input";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> PoDG::edgesBetween(int srcId, int dstId) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < deps.size(); ++i)
+    if (deps[i].srcId == srcId && deps[i].dstId == dstId) out.push_back(i);
+  return out;
+}
+
+namespace {
+
+/// Builds the joint space names [src iters, dst iters, params]; source
+/// iterators are primed when both statements share names.
+std::vector<std::string> jointNames(const Scop& scop, const PolyStmt& src,
+                                    const PolyStmt& dst) {
+  std::vector<std::string> names;
+  for (const auto& it : src.iters) names.push_back(it + "@s");
+  for (const auto& it : dst.iters) names.push_back(it + "@d");
+  for (const auto& p : scop.params) names.push_back(p);
+  return names;
+}
+
+/// Maps an AffExpr over one statement's [iters, params] to a joint-space
+/// constraint row; `offset` positions the statement's iterators.
+std::vector<std::int64_t> toJointRow(const AffExpr& e,
+                                     const std::vector<std::string>& iters,
+                                     std::size_t offset,
+                                     const Scop& scop,
+                                     std::size_t jointSize,
+                                     std::int64_t* constant) {
+  std::vector<std::int64_t> row(jointSize, 0);
+  std::size_t paramBase = jointSize - scop.params.size();
+  for (const auto& [name, coeff] : e.coeffs()) {
+    auto it = std::find(iters.begin(), iters.end(), name);
+    if (it != iters.end()) {
+      row[offset + static_cast<std::size_t>(it - iters.begin())] = coeff;
+      continue;
+    }
+    auto pt = std::find(scop.params.begin(), scop.params.end(), name);
+    POLYAST_CHECK(pt != scop.params.end(),
+                  "non-affine name in access/domain: " + name);
+    row[paramBase + static_cast<std::size_t>(pt - scop.params.begin())] =
+        coeff;
+  }
+  *constant = e.constant();
+  return row;
+}
+
+/// Copies a statement's domain constraints into the joint space.
+void addDomain(IntSet& set, const PolyStmt& ps, std::size_t offset,
+               const Scop& scop) {
+  std::size_t n = set.numVars();
+  std::size_t paramBase = n - scop.params.size();
+  for (const auto& c : ps.domain.constraints()) {
+    std::vector<std::int64_t> row(n, 0);
+    for (std::size_t i = 0; i < ps.iters.size(); ++i)
+      row[offset + i] = c.coeffs[i];
+    for (std::size_t p = 0; p < scop.params.size(); ++p)
+      row[paramBase + p] = c.coeffs[ps.iters.size() + p];
+    Constraint out;
+    out.coeffs = std::move(row);
+    out.constant = c.constant;
+    out.isEquality = c.isEquality;
+    set.addConstraint(std::move(out));
+  }
+}
+
+DepKind classify(bool srcWrite, bool dstWrite) {
+  if (srcWrite && dstWrite) return DepKind::Output;
+  if (srcWrite) return DepKind::Flow;
+  if (dstWrite) return DepKind::Anti;
+  return DepKind::Input;
+}
+
+}  // namespace
+
+PoDG computeDependences(const Scop& scop, bool includeInput) {
+  PoDG podg;
+  for (const auto& src : scop.stmts) {
+    for (const auto& dst : scop.stmts) {
+      std::size_t cl = scop.commonLoops(src, dst);
+      bool sameStmt = src.stmt->id == dst.stmt->id;
+      // Textual order decides whether a loop-independent edge src->dst can
+      // exist; for carried levels any pair qualifies.
+      bool srcBefore = !sameStmt && scop.textuallyBefore(src, dst);
+      for (const auto& a : src.accesses) {
+        for (const auto& b : dst.accesses) {
+          if (a.array != b.array) continue;
+          if (!a.isWrite && !b.isWrite && !includeInput) continue;
+          if (a.subs.size() != b.subs.size()) continue;  // scalar vs array
+          DepKind kind = classify(a.isWrite, b.isWrite);
+
+          // Levels: 1..cl carried, plus 0 (loop-independent) when src is
+          // textually before dst.
+          for (std::size_t level = srcBefore ? 0u : 1u; level <= cl;
+               ++level) {
+            auto names = jointNames(scop, src, dst);
+            IntSet set(names);
+            std::size_t srcOff = 0;
+            std::size_t dstOff = src.iters.size();
+            addDomain(set, src, srcOff, scop);
+            addDomain(set, dst, dstOff, scop);
+            // Subscript equalities f_src(x_s) = f_dst(x_d).
+            for (std::size_t s = 0; s < a.subs.size(); ++s) {
+              std::int64_t c1 = 0, c2 = 0;
+              auto r1 = toJointRow(a.subs[s], src.iters, srcOff, scop,
+                                   set.numVars(), &c1);
+              auto r2 = toJointRow(b.subs[s], dst.iters, dstOff, scop,
+                                   set.numVars(), &c2);
+              for (std::size_t i = 0; i < r1.size(); ++i) r1[i] -= r2[i];
+              set.addEquality(std::move(r1), c1 - c2);
+            }
+            // Ordering constraints for this level.
+            std::size_t eqPrefix = level == 0 ? cl : level - 1;
+            for (std::size_t k = 0; k < eqPrefix; ++k) {
+              std::vector<std::int64_t> row(set.numVars(), 0);
+              row[srcOff + k] = 1;
+              row[dstOff + k] = -1;
+              set.addEquality(std::move(row), 0);
+            }
+            if (level >= 1) {
+              // x_d[level-1] - x_s[level-1] >= 1
+              std::vector<std::int64_t> row(set.numVars(), 0);
+              row[srcOff + level - 1] = -1;
+              row[dstOff + level - 1] = 1;
+              set.addInequality(std::move(row), -1);
+            }
+            if (set.isEmpty()) continue;
+
+            Dependence dep;
+            dep.srcId = src.stmt->id;
+            dep.dstId = dst.stmt->id;
+            dep.kind = kind;
+            dep.array = a.array;
+            dep.level = level;
+            dep.srcDim = src.iters.size();
+            dep.dstDim = dst.iters.size();
+            dep.poly = std::move(set);
+            dep.fromReduction = sameStmt && src.stmt->isReductionUpdate &&
+                                a.array == src.stmt->lhsArray &&
+                                b.array == src.stmt->lhsArray;
+            podg.deps.push_back(std::move(dep));
+          }
+        }
+      }
+    }
+  }
+  return podg;
+}
+
+std::vector<std::vector<int>> stronglyConnectedComponents(
+    const std::vector<int>& stmtIds, const PoDG& podg,
+    const std::vector<bool>& edgeEnabled) {
+  POLYAST_CHECK(edgeEnabled.size() == podg.deps.size(),
+                "edgeEnabled size mismatch");
+  std::map<int, std::vector<int>> adj;
+  for (int id : stmtIds) adj[id];  // ensure vertex exists
+  for (std::size_t i = 0; i < podg.deps.size(); ++i) {
+    if (!edgeEnabled[i]) continue;
+    const auto& d = podg.deps[i];
+    if (!adj.count(d.srcId) || !adj.count(d.dstId)) continue;
+    if (d.srcId != d.dstId) adj[d.srcId].push_back(d.dstId);
+  }
+  // Tarjan's algorithm (iterative enough at our sizes to use recursion).
+  std::map<int, int> index, low;
+  std::map<int, bool> onStack;
+  std::vector<int> stack;
+  int counter = 0;
+  std::vector<std::vector<int>> sccs;
+  std::function<void(int)> strongConnect = [&](int v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    onStack[v] = true;
+    for (int w : adj[v]) {
+      if (!index.count(w)) {
+        strongConnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (onStack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<int> comp;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        onStack[w] = false;
+        comp.push_back(w);
+      } while (w != v);
+      std::sort(comp.begin(), comp.end());
+      sccs.push_back(std::move(comp));
+    }
+  };
+  for (int id : stmtIds)
+    if (!index.count(id)) strongConnect(id);
+  // Tarjan emits components in reverse topological order; flip so sources
+  // come first.
+  std::reverse(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+std::string DepVectorElem::str() const {
+  if (isExact()) return std::to_string(*min);
+  std::string lo = min ? std::to_string(*min) : "-inf";
+  std::string hi = max ? std::to_string(*max) : "+inf";
+  return "[" + lo + "," + hi + "]";
+}
+
+std::vector<DepVector> dependenceVectors(const Scop& scop, const PoDG& podg) {
+  std::vector<DepVector> out;
+  for (const auto& dep : podg.deps) {
+    const auto& src = scop.byId(dep.srcId);
+    const auto& dst = scop.byId(dep.dstId);
+    std::size_t cl = scop.commonLoops(src, dst);
+    DepVector v;
+    v.srcId = dep.srcId;
+    v.dstId = dep.dstId;
+    v.kind = dep.kind;
+    v.fromReduction = dep.fromReduction;
+    std::size_t n = dep.poly.numVars();
+    for (std::size_t k = 0; k < cl; ++k) {
+      LinExpr diff = LinExpr::var(dep.srcDim + k, n) - LinExpr::var(k, n);
+      DepVectorElem e;
+      e.min = dep.poly.minOf(diff);
+      e.max = dep.poly.maxOf(diff);
+      v.elems.push_back(e);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace polyast::poly

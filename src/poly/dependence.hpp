@@ -1,0 +1,88 @@
+// Data-dependence analysis (Sec. III-A): dependence polyhedra, the
+// polyhedral dependence graph (PoDG), SCC computation, and the
+// dependence-vector summarization consumed by the AST-based stage (Sec. IV).
+//
+// This replaces the Candl tool used by the paper's implementation. For every
+// pair of accesses to the same array with at least one write, and for every
+// dependence level (loop-carried at each common depth, plus loop-independent),
+// we build the dependence polyhedron over [src iters, dst iters, params] and
+// keep it if non-empty. Emptiness uses the rational relaxation, which can
+// only over-approximate (report spurious dependences), never miss one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "intset/intset.hpp"
+#include "poly/scop.hpp"
+
+namespace polyast::poly {
+
+enum class DepKind { Flow, Anti, Output, Input };
+
+std::string depKindName(DepKind k);
+
+struct Dependence {
+  int srcId = -1;
+  int dstId = -1;
+  DepKind kind = DepKind::Flow;
+  std::string array;
+  /// 0 = loop-independent; k >= 1 = carried by the k-th common loop.
+  std::size_t level = 0;
+  std::size_t srcDim = 0;  ///< #iterators of the source statement
+  std::size_t dstDim = 0;  ///< #iterators of the target statement
+  /// Polyhedron over [src iters..., dst iters..., params...].
+  IntSet poly;
+  /// Both endpoints are the same reduction-update statement and the
+  /// dependence flows through the accumulated cell.
+  bool fromReduction = false;
+};
+
+/// The polyhedral dependence (multi-)graph: one edge per dependence
+/// polyhedron.
+struct PoDG {
+  std::vector<Dependence> deps;
+  /// Indices into `deps` of edges between the given statements.
+  std::vector<std::size_t> edgesBetween(int srcId, int dstId) const;
+};
+
+/// Computes all flow/anti/output (and optionally input) dependences.
+PoDG computeDependences(const Scop& scop, bool includeInput = false);
+
+/// Strongly connected components of the statement graph induced by the
+/// dependences selected by `edgeFilter` (input deps are normally excluded).
+/// Components are returned in a topological order of the condensation
+/// (sources first).
+std::vector<std::vector<int>> stronglyConnectedComponents(
+    const std::vector<int>& stmtIds, const PoDG& podg,
+    const std::vector<bool>& edgeEnabled);
+
+/// One element of a dependence distance vector at some loop level.
+struct DepVectorElem {
+  std::optional<std::int64_t> min;  ///< nullopt = unbounded below
+  std::optional<std::int64_t> max;  ///< nullopt = unbounded above
+  bool isExact() const { return min && max && *min == *max; }
+  bool isZero() const { return isExact() && *min == 0; }
+  bool isNonNegative() const { return min && *min >= 0; }
+  bool isPositive() const { return min && *min >= 1; }
+  bool isNegativePossible() const { return !min || *min < 0; }
+  std::string str() const;
+};
+
+/// Distance summary of one dependence over the common loops of its
+/// endpoints (Sec. IV-A: "dependence vectors ... offer sufficient accuracy
+/// for our parallelism detector").
+struct DepVector {
+  int srcId = -1;
+  int dstId = -1;
+  DepKind kind = DepKind::Flow;
+  bool fromReduction = false;
+  std::vector<DepVectorElem> elems;  ///< one per common loop, outer first
+};
+
+/// Summarizes every dependence of the PoDG into distance vectors.
+std::vector<DepVector> dependenceVectors(const Scop& scop, const PoDG& podg);
+
+}  // namespace polyast::poly

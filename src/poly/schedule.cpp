@@ -1,0 +1,149 @@
+#include "poly/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace polyast::poly {
+
+using ir::AffExpr;
+
+Schedule Schedule::identity(std::size_t d) {
+  Schedule s;
+  s.beta.assign(d + 1, 0);
+  s.alpha = IntMatrix::identity(d);
+  s.shift.assign(d, AffExpr(0));
+  return s;
+}
+
+std::size_t Schedule::sourceIter(std::size_t level) const {
+  POLYAST_CHECK(level < depth(), "schedule level out of range");
+  for (std::size_t j = 0; j < depth(); ++j)
+    if (alpha.at(level, j) != 0) return j;
+  POLYAST_CHECK(false, "zero alpha row in schedule");
+}
+
+std::int64_t Schedule::sign(std::size_t level) const {
+  return alpha.at(level, sourceIter(level));
+}
+
+std::string Schedule::str() const {
+  std::ostringstream os;
+  os << "beta=[";
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    if (i) os << " ";
+    os << beta[i];
+  }
+  os << "] alpha=\n" << alpha.str() << "shift=[";
+  for (std::size_t i = 0; i < shift.size(); ++i) {
+    if (i) os << " ";
+    os << shift[i].str();
+  }
+  os << "]";
+  return os.str();
+}
+
+ScheduleMap identitySchedules(const Scop& scop) {
+  ScheduleMap m;
+  // Reproduce the original AST order: beta values follow the statements'
+  // block positions at each depth.
+  for (const auto& ps : scop.stmts) {
+    Schedule s = Schedule::identity(ps.iters.size());
+    // path interleaves block positions; entry k of path is the child index
+    // inside the k-th enclosing block (one block per loop level + the root).
+    for (std::size_t k = 0; k < s.beta.size() && k < ps.path.size(); ++k)
+      s.beta[k] = ps.path[k];
+    m[ps.stmt->id] = std::move(s);
+  }
+  return m;
+}
+
+std::size_t normalizedRows(const Scop& scop) {
+  std::size_t dmax = 0;
+  for (const auto& ps : scop.stmts) dmax = std::max(dmax, ps.iters.size());
+  // +2 covers one trailing beta row (statements fused through their whole
+  // depth and ordered by an extra interleaving coefficient).
+  return 2 * dmax + 3;
+}
+
+namespace {
+
+/// Timestamp row `row` of a statement as a linear expression over the joint
+/// dependence space [src iters (srcDim), dst iters (dstDim), params].
+/// `offset` selects which block of iterator columns belongs to the
+/// statement. Rows beyond the statement's own 2d+1 rows are constant 0.
+LinExpr timestampRow(const Scop& scop, const Schedule& sched,
+                     std::size_t row, std::size_t offset,
+                     std::size_t jointSize) {
+  LinExpr e = LinExpr::constantExpr(0, jointSize);
+  std::size_t d = sched.depth();
+  if (row % 2 == 0) {
+    std::size_t k = row / 2;
+    if (k < sched.beta.size()) e.constant = sched.beta[k];
+    return e;
+  }
+  std::size_t k = row / 2;  // alpha row index
+  if (k >= d) return e;
+  for (std::size_t j = 0; j < d; ++j)
+    e.coeffs[offset + j] = sched.alpha.at(k, j);
+  const AffExpr& c = sched.shift[k];
+  e.constant += c.constant();
+  std::size_t paramBase = jointSize - scop.params.size();
+  for (const auto& [name, coeff] : c.coeffs()) {
+    auto pt = std::find(scop.params.begin(), scop.params.end(), name);
+    POLYAST_CHECK(pt != scop.params.end(),
+                  "schedule shift must be affine in the parameters: " + name);
+    e.coeffs[paramBase + static_cast<std::size_t>(pt - scop.params.begin())] +=
+        coeff;
+  }
+  return e;
+}
+
+}  // namespace
+
+DepStatus checkDependence(const Scop& scop, const Dependence& dep,
+                          const ScheduleMap& schedules, std::size_t numRows) {
+  auto sIt = schedules.find(dep.srcId);
+  auto dIt = schedules.find(dep.dstId);
+  POLYAST_CHECK(sIt != schedules.end() && dIt != schedules.end(),
+                "missing schedule for dependence endpoint");
+  const Schedule& ss = sIt->second;
+  const Schedule& ds = dIt->second;
+  std::size_t n = dep.poly.numVars();
+
+  // Accumulate equality constraints "rows < l are equal" while scanning.
+  IntSet prefixEq = dep.poly;
+  for (std::size_t row = 0; row < numRows; ++row) {
+    LinExpr src = timestampRow(scop, ss, row, 0, n);
+    LinExpr dst = timestampRow(scop, ds, row, dep.srcDim, n);
+    LinExpr diff = dst - src;  // want >= 0, strict somewhere
+
+    // Violation at this row: prefix equal and diff <= -1.
+    IntSet bad = prefixEq;
+    {
+      std::vector<std::int64_t> coeffs = diff.coeffs;
+      for (auto& c : coeffs) c = -c;
+      bad.addInequality(std::move(coeffs), -diff.constant - 1);
+    }
+    if (!bad.isEmpty()) return DepStatus::Violated;
+
+    // Continue with pairs still tied at this row.
+    prefixEq.addEquality(diff.coeffs, diff.constant);
+    if (prefixEq.isEmpty()) return DepStatus::Carried;
+  }
+  return DepStatus::Respected;
+}
+
+bool scheduleIsLegal(const Scop& scop, const PoDG& podg,
+                     const ScheduleMap& schedules) {
+  std::size_t rows = normalizedRows(scop);
+  for (const auto& dep : podg.deps) {
+    if (dep.kind == DepKind::Input) continue;
+    if (checkDependence(scop, dep, schedules, rows) != DepStatus::Carried)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace polyast::poly

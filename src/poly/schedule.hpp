@@ -1,0 +1,67 @@
+// Affine schedules in the paper's restricted 2d+1 form (Sec. III-A) and
+// dependence-based legality checking.
+//
+// A statement with d enclosing loops gets a (2d+1)-row timestamp:
+//   row 2k   (k = 0..d):  beta_k  — multidimensional statement interleaving
+//                         (fusion / distribution / code motion)
+//   row 2k+1 (k = 0..d-1): alpha_k · x + c_k — alpha is one signed unit row
+//                         of a signed permutation matrix (permutation +
+//                         reversal), c_k an affine shift in the parameters
+//                         (multidimensional retiming).
+// Invertibility is by construction: alpha is a signed permutation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "poly/dependence.hpp"
+#include "poly/scop.hpp"
+#include "support/int_matrix.hpp"
+
+namespace polyast::poly {
+
+struct Schedule {
+  std::vector<std::int64_t> beta;  ///< size d+1
+  IntMatrix alpha;                 ///< d x d signed permutation
+  std::vector<ir::AffExpr> shift;  ///< size d; affine in params only
+
+  static Schedule identity(std::size_t d);
+  std::size_t depth() const { return shift.size(); }
+
+  /// Original iterator index placed at transformed level k, and its sign.
+  std::size_t sourceIter(std::size_t level) const;
+  std::int64_t sign(std::size_t level) const;
+
+  std::string str() const;
+};
+
+/// Schedules keyed by statement id.
+using ScheduleMap = std::map<int, Schedule>;
+
+/// Identity schedules reproducing the original AST order.
+ScheduleMap identitySchedules(const Scop& scop);
+
+/// Outcome of checking one dependence against a prefix of timestamp rows.
+enum class DepStatus {
+  Violated,   ///< some instance pair is executed in the wrong order
+  Respected,  ///< no violation, but some pairs still tie (resolved deeper)
+  Carried,    ///< every pair strictly ordered within the prefix
+};
+
+/// Checks the dependence against the first `numRows` rows of the
+/// normalized (padded to the program's maximal depth) timestamps.
+/// Pass `normalizedRows(scop)` to check the complete schedules.
+DepStatus checkDependence(const Scop& scop, const Dependence& dep,
+                          const ScheduleMap& schedules, std::size_t numRows);
+
+/// Number of rows of the normalized timestamp space: 2*Dmax + 1.
+std::size_t normalizedRows(const Scop& scop);
+
+/// Full legality: every dependence is carried by the complete schedules.
+bool scheduleIsLegal(const Scop& scop, const PoDG& podg,
+                     const ScheduleMap& schedules);
+
+}  // namespace polyast::poly

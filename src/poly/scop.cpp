@@ -1,0 +1,147 @@
+#include "poly/scop.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace polyast::poly {
+
+using ir::AffExpr;
+
+namespace {
+
+/// Converts an affine expression into a coefficient row over
+/// [iters..., params...]; throws if it references anything else.
+std::vector<std::int64_t> toRow(const AffExpr& e,
+                                const std::vector<std::string>& iters,
+                                const std::vector<std::string>& params,
+                                std::int64_t* constant) {
+  std::vector<std::int64_t> row(iters.size() + params.size(), 0);
+  for (const auto& [name, coeff] : e.coeffs()) {
+    auto it = std::find(iters.begin(), iters.end(), name);
+    if (it != iters.end()) {
+      row[static_cast<std::size_t>(it - iters.begin())] = coeff;
+      continue;
+    }
+    auto pt = std::find(params.begin(), params.end(), name);
+    POLYAST_CHECK(pt != params.end(),
+                  "non-affine reference in SCoP expression: " + name);
+    row[iters.size() + static_cast<std::size_t>(pt - params.begin())] = coeff;
+  }
+  *constant = e.constant();
+  return row;
+}
+
+}  // namespace
+
+const PolyStmt& Scop::byId(int stmtId) const {
+  for (const auto& s : stmts)
+    if (s.stmt->id == stmtId) return s;
+  POLYAST_CHECK(false, "unknown statement id " + std::to_string(stmtId));
+}
+
+std::size_t Scop::commonLoops(const PolyStmt& a, const PolyStmt& b) const {
+  std::size_t n = std::min(a.loops.size(), b.loops.size());
+  std::size_t k = 0;
+  while (k < n && a.loops[k] == b.loops[k]) ++k;
+  return k;
+}
+
+bool Scop::textuallyBefore(const PolyStmt& a, const PolyStmt& b) const {
+  return std::lexicographical_compare(a.path.begin(), a.path.end(),
+                                      b.path.begin(), b.path.end());
+}
+
+Scop extractScop(const ir::Program& program, ScopOptions options) {
+  Scop scop;
+  scop.program = &program;
+  scop.params = program.params;
+  scop.options = options;
+
+  std::vector<std::shared_ptr<ir::Loop>> loopStack;
+  std::vector<int> path;
+
+  std::function<void(const ir::NodePtr&)> walk = [&](const ir::NodePtr& n) {
+    switch (n->kind) {
+      case ir::Node::Kind::Block: {
+        auto b = std::static_pointer_cast<ir::Block>(n);
+        for (std::size_t i = 0; i < b->children.size(); ++i) {
+          path.push_back(static_cast<int>(i));
+          walk(b->children[i]);
+          path.pop_back();
+        }
+        break;
+      }
+      case ir::Node::Kind::Loop: {
+        auto l = std::static_pointer_cast<ir::Loop>(n);
+        POLYAST_CHECK(l->step == 1,
+                      "SCoP extraction requires unit-step loops (loop " +
+                          l->iter + ")");
+        loopStack.push_back(l);
+        walk(l->body);
+        loopStack.pop_back();
+        break;
+      }
+      case ir::Node::Kind::Stmt: {
+        auto st = std::static_pointer_cast<ir::Stmt>(n);
+        PolyStmt ps;
+        ps.stmt = st;
+        ps.loops = loopStack;
+        for (const auto& l : loopStack) ps.iters.push_back(l->iter);
+        ps.path = path;
+
+        std::vector<std::string> names = ps.iters;
+        names.insert(names.end(), scop.params.begin(), scop.params.end());
+        ps.domain = IntSet(names);
+        // Loop-bound constraints.
+        for (std::size_t k = 0; k < loopStack.size(); ++k) {
+          const auto& l = loopStack[k];
+          for (const auto& part : l->lower.parts) {
+            // iter - part >= 0
+            std::int64_t c = 0;
+            auto row = toRow(AffExpr::term(l->iter) - part, ps.iters,
+                             scop.params, &c);
+            ps.domain.addInequality(std::move(row), c);
+          }
+          for (const auto& part : l->upper.parts) {
+            // part - iter - 1 >= 0
+            std::int64_t c = 0;
+            auto row = toRow(part - AffExpr::term(l->iter), ps.iters,
+                             scop.params, &c);
+            ps.domain.addInequality(std::move(row), c - 1);
+          }
+        }
+        // Guard constraints (present on already-transformed programs).
+        for (const auto& g : st->guards) {
+          std::int64_t c = 0;
+          auto row = toRow(g, ps.iters, scop.params, &c);
+          ps.domain.addInequality(std::move(row), c);
+        }
+        // Parameter minimums.
+        for (std::size_t p = 0; p < scop.params.size(); ++p) {
+          std::vector<std::int64_t> row(names.size(), 0);
+          row[ps.iters.size() + p] = 1;
+          ps.domain.addInequality(std::move(row), -options.paramMin);
+        }
+        // Accesses: write (lhs) first, then reads.
+        ps.accesses.push_back({st->lhsArray, /*isWrite=*/true, st->lhsSubs});
+        // Compound assignments also read the lhs cell.
+        if (st->op != ir::AssignOp::Set)
+          ps.accesses.push_back(
+              {st->lhsArray, /*isWrite=*/false, st->lhsSubs});
+        std::vector<ir::ArrayUse> uses;
+        ir::collectArrayUses(st->rhs, uses);
+        for (auto& u : uses)
+          ps.accesses.push_back(
+              {std::move(u.array), /*isWrite=*/false, std::move(u.subs)});
+        scop.stmts.push_back(std::move(ps));
+        break;
+      }
+    }
+  };
+  walk(program.root);
+  return scop;
+}
+
+}  // namespace polyast::poly

@@ -1,0 +1,69 @@
+// SCoP extraction: builds the polyhedral view (Sec. III-A) of a Program.
+//
+// For every statement we compute its iteration domain as an IntSet over
+// [iterators..., parameters...], and its list of array accesses with affine
+// subscript functions. The extraction requires static control: every loop
+// bound part must be affine in outer iterators and parameters (which the IR
+// guarantees by construction).
+//
+// Parameters are treated as unknowns with a configurable lower bound
+// (`paramMin`), matching the usual "parameters are large enough" assumption
+// of polyhedral optimizers: legality decisions are made for all parameter
+// values >= paramMin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "intset/intset.hpp"
+#include "ir/ast.hpp"
+
+namespace polyast::poly {
+
+struct Access {
+  std::string array;
+  bool isWrite = false;
+  std::vector<ir::AffExpr> subs;
+};
+
+/// One statement of the SCoP with its polyhedral context.
+struct PolyStmt {
+  std::shared_ptr<ir::Stmt> stmt;
+  /// Enclosing loop iterators, outermost first.
+  std::vector<std::string> iters;
+  /// The enclosing ir::Loop nodes (used to find common loops syntactically).
+  std::vector<std::shared_ptr<ir::Loop>> loops;
+  /// Iteration domain over [iters..., params...].
+  IntSet domain;
+  /// Write access (the lhs) followed by all read accesses.
+  std::vector<Access> accesses;
+  /// Position path in the AST: interleaved (sequence position, loop, ...)
+  /// used to decide original textual order; entry 2k is the position among
+  /// the children of the k-th enclosing block.
+  std::vector<int> path;
+};
+
+struct ScopOptions {
+  /// Every program parameter is assumed >= paramMin.
+  std::int64_t paramMin = 4;
+};
+
+struct Scop {
+  const ir::Program* program = nullptr;
+  std::vector<std::string> params;
+  ScopOptions options;
+  std::vector<PolyStmt> stmts;
+
+  const PolyStmt& byId(int stmtId) const;
+  /// Number of syntactically common enclosing loops of two statements.
+  std::size_t commonLoops(const PolyStmt& a, const PolyStmt& b) const;
+  /// True iff statement a is textually before statement b in the AST.
+  bool textuallyBefore(const PolyStmt& a, const PolyStmt& b) const;
+};
+
+/// Extracts the polyhedral view. Throws if a loop bound is not affine.
+Scop extractScop(const ir::Program& program, ScopOptions options = {});
+
+}  // namespace polyast::poly

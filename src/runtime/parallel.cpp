@@ -1,0 +1,238 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace polyast::runtime {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads_ = threads;
+  for (unsigned t = 1; t < threads_; ++t)
+    workers_.emplace_back([this, t] { workerLoop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop(unsigned tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) doneCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::runOnAll(const std::function<void(unsigned)>& fn) {
+  if (threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    remaining_ = threads_ - 1;
+    ++generation_;
+  }
+  cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  doneCv_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+void parallelForBlocked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  std::int64_t n = end - begin;
+  if (n <= 0) return;
+  std::int64_t threads = static_cast<std::int64_t>(pool.threadCount());
+  std::int64_t chunk = (n + threads - 1) / threads;
+  pool.runOnAll([&](unsigned tid) {
+    std::int64_t lo = begin + static_cast<std::int64_t>(tid) * chunk;
+    std::int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+void parallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn) {
+  parallelForBlocked(pool, begin, end,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                     });
+}
+
+void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                    double* target, std::size_t size,
+                    const std::function<void(double*, std::int64_t,
+                                             std::int64_t)>& body) {
+  POLYAST_CHECK(target != nullptr, "parallelReduce without a target");
+  std::int64_t n = end - begin;
+  if (n <= 0) return;
+  unsigned threads = pool.threadCount();
+  // Privatized accumulation buffers, one per thread.
+  std::vector<std::vector<double>> priv(threads);
+  for (auto& p : priv) p.assign(size, 0.0);
+  std::int64_t chunk =
+      (n + static_cast<std::int64_t>(threads) - 1) /
+      static_cast<std::int64_t>(threads);
+  pool.runOnAll([&](unsigned tid) {
+    std::int64_t lo = begin + static_cast<std::int64_t>(tid) * chunk;
+    std::int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(priv[tid].data(), lo, hi);
+  });
+  // Merge phase (parallel over the array when large).
+  parallelForBlocked(pool, 0, static_cast<std::int64_t>(size),
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         double sum = 0.0;
+                         for (unsigned t = 0; t < threads; ++t)
+                           sum += priv[t][static_cast<std::size_t>(i)];
+                         target[i] += sum;
+                       }
+                     });
+}
+
+SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
+                     const std::function<void(std::int64_t, std::int64_t)>&
+                         cell) {
+  SyncStats stats;
+  if (rows <= 0 || cols <= 0) return stats;
+  // progress[r] = number of completed cells in row r.
+  std::vector<std::atomic<std::int64_t>> progress(
+      static_cast<std::size_t>(rows));
+  for (auto& p : progress) p.store(0, std::memory_order_relaxed);
+  std::atomic<std::int64_t> nextRow{0};
+  std::atomic<std::uint64_t> waits{0};
+
+  pool.runOnAll([&](unsigned) {
+    for (;;) {
+      std::int64_t r = nextRow.fetch_add(1, std::memory_order_relaxed);
+      if (r >= rows) break;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (r > 0) {
+          // await source(r-1, c): the previous row must have completed at
+          // least c+1 cells.
+          auto& prev = progress[static_cast<std::size_t>(r - 1)];
+          if (prev.load(std::memory_order_acquire) < c + 1) {
+            waits.fetch_add(1, std::memory_order_relaxed);
+            while (prev.load(std::memory_order_acquire) < c + 1)
+              std::this_thread::yield();
+          }
+        }
+        // await source(r, c-1) is implicit: the same thread runs the row
+        // left to right.
+        cell(r, c);
+        progress[static_cast<std::size_t>(r)].store(
+            c + 1, std::memory_order_release);
+      }
+    }
+  });
+  stats.pointToPointWaits = waits.load();
+  return stats;
+}
+
+SyncStats wavefront2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
+                      const std::function<void(std::int64_t, std::int64_t)>&
+                          cell) {
+  SyncStats stats;
+  if (rows <= 0 || cols <= 0) return stats;
+  for (std::int64_t d = 0; d <= rows + cols - 2; ++d) {
+    std::int64_t rLo = std::max<std::int64_t>(0, d - cols + 1);
+    std::int64_t rHi = std::min(rows - 1, d);
+    // Doall over the diagonal, implicit all-to-all barrier at the end of
+    // each parallelFor (runOnAll joins every thread).
+    parallelFor(pool, rLo, rHi + 1,
+                [&](std::int64_t r) { cell(r, d - r); });
+    stats.barriers += 1;
+  }
+  return stats;
+}
+
+SyncStats pipeline3D(
+    ThreadPool& pool, std::int64_t planes, std::int64_t rows,
+    std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
+        cell) {
+  SyncStats stats;
+  if (planes <= 0 || rows <= 0 || cols <= 0) return stats;
+  std::int64_t total = planes * rows * cols;
+  auto id = [&](std::int64_t p, std::int64_t r, std::int64_t c) {
+    return (p * rows + r) * cols + c;
+  };
+  // Remaining-predecessor counters per cell.
+  std::vector<std::atomic<int>> pending(static_cast<std::size_t>(total));
+  for (std::int64_t p = 0; p < planes; ++p)
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t c = 0; c < cols; ++c)
+        pending[static_cast<std::size_t>(id(p, r, c))].store(
+            (p > 0) + (r > 0) + (c > 0), std::memory_order_relaxed);
+
+  // Ready stack (mutex-protected; cells are coarse blocks, contention is
+  // negligible next to the work).
+  std::mutex mu;
+  std::vector<std::int64_t> ready{id(0, 0, 0)};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<std::uint64_t> waits{0};
+
+  pool.runOnAll([&](unsigned) {
+    for (;;) {
+      std::int64_t next = -1;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!ready.empty()) {
+          next = ready.back();
+          ready.pop_back();
+        }
+      }
+      if (next < 0) {
+        if (done.load(std::memory_order_acquire) >= total) return;
+        waits.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        continue;
+      }
+      std::int64_t c = next % cols;
+      std::int64_t r = (next / cols) % rows;
+      std::int64_t p = next / (cols * rows);
+      cell(p, r, c);
+      done.fetch_add(1, std::memory_order_release);
+      const std::int64_t succ[3][3] = {
+          {p + 1, r, c}, {p, r + 1, c}, {p, r, c + 1}};
+      for (const auto& s : succ) {
+        if (s[0] >= planes || s[1] >= rows || s[2] >= cols) continue;
+        std::int64_t sid = id(s[0], s[1], s[2]);
+        if (pending[static_cast<std::size_t>(sid)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(mu);
+          ready.push_back(sid);
+        }
+      }
+    }
+  });
+  stats.pointToPointWaits = waits.load();
+  return stats;
+}
+
+}  // namespace polyast::runtime

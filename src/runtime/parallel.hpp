@@ -1,0 +1,112 @@
+// Shared-memory parallel runtime — the substrate for Sec. IV-A/IV-D.
+//
+// The paper's generated code relies on OpenMP plus two extensions: array
+// reductions in C [31] and point-to-point synchronization for pipeline
+// parallelism [19]. This runtime provides the same constructs on plain
+// std::thread:
+//
+//   * ThreadPool — persistent worker threads,
+//   * parallelFor — doall loops (static chunking),
+//   * parallelReduce — privatized array reductions with a merge phase,
+//   * Pipeline2D — the `await source(i-1,j) source(i,j-1)` construct of
+//     Fig. 6 (left): each cell of a 2-D grid runs when its north and west
+//     neighbours completed, synchronized by per-cell atomic flags — no
+//     all-to-all barriers,
+//   * wavefront2D — the comparator of Fig. 6 (right): diagonal sweeps with
+//     a barrier between diagonals (the classic skewed doall).
+//
+// Instrumentation counters (synchronization operations, barrier count) are
+// exposed so tests and the Fig. 6 benchmark can compare the two schemes
+// analytically as well as by wall clock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polyast::runtime {
+
+/// Persistent pool of worker threads. Thread 0 is the caller.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const { return threads_; }
+
+  /// Runs fn(tid) on every thread (0..threads-1) and waits for all.
+  void runOnAll(const std::function<void(unsigned)>& fn);
+
+ private:
+  void workerLoop(unsigned tid);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable doneCv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Doall loop: fn(i) for i in [begin, end), statically chunked.
+void parallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn);
+
+/// Blocked doall: fn(chunkBegin, chunkEnd) per contiguous chunk.
+void parallelForBlocked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Array reduction (the OpenMP-C array-reduction extension [31]): each
+/// thread accumulates into a private zero-initialized buffer of `size`
+/// doubles via body(tid, priv, begin, end); the private buffers are then
+/// summed into `target`.
+void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                    double* target, std::size_t size,
+                    const std::function<void(double*, std::int64_t,
+                                             std::int64_t)>& body);
+
+/// Counters for comparing synchronization schemes (Fig. 6).
+struct SyncStats {
+  std::uint64_t pointToPointWaits = 0;  ///< cell-level await operations
+  std::uint64_t barriers = 0;           ///< all-to-all barriers executed
+};
+
+/// Point-to-point pipeline over a 2-D cell grid (rows x cols): cell (r, c)
+/// runs after (r-1, c) and (r, c-1). Rows are distributed over threads;
+/// progress is tracked by per-row atomic column counters, giving the
+/// doacross behaviour of the proposed OpenMP `await` extension without
+/// any barrier.
+SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
+                     const std::function<void(std::int64_t, std::int64_t)>&
+                         cell);
+
+/// Wavefront doall over the same grid: diagonals d = r + c executed in
+/// order with an all-to-all barrier between diagonals (the skewed-doall
+/// scheme the paper argues against; start-up/draining phases underutilize
+/// the threads).
+SyncStats wavefront2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
+                      const std::function<void(std::int64_t, std::int64_t)>&
+                          cell);
+
+/// Three-dimensional doacross: cell (p, r, c) runs after (p-1, r, c),
+/// (p, r-1, c) and (p, r, c-1) — the construct needed for *time-tiled*
+/// stencil pipelines, where the first dimension is the time step within a
+/// tile and the other two are skewed space blocks. Implemented as a
+/// ready-queue over per-cell dependency counters (no barriers).
+SyncStats pipeline3D(
+    ThreadPool& pool, std::int64_t planes, std::int64_t rows,
+    std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
+        cell);
+
+}  // namespace polyast::runtime

@@ -1,0 +1,37 @@
+// Error handling for the PolyAST library.
+//
+// All invariant violations throw polyast::Error; POLYAST_CHECK is used for
+// preconditions on public API entry points and for internal invariants that
+// are cheap to test. Benchmark-critical inner loops use plain asserts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace polyast {
+
+/// Exception type thrown on any contract or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwError(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace polyast
+
+/// Precondition / invariant check; throws polyast::Error with location info.
+#define POLYAST_CHECK(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::polyast::detail::throwError(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

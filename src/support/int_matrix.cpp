@@ -1,0 +1,182 @@
+#include "support/int_matrix.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rational.hpp"
+
+namespace polyast {
+
+IntMatrix::IntMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+IntMatrix::IntMatrix(
+    std::initializer_list<std::initializer_list<std::int64_t>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    POLYAST_CHECK(row.size() == cols_, "ragged initializer for IntMatrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+IntMatrix IntMatrix::identity(std::size_t n) {
+  IntMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IntMatrix IntMatrix::permutation(const std::vector<std::size_t>& perm) {
+  IntMatrix m(perm.size(), perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t r = 0; r < perm.size(); ++r) {
+    POLYAST_CHECK(perm[r] < perm.size() && !seen[perm[r]],
+                  "invalid permutation vector");
+    seen[perm[r]] = true;
+    m.at(r, perm[r]) = 1;
+  }
+  return m;
+}
+
+std::int64_t& IntMatrix::at(std::size_t r, std::size_t c) {
+  POLYAST_CHECK(r < rows_ && c < cols_, "IntMatrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::int64_t IntMatrix::at(std::size_t r, std::size_t c) const {
+  POLYAST_CHECK(r < rows_ && c < cols_, "IntMatrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+IntMatrix IntMatrix::operator*(const IntMatrix& o) const {
+  POLYAST_CHECK(cols_ == o.rows_, "IntMatrix product dimension mismatch");
+  IntMatrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      std::int64_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j)
+        out.at(i, j) =
+            checkedAdd(out.at(i, j), checkedMul(a, o.at(k, j)));
+    }
+  return out;
+}
+
+std::vector<std::int64_t> IntMatrix::apply(
+    const std::vector<std::int64_t>& v) const {
+  POLYAST_CHECK(v.size() == cols_, "IntMatrix apply dimension mismatch");
+  std::vector<std::int64_t> out(rows_, 0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      out[i] = checkedAdd(out[i], checkedMul(at(i, j), v[j]));
+  return out;
+}
+
+IntMatrix IntMatrix::transposed() const {
+  IntMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+std::int64_t IntMatrix::determinant() const {
+  POLYAST_CHECK(rows_ == cols_, "determinant of non-square matrix");
+  std::size_t n = rows_;
+  if (n == 0) return 1;
+  // Fraction-free Bareiss elimination: all intermediate values stay integer.
+  IntMatrix m = *this;
+  std::int64_t sign = 1;
+  std::int64_t prev = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (m.at(k, k) == 0) {
+      std::size_t swap = k + 1;
+      while (swap < n && m.at(swap, k) == 0) ++swap;
+      if (swap == n) return 0;
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(m.at(k, j), m.at(swap, j));
+      sign = -sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i)
+      for (std::size_t j = k + 1; j < n; ++j) {
+        std::int64_t num =
+            checkedMul(m.at(i, j), m.at(k, k)) -
+            checkedMul(m.at(i, k), m.at(k, j));
+        m.at(i, j) = num / prev;  // exact by Bareiss invariant
+      }
+    prev = m.at(k, k);
+  }
+  return sign * m.at(n - 1, n - 1);
+}
+
+bool IntMatrix::isUnimodular() const {
+  if (rows_ != cols_) return false;
+  std::int64_t d = determinant();
+  return d == 1 || d == -1;
+}
+
+IntMatrix IntMatrix::inverseUnimodular() const {
+  POLYAST_CHECK(isUnimodular(), "inverse of non-unimodular matrix");
+  std::size_t n = rows_;
+  // Exact Gauss-Jordan over rationals; result entries are integers because
+  // the matrix is unimodular.
+  std::vector<std::vector<Rational>> aug(n, std::vector<Rational>(2 * n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug[i][j] = Rational(at(i, j));
+    aug[i][n + i] = Rational(1);
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && aug[pivot][col].isZero()) ++pivot;
+    POLYAST_CHECK(pivot < n, "singular matrix in inverseUnimodular");
+    std::swap(aug[col], aug[pivot]);
+    Rational inv = Rational(1) / aug[col][col];
+    for (std::size_t j = 0; j < 2 * n; ++j) aug[col][j] *= inv;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == col || aug[i][col].isZero()) continue;
+      Rational f = aug[i][col];
+      for (std::size_t j = 0; j < 2 * n; ++j)
+        aug[i][j] -= f * aug[col][j];
+    }
+  }
+  IntMatrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      out.at(i, j) = aug[i][n + j].asInteger();
+  return out;
+}
+
+bool IntMatrix::isSignedPermutation() const {
+  if (rows_ != cols_) return false;
+  std::vector<int> colCount(cols_, 0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    int rowCount = 0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::int64_t v = at(i, j);
+      if (v == 0) continue;
+      if (v != 1 && v != -1) return false;
+      ++rowCount;
+      ++colCount[j];
+    }
+    if (rowCount != 1) return false;
+  }
+  for (int c : colCount)
+    if (c != 1) return false;
+  return true;
+}
+
+std::string IntMatrix::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << "[";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j) os << " ";
+      os << at(i, j);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace polyast

@@ -1,0 +1,56 @@
+// Dense matrices over 64-bit integers.
+//
+// Scheduling matrices in the restricted 2d+1 form (Sec. III-A of the paper)
+// are integer matrices whose even rows form a signed permutation. This class
+// provides the linear algebra that layer needs: products, inverses of
+// unimodular matrices, determinants, and signed-permutation checks.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace polyast {
+
+class IntMatrix {
+ public:
+  IntMatrix() = default;
+  IntMatrix(std::size_t rows, std::size_t cols);
+  IntMatrix(std::initializer_list<std::initializer_list<std::int64_t>> rows);
+
+  static IntMatrix identity(std::size_t n);
+  /// Permutation matrix P with P[r][perm[r]] = 1: applying P to an iteration
+  /// vector places original iterator perm[r] at position r.
+  static IntMatrix permutation(const std::vector<std::size_t>& perm);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::int64_t& at(std::size_t r, std::size_t c);
+  std::int64_t at(std::size_t r, std::size_t c) const;
+
+  IntMatrix operator*(const IntMatrix& o) const;
+  std::vector<std::int64_t> apply(const std::vector<std::int64_t>& v) const;
+  IntMatrix transposed() const;
+
+  bool operator==(const IntMatrix& o) const = default;
+
+  /// Determinant via fraction-free Bareiss elimination (square only).
+  std::int64_t determinant() const;
+  bool isUnimodular() const;
+  /// Inverse of a unimodular matrix (integer entries by definition).
+  IntMatrix inverseUnimodular() const;
+  /// True iff every row and every column contains exactly one nonzero entry
+  /// and that entry is +1 or -1 (loop permutation + reversal).
+  bool isSignedPermutation() const;
+
+  std::string str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace polyast

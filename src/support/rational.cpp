@@ -1,0 +1,138 @@
+#include "support/rational.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace polyast {
+
+std::int64_t checkedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  POLYAST_CHECK(!__builtin_add_overflow(a, b, &r), "int64 add overflow");
+  return r;
+}
+
+std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  POLYAST_CHECK(!__builtin_mul_overflow(a, b, &r), "int64 mul overflow");
+  return r;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  std::int64_t g = gcd64(a, b);
+  return checkedMul(std::llabs(a) / g, std::llabs(b));
+}
+
+std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  POLYAST_CHECK(b != 0, "floorDiv by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  POLYAST_CHECK(b != 0, "ceilDiv by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+Rational::Rational(std::int64_t value) : num_(value), den_(1) {}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  POLYAST_CHECK(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  std::int64_t g = gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::int64_t Rational::asInteger() const {
+  POLYAST_CHECK(den_ == 1, "rational is not an integer: " + str());
+  return num_;
+}
+
+double Rational::toDouble() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Reduce before multiplying to delay overflow.
+  std::int64_t g = gcd64(den_, o.den_);
+  std::int64_t lhs = checkedMul(num_, o.den_ / g);
+  std::int64_t rhs = checkedMul(o.num_, den_ / g);
+  return Rational(checkedAdd(lhs, rhs), checkedMul(den_ / g, o.den_));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  std::int64_t g1 = gcd64(num_, o.den_);
+  std::int64_t g2 = gcd64(o.num_, den_);
+  return Rational(checkedMul(num_ / g1, o.num_ / g2),
+                  checkedMul(den_ / g2, o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  POLYAST_CHECK(!o.isZero(), "rational division by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // num_/den_ < o.num_/o.den_  with positive denominators.
+  return checkedMul(num_, o.den_) < checkedMul(o.num_, den_);
+}
+
+std::int64_t Rational::floor() const { return floorDiv(num_, den_); }
+
+std::int64_t Rational::ceil() const { return ceilDiv(num_, den_); }
+
+std::string Rational::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (!r.isInteger()) os << "/" << r.den();
+  return os;
+}
+
+}  // namespace polyast

@@ -1,0 +1,78 @@
+// Exact rational arithmetic on 64-bit integers.
+//
+// Used by the DL cost model (per-iteration memory costs are fractions of
+// cache lines) and by exact Gaussian elimination in the integer-set layer.
+// Values are kept normalized (gcd-reduced, positive denominator). Overflow
+// of the underlying 64-bit arithmetic is checked.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace polyast {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool isZero() const { return num_ == 0; }
+  bool isInteger() const { return den_ == 1; }
+  /// Integer value; requires isInteger().
+  std::int64_t asInteger() const;
+  /// Nearest double approximation (for reporting only).
+  double toDouble() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// Largest integer <= value.
+  std::int64_t floor() const;
+  /// Smallest integer >= value.
+  std::int64_t ceil() const;
+
+  std::string str() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Checked 64-bit helpers (throw polyast::Error on overflow).
+std::int64_t checkedAdd(std::int64_t a, std::int64_t b);
+std::int64_t checkedMul(std::int64_t a, std::int64_t b);
+/// gcd(|a|,|b|); gcd(0,0) == 0.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+/// lcm(|a|,|b|); checked.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+/// Floor division a/b with b != 0 (rounds toward negative infinity).
+std::int64_t floorDiv(std::int64_t a, std::int64_t b);
+/// Ceil division a/b with b != 0 (rounds toward positive infinity).
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b);
+
+}  // namespace polyast

@@ -1,0 +1,49 @@
+#include "transform/flow.hpp"
+
+#include "poly/codegen.hpp"
+#include "support/error.hpp"
+
+namespace polyast::transform {
+
+ir::Program optimize(const ir::Program& program, const FlowOptions& options,
+                     FlowReport* report) {
+  FlowReport local;
+  FlowReport& r = report ? *report : local;
+
+  // Stage 1: cache-aware affine transformation (Sec. III).
+  poly::ScopOptions sopt;
+  sopt.paramMin = options.ast.paramMin;
+  poly::Scop scop = poly::extractScop(program, sopt);
+  poly::ScheduleMap schedules;
+  try {
+    schedules = computeAffineTransform(scop, options.affine);
+    r.affineStageSucceeded = true;
+  } catch (const Error&) {
+    if (!options.fallbackToIdentity) throw;
+    schedules = poly::identitySchedules(scop);
+    r.affineStageSucceeded = false;
+  }
+  ir::Program out;
+  try {
+    out = poly::applySchedules(scop, schedules);
+  } catch (const Error&) {
+    // The scheduler guards against codegen-incompatible fusions, but keep
+    // the flow total: fall back to the original order.
+    if (!options.fallbackToIdentity) throw;
+    schedules = poly::identitySchedules(scop);
+    out = poly::applySchedules(scop, schedules);
+    r.affineStageSucceeded = false;
+  }
+  out.name = program.name + "_polyast";
+
+  // Stage 2: AST-based transformations (Sec. IV).
+  if (options.enableSkewing)
+    r.skewsApplied = skewForTilability(out, options.ast);
+  if (options.enableParallelization) detectParallelism(out, options.ast);
+  if (options.enableTiling) r.bandsTiled = tileForLocality(out, options.ast);
+  if (options.enableRegisterTiling)
+    r.loopsUnrolled = registerTile(out, options.ast);
+  return out;
+}
+
+}  // namespace polyast::transform

@@ -1,0 +1,41 @@
+// End-to-end optimization flow — Algorithm 1 of the paper.
+//
+//   1  P := fusion and permutation with DL(P.Poly)      (polyhedral stage)
+//   2  P := skewing for tilability(P.AST)
+//   3  P := coarse grain parallelization(P.AST)
+//   4  P := tiling for locality(P.AST)
+//   5  P := intra tile optimizations(P.AST)             (register tiling)
+#pragma once
+
+#include "ir/ast.hpp"
+#include "transform/affine.hpp"
+#include "transform/ast_stage.hpp"
+
+namespace polyast::transform {
+
+struct FlowOptions {
+  AffineOptions affine;
+  AstOptions ast;
+  bool enableSkewing = true;
+  bool enableParallelization = true;
+  bool enableTiling = true;
+  bool enableRegisterTiling = true;
+  /// Fall back to the original schedule when the affine stage fails (it
+  /// should not for SCoPs in the restricted class, but the flow must be
+  /// total).
+  bool fallbackToIdentity = true;
+};
+
+struct FlowReport {
+  bool affineStageSucceeded = false;
+  int skewsApplied = 0;
+  int bandsTiled = 0;
+  int loopsUnrolled = 0;
+};
+
+/// Runs the full poly+AST flow on a SCoP program and returns the optimized
+/// program (annotated with parallelism marks and tile loops).
+ir::Program optimize(const ir::Program& program, const FlowOptions& options = {},
+                     FlowReport* report = nullptr);
+
+}  // namespace polyast::transform

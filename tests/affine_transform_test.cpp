@@ -1,0 +1,142 @@
+#include "transform/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/polybench.hpp"
+#include "poly/codegen.hpp"
+#include "test_util.hpp"
+
+namespace polyast::transform {
+namespace {
+
+using poly::PoDG;
+using poly::ScheduleMap;
+using poly::Scop;
+using testutil::expectSameSemantics;
+using testutil::structureOf;
+
+std::map<std::string, std::int64_t> smallParams(const ir::Program& p) {
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : p.params)
+    params[name] = (name == "TSTEPS") ? 2 : 6;
+  return params;
+}
+
+/// The affine stage must produce a legal, semantics-preserving schedule for
+/// every kernel of the suite.
+class AffineOnAllKernels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AffineOnAllKernels, LegalAndSemanticsPreserving) {
+  ir::Program p = kernels::buildKernel(GetParam());
+  Scop scop = poly::extractScop(p);
+  ScheduleMap sched = computeAffineTransform(scop);
+  PoDG podg = poly::computeDependences(scop);
+  EXPECT_TRUE(poly::scheduleIsLegal(scop, podg, sched)) << GetParam();
+  ir::Program q = poly::applySchedules(scop, sched);
+  expectSameSemantics(p, q, smallParams(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(PolyBench, AffineOnAllKernels,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& k : kernels::allKernels())
+                             names.push_back(k.name);
+                           return names;
+                         }()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Affine2mm, ReproducesFigure3Structure) {
+  // The paper's Fig. 3: all four statements fused under the outer i loop,
+  // then distributed into four bodies (R | k-outer S | T | k-outer U), with
+  // S and U in (i, k, j) order for stride-1 vectorizable inner loops.
+  ir::Program p = kernels::buildKernel("2mm");
+  Scop scop = poly::extractScop(p);
+  ScheduleMap sched = computeAffineTransform(scop);
+  ir::Program q = poly::applySchedules(scop, sched);
+  EXPECT_EQ(structureOf(q), "c1(c2(R),c2(c3(S)),c2(T),c2(c3(U)))")
+      << ir::printProgram(q);
+  // S must keep stride-1 innermost accesses: tmp[c1][c3] and B[c2][c3].
+  std::string s = ir::printProgram(q);
+  EXPECT_NE(s.find("S: tmp[c1][c3] += ((alpha[0] * A[c1][c2]) * B[c2][c3]);"),
+            std::string::npos)
+      << s;
+  expectSameSemantics(p, q, smallParams(p));
+}
+
+TEST(AffineGemm, DistributesInitAndPermutesForSimd) {
+  // C-init stays out of the k loop; S2 runs in (i, k, j) order.
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = poly::extractScop(p);
+  ScheduleMap sched = computeAffineTransform(scop);
+  ir::Program q = poly::applySchedules(scop, sched);
+  EXPECT_EQ(structureOf(q), "c1(c2(S1),c2(c3(S2)))") << ir::printProgram(q);
+  std::string s = ir::printProgram(q);
+  EXPECT_NE(s.find("B[c2][c3]"), std::string::npos) << s;
+}
+
+TEST(AffineJacobi1d, FusesWithRetiming) {
+  // The two inner loops fuse under the time loop with S2 shifted by +1
+  // (reads B[c2-1] after S1 produced it).
+  ir::Program p = kernels::buildKernel("jacobi-1d-imper");
+  Scop scop = poly::extractScop(p);
+  ScheduleMap sched = computeAffineTransform(scop);
+  ir::Program q = poly::applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"TSTEPS", 3}, {"N", 12}});
+  // Fused: exactly one inner loop under the time loop.
+  EXPECT_EQ(structureOf(q), "c1(c2(S1,S2))") << ir::printProgram(q);
+}
+
+TEST(AffineMvt, FusesTheTwoProducts) {
+  // x1 += A[i][j]*y1[j] and x2 += A[j][i]*y2[j] share A: fusion is legal
+  // and profitable (A reused); permutations may differ per statement.
+  ir::Program p = kernels::buildKernel("mvt");
+  Scop scop = poly::extractScop(p);
+  ScheduleMap sched = computeAffineTransform(scop);
+  ir::Program q = poly::applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"N", 8}});
+}
+
+TEST(AffineHeuristics, MaxFuseFusesMoreThanNoFuse) {
+  ir::Program p = kernels::buildKernel("gesummv");
+  Scop scop = poly::extractScop(p);
+  AffineOptions maxOpt;
+  maxOpt.fusion = FusionHeuristic::MaxLegal;
+  AffineOptions noOpt;
+  noOpt.fusion = FusionHeuristic::NoFusion;
+  ir::Program qMax = poly::applySchedules(scop, computeAffineTransform(scop, maxOpt));
+  ir::Program qNo = poly::applySchedules(scop, computeAffineTransform(scop, noOpt));
+  // NoFusion: every statement in its own outer nest.
+  EXPECT_EQ(qNo.root->children.size(), 5u) << ir::printProgram(qNo);
+  EXPECT_LT(qMax.root->children.size(), qNo.root->children.size())
+      << ir::printProgram(qMax);
+  expectSameSemantics(p, qMax, {{"N", 7}});
+  expectSameSemantics(p, qNo, {{"N", 7}});
+}
+
+TEST(AffineHeuristics, OriginalOrderKeepsGemmOrder) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = poly::extractScop(p);
+  AffineOptions opt;
+  opt.preferOriginalOrder = true;
+  ir::Program q = poly::applySchedules(scop, computeAffineTransform(scop, opt));
+  // S2 stays in (i, j, k) order: A[c1][c3] means k is still innermost.
+  std::string s = ir::printProgram(q);
+  EXPECT_NE(s.find("A[c1][c3]"), std::string::npos) << s;
+  expectSameSemantics(p, q, smallParams(p));
+}
+
+TEST(AffineAtax, TmpReductionStructurePreserved) {
+  ir::Program p = kernels::buildKernel("atax");
+  Scop scop = poly::extractScop(p);
+  ScheduleMap sched = computeAffineTransform(scop);
+  ir::Program q = poly::applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"NX", 7}, {"NY", 6}});
+}
+
+}  // namespace
+}  // namespace polyast::transform

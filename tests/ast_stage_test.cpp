@@ -1,0 +1,307 @@
+#include "transform/ast_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+#include "test_util.hpp"
+
+namespace polyast::transform {
+namespace {
+
+using ir::AffExpr;
+using ir::ParallelKind;
+using testutil::expectSameSemantics;
+
+AffExpr v(const std::string& s) { return AffExpr::term(s); }
+
+ir::Program seidelLike() {
+  // for t: for i: for j: A[i][j] = (A[i-1][j] + A[i][j-1] + A[i][j+1] +
+  //                                 A[i+1][j]) / 4
+  ir::ProgramBuilder b("seidel-like");
+  b.param("T", 3).param("N", 12);
+  b.array("A", {b.p("N"), b.p("N")});
+  b.beginLoop("t", 0, b.p("T"));
+  b.beginLoop("i", 1, b.p("N") - AffExpr(1));
+  b.beginLoop("j", 1, b.p("N") - AffExpr(1));
+  b.stmt("S", "A", {v("i"), v("j")}, ir::AssignOp::Set,
+         (ir::arrayRef("A", {v("i") - AffExpr(1), v("j")}) +
+          ir::arrayRef("A", {v("i"), v("j") - AffExpr(1)}) +
+          ir::arrayRef("A", {v("i"), v("j") + AffExpr(1)}) +
+          ir::arrayRef("A", {v("i") + AffExpr(1), v("j")})) /
+             ir::floatLit(4.0));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+std::vector<std::shared_ptr<ir::Loop>> loopsOf(const ir::Program& p,
+                                               int stmtId = 0) {
+  return p.enclosingLoops()[stmtId];
+}
+
+TEST(Skewing, SeidelTimeSpaceSkew) {
+  ir::Program p = seidelLike();
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  int skews = skewForTilability(q, opt);
+  EXPECT_GE(skews, 1);  // space loops need skewing against time
+  expectSameSemantics(p, q, {{"T", 2}, {"N", 8}});
+  // After skewing, the inner loop bounds depend on the outer iterators.
+  auto loops = loopsOf(q);
+  ASSERT_EQ(loops.size(), 3u);
+  bool dependsOnOuter = false;
+  for (const auto& part : loops[2]->lower.parts)
+    if (part.coeff(loops[0]->iter) != 0 || part.coeff(loops[1]->iter) != 0)
+      dependsOnOuter = true;
+  EXPECT_TRUE(dependsOnOuter) << ir::printProgram(q);
+}
+
+TEST(Skewing, NoSkewNeededForGemm) {
+  ir::Program p = kernels::buildKernel("gemm");
+  AstOptions opt;
+  EXPECT_EQ(skewForTilability(p, opt), 0);
+}
+
+TEST(Parallelism, GemmMarks) {
+  ir::Program p = kernels::buildKernel("gemm");
+  detectParallelism(p, {}, /*outermostOnly=*/false);
+  auto loops = loopsOf(p, 1);  // S2's nest: i, j, k
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0]->parallel, ParallelKind::Doall);
+  EXPECT_EQ(loops[1]->parallel, ParallelKind::Doall);
+  EXPECT_EQ(loops[2]->parallel, ParallelKind::Reduction);
+}
+
+TEST(Parallelism, OutermostOnlyClearsInner) {
+  ir::Program p = kernels::buildKernel("gemm");
+  detectParallelism(p, {});
+  auto loops = loopsOf(p, 1);
+  EXPECT_EQ(loops[0]->parallel, ParallelKind::Doall);
+  EXPECT_EQ(loops[1]->parallel, ParallelKind::None);
+  EXPECT_EQ(loops[2]->parallel, ParallelKind::None);
+}
+
+TEST(Parallelism, ReductionArraySum) {
+  // S[j] += alpha * X[i][j] over i: outer i loop is reduction-parallel
+  // (Fig. 5 middle example).
+  ir::ProgramBuilder b("colsum");
+  b.param("N", 10);
+  b.array("S", {b.p("N")});
+  b.array("X", {b.p("N"), b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.beginLoop("j", 0, b.p("N"));
+  b.stmt("R", "S", {v("j")}, ir::AssignOp::AddAssign,
+         ir::arrayRef("X", {v("i"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  ir::Program p = b.build();
+  detectParallelism(p, {}, false);
+  auto loops = loopsOf(p);
+  EXPECT_EQ(loops[0]->parallel, ParallelKind::Reduction);
+  EXPECT_EQ(loops[1]->parallel, ParallelKind::Doall);
+}
+
+TEST(Parallelism, ReductionsDisabledTreatedSerial) {
+  ir::Program p = kernels::buildKernel("gemm");
+  AstOptions opt;
+  opt.recognizeReductions = false;
+  detectParallelism(p, opt, false);
+  auto loops = loopsOf(p, 1);
+  EXPECT_EQ(loops[2]->parallel, ParallelKind::None);
+}
+
+TEST(Parallelism, PipelineOnSkewedStencil) {
+  // Fig. 5 bottom example: C[i][j] = f(C[i-1][j], C[i][j], C[i+1][j]);
+  // the i loop is pipeline-parallel with the inner j loop (after the j
+  // dimension is independent).
+  ir::ProgramBuilder b("pipe");
+  b.param("N", 12);
+  b.array("C", {b.p("N"), b.p("N")});
+  b.beginLoop("i", 1, b.p("N") - AffExpr(1));
+  b.beginLoop("j", 1, b.p("N") - AffExpr(1));
+  b.stmt("S", "C", {v("i"), v("j")}, ir::AssignOp::Set,
+         ir::floatLit(0.33) *
+             (ir::arrayRef("C", {v("i") - AffExpr(1), v("j")}) +
+              ir::arrayRef("C", {v("i"), v("j")}) +
+              ir::arrayRef("C", {v("i"), v("j") - AffExpr(1)})));
+  b.endLoop();
+  b.endLoop();
+  ir::Program p = b.build();
+  detectParallelism(p, {}, false);
+  auto loops = loopsOf(p);
+  EXPECT_EQ(loops[0]->parallel, ParallelKind::Pipeline)
+      << ir::printProgram(p);
+}
+
+TEST(Parallelism, PipelineDisabledFallsBackToNone) {
+  ir::Program p = seidelLike();
+  skewForTilability(p, {});
+  AstOptions opt;
+  opt.allowPipeline = false;
+  detectParallelism(p, opt, false);
+  for (const auto& l : loopsOf(p)) {
+    EXPECT_NE(l->parallel, ParallelKind::Pipeline);
+    EXPECT_NE(l->parallel, ParallelKind::ReductionPipeline);
+  }
+}
+
+TEST(Tiling, GemmInnerBandTiled) {
+  ir::Program p = kernels::buildKernel("gemm");
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.tileSize = 4;
+  detectParallelism(q, opt);
+  int bands = tileForLocality(q, opt);
+  EXPECT_GE(bands, 1);
+  expectSameSemantics(p, q, {{"NI", 9}, {"NJ", 10}, {"NK", 7}});
+  // Tile loops exist and are marked.
+  bool sawTile = false;
+  for (const auto& l : loopsOf(q, 1))
+    if (l->isTileLoop) sawTile = true;
+  EXPECT_TRUE(sawTile) << ir::printProgram(q);
+}
+
+TEST(Tiling, NonDividingSizesStayCorrect) {
+  ir::Program p = kernels::buildKernel("doitgen");
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.tileSize = 5;  // does not divide 7/9
+  detectParallelism(q, opt);
+  tileForLocality(q, opt);
+  expectSameSemantics(p, q, {{"NR", 7}, {"NQ", 9}, {"NP", 6}});
+}
+
+TEST(Tiling, SkewedStencilGetsTimeTiling) {
+  ir::Program p = seidelLike();
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.tileSize = 4;
+  opt.timeTileSize = 2;
+  skewForTilability(q, opt);
+  detectParallelism(q, opt);
+  int bands = tileForLocality(q, opt);
+  EXPECT_GE(bands, 1) << ir::printProgram(q);
+  expectSameSemantics(p, q, {{"T", 3}, {"N", 9}});
+}
+
+TEST(Tiling, TriangularBoundsNotTiled) {
+  // trisolv's triangular j<i loop cannot be rectangularly tiled with i.
+  ir::Program p = kernels::buildKernel("trisolv");
+  AstOptions opt;
+  detectParallelism(p, opt);
+  int bands = tileForLocality(p, opt);
+  EXPECT_EQ(bands, 0);
+}
+
+TEST(RegisterTiling, GuardedUnrollPreservesSemantics) {
+  ir::Program p = kernels::buildKernel("gemm");
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.unrollInner = 4;
+  opt.unrollOuter = 2;
+  int n = registerTile(q, opt);
+  EXPECT_GE(n, 1);
+  // Trip counts NOT multiples of the factors: guards must handle tails.
+  expectSameSemantics(p, q, {{"NI", 7}, {"NJ", 9}, {"NK", 5}});
+}
+
+TEST(RegisterTiling, UnrollAndJamReplicatesInnerBody) {
+  // Jamming requires permutability, which tiling certifies: tile first,
+  // then register-tile. The innermost point loop body must hold a 2x2
+  // register tile (4 copies of S).
+  ir::ProgramBuilder b("addmat");
+  b.param("N", 16);
+  b.array("A", {b.p("N"), b.p("N")});
+  b.array("B", {b.p("N"), b.p("N")});
+  b.array("C", {b.p("N"), b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.beginLoop("j", 0, b.p("N"));
+  b.stmt("S", "C", {v("i"), v("j")}, ir::AssignOp::Set,
+         ir::arrayRef("A", {v("i"), v("j")}) +
+             ir::arrayRef("B", {v("i"), v("j")}));
+  b.endLoop();
+  b.endLoop();
+  ir::Program p = b.build();
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.tileSize = 4;
+  opt.unrollInner = 2;
+  opt.unrollOuter = 2;
+  detectParallelism(q, opt);
+  ASSERT_EQ(tileForLocality(q, opt), 1);
+  int n = registerTile(q, opt);
+  EXPECT_GE(n, 2);
+  int copies = 0;
+  for (const auto& s : q.statements())
+    if (s->label == "S") ++copies;
+  EXPECT_EQ(copies, 4) << ir::printProgram(q);
+  expectSameSemantics(p, q, {{"N", 9}});
+}
+
+TEST(RegisterTiling, NoJamOutsidePermutableBands) {
+  // seidel-2d untiled: jamming the i loop over j would be illegal; only
+  // the innermost loop may be unrolled.
+  ir::Program p = kernels::buildKernel("seidel-2d");
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.unrollInner = 2;
+  opt.unrollOuter = 2;
+  registerTile(q, opt);
+  expectSameSemantics(p, q, {{"TSTEPS", 2}, {"N", 8}});
+}
+
+TEST(EndToEndAst, FullAstPipelineOnStencil) {
+  ir::Program p = seidelLike();
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.tileSize = 4;
+  opt.timeTileSize = 2;
+  opt.unrollInner = 2;
+  opt.unrollOuter = 1;
+  skewForTilability(q, opt);
+  detectParallelism(q, opt);
+  tileForLocality(q, opt);
+  registerTile(q, opt);
+  expectSameSemantics(p, q, {{"T", 2}, {"N", 10}});
+}
+
+/// Differential property: the complete AST stage applied to every kernel
+/// preserves semantics on awkward (non-dividing) sizes.
+class AstStageOnAllKernels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AstStageOnAllKernels, SemanticsPreserved) {
+  ir::Program p = kernels::buildKernel(GetParam());
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.tileSize = 3;
+  opt.timeTileSize = 2;
+  opt.unrollInner = 2;
+  opt.unrollOuter = 2;
+  skewForTilability(q, opt);
+  detectParallelism(q, opt);
+  tileForLocality(q, opt);
+  registerTile(q, opt);
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : p.params)
+    params[name] = (name == "TSTEPS") ? 2 : 7;
+  expectSameSemantics(p, q, params);
+}
+
+INSTANTIATE_TEST_SUITE_P(PolyBench, AstStageOnAllKernels,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& k : kernels::allKernels())
+                             names.push_back(k.name);
+                           return names;
+                         }()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace polyast::transform

@@ -1,0 +1,261 @@
+#include "poly/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+#include "test_util.hpp"
+
+namespace polyast::poly {
+namespace {
+
+using ir::AffExpr;
+using testutil::expectSameSemantics;
+using testutil::structureOf;
+
+std::map<std::string, std::int64_t> smallParams(const ir::Program& p) {
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : p.params)
+    params[name] = (name == "TSTEPS") ? 2 : 6;
+  return params;
+}
+
+/// Identity schedules must reproduce the original program exactly — over
+/// the entire PolyBench suite.
+class IdentityRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IdentityRoundTrip, SameSemantics) {
+  ir::Program p = kernels::buildKernel(GetParam());
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, smallParams(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(PolyBench, IdentityRoundTrip, ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& k : kernels::allKernels())
+                             names.push_back(k.name);
+                           return names;
+                         }()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Codegen, GemmInterchange) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  // (i j k) -> (i k j): the classic gemm permutation for stride-1 B/C.
+  sched[1].alpha = IntMatrix{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}};
+  // Keep S1 in its own sub-nest: distribute at level 1 (S1 beta1=0, S2
+  // beta1=1) so the fused loop does not force S1 under the k loop.
+  sched[0].beta = {0, 0, 0};
+  sched[1].beta = {0, 1, 0, 0};
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, smallParams(p));
+  // Structure: one outer c1 loop containing the S1 nest then the k-outer
+  // S2 nest.
+  EXPECT_EQ(structureOf(q), "c1(c2(S1),c2(c3(S2)))") << ir::printProgram(q);
+}
+
+TEST(Codegen, ReversalProducesReversedBounds) {
+  // Reversing a doall loop i in [0,N): new iterator runs [1-N, 1) and the
+  // statement reads A[-c1].
+  ir::ProgramBuilder b("t");
+  b.param("N", 10);
+  b.array("A", {b.p("N")});
+  b.array("B", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "B", {AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::arrayRef("A", {AffExpr::term("i")}));
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].alpha.at(0, 0) = -1;
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"N", 10}});
+  std::string s = ir::printProgram(q);
+  EXPECT_NE(s.find("B[-c1]"), std::string::npos) << s;
+}
+
+TEST(Codegen, ShiftOffsetsDomainAndSubscripts) {
+  ir::ProgramBuilder b("t");
+  b.param("N", 10);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(1.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].shift[0] = AffExpr::term("N");  // c1 = i + N
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"N", 10}});
+  std::string s = ir::printProgram(q);
+  EXPECT_NE(s.find("A[-N+c1]"), std::string::npos) << s;
+}
+
+TEST(Codegen, FusionOfTwoLoops) {
+  // Two independent loops over [0,N) fused by equal beta.
+  ir::ProgramBuilder b("t");
+  b.param("N", 12);
+  b.array("A", {b.p("N")});
+  b.array("B", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S1", "A", {AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(1.0));
+  b.endLoop();
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S2", "B", {AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(2.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].beta = {0, 0};
+  sched[1].beta = {0, 1};
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"N", 12}});
+  EXPECT_EQ(structureOf(q), "c1(S1,S2)") << ir::printProgram(q);
+}
+
+TEST(Codegen, FusionWithDifferentConstantsEmitsGuards) {
+  // S1 over [0,N), S2 over [2,N-1): fused loop spans [0,N) and S2 gets
+  // guards.
+  ir::ProgramBuilder b("t");
+  b.param("N", 12);
+  b.array("A", {b.p("N")});
+  b.array("B", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S1", "A", {AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(1.0));
+  b.endLoop();
+  b.beginLoop("i", 2, b.p("N") - AffExpr(1));
+  b.stmt("S2", "B", {AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(2.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].beta = {0, 0};
+  sched[1].beta = {0, 1};
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"N", 12}});
+  auto stmts = q.statements();
+  ASSERT_EQ(stmts.size(), 2u);
+  EXPECT_TRUE(stmts[0]->guards.empty());
+  EXPECT_EQ(stmts[1]->guards.size(), 2u) << ir::printProgram(q);
+}
+
+TEST(Codegen, DistributionSplitsLoop) {
+  // gesummv's fused statements distributed into separate loops.
+  ir::Program p = kernels::buildKernel("gesummv");
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  // Move S5 (y = alpha*tmp + beta*y) into its own outer loop.
+  sched[4].beta[0] = 1;
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, smallParams(p));
+  auto b = q.root;
+  ASSERT_EQ(b->children.size(), 2u) << ir::printProgram(q);
+}
+
+TEST(Codegen, TriangularPermutation) {
+  // for i in [0,N): for j in [0,i): S(i,j)  interchanged to j-outer:
+  // for j in [0,N-1): for i in (j, N): S(i,j).
+  ir::ProgramBuilder b("t");
+  b.param("N", 9);
+  b.array("A", {b.p("N"), b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.beginLoop("j", 0, AffExpr::term("i"));
+  b.stmt("S", "A", {AffExpr::term("i"), AffExpr::term("j")},
+         ir::AssignOp::Set, ir::floatLit(3.0));
+  b.endLoop();
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].alpha = IntMatrix{{0, 1}, {1, 0}};
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, {{"N", 9}});
+  // The inner loop's lower bound must reference the outer iterator.
+  std::string s = ir::printProgram(q);
+  EXPECT_NE(s.find("c2 = c1+1"), std::string::npos) << s;
+}
+
+TEST(Codegen, LeafStatementsOutsideLoops) {
+  // correlation has the depth-0 statement symmat[M-1][M-1] = 1.
+  ir::Program p = kernels::buildKernel("correlation");
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  ir::Program q = applySchedules(scop, sched);
+  expectSameSemantics(p, q, smallParams(p));
+}
+
+TEST(Codegen, MissingScheduleThrows) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  ScheduleMap sched;
+  EXPECT_THROW(applySchedules(scop, sched), Error);
+}
+
+TEST(Codegen, NonPermutationAlphaRejected) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].alpha.at(0, 1) = 1;  // now a skew, not a signed permutation
+  EXPECT_THROW(applySchedules(scop, sched), Error);
+}
+
+/// Random legal permutation property test: draw random per-statement
+/// signed permutations; whenever the legality checker accepts, codegen must
+/// produce a semantics-preserving program.
+class RandomPermutations : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPermutations, LegalOnesPreserveSemantics) {
+  auto next = [state = static_cast<std::uint64_t>(GetParam() * 2654435761u +
+                                                  99)]() mutable {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  const char* kernelNames[] = {"gemm", "atax", "mvt", "trisolv", "syrk"};
+  int accepted = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    std::string name = kernelNames[next() % 5];
+    ir::Program p = kernels::buildKernel(name);
+    Scop scop = extractScop(p);
+    PoDG g = computeDependences(scop);
+    ScheduleMap sched = identitySchedules(scop);
+    for (auto& [id, s] : sched) {
+      std::size_t d = s.depth();
+      if (d == 0) continue;
+      // Random permutation (Fisher-Yates) with random signs.
+      std::vector<std::size_t> perm(d);
+      for (std::size_t i = 0; i < d; ++i) perm[i] = i;
+      for (std::size_t i = d; i-- > 1;)
+        std::swap(perm[i], perm[next() % (i + 1)]);
+      s.alpha = IntMatrix(d, d);
+      for (std::size_t r = 0; r < d; ++r)
+        s.alpha.at(r, perm[r]) = (next() % 2) ? 1 : -1;
+      for (std::size_t r = 0; r < d; ++r)
+        s.shift[r] = ir::AffExpr(static_cast<std::int64_t>(next() % 5) - 2);
+    }
+    if (!scheduleIsLegal(scop, g, sched)) continue;
+    ++accepted;
+    ir::Program q = applySchedules(scop, sched);
+    expectSameSemantics(p, q, smallParams(p));
+  }
+  // Not all random draws are legal; just record how many were exercised.
+  RecordProperty("accepted", accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPermutations, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace polyast::poly

@@ -1,0 +1,203 @@
+#include "dl/dl_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+
+namespace polyast::dl {
+namespace {
+
+using ir::AffExpr;
+
+AffExpr v(const std::string& s) { return AffExpr::term(s); }
+
+LoopNestModel nestOf(const ir::Program& p, std::size_t firstStmt,
+                     std::size_t count) {
+  LoopNestModel m;
+  auto stmts = p.statements();
+  auto loops = p.enclosingLoops();
+  // Union of iterators over the selected statements, in nesting order of
+  // the deepest statement.
+  std::size_t deepest = firstStmt;
+  for (std::size_t i = firstStmt; i < firstStmt + count; ++i) {
+    if (loops[stmts[i]->id].size() > loops[stmts[deepest]->id].size())
+      deepest = i;
+    m.stmts.push_back(stmts[i]);
+  }
+  for (const auto& l : loops[stmts[deepest]->id]) m.iters.push_back(l->iter);
+  return m;
+}
+
+TEST(DL, Figure4Example) {
+  // for ti,tj,tk tiles: A[i][j] += B[k][i]
+  // DL = Ti*Tj/L + Tk*Ti (B's last dim i is traversed by i, unit stride ->
+  // /L as well per the figure: DLB = Tk * Ti / L).
+  ir::ProgramBuilder b("fig4");
+  b.param("N", 64).param("M", 64).param("K", 64);
+  b.array("A", {v("N"), v("M")});
+  b.array("B", {v("K"), v("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.beginLoop("j", 0, b.p("M"));
+  b.beginLoop("k", 0, b.p("K"));
+  b.stmt("S", "A", {v("i"), v("j")}, ir::AssignOp::AddAssign,
+         ir::arrayRef("B", {v("k"), v("i")}));
+  b.endLoop();
+  b.endLoop();
+  b.endLoop();
+  ir::Program p = b.build();
+  LoopNestModel nest = nestOf(p, 0, 1);
+  CacheParams cache;
+  cache.lineSize = 8;
+  std::map<std::string, std::int64_t> tile{{"i", 16}, {"j", 32}, {"k", 8}};
+  // DL_A = Ti * (Tj/L) = 16 * 4 = 64. DL_B = Tk * (Ti/L) = 8 * 2 = 16.
+  EXPECT_DOUBLE_EQ(distinctLines(nest, tile, cache), 64.0 + 16.0);
+}
+
+TEST(DL, ScalarCountsOneLine) {
+  ir::ProgramBuilder b("t");
+  b.param("N", 64);
+  b.array("s", {AffExpr(1)});
+  b.array("A", {v("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "s", {AffExpr(0)}, ir::AssignOp::AddAssign,
+         ir::arrayRef("A", {v("i")}));
+  b.endLoop();
+  ir::Program p = b.build();
+  LoopNestModel nest = nestOf(p, 0, 1);
+  CacheParams cache;
+  std::map<std::string, std::int64_t> tile{{"i", 64}};
+  // s[0]: span 1 -> 1 line (unit "stride" not applicable, constant sub).
+  // A[i]: 64/8 = 8 lines.
+  EXPECT_DOUBLE_EQ(distinctLines(nest, tile, cache), 1.0 + 8.0);
+}
+
+TEST(DL, DuplicateReferencesCountedOnce) {
+  // A[i] appearing twice is one reference group.
+  ir::ProgramBuilder b("t");
+  b.param("N", 64);
+  b.array("A", {v("N")});
+  b.array("B", {v("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "B", {v("i")}, ir::AssignOp::Set,
+         ir::arrayRef("A", {v("i")}) * ir::arrayRef("A", {v("i")}));
+  b.endLoop();
+  ir::Program p = b.build();
+  LoopNestModel nest = nestOf(p, 0, 1);
+  CacheParams cache;
+  std::map<std::string, std::int64_t> tile{{"i", 32}};
+  EXPECT_DOUBLE_EQ(distinctLines(nest, tile, cache), 4.0 + 4.0);
+}
+
+TEST(DL, NonUnitStrideGetsNoLineDiscount) {
+  // A[8*i] touches a new line every iteration.
+  ir::ProgramBuilder b("t");
+  b.param("N", 64);
+  b.array("A", {v("N") * 8});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {v("i") * 8}, ir::AssignOp::Set, ir::floatLit(0.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  LoopNestModel nest = nestOf(p, 0, 1);
+  CacheParams cache;
+  std::map<std::string, std::int64_t> tile{{"i", 16}};
+  // span = 1 + 8*15 = 121 distinct values, no /L discount.
+  EXPECT_DOUBLE_EQ(distinctLines(nest, tile, cache), 121.0);
+}
+
+TEST(DL, MemCostDecreasesWithLargerTiles) {
+  ir::Program p = kernels::buildKernel("gemm");
+  LoopNestModel nest = nestOf(p, 1, 1);
+  CacheParams cache;
+  std::map<std::string, std::int64_t> t8{{"i", 8}, {"j", 8}, {"k", 8}};
+  std::map<std::string, std::int64_t> t32{{"i", 32}, {"j", 32}, {"k", 32}};
+  EXPECT_GT(memCostPerIteration(nest, t8, cache),
+            memCostPerIteration(nest, t32, cache));
+}
+
+TEST(DL, GemmBestOrderPutsJInnermost) {
+  // C[i][j] += alpha*A[i][k]*B[k][j]: j is contiguous for C and B, k only
+  // for A, i for none -> order (i, k, j).
+  ir::Program p = kernels::buildKernel("gemm");
+  LoopNestModel nest = nestOf(p, 1, 1);
+  CacheParams cache;
+  auto order = bestPermutationOrder(nest, cache);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), "j");
+  EXPECT_EQ(order.front(), "i");
+}
+
+TEST(DL, TransposedAccessPrefersColumnIterInner) {
+  // X[i] += A[j][i] * y[j]  (mvt's second statement): i is contiguous in A
+  // and x -> i innermost.
+  ir::Program p = kernels::buildKernel("mvt");
+  LoopNestModel nest = nestOf(p, 1, 1);
+  CacheParams cache;
+  auto order = bestPermutationOrder(nest, cache);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order.back(), "i");
+  EXPECT_EQ(order.front(), "j");
+}
+
+TEST(DL, ContiguityCounts) {
+  ir::Program p = kernels::buildKernel("gemm");
+  LoopNestModel nest = nestOf(p, 1, 1);
+  EXPECT_EQ(contiguityCount(nest, "j"), 2);  // C[i][j], B[k][j]
+  EXPECT_EQ(contiguityCount(nest, "k"), 1);  // A[i][k]
+  EXPECT_EQ(contiguityCount(nest, "i"), 0);
+}
+
+TEST(DL, FusionOfSharedArrayProfitable) {
+  // S1: B[i] = A[i]; S2: C[i] = A[i] + B[i]. Fusing reuses A and B while
+  // they are resident.
+  ir::ProgramBuilder b("t");
+  b.param("N", 1024);
+  b.array("A", {v("N")});
+  b.array("B", {v("N")});
+  b.array("C", {v("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S1", "B", {v("i")}, ir::AssignOp::Set, ir::arrayRef("A", {v("i")}));
+  b.endLoop();
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S2", "C", {v("i")}, ir::AssignOp::Set,
+         ir::arrayRef("A", {v("i")}) + ir::arrayRef("B", {v("i")}));
+  b.endLoop();
+  ir::Program p = b.build();
+  auto stmts = p.statements();
+  LoopNestModel a{{"i"}, {stmts[0]}};
+  LoopNestModel c{{"i"}, {stmts[1]}};
+  LoopNestModel fused{{"i"}, {stmts[0], stmts[1]}};
+  CacheParams cache;
+  EXPECT_TRUE(fusionProfitable(a, c, fused, cache));
+}
+
+TEST(DL, TlbLevelModeling) {
+  // The DL model also targets TLB entries (Sec. III-B): with a 4KB page
+  // (512 doubles) as the "line", a row-major 2-D walk touches one entry
+  // per Tj/512 columns — the same formula at a different granularity.
+  ir::Program p = kernels::buildKernel("gemm");
+  LoopNestModel nest = nestOf(p, 1, 1);
+  CacheParams tlb;
+  tlb.lineSize = 512;        // doubles per 4KB page
+  tlb.capacityLines = 64;    // typical L1 DTLB entries
+  CacheParams cache;         // 64B lines
+  std::map<std::string, std::int64_t> tile{{"i", 32}, {"j", 32}, {"k", 32}};
+  // Fewer distinct pages than distinct cache lines, always.
+  EXPECT_LT(distinctLines(nest, tile, tlb),
+            distinctLines(nest, tile, cache));
+  // Both levels agree on the best permutation for gemm.
+  EXPECT_EQ(bestPermutationOrder(nest, tlb).back(), "j");
+}
+
+TEST(DL, MinMemCostRespectsCapacity) {
+  ir::Program p = kernels::buildKernel("gemm");
+  LoopNestModel nest = nestOf(p, 1, 1);
+  CacheParams tiny;
+  tiny.capacityLines = 64;  // forces small tiles
+  CacheParams big;
+  big.capacityLines = 1 << 20;
+  EXPECT_GE(minMemCost(nest, tiny), minMemCost(nest, big));
+}
+
+}  // namespace
+}  // namespace polyast::dl

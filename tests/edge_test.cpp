@@ -1,0 +1,132 @@
+// API contract and edge-case coverage: error paths, degenerate inputs, and
+// option combinations not exercised by the kernel-driven suites.
+#include <gtest/gtest.h>
+
+#include "baseline/pluto.hpp"
+#include "ir/builder.hpp"
+#include "ir/cemit.hpp"
+#include "kernels/polybench.hpp"
+#include "poly/codegen.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+#include "transform/flow.hpp"
+
+namespace polyast {
+namespace {
+
+using ir::AffExpr;
+
+TEST(Edge, EmptyProgramFlowsCleanly) {
+  ir::ProgramBuilder b("empty");
+  b.param("N", 8);
+  ir::Program p = b.build();
+  ir::Program q = transform::optimize(p);
+  EXPECT_TRUE(q.statements().empty());
+  ir::Program r = baseline::plutoOptimize(p);
+  EXPECT_TRUE(r.statements().empty());
+}
+
+TEST(Edge, SingleStatementNoLoops) {
+  ir::ProgramBuilder b("scalarprog");
+  b.array("s", {AffExpr(1)});
+  b.stmt("S", "s", {AffExpr(0)}, ir::AssignOp::Set, ir::floatLit(7.0));
+  ir::Program p = b.build();
+  ir::Program q = transform::optimize(p);
+  testutil::expectSameSemantics(p, q);
+}
+
+TEST(Edge, BoundSingleThrowsOnMultiPart) {
+  ir::Bound b;
+  b.parts = {AffExpr(0), AffExpr(1)};
+  EXPECT_THROW(b.single(), Error);
+}
+
+TEST(Edge, ScheduleDepthMismatchThrows) {
+  ir::Program p = kernels::buildKernel("gemm");
+  poly::Scop scop = poly::extractScop(p);
+  poly::ScheduleMap sched = poly::identitySchedules(scop);
+  sched[0] = poly::Schedule::identity(5);  // wrong depth
+  EXPECT_THROW(poly::applySchedules(scop, sched), Error);
+}
+
+TEST(Edge, UnknownKernelThrows) {
+  EXPECT_THROW(kernels::kernel("nope"), Error);
+  EXPECT_THROW(kernels::buildKernel(""), Error);
+}
+
+TEST(Edge, CEmitWithoutMainOmitsMain) {
+  ir::Program p = kernels::buildKernel("gemm");
+  ir::CEmitOptions opt;
+  opt.withMain = false;
+  std::string src = ir::emitC(p, opt);
+  EXPECT_EQ(src.find("int main"), std::string::npos);
+  EXPECT_NE(src.find("static void kernel(void)"), std::string::npos);
+}
+
+TEST(Edge, TinyTripCountsSurviveEverything) {
+  // N smaller than every tile/unroll factor: guards and min/max bounds
+  // must keep the transformed programs exact.
+  for (const char* name : {"gemm", "jacobi-2d-imper", "trisolv"}) {
+    ir::Program p = kernels::buildKernel(name);
+    transform::FlowOptions o;
+    o.ast.tileSize = 16;
+    o.ast.timeTileSize = 8;
+    o.ast.unrollInner = 4;
+    o.ast.unrollOuter = 4;
+    ir::Program q = transform::optimize(p, o);
+    std::map<std::string, std::int64_t> params;
+    for (const auto& n : p.params) params[n] = (n == "TSTEPS") ? 1 : 5;
+    SCOPED_TRACE(name);
+    testutil::expectSameSemantics(p, q, params);
+  }
+}
+
+TEST(Edge, FlowIsDeterministic) {
+  // Two runs of the optimizer on the same input must print identically
+  // (the scheduler iterates ordered containers only).
+  ir::Program p1 = kernels::buildKernel("2mm");
+  ir::Program p2 = kernels::buildKernel("2mm");
+  std::string a = ir::printProgram(transform::optimize(p1));
+  std::string b = ir::printProgram(transform::optimize(p2));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Edge, OptimizeIsIdempotentOnItsOutputSemantics) {
+  // Re-optimizing an already-optimized (untiled) program must still be
+  // semantics-preserving.
+  ir::Program p = kernels::buildKernel("gemm");
+  transform::FlowOptions o;
+  o.enableTiling = false;          // keep the output a SCoP (unit steps)
+  o.enableRegisterTiling = false;
+  ir::Program q = transform::optimize(p, o);
+  ir::Program r = transform::optimize(q, o);
+  testutil::expectSameSemantics(p, r, {{"NI", 7}, {"NJ", 6}, {"NK", 5}});
+}
+
+TEST(Edge, ParamOverridesPropagate) {
+  ir::Program p = kernels::buildKernel("gemm");
+  exec::Context ctx(p, {{"NI", 3}, {"NJ", 3}, {"NK", 3}});
+  EXPECT_EQ(ctx.param("NI"), 3);
+  EXPECT_EQ(ctx.buffer("C").size(), 9u);
+  EXPECT_THROW(exec::Context(p, {{"XX", 1}}), Error);
+}
+
+TEST(Edge, GuardedStatementOutsideLoopUsesParams) {
+  // Guards with parameter-only expressions act as compile-time-ish
+  // predicates.
+  ir::ProgramBuilder b("g");
+  b.param("N", 8);
+  b.array("A", {b.p("N")});
+  b.stmt("S", "A", {AffExpr(0)}, ir::AssignOp::Set, ir::floatLit(1.0));
+  ir::Program p = b.build();
+  p.statements()[0]->guards.push_back(b.p("N") - AffExpr(10));  // N >= 10
+  exec::Context small(p, {{"N", 8}});
+  exec::run(p, small);
+  EXPECT_EQ(small.buffer("A")[0], 0.0);
+  exec::Context big(p, {{"N", 12}});
+  exec::run(p, big);
+  EXPECT_EQ(big.buffer("A")[0], 1.0);
+}
+
+}  // namespace
+}  // namespace polyast

@@ -1,0 +1,104 @@
+#include "support/int_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace polyast {
+namespace {
+
+TEST(IntMatrix, IdentityAndProduct) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix i = IntMatrix::identity(2);
+  EXPECT_EQ(a * i, a);
+  EXPECT_EQ(i * a, a);
+  IntMatrix b{{0, 1}, {1, 0}};
+  IntMatrix ab = a * b;
+  EXPECT_EQ(ab.at(0, 0), 2);
+  EXPECT_EQ(ab.at(0, 1), 1);
+  EXPECT_EQ(ab.at(1, 0), 4);
+  EXPECT_EQ(ab.at(1, 1), 3);
+}
+
+TEST(IntMatrix, ApplyVector) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  auto v = a.apply({1, 1});
+  EXPECT_EQ(v, (std::vector<std::int64_t>{3, 7}));
+}
+
+TEST(IntMatrix, DimensionMismatchThrows) {
+  IntMatrix a{{1, 2}};
+  IntMatrix b{{1, 2}};
+  EXPECT_THROW(a * b, Error);
+  EXPECT_THROW(a.apply({1, 2, 3}), Error);
+}
+
+TEST(IntMatrix, Determinant) {
+  EXPECT_EQ((IntMatrix{{2, 0}, {0, 3}}).determinant(), 6);
+  EXPECT_EQ((IntMatrix{{0, 1}, {1, 0}}).determinant(), -1);
+  EXPECT_EQ((IntMatrix{{1, 2}, {2, 4}}).determinant(), 0);
+  EXPECT_EQ((IntMatrix{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}}).determinant(),
+            4);
+  // Needs a row swap to find a pivot.
+  EXPECT_EQ((IntMatrix{{0, 1, 0}, {1, 0, 0}, {0, 0, 1}}).determinant(), -1);
+}
+
+TEST(IntMatrix, InverseUnimodular) {
+  IntMatrix skew{{1, 0}, {1, 1}};
+  IntMatrix inv = skew.inverseUnimodular();
+  EXPECT_EQ(skew * inv, IntMatrix::identity(2));
+  EXPECT_EQ(inv * skew, IntMatrix::identity(2));
+
+  IntMatrix perm = IntMatrix::permutation({2, 0, 1});
+  IntMatrix pinv = perm.inverseUnimodular();
+  EXPECT_EQ(perm * pinv, IntMatrix::identity(3));
+
+  IntMatrix notUni{{2, 0}, {0, 1}};
+  EXPECT_THROW(notUni.inverseUnimodular(), Error);
+}
+
+TEST(IntMatrix, SignedPermutationCheck) {
+  EXPECT_TRUE(IntMatrix::identity(3).isSignedPermutation());
+  EXPECT_TRUE((IntMatrix{{0, -1}, {1, 0}}).isSignedPermutation());
+  EXPECT_FALSE((IntMatrix{{1, 1}, {0, 1}}).isSignedPermutation());
+  EXPECT_FALSE((IntMatrix{{2, 0}, {0, 1}}).isSignedPermutation());
+  EXPECT_FALSE((IntMatrix{{1, 0}, {1, 0}}).isSignedPermutation());
+}
+
+TEST(IntMatrix, PermutationFactoryValidation) {
+  EXPECT_THROW(IntMatrix::permutation({0, 0}), Error);
+  EXPECT_THROW(IntMatrix::permutation({0, 2}), Error);
+  IntMatrix p = IntMatrix::permutation({1, 0});
+  EXPECT_EQ(p.at(0, 1), 1);
+  EXPECT_EQ(p.at(1, 0), 1);
+}
+
+class UnimodularRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnimodularRoundTrip, InverseIsExact) {
+  // Generate unimodular matrices as products of elementary operations.
+  auto next = [state = static_cast<std::uint64_t>(GetParam() * 7919 + 3)]()
+      mutable {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::size_t n = 3;
+  IntMatrix m = IntMatrix::identity(n);
+  for (int step = 0; step < 6; ++step) {
+    IntMatrix e = IntMatrix::identity(n);
+    std::size_t r = next() % n, c = next() % n;
+    if (r == c) {
+      e.at(r, r) = (next() % 2) ? 1 : -1;
+    } else {
+      e.at(r, c) = static_cast<std::int64_t>(next() % 3) - 1;
+    }
+    m = m * e;
+  }
+  ASSERT_TRUE(m.isUnimodular());
+  EXPECT_EQ(m * m.inverseUnimodular(), IntMatrix::identity(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnimodularRoundTrip, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace polyast

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+#include "support/error.hpp"
+
+namespace polyast::ir {
+namespace {
+
+AffExpr v(const std::string& s) { return AffExpr::term(s); }
+
+TEST(AffExpr, Arithmetic) {
+  AffExpr e = v("i") * 2 + AffExpr(3) - v("j");
+  EXPECT_EQ(e.coeff("i"), 2);
+  EXPECT_EQ(e.coeff("j"), -1);
+  EXPECT_EQ(e.constant(), 3);
+  EXPECT_EQ(e.coeff("k"), 0);
+}
+
+TEST(AffExpr, ZeroCoefficientsDropped) {
+  AffExpr e = v("i") - v("i");
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constant(), 0);
+}
+
+TEST(AffExpr, Substitution) {
+  // i -> i' - j applied to 2i + j + 1 gives 2i' - j + 1.
+  AffExpr e = v("i") * 2 + v("j") + AffExpr(1);
+  AffExpr r = e.substituted("i", v("ip") - v("j"));
+  EXPECT_EQ(r.coeff("ip"), 2);
+  EXPECT_EQ(r.coeff("j"), -1);
+  EXPECT_EQ(r.constant(), 1);
+}
+
+TEST(AffExpr, Evaluate) {
+  AffExpr e = v("i") * 3 - v("j") + AffExpr(7);
+  EXPECT_EQ(e.evaluate({{"i", 2}, {"j", 5}}), 8);
+  EXPECT_THROW(e.evaluate({{"i", 2}}), Error);
+}
+
+TEST(AffExpr, Printing) {
+  EXPECT_EQ((v("i") * 2 - v("j") + AffExpr(-1)).str(), "2*i-j-1");
+  EXPECT_EQ(AffExpr(0).str(), "0");
+}
+
+TEST(Expr, SubstituteIterRewritesSubscriptsAndValues) {
+  // A[i][j] * i with i -> c1 - j.
+  ExprPtr e = arrayRef("A", {v("i"), v("j")}) * iterRef("i");
+  ExprPtr r = substituteIter(e, "i", v("c1") - v("j"));
+  std::string s = r->str();
+  EXPECT_NE(s.find("A[c1-j][j]"), std::string::npos) << s;
+  EXPECT_NE(s.find("c1"), std::string::npos) << s;
+}
+
+TEST(Expr, SubstituteIterSharesUnchangedSubtrees) {
+  ExprPtr e = arrayRef("A", {v("j")});
+  ExprPtr r = substituteIter(e, "i", v("c1"));
+  EXPECT_EQ(e.get(), r.get());  // untouched tree is shared, not copied
+}
+
+TEST(Expr, CollectArrayUses) {
+  ExprPtr e = arrayRef("A", {v("i")}) + arrayRef("B", {v("j")}) *
+                                            arrayRef("A", {v("k")});
+  std::vector<ArrayUse> uses;
+  collectArrayUses(e, uses);
+  ASSERT_EQ(uses.size(), 3u);
+  EXPECT_EQ(uses[0].array, "A");
+  EXPECT_EQ(uses[1].array, "B");
+  EXPECT_EQ(uses[2].array, "A");
+}
+
+TEST(Builder, BuildsNestedProgram) {
+  ProgramBuilder b("t");
+  b.param("N", 10);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {b.p("i")}, AssignOp::Set, floatLit(1.0));
+  b.endLoop();
+  Program p = b.build();
+  auto stmts = p.statements();
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0]->id, 0);
+  EXPECT_EQ(stmts[0]->lhsArray, "A");
+  auto loops = p.enclosingLoops();
+  EXPECT_EQ(loops[0].size(), 1u);
+  EXPECT_EQ(loops[0][0]->iter, "i");
+}
+
+TEST(Builder, UnbalancedLoopsThrow) {
+  ProgramBuilder b("t");
+  b.beginLoop("i", 0, AffExpr(4));
+  EXPECT_THROW(b.build(), Error);
+  b.endLoop();
+  EXPECT_THROW(b.endLoop(), Error);
+}
+
+TEST(Builder, ReductionDetection) {
+  ProgramBuilder b("t");
+  b.param("N", 4);
+  b.array("A", {b.p("N")});
+  b.array("s", {AffExpr(1)});
+  b.beginLoop("i", 0, b.p("N"));
+  // s += A[i]: reduction update.
+  b.stmt("R", "s", {AffExpr(0)}, AssignOp::AddAssign,
+         arrayRef("A", {v("i")}));
+  // s += s * A[i]: lhs re-read, not a pure reduction.
+  b.stmt("X", "s", {AffExpr(0)}, AssignOp::AddAssign,
+         arrayRef("s", {AffExpr(0)}) * arrayRef("A", {v("i")}));
+  // s = A[i]: plain assignment.
+  b.stmt("W", "s", {AffExpr(0)}, AssignOp::Set, arrayRef("A", {v("i")}));
+  b.endLoop();
+  auto stmts = b.build().statements();
+  EXPECT_TRUE(stmts[0]->isReductionUpdate);
+  EXPECT_FALSE(stmts[1]->isReductionUpdate);
+  EXPECT_FALSE(stmts[2]->isReductionUpdate);
+}
+
+TEST(Clone, DeepCopyIsIndependent) {
+  Program p = kernels::buildKernel("gemm");
+  Program q = p.deepCopy();
+  // Mutate q's first loop bound; p must be unaffected.
+  auto qLoops = q.enclosingLoops();
+  qLoops[0][0]->upper = Bound(AffExpr(1));
+  auto pLoops = p.enclosingLoops();
+  EXPECT_EQ(pLoops[0][0]->upper.single().coeff("NI"), 1);
+}
+
+TEST(Printer, GemmLooksLikeC) {
+  Program p = kernels::buildKernel("gemm");
+  std::string s = printProgram(p);
+  EXPECT_NE(s.find("for (i = 0; i < NI; i++) {"), std::string::npos) << s;
+  EXPECT_NE(s.find("S2: C[i][j] += ((alpha[0] * A[i][k]) * B[k][j]);"),
+            std::string::npos)
+      << s;
+}
+
+TEST(Printer, GuardsArePrinted) {
+  ProgramBuilder b("t");
+  b.param("N", 4);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {v("i")}, AssignOp::Set, floatLit(0.0));
+  b.endLoop();
+  Program p = b.build();
+  p.statements()[0]->guards.push_back(v("i") - AffExpr(1));
+  std::string s = printProgram(p);
+  EXPECT_NE(s.find("if (i-1 >= 0) S:"), std::string::npos) << s;
+}
+
+TEST(Bounds, MaxMinPrinting) {
+  Bound lo;
+  lo.parts = {AffExpr(0), v("j") - AffExpr(2)};
+  EXPECT_EQ(lo.str(true), "max(0, j-2)");
+  Bound hi;
+  hi.parts = {v("N"), v("j") + AffExpr(32)};
+  EXPECT_EQ(hi.str(false), "min(N, j+32)");
+}
+
+TEST(RenameIterInTree, AppliesEverywhere) {
+  Program p = kernels::buildKernel("gemm");
+  // Rename k -> kk throughout, including the loop header.
+  renameIterInTree(p.root, "k", "kk");
+  std::string s = printProgram(p);
+  EXPECT_EQ(s.find("A[i][k]"), std::string::npos) << s;
+  EXPECT_NE(s.find("A[i][kk]"), std::string::npos) << s;
+  EXPECT_NE(s.find("for (kk = 0"), std::string::npos) << s;
+}
+
+TEST(SubstituteIterInTree, RefusesShadowedIterator) {
+  Program p = kernels::buildKernel("gemm");
+  // Substituting k from above its defining loop must be rejected.
+  EXPECT_THROW(substituteIterInTree(p.root, "k", v("kk")), Error);
+}
+
+TEST(Kernels, AllTwentyTwoRegistered) {
+  const auto& ks = kernels::allKernels();
+  EXPECT_EQ(ks.size(), 22u);
+  // Spot-check the Table II names.
+  for (const char* name :
+       {"2mm", "3mm", "adi", "atax", "bicg", "cholesky", "correlation",
+        "covariance", "doitgen", "fdtd-2d", "fdtd-apml", "gemm", "gemver",
+        "gesummv", "jacobi-1d-imper", "jacobi-2d-imper", "mvt", "seidel-2d",
+        "symm", "syr2k", "syrk", "trisolv"}) {
+    EXPECT_NO_THROW(kernels::kernel(name)) << name;
+  }
+}
+
+TEST(Kernels, AllBuildableAndNonEmpty) {
+  for (const auto& k : kernels::allKernels()) {
+    Program p = k.build();
+    EXPECT_FALSE(p.statements().empty()) << k.name;
+    EXPECT_GT(k.flops(p.paramDefaults), 0.0) << k.name;
+  }
+}
+
+}  // namespace
+}  // namespace polyast::ir

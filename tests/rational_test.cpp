@@ -1,0 +1,118 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace polyast {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  Rational zero(0, 7);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), Error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, IntegerConversion) {
+  EXPECT_TRUE(Rational(8, 4).isInteger());
+  EXPECT_EQ(Rational(8, 4).asInteger(), 2);
+  EXPECT_THROW(Rational(1, 2).asInteger(), Error);
+}
+
+TEST(Rational, AdditionAvoidsPrematureOverflow) {
+  // 2^61/3 + 2^61/3: naive cross-multiplication of denominators would be
+  // fine here, but mixed denominators stress the gcd path.
+  Rational big(std::int64_t{1} << 61, 3);
+  Rational sum = big + big;
+  EXPECT_EQ(sum, Rational(std::int64_t{1} << 62, 3));
+}
+
+TEST(CheckedMath, OverflowThrows) {
+  std::int64_t big = std::int64_t{1} << 62;
+  EXPECT_THROW(checkedAdd(big, big), Error);
+  EXPECT_THROW(checkedMul(big, 4), Error);
+}
+
+TEST(IntDivision, FloorAndCeil) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_THROW(floorDiv(1, 0), Error);
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, FieldAxiomsOnSmallFractions) {
+  int seed = GetParam();
+  // Deterministic pseudo-random small fractions.
+  auto next = [state = static_cast<std::uint64_t>(seed + 1)]() mutable {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::int64_t>((state >> 33) % 19) - 9;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int64_t an = next(), ad = next(), bn = next(), bd = next();
+    if (ad == 0 || bd == 0) continue;
+    Rational a(an, ad), b(bn, bd);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) - b, a);
+    if (!b.isZero()) EXPECT_EQ((a / b) * b, a);
+    EXPECT_EQ(a * (b + Rational(1)), a * b + a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace polyast

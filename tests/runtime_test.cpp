@@ -1,0 +1,218 @@
+#include "runtime/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace polyast::runtime {
+namespace {
+
+TEST(ThreadPool, RunsOnAllThreads) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.runOnAll([&](unsigned tid) { hits[tid]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable across invocations.
+  pool.runOnAll([&](unsigned tid) { hits[tid]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, SingleThreadDegenerate) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.runOnAll([&](unsigned tid) {
+    EXPECT_EQ(tid, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(100);
+  for (auto& t : touched) t = 0;
+  parallelFor(pool, 5, 95, [&](std::int64_t i) { touched[i]++; });
+  for (std::int64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(touched[i].load(), (i >= 5 && i < 95) ? 1 : 0) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallelFor(pool, 10, 10, [&](std::int64_t) { ++calls; });
+  parallelFor(pool, 10, 5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForBlocked, ChunksPartitionRange) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallelForBlocked(pool, 0, 103, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> g(m);
+    chunks.push_back({lo, hi});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::int64_t expectNext = 0;
+  for (auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expectNext);
+    EXPECT_GT(hi, lo);
+    expectNext = hi;
+  }
+  EXPECT_EQ(expectNext, 103);
+}
+
+TEST(ParallelReduce, MatchesSequentialSum) {
+  ThreadPool pool(4);
+  std::int64_t n = 1000;
+  std::vector<double> data(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    data[static_cast<std::size_t>(i)] = 0.25 * static_cast<double>(i % 17);
+  // Array reduction: hist[i % 8] += data[i].
+  std::vector<double> hist(8, 1.0);  // pre-existing values must be kept
+  std::vector<double> want = hist;
+  for (std::int64_t i = 0; i < n; ++i)
+    want[static_cast<std::size_t>(i % 8)] += data[static_cast<std::size_t>(i)];
+  parallelReduce(pool, 0, n, hist.data(), hist.size(),
+                 [&](double* priv, std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t i = lo; i < hi; ++i)
+                     priv[i % 8] += data[static_cast<std::size_t>(i)];
+                 });
+  for (std::size_t k = 0; k < 8; ++k) EXPECT_NEAR(hist[k], want[k], 1e-9);
+}
+
+/// Pipeline correctness: every cell must observe the completed values of
+/// its north and west neighbours.
+TEST(Pipeline2D, RespectsCellDependences) {
+  ThreadPool pool(4);
+  std::int64_t R = 37, C = 29;
+  std::vector<std::int64_t> grid(static_cast<std::size_t>(R * C), 0);
+  auto at = [&](std::int64_t r, std::int64_t c) -> std::int64_t& {
+    return grid[static_cast<std::size_t>(r * C + c)];
+  };
+  pipeline2D(pool, R, C, [&](std::int64_t r, std::int64_t c) {
+    std::int64_t north = r > 0 ? at(r - 1, c) : 0;
+    std::int64_t west = c > 0 ? at(r, c - 1) : 0;
+    at(r, c) = std::max(north, west) + 1;
+  });
+  // The recurrence computes r + c + 1 when dependences are respected.
+  for (std::int64_t r = 0; r < R; ++r)
+    for (std::int64_t c = 0; c < C; ++c)
+      ASSERT_EQ(at(r, c), r + c + 1) << r << "," << c;
+}
+
+TEST(Wavefront2D, ComputesSameRecurrence) {
+  ThreadPool pool(4);
+  std::int64_t R = 23, C = 31;
+  std::vector<std::int64_t> grid(static_cast<std::size_t>(R * C), 0);
+  auto at = [&](std::int64_t r, std::int64_t c) -> std::int64_t& {
+    return grid[static_cast<std::size_t>(r * C + c)];
+  };
+  SyncStats stats = wavefront2D(pool, R, C, [&](std::int64_t r,
+                                                std::int64_t c) {
+    std::int64_t north = r > 0 ? at(r - 1, c) : 0;
+    std::int64_t west = c > 0 ? at(r, c - 1) : 0;
+    at(r, c) = std::max(north, west) + 1;
+  });
+  for (std::int64_t r = 0; r < R; ++r)
+    for (std::int64_t c = 0; c < C; ++c)
+      ASSERT_EQ(at(r, c), r + c + 1);
+  // One barrier per diagonal: R + C - 1 of them (Fig. 6's all-to-all
+  // barriers).
+  EXPECT_EQ(stats.barriers, static_cast<std::uint64_t>(R + C - 1));
+}
+
+TEST(Fig6, PipelineUsesNoBarriers) {
+  ThreadPool pool(4);
+  auto noop = [](std::int64_t, std::int64_t) {};
+  SyncStats p2p = pipeline2D(pool, 16, 16, noop);
+  SyncStats wf = wavefront2D(pool, 16, 16, noop);
+  EXPECT_EQ(p2p.barriers, 0u);
+  EXPECT_EQ(wf.barriers, 31u);
+}
+
+TEST(Pipeline2D, DegenerateShapes) {
+  ThreadPool pool(2);
+  int cells = 0;
+  std::mutex m;
+  auto count = [&](std::int64_t, std::int64_t) {
+    std::lock_guard<std::mutex> g(m);
+    ++cells;
+  };
+  pipeline2D(pool, 1, 10, count);
+  EXPECT_EQ(cells, 10);
+  cells = 0;
+  pipeline2D(pool, 10, 1, count);
+  EXPECT_EQ(cells, 10);
+  cells = 0;
+  pipeline2D(pool, 0, 10, count);
+  EXPECT_EQ(cells, 0);
+}
+
+TEST(Pipeline3D, RespectsAllThreePredecessors) {
+  ThreadPool pool(4);
+  std::int64_t P = 9, R = 11, C = 13;
+  std::vector<std::int64_t> grid(static_cast<std::size_t>(P * R * C), 0);
+  auto at = [&](std::int64_t p, std::int64_t r, std::int64_t c)
+      -> std::int64_t& {
+    return grid[static_cast<std::size_t>((p * R + r) * C + c)];
+  };
+  pipeline3D(pool, P, R, C, [&](std::int64_t p, std::int64_t r,
+                                std::int64_t c) {
+    std::int64_t up = p > 0 ? at(p - 1, r, c) : 0;
+    std::int64_t north = r > 0 ? at(p, r - 1, c) : 0;
+    std::int64_t west = c > 0 ? at(p, r, c - 1) : 0;
+    at(p, r, c) = std::max({up, north, west}) + 1;
+  });
+  for (std::int64_t p = 0; p < P; ++p)
+    for (std::int64_t r = 0; r < R; ++r)
+      for (std::int64_t c = 0; c < C; ++c)
+        ASSERT_EQ(at(p, r, c), p + r + c + 1);
+}
+
+TEST(Pipeline3D, DegenerateShapes) {
+  ThreadPool pool(2);
+  std::atomic<int> cells{0};
+  auto count = [&](std::int64_t, std::int64_t, std::int64_t) { ++cells; };
+  pipeline3D(pool, 1, 1, 50, count);
+  EXPECT_EQ(cells.load(), 50);
+  cells = 0;
+  pipeline3D(pool, 0, 5, 5, count);
+  EXPECT_EQ(cells.load(), 0);
+  cells = 0;
+  pipeline3D(pool, 3, 1, 1, count);
+  EXPECT_EQ(cells.load(), 3);
+}
+
+/// Stress the pipeline with many shapes and threads (property test).
+class PipelineShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PipelineShapes, RecurrenceHolds) {
+  auto [threads, R, C] = GetParam();
+  ThreadPool pool(static_cast<unsigned>(threads));
+  std::vector<std::int64_t> grid(static_cast<std::size_t>(R * C), 0);
+  auto at = [&](std::int64_t r, std::int64_t c) -> std::int64_t& {
+    return grid[static_cast<std::size_t>(r * C + c)];
+  };
+  pipeline2D(pool, R, C, [&](std::int64_t r, std::int64_t c) {
+    std::int64_t north = r > 0 ? at(r - 1, c) : 0;
+    std::int64_t west = c > 0 ? at(r, c - 1) : 0;
+    at(r, c) = std::max(north, west) + 1;
+  });
+  for (std::int64_t r = 0; r < R; ++r)
+    for (std::int64_t c = 0; c < C; ++c)
+      ASSERT_EQ(at(r, c), r + c + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineShapes,
+    ::testing::Values(std::make_tuple(1, 8, 8), std::make_tuple(2, 5, 40),
+                      std::make_tuple(3, 40, 5), std::make_tuple(4, 64, 64),
+                      std::make_tuple(8, 33, 17)));
+
+}  // namespace
+}  // namespace polyast::runtime

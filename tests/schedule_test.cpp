@@ -1,0 +1,196 @@
+#include "poly/schedule.hpp"
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/polybench.hpp"
+
+namespace polyast::poly {
+namespace {
+
+TEST(Schedule, IdentityShape) {
+  Schedule s = Schedule::identity(3);
+  EXPECT_EQ(s.depth(), 3u);
+  EXPECT_EQ(s.beta.size(), 4u);
+  EXPECT_TRUE(s.alpha.isSignedPermutation());
+  EXPECT_EQ(s.sourceIter(0), 0u);
+  EXPECT_EQ(s.sourceIter(2), 2u);
+  EXPECT_EQ(s.sign(1), 1);
+}
+
+TEST(Schedule, PermutationAccessors) {
+  Schedule s = Schedule::identity(2);
+  s.alpha = IntMatrix{{0, 1}, {-1, 0}};  // level0=j, level1=-i
+  EXPECT_EQ(s.sourceIter(0), 1u);
+  EXPECT_EQ(s.sign(0), 1);
+  EXPECT_EQ(s.sourceIter(1), 0u);
+  EXPECT_EQ(s.sign(1), -1);
+}
+
+/// The original program order must always be legal — checked for the whole
+/// PolyBench suite (a strong self-consistency test of dependence analysis +
+/// legality machinery).
+class IdentityIsLegal : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IdentityIsLegal, AllDepsCarried) {
+  ir::Program p = kernels::buildKernel(GetParam());
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  EXPECT_TRUE(scheduleIsLegal(scop, g, sched)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PolyBench, IdentityIsLegal, ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& k : kernels::allKernels())
+                             names.push_back(k.name);
+                           return names;
+                         }()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Legality, GemmLoopInterchangeIsLegal) {
+  // gemm's i and j loops are both parallel for S1; interchanging (i j k) ->
+  // (j i k) is legal.
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].alpha = IntMatrix{{0, 1}, {1, 0}};
+  sched[1].alpha = IntMatrix{{0, 1, 0}, {1, 0, 0}, {0, 0, 1}};
+  EXPECT_TRUE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Legality, GemmReductionLoopReversalIsIllegal) {
+  // Reversing the k loop flips the serializing accumulation dependence.
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[1].alpha.at(2, 2) = -1;
+  EXPECT_FALSE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Legality, SeidelInterchangeIllegal) {
+  // seidel-2d has dependences (0, 1, -1): swapping i and j flips them.
+  ir::Program p = kernels::buildKernel("seidel-2d");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].alpha = IntMatrix{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}};
+  EXPECT_FALSE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Legality, TimeLoopReversalIllegal) {
+  ir::Program p = kernels::buildKernel("jacobi-1d-imper");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  for (auto& [id, s] : sched) s.alpha.at(0, 0) = -1;
+  EXPECT_FALSE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Legality, FusionOf2mmProducerConsumerRespectsOrder) {
+  // Fusing the two i-loops of 2mm (same beta at level 0) is legal because
+  // U reads tmp[i][k] — all tmp values of row i are ready after S at the
+  // same i... but only if the j/k structure still orders S before U. With
+  // plain loop fusion at level 0 only (identity inside), U at (i, j, k)
+  // reads tmp[i][k]; S at (i, k, *) writes it. At equal i, S must come
+  // first; beta level 1 ordering (S group before U group) achieves that.
+  ir::Program p = kernels::buildKernel("2mm");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  // R,S get beta1=0 with R before S's k-loop (beta2 0 vs 1); T,U get
+  // beta1=1 likewise. All four share beta0=0 (fused outer i).
+  sched[0].beta = {0, 0, 0};
+  sched[1].beta = {0, 0, 1, 0};
+  sched[2].beta = {0, 1, 0};
+  sched[3].beta = {0, 1, 1, 0};
+  EXPECT_TRUE(scheduleIsLegal(scop, g, sched));
+  // Flipping the inner-group order (T,U before R,S) breaks the tmp flow.
+  sched[0].beta = {0, 1, 0};
+  sched[1].beta = {0, 1, 1, 0};
+  sched[2].beta = {0, 0, 0};
+  sched[3].beta = {0, 0, 1, 0};
+  EXPECT_FALSE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Legality, ShiftRealignsStencil) {
+  // A[i] = A[i-1] (flow distance 1). Scheduling the statement with shift
+  // c=5 changes nothing semantically (single statement, pure retiming must
+  // stay legal).
+  ir::ProgramBuilder b("t");
+  b.param("N", 16);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 1, b.p("N"));
+  b.stmt("S", "A", {ir::AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::arrayRef("A", {ir::AffExpr::term("i") - ir::AffExpr(1)}));
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  sched[0].shift[0] = ir::AffExpr(5);
+  EXPECT_TRUE(scheduleIsLegal(scop, g, sched));
+  // Reversal of the same loop is illegal.
+  sched[0].shift[0] = ir::AffExpr(0);
+  sched[0].alpha.at(0, 0) = -1;
+  EXPECT_FALSE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Legality, RelativeShiftBreaksOrIncreasesSlack) {
+  // S1: B[i] = A[i]; S2: C[i] = B[i-2]. Shifting S2 by -2 aligns the read
+  // with the producing iteration; any fusion needs B's value ready.
+  ir::ProgramBuilder b("t");
+  b.param("N", 16);
+  b.array("A", {b.p("N")});
+  b.array("B", {b.p("N")});
+  b.array("C", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S1", "B", {ir::AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::arrayRef("A", {ir::AffExpr::term("i")}));
+  b.endLoop();
+  b.beginLoop("i", 2, b.p("N"));
+  b.stmt("S2", "C", {ir::AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::arrayRef("B", {ir::AffExpr::term("i") - ir::AffExpr(2)}));
+  b.endLoop();
+  ir::Program p = b.build();
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  // Fuse both loops, same beta; S2 reads B[i-2] which S1 wrote 2 iterations
+  // earlier: legal.
+  sched[0].beta = {0, 0};
+  sched[1].beta = {0, 1};
+  EXPECT_TRUE(scheduleIsLegal(scop, g, sched));
+  // Shift S2 earlier by 3 (c = -3): now instance i of S2 runs alongside
+  // S1 instance i-3 but reads B[i-2], which has not been written: illegal.
+  sched[1].shift[0] = ir::AffExpr(-3);
+  EXPECT_FALSE(scheduleIsLegal(scop, g, sched));
+  // Shift by +1 only adds slack: legal.
+  sched[1].shift[0] = ir::AffExpr(1);
+  EXPECT_TRUE(scheduleIsLegal(scop, g, sched));
+}
+
+TEST(Schedule, CheckDependenceStatuses) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  ScheduleMap sched = identitySchedules(scop);
+  std::size_t rows = normalizedRows(scop);
+  EXPECT_EQ(rows, 9u);  // 2*3+1 plus the trailing-beta allowance
+  // At 0 rows every dependence is merely Respected (nothing ordered yet).
+  for (const auto& d : g.deps)
+    EXPECT_EQ(checkDependence(scop, d, sched, 0), DepStatus::Respected);
+  // At full depth everything is Carried.
+  for (const auto& d : g.deps)
+    EXPECT_EQ(checkDependence(scop, d, sched, rows), DepStatus::Carried);
+}
+
+}  // namespace
+}  // namespace polyast::poly

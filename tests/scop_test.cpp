@@ -1,0 +1,125 @@
+#include "poly/scop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+#include "support/error.hpp"
+
+namespace polyast::poly {
+namespace {
+
+TEST(Scop, GemmExtraction) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  ASSERT_EQ(scop.stmts.size(), 2u);
+  const PolyStmt& s1 = scop.stmts[0];
+  const PolyStmt& s2 = scop.stmts[1];
+  EXPECT_EQ(s1.iters, (std::vector<std::string>{"i", "j"}));
+  EXPECT_EQ(s2.iters, (std::vector<std::string>{"i", "j", "k"}));
+  // S1 accesses: write C, read beta (plus the compound-assign re-read of C).
+  EXPECT_EQ(s1.accesses[0].array, "C");
+  EXPECT_TRUE(s1.accesses[0].isWrite);
+  bool readsBeta = false;
+  for (const auto& a : s1.accesses)
+    if (a.array == "beta" && !a.isWrite) readsBeta = true;
+  EXPECT_TRUE(readsBeta);
+  // Domains: with NI=NJ=NK fixed to 6 the S2 domain has 216 points.
+  IntSet d = s2.domain;
+  std::size_t base = s2.iters.size();
+  for (std::size_t p2 = 0; p2 < scop.params.size(); ++p2) {
+    std::vector<std::int64_t> row(d.numVars(), 0);
+    row[base + p2] = 1;
+    d.addEquality(std::move(row), -6);
+  }
+  EXPECT_EQ(d.countPoints(), 216);
+}
+
+TEST(Scop, TriangularDomain) {
+  ir::Program p = kernels::buildKernel("trisolv");
+  Scop scop = extractScop(p);
+  // S2 is the j < i statement.
+  const PolyStmt& s2 = scop.byId(1);
+  ASSERT_EQ(s2.iters.size(), 2u);
+  IntSet d = s2.domain;
+  std::vector<std::int64_t> row(d.numVars(), 0);
+  row[2] = 1;  // N
+  d.addEquality(std::move(row), -5);
+  // Points with 0 <= j < i < 5: 10.
+  EXPECT_EQ(d.countPoints(), 10);
+}
+
+TEST(Scop, CommonLoopsAndTextualOrder) {
+  ir::Program p = kernels::buildKernel("2mm");
+  Scop scop = extractScop(p);
+  ASSERT_EQ(scop.stmts.size(), 4u);
+  const PolyStmt& R = scop.byId(0);
+  const PolyStmt& S = scop.byId(1);
+  const PolyStmt& T = scop.byId(2);
+  EXPECT_EQ(scop.commonLoops(R, S), 2u);  // share i, j
+  EXPECT_EQ(scop.commonLoops(R, T), 0u);  // different nests
+  EXPECT_TRUE(scop.textuallyBefore(R, S));
+  EXPECT_TRUE(scop.textuallyBefore(S, T));
+  EXPECT_FALSE(scop.textuallyBefore(T, R));
+}
+
+TEST(Scop, ParamMinApplied) {
+  ir::Program p = kernels::buildKernel("gemm");
+  ScopOptions opt;
+  opt.paramMin = 10;
+  Scop scop = extractScop(p, opt);
+  const auto& dom = scop.stmts[0].domain;
+  // NI >= 10 must be part of the domain: NI = 5 makes it empty-with-i=7.
+  IntSet d = dom;
+  std::vector<std::int64_t> row(d.numVars(), 0);
+  row[2] = 1;  // NI is the first parameter
+  d.addEquality(std::move(row), -5);
+  EXPECT_TRUE(d.isEmpty());
+}
+
+TEST(Scop, GuardsEnterDomain) {
+  ir::ProgramBuilder b("t");
+  b.param("N", 8);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {ir::AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(1.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  p.statements()[0]->guards.push_back(ir::AffExpr::term("i") -
+                                      ir::AffExpr(3));
+  Scop scop = extractScop(p);
+  IntSet d = scop.stmts[0].domain;
+  std::vector<std::int64_t> row(d.numVars(), 0);
+  row[1] = 1;
+  d.addEquality(std::move(row), -8);  // N = 8
+  EXPECT_EQ(d.countPoints(), 5);     // i in 3..7
+}
+
+TEST(Scop, NonUnitStepRejected) {
+  ir::ProgramBuilder b("t");
+  b.param("N", 8);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {ir::AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(1.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  p.enclosingLoops()[0][0]->step = 2;
+  EXPECT_THROW(extractScop(p), Error);
+}
+
+TEST(Scop, AllKernelsExtract) {
+  for (const auto& k : kernels::allKernels()) {
+    ir::Program p = k.build();
+    Scop scop = extractScop(p);
+    EXPECT_EQ(scop.stmts.size(), p.statements().size()) << k.name;
+    for (const auto& ps : scop.stmts) {
+      EXPECT_FALSE(ps.domain.isEmpty()) << k.name << " " << ps.stmt->label;
+      EXPECT_TRUE(ps.accesses[0].isWrite) << k.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polyast::poly

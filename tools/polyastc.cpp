@@ -1,0 +1,110 @@
+// polyastc — the source-to-source compiler driver.
+//
+// Usage:
+//   polyastc --list
+//   polyastc <kernel> [--flow polyast|pocc|pocc-maxfuse|none]
+//            [--emit c|ir] [--tile N] [--time-tile N]
+//            [--no-tiling] [--no-regtile] [--no-openmp]
+//
+// Examples:
+//   polyastc 2mm --flow polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
+//   polyastc gemm --flow pocc --emit ir
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baseline/pluto.hpp"
+#include "support/error.hpp"
+#include "ir/cemit.hpp"
+#include "kernels/polybench.hpp"
+#include "transform/flow.hpp"
+
+using namespace polyast;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: polyastc <kernel>|--list [--flow polyast|pocc|pocc-maxfuse|"
+         "none]\n"
+         "                [--emit c|ir] [--tile N] [--time-tile N]\n"
+         "                [--no-tiling] [--no-regtile] [--no-openmp]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string kernel = argv[1];
+  if (kernel == "--list") {
+    for (const auto& k : kernels::allKernels())
+      std::cout << k.name << "\t" << k.description << "\n";
+    return 0;
+  }
+
+  std::string flow = "polyast";
+  std::string emit = "c";
+  transform::FlowOptions options;
+  bool openmp = true;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--flow") flow = next();
+    else if (arg == "--emit") emit = next();
+    else if (arg == "--tile") options.ast.tileSize = std::stoll(next());
+    else if (arg == "--time-tile") options.ast.timeTileSize = std::stoll(next());
+    else if (arg == "--no-tiling") options.enableTiling = false;
+    else if (arg == "--no-regtile") options.enableRegisterTiling = false;
+    else if (arg == "--no-openmp") openmp = false;
+    else return usage();
+  }
+
+  ir::Program program;
+  try {
+    program = kernels::buildKernel(kernel);
+  } catch (const ::polyast::Error&) {
+    std::cerr << "unknown kernel '" << kernel << "' (try --list)\n";
+    return 1;
+  }
+
+  ir::Program out;
+  if (flow == "polyast") {
+    transform::FlowReport report;
+    out = transform::optimize(program, options, &report);
+    std::cerr << "polyast: affine="
+              << (report.affineStageSucceeded ? "ok" : "identity")
+              << " skews=" << report.skewsApplied
+              << " bands=" << report.bandsTiled
+              << " unrolls=" << report.loopsUnrolled << "\n";
+  } else if (flow == "pocc" || flow == "pocc-maxfuse") {
+    baseline::PlutoOptions popt;
+    popt.ast = options.ast;
+    if (flow == "pocc-maxfuse") popt.fuse = baseline::PlutoOptions::Fuse::Max;
+    baseline::PlutoReport report;
+    out = baseline::plutoOptimize(program, popt, &report);
+    std::cerr << "pocc: bands=" << report.bandsTiled
+              << " wavefronts=" << report.wavefronts << "\n";
+  } else if (flow == "none") {
+    out = program;
+  } else {
+    return usage();
+  }
+
+  if (emit == "ir") {
+    std::cout << ir::printProgram(out);
+  } else if (emit == "c") {
+    ir::CEmitOptions copt;
+    copt.openmp = openmp;
+    std::cout << ir::emitC(out, copt);
+  } else {
+    return usage();
+  }
+  return 0;
+}
