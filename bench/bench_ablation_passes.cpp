@@ -1,0 +1,62 @@
+// Ablation: compile-time cost and outcome of each pass in the pipeline
+// presets. Unlike the other ablation benches (which measure the native
+// structures the compiler's choices correspond to), this one measures the
+// compiler itself: per-pass wall-clock from the pass manager's
+// instrumentation, and the stage counters (skews, parallel loop kinds,
+// tiled bands, unrolled loops, wavefronts) as benchmark counters — the
+// data behind "where does optimization time go" across presets.
+#include "common/bench_common.hpp"
+#include "flow/presets.hpp"
+#include "kernels/polybench.hpp"
+
+namespace polyast::bench {
+namespace {
+
+void runPreset(benchmark::State& state, const char* kernel,
+               const char* preset) {
+  ir::Program program = kernels::buildKernel(kernel);
+  flow::PipelineOptions options;
+  options.ast.tileSize = 8;
+  options.ast.timeTileSize = 3;
+  flow::PassPipeline pipe = flow::makePipeline(preset, options);
+  flow::PipelineReport last;
+  for (auto _ : state) {
+    flow::PassContext ctx;
+    ir::Program out = pipe.run(program, ctx);
+    benchmark::DoNotOptimize(out);
+    last = std::move(ctx.report);
+  }
+  for (const auto& pass : last.passes)
+    state.counters["ms_" + pass.pass] = pass.millis;
+  for (const char* c : {"skews", "doall", "reduction", "pipeline",
+                        "bands_tiled", "loops_unrolled", "wavefronts"})
+    if (std::int64_t v = last.counter(c); v != 0)
+      state.counters[c] = static_cast<double>(v);
+}
+
+void registerAblation(const char* kernel, const char* preset) {
+  std::string name = std::string("ablation/passes/") + kernel + "/" + preset;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [kernel, preset](benchmark::State& st) { runPreset(st, kernel, preset); })
+      ->Unit(benchmark::kMillisecond);
+}
+
+const bool registered = [] {
+  // Both flows on the kernels the paper evaluates most, then the ablation
+  // presets on 2mm: dropping a pass both changes the result and shifts
+  // where compile time goes.
+  for (const char* kernel : {"gemm", "2mm", "seidel-2d", "jacobi-2d-imper"})
+    for (const char* preset : {"polyast", "pocc"})
+      registerAblation(kernel, preset);
+  for (const char* preset :
+       {"polyast-nofuse", "polyast-noskew", "polyast-nopar", "polyast-notile",
+        "polyast-noregtile", "pocc-vect"})
+    registerAblation("2mm", preset);
+  return true;
+}();
+
+}  // namespace
+}  // namespace polyast::bench
+
+BENCHMARK_MAIN();

@@ -55,6 +55,7 @@ void runShape(benchmark::State& state, std::int64_t rows, std::int64_t cols,
   reportGflops(state, grid.flops());
   state.counters["barriers"] = static_cast<double>(stats.barriers);
   state.counters["p2p_waits"] = static_cast<double>(stats.pointToPointWaits);
+  state.counters["spin_iters"] = static_cast<double>(stats.spinIterations);
 }
 
 void BM_pipe_square(benchmark::State& s) { runShape(s, 64, 64, true); }

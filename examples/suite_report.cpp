@@ -4,9 +4,9 @@
 // parallelism — plus an interpreter-validated correctness verdict.
 //
 //   $ ./examples/suite_report
-#include <functional>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "baseline/pluto.hpp"
 #include "exec/interp.hpp"
@@ -17,27 +17,22 @@ using namespace polyast;
 
 namespace {
 
-std::string outermostParallelism(const ir::Program& p) {
-  std::string found = "seq";
-  std::function<bool(const ir::NodePtr&)> walk =
-      [&](const ir::NodePtr& n) -> bool {
-    if (n->kind == ir::Node::Kind::Block) {
-      for (const auto& c : std::static_pointer_cast<ir::Block>(n)->children)
-        if (walk(c)) return true;
-      return false;
-    }
-    if (n->kind == ir::Node::Kind::Loop) {
-      auto l = std::static_pointer_cast<ir::Loop>(n);
-      if (l->parallel != ir::ParallelKind::None) {
-        found = ir::parallelKindName(l->parallel);
-        return true;
-      }
-      return walk(l->body);
-    }
-    return false;
+/// Formats the flow's parallelism-detection outcome, e.g. "doall x2" or
+/// "pipeline" (previously reconstructed by walking the output AST; the
+/// report now carries the counts directly).
+std::string parallelismSummary(const transform::ParallelismStats& s) {
+  std::ostringstream out;
+  auto item = [&](const char* name, int count) {
+    if (count == 0) return;
+    if (out.tellp() > 0) out << "+";
+    out << name;
+    if (count > 1) out << " x" << count;
   };
-  walk(p.root);
-  return found;
+  item("doall", s.doall);
+  item("red", s.reduction);
+  item("pipeline", s.pipeline);
+  item("red-pipe", s.reductionPipeline);
+  return s.total() == 0 ? "seq" : out.str();
 }
 
 bool validate(const ir::Program& a, const ir::Program& b) {
@@ -72,7 +67,7 @@ int main() {
               << input.statements().size() << std::setw(8)
               << report.skewsApplied << std::setw(7) << report.bandsTiled
               << std::setw(9) << report.loopsUnrolled << std::setw(22)
-              << outermostParallelism(optimized) << (ok ? "yes" : "NO")
+              << parallelismSummary(report.parallelism) << (ok ? "yes" : "NO")
               << "\n";
   }
   std::cout << std::string(78, '-') << "\n"

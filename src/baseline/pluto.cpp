@@ -1,12 +1,13 @@
 #include "baseline/pluto.hpp"
 
-#include <algorithm>
 #include <functional>
-#include <set>
 
-#include "dl/dl_model.hpp"
-#include "poly/codegen.hpp"
 #include "support/error.hpp"
+
+// plutoOptimize itself lives in src/flow/compat.cpp: the baseline is a
+// pipeline preset ("pocc") over the shared pass infrastructure. This file
+// keeps the wavefront primitive used by the WavefrontPass, tests, and the
+// Fig. 6 machinery.
 
 namespace polyast::baseline {
 
@@ -20,31 +21,6 @@ using ir::ParallelKind;
 namespace {
 
 using LoopPtr = std::shared_ptr<Loop>;
-
-void forEachLoop(const NodePtr& node,
-                 const std::function<void(const LoopPtr&)>& fn) {
-  switch (node->kind) {
-    case Node::Kind::Block:
-      for (const auto& c : std::static_pointer_cast<Block>(node)->children)
-        forEachLoop(c, fn);
-      break;
-    case Node::Kind::Loop: {
-      auto l = std::static_pointer_cast<Loop>(node);
-      fn(l);
-      forEachLoop(l->body, fn);
-      break;
-    }
-    case Node::Kind::Stmt:
-      break;
-  }
-}
-
-LoopPtr chainedChild(const LoopPtr& l) {
-  if (l->body->children.size() == 1 &&
-      l->body->children.front()->kind == Node::Kind::Loop)
-    return std::static_pointer_cast<Loop>(l->body->children.front());
-  return nullptr;
-}
 
 void addGuardToStmts(const NodePtr& node, const AffExpr& guard) {
   switch (node->kind) {
@@ -68,24 +44,6 @@ std::int64_t gcdStep(std::int64_t a, std::int64_t b) {
     b = t;
   }
   return a;
-}
-
-/// Collects the statements under a node (for the SIMD permutation's
-/// contiguity ranking).
-void collectStmts(const NodePtr& node,
-                  std::vector<std::shared_ptr<const ir::Stmt>>& out) {
-  switch (node->kind) {
-    case Node::Kind::Block:
-      for (const auto& c : std::static_pointer_cast<Block>(node)->children)
-        collectStmts(c, out);
-      break;
-    case Node::Kind::Loop:
-      collectStmts(std::static_pointer_cast<Loop>(node)->body, out);
-      break;
-    case Node::Kind::Stmt:
-      out.push_back(std::static_pointer_cast<ir::Stmt>(node));
-      break;
-  }
 }
 
 }  // namespace
@@ -133,137 +91,6 @@ bool wavefrontTiles(ir::Program& program, const LoopPtr& t1,
   t1->parallel = ParallelKind::Doall;
   t2->parallel = ParallelKind::None;
   return true;
-}
-
-ir::Program plutoOptimize(const ir::Program& program,
-                          const PlutoOptions& options, PlutoReport* report) {
-  PlutoReport local;
-  PlutoReport& r = report ? *report : local;
-
-  transform::AffineOptions aopt;
-  aopt.preferOriginalOrder = true;
-  switch (options.fuse) {
-    case PlutoOptions::Fuse::Max:
-      aopt.fusion = transform::FusionHeuristic::MaxLegal;
-      break;
-    case PlutoOptions::Fuse::Smart:
-      aopt.fusion = transform::FusionHeuristic::SmartShared;
-      break;
-    case PlutoOptions::Fuse::None:
-      aopt.fusion = transform::FusionHeuristic::NoFusion;
-      break;
-  }
-
-  poly::ScopOptions sopt;
-  sopt.paramMin = options.ast.paramMin;
-  poly::Scop scop = poly::extractScop(program, sopt);
-  poly::ScheduleMap schedules;
-  try {
-    schedules = transform::computeAffineTransform(scop, aopt);
-  } catch (const Error&) {
-    schedules = poly::identitySchedules(scop);
-  }
-  ir::Program out;
-  try {
-    out = poly::applySchedules(scop, schedules);
-  } catch (const Error&) {
-    schedules = poly::identitySchedules(scop);
-    out = poly::applySchedules(scop, schedules);
-  }
-  out.name = program.name + "_pocc";
-
-  transform::skewForTilability(out, options.ast);
-  transform::AstOptions dopt = options.ast;
-  dopt.recognizeReductions = false;  // doall-only baseline
-  dopt.allowPipeline = true;         // detected, then wavefronted
-  transform::detectParallelism(out, dopt);
-  r.bandsTiled = transform::tileForLocality(out, options.ast);
-
-  // Convert pipeline tile loops into wavefront doall.
-  std::vector<std::pair<LoopPtr, LoopPtr>> pipelinePairs;
-  forEachLoop(out.root, [&](const LoopPtr& l) {
-    if (!l->isTileLoop) return;
-    if (l->parallel != ParallelKind::Pipeline &&
-        l->parallel != ParallelKind::ReductionPipeline)
-      return;
-    LoopPtr child = chainedChild(l);
-    if (child && child->isTileLoop) pipelinePairs.push_back({l, child});
-  });
-  for (auto& [t1, t2] : pipelinePairs)
-    if (wavefrontTiles(out, t1, t2)) ++r.wavefronts;
-  // Any leftover pipeline marks degrade to sequential (doall-only model).
-  forEachLoop(out.root, [&](const LoopPtr& l) {
-    if (l->parallel == ParallelKind::Pipeline ||
-        l->parallel == ParallelKind::ReductionPipeline ||
-        l->parallel == ParallelKind::Reduction)
-      l->parallel = ParallelKind::None;
-  });
-
-  if (options.vectorizeIntraTile) {
-    // Rotate the most SIMD-contiguous point loop to the innermost position
-    // of every rectangular point-loop chain.
-    std::set<const Loop*> seen;
-    forEachLoop(out.root, [&](const LoopPtr& l) {
-      if (l->isTileLoop || seen.count(l.get())) return;
-      std::vector<LoopPtr> chain{l};
-      LoopPtr cur = l;
-      while (LoopPtr c = chainedChild(cur)) {
-        if (c->isTileLoop) break;
-        chain.push_back(c);
-        cur = c;
-      }
-      for (const auto& cl : chain) seen.insert(cl.get());
-      if (chain.size() < 2) return;
-      // Rectangularity within the chain.
-      for (const auto& cl : chain)
-        for (const auto& parts : {cl->lower.parts, cl->upper.parts})
-          for (const auto& p : parts)
-            for (const auto& other : chain)
-              if (other != cl && p.coeff(other->iter) != 0) return;
-      dl::LoopNestModel nest;
-      for (const auto& cl : chain) nest.iters.push_back(cl->iter);
-      collectStmts(chain.front()->body, nest.stmts);
-      // Pick the loop with the highest contiguity count.
-      std::size_t best = chain.size() - 1;
-      int bestCount = dl::contiguityCount(nest, chain[best]->iter);
-      for (std::size_t i = 0; i < chain.size(); ++i) {
-        int c = dl::contiguityCount(nest, chain[i]->iter);
-        if (c > bestCount) {
-          best = i;
-          bestCount = c;
-        }
-      }
-      if (best == chain.size() - 1) return;
-      // Rotate headers so chain[best] becomes innermost. NOTE: this is a
-      // heuristic permutation; it is applied only when the chain sits
-      // inside a tiled band (where loops are permutable by construction).
-      bool insideTile = false;
-      forEachLoop(out.root, [&](const LoopPtr& t) {
-        if (t->isTileLoop) {
-          std::vector<std::shared_ptr<const ir::Stmt>> sub;
-          collectStmts(t->body, sub);
-          for (const auto& s : nest.stmts)
-            if (!sub.empty() && std::find(sub.begin(), sub.end(), s) !=
-                                    sub.end())
-              insideTile = true;
-        }
-      });
-      if (!insideTile) return;
-      auto header = [](Loop& a, Loop& b) {
-        std::swap(a.iter, b.iter);
-        std::swap(a.lower, b.lower);
-        std::swap(a.upper, b.upper);
-        std::swap(a.step, b.step);
-        std::swap(a.parallel, b.parallel);
-      };
-      for (std::size_t i = best; i + 1 < chain.size(); ++i)
-        header(*chain[i], *chain[i + 1]);
-      ++r.intraTilePermutations;
-    });
-  }
-
-  if (options.registerTiling) transform::registerTile(out, options.ast);
-  return out;
 }
 
 }  // namespace polyast::baseline

@@ -39,7 +39,9 @@ struct PlutoReport {
 };
 
 /// Runs the baseline optimizer; output is annotated with Doall marks only
-/// (pipeline loops appear as wavefronted tile loops).
+/// (pipeline loops appear as wavefronted tile loops). Equivalent to
+/// running the "pocc" pipeline preset (src/flow/presets.hpp), which is
+/// how it is implemented since the pass-manager refactor.
 ir::Program plutoOptimize(const ir::Program& program,
                           const PlutoOptions& options = {},
                           PlutoReport* report = nullptr);

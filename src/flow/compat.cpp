@@ -1,0 +1,81 @@
+// Classic entry points re-expressed over the pass pipeline: the poly+AST
+// flow (transform::optimize, preset "polyast") and the Pluto-like baseline
+// (baseline::plutoOptimize, preset "pocc"). Both produce programs
+// identical to the historical hand-rolled sequences; the pipeline adds
+// per-pass instrumentation and surfaces fallback reasons that the old
+// code discarded.
+#include "baseline/pluto.hpp"
+#include "flow/presets.hpp"
+#include "transform/flow.hpp"
+
+namespace polyast::transform {
+
+ir::Program optimize(const ir::Program& program, const FlowOptions& options,
+                     FlowReport* report) {
+  flow::PipelineOptions popt;
+  popt.affine = options.affine;
+  popt.ast = options.ast;
+  popt.fallbackToIdentity = options.fallbackToIdentity;
+  popt.enableSkewing = options.enableSkewing;
+  popt.enableParallelization = options.enableParallelization;
+  popt.enableTiling = options.enableTiling;
+  popt.enableRegisterTiling = options.enableRegisterTiling;
+  flow::PassPipeline pipe = flow::makePipeline("polyast", popt);
+  flow::PassContext ctx;
+  ir::Program out = pipe.run(program, ctx);
+  if (report) {
+    *report = FlowReport{};
+    if (const flow::PassReport* affine = ctx.report.find("affine")) {
+      report->affineStageSucceeded = affine->succeeded;
+      report->affineFailureReason = affine->note;
+    }
+    report->skewsApplied = static_cast<int>(ctx.report.counter("skews"));
+    report->parallelism.doall = static_cast<int>(ctx.report.counter("doall"));
+    report->parallelism.reduction =
+        static_cast<int>(ctx.report.counter("reduction"));
+    report->parallelism.pipeline =
+        static_cast<int>(ctx.report.counter("pipeline"));
+    report->parallelism.reductionPipeline =
+        static_cast<int>(ctx.report.counter("reduction_pipeline"));
+    report->bandsTiled = static_cast<int>(ctx.report.counter("bands_tiled"));
+    report->loopsUnrolled =
+        static_cast<int>(ctx.report.counter("loops_unrolled"));
+  }
+  return out;
+}
+
+}  // namespace polyast::transform
+
+namespace polyast::baseline {
+
+ir::Program plutoOptimize(const ir::Program& program,
+                          const PlutoOptions& options, PlutoReport* report) {
+  flow::PipelineOptions popt;
+  popt.ast = options.ast;
+  popt.enableRegisterTiling = options.registerTiling;
+  popt.vectorizeIntraTile = options.vectorizeIntraTile;
+  switch (options.fuse) {
+    case PlutoOptions::Fuse::Max:
+      popt.plutoFusion = transform::FusionHeuristic::MaxLegal;
+      break;
+    case PlutoOptions::Fuse::Smart:
+      popt.plutoFusion = transform::FusionHeuristic::SmartShared;
+      break;
+    case PlutoOptions::Fuse::None:
+      popt.plutoFusion = transform::FusionHeuristic::NoFusion;
+      break;
+  }
+  flow::PassPipeline pipe = flow::makePipeline("pocc", popt);
+  flow::PassContext ctx;
+  ir::Program out = pipe.run(program, ctx);
+  if (report) {
+    *report = PlutoReport{};
+    report->wavefronts = static_cast<int>(ctx.report.counter("wavefronts"));
+    report->bandsTiled = static_cast<int>(ctx.report.counter("bands_tiled"));
+    report->intraTilePermutations =
+        static_cast<int>(ctx.report.counter("intra_tile_permutations"));
+  }
+  return out;
+}
+
+}  // namespace polyast::baseline

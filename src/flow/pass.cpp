@@ -1,0 +1,52 @@
+#include "flow/pass.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace polyast::flow {
+
+std::int64_t PipelineReport::counter(const std::string& name) const {
+  std::int64_t total = 0;
+  for (const auto& p : passes) {
+    auto it = p.counters.find(name);
+    if (it != p.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+const PassReport* PipelineReport::find(const std::string& pass) const {
+  for (const auto& p : passes)
+    if (p.pass == pass) return &p;
+  return nullptr;
+}
+
+std::string PipelineReport::summary() const {
+  std::ostringstream os;
+  for (const auto& p : passes) {
+    os << "  " << std::left << std::setw(16) << p.pass << std::right
+       << std::fixed << std::setprecision(3) << std::setw(9) << p.millis
+       << "ms  " << (p.succeeded ? "ok      " : "fallback");
+    for (const auto& [name, value] : p.counters)
+      os << "  " << name << "=" << value;
+    if (p.verified)
+      os << "  verified(|diff|=" << p.oracleMaxAbsDiff << ")";
+    if (!p.note.empty()) os << "  [" << p.note << "]";
+    os << "\n";
+  }
+  os << "  total " << std::fixed << std::setprecision(3) << totalMillis
+     << "ms\n";
+  return os.str();
+}
+
+exec::Context PassContext::makeOracleContext(
+    const ir::Program& program) const {
+  if (verify.makeContext) return verify.makeContext(program);
+  std::map<std::string, std::int64_t> params = verify.params;
+  for (const auto& name : program.params)
+    if (!params.count(name)) params[name] = name == "TSTEPS" ? 3 : 7;
+  exec::Context ctx(program, std::move(params));
+  ctx.seedAll();
+  return ctx;
+}
+
+}  // namespace polyast::flow

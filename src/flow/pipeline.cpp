@@ -1,0 +1,99 @@
+#include "flow/pipeline.hpp"
+
+#include <chrono>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "ir/cemit.hpp"
+
+namespace polyast::flow {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+PassPipeline& PassPipeline::add(std::shared_ptr<Pass> pass) {
+  POLYAST_CHECK(pass != nullptr, "null pass added to pipeline");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<std::string> PassPipeline::passNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& p : passes_) names.push_back(p->name());
+  return names;
+}
+
+ir::Program PassPipeline::run(const ir::Program& input) const {
+  PassContext ctx;
+  return run(input, ctx);
+}
+
+ir::Program PassPipeline::run(const ir::Program& input,
+                              PassContext& ctx) const {
+  auto pipelineStart = std::chrono::steady_clock::now();
+  ir::Program out = input.deepCopy();
+
+  // Reference execution for the inter-pass oracle: run the *input* once;
+  // every pass output must reproduce these buffers exactly.
+  std::optional<exec::Context> reference;
+  std::int64_t referenceInstances = 0;
+  if (ctx.verify.enabled) {
+    reference.emplace(ctx.makeOracleContext(input));
+    referenceInstances = exec::countInstances(input, *reference);
+    exec::run(input, *reference);
+  }
+
+  for (const auto& pass : passes_) {
+    PassReport record;
+    record.pass = pass->name();
+    auto t0 = std::chrono::steady_clock::now();
+    PassResult result = pass->run(out, ctx);
+    record.millis = msSince(t0);
+    record.succeeded = result.succeeded;
+    record.counters = std::move(result.counters);
+    record.note = std::move(result.note);
+
+    if (ctx.dump.wants(record.pass)) {
+      *ctx.dump.stream << "// ---- after pass '" << record.pass << "' ----\n"
+                       << (ctx.dump.asC ? ir::emitC(out)
+                                        : ir::printProgram(out));
+    }
+
+    if (ctx.verify.enabled) {
+      exec::Context current = ctx.makeOracleContext(out);
+      std::int64_t instances = exec::countInstances(out, current);
+      exec::run(out, current);
+      double diff = reference->maxAbsDiff(current);
+      record.verified = true;
+      record.oracleMaxAbsDiff = diff;
+      if (instances != referenceInstances || diff > ctx.verify.tolerance) {
+        ctx.report.passes.push_back(std::move(record));
+        ctx.report.totalMillis = msSince(pipelineStart);
+        std::ostringstream os;
+        if (instances != referenceInstances)
+          os << "executed " << instances << " statement instances, expected "
+             << referenceInstances;
+        else
+          os << "max |diff| " << diff << " exceeds tolerance "
+             << ctx.verify.tolerance;
+        throw VerificationError(pass->name(), os.str());
+      }
+    }
+    ctx.report.passes.push_back(std::move(record));
+  }
+
+  out.name = input.name + nameSuffix;
+  ctx.report.totalMillis = msSince(pipelineStart);
+  return out;
+}
+
+}  // namespace polyast::flow

@@ -1,0 +1,44 @@
+// PassPipeline: an ordered, instrumented sequence of passes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/pass.hpp"
+
+namespace polyast::flow {
+
+/// An ordered list of passes executed left to right over a copy of the
+/// input program. Execution fills PassContext::report with per-pass
+/// timing, counters, and oracle verdicts; see pass.hpp.
+class PassPipeline {
+ public:
+  PassPipeline() = default;
+  explicit PassPipeline(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a pass; returns *this for chaining.
+  PassPipeline& add(std::shared_ptr<Pass> pass);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::shared_ptr<Pass>>& passes() const { return passes_; }
+  /// Pass names in execution order (for tests and CLI listings).
+  std::vector<std::string> passNames() const;
+
+  /// Suffix appended to the output program's name ("_polyast", "_pocc");
+  /// empty for the identity pipeline.
+  std::string nameSuffix;
+
+  /// Runs every pass over a deep copy of `input` and returns the result.
+  /// Throws VerificationError when ctx.verify is enabled and a pass
+  /// breaks semantics; rethrows pass errors otherwise.
+  ir::Program run(const ir::Program& input, PassContext& ctx) const;
+  /// Convenience overload with a throwaway context.
+  ir::Program run(const ir::Program& input) const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Pass>> passes_;
+};
+
+}  // namespace polyast::flow

@@ -1,0 +1,133 @@
+#include "flow/presets.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace polyast::flow {
+
+namespace {
+
+/// The paper's Algorithm 1 over the pass infrastructure. The stage
+/// toggles reproduce the historical FlowOptions ablation switches.
+PassPipeline polyastPipeline(std::string name, PipelineOptions o) {
+  PassPipeline pipe(std::move(name));
+  pipe.nameSuffix = "_polyast";
+  pipe.add(std::make_shared<AffineTransformPass>(o.affine, o.ast.paramMin,
+                                                 o.fallbackToIdentity));
+  if (o.enableSkewing) pipe.add(std::make_shared<SkewPass>(o.ast));
+  if (o.enableParallelization)
+    pipe.add(std::make_shared<ParallelismPass>(o.ast));
+  if (o.enableTiling) pipe.add(std::make_shared<TilePass>(o.ast));
+  if (o.enableRegisterTiling)
+    pipe.add(std::make_shared<RegisterTilePass>(o.ast));
+  return pipe;
+}
+
+/// The Pluto/PoCC-like baseline over the same passes: original loop
+/// order, Pluto fusion, doall-only parallelization (reductions treated as
+/// serializing, pipelines wavefronted after tiling).
+PassPipeline poccPipeline(std::string name, PipelineOptions o) {
+  PassPipeline pipe(std::move(name));
+  pipe.nameSuffix = "_pocc";
+  transform::AffineOptions aopt = o.affine;
+  aopt.preferOriginalOrder = true;
+  aopt.fusion = o.plutoFusion;
+  // Pluto's flow is total: always fall back to the identity schedule.
+  pipe.add(std::make_shared<AffineTransformPass>(aopt, o.ast.paramMin,
+                                                 /*fallbackToIdentity=*/true));
+  pipe.add(std::make_shared<SkewPass>(o.ast));
+  transform::AstOptions dopt = o.ast;
+  dopt.recognizeReductions = false;  // doall-only baseline
+  dopt.allowPipeline = true;         // detected, then wavefronted
+  pipe.add(std::make_shared<ParallelismPass>(dopt));
+  pipe.add(std::make_shared<TilePass>(o.ast));
+  pipe.add(std::make_shared<WavefrontPass>());
+  if (o.vectorizeIntraTile)
+    pipe.add(std::make_shared<IntraTileVectorizePass>());
+  if (o.enableRegisterTiling)
+    pipe.add(std::make_shared<RegisterTilePass>(o.ast));
+  return pipe;
+}
+
+using Factory =
+    std::function<PassPipeline(std::string, PipelineOptions)>;
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> presets = {
+      {"polyast", polyastPipeline},
+      {"polyast-nofuse",
+       [](std::string n, PipelineOptions o) {
+         o.affine.fusion = transform::FusionHeuristic::NoFusion;
+         return polyastPipeline(std::move(n), o);
+       }},
+      {"polyast-noskew",
+       [](std::string n, PipelineOptions o) {
+         o.enableSkewing = false;
+         return polyastPipeline(std::move(n), o);
+       }},
+      {"polyast-nopar",
+       [](std::string n, PipelineOptions o) {
+         o.enableParallelization = false;
+         return polyastPipeline(std::move(n), o);
+       }},
+      {"polyast-notile",
+       [](std::string n, PipelineOptions o) {
+         o.enableTiling = false;
+         o.enableRegisterTiling = false;
+         return polyastPipeline(std::move(n), o);
+       }},
+      {"polyast-noregtile",
+       [](std::string n, PipelineOptions o) {
+         o.enableRegisterTiling = false;
+         return polyastPipeline(std::move(n), o);
+       }},
+      {"pocc", poccPipeline},
+      {"pluto", poccPipeline},
+      {"pocc-maxfuse",
+       [](std::string n, PipelineOptions o) {
+         o.plutoFusion = transform::FusionHeuristic::MaxLegal;
+         return poccPipeline(std::move(n), o);
+       }},
+      {"pocc-nofuse",
+       [](std::string n, PipelineOptions o) {
+         o.plutoFusion = transform::FusionHeuristic::NoFusion;
+         return poccPipeline(std::move(n), o);
+       }},
+      {"pocc-vect",
+       [](std::string n, PipelineOptions o) {
+         o.vectorizeIntraTile = true;
+         return poccPipeline(std::move(n), o);
+       }},
+      {"identity",
+       [](std::string n, PipelineOptions) { return PassPipeline(std::move(n)); }},
+      {"none",
+       [](std::string n, PipelineOptions) { return PassPipeline(std::move(n)); }},
+  };
+  return presets;
+}
+
+}  // namespace
+
+PassPipeline makePipeline(const std::string& preset,
+                          const PipelineOptions& options) {
+  auto it = registry().find(preset);
+  POLYAST_CHECK(it != registry().end(),
+                "unknown pipeline preset '" + preset + "'");
+  return it->second(preset, options);
+}
+
+std::vector<std::string> pipelinePresets() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool hasPipelinePreset(const std::string& preset) {
+  return registry().count(preset) != 0;
+}
+
+}  // namespace polyast::flow

@@ -126,8 +126,10 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
   for (auto& p : progress) p.store(0, std::memory_order_relaxed);
   std::atomic<std::int64_t> nextRow{0};
   std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> spinIters{0};
 
   pool.runOnAll([&](unsigned) {
+    SpinBackoff backoff;
     for (;;) {
       std::int64_t r = nextRow.fetch_add(1, std::memory_order_relaxed);
       if (r >= rows) break;
@@ -138,8 +140,9 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
           auto& prev = progress[static_cast<std::size_t>(r - 1)];
           if (prev.load(std::memory_order_acquire) < c + 1) {
             waits.fetch_add(1, std::memory_order_relaxed);
+            backoff.reset();
             while (prev.load(std::memory_order_acquire) < c + 1)
-              std::this_thread::yield();
+              backoff.pause();
           }
         }
         // await source(r, c-1) is implicit: the same thread runs the row
@@ -149,8 +152,10 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
             c + 1, std::memory_order_release);
       }
     }
+    spinIters.fetch_add(backoff.iterations(), std::memory_order_relaxed);
   });
   stats.pointToPointWaits = waits.load();
+  stats.spinIterations = spinIters.load();
   return stats;
 }
 
@@ -196,8 +201,10 @@ SyncStats pipeline3D(
   std::vector<std::int64_t> ready{id(0, 0, 0)};
   std::atomic<std::int64_t> done{0};
   std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> spinIters{0};
 
   pool.runOnAll([&](unsigned) {
+    SpinBackoff backoff;
     for (;;) {
       std::int64_t next = -1;
       {
@@ -208,11 +215,16 @@ SyncStats pipeline3D(
         }
       }
       if (next < 0) {
-        if (done.load(std::memory_order_acquire) >= total) return;
+        if (done.load(std::memory_order_acquire) >= total) {
+          spinIters.fetch_add(backoff.iterations(),
+                              std::memory_order_relaxed);
+          return;
+        }
         waits.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::yield();
+        backoff.pause();
         continue;
       }
+      backoff.reset();
       std::int64_t c = next % cols;
       std::int64_t r = (next / cols) % rows;
       std::int64_t p = next / (cols * rows);
@@ -232,6 +244,7 @@ SyncStats pipeline3D(
     }
   });
   stats.pointToPointWaits = waits.load();
+  stats.spinIterations = spinIters.load();
   return stats;
 }
 

@@ -79,6 +79,50 @@ void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
 struct SyncStats {
   std::uint64_t pointToPointWaits = 0;  ///< cell-level await operations
   std::uint64_t barriers = 0;           ///< all-to-all barriers executed
+  std::uint64_t spinIterations = 0;     ///< backoff iterations while waiting
+};
+
+/// Bounded spin-then-yield backoff shared by the pipeline executors'
+/// wait loops: the first `spinLimit` iterations issue a CPU relax hint
+/// (cheap polling that keeps the waited-on cache line hot); every
+/// iteration past the bound yields to the scheduler so oversubscribed
+/// waiters do not starve the producers they wait on. Iterations are
+/// counted so benches report spin traffic alongside sync-op counts.
+class SpinBackoff {
+ public:
+  explicit SpinBackoff(std::uint32_t spinLimit = 64)
+      : spinLimit_(spinLimit) {}
+
+  /// One backoff step: relax while under the spin bound, yield after.
+  void pause() {
+    ++iterations_;
+    if (spins_ < spinLimit_) {
+      ++spins_;
+      cpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Re-arms the spin phase after observed progress.
+  void reset() { spins_ = 0; }
+
+  std::uint64_t iterations() const { return iterations_; }
+
+  static void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  std::uint32_t spinLimit_;
+  std::uint32_t spins_ = 0;
+  std::uint64_t iterations_ = 0;
 };
 
 /// Point-to-point pipeline over a 2-D cell grid (rows x cols): cell (r, c)

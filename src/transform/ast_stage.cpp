@@ -214,8 +214,9 @@ int skewForTilability(ir::Program& program, const AstOptions& options) {
   return applied;
 }
 
-void detectParallelism(ir::Program& program, const AstOptions& options,
-                       bool outermostOnly) {
+ParallelismStats detectParallelism(ir::Program& program,
+                                   const AstOptions& options,
+                                   bool outermostOnly) {
   poly::ScopOptions sopt;
   sopt.paramMin = options.paramMin;
   Scop scop = poly::extractScop(program, sopt);
@@ -305,6 +306,27 @@ void detectParallelism(ir::Program& program, const AstOptions& options,
     };
     clear(program.root, false);
   }
+
+  ParallelismStats stats;
+  forEachLoop(program, [&](const LoopPtr& l, const std::vector<LoopPtr>&) {
+    switch (l->parallel) {
+      case ParallelKind::Doall:
+        ++stats.doall;
+        break;
+      case ParallelKind::Reduction:
+        ++stats.reduction;
+        break;
+      case ParallelKind::Pipeline:
+        ++stats.pipeline;
+        break;
+      case ParallelKind::ReductionPipeline:
+        ++stats.reductionPipeline;
+        break;
+      case ParallelKind::None:
+        break;
+    }
+  });
+  return stats;
 }
 
 namespace {

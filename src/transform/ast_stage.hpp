@@ -45,11 +45,23 @@ struct AstOptions {
 /// of skews applied.
 int skewForTilability(ir::Program& program, const AstOptions& options = {});
 
+/// Parallelism-detection outcome: loop marks by kind as they stand after
+/// detection (post outermost-only clearing when that filter is on).
+struct ParallelismStats {
+  int doall = 0;
+  int reduction = 0;
+  int pipeline = 0;
+  int reductionPipeline = 0;
+  int total() const { return doall + reduction + pipeline + reductionPipeline; }
+};
+
 /// Detects and annotates loop parallelism (Loop::parallel). When
 /// `outermostOnly`, marks below an already-parallel loop are cleared —
 /// the paper always exploits the outermost available parallelism.
-void detectParallelism(ir::Program& program, const AstOptions& options = {},
-                       bool outermostOnly = true);
+/// Returns the counts of annotated loops by parallelism kind.
+ParallelismStats detectParallelism(ir::Program& program,
+                                   const AstOptions& options = {},
+                                   bool outermostOnly = true);
 
 /// Syntactic rectangular tiling of every fully-permutable band of >= 2
 /// loops whose bounds do not depend on band-internal iterators. Tile loops

@@ -5,6 +5,13 @@
 //   3  P := coarse grain parallelization(P.AST)
 //   4  P := tiling for locality(P.AST)
 //   5  P := intra tile optimizations(P.AST)             (register tiling)
+//
+// Since the pass-manager refactor, optimize() is a thin wrapper over the
+// "polyast" pipeline preset (src/flow/presets.hpp): each line above is a
+// Pass executed by a PassPipeline with per-pass timing, counters, optional
+// IR dumps, and an inter-pass interpreter-oracle verification mode. Use
+// flow::makePipeline directly for pass-level instrumentation; this entry
+// point remains for callers that only need the classic one-shot flow.
 #pragma once
 
 #include "ir/ast.hpp"
@@ -28,13 +35,20 @@ struct FlowOptions {
 
 struct FlowReport {
   bool affineStageSucceeded = false;
+  /// When the affine stage fell back to identity schedules, the error
+  /// message that caused it (previously discarded).
+  std::string affineFailureReason;
   int skewsApplied = 0;
+  /// Outcome of parallelism detection: loop marks by kind surviving the
+  /// outermost-only filter (all zero when the stage is disabled).
+  ParallelismStats parallelism;
   int bandsTiled = 0;
   int loopsUnrolled = 0;
 };
 
 /// Runs the full poly+AST flow on a SCoP program and returns the optimized
-/// program (annotated with parallelism marks and tile loops).
+/// program (annotated with parallelism marks and tile loops). Equivalent to
+/// running the "polyast" pipeline preset.
 ir::Program optimize(const ir::Program& program, const FlowOptions& options = {},
                      FlowReport* report = nullptr);
 

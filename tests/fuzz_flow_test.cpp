@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "baseline/pluto.hpp"
+#include "flow/presets.hpp"
 #include "ir/builder.hpp"
 #include "test_util.hpp"
 #include "poly/codegen.hpp"
@@ -147,6 +148,60 @@ TEST_P(FuzzFlow, AffineStageAloneIsLegalAndExact) {
         << "seed " << seed;
     ir::Program q = poly::applySchedules(scop, sched);
     SCOPED_TRACE("seed " + std::to_string(seed));
+    testutil::expectSameSemantics(p, q, {{"N", 9}});
+  }
+}
+
+/// Randomized pass subsets through the inter-pass oracle: compose an
+/// arbitrary sub-pipeline of the five Algorithm 1 passes (plus the
+/// baseline's wavefront conversion when it can apply) and let the pass
+/// manager verify the program against the interpreter after EVERY pass.
+/// This catches a pass that is only correct because a later pass papers
+/// over it — something the whole-flow suites above cannot see.
+TEST_P(FuzzFlow, RandomPassSubsetsVerifyEachPass) {
+  for (int trial = 0; trial < 6; ++trial) {
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 424243 +
+        static_cast<std::uint64_t>(trial);
+    Rng rng(seed);
+    ir::Program p = randomProgram(seed);
+
+    AstOptions aopt;
+    aopt.tileSize = static_cast<std::int64_t>(rng.range(3, 5));
+    aopt.timeTileSize = static_cast<std::int64_t>(rng.range(2, 4));
+    aopt.unrollInner = 2;
+    aopt.unrollOuter = 2;
+
+    // Random subset, in Algorithm 1 order. An empty mask degenerates to
+    // the identity pipeline, which must also verify.
+    std::uint64_t mask = rng.next() % 64;
+    flow::PassPipeline pipe("fuzz-subset");
+    if (mask & 1) {
+      AffineOptions affine;
+      if (rng.chance(30)) affine.fusion = FusionHeuristic::MaxLegal;
+      pipe.add(std::make_shared<flow::AffineTransformPass>(
+          affine, aopt.paramMin, /*fallbackToIdentity=*/true));
+    }
+    if (mask & 2) pipe.add(std::make_shared<flow::SkewPass>(aopt));
+    if (mask & 4) pipe.add(std::make_shared<flow::ParallelismPass>(aopt));
+    if (mask & 8) pipe.add(std::make_shared<flow::TilePass>(aopt));
+    if ((mask & 4) && (mask & 8) && (mask & 16))
+      pipe.add(std::make_shared<flow::WavefrontPass>());
+    if (mask & 32) pipe.add(std::make_shared<flow::RegisterTilePass>(aopt));
+
+    flow::PassContext ctx;
+    ctx.verify.enabled = true;
+    ctx.verify.makeContext = [](const ir::Program& q) {
+      return kernels::makeContext(q, {{"N", 9}});
+    };
+    SCOPED_TRACE("seed " + std::to_string(seed) + " mask " +
+                 std::to_string(mask));
+    ir::Program q = pipe.run(p, ctx);  // throws on any per-pass divergence
+    EXPECT_EQ(ctx.report.passes.size(), pipe.passes().size());
+    for (const auto& pass : ctx.report.passes) {
+      EXPECT_TRUE(pass.verified) << pass.pass;
+      EXPECT_EQ(pass.oracleMaxAbsDiff, 0.0) << pass.pass;
+    }
     testutil::expectSameSemantics(p, q, {{"N", 9}});
   }
 }

@@ -1,0 +1,258 @@
+// Pass-manager tests: preset registry and pass ordering, equivalence of
+// the classic entry points with their pipeline presets, per-pass
+// instrumentation, and the inter-pass oracle's ability to attribute a
+// semantic break to the pass that introduced it.
+#include "flow/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "baseline/pluto.hpp"
+#include "ir/builder.hpp"
+#include "kernels/polybench.hpp"
+#include "test_util.hpp"
+#include "transform/flow.hpp"
+
+namespace polyast::flow {
+namespace {
+
+std::map<std::string, std::int64_t> oddParams(const ir::Program& p) {
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : p.params)
+    params[name] = (name == "TSTEPS") ? 3 : 7;
+  return params;
+}
+
+transform::AstOptions testAstOptions() {
+  transform::AstOptions o;
+  o.tileSize = 3;
+  o.timeTileSize = 2;
+  o.unrollInner = 2;
+  o.unrollOuter = 2;
+  return o;
+}
+
+VerifyOptions kernelVerify(const ir::Program& p) {
+  VerifyOptions v;
+  v.enabled = true;
+  auto params = oddParams(p);
+  v.makeContext = [params](const ir::Program& q) {
+    return kernels::makeContext(q, params);
+  };
+  return v;
+}
+
+TEST(Presets, RegistryContainsTheDocumentedNames) {
+  auto names = pipelinePresets();
+  for (const char* expected :
+       {"polyast", "polyast-notile", "polyast-noregtile", "polyast-noskew",
+        "polyast-nopar", "polyast-nofuse", "pocc", "pluto", "pocc-maxfuse",
+        "pocc-nofuse", "pocc-vect", "identity", "none"})
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << expected;
+  EXPECT_TRUE(hasPipelinePreset("polyast"));
+  EXPECT_FALSE(hasPipelinePreset("polyhedral-magic"));
+  EXPECT_THROW(makePipeline("polyhedral-magic"), Error);
+}
+
+TEST(Presets, PassOrderingMatchesAlgorithm1) {
+  using Names = std::vector<std::string>;
+  EXPECT_EQ(makePipeline("polyast").passNames(),
+            (Names{"affine", "skew", "parallelism", "tile", "register-tile"}));
+  EXPECT_EQ(makePipeline("pocc").passNames(),
+            (Names{"affine", "skew", "parallelism", "tile", "wavefront",
+                   "register-tile"}));
+  EXPECT_EQ(makePipeline("pocc-vect").passNames(),
+            (Names{"affine", "skew", "parallelism", "tile", "wavefront",
+                   "intra-tile-vect", "register-tile"}));
+  EXPECT_EQ(makePipeline("polyast-notile").passNames(),
+            (Names{"affine", "skew", "parallelism"}));
+  EXPECT_EQ(makePipeline("polyast-noregtile").passNames(),
+            (Names{"affine", "skew", "parallelism", "tile"}));
+  EXPECT_TRUE(makePipeline("identity").passNames().empty());
+}
+
+/// The classic entry points must produce byte-identical programs to their
+/// pipeline presets (they are implemented over them; this pins the
+/// equivalence against regressions in either direction).
+TEST(Presets, PolyastPresetMatchesOptimize) {
+  for (const char* name : {"gemm", "2mm", "mvt", "jacobi-2d-imper",
+                           "seidel-2d", "cholesky"}) {
+    ir::Program p = kernels::buildKernel(name);
+    transform::FlowOptions fopt;
+    fopt.ast = testAstOptions();
+    ir::Program viaOptimize = transform::optimize(p, fopt);
+
+    PipelineOptions popt;
+    popt.ast = testAstOptions();
+    PassContext ctx;
+    ir::Program viaPipeline = makePipeline("polyast", popt).run(p, ctx);
+    EXPECT_EQ(ir::printProgram(viaOptimize), ir::printProgram(viaPipeline))
+        << name;
+  }
+}
+
+TEST(Presets, PoccPresetMatchesPlutoOptimize) {
+  for (const char* name : {"gemm", "2mm", "seidel-2d"}) {
+    ir::Program p = kernels::buildKernel(name);
+    baseline::PlutoOptions bopt;
+    bopt.ast = testAstOptions();
+    bopt.vectorizeIntraTile = true;
+    ir::Program viaBaseline = baseline::plutoOptimize(p, bopt);
+
+    PipelineOptions popt;
+    popt.ast = testAstOptions();
+    ir::Program viaPipeline = makePipeline("pocc-vect", popt).run(p);
+    EXPECT_EQ(ir::printProgram(viaBaseline), ir::printProgram(viaPipeline))
+        << name;
+  }
+}
+
+TEST(Presets, IdentityPipelineIsANoOp) {
+  ir::Program p = kernels::buildKernel("gemm");
+  ir::Program q = makePipeline("identity").run(p);
+  EXPECT_EQ(ir::printProgram(p), ir::printProgram(q));
+}
+
+TEST(PipelineReport, RecordsTimingCountersAndOracleVerdicts) {
+  ir::Program p = kernels::buildKernel("gemm");
+  PipelineOptions popt;
+  popt.ast = testAstOptions();
+  PassContext ctx;
+  ctx.verify = kernelVerify(p);
+  makePipeline("polyast", popt).run(p, ctx);
+
+  ASSERT_EQ(ctx.report.passes.size(), 5u);
+  for (const auto& pass : ctx.report.passes) {
+    EXPECT_GE(pass.millis, 0.0) << pass.pass;
+    EXPECT_TRUE(pass.verified) << pass.pass;
+    EXPECT_EQ(pass.oracleMaxAbsDiff, 0.0) << pass.pass;
+  }
+  EXPECT_GE(ctx.report.totalMillis, 0.0);
+  // gemm: the k-reduction nest parallelizes and tiles.
+  EXPECT_GE(ctx.report.counter("doall") + ctx.report.counter("reduction"), 1);
+  EXPECT_GE(ctx.report.counter("bands_tiled"), 1);
+  EXPECT_NE(ctx.report.find("tile"), nullptr);
+  EXPECT_EQ(ctx.report.find("wavefront"), nullptr);
+  EXPECT_FALSE(ctx.report.summary().empty());
+}
+
+TEST(FlowReport, RecordsParallelismDetectionOutcome) {
+  // Previously FlowReport dropped the detectParallelism result entirely;
+  // benches could not assert which parallel kind was selected.
+  transform::FlowOptions fopt;
+  fopt.ast = testAstOptions();
+
+  ir::Program gemm = kernels::buildKernel("gemm");
+  transform::FlowReport r;
+  transform::optimize(gemm, fopt, &r);
+  EXPECT_GE(r.parallelism.doall + r.parallelism.reduction, 1);
+  EXPECT_GE(r.parallelism.total(), 1);
+
+  ir::Program stencil = kernels::buildKernel("jacobi-2d-imper");
+  transform::FlowReport rs;
+  transform::optimize(stencil, fopt, &rs);
+  EXPECT_GE(rs.parallelism.pipeline + rs.parallelism.reductionPipeline, 1);
+}
+
+/// A deliberately semantics-breaking pass: appends an unsatisfiable guard
+/// to every statement, so nothing executes after it.
+class BreakSemanticsPass final : public Pass {
+ public:
+  const std::string& name() const override { return name_; }
+  PassResult run(ir::Program& program, PassContext&) override {
+    for (const auto& stmt : program.statements())
+      stmt->guards.push_back(ir::AffExpr(-1));
+    return {};
+  }
+
+ private:
+  inline static const std::string name_ = "break-semantics";
+};
+
+TEST(VerifyEachPass, AttributesTheBreakingPass) {
+  ir::Program p = kernels::buildKernel("gemm");
+  PassPipeline pipe("broken");
+  pipe.add(std::make_shared<SkewPass>(testAstOptions()))
+      .add(std::make_shared<BreakSemanticsPass>())
+      .add(std::make_shared<TilePass>(testAstOptions()));
+  PassContext ctx;
+  ctx.verify = kernelVerify(p);
+  try {
+    pipe.run(p, ctx);
+    FAIL() << "verification should have caught the broken pass";
+  } catch (const VerificationError& e) {
+    EXPECT_EQ(e.pass(), "break-semantics");
+    EXPECT_NE(std::string(e.what()).find("break-semantics"),
+              std::string::npos);
+  }
+  // The report covers everything up to and including the offender — the
+  // passes before it verified clean, so the break is pinpointed.
+  ASSERT_EQ(ctx.report.passes.size(), 2u);
+  EXPECT_EQ(ctx.report.passes[0].pass, "skew");
+  EXPECT_TRUE(ctx.report.passes[0].verified);
+  EXPECT_EQ(ctx.report.passes[1].pass, "break-semantics");
+}
+
+TEST(VerifyEachPass, CleanPipelineDoesNotThrow) {
+  ir::Program p = kernels::buildKernel("seidel-2d");
+  PipelineOptions popt;
+  popt.ast = testAstOptions();
+  PassContext ctx;
+  ctx.verify = kernelVerify(p);
+  ir::Program q = makePipeline("pocc", popt).run(p, ctx);
+  testutil::expectSameSemantics(p, q, oddParams(p));
+}
+
+TEST(PassContext, DumpAfterSelectedPasses) {
+  ir::Program p = kernels::buildKernel("gemm");
+  PipelineOptions popt;
+  popt.ast = testAstOptions();
+  std::ostringstream dumps;
+  PassContext ctx;
+  ctx.dump.stream = &dumps;
+  ctx.dump.after = {"skew", "tile"};
+  makePipeline("polyast", popt).run(p, ctx);
+  std::string text = dumps.str();
+  EXPECT_NE(text.find("after pass 'skew'"), std::string::npos);
+  EXPECT_NE(text.find("after pass 'tile'"), std::string::npos);
+  EXPECT_EQ(text.find("after pass 'affine'"), std::string::npos);
+}
+
+TEST(AffineTransformPass, SurfacesFallbackReasonInsteadOfSwallowingIt) {
+  // A negative shift bound rejects every retiming solution (even all-zero
+  // shifts), so the scheduler exhausts its search and throws. The old
+  // flow silently fell back to identity schedules and discarded the
+  // reason; the pass reports both the fallback and the message.
+  ir::Program p = kernels::buildKernel("gemm");
+  transform::FlowOptions fopt;
+  fopt.ast = testAstOptions();
+  fopt.affine.maxShift = -1;
+  transform::FlowReport report;
+  ir::Program q = transform::optimize(p, fopt, &report);
+  EXPECT_FALSE(report.affineStageSucceeded);
+  EXPECT_FALSE(report.affineFailureReason.empty());
+  testutil::expectSameSemantics(p, q, oddParams(p));
+}
+
+TEST(Pipeline, AblationPresetsPreserveSemantics) {
+  ir::Program p = kernels::buildKernel("2mm");
+  PipelineOptions popt;
+  popt.ast = testAstOptions();
+  for (const char* preset :
+       {"polyast-nofuse", "polyast-noskew", "polyast-nopar",
+        "polyast-notile", "polyast-noregtile", "pocc-maxfuse",
+        "pocc-nofuse"}) {
+    PassContext ctx;
+    ctx.verify = kernelVerify(p);
+    ir::Program q = makePipeline(preset, popt).run(p, ctx);
+    SCOPED_TRACE(preset);
+    testutil::expectSameSemantics(p, q, oddParams(p));
+  }
+}
+
+}  // namespace
+}  // namespace polyast::flow

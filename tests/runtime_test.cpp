@@ -132,6 +132,36 @@ TEST(Fig6, PipelineUsesNoBarriers) {
   SyncStats wf = wavefront2D(pool, 16, 16, noop);
   EXPECT_EQ(p2p.barriers, 0u);
   EXPECT_EQ(wf.barriers, 31u);
+  // The wavefront's waiting happens inside the barrier; only the
+  // point-to-point executors spin.
+  EXPECT_EQ(wf.spinIterations, 0u);
+}
+
+TEST(SpinBackoff, BoundedSpinThenYield) {
+  SpinBackoff backoff(/*spinLimit=*/4);
+  for (int i = 0; i < 10; ++i) backoff.pause();  // 4 relaxes + 6 yields
+  EXPECT_EQ(backoff.iterations(), 10u);
+  backoff.reset();  // progress observed: spin phase re-arms
+  backoff.pause();
+  EXPECT_EQ(backoff.iterations(), 11u);
+}
+
+TEST(SpinBackoff, PipelineCountsSpinIterations) {
+  ThreadPool pool(4);
+  if (pool.threadCount() < 2) GTEST_SKIP() << "needs a real waiter";
+  // A tall grid with slow upper rows forces row r to wait on row r-1, so
+  // the backoff loop must actually run and be accounted.
+  std::atomic<std::uint64_t> sink{0};
+  SyncStats stats =
+      pipeline2D(pool, 8, 64, [&](std::int64_t r, std::int64_t) {
+        volatile std::uint64_t acc = 0;
+        for (std::int64_t i = 0; i < (r == 0 ? 20000 : 10); ++i) acc += i;
+        sink.fetch_add(acc, std::memory_order_relaxed);
+      });
+  // A wait can resolve between its detection and the first backoff step,
+  // so per-wait bounds would be racy; but with any waits at all, some
+  // spinning must have been recorded.
+  if (stats.pointToPointWaits > 0) EXPECT_GT(stats.spinIterations, 0u);
 }
 
 TEST(Pipeline2D, DegenerateShapes) {

@@ -2,22 +2,34 @@
 //
 // Usage:
 //   polyastc --list
-//   polyastc <kernel> [--flow polyast|pocc|pocc-maxfuse|none]
+//   polyastc --list-pipelines
+//   polyastc <kernel> [--pipeline NAME | --flow polyast|pocc|pocc-maxfuse|none]
 //            [--emit c|ir] [--tile N] [--time-tile N]
 //            [--no-tiling] [--no-regtile] [--no-openmp]
+//            [--verify-each-pass] [--dump-after PASS|all]
+//
+// Flags also accept the --flag=value form. --flow is kept for
+// compatibility and maps onto the pipeline presets (polyast, pocc,
+// pocc-maxfuse, identity); --pipeline selects any registered preset,
+// including the ablation variants (see --list-pipelines).
+//
+// --verify-each-pass runs the interpreter oracle after every pass on
+// test-scale parameters and attributes any semantic break to the pass
+// that introduced it; the per-pass report (timings, counters, oracle
+// verdicts) is printed to stderr.
 //
 // Examples:
-//   polyastc 2mm --flow polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
-//   polyastc gemm --flow pocc --emit ir
+//   polyastc 2mm --pipeline polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
+//   polyastc gemm --pipeline pocc-vect --emit ir
+//   polyastc seidel-2d --pipeline polyast --verify-each-pass --dump-after all
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "baseline/pluto.hpp"
-#include "support/error.hpp"
+#include "flow/presets.hpp"
 #include "ir/cemit.hpp"
 #include "kernels/polybench.hpp"
-#include "transform/flow.hpp"
+#include "support/error.hpp"
 
 using namespace polyast;
 
@@ -25,10 +37,12 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: polyastc <kernel>|--list [--flow polyast|pocc|pocc-maxfuse|"
-         "none]\n"
+      << "usage: polyastc <kernel>|--list|--list-pipelines\n"
+         "                [--pipeline NAME] [--flow polyast|pocc|"
+         "pocc-maxfuse|none]\n"
          "                [--emit c|ir] [--tile N] [--time-tile N]\n"
-         "                [--no-tiling] [--no-regtile] [--no-openmp]\n";
+         "                [--no-tiling] [--no-regtile] [--no-openmp]\n"
+         "                [--verify-each-pass] [--dump-after PASS|all]\n";
   return 2;
 }
 
@@ -42,28 +56,69 @@ int main(int argc, char** argv) {
       std::cout << k.name << "\t" << k.description << "\n";
     return 0;
   }
+  if (kernel == "--list-pipelines") {
+    for (const auto& name : flow::pipelinePresets()) std::cout << name << "\n";
+    return 0;
+  }
 
-  std::string flow = "polyast";
+  std::string pipeline = "polyast";
   std::string emit = "c";
-  transform::FlowOptions options;
+  flow::PipelineOptions options;
+  flow::PassContext ctx;
   bool openmp = true;
+  bool verifyEachPass = false;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inlineValue;
+    bool hasInline = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      inlineValue = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      hasInline = true;
+    }
     auto next = [&]() -> std::string {
+      if (hasInline) return inlineValue;
       if (i + 1 >= argc) {
         usage();
         exit(2);
       }
       return argv[++i];
     };
-    if (arg == "--flow") flow = next();
-    else if (arg == "--emit") emit = next();
-    else if (arg == "--tile") options.ast.tileSize = std::stoll(next());
-    else if (arg == "--time-tile") options.ast.timeTileSize = std::stoll(next());
+    auto nextInt = [&]() -> std::int64_t {
+      std::string v = next();
+      try {
+        return std::stoll(v);
+      } catch (const std::exception&) {
+        std::cerr << "expected a number for " << arg << ", got '" << v
+                  << "'\n";
+        exit(2);
+      }
+    };
+    if (arg == "--pipeline") pipeline = next();
+    else if (arg == "--flow") {
+      std::string flowName = next();
+      if (flowName == "polyast") pipeline = "polyast";
+      else if (flowName == "pocc") pipeline = "pocc";
+      else if (flowName == "pocc-maxfuse") pipeline = "pocc-maxfuse";
+      else if (flowName == "none") pipeline = "identity";
+      else return usage();
+    } else if (arg == "--emit") emit = next();
+    else if (arg == "--tile") options.ast.tileSize = nextInt();
+    else if (arg == "--time-tile") options.ast.timeTileSize = nextInt();
     else if (arg == "--no-tiling") options.enableTiling = false;
     else if (arg == "--no-regtile") options.enableRegisterTiling = false;
     else if (arg == "--no-openmp") openmp = false;
-    else return usage();
+    else if (arg == "--verify-each-pass") verifyEachPass = true;
+    else if (arg == "--dump-after") {
+      ctx.dump.after.insert(next());
+      ctx.dump.stream = &std::cerr;
+    } else return usage();
+  }
+  if (!flow::hasPipelinePreset(pipeline)) {
+    std::cerr << "unknown pipeline '" << pipeline
+              << "' (try --list-pipelines)\n";
+    return 2;
   }
 
   ir::Program program;
@@ -74,27 +129,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (verifyEachPass) {
+    ctx.verify.enabled = true;
+    // Test-scale parameters, conditioned inputs (solver kernels need
+    // e.g. diagonally dominant matrices).
+    std::map<std::string, std::int64_t> params;
+    for (const auto& name : program.params)
+      params[name] = name == "TSTEPS" ? 3 : 7;
+    ctx.verify.makeContext = [params](const ir::Program& p) {
+      return kernels::makeContext(p, params);
+    };
+  }
+
   ir::Program out;
-  if (flow == "polyast") {
-    transform::FlowReport report;
-    out = transform::optimize(program, options, &report);
-    std::cerr << "polyast: affine="
-              << (report.affineStageSucceeded ? "ok" : "identity")
-              << " skews=" << report.skewsApplied
-              << " bands=" << report.bandsTiled
-              << " unrolls=" << report.loopsUnrolled << "\n";
-  } else if (flow == "pocc" || flow == "pocc-maxfuse") {
-    baseline::PlutoOptions popt;
-    popt.ast = options.ast;
-    if (flow == "pocc-maxfuse") popt.fuse = baseline::PlutoOptions::Fuse::Max;
-    baseline::PlutoReport report;
-    out = baseline::plutoOptimize(program, popt, &report);
-    std::cerr << "pocc: bands=" << report.bandsTiled
-              << " wavefronts=" << report.wavefronts << "\n";
-  } else if (flow == "none") {
-    out = program;
-  } else {
-    return usage();
+  try {
+    flow::PassPipeline pipe = flow::makePipeline(pipeline, options);
+    out = pipe.run(program, ctx);
+    std::cerr << "pipeline '" << pipeline << "' (" << ctx.report.passes.size()
+              << " passes" << (verifyEachPass ? ", oracle-verified" : "")
+              << "):\n"
+              << ctx.report.summary();
+  } catch (const flow::VerificationError& e) {
+    std::cerr << "pipeline '" << pipeline << "' FAILED VERIFICATION\n"
+              << ctx.report.summary() << "error: " << e.what() << "\n";
+    return 1;
   }
 
   if (emit == "ir") {
