@@ -25,10 +25,52 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "support/error.hpp"
 
 namespace polyast::bench {
+
+/// Environment-gated observability for the benches, producing the same
+/// artifacts (and schemas) as `polyastc --trace-out / --metrics-out`:
+///   POLYAST_OBS=1              enable tracing and latency timing
+///   POLYAST_BENCH_TRACE=FILE   write a Chrome trace at process exit
+///   POLYAST_BENCH_METRICS=FILE write metrics JSON (CSV if .csv) at exit
+/// Unset means everything stays disabled — the timed loops then pay only
+/// the relaxed-load checks documented in runtime/parallel.hpp.
+class ObsSession {
+ public:
+  ObsSession() {
+    const char* obs = std::getenv("POLYAST_OBS");
+    trace_ = valueOf("POLYAST_BENCH_TRACE");
+    metrics_ = valueOf("POLYAST_BENCH_METRICS");
+    if ((obs && *obs && *obs != '0') || !trace_.empty())
+      obs::Tracer::global().setEnabled(true);
+    if ((obs && *obs && *obs != '0') || !metrics_.empty())
+      obs::Registry::global().setTimingEnabled(true);
+  }
+  ~ObsSession() {
+    if (!trace_.empty())
+      obs::writeChromeTraceFile(trace_, obs::Tracer::global());
+    if (!metrics_.empty())
+      obs::writeMetricsFile(metrics_, obs::Registry::global().snapshot());
+  }
+
+ private:
+  static std::string valueOf(const char* name) {
+    const char* v = std::getenv(name);
+    return v ? v : "";
+  }
+
+  std::string trace_;
+  std::string metrics_;
+};
+
+/// Installs the process-wide ObsSession (idempotent); called from pool()
+/// so every bench picks it up without touching its main().
+inline void initObs() { static ObsSession session; }
 
 /// Deterministic fill matching exec::Context::seedAll (values in [0.5,1.5)).
 inline void seed(std::vector<double>& buf, const std::string& name) {
@@ -61,6 +103,7 @@ inline void expectClose(double a, double b, const char* what) {
 /// The shared pool for all benchmarks; --threads N via the POLYAST_THREADS
 /// environment variable (stands in for the 8-core / 32-core machines).
 inline runtime::ThreadPool& pool() {
+  initObs();
   static runtime::ThreadPool instance([] {
     if (const char* env = std::getenv("POLYAST_THREADS"))
       return static_cast<unsigned>(std::atoi(env));

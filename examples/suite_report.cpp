@@ -3,7 +3,9 @@
 // optimizer did — fusion structure, skews, tiled bands, detected
 // parallelism — plus an interpreter-validated correctness verdict.
 //
-//   $ ./examples/suite_report
+//   $ ./examples/suite_report           # text table
+//   $ ./examples/suite_report --json    # machine-readable (obs JsonWriter)
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -11,6 +13,7 @@
 #include "baseline/pluto.hpp"
 #include "exec/interp.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/json.hpp"
 #include "transform/flow.hpp"
 
 using namespace polyast;
@@ -45,34 +48,83 @@ bool validate(const ir::Program& a, const ir::Program& b) {
   return ca.maxAbsDiff(cb) == 0.0;
 }
 
-}  // namespace
+struct Row {
+  std::string kernel;
+  std::size_t stmts = 0;
+  transform::FlowReport report;
+  bool verified = false;
+};
 
-int main() {
+void printTable(const std::vector<Row>& rows, int failures) {
   std::cout << std::left << std::setw(18) << "kernel" << std::setw(7)
             << "stmts" << std::setw(8) << "skews" << std::setw(7) << "bands"
             << std::setw(9) << "unrolls" << std::setw(22) << "parallelism"
             << "verified\n"
             << std::string(78, '-') << "\n";
-  int failures = 0;
-  for (const auto& k : kernels::allKernels()) {
-    ir::Program input = k.build();
-    transform::FlowOptions opt;
-    opt.ast.tileSize = 8;
-    opt.ast.timeTileSize = 3;
-    transform::FlowReport report;
-    ir::Program optimized = transform::optimize(input, opt, &report);
-    bool ok = validate(input, optimized);
-    if (!ok) ++failures;
-    std::cout << std::setw(18) << k.name << std::setw(7)
-              << input.statements().size() << std::setw(8)
-              << report.skewsApplied << std::setw(7) << report.bandsTiled
-              << std::setw(9) << report.loopsUnrolled << std::setw(22)
-              << parallelismSummary(report.parallelism) << (ok ? "yes" : "NO")
-              << "\n";
-  }
+  for (const auto& r : rows)
+    std::cout << std::setw(18) << r.kernel << std::setw(7) << r.stmts
+              << std::setw(8) << r.report.skewsApplied << std::setw(7)
+              << r.report.bandsTiled << std::setw(9)
+              << r.report.loopsUnrolled << std::setw(22)
+              << parallelismSummary(r.report.parallelism)
+              << (r.verified ? "yes" : "NO") << "\n";
   std::cout << std::string(78, '-') << "\n"
             << (failures == 0 ? "all kernels verified against the "
                                 "interpreter oracle\n"
                               : "FAILURES detected\n");
+}
+
+void printJson(const std::vector<Row>& rows, int failures) {
+  obs::JsonWriter w(std::cout);
+  w.beginObject();
+  w.key("schema").value("polyast-suite-report-v1");
+  w.key("kernels").beginArray();
+  for (const auto& r : rows) {
+    w.beginObject();
+    w.key("name").value(r.kernel);
+    w.key("stmts").value(static_cast<std::uint64_t>(r.stmts));
+    w.key("skews").value(r.report.skewsApplied);
+    w.key("bands_tiled").value(r.report.bandsTiled);
+    w.key("loops_unrolled").value(r.report.loopsUnrolled);
+    w.key("parallelism").beginObject();
+    w.key("doall").value(r.report.parallelism.doall);
+    w.key("reduction").value(r.report.parallelism.reduction);
+    w.key("pipeline").value(r.report.parallelism.pipeline);
+    w.key("reduction_pipeline")
+        .value(r.report.parallelism.reductionPipeline);
+    w.endObject();
+    w.key("affine_stage_succeeded").value(r.report.affineStageSucceeded);
+    w.key("verified").value(r.verified);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("failures").value(failures);
+  w.endObject();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  std::vector<Row> rows;
+  int failures = 0;
+  for (const auto& k : kernels::allKernels()) {
+    Row r;
+    r.kernel = k.name;
+    ir::Program input = k.build();
+    r.stmts = input.statements().size();
+    transform::FlowOptions opt;
+    opt.ast.tileSize = 8;
+    opt.ast.timeTileSize = 3;
+    ir::Program optimized = transform::optimize(input, opt, &r.report);
+    r.verified = validate(input, optimized);
+    if (!r.verified) ++failures;
+    rows.push_back(std::move(r));
+  }
+  if (json)
+    printJson(rows, failures);
+  else
+    printTable(rows, failures);
   return failures;
 }

@@ -1,10 +1,14 @@
 #include "dl/dl_model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace polyast::dl {
@@ -12,6 +16,28 @@ namespace polyast::dl {
 using ir::AffExpr;
 
 namespace {
+
+/// Times one top-level model query into the `dl.query_us` histogram (how
+/// long the optimizer waits on the cost model, Kong/Pouchet-style
+/// attribution). Clock reads only when Registry timing is on.
+class QueryTimer {
+ public:
+  QueryTimer() {
+    if (obs::Registry::global().timingEnabled())
+      start_ = std::chrono::steady_clock::now();
+  }
+  ~QueryTimer() {
+    if (!start_) return;
+    static obs::Histogram& latency = obs::Registry::global().histogram(
+        "dl.query_us", obs::expBounds(0.1, 4.0, 12));
+    latency.observe(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - *start_)
+                        .count());
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> start_;
+};
 
 /// One deduplicated array reference.
 struct Ref {
@@ -108,6 +134,9 @@ std::string refShape(const Ref& ref,
 double distinctLines(const LoopNestModel& nest,
                      const std::map<std::string, std::int64_t>& tile,
                      const CacheParams& cache) {
+  static obs::Counter& evals =
+      obs::Registry::global().counter("dl.distinct_lines_evals");
+  evals.add();
   double total = 0.0;
   std::set<std::string> shapes;
   for (const auto& ref : collectRefs(nest)) {
@@ -141,6 +170,12 @@ int contiguityCount(const LoopNestModel& nest, const std::string& iter) {
 
 std::vector<std::string> bestPermutationOrder(const LoopNestModel& nest,
                                               const CacheParams& cache) {
+  static obs::Counter& queries =
+      obs::Registry::global().counter("dl.permutation_queries");
+  queries.add();
+  QueryTimer timer;
+  obs::Span span("dl.best_permutation", "dl");
+  span.attr("iters", static_cast<std::int64_t>(nest.iters.size()));
   const std::int64_t nominal = 32;
   std::map<std::string, std::int64_t> tile;
   for (const auto& it : nest.iters) tile[it] = nominal;
@@ -179,6 +214,10 @@ std::vector<std::string> bestPermutationOrder(const LoopNestModel& nest,
 }
 
 double minMemCost(const LoopNestModel& nest, const CacheParams& cache) {
+  static obs::Counter& queries =
+      obs::Registry::global().counter("dl.min_cost_queries");
+  queries.add();
+  QueryTimer timer;
   double best = -1.0;
   for (std::int64_t t : {4, 8, 16, 32, 64, 128, 256}) {
     std::map<std::string, std::int64_t> tile;
@@ -201,9 +240,23 @@ double minMemCost(const LoopNestModel& nest, const CacheParams& cache) {
 
 bool fusionProfitable(const LoopNestModel& a, const LoopNestModel& b,
                       const LoopNestModel& fused, const CacheParams& cache) {
+  static obs::Counter& checks =
+      obs::Registry::global().counter("dl.fusion_checks");
+  static obs::Counter& profitable =
+      obs::Registry::global().counter("dl.fusion_profitable");
+  checks.add();
+  QueryTimer timer;
+  obs::Span span("dl.fusion_check", "dl");
   // Per-iteration costs are comparable because the nests share the fused
   // iteration space: running them separately pays both costs.
-  return minMemCost(fused, cache) < minMemCost(a, cache) + minMemCost(b, cache);
+  double fusedCost = minMemCost(fused, cache);
+  double separateCost = minMemCost(a, cache) + minMemCost(b, cache);
+  bool result = fusedCost < separateCost;
+  if (result) profitable.add();
+  span.attr("fused_cost", fusedCost);
+  span.attr("separate_cost", separateCost);
+  span.attr("profitable", result);
+  return result;
 }
 
 }  // namespace polyast::dl

@@ -128,6 +128,14 @@ class Machine {
     return instances_;
   }
 
+  std::int64_t executeNode(const ir::NodePtr& node,
+                           const std::map<std::string, std::int64_t>&
+                               bindings) {
+    for (const auto& [k, v] : bindings) env_[k] = v;
+    walk(node);
+    return instances_;
+  }
+
  private:
   void walk(const ir::NodePtr& node) {
     switch (node->kind) {
@@ -244,6 +252,12 @@ class Machine {
 
 void run(const ir::Program& program, Context& ctx) {
   Machine(program, ctx, /*countOnly=*/false).execute();
+}
+
+void runSubtree(const ir::Program& program, Context& ctx,
+                const ir::NodePtr& node,
+                const std::map<std::string, std::int64_t>& bindings) {
+  Machine(program, ctx, /*countOnly=*/false).executeNode(node, bindings);
 }
 
 std::int64_t countInstances(const ir::Program& program, Context& ctx) {

@@ -53,6 +53,18 @@ class Context {
 /// Throws polyast::Error on out-of-bounds accesses or unbound names.
 void run(const ir::Program& program, Context& ctx);
 
+/// Executes one subtree of `program` with extra iterator bindings on top
+/// of the parameter environment. This is the building block of the
+/// parallel harness (exec/par_exec.hpp): each runtime thread executes its
+/// chunk/cell of a parallel loop by interpreting the loop body under its
+/// own bindings. Each call uses an independent evaluation environment, so
+/// concurrent calls over one Context are safe whenever the executed
+/// instances write disjoint cells (which legal doall/pipeline marks
+/// guarantee).
+void runSubtree(const ir::Program& program, Context& ctx,
+                const ir::NodePtr& node,
+                const std::map<std::string, std::int64_t>& bindings);
+
 /// Counts executed statement instances (used by tests to check that a
 /// transformation preserves the instance count).
 std::int64_t countInstances(const ir::Program& program, Context& ctx);

@@ -1,0 +1,235 @@
+#include "exec/par_exec.hpp"
+
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace polyast::exec {
+
+namespace {
+
+/// True if `node` or any descendant loop carries a parallelism mark. Used
+/// as a fast path: subtrees with no marks are handed to the sequential
+/// interpreter in one call instead of being walked node by node.
+bool containsParallelMark(const ir::NodePtr& node) {
+  switch (node->kind) {
+    case ir::Node::Kind::Block: {
+      for (const auto& c : std::static_pointer_cast<ir::Block>(node)->children)
+        if (containsParallelMark(c)) return true;
+      return false;
+    }
+    case ir::Node::Kind::Loop: {
+      auto l = std::static_pointer_cast<ir::Loop>(node);
+      if (l->parallel != ir::ParallelKind::None) return true;
+      return containsParallelMark(l->body);
+    }
+    case ir::Node::Kind::Stmt:
+      return false;
+  }
+  return false;
+}
+
+/// The single loop child of a pipeline-marked loop's body, or null when the
+/// body is not exactly one loop (possibly wrapped in nested blocks).
+std::shared_ptr<ir::Loop> soleLoopChild(const ir::NodePtr& body) {
+  ir::NodePtr cur = body;
+  while (cur->kind == ir::Node::Kind::Block) {
+    const auto& kids = std::static_pointer_cast<ir::Block>(cur)->children;
+    if (kids.size() != 1) return nullptr;
+    cur = kids.front();
+  }
+  if (cur->kind != ir::Node::Kind::Loop) return nullptr;
+  return std::static_pointer_cast<ir::Loop>(cur);
+}
+
+bool boundsIndependentOf(const ir::Loop& loop, const std::string& iter) {
+  for (const auto& p : loop.lower.parts)
+    if (p.coeff(iter) != 0) return false;
+  for (const auto& p : loop.upper.parts)
+    if (p.coeff(iter) != 0) return false;
+  return true;
+}
+
+class Walker {
+ public:
+  Walker(const ir::Program& program, Context& ctx, runtime::ThreadPool& pool)
+      : prog_(program), ctx_(ctx), pool_(pool) {
+    for (const auto& [k, v] : ctx.params()) env_[k] = v;
+  }
+
+  ParallelRunReport run() {
+    walk(prog_.root);
+    auto& m = obs::Registry::global();
+    m.counter("exec.par.doall_loops").add(report_.doallLoops);
+    m.counter("exec.par.pipeline_loops").add(report_.pipelineLoops);
+    m.counter("exec.par.sequential_fallbacks").add(report_.sequentialFallbacks);
+    return std::move(report_);
+  }
+
+ private:
+  void walk(const ir::NodePtr& node) {
+    if (!containsParallelMark(node)) {
+      runSubtree(prog_, ctx_, node, env_);
+      return;
+    }
+    switch (node->kind) {
+      case ir::Node::Kind::Block: {
+        for (const auto& c :
+             std::static_pointer_cast<ir::Block>(node)->children)
+          walk(c);
+        break;
+      }
+      case ir::Node::Kind::Loop:
+        walkLoop(std::static_pointer_cast<ir::Loop>(node));
+        break;
+      case ir::Node::Kind::Stmt:
+        runSubtree(prog_, ctx_, node, env_);
+        break;
+    }
+  }
+
+  std::int64_t evalLower(const ir::Bound& b) const {
+    std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    for (const auto& part : b.parts) lo = std::max(lo, part.evaluate(env_));
+    return lo;
+  }
+
+  std::int64_t evalUpper(const ir::Bound& b) const {
+    std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    for (const auto& part : b.parts) hi = std::min(hi, part.evaluate(env_));
+    return hi;
+  }
+
+  static std::int64_t tripCount(std::int64_t lo, std::int64_t hi,
+                                std::int64_t step) {
+    return lo < hi ? (hi - lo + step - 1) / step : 0;
+  }
+
+  void walkLoop(const std::shared_ptr<ir::Loop>& l) {
+    POLYAST_CHECK(l->step >= 1, "non-positive loop step");
+    switch (l->parallel) {
+      case ir::ParallelKind::Doall:
+        runDoall(l);
+        return;
+      case ir::ParallelKind::Pipeline:
+        if (runPipeline(l)) return;
+        fallback(l, "pipeline body is not a single rectangular inner loop");
+        return;
+      case ir::ParallelKind::Reduction:
+        fallback(l, "array reduction executed sequentially");
+        return;
+      case ir::ParallelKind::ReductionPipeline:
+        fallback(l, "reduction pipeline executed sequentially");
+        return;
+      case ir::ParallelKind::None:
+        break;
+    }
+    // Sequential loop enclosing parallel work: iterate here so inner marks
+    // still map onto the runtime (one parallel region per iteration, the
+    // way an OpenMP backend would run it).
+    const std::int64_t lo = evalLower(l->lower);
+    const std::int64_t hi = evalUpper(l->upper);
+    const bool shadowed = env_.count(l->iter) != 0;
+    const std::int64_t saved = shadowed ? env_[l->iter] : 0;
+    for (std::int64_t v = lo; v < hi; v += l->step) {
+      env_[l->iter] = v;
+      walk(l->body);
+    }
+    if (shadowed)
+      env_[l->iter] = saved;
+    else
+      env_.erase(l->iter);
+  }
+
+  void runDoall(const std::shared_ptr<ir::Loop>& l) {
+    const std::int64_t lo = evalLower(l->lower);
+    const std::int64_t hi = evalUpper(l->upper);
+    const std::int64_t trips = tripCount(lo, hi, l->step);
+    ++report_.doallLoops;
+    if (trips <= 0) return;
+    obs::Span span(obs::Tracer::global(), "exec.doall", "exec");
+    span.attr("iter", l->iter);
+    span.attr("trips", trips);
+    const std::int64_t step = l->step;
+    const ir::NodePtr body = l->body;
+    // Iterations of a doall write disjoint cells, so worker threads may
+    // interpret their chunks over the shared Context concurrently.
+    runtime::parallelForBlocked(
+        pool_, 0, trips, [&](std::int64_t tBegin, std::int64_t tEnd) {
+          std::map<std::string, std::int64_t> env = env_;
+          for (std::int64_t t = tBegin; t < tEnd; ++t) {
+            env[l->iter] = lo + t * step;
+            runSubtree(prog_, ctx_, body, env);
+          }
+        });
+  }
+
+  /// Maps `outer` (Pipeline) plus its sole inner loop onto pipeline2D when
+  /// the inner bounds do not involve the outer iterator. Returns false if
+  /// the shape does not match.
+  bool runPipeline(const std::shared_ptr<ir::Loop>& outer) {
+    auto inner = soleLoopChild(outer->body);
+    if (!inner || !boundsIndependentOf(*inner, outer->iter)) return false;
+    POLYAST_CHECK(inner->step >= 1, "non-positive loop step");
+    const std::int64_t rLo = evalLower(outer->lower);
+    const std::int64_t rHi = evalUpper(outer->upper);
+    const std::int64_t cLo = evalLower(inner->lower);
+    const std::int64_t cHi = evalUpper(inner->upper);
+    const std::int64_t rows = tripCount(rLo, rHi, outer->step);
+    const std::int64_t cols = tripCount(cLo, cHi, inner->step);
+    ++report_.pipelineLoops;
+    if (rows <= 0 || cols <= 0) return true;
+    obs::Span span(obs::Tracer::global(), "exec.pipeline", "exec");
+    span.attr("outer", outer->iter);
+    span.attr("inner", inner->iter);
+    span.attr("rows", rows);
+    span.attr("cols", cols);
+    const ir::NodePtr body = inner->body;
+    runtime::pipeline2D(
+        pool_, rows, cols, [&](std::int64_t r, std::int64_t c) {
+          std::map<std::string, std::int64_t> env = env_;
+          env[outer->iter] = rLo + r * outer->step;
+          env[inner->iter] = cLo + c * inner->step;
+          runSubtree(prog_, ctx_, body, env);
+        });
+    return true;
+  }
+
+  void fallback(const std::shared_ptr<ir::Loop>& l, const std::string& why) {
+    ++report_.sequentialFallbacks;
+    report_.notes.push_back("loop " + l->iter + " (" +
+                            ir::parallelKindName(l->parallel) + "): " + why);
+    runSubtree(prog_, ctx_, l, env_);
+  }
+
+  const ir::Program& prog_;
+  Context& ctx_;
+  runtime::ThreadPool& pool_;
+  std::map<std::string, std::int64_t> env_;
+  ParallelRunReport report_;
+};
+
+}  // namespace
+
+std::string ParallelRunReport::summary() const {
+  std::ostringstream os;
+  os << "parallel execution: " << doallLoops << " doall, " << pipelineLoops
+     << " pipeline, " << sequentialFallbacks << " sequential fallback(s)";
+  for (const auto& n : notes) os << "\n  - " << n;
+  return os.str();
+}
+
+ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
+                              runtime::ThreadPool& pool) {
+  obs::Span span(obs::Tracer::global(), "exec.parallel", "exec");
+  span.attr("program", program.name);
+  span.attr("threads",
+            static_cast<std::int64_t>(pool.threadCount()));
+  return Walker(program, ctx, pool).run();
+}
+
+}  // namespace polyast::exec

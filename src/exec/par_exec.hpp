@@ -1,0 +1,49 @@
+// Parallel execution harness: runs a transformed Program on the
+// shared-memory runtime (src/runtime) by honoring the parallelism marks
+// the flow placed on loops.
+//
+// This is deliberately an *interpreted* executor — each runtime thread
+// executes its chunk/cell by calling exec::runSubtree — so it is meant for
+// test-scale validation and for producing realistic per-thread runtime
+// traces (doall chunks, pipeline waits) from `polyastc --execute`, not for
+// peak performance. Mapping rules:
+//
+//   * Doall loops run their trip space through runtime::parallelForBlocked.
+//   * Pipeline-marked loops whose single chained inner loop has bounds
+//     independent of the outer iterator run through runtime::pipeline2D
+//     (cell (r, c) awaits (r-1, c) and (r, c-1)).
+//   * Reduction / ReductionPipeline marks and non-rectangular pipelines
+//     fall back to sequential interpretation; each fallback is counted and
+//     recorded as a note plus the `exec.par.sequential_fallbacks` metric,
+//     so callers can see exactly what did not parallelize.
+//
+// The harness is validated differentially: polyastc --execute compares the
+// buffers it produces against a plain sequential interpretation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/interp.hpp"
+#include "runtime/parallel.hpp"
+
+namespace polyast::exec {
+
+/// What the harness did with the program's parallelism marks.
+struct ParallelRunReport {
+  std::int64_t doallLoops = 0;      ///< loops executed via parallelForBlocked
+  std::int64_t pipelineLoops = 0;   ///< loop pairs executed via pipeline2D
+  std::int64_t sequentialFallbacks = 0;  ///< marked loops run sequentially
+  std::vector<std::string> notes;   ///< one line per fallback, with reason
+
+  std::string summary() const;
+};
+
+/// Executes `program` over `ctx` on `pool`, exploiting Doall and Pipeline
+/// marks as described above. Sequential program regions are interpreted on
+/// the calling thread.
+ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
+                              runtime::ThreadPool& pool);
+
+}  // namespace polyast::exec

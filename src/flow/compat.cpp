@@ -22,24 +22,35 @@ ir::Program optimize(const ir::Program& program, const FlowOptions& options,
   popt.enableRegisterTiling = options.enableRegisterTiling;
   flow::PassPipeline pipe = flow::makePipeline("polyast", popt);
   flow::PassContext ctx;
+  // FlowReport is a *view over the metrics registry*: the pipeline records
+  // stage counters and fallback reasons into ctx.metrics (the single write
+  // site, see flow/pipeline.cpp), and the report below is read back from
+  // that registry — the two reporting paths share one source of truth. A
+  // local registry isolates this run; the process-wide registry still
+  // receives the dl/poly counters the passes record internally.
+  obs::Registry local;
+  ctx.metrics = &local;
   ir::Program out = pipe.run(program, ctx);
   if (report) {
     *report = FlowReport{};
-    if (const flow::PassReport* affine = ctx.report.find("affine")) {
-      report->affineStageSucceeded = affine->succeeded;
-      report->affineFailureReason = affine->note;
-    }
-    report->skewsApplied = static_cast<int>(ctx.report.counter("skews"));
-    report->parallelism.doall = static_cast<int>(ctx.report.counter("doall"));
+    obs::MetricsSnapshot m = local.snapshot();
+    report->affineStageSucceeded =
+        m.counter("flow.affine.runs") > 0 &&
+        m.counter("flow.affine.fallbacks") == 0;
+    if (auto it = m.notes.find("flow.affine.fallback_reason");
+        it != m.notes.end())
+      report->affineFailureReason = it->second;
+    report->skewsApplied = static_cast<int>(m.counter("flow.skews"));
+    report->parallelism.doall = static_cast<int>(m.counter("flow.doall"));
     report->parallelism.reduction =
-        static_cast<int>(ctx.report.counter("reduction"));
+        static_cast<int>(m.counter("flow.reduction"));
     report->parallelism.pipeline =
-        static_cast<int>(ctx.report.counter("pipeline"));
+        static_cast<int>(m.counter("flow.pipeline"));
     report->parallelism.reductionPipeline =
-        static_cast<int>(ctx.report.counter("reduction_pipeline"));
-    report->bandsTiled = static_cast<int>(ctx.report.counter("bands_tiled"));
+        static_cast<int>(m.counter("flow.reduction_pipeline"));
+    report->bandsTiled = static_cast<int>(m.counter("flow.bands_tiled"));
     report->loopsUnrolled =
-        static_cast<int>(ctx.report.counter("loops_unrolled"));
+        static_cast<int>(m.counter("flow.loops_unrolled"));
   }
   return out;
 }

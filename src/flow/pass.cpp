@@ -14,6 +14,13 @@ std::int64_t PipelineReport::counter(const std::string& name) const {
   return total;
 }
 
+int PipelineReport::brokenPasses() const {
+  int n = 0;
+  for (const auto& p : passes)
+    if (p.semanticsBroken) ++n;
+  return n;
+}
+
 const PassReport* PipelineReport::find(const std::string& pass) const {
   for (const auto& p : passes)
     if (p.pass == pass) return &p;
@@ -28,8 +35,12 @@ std::string PipelineReport::summary() const {
        << "ms  " << (p.succeeded ? "ok      " : "fallback");
     for (const auto& [name, value] : p.counters)
       os << "  " << name << "=" << value;
-    if (p.verified)
-      os << "  verified(|diff|=" << p.oracleMaxAbsDiff << ")";
+    if (p.verified) {
+      if (p.semanticsBroken)
+        os << "  BROKE SEMANTICS (" << p.verifyNote << ")";
+      else
+        os << "  verified(|diff|=" << p.oracleMaxAbsDiff << ")";
+    }
     if (!p.note.empty()) os << "  [" << p.note << "]";
     os << "\n";
   }

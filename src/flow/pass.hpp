@@ -26,6 +26,7 @@
 
 #include "exec/interp.hpp"
 #include "ir/ast.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace polyast::flow {
@@ -62,6 +63,12 @@ struct PassReport {
   /// Oracle fields (filled only when verification is enabled).
   bool verified = false;
   double oracleMaxAbsDiff = 0.0;
+  /// The oracle caught this pass changing semantics. Set only when
+  /// VerifyOptions::continueAfterFailure is on (otherwise the pipeline
+  /// throws VerificationError at the first break); `verifyNote` carries
+  /// the diagnostic.
+  bool semanticsBroken = false;
+  std::string verifyNote;
 };
 
 /// Instrumentation for a whole pipeline execution.
@@ -71,6 +78,8 @@ struct PipelineReport {
 
   /// Sum of a named counter over all passes (0 when absent).
   std::int64_t counter(const std::string& name) const;
+  /// Number of passes the oracle flagged (continue-after-failure mode).
+  int brokenPasses() const;
   /// Report of the named pass, or nullptr when it did not run.
   const PassReport* find(const std::string& pass) const;
   /// Human-readable per-pass table (one line per pass) for CLI/debugging.
@@ -84,6 +93,14 @@ struct PipelineReport {
 /// naming the offending pass.
 struct VerifyOptions {
   bool enabled = false;
+  /// Keep executing after an oracle failure instead of throwing at the
+  /// first break: every breaking pass is recorded (PassReport::
+  /// semanticsBroken, metric `flow.verify.breaks`, a "semantics-break"
+  /// trace event) and the reference re-bases onto the broken output so
+  /// each *subsequent* pass is still judged on the breakage it adds
+  /// itself. `polyastc --verify-each-pass` uses this and exits with the
+  /// break count.
+  bool continueAfterFailure = false;
   /// Parameter bindings for the oracle runs. Parameters not listed get a
   /// small test-scale default (7; 3 for time-step-like "TSTEPS").
   std::map<std::string, std::int64_t> params;
@@ -119,6 +136,14 @@ class PassContext {
   VerifyOptions verify;
   DumpOptions dump;
   PipelineReport report;
+  /// Metrics sink for pipeline execution: per-pass stage counters
+  /// (`flow.<counter>`), per-pass run/fallback counts
+  /// (`flow.<pass>.runs` / `flow.<pass>.fallbacks` plus the
+  /// `flow.<pass>.fallback_reason` note), and oracle outcomes
+  /// (`flow.verify.breaks`). Defaults to the process-wide registry;
+  /// point it at a local Registry to observe one run in isolation
+  /// (transform::optimize does this to build FlowReport). Never null.
+  obs::Registry* metrics = &obs::Registry::global();
 
   /// Builds an oracle context for `program` per `verify` (factory or
   /// test-scale parameter defaults, seeded deterministically).

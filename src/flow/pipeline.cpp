@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ir/cemit.hpp"
+#include "obs/trace.hpp"
 
 namespace polyast::flow {
 
@@ -15,6 +16,24 @@ double msSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Mirrors one executed pass into the metrics registry — the single write
+/// site both PipelineReport and every registry consumer (FlowReport,
+/// `--metrics-out`, the bench artifacts) observe, so the two reporting
+/// paths cannot drift.
+void recordPassMetrics(obs::Registry& metrics, const PassReport& record) {
+  metrics.counter("flow." + record.pass + ".runs").add();
+  for (const auto& [name, value] : record.counters)
+    metrics.counter("flow." + name).add(value);
+  if (!record.succeeded) {
+    metrics.counter("flow." + record.pass + ".fallbacks").add();
+    metrics.note("flow." + record.pass + ".fallback_reason", record.note);
+  }
+  if (record.semanticsBroken) {
+    metrics.counter("flow.verify.breaks").add();
+    metrics.note("flow.verify.break." + record.pass, record.verifyNote);
+  }
 }
 
 }  // namespace
@@ -40,6 +59,11 @@ ir::Program PassPipeline::run(const ir::Program& input) const {
 ir::Program PassPipeline::run(const ir::Program& input,
                               PassContext& ctx) const {
   auto pipelineStart = std::chrono::steady_clock::now();
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Span pipelineSpan(tracer, "pipeline:" + name_, "flow");
+  pipelineSpan.attr("program", input.name);
+  pipelineSpan.attr("passes",
+                    static_cast<std::int64_t>(passes_.size()));
   ir::Program out = input.deepCopy();
 
   // Reference execution for the inter-pass oracle: run the *input* once;
@@ -55,12 +79,17 @@ ir::Program PassPipeline::run(const ir::Program& input,
   for (const auto& pass : passes_) {
     PassReport record;
     record.pass = pass->name();
+    obs::Span span(tracer, pass->name(), "pass");
     auto t0 = std::chrono::steady_clock::now();
     PassResult result = pass->run(out, ctx);
     record.millis = msSince(t0);
     record.succeeded = result.succeeded;
     record.counters = std::move(result.counters);
     record.note = std::move(result.note);
+    span.attr("succeeded", record.succeeded);
+    for (const auto& [name, value] : record.counters)
+      span.attr(name, value);
+    if (!record.note.empty()) span.attr("note", record.note);
 
     if (ctx.dump.wants(record.pass)) {
       *ctx.dump.stream << "// ---- after pass '" << record.pass << "' ----\n"
@@ -75,9 +104,9 @@ ir::Program PassPipeline::run(const ir::Program& input,
       double diff = reference->maxAbsDiff(current);
       record.verified = true;
       record.oracleMaxAbsDiff = diff;
+      span.attr("verified", true);
+      span.attr("oracle_max_abs_diff", diff);
       if (instances != referenceInstances || diff > ctx.verify.tolerance) {
-        ctx.report.passes.push_back(std::move(record));
-        ctx.report.totalMillis = msSince(pipelineStart);
         std::ostringstream os;
         if (instances != referenceInstances)
           os << "executed " << instances << " statement instances, expected "
@@ -85,14 +114,31 @@ ir::Program PassPipeline::run(const ir::Program& input,
         else
           os << "max |diff| " << diff << " exceeds tolerance "
              << ctx.verify.tolerance;
-        throw VerificationError(pass->name(), os.str());
+        if (!ctx.verify.continueAfterFailure) {
+          recordPassMetrics(*ctx.metrics, record);
+          ctx.report.passes.push_back(std::move(record));
+          ctx.report.totalMillis = msSince(pipelineStart);
+          throw VerificationError(pass->name(), os.str());
+        }
+        // Record the break and re-base the oracle reference onto the
+        // broken output, so the next pass is judged only on divergence it
+        // introduces itself.
+        record.semanticsBroken = true;
+        record.verifyNote = os.str();
+        span.attr("semantics_broken", true);
+        tracer.instant("semantics-break", "verify",
+                       {{"pass", obs::AttrValue(pass->name())}});
+        reference = std::move(current);
+        referenceInstances = instances;
       }
     }
+    recordPassMetrics(*ctx.metrics, record);
     ctx.report.passes.push_back(std::move(record));
   }
 
   out.name = input.name + nameSuffix;
   ctx.report.totalMillis = msSince(pipelineStart);
+  ctx.metrics->gauge("flow.total_millis").set(ctx.report.totalMillis);
   return out;
 }
 

@@ -1,0 +1,189 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace polyast::obs {
+
+namespace {
+
+void writeAttrValue(JsonWriter& w, const AttrValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) w.value(*i);
+  else if (const auto* d = std::get_if<double>(&v)) w.value(*d);
+  else if (const auto* b = std::get_if<bool>(&v)) w.value(*b);
+  else w.value(std::get<std::string>(v));
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& out, const Tracer& tracer) {
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (const auto& [tid, name] : tracer.threadNames()) {
+    w.beginObject();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::int64_t>(tid));
+    w.key("args").beginObject().key("name").value(name).endObject();
+    w.endObject();
+  }
+  for (const auto& span : tracer.spans()) {
+    w.beginObject();
+    w.key("name").value(span.name);
+    if (!span.category.empty()) w.key("cat").value(span.category);
+    w.key("ph").value(span.instant ? "i" : "X");
+    w.key("ts").value(static_cast<double>(span.startNs) / 1000.0);
+    if (!span.instant)
+      w.key("dur").value(static_cast<double>(span.durNs) / 1000.0);
+    else
+      w.key("s").value("t");  // instant scope: thread
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::int64_t>(span.threadId));
+    w.key("args").beginObject();
+    w.key("span_id").value(span.id);
+    if (span.parentId != 0) w.key("parent_id").value(span.parentId);
+    for (const auto& [key, value] : span.attrs) {
+      w.key(key);
+      writeAttrValue(w, value);
+    }
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("displayTimeUnit").value("ms");
+  w.endObject();
+  out << "\n";
+}
+
+void writeMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot) {
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value("polyast-metrics-v1");
+  w.key("counters").beginObject();
+  for (const auto& [name, v] : snapshot.counters) w.key(name).value(v);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, v] : snapshot.gauges) w.key(name).value(v);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).beginObject();
+    w.key("bounds").beginArray();
+    for (double b : h.bounds) w.value(b);
+    w.endArray();
+    w.key("bucket_counts").beginArray();
+    for (std::uint64_t c : h.bucketCounts) w.value(c);
+    w.endArray();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.endObject();
+  }
+  w.endObject();
+  w.key("notes").beginObject();
+  for (const auto& [name, text] : snapshot.notes) w.key(name).value(text);
+  w.endObject();
+  w.endObject();
+  out << "\n";
+}
+
+void writeMetricsCsv(std::ostream& out, const MetricsSnapshot& snapshot) {
+  auto csvEscape = [](const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q += c;
+    }
+    return q + "\"";
+  };
+  out << "kind,name,key,value\n";
+  for (const auto& [name, v] : snapshot.counters)
+    out << "counter," << csvEscape(name) << ",value," << v << "\n";
+  for (const auto& [name, v] : snapshot.gauges)
+    out << "gauge," << csvEscape(name) << ",value," << v << "\n";
+  for (const auto& [name, h] : snapshot.histograms) {
+    for (std::size_t i = 0; i < h.bucketCounts.size(); ++i) {
+      std::ostringstream key;
+      key << "le_";
+      if (i < h.bounds.size()) key << h.bounds[i];
+      else key << "inf";
+      out << "histogram," << csvEscape(name) << "," << key.str() << ","
+          << h.bucketCounts[i] << "\n";
+    }
+    out << "histogram," << csvEscape(name) << ",count," << h.count << "\n";
+    out << "histogram," << csvEscape(name) << ",sum," << h.sum << "\n";
+    out << "histogram," << csvEscape(name) << ",min," << h.min << "\n";
+    out << "histogram," << csvEscape(name) << ",max," << h.max << "\n";
+  }
+  for (const auto& [name, text] : snapshot.notes)
+    out << "note," << csvEscape(name) << ",text," << csvEscape(text) << "\n";
+}
+
+std::string metricsSummary(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  if (!snapshot.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, v] : snapshot.counters)
+      os << "  " << std::left << std::setw(44) << name << std::right << v
+         << "\n";
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, v] : snapshot.gauges)
+      os << "  " << std::left << std::setw(44) << name << std::right << v
+         << "\n";
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      os << "  " << std::left << std::setw(44) << name << std::right
+         << "n=" << h.count;
+      if (h.count > 0)
+        os << "  sum=" << h.sum << "  min=" << h.min << "  max=" << h.max
+           << "  mean=" << h.sum / static_cast<double>(h.count);
+      os << "\n";
+    }
+  }
+  if (!snapshot.notes.empty()) {
+    os << "notes:\n";
+    for (const auto& [name, text] : snapshot.notes)
+      os << "  " << name << " = " << text << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::ofstream openOut(const std::string& path) {
+  std::ofstream out(path);
+  POLYAST_CHECK(out.good(), "cannot write " + path);
+  return out;
+}
+
+}  // namespace
+
+void writeMetricsFile(const std::string& path,
+                      const MetricsSnapshot& snapshot) {
+  std::ofstream out = openOut(path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    writeMetricsCsv(out, snapshot);
+  else
+    writeMetricsJson(out, snapshot);
+  POLYAST_CHECK(out.good(), "error writing " + path);
+}
+
+void writeChromeTraceFile(const std::string& path, const Tracer& tracer) {
+  std::ofstream out = openOut(path);
+  writeChromeTrace(out, tracer);
+  POLYAST_CHECK(out.good(), "error writing " + path);
+}
+
+}  // namespace polyast::obs

@@ -1,0 +1,38 @@
+// Exporters for the observability layer: Chrome trace-event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) and flat metrics JSON/CSV.
+// Schemas are documented in docs/OBSERVABILITY.md and validated in CI by
+// tools/obs_validate.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace polyast::obs {
+
+/// Chrome trace-event file: {"traceEvents": [...], "displayTimeUnit":"ms"}.
+/// One "X" (complete) event per span, one "i" (instant) event per instant,
+/// "M" thread_name metadata per named thread; timestamps in microseconds.
+/// Span attributes land in "args" (plus "parent_id" for cross-referencing
+/// since the Chrome format has no explicit parent field).
+void writeChromeTrace(std::ostream& out, const Tracer& tracer);
+
+/// Metrics JSON: {"schema":"polyast-metrics-v1","counters":{..},
+/// "gauges":{..},"histograms":{name:{bounds,bucket_counts,count,sum,min,
+/// max}},"notes":{..}}.
+void writeMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Flat CSV (kind,name,key,value) for spreadsheet-style consumption.
+void writeMetricsCsv(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Human-readable metrics table (the `polyastc --obs-summary` output).
+std::string metricsSummary(const MetricsSnapshot& snapshot);
+
+/// Writes the file per the path's extension (".csv" selects CSV, anything
+/// else JSON). Throws polyast::Error when the file cannot be written.
+void writeMetricsFile(const std::string& path, const MetricsSnapshot& snapshot);
+void writeChromeTraceFile(const std::string& path, const Tracer& tracer);
+
+}  // namespace polyast::obs

@@ -1,0 +1,335 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace polyast::obs {
+
+void JsonWriter::separate() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // value follows "key":
+  }
+  if (!hasElement_.empty()) {
+    if (hasElement_.back()) out_ << ",";
+    hasElement_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  separate();
+  out_ << "{";
+  hasElement_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  POLYAST_CHECK(!hasElement_.empty(), "endObject without beginObject");
+  hasElement_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  separate();
+  out_ << "[";
+  hasElement_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  POLYAST_CHECK(!hasElement_.empty(), "endArray without beginArray");
+  hasElement_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separate();
+  out_ << "\"" << escape(k) << "\":";
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separate();
+  out_ << "\"" << escape(v) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; exporters clamp to null.
+    out_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (kind != Kind::Object) return nullptr;
+  auto it = members.find(k);
+  return it == members.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parseValue();
+    skipWs();
+    POLYAST_CHECK(pos_ == text_.size(),
+                  "trailing characters after JSON value at offset " +
+                      std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    POLYAST_CHECK(false,
+                  "malformed JSON at offset " + std::to_string(pos_) + ": " +
+                      what);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.text = parseString();
+        return v;
+      }
+      case 't': return parseKeyword("true", [] {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolValue = true;
+        return v;
+      }());
+      case 'f': return parseKeyword("false", [] {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolValue = false;
+        return v;
+      }());
+      case 'n': return parseKeyword("null", JsonValue{});
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseKeyword(const char* word, JsonValue result) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad keyword");
+      ++pos_;
+    }
+    return result;
+  }
+
+  JsonValue parseNumber() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number '" + text_.substr(start, pos_ - start) + "'");
+    }
+    return v;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are out of scope for
+          // our own exporters' output).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      std::string k = parseString();
+      skipWs();
+      expect(':');
+      v.members[k] = parseValue();
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace polyast::obs

@@ -1,0 +1,80 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (used by every exporter and by the bench/report emitters) and a small
+// recursive-descent parser (used by tests to round-trip exporter output and
+// by tools/obs_validate to check CI artifacts).
+//
+// Deliberately tiny: objects/arrays/strings/numbers/bools/null, UTF-8
+// passed through verbatim, \uXXXX escapes decoded to UTF-8 on parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace polyast::obs {
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w(out);
+///   w.beginObject();
+///   w.key("name").value("gemm");
+///   w.key("passes").beginArray(); ... w.endArray();
+///   w.endObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// JSON string escaping (quotes not included).
+  static std::string escape(const std::string& s);
+
+ private:
+  void separate();
+
+  std::ostream& out_;
+  /// One entry per open container: true when at least one element was
+  /// already emitted (so the next element needs a leading comma).
+  std::vector<bool> hasElement_;
+  bool pendingKey_ = false;
+};
+
+/// Parsed JSON value (tests and artifact validation only; not a general
+/// purpose DOM — numbers are stored as double).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolValue = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  bool isObject() const { return kind == Kind::Object; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isString() const { return kind == Kind::String; }
+  bool isNumber() const { return kind == Kind::Number; }
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+/// Parses `text`; throws polyast::Error with position info on malformed
+/// input (including trailing garbage).
+JsonValue parseJson(const std::string& text);
+
+}  // namespace polyast::obs

@@ -1,0 +1,149 @@
+// Metrics registry of the observability layer (src/obs): named counters,
+// gauges, and fixed-bucket histograms with atomic hot-path updates.
+//
+// Instrument creation (Registry::counter/gauge/histogram) takes a mutex
+// and should happen once per site — call sites resolve the instrument
+// reference up front and then update it lock-free:
+//
+//   static obs::Counter& evals =
+//       obs::Registry::global().counter("dl.distinct_lines_evals");
+//   evals.add();                       // one relaxed fetch_add
+//
+// Instruments live as long as their registry; references never dangle
+// (Registry::reset() zeroes values but keeps the instruments).
+//
+// `timingEnabled()` gates *derived* instrumentation whose cost is the
+// clock read rather than the atomic update (per-wait latencies in the
+// runtime, DL query latencies): off by default so a plain run pays only
+// counter increments on already-instrumented paths and nothing on traced
+// ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace polyast::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations x <= bounds[i]
+/// (first matching bucket); observations above every bound land in the
+/// implicit overflow bucket. Also tracks count/sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucketCounts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/max of observed values; 0 when empty.
+  double min() const;
+  double max() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Exponential bucket bounds {start, start*factor, ...} (count entries) —
+/// the default shape for latency histograms in nanoseconds.
+std::vector<double> expBounds(double start, double factor, int count);
+
+/// Plain-value view of one histogram (see Registry::snapshot()).
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucketCounts;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of a registry, consumed by the exporters.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, std::string> notes;
+
+  std::int64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+/// Named instrument registry. Thread-safe; instruments are created on
+/// first use and shared by name afterwards.
+class Registry {
+ public:
+  /// The process-wide registry every instrumented subsystem records into.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is consulted on first creation only; later callers share the
+  /// existing instrument regardless of the bounds they pass.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Free-text annotation (e.g. the affine stage's fallback reason); the
+  /// last write per name wins.
+  void note(const std::string& name, const std::string& text);
+
+  /// Enables clock-read-heavy instrumentation (per-wait latencies etc.);
+  /// see the header comment.
+  void setTimingEnabled(bool on) {
+    timing_.store(on, std::memory_order_relaxed);
+  }
+  bool timingEnabled() const {
+    return timing_.load(std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (references stay valid) and drops notes.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> notes_;
+  std::atomic<bool> timing_{false};
+};
+
+}  // namespace polyast::obs

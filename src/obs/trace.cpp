@@ -1,0 +1,153 @@
+#include "obs/trace.hpp"
+
+namespace polyast::obs {
+
+namespace {
+
+std::uint32_t nextThreadId() {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Innermost open span per (tracer, thread): the parent stack. One flat
+/// thread-local vector suffices — nesting depth is tiny and multiple
+/// tracers only appear in tests.
+struct OpenSpan {
+  const Tracer* tracer;
+  std::uint64_t id;
+};
+thread_local std::vector<OpenSpan> tOpenSpans;
+
+std::uint64_t currentParent(const Tracer& tracer) {
+  for (auto it = tOpenSpans.rbegin(); it != tOpenSpans.rend(); ++it)
+    if (it->tracer == &tracer) return it->id;
+  return 0;
+}
+
+void popOpenSpan(const Tracer& tracer, std::uint64_t id) {
+  for (auto it = tOpenSpans.rbegin(); it != tOpenSpans.rend(); ++it) {
+    if (it->tracer == &tracer && it->id == id) {
+      tOpenSpans.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t threadId() {
+  thread_local std::uint32_t id = nextThreadId();
+  return id;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+std::uint64_t Tracer::nowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::instant(const char* name, const char* category,
+                     std::vector<Attr> attrs) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.name = name;
+  rec.category = category;
+  rec.startNs = nowNs();
+  rec.threadId = obs::threadId();
+  rec.id = nextId();
+  rec.parentId = currentParent(*this);
+  rec.instant = true;
+  rec.attrs = std::move(attrs);
+  record(std::move(rec));
+}
+
+void Tracer::nameCurrentThread(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  threadNames_[obs::threadId()] = name;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::map<std::uint32_t, std::string> Tracer::threadNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threadNames_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::record(SpanRecord&& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(rec));
+}
+
+void Span::open(Tracer& tracer, const char* category) {
+  tracer_ = &tracer;
+  rec_.category = category;
+  rec_.startNs = tracer.nowNs();
+  rec_.threadId = obs::threadId();
+  rec_.id = tracer.nextId();
+  rec_.parentId = currentParent(tracer);
+  tOpenSpans.push_back({&tracer, rec_.id});
+}
+
+Span::Span(Tracer& tracer, const char* name, const char* category) {
+  if (!tracer.enabled()) return;
+  rec_.name = name;
+  open(tracer, category);
+}
+
+Span::Span(Tracer& tracer, const std::string& name, const char* category) {
+  if (!tracer.enabled()) return;
+  rec_.name = name;
+  open(tracer, category);
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+  if (!tracer_) return;
+  rec_.durNs = tracer_->nowNs() - rec_.startNs;
+  popOpenSpan(*tracer_, rec_.id);
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  t->record(std::move(rec_));
+}
+
+void Span::attr(const char* key, std::int64_t value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(value));
+}
+void Span::attr(const char* key, double value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(value));
+}
+void Span::attr(const char* key, bool value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(value));
+}
+void Span::attr(const char* key, const std::string& value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(value));
+}
+void Span::attr(const char* key, const char* value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(std::string(value)));
+}
+void Span::attr(const std::string& key, std::int64_t value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(value));
+}
+void Span::attr(const std::string& key, const std::string& value) {
+  if (tracer_) rec_.attrs.emplace_back(key, AttrValue(value));
+}
+
+}  // namespace polyast::obs

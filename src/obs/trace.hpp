@@ -1,0 +1,140 @@
+// Tracing core of the observability layer (src/obs): thread-safe
+// Span/Tracer with RAII scoped spans, nested span parents, and typed
+// key/value attributes.
+//
+// Cost model: every Span operation first checks Tracer::enabled() — a
+// single relaxed atomic load — and does *nothing else* when tracing is
+// off: no clock reads, no string copies, no allocation, no locking. The
+// hot paths of the parallel runtime therefore stay unperturbed in a
+// disabled run (the guarantee docs/OBSERVABILITY.md documents and the
+// Fig. 6 bench checks). When enabled, spans buffer into the tracer under
+// a mutex at *end* of span only — one lock per span, never inside the
+// traced region.
+//
+// Span parents are tracked per thread: a span opened while another span
+// of the same tracer is open on the same thread becomes its child. This
+// matches Chrome trace-event nesting (which infers hierarchy from time
+// containment per thread lane) while keeping explicit parent ids in the
+// record for tests and non-Chrome consumers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace polyast::obs {
+
+/// Typed attribute value: integer, float, bool, or string.
+using AttrValue = std::variant<std::int64_t, double, bool, std::string>;
+using Attr = std::pair<std::string, AttrValue>;
+
+/// Small dense id of the calling thread (assigned on first use, stable for
+/// the thread's lifetime). Used as the Chrome trace `tid`.
+std::uint32_t threadId();
+
+/// One finished span (or instant event when `instant` is true, duration 0).
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::uint64_t startNs = 0;  ///< relative to the tracer epoch
+  std::uint64_t durNs = 0;
+  std::uint32_t threadId = 0;
+  std::uint64_t id = 0;        ///< unique per tracer, 1-based
+  std::uint64_t parentId = 0;  ///< 0 = top-level
+  bool instant = false;
+  std::vector<Attr> attrs;
+};
+
+class Span;
+
+/// Collects spans. Disabled by default; `polyastc --trace-out`, the bench
+/// harness (POLYAST_OBS=1), and tests enable it.
+class Tracer {
+ public:
+  Tracer();
+
+  /// The process-wide tracer every instrumented subsystem records into.
+  static Tracer& global();
+
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records an instant event (no duration) when enabled.
+  void instant(const char* name, const char* category,
+               std::vector<Attr> attrs = {});
+
+  /// Names the calling thread's lane in exported traces.
+  void nameCurrentThread(const std::string& name);
+
+  /// Copies of the finished spans / thread names, in completion order.
+  std::vector<SpanRecord> spans() const;
+  std::map<std::uint32_t, std::string> threadNames() const;
+
+  /// Drops all recorded spans and resets the time epoch (tests, and
+  /// polyastc between unrelated phases).
+  void clear();
+
+  /// Nanoseconds since the tracer epoch.
+  std::uint64_t nowNs() const;
+
+ private:
+  friend class Span;
+
+  std::uint64_t nextId() {
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record(SpanRecord&& rec);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> nextId_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::uint32_t, std::string> threadNames_;
+};
+
+/// RAII scoped span. Construction opens the span (parenting it under the
+/// innermost open span of the same tracer on this thread); destruction
+/// stamps the duration and hands the record to the tracer. Inactive (and
+/// costless beyond one atomic load) when the tracer is disabled.
+class Span {
+ public:
+  Span(Tracer& tracer, const char* name, const char* category);
+  /// Span on the global tracer.
+  Span(const char* name, const char* category)
+      : Span(Tracer::global(), name, category) {}
+  /// Dynamic name (e.g. a pass name); only materialized when enabled.
+  Span(Tracer& tracer, const std::string& name, const char* category);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Typed attributes; no-ops when inactive.
+  void attr(const char* key, std::int64_t value);
+  void attr(const char* key, double value);
+  void attr(const char* key, bool value);
+  void attr(const char* key, const std::string& value);
+  void attr(const char* key, const char* value);
+  /// Dynamic keys (e.g. pass counter names).
+  void attr(const std::string& key, std::int64_t value);
+  void attr(const std::string& key, const std::string& value);
+
+  /// Ends the span early (idempotent; the destructor then does nothing).
+  void end();
+
+ private:
+  void open(Tracer& tracer, const char* category);
+
+  Tracer* tracer_ = nullptr;  ///< nullptr = inactive
+  SpanRecord rec_;
+};
+
+}  // namespace polyast::obs

@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace polyast::poly {
@@ -95,6 +97,17 @@ DepKind classify(bool srcWrite, bool dstWrite) {
 }  // namespace
 
 PoDG computeDependences(const Scop& scop, bool includeInput) {
+  // Dependence-test outcome counters: every candidate polyhedron is an
+  // emptiness test; "proven" edges survive, "disproven" candidates are
+  // discarded. The rational relaxation can only over-approximate, so
+  // proven counts bound the real dependences from above.
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Counter& tested = reg.counter("poly.dep.tested");
+  static obs::Counter& proven = reg.counter("poly.dep.proven");
+  static obs::Counter& disproven = reg.counter("poly.dep.disproven");
+  static obs::Counter& reductions = reg.counter("poly.dep.reduction_edges");
+  obs::Span span("poly.dependences", "poly");
+  std::int64_t testedHere = 0, provenHere = 0;
   PoDG podg;
   for (const auto& src : scop.stmts) {
     for (const auto& dst : scop.stmts) {
@@ -145,7 +158,14 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
               row[dstOff + level - 1] = 1;
               set.addInequality(std::move(row), -1);
             }
-            if (set.isEmpty()) continue;
+            ++testedHere;
+            tested.add();
+            if (set.isEmpty()) {
+              disproven.add();
+              continue;
+            }
+            proven.add();
+            ++provenHere;
 
             Dependence dep;
             dep.srcId = src.stmt->id;
@@ -159,12 +179,16 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
             dep.fromReduction = sameStmt && src.stmt->isReductionUpdate &&
                                 a.array == src.stmt->lhsArray &&
                                 b.array == src.stmt->lhsArray;
+            if (dep.fromReduction) reductions.add();
             podg.deps.push_back(std::move(dep));
           }
         }
       }
     }
   }
+  span.attr("tested", testedHere);
+  span.attr("proven", provenHere);
+  span.attr("stmts", static_cast<std::int64_t>(scop.stmts.size()));
   return podg;
 }
 
@@ -228,6 +252,12 @@ std::string DepVectorElem::str() const {
 }
 
 std::vector<DepVector> dependenceVectors(const Scop& scop, const PoDG& podg) {
+  // Summarization fallbacks: elements the polyhedron cannot bound become
+  // [-inf,+inf]-style entries, forcing the AST stage to assume the worst.
+  static obs::Counter& vectors =
+      obs::Registry::global().counter("poly.depvec.vectors");
+  static obs::Counter& unbounded =
+      obs::Registry::global().counter("poly.depvec.unbounded_elems");
   std::vector<DepVector> out;
   for (const auto& dep : podg.deps) {
     const auto& src = scop.byId(dep.srcId);
@@ -244,8 +274,10 @@ std::vector<DepVector> dependenceVectors(const Scop& scop, const PoDG& podg) {
       DepVectorElem e;
       e.min = dep.poly.minOf(diff);
       e.max = dep.poly.maxOf(diff);
+      if (!e.min || !e.max) unbounded.add();
       v.elems.push_back(e);
     }
+    vectors.add();
     out.push_back(std::move(v));
   }
   return out;

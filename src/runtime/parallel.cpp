@@ -1,11 +1,44 @@
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace polyast::runtime {
+
+namespace {
+
+/// Sink for the executors' synchronization counters: every SyncStats the
+/// runtime returns is also absorbed into the metrics registry, so traces
+/// and metrics files carry the same numbers the benches print.
+void absorbSyncStats(const SyncStats& stats) {
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Counter& waits = reg.counter("runtime.sync.p2p_waits");
+  static obs::Counter& barriers = reg.counter("runtime.sync.barriers");
+  static obs::Counter& spins = reg.counter("runtime.sync.spin_iterations");
+  if (stats.pointToPointWaits)
+    waits.add(static_cast<std::int64_t>(stats.pointToPointWaits));
+  if (stats.barriers) barriers.add(static_cast<std::int64_t>(stats.barriers));
+  if (stats.spinIterations)
+    spins.add(static_cast<std::int64_t>(stats.spinIterations));
+}
+
+/// Per-worker wait-latency histogram (`runtime.pipeline.wait_ns.t<tid>`),
+/// resolved once per worker invocation; nullptr when detailed timing is
+/// off so wait loops pay no clock reads.
+obs::Histogram* waitHistogram(unsigned tid) {
+  if (!obs::Registry::global().timingEnabled()) return nullptr;
+  return &obs::Registry::global().histogram(
+      "runtime.pipeline.wait_ns.t" + std::to_string(tid),
+      obs::expBounds(128.0, 4.0, 14));
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -13,6 +46,7 @@ ThreadPool::ThreadPool(unsigned threads) {
     if (threads == 0) threads = 1;
   }
   threads_ = threads;
+  obs::Tracer::global().nameCurrentThread("main");
   for (unsigned t = 1; t < threads_; ++t)
     workers_.emplace_back([this, t] { workerLoop(t); });
 }
@@ -27,6 +61,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::workerLoop(unsigned tid) {
+  obs::Tracer::global().nameCurrentThread("worker-" + std::to_string(tid));
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(unsigned)>* job = nullptr;
@@ -67,12 +102,21 @@ void parallelForBlocked(
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   std::int64_t n = end - begin;
   if (n <= 0) return;
+  static obs::Counter& chunks =
+      obs::Registry::global().counter("runtime.doall.chunks");
   std::int64_t threads = static_cast<std::int64_t>(pool.threadCount());
   std::int64_t chunk = (n + threads - 1) / threads;
   pool.runOnAll([&](unsigned tid) {
     std::int64_t lo = begin + static_cast<std::int64_t>(tid) * chunk;
     std::int64_t hi = std::min(end, lo + chunk);
-    if (lo < hi) fn(lo, hi);
+    if (lo < hi) {
+      obs::Span span("doall.chunk", "runtime");
+      span.attr("tid", static_cast<std::int64_t>(tid));
+      span.attr("lo", lo);
+      span.attr("hi", hi);
+      chunks.add();
+      fn(lo, hi);
+    }
   });
 }
 
@@ -91,6 +135,9 @@ void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   POLYAST_CHECK(target != nullptr, "parallelReduce without a target");
   std::int64_t n = end - begin;
   if (n <= 0) return;
+  static obs::Counter& reductions =
+      obs::Registry::global().counter("runtime.reduce.calls");
+  reductions.add();
   unsigned threads = pool.threadCount();
   // Privatized accumulation buffers, one per thread.
   std::vector<std::vector<double>> priv(threads);
@@ -101,9 +148,17 @@ void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   pool.runOnAll([&](unsigned tid) {
     std::int64_t lo = begin + static_cast<std::int64_t>(tid) * chunk;
     std::int64_t hi = std::min(end, lo + chunk);
-    if (lo < hi) body(priv[tid].data(), lo, hi);
+    if (lo < hi) {
+      obs::Span span("reduce.accumulate", "runtime");
+      span.attr("tid", static_cast<std::int64_t>(tid));
+      span.attr("lo", lo);
+      span.attr("hi", hi);
+      body(priv[tid].data(), lo, hi);
+    }
   });
   // Merge phase (parallel over the array when large).
+  obs::Span combine("reduce.combine", "runtime");
+  combine.attr("size", static_cast<std::int64_t>(size));
   parallelForBlocked(pool, 0, static_cast<std::int64_t>(size),
                      [&](std::int64_t lo, std::int64_t hi) {
                        for (std::int64_t i = lo; i < hi; ++i) {
@@ -128,11 +183,16 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
   std::atomic<std::uint64_t> waits{0};
   std::atomic<std::uint64_t> spinIters{0};
 
-  pool.runOnAll([&](unsigned) {
+  pool.runOnAll([&](unsigned tid) {
+    obs::Span worker("pipeline.worker", "runtime");
+    worker.attr("tid", static_cast<std::int64_t>(tid));
+    obs::Histogram* waitHist = waitHistogram(tid);
+    std::int64_t rowsDone = 0;
     SpinBackoff backoff;
     for (;;) {
       std::int64_t r = nextRow.fetch_add(1, std::memory_order_relaxed);
       if (r >= rows) break;
+      ++rowsDone;
       for (std::int64_t c = 0; c < cols; ++c) {
         if (r > 0) {
           // await source(r-1, c): the previous row must have completed at
@@ -141,8 +201,16 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
           if (prev.load(std::memory_order_acquire) < c + 1) {
             waits.fetch_add(1, std::memory_order_relaxed);
             backoff.reset();
+            auto waitStart = waitHist ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::
+                                            time_point();
             while (prev.load(std::memory_order_acquire) < c + 1)
               backoff.pause();
+            if (waitHist)
+              waitHist->observe(static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - waitStart)
+                      .count()));
           }
         }
         // await source(r, c-1) is implicit: the same thread runs the row
@@ -152,10 +220,12 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
             c + 1, std::memory_order_release);
       }
     }
+    worker.attr("rows", rowsDone);
     spinIters.fetch_add(backoff.iterations(), std::memory_order_relaxed);
   });
   stats.pointToPointWaits = waits.load();
   stats.spinIterations = spinIters.load();
+  absorbSyncStats(stats);
   return stats;
 }
 
@@ -164,6 +234,9 @@ SyncStats wavefront2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
                           cell) {
   SyncStats stats;
   if (rows <= 0 || cols <= 0) return stats;
+  obs::Span span("wavefront2d", "runtime");
+  span.attr("rows", rows);
+  span.attr("cols", cols);
   for (std::int64_t d = 0; d <= rows + cols - 2; ++d) {
     std::int64_t rLo = std::max<std::int64_t>(0, d - cols + 1);
     std::int64_t rHi = std::min(rows - 1, d);
@@ -173,6 +246,7 @@ SyncStats wavefront2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
                 [&](std::int64_t r) { cell(r, d - r); });
     stats.barriers += 1;
   }
+  absorbSyncStats(stats);
   return stats;
 }
 
@@ -203,7 +277,11 @@ SyncStats pipeline3D(
   std::atomic<std::uint64_t> waits{0};
   std::atomic<std::uint64_t> spinIters{0};
 
-  pool.runOnAll([&](unsigned) {
+  pool.runOnAll([&](unsigned tid) {
+    obs::Span worker("pipeline3d.worker", "runtime");
+    worker.attr("tid", static_cast<std::int64_t>(tid));
+    obs::Histogram* waitHist = waitHistogram(tid);
+    std::int64_t cellsDone = 0;
     SpinBackoff backoff;
     for (;;) {
       std::int64_t next = -1;
@@ -218,12 +296,23 @@ SyncStats pipeline3D(
         if (done.load(std::memory_order_acquire) >= total) {
           spinIters.fetch_add(backoff.iterations(),
                               std::memory_order_relaxed);
+          worker.attr("cells", cellsDone);
           return;
         }
         waits.fetch_add(1, std::memory_order_relaxed);
-        backoff.pause();
+        if (waitHist) {
+          auto waitStart = std::chrono::steady_clock::now();
+          backoff.pause();
+          waitHist->observe(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - waitStart)
+                  .count()));
+        } else {
+          backoff.pause();
+        }
         continue;
       }
+      ++cellsDone;
       backoff.reset();
       std::int64_t c = next % cols;
       std::int64_t r = (next / cols) % rows;
@@ -245,6 +334,7 @@ SyncStats pipeline3D(
   });
   stats.pointToPointWaits = waits.load();
   stats.spinIterations = spinIters.load();
+  absorbSyncStats(stats);
   return stats;
 }
 

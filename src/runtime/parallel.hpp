@@ -17,7 +17,13 @@
 //
 // Instrumentation counters (synchronization operations, barrier count) are
 // exposed so tests and the Fig. 6 benchmark can compare the two schemes
-// analytically as well as by wall clock.
+// analytically as well as by wall clock. Every SyncStats is also absorbed
+// into the obs metrics registry (`runtime.sync.*`), the executors emit
+// per-thread spans (doall chunks, reduction accumulate/combine, pipeline
+// workers) when the global tracer is enabled, and pipeline wait latencies
+// feed per-thread `runtime.pipeline.wait_ns.t<tid>` histograms when
+// Registry timing is on — see docs/OBSERVABILITY.md. All of it is a single
+// relaxed atomic load per construct when observability is off.
 #pragma once
 
 #include <atomic>

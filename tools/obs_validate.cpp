@@ -1,0 +1,219 @@
+// obs_validate — schema validator for observability artifacts.
+//
+// Usage:
+//   obs_validate --trace FILE [--require-span NAME]... [--min-threads N]
+//   obs_validate --metrics FILE [--require-counter NAME]...
+//                [--require-histogram NAME]...
+//
+// Used by CI to check that the files produced by `polyastc --trace-out /
+// --metrics-out` (and by the benches) conform to the documented schemas
+// (docs/OBSERVABILITY.md):
+//
+//   * trace: Chrome trace-event JSON — top-level object with a
+//     "traceEvents" array; every event has string "ph" and "name" plus
+//     numeric "pid"/"tid"; "X" events additionally carry numeric
+//     "ts"/"dur"; "M" events are thread_name metadata. --require-span
+//     asserts that a complete span with the given name exists;
+//     --min-threads asserts the number of distinct tids with "X" events.
+//   * metrics: "schema" == "polyast-metrics-v1"; "counters"/"gauges"/
+//     "histograms"/"notes" objects with the documented member shapes;
+//     histogram bucket_counts has |bounds|+1 entries summing to "count".
+//
+// Exit code 0 when valid, 1 with a diagnostic on stderr otherwise.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+using namespace polyast;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: obs_validate --trace FILE [--require-span NAME]..."
+               " [--min-threads N]\n"
+               "       obs_validate --metrics FILE"
+               " [--require-counter NAME]... [--require-histogram NAME]...\n";
+  return 2;
+}
+
+int fail(const std::string& what) {
+  std::cerr << "obs_validate: " << what << "\n";
+  return 1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  POLYAST_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool isFiniteNumber(const obs::JsonValue* v) {
+  return v && v->isNumber() && std::isfinite(v->number);
+}
+
+int validateTrace(const obs::JsonValue& root,
+                  const std::vector<std::string>& requiredSpans,
+                  std::int64_t minThreads) {
+  if (!root.isObject()) return fail("trace: top level is not an object");
+  const obs::JsonValue* events = root.find("traceEvents");
+  if (!events || !events->isArray())
+    return fail("trace: missing traceEvents array");
+  std::set<std::string> spanNames;
+  std::set<double> spanTids;
+  std::size_t index = 0;
+  for (const auto& ev : events->items) {
+    std::string at = "trace: event " + std::to_string(index++);
+    if (!ev.isObject()) return fail(at + " is not an object");
+    const obs::JsonValue* ph = ev.find("ph");
+    if (!ph || !ph->isString()) return fail(at + ": missing string ph");
+    const obs::JsonValue* name = ev.find("name");
+    if (!name || !name->isString()) return fail(at + ": missing string name");
+    if (!isFiniteNumber(ev.find("pid")) || !isFiniteNumber(ev.find("tid")))
+      return fail(at + ": missing numeric pid/tid");
+    if (ph->text == "X") {
+      if (!isFiniteNumber(ev.find("ts")) || !isFiniteNumber(ev.find("dur")))
+        return fail(at + ": X event missing numeric ts/dur");
+      if (ev.find("dur")->number < 0)
+        return fail(at + ": negative span duration");
+      spanNames.insert(name->text);
+      spanTids.insert(ev.find("tid")->number);
+    } else if (ph->text == "i") {
+      if (!isFiniteNumber(ev.find("ts")))
+        return fail(at + ": instant event missing numeric ts");
+    } else if (ph->text == "M") {
+      if (name->text != "thread_name")
+        return fail(at + ": unexpected metadata event '" + name->text + "'");
+      const obs::JsonValue* args = ev.find("args");
+      if (!args || !args->isObject() || !args->find("name") ||
+          !args->find("name")->isString())
+        return fail(at + ": thread_name metadata missing args.name");
+    } else {
+      return fail(at + ": unknown event phase '" + ph->text + "'");
+    }
+  }
+  for (const auto& want : requiredSpans)
+    if (!spanNames.count(want))
+      return fail("trace: required span '" + want + "' not found");
+  if (static_cast<std::int64_t>(spanTids.size()) < minThreads)
+    return fail("trace: spans cover " + std::to_string(spanTids.size()) +
+                " thread(s), expected >= " + std::to_string(minThreads));
+  std::cout << "trace ok: " << events->items.size() << " events, "
+            << spanNames.size() << " span names, " << spanTids.size()
+            << " threads\n";
+  return 0;
+}
+
+int validateMetrics(const obs::JsonValue& root,
+                    const std::vector<std::string>& requiredCounters,
+                    const std::vector<std::string>& requiredHistograms) {
+  if (!root.isObject()) return fail("metrics: top level is not an object");
+  const obs::JsonValue* schema = root.find("schema");
+  if (!schema || !schema->isString() || schema->text != "polyast-metrics-v1")
+    return fail("metrics: missing schema \"polyast-metrics-v1\"");
+  for (const char* section : {"counters", "gauges", "histograms", "notes"}) {
+    const obs::JsonValue* s = root.find(section);
+    if (!s || !s->isObject())
+      return fail(std::string("metrics: missing object \"") + section + "\"");
+  }
+  for (const auto& [name, v] : root.find("counters")->members)
+    if (!v.isNumber() || v.number != std::floor(v.number))
+      return fail("metrics: counter '" + name + "' is not an integer");
+  for (const auto& [name, v] : root.find("gauges")->members)
+    if (!v.isNumber()) return fail("metrics: gauge '" + name + "' not a number");
+  for (const auto& [name, v] : root.find("notes")->members)
+    if (!v.isString()) return fail("metrics: note '" + name + "' not a string");
+  for (const auto& [name, h] : root.find("histograms")->members) {
+    std::string at = "metrics: histogram '" + name + "'";
+    if (!h.isObject()) return fail(at + " is not an object");
+    const obs::JsonValue* bounds = h.find("bounds");
+    const obs::JsonValue* buckets = h.find("bucket_counts");
+    if (!bounds || !bounds->isArray() || !buckets || !buckets->isArray())
+      return fail(at + ": missing bounds/bucket_counts arrays");
+    if (buckets->items.size() != bounds->items.size() + 1)
+      return fail(at + ": bucket_counts must have |bounds|+1 entries");
+    if (!isFiniteNumber(h.find("count")) || !isFiniteNumber(h.find("sum")))
+      return fail(at + ": missing numeric count/sum");
+    double inBuckets = 0;
+    for (const auto& b : buckets->items) {
+      if (!b.isNumber() || b.number < 0)
+        return fail(at + ": bad bucket count");
+      inBuckets += b.number;
+    }
+    if (inBuckets != h.find("count")->number)
+      return fail(at + ": bucket counts do not sum to count");
+    double prev = -std::numeric_limits<double>::infinity();
+    for (const auto& b : bounds->items) {
+      if (!b.isNumber() || b.number <= prev)
+        return fail(at + ": bounds not strictly increasing");
+      prev = b.number;
+    }
+  }
+  for (const auto& want : requiredCounters)
+    if (!root.find("counters")->find(want))
+      return fail("metrics: required counter '" + want + "' not found");
+  for (const auto& want : requiredHistograms)
+    if (!root.find("histograms")->find(want))
+      return fail("metrics: required histogram '" + want + "' not found");
+  std::cout << "metrics ok: " << root.find("counters")->members.size()
+            << " counters, " << root.find("gauges")->members.size()
+            << " gauges, " << root.find("histograms")->members.size()
+            << " histograms, " << root.find("notes")->members.size()
+            << " notes\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string traceFile;
+  std::string metricsFile;
+  std::vector<std::string> requiredSpans;
+  std::vector<std::string> requiredCounters;
+  std::vector<std::string> requiredHistograms;
+  std::int64_t minThreads = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inlineValue;
+    bool hasInline = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      inlineValue = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      hasInline = true;
+    }
+    auto next = [&]() -> std::string {
+      if (hasInline) return inlineValue;
+      if (i + 1 >= argc) {
+        usage();
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") traceFile = next();
+    else if (arg == "--metrics") metricsFile = next();
+    else if (arg == "--require-span") requiredSpans.push_back(next());
+    else if (arg == "--require-counter") requiredCounters.push_back(next());
+    else if (arg == "--require-histogram") requiredHistograms.push_back(next());
+    else if (arg == "--min-threads") minThreads = std::stoll(next());
+    else return usage();
+  }
+  if (traceFile.empty() == metricsFile.empty()) return usage();
+  try {
+    if (!traceFile.empty())
+      return validateTrace(obs::parseJson(slurp(traceFile)), requiredSpans,
+                           minThreads);
+    return validateMetrics(obs::parseJson(slurp(metricsFile)),
+                           requiredCounters, requiredHistograms);
+  } catch (const ::polyast::Error& e) {
+    return fail(e.what());
+  }
+}

@@ -4,9 +4,11 @@
 //   polyastc --list
 //   polyastc --list-pipelines
 //   polyastc <kernel> [--pipeline NAME | --flow polyast|pocc|pocc-maxfuse|none]
-//            [--emit c|ir] [--tile N] [--time-tile N]
+//            [--emit c|ir|none] [--tile N] [--time-tile N]
 //            [--no-tiling] [--no-regtile] [--no-openmp]
 //            [--verify-each-pass] [--dump-after PASS|all]
+//            [--execute] [--threads N]
+//            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //
 // Flags also accept the --flag=value form. --flow is kept for
 // compatibility and maps onto the pipeline presets (polyast, pocc,
@@ -15,20 +17,44 @@
 //
 // --verify-each-pass runs the interpreter oracle after every pass on
 // test-scale parameters and attributes any semantic break to the pass
-// that introduced it; the per-pass report (timings, counters, oracle
-// verdicts) is printed to stderr.
+// that introduced it. Verification continues past a break (the reference
+// is rebased onto the broken output, so each pass is judged only on the
+// divergence it introduces itself); every breaking pass is recorded as a
+// `flow.verify.breaks` metric plus a "semantics-break" trace instant, and
+// the process exits with the number of breaking passes.
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-out FILE    enable the global tracer; write a Chrome
+//                       trace-event JSON (chrome://tracing / Perfetto)
+//                       with one span per executed pass and — with
+//                       --execute — per-thread runtime lanes.
+//   --metrics-out FILE  write the metrics registry (DL query counts,
+//                       dependence-test counters, runtime sync/wait
+//                       stats, ...) as JSON, or CSV if FILE ends in .csv.
+//                       Also turns on latency timing (histograms).
+//   --obs-summary       print a human-readable metrics table to stderr.
+//   --execute           run the transformed program on the parallel
+//                       runtime at test scale (doall/pipeline marks map
+//                       onto the thread pool) and validate the buffers
+//                       against a sequential interpretation.
 //
 // Examples:
 //   polyastc 2mm --pipeline polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
 //   polyastc gemm --pipeline pocc-vect --emit ir
 //   polyastc seidel-2d --pipeline polyast --verify-each-pass --dump-after all
+//   polyastc gemm --pipeline polyast --execute \
+//       --trace-out trace.json --metrics-out metrics.json
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "exec/par_exec.hpp"
 #include "flow/presets.hpp"
 #include "ir/cemit.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 using namespace polyast;
@@ -40,9 +66,12 @@ int usage() {
       << "usage: polyastc <kernel>|--list|--list-pipelines\n"
          "                [--pipeline NAME] [--flow polyast|pocc|"
          "pocc-maxfuse|none]\n"
-         "                [--emit c|ir] [--tile N] [--time-tile N]\n"
+         "                [--emit c|ir|none] [--tile N] [--time-tile N]\n"
          "                [--no-tiling] [--no-regtile] [--no-openmp]\n"
-         "                [--verify-each-pass] [--dump-after PASS|all]\n";
+         "                [--verify-each-pass] [--dump-after PASS|all]\n"
+         "                [--execute] [--threads N]\n"
+         "                [--trace-out FILE] [--metrics-out FILE]"
+         " [--obs-summary]\n";
   return 2;
 }
 
@@ -63,6 +92,11 @@ int main(int argc, char** argv) {
 
   std::string pipeline = "polyast";
   std::string emit = "c";
+  std::string traceOut;
+  std::string metricsOut;
+  bool obsSummary = false;
+  bool execute = false;
+  unsigned threads = 0;
   flow::PipelineOptions options;
   flow::PassContext ctx;
   bool openmp = true;
@@ -110,6 +144,11 @@ int main(int argc, char** argv) {
     else if (arg == "--no-regtile") options.enableRegisterTiling = false;
     else if (arg == "--no-openmp") openmp = false;
     else if (arg == "--verify-each-pass") verifyEachPass = true;
+    else if (arg == "--trace-out") traceOut = next();
+    else if (arg == "--metrics-out") metricsOut = next();
+    else if (arg == "--obs-summary") obsSummary = true;
+    else if (arg == "--execute") execute = true;
+    else if (arg == "--threads") threads = static_cast<unsigned>(nextInt());
     else if (arg == "--dump-after") {
       ctx.dump.after.insert(next());
       ctx.dump.stream = &std::cerr;
@@ -121,6 +160,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
+  // Metrics counters are always on; per-event latency timing (histograms)
+  // only when someone will consume them.
+  if (!metricsOut.empty() || obsSummary)
+    obs::Registry::global().setTimingEnabled(true);
+
   ir::Program program;
   try {
     program = kernels::buildKernel(kernel);
@@ -129,18 +174,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Test-scale parameters, conditioned inputs (solver kernels need e.g.
+  // diagonally dominant matrices). Shared by --verify-each-pass and
+  // --execute.
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : program.params)
+    params[name] = name == "TSTEPS" ? 3 : 7;
+
   if (verifyEachPass) {
     ctx.verify.enabled = true;
-    // Test-scale parameters, conditioned inputs (solver kernels need
-    // e.g. diagonally dominant matrices).
-    std::map<std::string, std::int64_t> params;
-    for (const auto& name : program.params)
-      params[name] = name == "TSTEPS" ? 3 : 7;
+    ctx.verify.continueAfterFailure = true;
     ctx.verify.makeContext = [params](const ir::Program& p) {
       return kernels::makeContext(p, params);
     };
   }
 
+  int exitCode = 0;
   ir::Program out;
   try {
     flow::PassPipeline pipe = flow::makePipeline(pipeline, options);
@@ -149,11 +198,45 @@ int main(int argc, char** argv) {
               << " passes" << (verifyEachPass ? ", oracle-verified" : "")
               << "):\n"
               << ctx.report.summary();
+    if (int broken = ctx.report.brokenPasses(); broken > 0) {
+      std::cerr << "error: " << broken << " pass(es) broke semantics\n";
+      exitCode = broken;
+    }
   } catch (const flow::VerificationError& e) {
     std::cerr << "pipeline '" << pipeline << "' FAILED VERIFICATION\n"
               << ctx.report.summary() << "error: " << e.what() << "\n";
     return 1;
   }
+
+  if (execute) {
+    // Run the transformed program on the parallel runtime and check it
+    // against a plain sequential interpretation of the same program.
+    runtime::ThreadPool pool(threads);
+    exec::Context seq = kernels::makeContext(out, params);
+    exec::Context par = kernels::makeContext(out, params);
+    exec::run(out, seq);
+    exec::ParallelRunReport rep = exec::runParallel(out, par, pool);
+    double diff = par.maxAbsDiff(seq);
+    std::cerr << rep.summary() << "\n"
+              << "parallel vs sequential max abs diff: " << diff << " on "
+              << pool.threadCount() << " threads\n";
+    if (!(diff <= 1e-9)) {
+      std::cerr << "error: parallel execution diverged\n";
+      if (exitCode == 0) exitCode = 1;
+    }
+  }
+
+  try {
+    if (!traceOut.empty())
+      obs::writeChromeTraceFile(traceOut, obs::Tracer::global());
+    if (!metricsOut.empty())
+      obs::writeMetricsFile(metricsOut, obs::Registry::global().snapshot());
+  } catch (const ::polyast::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (obsSummary)
+    std::cerr << obs::metricsSummary(obs::Registry::global().snapshot());
 
   if (emit == "ir") {
     std::cout << ir::printProgram(out);
@@ -161,8 +244,8 @@ int main(int argc, char** argv) {
     ir::CEmitOptions copt;
     copt.openmp = openmp;
     std::cout << ir::emitC(out, copt);
-  } else {
+  } else if (emit != "none") {
     return usage();
   }
-  return 0;
+  return exitCode;
 }
