@@ -1,0 +1,238 @@
+// Bounds & domain lint.
+//
+// Affine access checking: for every access and every dimension, the
+// subscript must satisfy 0 <= sub < extent over the statement's whole
+// iteration domain under the parameter assumptions. A non-empty
+// intersection with (sub >= extent) or (sub <= -1) is an out-of-bounds
+// finding (error when an integer witness exists at the test parameters
+// and the stride modeling is exact; warning otherwise). Rank mismatches
+// and unknown arrays are always errors.
+//
+// IR well-formedness lints:
+//   * empty-domain   — a statement whose domain has no points under the
+//                      parameter assumptions never executes (warning),
+//   * dead-iterator  — a loop whose iterator is used by nothing beneath
+//                      it and whose body cannot observe the repetition
+//                      (no array both read and written under the loop)
+//                      only multiplies work (remark).
+//
+// Non-affine escapes cannot be represented in this IR; they surface as
+// the session's "extract-error" diagnostic when extraction fails.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+
+namespace polyast::analysis {
+namespace {
+
+using ir::AffExpr;
+using ir::Loop;
+using poly::PolyStmt;
+using poly::Scop;
+
+/// Maps an AffExpr over a statement's [iters, params] into a row over the
+/// statement's domain space [iters, params, exists].
+void toStmtRow(const AffExpr& e, const PolyStmt& ps, const Scop& scop,
+               std::vector<std::int64_t>& row, std::int64_t& c) {
+  row.assign(ps.domain.numVars(), 0);
+  for (const auto& [name, coeff] : e.coeffs()) {
+    auto it = std::find(ps.iters.begin(), ps.iters.end(), name);
+    if (it != ps.iters.end()) {
+      row[static_cast<std::size_t>(it - ps.iters.begin())] = coeff;
+      continue;
+    }
+    auto pt = std::find(scop.params.begin(), scop.params.end(), name);
+    if (pt != scop.params.end())
+      row[ps.iters.size() +
+          static_cast<std::size_t>(pt - scop.params.begin())] = coeff;
+    // Anything else would have failed extraction already.
+  }
+  c = e.constant();
+}
+
+void checkSide(const AnalysisInput& in, const PolyStmt& ps,
+               const poly::Access& acc, std::size_t accIdx, std::size_t dim,
+               const AffExpr& violation, const std::string& what,
+               const std::string& extentStr, DiagnosticEngine& engine) {
+  std::vector<std::int64_t> row;
+  std::int64_t c = 0;
+  toStmtRow(violation, ps, *in.scop, row, c);
+  IntSet s = ps.domain;
+  s.addInequality(std::move(row), c);
+  if (s.isEmpty()) return;  // in bounds (rational relaxation)
+
+  Diagnostic d;
+  d.analysis = "bounds";
+  d.code = "out-of-bounds";
+  d.location = locationOf(ps);
+  d.afterPass = in.afterPass;
+  std::string sub = acc.subs[dim].str();
+  d.message = std::string(acc.isWrite ? "write" : "read") + " access " +
+              acc.array + "[...]" + " may " + what + " in dimension " +
+              std::to_string(dim) + " (subscript " + sub + ", extent " +
+              extentStr + ")";
+  d.detail["array"] = acc.array;
+  d.detail["access"] = std::to_string(accIdx);
+  d.detail["dim"] = std::to_string(dim);
+  d.detail["subscript"] = sub;
+  d.detail["extent"] = extentStr;
+  d.detail["write"] = acc.isWrite ? "true" : "false";
+
+  bool inexact = !ps.exactStrides;
+  std::size_t paramBase = ps.iters.size();
+  auto witness =
+      findIntegerWitness(s, paramBase, in.scop->params, *in.options);
+  if (witness) d.detail["witness"] = formatWitness(s.varNames(), *witness);
+  if (inexact) d.detail["stride_overapprox"] = "true";
+  d.severity = (witness && !inexact) ? Severity::Error : Severity::Warning;
+  engine.report(std::move(d));
+}
+
+bool affUsesName(const AffExpr& e, const std::string& name) {
+  return e.coeff(name) != 0;
+}
+
+bool exprUsesIter(const ir::ExprPtr& e, const std::string& name) {
+  if (!e) return false;
+  if (e->kind == ir::Expr::Kind::IterRef && e->name == name) return true;
+  for (const auto& s : e->subs)
+    if (affUsesName(s, name)) return true;
+  return exprUsesIter(e->lhs, name) || exprUsesIter(e->rhs, name) ||
+         exprUsesIter(e->cond, name);
+}
+
+/// True when anything beneath loop level `k` of `ps` mentions the
+/// iterator: subscripts, guards, the value expression, or a deeper loop
+/// bound.
+bool stmtUsesIter(const PolyStmt& ps, std::size_t k,
+                  const std::string& name) {
+  for (const auto& acc : ps.accesses)
+    for (const auto& s : acc.subs)
+      if (affUsesName(s, name)) return true;
+  for (const auto& g : ps.stmt->guards)
+    if (affUsesName(g, name)) return true;
+  if (exprUsesIter(ps.stmt->rhs, name)) return true;
+  for (std::size_t l = k + 1; l < ps.loops.size(); ++l) {
+    for (const auto& part : ps.loops[l]->lower.parts)
+      if (affUsesName(part, name)) return true;
+    for (const auto& part : ps.loops[l]->upper.parts)
+      if (affUsesName(part, name)) return true;
+  }
+  return false;
+}
+
+void lintDeadIterators(const AnalysisInput& in, DiagnosticEngine& engine) {
+  struct LoopUse {
+    const PolyStmt* rep = nullptr;
+    std::size_t level = 0;
+    bool used = false;
+    std::set<std::string> reads, writes;
+  };
+  std::map<const Loop*, LoopUse> loops;
+  for (const auto& ps : in.scop->stmts) {
+    for (std::size_t k = 0; k < ps.loops.size(); ++k) {
+      LoopUse& u = loops[ps.loops[k].get()];
+      if (!u.rep) {
+        u.rep = &ps;
+        u.level = k;
+      }
+      if (stmtUsesIter(ps, k, ps.loops[k]->iter)) u.used = true;
+      for (const auto& acc : ps.accesses)
+        (acc.isWrite ? u.writes : u.reads).insert(acc.array);
+    }
+  }
+  for (const auto& [loop, u] : loops) {
+    if (u.used) continue;
+    // Repetition is observable when some array is both read and written
+    // beneath the loop (in-place time iteration); only a loop where it is
+    // not can be called dead.
+    bool observable = false;
+    for (const auto& w : u.writes)
+      if (u.reads.count(w)) observable = true;
+    if (observable) continue;
+    Diagnostic d;
+    d.severity = Severity::Remark;
+    d.analysis = "bounds";
+    d.code = "dead-iterator";
+    d.message = "loop '" + loop->iter +
+                "' iterator is never used beneath it and its body cannot "
+                "observe the repetition — the loop only multiplies work";
+    std::string loc;
+    for (std::size_t k = 0; k <= u.level; ++k)
+      loc += (k ? "/" : "") + ("loop:" + u.rep->loops[k]->iter);
+    d.location = loc;
+    d.afterPass = in.afterPass;
+    engine.report(std::move(d));
+  }
+}
+
+}  // namespace
+
+void runBounds(const AnalysisInput& in, DiagnosticEngine& engine) {
+  const Scop& scop = *in.scop;
+  const ir::Program& prog = *in.program;
+  std::int64_t checked = 0;
+
+  for (const auto& ps : scop.stmts) {
+    if (ps.domain.isEmpty()) {
+      Diagnostic d;
+      d.severity = Severity::Warning;
+      d.analysis = "bounds";
+      d.code = "empty-domain";
+      d.message = "statement domain is empty under the parameter "
+                  "assumptions — it never executes";
+      d.location = locationOf(ps);
+      d.afterPass = in.afterPass;
+      engine.report(std::move(d));
+      continue;
+    }
+    for (std::size_t ai = 0; ai < ps.accesses.size(); ++ai) {
+      const auto& acc = ps.accesses[ai];
+      const ir::ArrayDecl* decl = nullptr;
+      for (const auto& a : prog.arrays)
+        if (a.name == acc.array) decl = &a;
+      if (!decl) {
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.analysis = "bounds";
+        d.code = "unknown-array";
+        d.message = "access to undeclared array '" + acc.array + "'";
+        d.location = locationOf(ps);
+        d.afterPass = in.afterPass;
+        engine.report(std::move(d));
+        continue;
+      }
+      if (acc.subs.size() != decl->dims.size()) {
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.analysis = "bounds";
+        d.code = "rank-mismatch";
+        d.message = "access to '" + acc.array + "' has " +
+                    std::to_string(acc.subs.size()) +
+                    " subscript(s) but the array is declared with " +
+                    std::to_string(decl->dims.size()) + " dimension(s)";
+        d.location = locationOf(ps);
+        d.afterPass = in.afterPass;
+        engine.report(std::move(d));
+        continue;
+      }
+      for (std::size_t dim = 0; dim < acc.subs.size(); ++dim) {
+        ++checked;
+        // Overflow: sub - extent >= 0 somewhere in the domain?
+        checkSide(in, ps, acc, ai, dim, acc.subs[dim] - decl->dims[dim],
+                  "run past the extent", decl->dims[dim].str(), engine);
+        // Underflow: -sub - 1 >= 0 somewhere in the domain?
+        checkSide(in, ps, acc, ai, dim, AffExpr(-1) - acc.subs[dim],
+                  "underrun the array", decl->dims[dim].str(), engine);
+      }
+    }
+  }
+  engine.metrics().counter("analysis.bounds.accesses_checked").add(checked);
+
+  lintDeadIterators(in, engine);
+}
+
+}  // namespace polyast::analysis

@@ -1,0 +1,93 @@
+#include "analysis/diagnostic.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace polyast::analysis {
+
+std::string severityName(Severity s) {
+  switch (s) {
+    case Severity::Remark: return "remark";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string out = severityName(severity) + "[" + analysis + "/" + code + "]";
+  if (!location.empty()) out += " at " + location;
+  if (!afterPass.empty()) out += " (after " + afterPass + ")";
+  out += ": " + message;
+  return out;
+}
+
+DiagnosticEngine::DiagnosticEngine(obs::Registry* metrics)
+    : metrics_(metrics) {}
+
+void DiagnosticEngine::report(Diagnostic d) {
+  ++counts_[static_cast<int>(d.severity)];
+  metrics_->counter("analysis.diagnostics").add();
+  metrics_->counter("analysis." + d.analysis + "." +
+                    severityName(d.severity) + "s")
+      .add();
+  diags_.push_back(std::move(d));
+}
+
+std::size_t DiagnosticEngine::count(Severity s) const {
+  return counts_[static_cast<int>(s)];
+}
+
+std::string DiagnosticEngine::summary() const {
+  std::ostringstream out;
+  for (const auto& d : diags_) out << d.str() << "\n";
+  out << diags_.size() << " diagnostic(s): " << errors() << " error(s), "
+      << warnings() << " warning(s), " << remarks() << " remark(s)\n";
+  return out.str();
+}
+
+void writeDiagnosticsJson(std::ostream& out, const DiagnosticEngine& engine,
+                          const std::string& program,
+                          const std::string& pipeline) {
+  obs::JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value("polyast-diagnostics-v1");
+  w.key("program").value(program);
+  w.key("pipeline").value(pipeline);
+  w.key("summary").beginObject();
+  w.key("errors").value(static_cast<std::int64_t>(engine.errors()));
+  w.key("warnings").value(static_cast<std::int64_t>(engine.warnings()));
+  w.key("remarks").value(static_cast<std::int64_t>(engine.remarks()));
+  w.endObject();
+  w.key("diagnostics").beginArray();
+  for (const auto& d : engine.diagnostics()) {
+    w.beginObject();
+    w.key("severity").value(severityName(d.severity));
+    w.key("analysis").value(d.analysis);
+    w.key("code").value(d.code);
+    w.key("message").value(d.message);
+    w.key("location").value(d.location);
+    w.key("after_pass").value(d.afterPass);
+    w.key("detail").beginObject();
+    for (const auto& [k, v] : d.detail) w.key(k).value(v);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+}
+
+bool writeDiagnosticsFile(const std::string& path,
+                          const DiagnosticEngine& engine,
+                          const std::string& program,
+                          const std::string& pipeline) {
+  std::ofstream out(path);
+  if (!out) return false;
+  writeDiagnosticsJson(out, engine, program, pipeline);
+  return out.good();
+}
+
+}  // namespace polyast::analysis

@@ -1,0 +1,88 @@
+// Structured diagnostics for the static analyses (src/analysis).
+//
+// Every analysis reports its findings as Diagnostic records through a
+// shared DiagnosticEngine: a severity, the stable analysis id ("legality",
+// "races", "bounds"), a machine-readable code ("violated-dependence",
+// "doall-race", ...), a human-readable message, an IR location path, the
+// pipeline point the finding was made at, and free-form structured detail
+// (witness points, dependence endpoints, distances). The engine mirrors
+// the per-analysis totals into `analysis.<id>.errors|warnings|remarks`
+// metrics counters and serializes to the "polyast-diagnostics-v1" JSON
+// document consumed by tools/obs_validate and CI.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace polyast::analysis {
+
+/// Finding severity. `Error` means the program (or its annotation) is
+/// provably wrong at the analysis' test parameters; `Warning` means the
+/// rational relaxation or a stride over-approximation says "possibly
+/// wrong" but no integer witness exists; `Remark` is informational.
+enum class Severity { Remark, Warning, Error };
+
+std::string severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  std::string analysis;   ///< stable analysis id, e.g. "legality"
+  std::string code;       ///< stable finding code, e.g. "violated-dependence"
+  std::string message;    ///< human-readable one-liner
+  std::string location;   ///< IR path, e.g. "loop:t/loop:i/stmt:S1"
+  std::string afterPass;  ///< pipeline point; "<input>" before any pass
+  /// Structured extras (dependence endpoints, witness point, distances).
+  std::map<std::string, std::string> detail;
+
+  /// "error[legality/violated-dependence] at loop:i/stmt:S1: ..." line.
+  std::string str() const;
+};
+
+/// Shared sink for every analysis of a session. Collects diagnostics in
+/// report order and keeps the `analysis.*` metrics counters current.
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(
+      obs::Registry* metrics = &obs::Registry::global());
+
+  void report(Diagnostic d);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::Error); }
+  std::size_t warnings() const { return count(Severity::Warning); }
+  std::size_t remarks() const { return count(Severity::Remark); }
+
+  obs::Registry& metrics() const { return *metrics_; }
+
+  /// One line per diagnostic plus a totals line (CLI output).
+  std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t counts_[3] = {0, 0, 0};
+  obs::Registry* metrics_;
+};
+
+/// Writes the "polyast-diagnostics-v1" JSON document:
+///   { "schema": "polyast-diagnostics-v1", "program": ..., "pipeline": ...,
+///     "summary": {"errors": n, "warnings": n, "remarks": n},
+///     "diagnostics": [ { "severity", "analysis", "code", "message",
+///                        "location", "after_pass", "detail": {...} } ] }
+void writeDiagnosticsJson(std::ostream& out, const DiagnosticEngine& engine,
+                          const std::string& program,
+                          const std::string& pipeline);
+
+/// writeDiagnosticsJson to a file; returns false when the file cannot be
+/// opened.
+bool writeDiagnosticsFile(const std::string& path,
+                          const DiagnosticEngine& engine,
+                          const std::string& program,
+                          const std::string& pipeline);
+
+}  // namespace polyast::analysis

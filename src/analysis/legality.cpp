@@ -1,0 +1,231 @@
+// Violated-dependence analysis.
+//
+// For every dependence edge of the *baseline* program (the pipeline
+// input) and every pair of current-program statement copies carrying the
+// endpoints' ids, this analysis asks: does the current program still
+// execute the dependence source before its sink?
+//
+// The question is answered exactly, with no assumption about *which*
+// transformations ran in between, by using the provenance maps
+// (ir::Stmt::origin) the session stamped before the pipeline started:
+//
+//   1. Build the joint space of the two current statement copies
+//      [src iters, dst iters, src exists, dst exists, params] with both
+//      current domains imposed.
+//   2. Re-impose the baseline dependence polyhedron's constraints, with
+//      each baseline iterator column rewritten through the corresponding
+//      origin expression — an affine function of current iterators. The
+//      result is the set of current instance pairs that realize a
+//      baseline dependence.
+//   3. Walk the current program's syntactic schedule rows (the 2d+1
+//      timestamp: block position, iterator, block position, ...). At
+//      each block row the positions are compile-time constants; at each
+//      iterator row k, if (dst_k - src_k <= -1) intersects the still
+//      unordered pairs, the sink runs before the source — a violated
+//      dependence at that depth. Otherwise restrict to dst_k == src_k
+//      and continue (pairs with dst_k > src_k are correctly ordered and
+//      drop out).
+//
+// Severity: an error needs a concrete integer witness at the session's
+// test parameters AND exact stride modeling on both endpoints; otherwise
+// the finding is a (possibly spurious) warning.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "support/error.hpp"
+
+namespace polyast::analysis {
+namespace {
+
+using ir::AffExpr;
+using poly::Dependence;
+using poly::PolyStmt;
+using poly::Scop;
+
+/// Adds `mult * e` — an AffExpr over one current statement's iterators
+/// and the parameters — into a joint-space row. False when `e` mentions a
+/// name that is neither (possible only if a pass corrupted the origins).
+bool accumulate(const AffExpr& e, std::int64_t mult, const PolyStmt& ps,
+                std::size_t offset, const Scop& scop, std::size_t paramBase,
+                std::vector<std::int64_t>& row, std::int64_t& constant) {
+  for (const auto& [name, coeff] : e.coeffs()) {
+    auto it = std::find(ps.iters.begin(), ps.iters.end(), name);
+    if (it != ps.iters.end()) {
+      row[offset + static_cast<std::size_t>(it - ps.iters.begin())] +=
+          mult * coeff;
+      continue;
+    }
+    auto pt = std::find(scop.params.begin(), scop.params.end(), name);
+    if (pt == scop.params.end()) return false;
+    row[paramBase + static_cast<std::size_t>(pt - scop.params.begin())] +=
+        mult * coeff;
+  }
+  constant += mult * e.constant();
+  return true;
+}
+
+std::string stmtName(const PolyStmt& ps) {
+  return ps.stmt->label.empty() ? ("#" + std::to_string(ps.stmt->id))
+                                : ps.stmt->label;
+}
+
+void reportViolation(const AnalysisInput& in, const Dependence& dep,
+                     const PolyStmt& srcCur, const PolyStmt& dstCur,
+                     std::size_t depth, const std::string& row,
+                     const IntSet& bad, DiagnosticEngine& engine) {
+  Diagnostic d;
+  d.analysis = "legality";
+  d.code = "violated-dependence";
+  d.afterPass = in.afterPass;
+  d.location = locationOf(dstCur);
+  d.message = poly::depKindName(dep.kind) + " dependence " +
+              stmtName(srcCur) + " -> " + stmtName(dstCur) + " on '" +
+              dep.array + "' is violated at depth " + std::to_string(depth);
+  d.detail["kind"] = poly::depKindName(dep.kind);
+  d.detail["array"] = dep.array;
+  d.detail["src"] = stmtName(srcCur);
+  d.detail["dst"] = stmtName(dstCur);
+  d.detail["src_id"] = std::to_string(dep.srcId);
+  d.detail["dst_id"] = std::to_string(dep.dstId);
+  d.detail["src_access"] = std::to_string(dep.srcAcc);
+  d.detail["dst_access"] = std::to_string(dep.dstAcc);
+  d.detail["baseline_level"] = std::to_string(dep.level);
+  d.detail["depth"] = std::to_string(depth);
+  d.detail["row"] = row;
+
+  bool inexact = !srcCur.exactStrides || !dstCur.exactStrides;
+  std::size_t paramBase = bad.numVars() - in.scop->params.size();
+  auto witness =
+      findIntegerWitness(bad, paramBase, in.scop->params, *in.options);
+  if (witness) d.detail["witness"] = formatWitness(bad.varNames(), *witness);
+  if (inexact) d.detail["stride_overapprox"] = "true";
+  d.severity =
+      (witness && !inexact) ? Severity::Error : Severity::Warning;
+  engine.report(std::move(d));
+}
+
+/// Checks one baseline dependence against one pair of current statement
+/// copies; reports at most one diagnostic. Returns false when the pair
+/// had to be skipped because an origin expression escapes the current
+/// iteration space.
+bool checkPair(const AnalysisInput& in, const Dependence& dep,
+               const PolyStmt& srcCur, const PolyStmt& dstCur,
+               DiagnosticEngine& engine) {
+  const Scop& cur = *in.scop;
+  IntSet set = poly::jointPairSpace(cur, srcCur, dstCur);
+  std::size_t srcOff = 0;
+  std::size_t dstOff = srcCur.iters.size();
+  std::size_t paramBase = set.numVars() - cur.params.size();
+
+  // Baseline dependence constraints live over [src iters (srcDim),
+  // dst iters (dstDim), params] — the baseline has no existential
+  // columns (the session rejects stepped inputs). Rewrite each iterator
+  // column through the endpoint's origin map.
+  const auto& srcOrigin = srcCur.stmt->origin;
+  const auto& dstOrigin = dstCur.stmt->origin;
+  for (const auto& c : dep.poly.constraints()) {
+    std::vector<std::int64_t> row(set.numVars(), 0);
+    std::int64_t constant = c.constant;
+    bool ok = true;
+    for (std::size_t j = 0; j < dep.srcDim && ok; ++j)
+      if (c.coeffs[j] != 0)
+        ok = accumulate(srcOrigin[j], c.coeffs[j], srcCur, srcOff, cur,
+                        paramBase, row, constant);
+    for (std::size_t j = 0; j < dep.dstDim && ok; ++j)
+      if (c.coeffs[dep.srcDim + j] != 0)
+        ok = accumulate(dstOrigin[j], c.coeffs[dep.srcDim + j], dstCur,
+                        dstOff, cur, paramBase, row, constant);
+    if (!ok) return false;
+    for (std::size_t p = 0; p < cur.params.size(); ++p)
+      row[paramBase + p] += c.coeffs[dep.srcDim + dep.dstDim + p];
+    Constraint out;
+    out.coeffs = std::move(row);
+    out.constant = constant;
+    out.isEquality = c.isEquality;
+    set.addConstraint(std::move(out));
+  }
+  if (set.isEmpty()) return true;  // these copies never realize the edge
+
+  std::size_t depth = std::max(srcCur.iters.size(), dstCur.iters.size());
+  for (std::size_t k = 0;; ++k) {
+    // Block-position row k: compile-time constants, no solving needed.
+    std::int64_t bs = k < srcCur.path.size() ? srcCur.path[k] : 0;
+    std::int64_t bd = k < dstCur.path.size() ? dstCur.path[k] : 0;
+    if (bd < bs) {
+      reportViolation(in, dep, srcCur, dstCur, k, "block", set, engine);
+      return true;
+    }
+    if (bd > bs) return true;  // textually ordered at this block level
+    if (k >= depth) break;
+
+    // Iterator row k: diff = dst_k - src_k (missing dimensions are 0 in
+    // the timestamp, matching the schedule convention).
+    bool hasS = k < srcCur.iters.size();
+    bool hasD = k < dstCur.iters.size();
+    std::vector<std::int64_t> diff(set.numVars(), 0);
+    if (hasD) diff[dstOff + k] += 1;
+    if (hasS) diff[srcOff + k] -= 1;
+    IntSet bad = set;
+    std::vector<std::int64_t> neg(diff.size());
+    for (std::size_t i = 0; i < diff.size(); ++i) neg[i] = -diff[i];
+    bad.addInequality(std::move(neg), -1);  // dst_k - src_k <= -1
+    if (!bad.isEmpty()) {
+      reportViolation(in, dep, srcCur, dstCur, k + 1, "loop", bad, engine);
+      return true;
+    }
+    set.addEquality(std::move(diff), 0);
+    if (set.isEmpty()) return true;  // carried here for all remaining pairs
+  }
+  // Every timestamp row is equal on a non-empty set: two distinct
+  // baseline instances collapse onto one current time — also a violation.
+  reportViolation(in, dep, srcCur, dstCur, depth, "coincident", set, engine);
+  return true;
+}
+
+}  // namespace
+
+void runLegality(const AnalysisInput& in, DiagnosticEngine& engine) {
+  if (!in.baselinePodg || !in.baselineScop) return;
+  const Scop& cur = *in.scop;
+
+  std::map<int, std::vector<const PolyStmt*>> byId;
+  for (const auto& ps : cur.stmts) byId[ps.stmt->id].push_back(&ps);
+
+  std::int64_t pairs = 0;
+  bool originBroken = false;
+  for (const auto& dep : in.baselinePodg->deps) {
+    if (dep.kind == poly::DepKind::Input) continue;
+    auto si = byId.find(dep.srcId);
+    auto di = byId.find(dep.dstId);
+    // An endpoint with no surviving copy has no instances left to order.
+    if (si == byId.end() || di == byId.end()) continue;
+    for (const PolyStmt* srcCur : si->second) {
+      for (const PolyStmt* dstCur : di->second) {
+        if (srcCur->stmt->origin.size() != dep.srcDim ||
+            dstCur->stmt->origin.size() != dep.dstDim) {
+          originBroken = true;
+          continue;
+        }
+        ++pairs;
+        if (!checkPair(in, dep, *srcCur, *dstCur, engine))
+          originBroken = true;
+      }
+    }
+  }
+  engine.metrics().counter("analysis.legality.pairs_checked").add(pairs);
+  if (originBroken) {
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.analysis = "legality";
+    d.code = "origin-mismatch";
+    d.message =
+        "some statement provenance maps do not match the baseline "
+        "iteration spaces; the affected pairs were not checked";
+    d.afterPass = in.afterPass;
+    engine.report(d);
+  }
+}
+
+}  // namespace polyast::analysis

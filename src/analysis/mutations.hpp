@@ -1,0 +1,55 @@
+// Mutation corpus for the analysis self-check.
+//
+// Each mutation seeds one known-illegal transformation (a flipped
+// permutation, a dropped sync, an over-fused loop, ...) into a pristine
+// kernel and records which analysis must flag it with which code. The
+// corpus is the negative half of the analyses' test contract — the
+// positive half being that every untouched kernel analyzes clean.
+// Consumed by `polyastc --analysis-selfcheck` and tests/analysis_test.cpp.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+
+namespace polyast::analysis {
+
+struct Mutation {
+  std::string name;            ///< e.g. "interchange-illegal"
+  std::string kernel;          ///< kernel the mutation applies to
+  std::string expectAnalysis;  ///< analysis id that must flag the mutant
+  std::string expectCode;      ///< diagnostic code that must appear
+  std::string description;
+  /// Applies the illegal transformation in place. The program has already
+  /// been baseline-stamped by the session, so origin maps flow through.
+  std::function<void(ir::Program&)> apply;
+};
+
+/// The built-in corpus (stable order).
+const std::vector<Mutation>& mutationCorpus();
+
+struct MutationOutcome {
+  const Mutation* mutation = nullptr;
+  /// The pristine kernel analyzed with zero error diagnostics.
+  bool cleanBefore = false;
+  /// The mutant produced >= 1 error diagnostic with the expected
+  /// analysis id and code.
+  bool caught = false;
+  std::string note;  ///< what was actually reported
+};
+
+/// Runs the whole corpus: for each mutation, builds the kernel via
+/// `buildKernel`, analyzes it clean, applies the mutation, re-analyzes,
+/// and checks the expected error appeared. Optionally logs one line per
+/// mutation to `log`.
+std::vector<MutationOutcome> runMutationCorpus(
+    const std::function<ir::Program(const std::string&)>& buildKernel,
+    std::ostream* log = nullptr);
+
+/// True when every outcome is cleanBefore && caught.
+bool allMutationsCaught(const std::vector<MutationOutcome>& outcomes);
+
+}  // namespace polyast::analysis

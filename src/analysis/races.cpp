@@ -1,0 +1,243 @@
+// Static race detector for parallel marks.
+//
+// Every loop the AST stage marked parallel carries a proof obligation
+// this analysis re-establishes from the *current* dependence graph (the
+// marks may have been moved, copied, or invalidated by later passes, or
+// planted by a buggy/malicious transform):
+//
+//   * Doall      — no loop-carried dependence at the loop's level among
+//                  the instance pairs not already ordered by outer loops.
+//   * Reduction  — every carried dependence is the marked reduction
+//                  self-update (accumulator cell, associative +=/-=).
+//   * Pipeline   — the runtime's point-to-point sync pattern covers a
+//                  carried dependence iff its distance is componentwise
+//                  non-negative on the marked loop level and the single
+//                  chained child level; an uncovered edge is a race.
+//   * ReductionPipeline — each carried edge must be reduction-covered or
+//                  pipeline-covered.
+//
+// The dependence math mirrors transform::detectParallelism (Sec. IV-A);
+// the point of the duplication is independence: this is the checker, not
+// the detector.
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "analysis/analysis.hpp"
+
+namespace polyast::analysis {
+namespace {
+
+using ir::Loop;
+using ir::ParallelKind;
+using poly::DepKind;
+using poly::Dependence;
+using poly::PolyStmt;
+using poly::Scop;
+
+/// Index of `loop` in a dependence's common-loop prefix, or nullopt when
+/// the loop does not enclose both endpoints.
+std::optional<std::size_t> commonLevelOf(const Scop& scop,
+                                         const Dependence& d,
+                                         const Loop* loop) {
+  const auto& src = scop.byId(d.srcId);
+  const auto& dst = scop.byId(d.dstId);
+  std::size_t cl = scop.commonLoops(src, dst);
+  for (std::size_t k = 0; k < cl; ++k)
+    if (src.loops[k].get() == loop) return k;
+  return std::nullopt;
+}
+
+/// Distance expression e_k = dst_k - src_k over the dep's joint space.
+LinExpr distExpr(const Dependence& d, std::size_t k) {
+  std::size_t n = d.poly.numVars();
+  LinExpr e = LinExpr::constantExpr(0, n);
+  e.coeffs[d.srcDim + k] += 1;
+  e.coeffs[k] -= 1;
+  return e;
+}
+
+/// The dep polyhedron restricted to pairs not ordered by the loops above
+/// level `k` (distance 0 at levels 0..k-1).
+IntSet restrictedPoly(const Dependence& d, std::size_t k) {
+  IntSet s = d.poly;
+  for (std::size_t l = 0; l < k; ++l) {
+    LinExpr e = distExpr(d, l);
+    s.addEquality(e.coeffs, e.constant);
+  }
+  return s;
+}
+
+std::string stmtName(const PolyStmt& ps) {
+  return ps.stmt->label.empty() ? ("#" + std::to_string(ps.stmt->id))
+                                : ps.stmt->label;
+}
+
+std::string boundStr(const std::optional<std::int64_t>& b) {
+  return b ? std::to_string(*b) : "unbounded";
+}
+
+void checkMark(const AnalysisInput& in,
+               const std::shared_ptr<Loop>& loopPtr, const PolyStmt& rep,
+               std::size_t level, DiagnosticEngine& engine) {
+  const Scop& scop = *in.scop;
+  const Loop* loop = loopPtr.get();
+  ParallelKind kind = loop->parallel;
+
+  std::string loc;
+  for (std::size_t k = 0; k <= level; ++k)
+    loc += (k ? "/" : "") + ("loop:" + rep.loops[k]->iter);
+
+  const Loop* child = nullptr;
+  if (loop->body->children.size() == 1 &&
+      loop->body->children.front()->kind == ir::Node::Kind::Loop)
+    child = std::static_pointer_cast<Loop>(loop->body->children.front())
+                .get();
+
+  bool needsChild = kind == ParallelKind::Pipeline ||
+                    kind == ParallelKind::ReductionPipeline;
+  if (needsChild && !child) {
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.analysis = "races";
+    d.code = "pipeline-structure";
+    d.message = ir::parallelKindName(kind) + " mark on loop '" +
+                loop->iter +
+                "' has no single nested loop to synchronize against";
+    d.location = loc;
+    d.afterPass = in.afterPass;
+    engine.report(std::move(d));
+    return;
+  }
+
+  // One diagnostic per distinct edge shape; the PoDG has one polyhedron
+  // per dependence *level*, which would otherwise repeat the finding.
+  std::set<std::tuple<std::string, int, int, std::string>> reported;
+
+  for (const auto& d : in.podg->deps) {
+    if (d.kind == DepKind::Input) continue;
+    auto lk = commonLevelOf(scop, d, loop);
+    if (!lk) continue;
+    IntSet restricted = restrictedPoly(d, *lk);
+    if (restricted.isEmpty()) continue;  // ordered by outer loops
+    auto mn = restricted.minOf(distExpr(d, *lk));
+    auto mx = restricted.maxOf(distExpr(d, *lk));
+    bool zero = mn && *mn == 0 && mx && *mx == 0;
+    if (zero) continue;  // not carried by this loop
+
+    bool covered = false;
+    std::string code;
+    std::string why;
+    switch (kind) {
+      case ParallelKind::Doall:
+        code = "doall-race";
+        why = "carries a " + poly::depKindName(d.kind) + " dependence on '" +
+              d.array + "'";
+        break;
+      case ParallelKind::Reduction:
+      case ParallelKind::ReductionPipeline:
+        if (d.fromReduction) {
+          // fromReduction implies an associative accumulator update
+          // (+= / -=); anything else never gets the flag.
+          covered = true;
+          break;
+        }
+        if (kind == ParallelKind::Reduction) {
+          code = "reduction-race";
+          why = "carries a " + poly::depKindName(d.kind) + " dependence on '" +
+                d.array + "' that is not the reduction accumulator update";
+          break;
+        }
+        [[fallthrough]];
+      case ParallelKind::Pipeline: {
+        covered = mn && *mn >= 0;
+        if (covered) {
+          auto lk1 = commonLevelOf(scop, d, child);
+          if (!lk1) {
+            covered = false;
+          } else {
+            auto mn1 = restricted.minOf(distExpr(d, *lk1));
+            covered = mn1 && *mn1 >= 0;
+          }
+        }
+        if (!covered) {
+          code = "pipeline-race";
+          why = "carries a " + poly::depKindName(d.kind) + " dependence on '" +
+                d.array +
+                "' not covered by the point-to-point sync pattern";
+        }
+        break;
+      }
+      case ParallelKind::None:
+        covered = true;
+        break;
+    }
+    if (covered) continue;
+
+    if (!reported.emplace(code, d.srcId, d.dstId, d.array).second) continue;
+
+    const PolyStmt& src = scop.byId(d.srcId);
+    const PolyStmt& dst = scop.byId(d.dstId);
+    Diagnostic diag;
+    diag.analysis = "races";
+    diag.code = code;
+    diag.message = ir::parallelKindName(kind) + " mark on loop '" +
+                   loop->iter + "' " + why + " (" + stmtName(src) + " -> " +
+                   stmtName(dst) + ")";
+    diag.location = loc;
+    diag.afterPass = in.afterPass;
+    diag.detail["parallel"] = ir::parallelKindName(kind);
+    diag.detail["kind"] = poly::depKindName(d.kind);
+    diag.detail["array"] = d.array;
+    diag.detail["src"] = stmtName(src);
+    diag.detail["dst"] = stmtName(dst);
+    diag.detail["level"] = std::to_string(*lk);
+    diag.detail["distance"] = "[" + boundStr(mn) + "," + boundStr(mx) + "]";
+
+    // Error needs a concrete racing iteration pair: an integer point with
+    // nonzero distance at the witness parameters, and exact strides.
+    bool inexact = !src.exactStrides || !dst.exactStrides;
+    std::size_t paramBase = restricted.numVars() - scop.params.size();
+    std::optional<std::vector<std::int64_t>> witness;
+    for (int sign : {+1, -1}) {
+      IntSet carried = restricted;
+      LinExpr e = distExpr(d, *lk);
+      std::vector<std::int64_t> row(e.coeffs);
+      for (auto& v : row) v *= sign;
+      carried.addInequality(std::move(row), sign * e.constant - 1);
+      witness = findIntegerWitness(carried, paramBase, scop.params,
+                                   *in.options);
+      if (witness) {
+        diag.detail["witness"] =
+            formatWitness(carried.varNames(), *witness);
+        break;
+      }
+    }
+    if (inexact) diag.detail["stride_overapprox"] = "true";
+    diag.severity =
+        (witness && !inexact) ? Severity::Error : Severity::Warning;
+    engine.report(std::move(diag));
+  }
+}
+
+}  // namespace
+
+void runRaces(const AnalysisInput& in, DiagnosticEngine& engine) {
+  if (!in.podg) return;
+  const Scop& scop = *in.scop;
+
+  std::int64_t marks = 0;
+  std::set<const Loop*> seen;
+  for (const auto& ps : scop.stmts) {
+    for (std::size_t k = 0; k < ps.loops.size(); ++k) {
+      const auto& l = ps.loops[k];
+      if (l->parallel == ParallelKind::None) continue;
+      if (!seen.insert(l.get()).second) continue;
+      ++marks;
+      checkMark(in, l, ps, k, engine);
+    }
+  }
+  engine.metrics().counter("analysis.races.marks_checked").add(marks);
+}
+
+}  // namespace polyast::analysis

@@ -1,0 +1,41 @@
+// AnalyzePass: runs the static analyses (src/analysis) as an ordinary
+// pipeline pass, so any point of a pass sequence can be checked by
+// inserting one — `withAnalysis` interleaves them everywhere.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/analysis.hpp"
+#include "flow/pipeline.hpp"
+
+namespace polyast::flow {
+
+/// Runs the shared AnalysisSession on the current program. The pass never
+/// mutates the program and always succeeds; findings accumulate on the
+/// session's DiagnosticEngine (the caller decides what severity is fatal),
+/// and the per-point error/warning deltas surface as pass counters.
+class AnalyzePass final : public Pass {
+ public:
+  /// `point` labels the findings' afterPass field — the name of the pass
+  /// this instance follows, or "<input>" for the pipeline input.
+  AnalyzePass(std::shared_ptr<analysis::AnalysisSession> session,
+              std::string point);
+
+  const std::string& name() const override { return name_; }
+  const std::string& point() const { return point_; }
+  PassResult run(ir::Program& program, PassContext& ctx) override;
+
+ private:
+  std::string name_ = "analyze";
+  std::shared_ptr<analysis::AnalysisSession> session_;
+  std::string point_;
+};
+
+/// Copies `pipe` with an AnalyzePass at the input and after every pass,
+/// all sharing `session` (whose baseline is the pipeline input).
+PassPipeline withAnalysis(
+    const PassPipeline& pipe,
+    std::shared_ptr<analysis::AnalysisSession> session);
+
+}  // namespace polyast::flow

@@ -1,6 +1,7 @@
 #include "intset/intset.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -22,6 +23,51 @@ bool isTriviallyTrue(const Constraint& c) {
   for (std::int64_t v : c.coeffs)
     if (v != 0) return false;
   return c.isEquality ? c.constant == 0 : c.constant >= 0;
+}
+
+/// Fourier–Motzkin can square the system per eliminated variable; past
+/// this size callers bail out in their conservative direction ("maybe
+/// nonempty" / "no finite bound").
+constexpr std::size_t kFmConstraintCap = 2048;
+
+/// Picks the next elimination variable among columns [0, numCols). First
+/// choice: a variable carried by a unit-coefficient equality — Gaussian
+/// substitution on it is integer-exact, so gcd infeasibilities in the
+/// remaining equalities (e.g. stride parities) stay detectable. Otherwise
+/// greedily minimizes the FM blowup |lowers| * |uppers| (the scaled
+/// substitution used for non-unit equalities is linear, so those count as
+/// the system size). Returns false when the system is already over the
+/// cap or even the cheapest choice would blow past it.
+bool chooseFmVar(const std::vector<Constraint>& cs, std::size_t numCols,
+                 std::size_t* var) {
+  if (cs.size() > kFmConstraintCap) return false;
+  for (const auto& c : cs) {
+    if (!c.isEquality) continue;
+    for (std::size_t v = 0; v < numCols; ++v) {
+      if (c.coeffs[v] == 1 || c.coeffs[v] == -1) {
+        *var = v;
+        return true;
+      }
+    }
+  }
+  std::size_t bestCost = std::numeric_limits<std::size_t>::max();
+  *var = 0;
+  for (std::size_t v = 0; v < numCols; ++v) {
+    std::size_t lowers = 0, uppers = 0;
+    bool hasEq = false;
+    for (const auto& c : cs) {
+      if (c.coeffs[v] == 0) continue;
+      if (c.isEquality) hasEq = true;
+      else if (c.coeffs[v] > 0) ++lowers;
+      else ++uppers;
+    }
+    std::size_t cost = hasEq ? cs.size() : lowers * uppers;
+    if (cost < bestCost) {
+      bestCost = cost;
+      *var = v;
+    }
+  }
+  return bestCost <= kFmConstraintCap * 16;
 }
 
 }  // namespace
@@ -244,7 +290,11 @@ bool IntSet::isEmpty() const {
   for (std::size_t remaining = numVars(); remaining > 0; --remaining) {
     for (const auto& c : cs)
       if (isTriviallyFalse(c)) return true;
-    cs = eliminate(std::move(cs), 0);
+    // Cap hit: "maybe nonempty" is the conservative direction for every
+    // caller (dependences are kept, analyses report at reduced severity).
+    std::size_t var = 0;
+    if (!chooseFmVar(cs, remaining, &var)) return false;
+    cs = eliminate(std::move(cs), var);
   }
   for (const auto& c : cs)
     if (isTriviallyFalse(c)) return true;
@@ -321,7 +371,13 @@ std::optional<std::int64_t> IntSet::minOf(const LinExpr& e) const {
   for (std::size_t i = 0; i < numVars(); ++i) {
     for (const auto& c : cs)
       if (isTriviallyFalse(c)) return std::nullopt;  // empty set
-    cs = eliminate(std::move(cs), 0);
+    // The t column stays last throughout; eliminate among the others.
+    // Cap hit: "no finite bound" is the conservative direction (callers
+    // decline to conclude anything from an unbounded distance).
+    std::size_t cols = numVars() - i;
+    std::size_t var = 0;
+    if (!chooseFmVar(cs, cols, &var)) return std::nullopt;
+    cs = eliminate(std::move(cs), var);
   }
   std::optional<std::int64_t> lo, hi;
   for (const auto& c : cs) {

@@ -71,6 +71,7 @@ NodePtr Stmt::clone() const {
   s->rhs = rhs;  // Expr trees are immutable and safely shared.
   s->isReductionUpdate = isReductionUpdate;
   s->guards = guards;
+  s->origin = origin;
   return s;
 }
 
@@ -174,13 +175,14 @@ void substituteIterInTree(const NodePtr& node, const std::string& name,
       auto s = std::static_pointer_cast<Stmt>(node);
       for (auto& sub : s->lhsSubs) sub = sub.substituted(name, repl);
       for (auto& g : s->guards) g = g.substituted(name, repl);
+      for (auto& o : s->origin) o = o.substituted(name, repl);
       s->rhs = substituteIter(s->rhs, name, repl);
       break;
     }
   }
 }
 
-void renameIterInTree(const NodePtr& node, const std::string& from,
+void renameIterInTree(const NodePtr& node, std::string from,
                       const std::string& to) {
   switch (node->kind) {
     case Node::Kind::Block:
@@ -200,6 +202,7 @@ void renameIterInTree(const NodePtr& node, const std::string& from,
       AffExpr repl = AffExpr::term(to);
       for (auto& sub : s->lhsSubs) sub = sub.substituted(from, repl);
       for (auto& g : s->guards) g = g.substituted(from, repl);
+      for (auto& o : s->origin) o = o.substituted(from, repl);
       s->rhs = substituteIter(s->rhs, from, repl);
       break;
     }

@@ -99,6 +99,14 @@ struct Stmt final : Node {
   /// >= 0. Produced by code generation when statements with different
   /// domains are fused into one loop.
   std::vector<AffExpr> guards;
+  /// Provenance map for the static legality analysis (src/analysis):
+  /// entry k expresses the statement's k-th *original* iterator as an
+  /// affine function of the *current* enclosing iterators and parameters.
+  /// The analysis session stamps the identity map before the pipeline
+  /// mutates the program; every iterator substitution a pass performs
+  /// (skewing, schedule codegen, unrolling) keeps it current through the
+  /// shared substitution helpers. Empty = provenance not tracked.
+  std::vector<AffExpr> origin;
 
   std::string str() const;
 };
@@ -140,8 +148,10 @@ void substituteIterInTree(const NodePtr& node, const std::string& name,
                           const AffExpr& repl);
 
 /// Renames an iterator, including the defining loop header(s), everywhere
-/// below `node`. Used by strip-mining and unrolling.
-void renameIterInTree(const NodePtr& node, const std::string& from,
+/// below `node`. Used by strip-mining and unrolling. `from` is taken by
+/// value on purpose: callers often pass `loop->iter`, which the walk
+/// itself reassigns.
+void renameIterInTree(const NodePtr& node, std::string from,
                       const std::string& to);
 
 /// Renders the subtree as C-like source (used by tests, examples, docs).

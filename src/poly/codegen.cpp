@@ -188,6 +188,7 @@ void buildNewStmt(TStmt& t, const CodegenOptions& opt) {
     const std::string& oldName = t.ps->iters[j];
     for (auto& sub : s->lhsSubs) sub = sub.substituted(oldName, repl);
     for (auto& g : s->guards) g = g.substituted(oldName, repl);
+    for (auto& o : s->origin) o = o.substituted(oldName, repl);
     s->rhs = ir::substituteIter(s->rhs, oldName, repl);
   }
   t.newStmt = std::move(s);
@@ -390,6 +391,8 @@ ir::Program applySchedules(const Scop& scop, const ScheduleMap& schedules,
     POLYAST_CHECK(it != schedules.end(),
                   "missing schedule for statement " + ps.stmt->label);
     const Schedule& sched = it->second;
+    POLYAST_CHECK(ps.numExists == 0,
+                  "codegen does not support stride (existential) domains");
     POLYAST_CHECK(sched.depth() == ps.iters.size(),
                   "schedule depth mismatch for " + ps.stmt->label);
     POLYAST_CHECK(sched.alpha.isSignedPermutation(),

@@ -31,13 +31,21 @@ std::vector<std::size_t> PoDG::edgesBetween(int srcId, int dstId) const {
 
 namespace {
 
-/// Builds the joint space names [src iters, dst iters, params]; source
-/// iterators are primed when both statements share names.
+/// Builds the joint space names [src iters, dst iters, src exists,
+/// dst exists, params]; source iterators are primed when both statements
+/// share names. Parameters stay last so every consumer's
+/// `paramBase = jointSize - params.size()` convention holds.
 std::vector<std::string> jointNames(const Scop& scop, const PolyStmt& src,
                                     const PolyStmt& dst) {
   std::vector<std::string> names;
   for (const auto& it : src.iters) names.push_back(it + "@s");
   for (const auto& it : dst.iters) names.push_back(it + "@d");
+  const auto& srcNames = src.domain.varNames();
+  const auto& dstNames = dst.domain.varNames();
+  for (std::size_t e = 0; e < src.numExists; ++e)
+    names.push_back(srcNames[srcNames.size() - src.numExists + e] + "@s");
+  for (std::size_t e = 0; e < dst.numExists; ++e)
+    names.push_back(dstNames[dstNames.size() - dst.numExists + e] + "@d");
   for (const auto& p : scop.params) names.push_back(p);
   return names;
 }
@@ -68,9 +76,11 @@ std::vector<std::int64_t> toJointRow(const AffExpr& e,
   return row;
 }
 
-/// Copies a statement's domain constraints into the joint space.
+/// Copies a statement's domain constraints (over [iters, params, exists])
+/// into the joint space; `offset` positions the iterators and `existOffset`
+/// the statement's existential stride columns.
 void addDomain(IntSet& set, const PolyStmt& ps, std::size_t offset,
-               const Scop& scop) {
+               std::size_t existOffset, const Scop& scop) {
   std::size_t n = set.numVars();
   std::size_t paramBase = n - scop.params.size();
   for (const auto& c : ps.domain.constraints()) {
@@ -79,6 +89,9 @@ void addDomain(IntSet& set, const PolyStmt& ps, std::size_t offset,
       row[offset + i] = c.coeffs[i];
     for (std::size_t p = 0; p < scop.params.size(); ++p)
       row[paramBase + p] = c.coeffs[ps.iters.size() + p];
+    for (std::size_t e = 0; e < ps.numExists; ++e)
+      row[existOffset + e] =
+          c.coeffs[ps.iters.size() + scop.params.size() + e];
     Constraint out;
     out.coeffs = std::move(row);
     out.constant = c.constant;
@@ -95,6 +108,18 @@ DepKind classify(bool srcWrite, bool dstWrite) {
 }
 
 }  // namespace
+
+IntSet jointPairSpace(const Scop& scop, const PolyStmt& src,
+                      const PolyStmt& dst) {
+  IntSet set(jointNames(scop, src, dst));
+  std::size_t srcOff = 0;
+  std::size_t dstOff = src.iters.size();
+  std::size_t srcExOff = src.iters.size() + dst.iters.size();
+  std::size_t dstExOff = srcExOff + src.numExists;
+  addDomain(set, src, srcOff, srcExOff, scop);
+  addDomain(set, dst, dstOff, dstExOff, scop);
+  return set;
+}
 
 PoDG computeDependences(const Scop& scop, bool includeInput) {
   // Dependence-test outcome counters: every candidate polyhedron is an
@@ -116,8 +141,10 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
       // Textual order decides whether a loop-independent edge src->dst can
       // exist; for carried levels any pair qualifies.
       bool srcBefore = !sameStmt && scop.textuallyBefore(src, dst);
-      for (const auto& a : src.accesses) {
-        for (const auto& b : dst.accesses) {
+      for (std::size_t ai = 0; ai < src.accesses.size(); ++ai) {
+        const auto& a = src.accesses[ai];
+        for (std::size_t bi = 0; bi < dst.accesses.size(); ++bi) {
+          const auto& b = dst.accesses[bi];
           if (a.array != b.array) continue;
           if (!a.isWrite && !b.isWrite && !includeInput) continue;
           if (a.subs.size() != b.subs.size()) continue;  // scalar vs array
@@ -127,12 +154,9 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
           // textually before dst.
           for (std::size_t level = srcBefore ? 0u : 1u; level <= cl;
                ++level) {
-            auto names = jointNames(scop, src, dst);
-            IntSet set(names);
+            IntSet set = jointPairSpace(scop, src, dst);
             std::size_t srcOff = 0;
             std::size_t dstOff = src.iters.size();
-            addDomain(set, src, srcOff, scop);
-            addDomain(set, dst, dstOff, scop);
             // Subscript equalities f_src(x_s) = f_dst(x_d).
             for (std::size_t s = 0; s < a.subs.size(); ++s) {
               std::int64_t c1 = 0, c2 = 0;
@@ -175,6 +199,8 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
             dep.level = level;
             dep.srcDim = src.iters.size();
             dep.dstDim = dst.iters.size();
+            dep.srcAcc = ai;
+            dep.dstAcc = bi;
             dep.poly = std::move(set);
             dep.fromReduction = sameStmt && src.stmt->isReductionUpdate &&
                                 a.array == src.stmt->lhsArray &&

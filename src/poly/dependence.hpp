@@ -33,7 +33,14 @@ struct Dependence {
   std::size_t level = 0;
   std::size_t srcDim = 0;  ///< #iterators of the source statement
   std::size_t dstDim = 0;  ///< #iterators of the target statement
-  /// Polyhedron over [src iters..., dst iters..., params...].
+  /// Indices into the endpoints' PolyStmt::accesses of the conflicting
+  /// access pair (used by diagnostics to name the exact edge).
+  std::size_t srcAcc = 0;
+  std::size_t dstAcc = 0;
+  /// Polyhedron over [src iters..., dst iters..., src exists...,
+  /// dst exists..., params...]. The existential stride columns are only
+  /// present when an endpoint has stepped loops; parameters are always
+  /// the trailing columns.
   IntSet poly;
   /// Both endpoints are the same reduction-update statement and the
   /// dependence flows through the accumulated cell.
@@ -47,6 +54,14 @@ struct PoDG {
   /// Indices into `deps` of edges between the given statements.
   std::vector<std::size_t> edgesBetween(int srcId, int dstId) const;
 };
+
+/// Builds the joint pair space [src iters, dst iters, src exists,
+/// dst exists, params] with both statements' domain constraints added —
+/// the common prefix of every dependence-polyhedron construction, also
+/// used by the legality analysis (src/analysis) to re-order baseline
+/// dependences under a transformed program.
+IntSet jointPairSpace(const Scop& scop, const PolyStmt& src,
+                      const PolyStmt& dst);
 
 /// Computes all flow/anti/output (and optionally input) dependences.
 PoDG computeDependences(const Scop& scop, bool includeInput = false);

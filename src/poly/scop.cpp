@@ -75,8 +75,8 @@ Scop extractScop(const ir::Program& program, ScopOptions options) {
       }
       case ir::Node::Kind::Loop: {
         auto l = std::static_pointer_cast<ir::Loop>(n);
-        POLYAST_CHECK(l->step == 1,
-                      "SCoP extraction requires unit-step loops (loop " +
+        POLYAST_CHECK(l->step >= 1,
+                      "SCoP extraction requires positive-step loops (loop " +
                           l->iter + ")");
         loopStack.push_back(l);
         walk(l->body);
@@ -91,38 +91,109 @@ Scop extractScop(const ir::Program& program, ScopOptions options) {
         for (const auto& l : loopStack) ps.iters.push_back(l->iter);
         ps.path = path;
 
+        std::size_t nIterPar = ps.iters.size() + scop.params.size();
+        auto addBoundsAndGuards = [&](IntSet& set, std::size_t total) {
+          auto padded = [&](std::vector<std::int64_t> row) {
+            row.resize(total, 0);
+            return row;
+          };
+          for (const auto& l : loopStack) {
+            for (const auto& part : l->lower.parts) {
+              // iter - part >= 0
+              std::int64_t c = 0;
+              auto row = toRow(AffExpr::term(l->iter) - part, ps.iters,
+                               scop.params, &c);
+              set.addInequality(padded(std::move(row)), c);
+            }
+            for (const auto& part : l->upper.parts) {
+              // part - iter - 1 >= 0
+              std::int64_t c = 0;
+              auto row = toRow(part - AffExpr::term(l->iter), ps.iters,
+                               scop.params, &c);
+              set.addInequality(padded(std::move(row)), c - 1);
+            }
+          }
+          // Guard constraints (present on already-transformed programs).
+          for (const auto& g : st->guards) {
+            std::int64_t c = 0;
+            auto row = toRow(g, ps.iters, scop.params, &c);
+            set.addInequality(padded(std::move(row)), c);
+          }
+          // Parameter minimums.
+          for (std::size_t p = 0; p < scop.params.size(); ++p) {
+            std::vector<std::int64_t> row(total, 0);
+            row[ps.iters.size() + p] = 1;
+            set.addInequality(std::move(row), -options.paramMin);
+          }
+        };
+
+        // Bound/guard context without stride existentials, used to pick a
+        // stride anchor for stepped loops.
+        std::vector<std::string> ctxNames = ps.iters;
+        ctxNames.insert(ctxNames.end(), scop.params.begin(),
+                        scop.params.end());
+        IntSet ctx(ctxNames);
+        addBoundsAndGuards(ctx, nIterPar);
+
+        // Stepped loops get an existential stride variable anchored at the
+        // lower bound (iter - lower == step * q). A max(...) lower bound can
+        // still be anchored when one part provably dominates the others over
+        // the bound context (e.g. max(0, c2t) under c2t >= 0); otherwise the
+        // stride cannot be pinned affinely, the domain over-approximates, and
+        // the statement is flagged inexact.
+        auto anchorOf = [&](const ir::Loop& l) -> const AffExpr* {
+          if (l.lower.isSingle()) return &l.lower.parts.front();
+          for (const auto& p : l.lower.parts) {
+            bool dominates = true;
+            for (const auto& q : l.lower.parts) {
+              if (&q == &p) continue;
+              std::int64_t c = 0;
+              auto row = toRow(q - p, ps.iters, scop.params, &c);
+              IntSet test = ctx;
+              // q - p - 1 >= 0: some point puts q strictly above p.
+              test.addInequality(std::move(row), c - 1);
+              if (!test.isEmpty()) {
+                dominates = false;
+                break;
+              }
+            }
+            if (dominates) return &p;
+          }
+          return nullptr;
+        };
+
+        std::vector<std::string> existNames;
+        std::vector<std::size_t> existOfLoop(loopStack.size(),
+                                             static_cast<std::size_t>(-1));
+        std::vector<const AffExpr*> anchorOfLoop(loopStack.size(), nullptr);
+        for (std::size_t k = 0; k < loopStack.size(); ++k) {
+          if (loopStack[k]->step == 1) continue;
+          anchorOfLoop[k] = anchorOf(*loopStack[k]);
+          if (anchorOfLoop[k] == nullptr) {
+            ps.exactStrides = false;
+            continue;
+          }
+          existOfLoop[k] = existNames.size();
+          existNames.push_back(loopStack[k]->iter + "@q");
+        }
+        ps.numExists = existNames.size();
+
         std::vector<std::string> names = ps.iters;
         names.insert(names.end(), scop.params.begin(), scop.params.end());
+        names.insert(names.end(), existNames.begin(), existNames.end());
+        std::size_t total = names.size();
         ps.domain = IntSet(names);
-        // Loop-bound constraints.
+        addBoundsAndGuards(ps.domain, total);
         for (std::size_t k = 0; k < loopStack.size(); ++k) {
-          const auto& l = loopStack[k];
-          for (const auto& part : l->lower.parts) {
-            // iter - part >= 0
-            std::int64_t c = 0;
-            auto row = toRow(AffExpr::term(l->iter) - part, ps.iters,
-                             scop.params, &c);
-            ps.domain.addInequality(std::move(row), c);
-          }
-          for (const auto& part : l->upper.parts) {
-            // part - iter - 1 >= 0
-            std::int64_t c = 0;
-            auto row = toRow(part - AffExpr::term(l->iter), ps.iters,
-                             scop.params, &c);
-            ps.domain.addInequality(std::move(row), c - 1);
-          }
-        }
-        // Guard constraints (present on already-transformed programs).
-        for (const auto& g : st->guards) {
+          if (existOfLoop[k] == static_cast<std::size_t>(-1)) continue;
+          // iter - anchor - step * q == 0
           std::int64_t c = 0;
-          auto row = toRow(g, ps.iters, scop.params, &c);
-          ps.domain.addInequality(std::move(row), c);
-        }
-        // Parameter minimums.
-        for (std::size_t p = 0; p < scop.params.size(); ++p) {
-          std::vector<std::int64_t> row(names.size(), 0);
-          row[ps.iters.size() + p] = 1;
-          ps.domain.addInequality(std::move(row), -options.paramMin);
+          auto row = toRow(
+              AffExpr::term(loopStack[k]->iter) - *anchorOfLoop[k], ps.iters,
+              scop.params, &c);
+          row.resize(total, 0);
+          row[nIterPar + existOfLoop[k]] = -loopStack[k]->step;
+          ps.domain.addEquality(std::move(row), c);
         }
         // Accesses: write (lhs) first, then reads.
         ps.accesses.push_back({st->lhsArray, /*isWrite=*/true, st->lhsSubs});

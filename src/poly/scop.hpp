@@ -35,8 +35,18 @@ struct PolyStmt {
   std::vector<std::string> iters;
   /// The enclosing ir::Loop nodes (used to find common loops syntactically).
   std::vector<std::shared_ptr<ir::Loop>> loops;
-  /// Iteration domain over [iters..., params...].
+  /// Iteration domain over [iters..., params..., exists...]. The trailing
+  /// existential variables model loop strides: a loop with step s > 1 and
+  /// a single-part lower bound L contributes `iter - L == s*q`.
   IntSet domain;
+  /// Number of trailing existential (stride) variables in `domain`.
+  std::size_t numExists = 0;
+  /// False when some stepped enclosing loop has a multi-part lower bound
+  /// (e.g. unrolled point loops): the stride cannot be pinned affinely and
+  /// `domain` over-approximates the instance set (extra phantom points,
+  /// never missing ones). Analyses demote error diagnostics on such
+  /// statements to warnings.
+  bool exactStrides = true;
   /// Write access (the lhs) followed by all read accesses.
   std::vector<Access> accesses;
   /// Position path in the AST: interleaved (sequence position, loop, ...)
@@ -64,6 +74,10 @@ struct Scop {
 };
 
 /// Extracts the polyhedral view. Throws if a loop bound is not affine.
+/// Loops with non-unit steps are modeled with existential stride
+/// variables (see PolyStmt::numExists); a stepped loop whose lower bound
+/// is not a single affine part is over-approximated and clears
+/// PolyStmt::exactStrides.
 Scop extractScop(const ir::Program& program, ScopOptions options = {});
 
 }  // namespace polyast::poly

@@ -96,7 +96,7 @@ TEST(Scop, GuardsEnterDomain) {
   EXPECT_EQ(d.countPoints(), 5);     // i in 3..7
 }
 
-TEST(Scop, NonUnitStepRejected) {
+TEST(Scop, NonUnitStepModeledWithStrideVariable) {
   ir::ProgramBuilder b("t");
   b.param("N", 8);
   b.array("A", {b.p("N")});
@@ -106,7 +106,36 @@ TEST(Scop, NonUnitStepRejected) {
   b.endLoop();
   ir::Program p = b.build();
   p.enclosingLoops()[0][0]->step = 2;
-  EXPECT_THROW(extractScop(p), Error);
+  Scop scop = extractScop(p);
+  const PolyStmt& ps = scop.stmts.front();
+  EXPECT_EQ(ps.numExists, 1u);
+  EXPECT_TRUE(ps.exactStrides);
+  // Domain over [i, N, q]: even i reachable (i == 2q), odd i not.
+  EXPECT_TRUE(ps.domain.contains({2, 8, 1}));
+  EXPECT_FALSE(ps.domain.contains({3, 8, 1}));
+  EXPECT_FALSE(ps.domain.contains({3, 8, 2}));
+}
+
+TEST(Scop, SteppedLoopWithMaxLowerBoundIsInexact) {
+  // A stepped loop whose lower bound is a max() of two parts cannot pin
+  // its stride affinely: the extraction over-approximates and says so.
+  ir::ProgramBuilder b("t");
+  b.param("N", 8);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {ir::AffExpr::term("i")}, ir::AssignOp::Set,
+         ir::floatLit(1.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  auto loop = p.enclosingLoops()[0][0];
+  loop->step = 2;
+  loop->lower.parts.push_back(ir::AffExpr::term("N") - ir::AffExpr(8));
+  Scop scop = extractScop(p);
+  const PolyStmt& ps = scop.stmts.front();
+  EXPECT_EQ(ps.numExists, 0u);
+  EXPECT_FALSE(ps.exactStrides);
+  // Over-approximation keeps every in-range point, including odd ones.
+  EXPECT_TRUE(ps.domain.contains({3, 8}));
 }
 
 TEST(Scop, AllKernelsExtract) {

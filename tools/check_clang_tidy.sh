@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# clang-tidy warning-count gate (see .clang-tidy for the check set).
+#
+# Runs clang-tidy over every translation unit in the compile database and
+# compares the number of distinct warnings against the checked-in
+# baseline (ci/clang-tidy-baseline.txt). The count must never increase;
+# when a PR removes warnings, re-run with --update-baseline and commit
+# the lowered number so the gate ratchets down.
+#
+# Usage: tools/check_clang_tidy.sh BUILD_DIR [--update-baseline]
+#
+# The baseline value -1 means "uncalibrated": the script prints the
+# measured count and exits 0 so a maintainer can record the first real
+# number (CI uploads the log as an artifact either way).
+set -euo pipefail
+
+build_dir=${1:?usage: $0 BUILD_DIR [--update-baseline]}
+update=${2:-}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+baseline_file="$repo_root/ci/clang-tidy-baseline.txt"
+
+[ -f "$build_dir/compile_commands.json" ] || {
+  echo "error: $build_dir has no compile_commands.json" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 1
+}
+
+runner=$(command -v run-clang-tidy || command -v run-clang-tidy-18 || true)
+[ -n "$runner" ] || { echo "error: run-clang-tidy not found" >&2; exit 1; }
+
+log=$(mktemp)
+# run-clang-tidy exits non-zero when any warning fires; the gate is the
+# count comparison below, not the raw exit code.
+"$runner" -quiet -p "$build_dir" "$repo_root/(src|tools)/.*\.cpp$" \
+  >"$log" 2>&1 || true
+
+# One line per distinct warning site (file:line:col + check name), so a
+# header warning surfacing in many TUs counts once.
+count=$(grep -E 'warning: .* \[[a-z0-9,-]+\]$' "$log" | sort -u | wc -l)
+echo "clang-tidy: $count distinct warning(s)"
+grep -E 'warning: .* \[[a-z0-9,-]+\]$' "$log" | sort -u | head -50 || true
+
+if [ "$update" = "--update-baseline" ]; then
+  printf '%s\n' "$count" >"$baseline_file"
+  echo "baseline updated: $baseline_file = $count"
+  exit 0
+fi
+
+baseline=$(grep -v '^#' "$baseline_file" | head -1)
+if [ "$baseline" = "-1" ]; then
+  echo "baseline uncalibrated; measured $count." \
+       "Record it with: $0 $build_dir --update-baseline"
+  exit 0
+fi
+if [ "$count" -gt "$baseline" ]; then
+  echo "FAIL: $count warning(s) > baseline $baseline" \
+       "(fix the new warnings; the count must not increase)" >&2
+  exit 1
+fi
+if [ "$count" -lt "$baseline" ]; then
+  echo "NOTE: $count < baseline $baseline —" \
+       "ratchet down with --update-baseline"
+fi
+echo "OK: $count <= baseline $baseline"

@@ -4,6 +4,8 @@
 //   obs_validate --trace FILE [--require-span NAME]... [--min-threads N]
 //   obs_validate --metrics FILE [--require-counter NAME]...
 //                [--require-histogram NAME]...
+//   obs_validate --diagnostics FILE [--require-analysis NAME]...
+//                [--max-errors N]
 //
 // Used by CI to check that the files produced by `polyastc --trace-out /
 // --metrics-out` (and by the benches) conform to the documented schemas
@@ -18,6 +20,13 @@
 //   * metrics: "schema" == "polyast-metrics-v1"; "counters"/"gauges"/
 //     "histograms"/"notes" objects with the documented member shapes;
 //     histogram bucket_counts has |bounds|+1 entries summing to "count".
+//   * diagnostics: "schema" == "polyast-diagnostics-v1" as written by
+//     `polyastc --diagnostics-out` (docs/ANALYSIS.md) — string
+//     program/pipeline, a summary whose errors/warnings/remarks counts
+//     match the diagnostics array, and per-diagnostic string fields with
+//     severity in {error, warning, remark} and an all-string detail
+//     object. --require-analysis asserts at least one diagnostic from the
+//     named analysis; --max-errors bounds summary.errors.
 //
 // Exit code 0 when valid, 1 with a diagnostic on stderr otherwise.
 #include <cmath>
@@ -40,7 +49,9 @@ int usage() {
   std::cerr << "usage: obs_validate --trace FILE [--require-span NAME]..."
                " [--min-threads N]\n"
                "       obs_validate --metrics FILE"
-               " [--require-counter NAME]... [--require-histogram NAME]...\n";
+               " [--require-counter NAME]... [--require-histogram NAME]...\n"
+               "       obs_validate --diagnostics FILE"
+               " [--require-analysis NAME]... [--max-errors N]\n";
   return 2;
 }
 
@@ -172,15 +183,88 @@ int validateMetrics(const obs::JsonValue& root,
   return 0;
 }
 
+int validateDiagnostics(const obs::JsonValue& root,
+                        const std::vector<std::string>& requiredAnalyses,
+                        std::int64_t maxErrors) {
+  if (!root.isObject()) return fail("diagnostics: top level is not an object");
+  const obs::JsonValue* schema = root.find("schema");
+  if (!schema || !schema->isString() ||
+      schema->text != "polyast-diagnostics-v1")
+    return fail("diagnostics: missing schema \"polyast-diagnostics-v1\"");
+  for (const char* field : {"program", "pipeline"}) {
+    const obs::JsonValue* v = root.find(field);
+    if (!v || !v->isString())
+      return fail(std::string("diagnostics: missing string \"") + field +
+                  "\"");
+  }
+  const obs::JsonValue* summary = root.find("summary");
+  if (!summary || !summary->isObject())
+    return fail("diagnostics: missing summary object");
+  for (const char* field : {"errors", "warnings", "remarks"}) {
+    const obs::JsonValue* v = summary->find(field);
+    if (!isFiniteNumber(v) || v->number != std::floor(v->number) ||
+        v->number < 0)
+      return fail(std::string("diagnostics: summary.") + field +
+                  " is not a non-negative integer");
+  }
+  const obs::JsonValue* diags = root.find("diagnostics");
+  if (!diags || !diags->isArray())
+    return fail("diagnostics: missing diagnostics array");
+  std::size_t counts[3] = {0, 0, 0};  // error, warning, remark
+  std::set<std::string> analyses;
+  std::size_t index = 0;
+  for (const auto& d : diags->items) {
+    std::string at = "diagnostics: entry " + std::to_string(index++);
+    if (!d.isObject()) return fail(at + " is not an object");
+    for (const char* field :
+         {"severity", "analysis", "code", "message", "location",
+          "after_pass"}) {
+      const obs::JsonValue* v = d.find(field);
+      if (!v || !v->isString())
+        return fail(at + ": missing string \"" + field + "\"");
+    }
+    const std::string& sev = d.find("severity")->text;
+    if (sev == "error") ++counts[0];
+    else if (sev == "warning") ++counts[1];
+    else if (sev == "remark") ++counts[2];
+    else return fail(at + ": unknown severity '" + sev + "'");
+    analyses.insert(d.find("analysis")->text);
+    const obs::JsonValue* detail = d.find("detail");
+    if (!detail || !detail->isObject())
+      return fail(at + ": missing detail object");
+    for (const auto& [key, v] : detail->members)
+      if (!v.isString())
+        return fail(at + ": detail." + key + " is not a string");
+  }
+  const char* names[3] = {"errors", "warnings", "remarks"};
+  for (int s = 0; s < 3; ++s)
+    if (summary->find(names[s])->number != static_cast<double>(counts[s]))
+      return fail(std::string("diagnostics: summary.") + names[s] +
+                  " does not match the diagnostics array");
+  for (const auto& want : requiredAnalyses)
+    if (!analyses.count(want))
+      return fail("diagnostics: no diagnostic from analysis '" + want + "'");
+  if (maxErrors >= 0 && static_cast<std::int64_t>(counts[0]) > maxErrors)
+    return fail("diagnostics: " + std::to_string(counts[0]) +
+                " error(s), expected <= " + std::to_string(maxErrors));
+  std::cout << "diagnostics ok: " << diags->items.size() << " entries, "
+            << counts[0] << " errors, " << counts[1] << " warnings, "
+            << counts[2] << " remarks\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string traceFile;
   std::string metricsFile;
+  std::string diagnosticsFile;
   std::vector<std::string> requiredSpans;
   std::vector<std::string> requiredCounters;
   std::vector<std::string> requiredHistograms;
+  std::vector<std::string> requiredAnalyses;
   std::int64_t minThreads = 0;
+  std::int64_t maxErrors = -1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string inlineValue;
@@ -200,19 +284,27 @@ int main(int argc, char** argv) {
     };
     if (arg == "--trace") traceFile = next();
     else if (arg == "--metrics") metricsFile = next();
+    else if (arg == "--diagnostics") diagnosticsFile = next();
     else if (arg == "--require-span") requiredSpans.push_back(next());
     else if (arg == "--require-counter") requiredCounters.push_back(next());
     else if (arg == "--require-histogram") requiredHistograms.push_back(next());
+    else if (arg == "--require-analysis") requiredAnalyses.push_back(next());
     else if (arg == "--min-threads") minThreads = std::stoll(next());
+    else if (arg == "--max-errors") maxErrors = std::stoll(next());
     else return usage();
   }
-  if (traceFile.empty() == metricsFile.empty()) return usage();
+  int modes = (traceFile.empty() ? 0 : 1) + (metricsFile.empty() ? 0 : 1) +
+              (diagnosticsFile.empty() ? 0 : 1);
+  if (modes != 1) return usage();
   try {
     if (!traceFile.empty())
       return validateTrace(obs::parseJson(slurp(traceFile)), requiredSpans,
                            minThreads);
-    return validateMetrics(obs::parseJson(slurp(metricsFile)),
-                           requiredCounters, requiredHistograms);
+    if (!metricsFile.empty())
+      return validateMetrics(obs::parseJson(slurp(metricsFile)),
+                             requiredCounters, requiredHistograms);
+    return validateDiagnostics(obs::parseJson(slurp(diagnosticsFile)),
+                               requiredAnalyses, maxErrors);
   } catch (const ::polyast::Error& e) {
     return fail(e.what());
   }

@@ -3,10 +3,13 @@
 // Usage:
 //   polyastc --list
 //   polyastc --list-pipelines
+//   polyastc --analysis-selfcheck
 //   polyastc <kernel> [--pipeline NAME | --flow polyast|pocc|pocc-maxfuse|none]
 //            [--emit c|ir|none] [--tile N] [--time-tile N]
 //            [--no-tiling] [--no-regtile] [--no-openmp]
 //            [--verify-each-pass] [--dump-after PASS|all]
+//            [--analyze[=legality,races,bounds]] [--fail-on error|warning]
+//            [--diagnostics-out FILE]
 //            [--execute] [--threads N]
 //            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //
@@ -16,12 +19,32 @@
 // including the ablation variants (see --list-pipelines).
 //
 // --verify-each-pass runs the interpreter oracle after every pass on
-// test-scale parameters and attributes any semantic break to the pass
-// that introduced it. Verification continues past a break (the reference
+// verification-scale parameters (extents sized to cross at least two
+// full tiles, so the steady-state tiled code actually executes) and
+// attributes any semantic break to the pass that introduced it. Verification continues past a break (the reference
 // is rebased onto the broken output, so each pass is judged only on the
 // divergence it introduces itself); every breaking pass is recorded as a
-// `flow.verify.breaks` metric plus a "semantics-break" trace instant, and
-// the process exits with the number of breaking passes.
+// `flow.verify.breaks` metric plus a "semantics-break" trace instant.
+//
+// --analyze interleaves the static analyses (src/analysis) with the
+// pipeline: legality (violated baseline dependences), races (parallel
+// marks re-proven), bounds (subscripts vs extents + lints) — after the
+// input and after every pass. Optionally restrict to a comma-separated
+// subset. --fail-on picks the severity that fails the run (default
+// error); --diagnostics-out writes the polyast-diagnostics-v1 JSON
+// (validated by tools/obs_validate --diagnostics).
+//
+// --analysis-selfcheck runs the mutation corpus: each seeded-illegal
+// transform (flipped permutation, dropped sync, over-fused loops, ...)
+// must be flagged by the matching analysis.
+//
+// Exit codes (docs/ANALYSIS.md):
+//   0  success
+//   2  static analysis reported findings at/above --fail-on (or the
+//      self-check missed a mutation)
+//   3  dynamic verification break (--verify-each-pass oracle or
+//      --execute divergence)
+//   4  usage error (bad flag, unknown kernel/pipeline/emit mode)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace-out FILE    enable the global tracer; write a Chrome
@@ -46,9 +69,13 @@
 //       --trace-out trace.json --metrics-out metrics.json
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "analysis/analysis.hpp"
+#include "analysis/mutations.hpp"
 #include "exec/par_exec.hpp"
+#include "flow/analyze.hpp"
 #include "flow/presets.hpp"
 #include "ir/cemit.hpp"
 #include "kernels/polybench.hpp"
@@ -63,16 +90,22 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: polyastc <kernel>|--list|--list-pipelines\n"
+      << "usage: polyastc <kernel>|--list|--list-pipelines"
+         "|--analysis-selfcheck\n"
          "                [--pipeline NAME] [--flow polyast|pocc|"
          "pocc-maxfuse|none]\n"
          "                [--emit c|ir|none] [--tile N] [--time-tile N]\n"
          "                [--no-tiling] [--no-regtile] [--no-openmp]\n"
          "                [--verify-each-pass] [--dump-after PASS|all]\n"
+         "                [--analyze[=legality,races,bounds]]"
+         " [--fail-on error|warning]\n"
+         "                [--diagnostics-out FILE]\n"
          "                [--execute] [--threads N]\n"
          "                [--trace-out FILE] [--metrics-out FILE]"
-         " [--obs-summary]\n";
-  return 2;
+         " [--obs-summary]\n"
+         "exit codes: 0 ok, 2 analysis findings, 3 dynamic verification"
+         " break, 4 usage\n";
+  return 4;
 }
 
 }  // namespace
@@ -89,6 +122,16 @@ int main(int argc, char** argv) {
     for (const auto& name : flow::pipelinePresets()) std::cout << name << "\n";
     return 0;
   }
+  if (kernel == "--analysis-selfcheck") {
+    auto outcomes = analysis::runMutationCorpus(
+        [](const std::string& k) { return kernels::buildKernel(k); },
+        &std::cerr);
+    bool ok = analysis::allMutationsCaught(outcomes);
+    std::cerr << "analysis self-check: " << outcomes.size()
+              << " mutation(s), " << (ok ? "all caught" : "MISSED SOME")
+              << "\n";
+    return ok ? 0 : 2;
+  }
 
   std::string pipeline = "polyast";
   std::string emit = "c";
@@ -101,6 +144,10 @@ int main(int argc, char** argv) {
   flow::PassContext ctx;
   bool openmp = true;
   bool verifyEachPass = false;
+  bool analyze = false;
+  std::string analyzeList;
+  std::string failOn = "error";
+  std::string diagnosticsOut;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     // Accept both "--flag value" and "--flag=value".
@@ -115,7 +162,7 @@ int main(int argc, char** argv) {
       if (hasInline) return inlineValue;
       if (i + 1 >= argc) {
         usage();
-        exit(2);
+        exit(4);
       }
       return argv[++i];
     };
@@ -126,7 +173,7 @@ int main(int argc, char** argv) {
       } catch (const std::exception&) {
         std::cerr << "expected a number for " << arg << ", got '" << v
                   << "'\n";
-        exit(2);
+        exit(4);
       }
     };
     if (arg == "--pipeline") pipeline = next();
@@ -144,6 +191,11 @@ int main(int argc, char** argv) {
     else if (arg == "--no-regtile") options.enableRegisterTiling = false;
     else if (arg == "--no-openmp") openmp = false;
     else if (arg == "--verify-each-pass") verifyEachPass = true;
+    else if (arg == "--analyze") {
+      analyze = true;
+      if (hasInline) analyzeList = inlineValue;
+    } else if (arg == "--fail-on") failOn = next();
+    else if (arg == "--diagnostics-out") diagnosticsOut = next();
     else if (arg == "--trace-out") traceOut = next();
     else if (arg == "--metrics-out") metricsOut = next();
     else if (arg == "--obs-summary") obsSummary = true;
@@ -157,7 +209,27 @@ int main(int argc, char** argv) {
   if (!flow::hasPipelinePreset(pipeline)) {
     std::cerr << "unknown pipeline '" << pipeline
               << "' (try --list-pipelines)\n";
-    return 2;
+    return 4;
+  }
+  if (failOn != "error" && failOn != "warning") return usage();
+
+  analysis::AnalysisOptions aopt;
+  if (!analyzeList.empty()) {
+    aopt.legality = aopt.races = aopt.bounds = false;
+    std::string list = analyzeList;
+    while (!list.empty()) {
+      auto comma = list.find(',');
+      std::string name = list.substr(0, comma);
+      list = comma == std::string::npos ? "" : list.substr(comma + 1);
+      if (name == "legality") aopt.legality = true;
+      else if (name == "races") aopt.races = true;
+      else if (name == "bounds") aopt.bounds = true;
+      else {
+        std::cerr << "unknown analysis '" << name
+                  << "' (legality, races, bounds)\n";
+        return 4;
+      }
+    }
   }
 
   if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
@@ -171,28 +243,45 @@ int main(int argc, char** argv) {
     program = kernels::buildKernel(kernel);
   } catch (const ::polyast::Error&) {
     std::cerr << "unknown kernel '" << kernel << "' (try --list)\n";
-    return 1;
+    return 4;
   }
 
   // Test-scale parameters, conditioned inputs (solver kernels need e.g.
-  // diagonally dominant matrices). Shared by --verify-each-pass and
-  // --execute.
+  // diagonally dominant matrices). Shared by --execute and the analysis
+  // witness search.
   std::map<std::string, std::int64_t> params;
   for (const auto& name : program.params)
     params[name] = name == "TSTEPS" ? 3 : 7;
 
   if (verifyEachPass) {
+    // Verification-scale parameters: the spatial extents must exceed the
+    // tile size (two full tiles plus an odd remainder) and the time extent
+    // the time-tile size, or the oracle only ever executes the degenerate
+    // boundary-tile special case and proves nothing about the steady
+    // state the tiled code spends its life in.
+    std::map<std::string, std::int64_t> verifyParams;
+    for (const auto& name : program.params)
+      verifyParams[name] = name == "TSTEPS"
+                               ? options.ast.timeTileSize + 2
+                               : 2 * options.ast.tileSize + 5;
     ctx.verify.enabled = true;
     ctx.verify.continueAfterFailure = true;
-    ctx.verify.makeContext = [params](const ir::Program& p) {
-      return kernels::makeContext(p, params);
+    ctx.verify.makeContext = [verifyParams](const ir::Program& p) {
+      return kernels::makeContext(p, verifyParams);
     };
   }
 
-  int exitCode = 0;
+  bool dynamicBroken = false;
+  bool analysisFailed = false;
+  std::shared_ptr<analysis::AnalysisSession> session;
   ir::Program out;
   try {
     flow::PassPipeline pipe = flow::makePipeline(pipeline, options);
+    if (analyze) {
+      aopt.witnessParams = params;
+      session = std::make_shared<analysis::AnalysisSession>(aopt);
+      pipe = flow::withAnalysis(pipe, session);
+    }
     out = pipe.run(program, ctx);
     std::cerr << "pipeline '" << pipeline << "' (" << ctx.report.passes.size()
               << " passes" << (verifyEachPass ? ", oracle-verified" : "")
@@ -200,12 +289,30 @@ int main(int argc, char** argv) {
               << ctx.report.summary();
     if (int broken = ctx.report.brokenPasses(); broken > 0) {
       std::cerr << "error: " << broken << " pass(es) broke semantics\n";
-      exitCode = broken;
+      dynamicBroken = true;
     }
   } catch (const flow::VerificationError& e) {
     std::cerr << "pipeline '" << pipeline << "' FAILED VERIFICATION\n"
               << ctx.report.summary() << "error: " << e.what() << "\n";
-    return 1;
+    return 3;
+  }
+
+  if (session) {
+    const auto& engine = session->engine();
+    std::cerr << "analysis:\n" << engine.summary();
+    if (!diagnosticsOut.empty() &&
+        !analysis::writeDiagnosticsFile(diagnosticsOut, engine, program.name,
+                                        pipeline)) {
+      std::cerr << "error: cannot write " << diagnosticsOut << "\n";
+      return 1;
+    }
+    std::size_t fatal =
+        engine.errors() + (failOn == "warning" ? engine.warnings() : 0);
+    if (fatal > 0) {
+      std::cerr << "error: " << fatal << " analysis finding(s) at/above --"
+                << "fail-on=" << failOn << "\n";
+      analysisFailed = true;
+    }
   }
 
   if (execute) {
@@ -222,7 +329,7 @@ int main(int argc, char** argv) {
               << pool.threadCount() << " threads\n";
     if (!(diff <= 1e-9)) {
       std::cerr << "error: parallel execution diverged\n";
-      if (exitCode == 0) exitCode = 1;
+      dynamicBroken = true;
     }
   }
 
@@ -247,5 +354,9 @@ int main(int argc, char** argv) {
   } else if (emit != "none") {
     return usage();
   }
-  return exitCode;
+  // Dynamic breaks outrank static findings: the oracle caught an actual
+  // wrong answer, not just a possible one.
+  if (dynamicBroken) return 3;
+  if (analysisFailed) return 2;
+  return 0;
 }
