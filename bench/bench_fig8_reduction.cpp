@@ -56,6 +56,17 @@ SymmProblem& symmP() {
   return p;
 }
 
+// Guided-schedule variant: measures what the shared-counter schedule buys
+// on symm's triangular trip space over static contiguous chunks.
+void BM_symm_polyast_guided(benchmark::State& s) {
+  timeVariant(s, symmP(), symmOrig,
+              [](SymmProblem& p) { symmPolyastGuided(p, pool()); },
+              "symm/polyast-guided");
+}
+BENCHMARK(BM_symm_polyast_guided)
+    ->Name("fig8/symm/polyast-guided")
+    ->UseRealTime();
+
 POLYAST_BENCH3(trisolv, TrisolvProblem, trisolvOrig, trisolvPocc,
                trisolvPolyast)
 TrisolvProblem& trisolvP() {

@@ -33,6 +33,17 @@ Jacobi1dProblem& jacobi1dP() {
   return p;
 }
 
+// Ragged-pipeline variant: isolates what the rectangular skew padding of
+// pipeline2D costs against pipelineDynamic2D's need()-encoded shift.
+void BM_jacobi1d_polyast_dyn(benchmark::State& s) {
+  timeVariant(s, jacobi1dP(), jacobi1dOrig,
+              [](Jacobi1dProblem& p) { jacobi1dPolyastDynamic(p, pool()); },
+              "jacobi1d/polyast-dyn");
+}
+BENCHMARK(BM_jacobi1d_polyast_dyn)
+    ->Name("fig9/jacobi1d/polyast-dyn")
+    ->UseRealTime();
+
 POLYAST_BENCH3(jacobi2d, Jacobi2dProblem, jacobi2dOrig, jacobi2dPocc,
                jacobi2dPolyast)
 Jacobi2dProblem& jacobi2dP() {

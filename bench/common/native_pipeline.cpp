@@ -83,6 +83,30 @@ void jacobi1dPolyast(Jacobi1dProblem& p, ThreadPool& pool) {
   }
 }
 
+void jacobi1dPolyastDynamic(Jacobi1dProblem& p, ThreadPool& pool) {
+  // Compact form of jacobi1dPolyast: rows are whole time steps and the
+  // 2-block shift per step lives in need() — cell (t, b) writes B block b
+  // and A block b-1, whose prev-step readers/writers sit in cells <= b+2 —
+  // so the ragged pipeline runs only the NB+1 real cells per row instead
+  // of a rectangle padded with 2*(steps-1) skew guards.
+  std::int64_t NB = ceilDiv(p.N - 2, kBlock);
+  std::vector<std::int64_t> rowCols(static_cast<std::size_t>(p.T), NB + 1);
+  runtime::pipelineDynamic2D(
+      pool, rowCols,
+      [](std::int64_t, std::int64_t c) { return c + 3; },
+      [&](std::int64_t, std::int64_t b) {
+        if (b < NB) {
+          std::int64_t lo = 1 + b * kBlock, hi = mn(p.N - 1, lo + kBlock);
+          for (std::int64_t i = lo; i < hi; ++i)
+            p.B[i] = 0.33333 * (p.A[i - 1] + p.A[i] + p.A[i + 1]);
+        }
+        if (b >= 1) {
+          std::int64_t lo = 1 + (b - 1) * kBlock, hi = mn(p.N - 1, lo + kBlock);
+          for (std::int64_t j = lo; j < hi; ++j) p.A[j] = p.B[j];
+        }
+      });
+}
+
 // ========================= jacobi-2d =====================================
 
 Jacobi2dProblem::Jacobi2dProblem(std::int64_t t, std::int64_t n)

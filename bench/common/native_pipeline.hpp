@@ -29,6 +29,10 @@ struct Jacobi1dProblem {
 void jacobi1dOrig(Jacobi1dProblem& p);
 void jacobi1dPocc(Jacobi1dProblem& p, ThreadPool& pool);
 void jacobi1dPolyast(Jacobi1dProblem& p, ThreadPool& pool);
+/// Same cell grid through runtime::pipelineDynamic2D: the 2-per-step block
+/// shift is expressed via need() instead of padding every row with empty
+/// skew cells, so no guard cells execute and no time-tiling is required.
+void jacobi1dPolyastDynamic(Jacobi1dProblem& p, ThreadPool& pool);
 
 // ---- jacobi-2d-imper -------------------------------------------------------
 struct Jacobi2dProblem {

@@ -363,6 +363,35 @@ void symmPolyast(SymmProblem& p, ThreadPool& pool) {
   }
 }
 
+void symmPolyastGuided(SymmProblem& p, ThreadPool& pool) {
+  // The k loop runs 0..j, so static contiguous chunks of j give the last
+  // thread ~2x the work of the first; the guided schedule drains the
+  // triangular trip space off a shared counter instead.
+  runtime::ForOptions guided;
+  guided.schedule = runtime::Schedule::Guided;
+  guided.minBlock = 8;
+  for (std::int64_t i = 0; i < p.NI; ++i) {
+    const double* __restrict bi = &p.B[i * p.NJ];
+    double aii = p.A[i * p.NI + i];
+    runtime::parallelForBlocked(
+        pool, 0, p.NJ,
+        [&](unsigned, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t j = lo; j < hi; ++j) {
+            double acc = 0.0;
+            double bij = bi[j];
+            for (std::int64_t k = 0; k < j; ++k) {
+              double aki = p.A[k * p.NI + i];
+              p.C[k * p.NJ + j] += p.alpha * aki * bij;
+              acc += p.B[k * p.NJ + j] * aki;
+            }
+            p.C[i * p.NJ + j] = p.beta * p.C[i * p.NJ + j] +
+                                p.alpha * aii * bij + p.alpha * acc;
+          }
+        },
+        guided);
+  }
+}
+
 // ========================= trisolv =======================================
 
 TrisolvProblem::TrisolvProblem(std::int64_t n)

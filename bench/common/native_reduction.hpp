@@ -82,6 +82,10 @@ struct SymmProblem {
 void symmOrig(SymmProblem& p);
 void symmPocc(SymmProblem& p, ThreadPool& pool);
 void symmPolyast(SymmProblem& p, ThreadPool& pool);
+/// symmPolyast with the guided schedule: the triangular k loop makes
+/// static chunks of j imbalanced, so threads claim shrinking blocks off a
+/// shared counter instead.
+void symmPolyastGuided(SymmProblem& p, ThreadPool& pool);
 
 // ---- trisolv ----------------------------------------------------------------
 struct TrisolvProblem {

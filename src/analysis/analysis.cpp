@@ -9,6 +9,53 @@
 
 namespace polyast::analysis {
 
+namespace {
+
+/// Canonical change-detection key for the legality verdicts: the program
+/// text with every loop iterator renamed to its pre-order position, plus
+/// each statement's provenance (origin) map. That captures everything the
+/// legality proof depends on — domains, access functions, textual order,
+/// schedule provenance — and nothing it does not (iterator spellings).
+/// Legality compares the current program against the immutable baseline,
+/// so two pipeline points with equal keys get identical verdicts; a pass
+/// that only renames iterators need not re-prove every baseline edge.
+std::string legalityKey(const ir::Program& program) {
+  ir::Program copy = program.deepCopy();
+  std::vector<std::shared_ptr<ir::Loop>> loops;
+  std::function<void(const ir::NodePtr&)> collect =
+      [&](const ir::NodePtr& n) {
+        switch (n->kind) {
+          case ir::Node::Kind::Block:
+            for (const auto& c :
+                 std::static_pointer_cast<ir::Block>(n)->children)
+              collect(c);
+            break;
+          case ir::Node::Kind::Loop: {
+            auto l = std::static_pointer_cast<ir::Loop>(n);
+            loops.push_back(l);
+            collect(l->body);
+            break;
+          }
+          case ir::Node::Kind::Stmt:
+            break;
+        }
+      };
+  collect(copy.root);
+  // Pre-order (outermost first), so shadowing renames resolve innermost
+  // last — "@" cannot appear in a source iterator, so no collisions.
+  for (std::size_t k = 0; k < loops.size(); ++k)
+    ir::renameIterInTree(loops[k], loops[k]->iter, "@" + std::to_string(k));
+  std::string key = ir::printProgram(copy);
+  copy.forEachStmt([&](const std::shared_ptr<ir::Stmt>& s,
+                       const std::vector<std::shared_ptr<ir::Loop>>&) {
+    key += "\n#origin " + std::to_string(s->id) + ":";
+    for (const auto& o : s->origin) key += " [" + o.str() + "]";
+  });
+  return key;
+}
+
+}  // namespace
+
 AnalysisSession::AnalysisSession(AnalysisOptions options,
                                  obs::Registry* metrics)
     : options_(std::move(options)), metrics_(metrics), engine_(metrics) {}
@@ -116,8 +163,17 @@ void AnalysisSession::analyze(ir::Program& program,
     in.options = &options_;
 
     if (options_.legality && baselineUsable_) {
-      obs::Span s("analysis.legality", "analysis");
-      runLegality(in, engine_);
+      std::string key = legalityKey(program);
+      if (key == lastLegalityKey_) {
+        // Same canonical schedule + domain as the last proved point (the
+        // pass only respelled iterators): the verdicts — already reported
+        // there — carry over verbatim.
+        metrics_->counter("analysis.legality.reused_unchanged").add();
+      } else {
+        obs::Span s("analysis.legality", "analysis");
+        runLegality(in, engine_);
+        lastLegalityKey_ = std::move(key);
+      }
     }
     if (options_.races) {
       obs::Span s("analysis.races", "analysis");

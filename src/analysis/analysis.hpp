@@ -111,6 +111,10 @@ class AnalysisSession {
   std::optional<poly::PoDG> baselinePodg_;
   bool baselineUsable_ = false;
   std::string lastAnalyzedText_;
+  /// Rename-invariant canonicalization of the last program the legality
+  /// analysis actually proved (see legalityKey in analysis.cpp); a later
+  /// pipeline point with an equal key reuses those verdicts.
+  std::string lastLegalityKey_;
 };
 
 // Shared helpers used by the analyses.

@@ -10,9 +10,13 @@
 //   * Reduction  — every carried dependence is the marked reduction
 //                  self-update (accumulator cell, associative +=/-=).
 //   * Pipeline   — the runtime's point-to-point sync pattern covers a
-//                  carried dependence iff its distance is componentwise
-//                  non-negative on the marked loop level and the single
-//                  chained child level; an uncovered edge is a race.
+//                  dependence iff its distance is componentwise
+//                  non-negative on *every* synchronized level (the marked
+//                  loop plus chained descendants up to the mark's claimed
+//                  sync depth, two when unclaimed); an uncovered edge is a
+//                  race. Edges with zero distance at the marked level are
+//                  checked too — at three levels, transitive ordering of
+//                  the chained levels can no longer be assumed.
 //   * ReductionPipeline — each carried edge must be reduction-covered or
 //                  pipeline-covered.
 //
@@ -88,11 +92,13 @@ void checkMark(const AnalysisInput& in,
   for (std::size_t k = 0; k <= level; ++k)
     loc += (k ? "/" : "") + ("loop:" + rep.loops[k]->iter);
 
-  const Loop* child = nullptr;
-  if (loop->body->children.size() == 1 &&
-      loop->body->children.front()->kind == ir::Node::Kind::Loop)
-    child = std::static_pointer_cast<Loop>(loop->body->children.front())
-                .get();
+  auto soleLoopChild = [](const Loop* l) -> const Loop* {
+    if (l->body->children.size() != 1 ||
+        l->body->children.front()->kind != ir::Node::Kind::Loop)
+      return nullptr;
+    return std::static_pointer_cast<Loop>(l->body->children.front()).get();
+  };
+  const Loop* child = soleLoopChild(loop);
 
   bool needsChild = kind == ParallelKind::Pipeline ||
                     kind == ParallelKind::ReductionPipeline;
@@ -110,6 +116,27 @@ void checkMark(const AnalysisInput& in,
     return;
   }
 
+  // The loops the point-to-point sync grid orders cell-by-cell: the marked
+  // loop plus chained descendants up to the claimed sync depth (marks
+  // without a depth claim get the legacy two-level pattern). Anything
+  // deeper runs sequentially inside a cell. The executor may map the mark
+  // onto a *shallower* grid than claimed (structural fallback), which is
+  // always sound: a prefix of componentwise non-negative levels stays
+  // ordered when the remaining levels execute sequentially in the cell.
+  std::vector<const Loop*> syncChain;
+  if (needsChild) {
+    std::int64_t claimed =
+        std::min<std::int64_t>(loop->pipelineDepth > 0 ? loop->pipelineDepth
+                                                       : 2,
+                               3);
+    syncChain.push_back(loop);
+    while (static_cast<std::int64_t>(syncChain.size()) < claimed) {
+      const Loop* c = soleLoopChild(syncChain.back());
+      if (!c) break;
+      syncChain.push_back(c);
+    }
+  }
+
   // One diagnostic per distinct edge shape; the PoDG has one polyhedron
   // per dependence *level*, which would otherwise repeat the finding.
   std::set<std::tuple<std::string, int, int, std::string>> reported;
@@ -123,8 +150,16 @@ void checkMark(const AnalysisInput& in,
     auto mn = restricted.minOf(distExpr(d, *lk));
     auto mx = restricted.maxOf(distExpr(d, *lk));
     bool zero = mn && *mn == 0 && mx && *mx == 0;
-    if (zero) continue;  // not carried by this loop
+    // A zero-distance edge is not carried by this loop, so the
+    // point-parallel kinds may ignore it — but it still constrains a
+    // pipeline grid: distance (0, 1, -1) is lexicographically positive yet
+    // reordered by a three-level grid, so the old "chained levels are
+    // ordered transitively" assumption only held at two levels.
+    if (zero && !needsChild) continue;
 
+    // Level index (within the dep's common prefix) where coverage fails,
+    // for the racing-pair witness search.
+    std::size_t violLevel = *lk;
     bool covered = false;
     std::string code;
     std::string why;
@@ -150,14 +185,18 @@ void checkMark(const AnalysisInput& in,
         }
         [[fallthrough]];
       case ParallelKind::Pipeline: {
-        covered = mn && *mn >= 0;
-        if (covered) {
-          auto lk1 = commonLevelOf(scop, d, child);
-          if (!lk1) {
+        // Covered iff the distance is componentwise non-negative on every
+        // synchronized level (then the grid's awaits order the endpoints;
+        // all-zero means same cell, ordered by in-cell sequential order).
+        covered = true;
+        for (const Loop* lvl : syncChain) {
+          auto lkN = commonLevelOf(scop, d, lvl);
+          auto mnN = lkN ? restricted.minOf(distExpr(d, *lkN))
+                         : std::nullopt;
+          if (!lkN || !mnN || *mnN < 0) {
             covered = false;
-          } else {
-            auto mn1 = restricted.minOf(distExpr(d, *lk1));
-            covered = mn1 && *mn1 >= 0;
+            if (lkN) violLevel = *lkN;
+            break;
           }
         }
         if (!covered) {
@@ -193,15 +232,20 @@ void checkMark(const AnalysisInput& in,
     diag.detail["dst"] = stmtName(dst);
     diag.detail["level"] = std::to_string(*lk);
     diag.detail["distance"] = "[" + boundStr(mn) + "," + boundStr(mx) + "]";
+    if (!syncChain.empty()) {
+      diag.detail["sync_depth"] = std::to_string(syncChain.size());
+      diag.detail["violating_level"] = std::to_string(violLevel);
+    }
 
     // Error needs a concrete racing iteration pair: an integer point with
-    // nonzero distance at the witness parameters, and exact strides.
+    // nonzero distance (at the level where coverage failed) under the
+    // witness parameters, and exact strides.
     bool inexact = !src.exactStrides || !dst.exactStrides;
     std::size_t paramBase = restricted.numVars() - scop.params.size();
     std::optional<std::vector<std::int64_t>> witness;
     for (int sign : {+1, -1}) {
       IntSet carried = restricted;
-      LinExpr e = distExpr(d, *lk);
+      LinExpr e = distExpr(d, violLevel);
       std::vector<std::int64_t> row(e.coeffs);
       for (auto& v : row) v *= sign;
       carried.addInequality(std::move(row), sign * e.constant - 1);

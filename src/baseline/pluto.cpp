@@ -89,7 +89,9 @@ bool wavefrontTiles(ir::Program& program, const LoopPtr& t1,
   if (!splice(program.root)) return false;
   wave->body->children.push_back(t1);
   t1->parallel = ParallelKind::Doall;
+  t1->pipelineDepth = 0;
   t2->parallel = ParallelKind::None;
+  t2->pipelineDepth = 0;
   return true;
 }
 

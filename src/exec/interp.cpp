@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "support/error.hpp"
 
@@ -114,13 +115,19 @@ double Context::maxAbsDiff(const Context& other) const {
   return worst;
 }
 
-namespace {
+namespace detail {
 
 class Machine {
  public:
-  Machine(const ir::Program& program, Context& ctx, bool countOnly)
-      : prog_(program), ctx_(ctx), countOnly_(countOnly) {
+  Machine(const ir::Program& program, Context& ctx, bool countOnly,
+          const BufferOverrides* overrides = nullptr)
+      : prog_(program), ctx_(ctx), countOnly_(countOnly),
+        overrides_(overrides) {
     for (const auto& [k, v] : ctx.params()) env_[k] = v;
+  }
+
+  void bind(const std::string& name, std::int64_t value) {
+    env_[name] = value;
   }
 
   std::int64_t execute() {
@@ -147,6 +154,10 @@ class Machine {
       }
       case ir::Node::Kind::Loop: {
         auto l = std::static_pointer_cast<ir::Loop>(node);
+        // An empty bound list has no finite extreme: iterating from the
+        // INT64 sentinel is undefined behaviour, so reject it outright.
+        POLYAST_CHECK(!l->lower.parts.empty() && !l->upper.parts.empty(),
+                      "loop '" + l->iter + "' has an empty bound list");
         std::int64_t lo = std::numeric_limits<std::int64_t>::min();
         for (const auto& part : l->lower.parts)
           lo = std::max(lo, part.evaluate(env_));
@@ -154,11 +165,18 @@ class Machine {
         for (const auto& part : l->upper.parts)
           hi = std::min(hi, part.evaluate(env_));
         POLYAST_CHECK(l->step >= 1, "non-positive loop step");
+        // Restore any shadowed binding so a persistent environment (the
+        // SubtreeRunner reuse path) survives repeated subtree runs.
+        const bool shadowed = env_.count(l->iter) != 0;
+        const std::int64_t saved = shadowed ? env_[l->iter] : 0;
         for (std::int64_t v = lo; v < hi; v += l->step) {
           env_[l->iter] = v;
           walk(l->body);
         }
-        env_.erase(l->iter);
+        if (shadowed)
+          env_[l->iter] = saved;
+        else
+          env_.erase(l->iter);
         break;
       }
       case ir::Node::Kind::Stmt: {
@@ -176,7 +194,7 @@ class Machine {
         idx.reserve(s->lhsSubs.size());
         for (const auto& sub : s->lhsSubs) idx.push_back(sub.evaluate(env_));
         double value = eval(s->rhs);
-        double& cell = ctx_.at(s->lhsArray, idx);
+        double& cell = cellRef(s->lhsArray, idx);
         switch (s->op) {
           case ir::AssignOp::Set: cell = value; break;
           case ir::AssignOp::AddAssign: cell += value; break;
@@ -205,7 +223,7 @@ class Machine {
         std::vector<std::int64_t> idx;
         idx.reserve(e->subs.size());
         for (const auto& sub : e->subs) idx.push_back(sub.evaluate(env_));
-        return ctx_.at(e->name, idx);
+        return cellRef(e->name, idx);
       }
       case Expr::Kind::Binary: {
         double a = eval(e->lhs);
@@ -241,27 +259,68 @@ class Machine {
     POLYAST_CHECK(false, "unreachable expression kind");
   }
 
+  /// Storage cell for one array element, honoring buffer overrides (same
+  /// bounds checks and row-major layout as Context::at).
+  double& cellRef(const std::string& array,
+                  const std::vector<std::int64_t>& idx) {
+    if (overrides_) {
+      auto it = overrides_->find(array);
+      if (it != overrides_->end()) {
+        const auto& d = ctx_.dims(array);
+        POLYAST_CHECK(idx.size() == d.size(),
+                      "rank mismatch accessing " + array);
+        std::int64_t flat = 0;
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          POLYAST_CHECK(idx[i] >= 0 && idx[i] < d[i],
+                        "index out of bounds accessing " + array + " dim " +
+                            std::to_string(i) + " = " +
+                            std::to_string(idx[i]));
+          flat = flat * d[i] + idx[i];
+        }
+        return it->second[static_cast<std::size_t>(flat)];
+      }
+    }
+    return ctx_.at(array, idx);
+  }
+
   const ir::Program& prog_;
   Context& ctx_;
   bool countOnly_;
+  const BufferOverrides* overrides_;
   std::map<std::string, std::int64_t> env_;
   std::int64_t instances_ = 0;
 };
 
-}  // namespace
+}  // namespace detail
+
+SubtreeRunner::SubtreeRunner(const ir::Program& program, Context& ctx,
+                             const BufferOverrides* overrides)
+    : m_(std::make_unique<detail::Machine>(program, ctx, /*countOnly=*/false,
+                                           overrides)) {}
+
+SubtreeRunner::~SubtreeRunner() = default;
+SubtreeRunner::SubtreeRunner(SubtreeRunner&&) noexcept = default;
+SubtreeRunner& SubtreeRunner::operator=(SubtreeRunner&&) noexcept = default;
+
+void SubtreeRunner::bind(const std::string& name, std::int64_t value) {
+  m_->bind(name, value);
+}
+
+void SubtreeRunner::run(const ir::NodePtr& node) { m_->executeNode(node, {}); }
 
 void run(const ir::Program& program, Context& ctx) {
-  Machine(program, ctx, /*countOnly=*/false).execute();
+  detail::Machine(program, ctx, /*countOnly=*/false).execute();
 }
 
 void runSubtree(const ir::Program& program, Context& ctx,
                 const ir::NodePtr& node,
                 const std::map<std::string, std::int64_t>& bindings) {
-  Machine(program, ctx, /*countOnly=*/false).executeNode(node, bindings);
+  detail::Machine(program, ctx, /*countOnly=*/false)
+      .executeNode(node, bindings);
 }
 
 std::int64_t countInstances(const ir::Program& program, Context& ctx) {
-  return Machine(program, ctx, /*countOnly=*/true).execute();
+  return detail::Machine(program, ctx, /*countOnly=*/true).execute();
 }
 
 }  // namespace polyast::exec

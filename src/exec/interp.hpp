@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,39 @@ void run(const ir::Program& program, Context& ctx);
 void runSubtree(const ir::Program& program, Context& ctx,
                 const ir::NodePtr& node,
                 const std::map<std::string, std::int64_t>& bindings);
+
+/// Per-array raw storage that replaces the Context's buffer for both
+/// reads and writes (same row-major layout and bounds). The parallel
+/// harness points reduction accumulators at per-thread private buffers
+/// with this.
+using BufferOverrides = std::map<std::string, double*>;
+
+namespace detail {
+class Machine;
+}
+
+/// A reusable interpreter bound to one (program, context) pair: the worker
+/// thread constructs it once and re-runs subtrees under updated iterator
+/// bindings, so per-cell execution does not re-copy the parameter
+/// environment (the harness's former per-cell std::map deep copies). Loop
+/// execution restores iterator bindings on exit, so the persistent
+/// environment stays consistent across cells.
+class SubtreeRunner {
+ public:
+  SubtreeRunner(const ir::Program& program, Context& ctx,
+                const BufferOverrides* overrides = nullptr);
+  ~SubtreeRunner();
+  SubtreeRunner(SubtreeRunner&&) noexcept;
+  SubtreeRunner& operator=(SubtreeRunner&&) noexcept;
+
+  /// Sets/overwrites one binding in the persistent environment.
+  void bind(const std::string& name, std::int64_t value);
+  /// Interprets `node` under the current environment.
+  void run(const ir::NodePtr& node);
+
+ private:
+  std::unique_ptr<detail::Machine> m_;
+};
 
 /// Counts executed statement instances (used by tests to check that a
 /// transformation preserves the instance count).

@@ -1,6 +1,9 @@
 #include "exec/par_exec.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <sstream>
 
@@ -54,6 +57,82 @@ bool boundsIndependentOf(const ir::Loop& loop, const std::string& iter) {
   return true;
 }
 
+/// True if any loop strictly inside `node` has a bound referencing `iter`
+/// — the trip space under the marked loop is then imbalanced across its
+/// iterations (triangular/trapezoidal), which is what the guided doall
+/// schedule exists for.
+bool innerBoundsReference(const ir::NodePtr& node, const std::string& iter) {
+  switch (node->kind) {
+    case ir::Node::Kind::Block: {
+      for (const auto& c : std::static_pointer_cast<ir::Block>(node)->children)
+        if (innerBoundsReference(c, iter)) return true;
+      return false;
+    }
+    case ir::Node::Kind::Loop: {
+      auto l = std::static_pointer_cast<ir::Loop>(node);
+      if (!boundsIndependentOf(*l, iter)) return true;
+      return innerBoundsReference(l->body, iter);
+    }
+    case ir::Node::Kind::Stmt:
+      return false;
+  }
+  return false;
+}
+
+/// Arrays that may be privatized per thread under a Reduction /
+/// ReductionPipeline mark: every access to them inside `node` is an
+/// associative accumulation (+= / -=) — never a read, never a plain
+/// assignment. Privatizing such an array into a zero-initialized private
+/// buffer and summing the buffers into the target afterwards preserves
+/// semantics up to reassociation of the accumulated sums, whether or not
+/// the accumulator cell is actually reused across the marked iterations.
+///
+/// Every other array stays shared. That is race-free exactly when the mark
+/// is valid: a verified Reduction mark proves every loop-carried
+/// dependence is a same-statement reduction update, and such updates only
+/// exist on accumulate-only arrays — so accesses to shared arrays from
+/// different chunks never touch the same cell. (The races analysis is the
+/// independent checker of that claim; the executor trusts marks the same
+/// way it does for Doall.)
+std::vector<std::string> privatizableArrays(const ir::NodePtr& node) {
+  struct Use {
+    bool read = false;
+    bool setWrite = false;    // Set / *= / /= — not additively mergeable
+    bool accumWrite = false;  // += / -=
+  };
+  std::map<std::string, Use> uses;
+  std::function<void(const ir::NodePtr&)> collect =
+      [&](const ir::NodePtr& n) {
+        switch (n->kind) {
+          case ir::Node::Kind::Block:
+            for (const auto& c :
+                 std::static_pointer_cast<ir::Block>(n)->children)
+              collect(c);
+            break;
+          case ir::Node::Kind::Loop:
+            collect(std::static_pointer_cast<ir::Loop>(n)->body);
+            break;
+          case ir::Node::Kind::Stmt: {
+            auto s = std::static_pointer_cast<ir::Stmt>(n);
+            if (s->op == ir::AssignOp::AddAssign ||
+                s->op == ir::AssignOp::SubAssign)
+              uses[s->lhsArray].accumWrite = true;
+            else
+              uses[s->lhsArray].setWrite = true;
+            std::vector<ir::ArrayUse> reads;
+            ir::collectArrayUses(s->rhs, reads);
+            for (const auto& r : reads) uses[r.array].read = true;
+            break;
+          }
+        }
+      };
+  collect(node);
+  std::vector<std::string> out;
+  for (const auto& [name, u] : uses)
+    if (u.accumWrite && !u.read && !u.setWrite) out.push_back(name);
+  return out;
+}
+
 class Walker {
  public:
   Walker(const ir::Program& program, Context& ctx, runtime::ThreadPool& pool)
@@ -65,12 +144,69 @@ class Walker {
     walk(prog_.root);
     auto& m = obs::Registry::global();
     m.counter("exec.par.doall_loops").add(report_.doallLoops);
+    m.counter("exec.par.guided_loops").add(report_.guidedLoops);
+    m.counter("exec.par.reduction_loops").add(report_.reductionLoops);
     m.counter("exec.par.pipeline_loops").add(report_.pipelineLoops);
+    m.counter("exec.par.pipeline_dynamic_loops")
+        .add(report_.pipelineDynamicLoops);
+    m.counter("exec.par.pipeline3d_loops").add(report_.pipeline3dLoops);
+    m.counter("exec.par.reduction_pipeline_loops")
+        .add(report_.reductionPipelineLoops);
     m.counter("exec.par.sequential_fallbacks").add(report_.sequentialFallbacks);
     return std::move(report_);
   }
 
  private:
+  /// Per-worker-thread execution state for one parallel region: the
+  /// persistent interpreter (one env per thread, reused across chunks and
+  /// cells — not one deep map copy per cell) plus, for reductions, the
+  /// thread's private accumulator buffers.
+  struct TidState {
+    std::vector<std::vector<double>> privBufs;
+    BufferOverrides overrides;
+    std::unique_ptr<SubtreeRunner> runner;
+  };
+
+  /// Builds one TidState per pool thread. `privatized` may be empty (no
+  /// overrides installed). The runner starts from the Walker's current
+  /// environment, so marks under sequential outer loops see those
+  /// iterators' bindings.
+  std::vector<TidState> makeTidStates(
+      const std::vector<std::string>& privatized) {
+    std::vector<TidState> states(pool_.threadCount());
+    for (auto& st : states) {
+      st.privBufs.reserve(privatized.size());
+      for (const auto& name : privatized) {
+        st.privBufs.emplace_back(ctx_.buffer(name).size(), 0.0);
+        st.overrides[name] = st.privBufs.back().data();
+      }
+      st.runner = std::make_unique<SubtreeRunner>(
+          prog_, ctx_, privatized.empty() ? nullptr : &st.overrides);
+      for (const auto& [k, v] : env_) st.runner->bind(k, v);
+    }
+    return states;
+  }
+
+  /// Sums every thread's private accumulator buffers into the shared
+  /// arrays (parallel over each array).
+  void mergePrivatized(std::vector<TidState>& states,
+                       const std::vector<std::string>& privatized) {
+    const unsigned threads = pool_.threadCount();
+    for (std::size_t k = 0; k < privatized.size(); ++k) {
+      std::vector<double>& target = ctx_.buffer(privatized[k]);
+      runtime::parallelForBlocked(
+          pool_, 0, static_cast<std::int64_t>(target.size()),
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              double sum = 0.0;
+              for (unsigned t = 0; t < threads; ++t)
+                sum += states[t].privBufs[k][static_cast<std::size_t>(i)];
+              target[static_cast<std::size_t>(i)] += sum;
+            }
+          });
+    }
+  }
+
   void walk(const ir::NodePtr& node) {
     if (!containsParallelMark(node)) {
       runSubtree(prog_, ctx_, node, env_);
@@ -92,15 +228,21 @@ class Walker {
     }
   }
 
-  std::int64_t evalLower(const ir::Bound& b) const {
+  std::int64_t evalLower(const ir::Loop& l) const {
+    POLYAST_CHECK(!l.lower.parts.empty(),
+                  "loop '" + l.iter + "' has an empty lower bound list");
     std::int64_t lo = std::numeric_limits<std::int64_t>::min();
-    for (const auto& part : b.parts) lo = std::max(lo, part.evaluate(env_));
+    for (const auto& part : l.lower.parts)
+      lo = std::max(lo, part.evaluate(env_));
     return lo;
   }
 
-  std::int64_t evalUpper(const ir::Bound& b) const {
+  std::int64_t evalUpper(const ir::Loop& l) const {
+    POLYAST_CHECK(!l.upper.parts.empty(),
+                  "loop '" + l.iter + "' has an empty upper bound list");
     std::int64_t hi = std::numeric_limits<std::int64_t>::max();
-    for (const auto& part : b.parts) hi = std::min(hi, part.evaluate(env_));
+    for (const auto& part : l.upper.parts)
+      hi = std::min(hi, part.evaluate(env_));
     return hi;
   }
 
@@ -116,14 +258,15 @@ class Walker {
         runDoall(l);
         return;
       case ir::ParallelKind::Pipeline:
-        if (runPipeline(l)) return;
-        fallback(l, "pipeline body is not a single rectangular inner loop");
+        if (runPipeline(l, /*withReduction=*/false)) return;
+        fallback(l, "pipeline body is not a chained loop nest");
         return;
       case ir::ParallelKind::Reduction:
-        fallback(l, "array reduction executed sequentially");
+        runReduction(l);
         return;
       case ir::ParallelKind::ReductionPipeline:
-        fallback(l, "reduction pipeline executed sequentially");
+        if (runPipeline(l, /*withReduction=*/true)) return;
+        fallback(l, "reduction pipeline body is not a chained loop nest");
         return;
       case ir::ParallelKind::None:
         break;
@@ -131,8 +274,8 @@ class Walker {
     // Sequential loop enclosing parallel work: iterate here so inner marks
     // still map onto the runtime (one parallel region per iteration, the
     // way an OpenMP backend would run it).
-    const std::int64_t lo = evalLower(l->lower);
-    const std::int64_t hi = evalUpper(l->upper);
+    const std::int64_t lo = evalLower(*l);
+    const std::int64_t hi = evalUpper(*l);
     const bool shadowed = env_.count(l->iter) != 0;
     const std::int64_t saved = shadowed ? env_[l->iter] : 0;
     for (std::int64_t v = lo; v < hi; v += l->step) {
@@ -146,56 +289,270 @@ class Walker {
   }
 
   void runDoall(const std::shared_ptr<ir::Loop>& l) {
-    const std::int64_t lo = evalLower(l->lower);
-    const std::int64_t hi = evalUpper(l->upper);
+    const std::int64_t lo = evalLower(*l);
+    const std::int64_t hi = evalUpper(*l);
     const std::int64_t trips = tripCount(lo, hi, l->step);
     ++report_.doallLoops;
     if (trips <= 0) return;
     obs::Span span(obs::Tracer::global(), "exec.doall", "exec");
     span.attr("iter", l->iter);
     span.attr("trips", trips);
+    // Imbalanced trip spaces (inner bounds referencing the doall iterator)
+    // would leave static chunks lopsided; claim shrinking blocks off a
+    // shared counter instead.
+    runtime::ForOptions opts;
+    if (innerBoundsReference(l->body, l->iter)) {
+      opts.schedule = runtime::Schedule::Guided;
+      opts.minBlock = 1;
+      ++report_.guidedLoops;
+    }
+    span.attr("schedule",
+              opts.schedule == runtime::Schedule::Guided ? "guided"
+                                                         : "static");
     const std::int64_t step = l->step;
     const ir::NodePtr body = l->body;
     // Iterations of a doall write disjoint cells, so worker threads may
-    // interpret their chunks over the shared Context concurrently.
+    // interpret their chunks over the shared Context concurrently. Each
+    // thread reuses one persistent environment across all its chunks.
+    std::vector<TidState> states = makeTidStates({});
     runtime::parallelForBlocked(
-        pool_, 0, trips, [&](std::int64_t tBegin, std::int64_t tEnd) {
-          std::map<std::string, std::int64_t> env = env_;
+        pool_, 0, trips,
+        [&](unsigned tid, std::int64_t tBegin, std::int64_t tEnd) {
+          SubtreeRunner& r = *states[tid].runner;
           for (std::int64_t t = tBegin; t < tEnd; ++t) {
-            env[l->iter] = lo + t * step;
-            runSubtree(prog_, ctx_, body, env);
+            r.bind(l->iter, lo + t * step);
+            r.run(body);
+          }
+        },
+        opts);
+  }
+
+  void runReduction(const std::shared_ptr<ir::Loop>& l) {
+    const std::int64_t lo = evalLower(*l);
+    const std::int64_t hi = evalUpper(*l);
+    const std::int64_t trips = tripCount(lo, hi, l->step);
+    ++report_.reductionLoops;
+    if (trips <= 0) return;
+    const std::vector<std::string> privatized = privatizableArrays(l);
+    obs::Span span(obs::Tracer::global(), "exec.reduction", "exec");
+    span.attr("iter", l->iter);
+    span.attr("trips", trips);
+    span.attr("privatized", static_cast<std::int64_t>(privatized.size()));
+    const std::int64_t step = l->step;
+    const ir::NodePtr body = l->body;
+    if (privatized.empty()) {
+      // No accumulate-only array: a valid mark then has no carried
+      // dependence at all, so a plain blocked doall is equivalent.
+      std::vector<TidState> states = makeTidStates({});
+      runtime::parallelForBlocked(
+          pool_, 0, trips,
+          [&](unsigned tid, std::int64_t tBegin, std::int64_t tEnd) {
+            SubtreeRunner& r = *states[tid].runner;
+            for (std::int64_t t = tBegin; t < tEnd; ++t) {
+              r.bind(l->iter, lo + t * step);
+              r.run(body);
+            }
+          },
+          runtime::ForOptions{});
+      return;
+    }
+    std::vector<runtime::ReduceTarget> targets;
+    targets.reserve(privatized.size());
+    for (const auto& name : privatized) {
+      std::vector<double>& buf = ctx_.buffer(name);
+      targets.push_back({buf.data(), buf.size()});
+    }
+    runtime::parallelReduce(
+        pool_, 0, trips, targets,
+        [&](unsigned tid, const std::vector<double*>& priv,
+            std::int64_t tBegin, std::int64_t tEnd) {
+          (void)tid;
+          // The runtime zero-initializes `priv`; route every access to a
+          // privatized array there, run the chunk, and let the runtime
+          // merge the partial sums into the shared targets.
+          BufferOverrides overrides;
+          for (std::size_t k = 0; k < privatized.size(); ++k)
+            overrides[privatized[k]] = priv[k];
+          SubtreeRunner r(prog_, ctx_, &overrides);
+          for (const auto& [k, v] : env_) r.bind(k, v);
+          for (std::int64_t t = tBegin; t < tEnd; ++t) {
+            r.bind(l->iter, lo + t * step);
+            r.run(body);
           }
         });
   }
 
-  /// Maps `outer` (Pipeline) plus its sole inner loop onto pipeline2D when
-  /// the inner bounds do not involve the outer iterator. Returns false if
-  /// the shape does not match.
-  bool runPipeline(const std::shared_ptr<ir::Loop>& outer) {
+  /// Maps a Pipeline / ReductionPipeline mark onto the runtime's doacross
+  /// executors, preferring the deepest shape the mark's sync depth and the
+  /// nest's structure allow:
+  ///
+  ///   1. pipeline3D  — depth >= 3 and a 3-deep chain whose inner bounds
+  ///      are independent of the outer chain iterators (rectangular grid).
+  ///   2. pipeline2D  — chained inner loop with bounds independent of the
+  ///      outer iterator (rectangular grid).
+  ///   3. pipelineDynamic2D — chained inner loop whose bounds reference
+  ///      the outer iterator (triangular/trapezoidal grid). The per-row
+  ///      cell counts and the row-relative await counts come from
+  ///      evaluating the inner bounds per outer iteration; the affine
+  ///      bounds keep the value space convex (empty rows only at the
+  ///      ends), and a shared per-row stride lattice — verified
+  ///      numerically, e.g. skewed stencils where the inner origin shifts
+  ///      by a multiple of the step each row — gives transitive coverage.
+  ///
+  /// Falling back from a deeper shape to a shallower one is always sound:
+  /// a dependence with componentwise non-negative distance on d levels is
+  /// ordered a fortiori when only a prefix of those levels is synchronized
+  /// cell-by-cell and the rest runs sequentially inside the cell.
+  ///
+  /// Returns false when no shape matches (the caller falls back).
+  bool runPipeline(const std::shared_ptr<ir::Loop>& outer,
+                   bool withReduction) {
     auto inner = soleLoopChild(outer->body);
-    if (!inner || !boundsIndependentOf(*inner, outer->iter)) return false;
+    if (!inner) return false;
     POLYAST_CHECK(inner->step >= 1, "non-positive loop step");
-    const std::int64_t rLo = evalLower(outer->lower);
-    const std::int64_t rHi = evalUpper(outer->upper);
-    const std::int64_t cLo = evalLower(inner->lower);
-    const std::int64_t cHi = evalUpper(inner->upper);
-    const std::int64_t rows = tripCount(rLo, rHi, outer->step);
-    const std::int64_t cols = tripCount(cLo, cHi, inner->step);
-    ++report_.pipelineLoops;
-    if (rows <= 0 || cols <= 0) return true;
-    obs::Span span(obs::Tracer::global(), "exec.pipeline", "exec");
+    const std::int64_t depth =
+        outer->pipelineDepth > 0 ? outer->pipelineDepth : 2;
+    const std::vector<std::string> privatized =
+        withReduction ? privatizableArrays(outer) : std::vector<std::string>();
+    auto& counter =
+        withReduction ? report_.reductionPipelineLoops : report_.pipelineLoops;
+
+    // ---- pipeline3D: 3-deep rectangular chain, mark depth >= 3 ----------
+    auto third = depth >= 3 ? soleLoopChild(inner->body) : nullptr;
+    if (third && boundsIndependentOf(*inner, outer->iter) &&
+        boundsIndependentOf(*third, outer->iter) &&
+        boundsIndependentOf(*third, inner->iter)) {
+      POLYAST_CHECK(third->step >= 1, "non-positive loop step");
+      const std::int64_t pLo = evalLower(*outer);
+      const std::int64_t rLo = evalLower(*inner);
+      const std::int64_t cLo = evalLower(*third);
+      const std::int64_t planes =
+          tripCount(pLo, evalUpper(*outer), outer->step);
+      const std::int64_t rows = tripCount(rLo, evalUpper(*inner), inner->step);
+      const std::int64_t cols = tripCount(cLo, evalUpper(*third), third->step);
+      ++counter;
+      ++report_.pipeline3dLoops;
+      if (planes <= 0 || rows <= 0 || cols <= 0) return true;
+      obs::Span span(obs::Tracer::global(), "exec.pipeline3d", "exec");
+      span.attr("outer", outer->iter);
+      span.attr("planes", planes);
+      span.attr("rows", rows);
+      span.attr("cols", cols);
+      const ir::NodePtr body = third->body;
+      std::vector<TidState> states = makeTidStates(privatized);
+      runtime::pipeline3D(
+          pool_, planes, rows, cols,
+          [&](std::int64_t p, std::int64_t r, std::int64_t c) {
+            SubtreeRunner& run =
+                *states[runtime::ThreadPool::currentTid()].runner;
+            run.bind(outer->iter, pLo + p * outer->step);
+            run.bind(inner->iter, rLo + r * inner->step);
+            run.bind(third->iter, cLo + c * third->step);
+            run.run(body);
+          });
+      mergePrivatized(states, privatized);
+      return true;
+    }
+
+    // ---- pipeline2D: rectangular chained inner loop ---------------------
+    if (boundsIndependentOf(*inner, outer->iter)) {
+      const std::int64_t rLo = evalLower(*outer);
+      const std::int64_t cLo = evalLower(*inner);
+      const std::int64_t rows = tripCount(rLo, evalUpper(*outer), outer->step);
+      const std::int64_t cols = tripCount(cLo, evalUpper(*inner), inner->step);
+      ++counter;
+      if (rows <= 0 || cols <= 0) return true;
+      obs::Span span(obs::Tracer::global(), "exec.pipeline", "exec");
+      span.attr("outer", outer->iter);
+      span.attr("inner", inner->iter);
+      span.attr("rows", rows);
+      span.attr("cols", cols);
+      const ir::NodePtr body = inner->body;
+      std::vector<TidState> states = makeTidStates(privatized);
+      runtime::pipeline2D(
+          pool_, rows, cols, [&](std::int64_t r, std::int64_t c) {
+            SubtreeRunner& run =
+                *states[runtime::ThreadPool::currentTid()].runner;
+            run.bind(outer->iter, rLo + r * outer->step);
+            run.bind(inner->iter, cLo + c * inner->step);
+            run.run(body);
+          });
+      mergePrivatized(states, privatized);
+      return true;
+    }
+
+    // ---- pipelineDynamic2D: triangular/trapezoidal inner bounds ---------
+    const std::int64_t rLo = evalLower(*outer);
+    const std::int64_t rows = tripCount(rLo, evalUpper(*outer), outer->step);
+    const std::int64_t s = inner->step;
+    if (rows <= 0) {
+      ++counter;
+      ++report_.pipelineDynamicLoops;
+      return true;
+    }
+    // Per-row column ranges from the inner bounds at each outer value.
+    std::vector<std::int64_t> rowLo(static_cast<std::size_t>(rows));
+    std::vector<std::int64_t> rowCols(static_cast<std::size_t>(rows));
+    {
+      const bool shadowed = env_.count(outer->iter) != 0;
+      const std::int64_t saved = shadowed ? env_[outer->iter] : 0;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        env_[outer->iter] = rLo + r * outer->step;
+        const std::int64_t lo = evalLower(*inner);
+        const std::int64_t hi = evalUpper(*inner);
+        rowLo[static_cast<std::size_t>(r)] = lo;
+        rowCols[static_cast<std::size_t>(r)] =
+            lo < hi ? (hi - lo + s - 1) / s : 0;
+      }
+      if (shadowed)
+        env_[outer->iter] = saved;
+      else
+        env_.erase(outer->iter);
+    }
+    // Transitive coverage (a dependence skipping rows is still ordered by
+    // the chained row-to-row awaits) needs a value j0 <= j1 <= j2 in every
+    // intermediate row — guaranteed when all rows sample one stride-s
+    // lattice (convexity of the affine bounds gives the interval; shared
+    // phase gives the lattice point). Mixed phases fall back.
+    {
+      std::int64_t firstRow = -1;
+      for (std::int64_t r = 0; r < rows; ++r)
+        if (rowCols[static_cast<std::size_t>(r)] > 0) {
+          if (firstRow < 0) firstRow = r;
+          const std::int64_t delta = rowLo[static_cast<std::size_t>(r)] -
+                                     rowLo[static_cast<std::size_t>(firstRow)];
+          if (((delta % s) + s) % s != 0) return false;
+        }
+    }
+    ++counter;
+    ++report_.pipelineDynamicLoops;
+    obs::Span span(obs::Tracer::global(), "exec.pipeline_dynamic", "exec");
     span.attr("outer", outer->iter);
     span.attr("inner", inner->iter);
     span.attr("rows", rows);
-    span.attr("cols", cols);
     const ir::NodePtr body = inner->body;
-    runtime::pipeline2D(
-        pool_, rows, cols, [&](std::int64_t r, std::int64_t c) {
-          std::map<std::string, std::int64_t> env = env_;
-          env[outer->iter] = rLo + r * outer->step;
-          env[inner->iter] = cLo + c * inner->step;
-          runSubtree(prog_, ctx_, body, env);
+    std::vector<TidState> states = makeTidStates(privatized);
+    runtime::pipelineDynamic2D(
+        pool_, rowCols,
+        [&](std::int64_t r, std::int64_t c) {
+          // Cell (r, c) holds inner value j = rowLo[r] + c*s; it must
+          // await every previous-row cell with value <= j (componentwise
+          // non-negative distances in *value* space). The phase check
+          // above makes the division exact; the runtime clamps to the
+          // previous row's length.
+          return (rowLo[static_cast<std::size_t>(r)] + c * s -
+                  rowLo[static_cast<std::size_t>(r - 1)]) /
+                     s +
+                 1;
+        },
+        [&](std::int64_t r, std::int64_t c) {
+          SubtreeRunner& run =
+              *states[runtime::ThreadPool::currentTid()].runner;
+          run.bind(outer->iter, rLo + r * outer->step);
+          run.bind(inner->iter, rowLo[static_cast<std::size_t>(r)] + c * s);
+          run.run(body);
         });
+    mergePrivatized(states, privatized);
     return true;
   }
 
@@ -217,8 +574,12 @@ class Walker {
 
 std::string ParallelRunReport::summary() const {
   std::ostringstream os;
-  os << "parallel execution: " << doallLoops << " doall, " << pipelineLoops
-     << " pipeline, " << sequentialFallbacks << " sequential fallback(s)";
+  os << "parallel execution: " << doallLoops << " doall (" << guidedLoops
+     << " guided), " << reductionLoops << " reduction, " << pipelineLoops
+     << " pipeline (" << pipelineDynamicLoops << " dynamic, "
+     << pipeline3dLoops << " 3d), " << reductionPipelineLoops
+     << " reduction-pipeline, " << sequentialFallbacks
+     << " sequential fallback(s)";
   for (const auto& n : notes) os << "\n  - " << n;
   return os.str();
 }

@@ -3,22 +3,37 @@
 // the flow placed on loops.
 //
 // This is deliberately an *interpreted* executor — each runtime thread
-// executes its chunk/cell by calling exec::runSubtree — so it is meant for
-// test-scale validation and for producing realistic per-thread runtime
-// traces (doall chunks, pipeline waits) from `polyastc --execute`, not for
-// peak performance. Mapping rules:
+// executes its chunk/cell through a persistent exec::SubtreeRunner — so it
+// is meant for test-scale validation and for producing realistic
+// per-thread runtime traces (doall chunks, pipeline waits) from
+// `polyastc --execute`, not for peak performance. Mapping rules:
 //
-//   * Doall loops run their trip space through runtime::parallelForBlocked.
-//   * Pipeline-marked loops whose single chained inner loop has bounds
-//     independent of the outer iterator run through runtime::pipeline2D
-//     (cell (r, c) awaits (r-1, c) and (r, c-1)).
-//   * Reduction / ReductionPipeline marks and non-rectangular pipelines
-//     fall back to sequential interpretation; each fallback is counted and
-//     recorded as a note plus the `exec.par.sequential_fallbacks` metric,
-//     so callers can see exactly what did not parallelize.
+//   * Doall loops run their trip space through runtime::parallelForBlocked;
+//     loops whose inner bounds reference the doall iterator (imbalanced
+//     trip spaces) use the guided schedule instead of static chunks.
+//   * Reduction loops run through runtime::parallelReduce: every array
+//     that is only ever accumulated (+= / -=) under the loop — and never
+//     read or plainly assigned there — is privatized per thread and merged
+//     after the chunks drain; all other arrays stay shared, which a valid
+//     Reduction mark guarantees is race-free.
+//   * Pipeline-marked loops map, in order of preference, onto
+//     runtime::pipeline3D (mark depth >= 3 and a rectangular 3-deep chain),
+//     runtime::pipeline2D (rectangular single chained inner loop), or
+//     runtime::pipelineDynamic2D (chained inner loop whose bounds
+//     reference the outer iterator — triangular/trapezoidal spaces — when
+//     every row samples one stride lattice of the inner step).
+//   * ReductionPipeline marks run the same pipeline mapping with the
+//     reduction accumulators privatized per worker thread and merged after
+//     the pipeline drains.
+//   * Anything that fits none of the shapes falls back to sequential
+//     interpretation; each fallback is counted and recorded as a note plus
+//     the `exec.par.sequential_fallbacks` metric, so callers can see
+//     exactly what did not parallelize.
 //
 // The harness is validated differentially: polyastc --execute compares the
-// buffers it produces against a plain sequential interpretation.
+// buffers it produces against a plain sequential interpretation (exact for
+// doall/pipeline; reduction privatization reassociates sums, so reduction
+// kernels compare within a small tolerance).
 #pragma once
 
 #include <cstdint>
@@ -33,14 +48,19 @@ namespace polyast::exec {
 /// What the harness did with the program's parallelism marks.
 struct ParallelRunReport {
   std::int64_t doallLoops = 0;      ///< loops executed via parallelForBlocked
+  std::int64_t guidedLoops = 0;     ///< doall loops on the guided schedule
+  std::int64_t reductionLoops = 0;  ///< loops executed via parallelReduce
   std::int64_t pipelineLoops = 0;   ///< loop pairs executed via pipeline2D
+  std::int64_t pipelineDynamicLoops = 0;  ///< pairs via pipelineDynamic2D
+  std::int64_t pipeline3dLoops = 0;       ///< triples via pipeline3D
+  std::int64_t reductionPipelineLoops = 0;  ///< pipelines with privatization
   std::int64_t sequentialFallbacks = 0;  ///< marked loops run sequentially
   std::vector<std::string> notes;   ///< one line per fallback, with reason
 
   std::string summary() const;
 };
 
-/// Executes `program` over `ctx` on `pool`, exploiting Doall and Pipeline
+/// Executes `program` over `ctx` on `pool`, exploiting the parallelism
 /// marks as described above. Sequential program regions are interpreted on
 /// the calling thread.
 ParallelRunReport runParallel(const ir::Program& program, Context& ctx,

@@ -110,6 +110,7 @@ PassResult ParallelismPass::run(ir::Program& program, PassContext&) {
   result.counters["reduction"] = stats.reduction;
   result.counters["pipeline"] = stats.pipeline;
   result.counters["reduction_pipeline"] = stats.reductionPipeline;
+  result.counters["pipeline_depth3"] = stats.pipelineDepth3;
   return result;
 }
 
@@ -146,8 +147,10 @@ PassResult WavefrontPass::run(ir::Program& program, PassContext&) {
   forEachLoop(program.root, [&](const LoopPtr& l) {
     if (l->parallel == ParallelKind::Pipeline ||
         l->parallel == ParallelKind::ReductionPipeline ||
-        l->parallel == ParallelKind::Reduction)
+        l->parallel == ParallelKind::Reduction) {
       l->parallel = ParallelKind::None;
+      l->pipelineDepth = 0;
+    }
   });
   result.counters["wavefronts"] = wavefronts;
   return result;
@@ -211,6 +214,7 @@ PassResult IntraTileVectorizePass::run(ir::Program& program, PassContext&) {
       std::swap(a.upper, b.upper);
       std::swap(a.step, b.step);
       std::swap(a.parallel, b.parallel);
+      std::swap(a.pipelineDepth, b.pipelineDepth);
     };
     for (std::size_t i = best; i + 1 < chain.size(); ++i)
       header(*chain[i], *chain[i + 1]);

@@ -55,6 +55,7 @@ NodePtr Loop::clone() const {
   l->step = step;
   l->body = std::static_pointer_cast<Block>(body->clone());
   l->parallel = parallel;
+  l->pipelineDepth = pipelineDepth;
   l->isTileLoop = isTileLoop;
   l->isPointLoop = isPointLoop;
   l->unroll = unroll;
@@ -219,9 +220,13 @@ void printRec(const NodePtr& node, int indent, std::ostringstream& os) {
       break;
     case Node::Kind::Loop: {
       auto l = std::static_pointer_cast<Loop>(node);
-      if (l->parallel != ParallelKind::None)
-        os << pad << "#pragma polyast " << parallelKindName(l->parallel)
-           << "\n";
+      if (l->parallel != ParallelKind::None) {
+        os << pad << "#pragma polyast " << parallelKindName(l->parallel);
+        // Depth is part of the mark's proof obligation; printing it keeps
+        // the rendered text a faithful key for change detection.
+        if (l->pipelineDepth > 0) os << " depth=" << l->pipelineDepth;
+        os << "\n";
+      }
       os << pad << "for (" << l->iter << " = " << l->lower.str(true) << "; "
          << l->iter << " < " << l->upper.str(false) << "; " << l->iter;
       if (l->step == 1) os << "++";

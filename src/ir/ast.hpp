@@ -76,6 +76,13 @@ struct Loop final : Node {
   std::shared_ptr<Block> body = std::make_shared<Block>();
 
   ParallelKind parallel = ParallelKind::None;
+  /// For Pipeline / ReductionPipeline marks: how many consecutive levels of
+  /// the single-loop chain rooted here the point-to-point sync must order
+  /// (every carried non-reduction dependence has componentwise non-negative
+  /// distance on all of them). 0 means "unset" and is treated as the legacy
+  /// two-level pattern by the executor and the race checker. The detector
+  /// caps this at 3 — the deepest doacross the runtime provides.
+  std::int64_t pipelineDepth = 0;
   bool isTileLoop = false;   ///< inter-tile loop created by tiling
   bool isPointLoop = false;  ///< intra-tile loop of a tiled (permutable) band
   std::int64_t unroll = 1;   ///< register-tiling unroll factor applied

@@ -38,7 +38,14 @@ obs::Histogram* waitHistogram(unsigned tid) {
       obs::expBounds(128.0, 4.0, 14));
 }
 
+/// Worker id of the thread inside the current runOnAll job (see
+/// ThreadPool::currentTid). Pool workers are permanent, so workerLoop sets
+/// this once; the caller thread is pinned to 0 for the span of each job.
+thread_local unsigned g_currentTid = 0;
+
 }  // namespace
+
+unsigned ThreadPool::currentTid() { return g_currentTid; }
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -62,6 +69,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::workerLoop(unsigned tid) {
   obs::Tracer::global().nameCurrentThread("worker-" + std::to_string(tid));
+  g_currentTid = tid;
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(unsigned)>* job = nullptr;
@@ -81,8 +89,11 @@ void ThreadPool::workerLoop(unsigned tid) {
 }
 
 void ThreadPool::runOnAll(const std::function<void(unsigned)>& fn) {
+  const unsigned savedTid = g_currentTid;
+  g_currentTid = 0;
   if (threads_ == 1) {
     fn(0);
+    g_currentTid = savedTid;
     return;
   }
   {
@@ -95,6 +106,7 @@ void ThreadPool::runOnAll(const std::function<void(unsigned)>& fn) {
   fn(0);
   std::unique_lock<std::mutex> lock(mutex_);
   doneCv_.wait(lock, [&] { return remaining_ == 0; });
+  g_currentTid = savedTid;
 }
 
 void parallelForBlocked(
@@ -120,6 +132,66 @@ void parallelForBlocked(
   });
 }
 
+void parallelForBlocked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
+    const ForOptions& opts) {
+  std::int64_t n = end - begin;
+  if (n <= 0) return;
+  static obs::Counter& chunks =
+      obs::Registry::global().counter("runtime.doall.chunks");
+  std::int64_t threads = static_cast<std::int64_t>(pool.threadCount());
+  if (opts.schedule == Schedule::Static) {
+    std::int64_t chunk = (n + threads - 1) / threads;
+    pool.runOnAll([&](unsigned tid) {
+      std::int64_t lo = begin + static_cast<std::int64_t>(tid) * chunk;
+      std::int64_t hi = std::min(end, lo + chunk);
+      if (lo < hi) {
+        obs::Span span("doall.chunk", "runtime");
+        span.attr("tid", static_cast<std::int64_t>(tid));
+        span.attr("lo", lo);
+        span.attr("hi", hi);
+        chunks.add();
+        fn(tid, lo, hi);
+      }
+    });
+    return;
+  }
+  static obs::Counter& guidedBlocks =
+      obs::Registry::global().counter("runtime.doall.guided_blocks");
+  const std::int64_t minBlock = std::max<std::int64_t>(1, opts.minBlock);
+  std::atomic<std::int64_t> next{begin};
+  pool.runOnAll([&](unsigned tid) {
+    obs::Span span("doall.guided", "runtime");
+    span.attr("tid", static_cast<std::int64_t>(tid));
+    std::int64_t blocks = 0;
+    for (;;) {
+      std::int64_t lo = next.load(std::memory_order_relaxed);
+      std::int64_t hi = lo;
+      bool claimed = false;
+      while (lo < end) {
+        // Guided: half the fair share of what remains, never below the
+        // floor — big blocks while there is slack, small ones to balance
+        // the tail.
+        const std::int64_t remaining = end - lo;
+        const std::int64_t block = std::min(
+            remaining, std::max(minBlock, remaining / (2 * threads)));
+        hi = lo + block;
+        if (next.compare_exchange_weak(lo, hi, std::memory_order_relaxed)) {
+          claimed = true;
+          break;
+        }
+      }
+      if (!claimed) break;
+      chunks.add();
+      guidedBlocks.add();
+      fn(tid, lo, hi);
+      ++blocks;
+    }
+    span.attr("blocks", blocks);
+  });
+}
+
 void parallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                  const std::function<void(std::int64_t)>& fn) {
   parallelForBlocked(pool, begin, end,
@@ -133,15 +205,38 @@ void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                     const std::function<void(double*, std::int64_t,
                                              std::int64_t)>& body) {
   POLYAST_CHECK(target != nullptr, "parallelReduce without a target");
+  parallelReduce(pool, begin, end, std::vector<ReduceTarget>{{target, size}},
+                 [&](unsigned, const std::vector<double*>& priv,
+                     std::int64_t lo, std::int64_t hi) {
+                   body(priv.front(), lo, hi);
+                 });
+}
+
+void parallelReduce(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::vector<ReduceTarget>& targets,
+    const std::function<void(unsigned, const std::vector<double*>&,
+                             std::int64_t, std::int64_t)>& body) {
+  POLYAST_CHECK(!targets.empty(), "parallelReduce without targets");
+  for (const auto& t : targets)
+    POLYAST_CHECK(t.data != nullptr, "parallelReduce with a null target");
   std::int64_t n = end - begin;
   if (n <= 0) return;
   static obs::Counter& reductions =
       obs::Registry::global().counter("runtime.reduce.calls");
   reductions.add();
   unsigned threads = pool.threadCount();
-  // Privatized accumulation buffers, one per thread.
-  std::vector<std::vector<double>> priv(threads);
-  for (auto& p : priv) p.assign(size, 0.0);
+  // Privatized accumulation buffers, one per target per thread.
+  std::vector<std::vector<std::vector<double>>> priv(threads);
+  std::vector<std::vector<double*>> ptrs(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    priv[t].resize(targets.size());
+    ptrs[t].reserve(targets.size());
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      priv[t][k].assign(targets[k].size, 0.0);
+      ptrs[t].push_back(priv[t][k].data());
+    }
+  }
   std::int64_t chunk =
       (n + static_cast<std::int64_t>(threads) - 1) /
       static_cast<std::int64_t>(threads);
@@ -153,21 +248,24 @@ void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
       span.attr("tid", static_cast<std::int64_t>(tid));
       span.attr("lo", lo);
       span.attr("hi", hi);
-      body(priv[tid].data(), lo, hi);
+      body(tid, ptrs[tid], lo, hi);
     }
   });
-  // Merge phase (parallel over the array when large).
-  obs::Span combine("reduce.combine", "runtime");
-  combine.attr("size", static_cast<std::int64_t>(size));
-  parallelForBlocked(pool, 0, static_cast<std::int64_t>(size),
-                     [&](std::int64_t lo, std::int64_t hi) {
-                       for (std::int64_t i = lo; i < hi; ++i) {
-                         double sum = 0.0;
-                         for (unsigned t = 0; t < threads; ++t)
-                           sum += priv[t][static_cast<std::size_t>(i)];
-                         target[i] += sum;
-                       }
-                     });
+  // Merge phase (parallel over each array when large).
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    obs::Span combine("reduce.combine", "runtime");
+    combine.attr("size", static_cast<std::int64_t>(targets[k].size));
+    double* target = targets[k].data;
+    parallelForBlocked(pool, 0, static_cast<std::int64_t>(targets[k].size),
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           double sum = 0.0;
+                           for (unsigned t = 0; t < threads; ++t)
+                             sum += priv[t][k][static_cast<std::size_t>(i)];
+                           target[i] += sum;
+                         }
+                       });
+  }
 }
 
 SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
@@ -215,6 +313,76 @@ SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
         }
         // await source(r, c-1) is implicit: the same thread runs the row
         // left to right.
+        cell(r, c);
+        progress[static_cast<std::size_t>(r)].store(
+            c + 1, std::memory_order_release);
+      }
+    }
+    worker.attr("rows", rowsDone);
+    spinIters.fetch_add(backoff.iterations(), std::memory_order_relaxed);
+  });
+  stats.pointToPointWaits = waits.load();
+  stats.spinIterations = spinIters.load();
+  absorbSyncStats(stats);
+  return stats;
+}
+
+SyncStats pipelineDynamic2D(
+    ThreadPool& pool, const std::vector<std::int64_t>& rowCols,
+    const std::function<std::int64_t(std::int64_t, std::int64_t)>& need,
+    const std::function<void(std::int64_t, std::int64_t)>& cell) {
+  SyncStats stats;
+  const std::int64_t rows = static_cast<std::int64_t>(rowCols.size());
+  if (rows <= 0) return stats;
+  // progress[r] = number of completed cells in row r (row-relative).
+  std::vector<std::atomic<std::int64_t>> progress(
+      static_cast<std::size_t>(rows));
+  for (auto& p : progress) p.store(0, std::memory_order_relaxed);
+  std::atomic<std::int64_t> nextRow{0};
+  std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> spinIters{0};
+
+  pool.runOnAll([&](unsigned tid) {
+    obs::Span worker("pipeline.worker", "runtime");
+    worker.attr("tid", static_cast<std::int64_t>(tid));
+    worker.attr("shape", "dynamic");
+    obs::Histogram* waitHist = waitHistogram(tid);
+    std::int64_t rowsDone = 0;
+    SpinBackoff backoff;
+    for (;;) {
+      std::int64_t r = nextRow.fetch_add(1, std::memory_order_relaxed);
+      if (r >= rows) break;
+      const std::int64_t cols = rowCols[static_cast<std::size_t>(r)];
+      if (cols <= 0) continue;  // empty rows only at the range ends
+      ++rowsDone;
+      const std::int64_t prevCols =
+          r > 0 ? rowCols[static_cast<std::size_t>(r - 1)] : 0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        if (prevCols > 0) {
+          // await: the previous row must have completed the first
+          // need(r, c) of its cells (clamped defensively — an empty or
+          // short predecessor row cannot owe more than it has).
+          const std::int64_t wantRaw = need(r, c);
+          const std::int64_t want =
+              std::min(prevCols, std::max<std::int64_t>(0, wantRaw));
+          auto& prev = progress[static_cast<std::size_t>(r - 1)];
+          if (want > 0 && prev.load(std::memory_order_acquire) < want) {
+            waits.fetch_add(1, std::memory_order_relaxed);
+            backoff.reset();
+            auto waitStart = waitHist ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::
+                                            time_point();
+            while (prev.load(std::memory_order_acquire) < want)
+              backoff.pause();
+            if (waitHist)
+              waitHist->observe(static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - waitStart)
+                      .count()));
+          }
+        }
+        // await (r, c-1) is implicit: the same thread runs the row left
+        // to right.
         cell(r, c);
         progress[static_cast<std::size_t>(r)].store(
             c + 1, std::memory_order_release);
@@ -283,6 +451,12 @@ SyncStats pipeline3D(
     obs::Histogram* waitHist = waitHistogram(tid);
     std::int64_t cellsDone = 0;
     SpinBackoff backoff;
+    // One wait *episode* spans every idle iteration between two successful
+    // pops; it is counted and timed once, matching pipeline2D's full-wait
+    // semantics so `runtime.pipeline.wait_ns.t<tid>` is comparable across
+    // executors.
+    bool waiting = false;
+    auto waitStart = std::chrono::steady_clock::time_point();
     for (;;) {
       std::int64_t next = -1;
       {
@@ -299,18 +473,22 @@ SyncStats pipeline3D(
           worker.attr("cells", cellsDone);
           return;
         }
-        waits.fetch_add(1, std::memory_order_relaxed);
-        if (waitHist) {
-          auto waitStart = std::chrono::steady_clock::now();
-          backoff.pause();
+        if (!waiting) {
+          waiting = true;
+          waits.fetch_add(1, std::memory_order_relaxed);
+          backoff.reset();
+          if (waitHist) waitStart = std::chrono::steady_clock::now();
+        }
+        backoff.pause();
+        continue;
+      }
+      if (waiting) {
+        waiting = false;
+        if (waitHist)
           waitHist->observe(static_cast<double>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - waitStart)
                   .count()));
-        } else {
-          backoff.pause();
-        }
-        continue;
       }
       ++cellsDone;
       backoff.reset();

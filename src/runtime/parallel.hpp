@@ -49,6 +49,13 @@ class ThreadPool {
   /// Runs fn(tid) on every thread (0..threads-1) and waits for all.
   void runOnAll(const std::function<void(unsigned)>& fn);
 
+  /// Worker id of the calling thread *inside* a runOnAll job (0 for the
+  /// caller thread, 1.. for pool workers). Lets cell callbacks of the
+  /// pipeline executors recover their worker identity — e.g. to index
+  /// per-thread scratch state — without widening every cell signature.
+  /// Returns 0 outside any pool job.
+  static unsigned currentTid();
+
  private:
   void workerLoop(unsigned tid);
 
@@ -67,10 +74,33 @@ class ThreadPool {
 void parallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                  const std::function<void(std::int64_t)>& fn);
 
+/// Chunking policy for blocked doall loops.
+enum class Schedule {
+  Static,  ///< one contiguous chunk per thread (ceil(n/threads))
+  Guided,  ///< atomic work counter; shrinking blocks with a size floor
+};
+
+struct ForOptions {
+  Schedule schedule = Schedule::Static;
+  /// Guided schedule never hands out a block smaller than this (bounds
+  /// the counter contention when the tail drains).
+  std::int64_t minBlock = 1;
+};
+
 /// Blocked doall: fn(chunkBegin, chunkEnd) per contiguous chunk.
 void parallelForBlocked(
     ThreadPool& pool, std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Blocked doall with an explicit schedule. fn(tid, chunkBegin, chunkEnd)
+/// runs once per block; under Schedule::Guided threads claim blocks of
+/// max(minBlock, remaining / (2 * threads)) iterations off a shared atomic
+/// counter, so imbalanced trip spaces (triangular loops, guarded bodies)
+/// do not leave threads idle behind one overloaded static chunk.
+void parallelForBlocked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
+    const ForOptions& opts);
 
 /// Array reduction (the OpenMP-C array-reduction extension [31]): each
 /// thread accumulates into a private zero-initialized buffer of `size`
@@ -80,6 +110,24 @@ void parallelReduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                     double* target, std::size_t size,
                     const std::function<void(double*, std::int64_t,
                                              std::int64_t)>& body);
+
+/// One accumulator array of a multi-target reduction.
+struct ReduceTarget {
+  double* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Multi-target array reduction: one privatized zero-initialized buffer
+/// *per target per thread*. body(tid, priv, begin, end) receives the
+/// thread's private buffers in target order; after all chunks drain, each
+/// private buffer is summed into its target (merge parallel over the
+/// array). This is what a loop accumulating into several arrays at once
+/// (e.g. mvt's x1/x2 after fusion) lowers to.
+void parallelReduce(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::vector<ReduceTarget>& targets,
+    const std::function<void(unsigned, const std::vector<double*>&,
+                             std::int64_t, std::int64_t)>& body);
 
 /// Counters for comparing synchronization schemes (Fig. 6).
 struct SyncStats {
@@ -139,6 +187,25 @@ class SpinBackoff {
 SyncStats pipeline2D(ThreadPool& pool, std::int64_t rows, std::int64_t cols,
                      const std::function<void(std::int64_t, std::int64_t)>&
                          cell);
+
+/// Point-to-point pipeline over a *ragged* 2-D grid: row r has rowCols[r]
+/// cells (row lengths may differ — triangular/trapezoidal iteration
+/// spaces). Cell (r, c) runs after cells (r-1, 0..need(r,c)-1) of the
+/// previous row and (r, c-1) of its own row; need(r, c) returns the number
+/// of previous-row cells cell (r, c) depends on, in *row-relative* column
+/// counts (clamped to [0, rowCols[r-1]] by the caller). Rows are claimed
+/// dynamically like pipeline2D; progress is per-row completed-cell
+/// counters.
+///
+/// Precondition (holds for unit-step affine loop nests, whose row
+/// intervals are convex): rows with zero cells appear only as a prefix
+/// and/or suffix of the row range, never between non-empty rows — a row
+/// in the middle would break the chain of per-row counters the sync
+/// relies on.
+SyncStats pipelineDynamic2D(
+    ThreadPool& pool, const std::vector<std::int64_t>& rowCols,
+    const std::function<std::int64_t(std::int64_t, std::int64_t)>& need,
+    const std::function<void(std::int64_t, std::int64_t)>& cell);
 
 /// Wavefront doall over the same grid: diagonals d = r + c executed in
 /// order with an all-to-all barrier between diagonals (the skewed-doall

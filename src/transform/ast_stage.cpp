@@ -225,16 +225,25 @@ ParallelismStats detectParallelism(ir::Program& program,
   forEachLoop(program, [&](const LoopPtr& loop,
                            const std::vector<LoopPtr>& ancestors) {
     (void)ancestors;
-    // The single chained child, if any (needed for the pipeline check).
-    const Loop* child = nullptr;
-    if (loop->body->children.size() == 1 &&
-        loop->body->children.front()->kind == Node::Kind::Loop)
-      child = std::static_pointer_cast<Loop>(loop->body->children.front())
-                  .get();
+    // The single-loop chain rooted here, up to the three levels the
+    // runtime's deepest doacross grid (pipeline3D) can synchronize.
+    std::vector<const Loop*> chain{loop.get()};
+    while (chain.size() < 3) {
+      const Loop* cur = chain.back();
+      if (cur->body->children.size() != 1 ||
+          cur->body->children.front()->kind != Node::Kind::Loop)
+        break;
+      chain.push_back(
+          std::static_pointer_cast<Loop>(cur->body->children.front()).get());
+    }
 
     bool anyCarried = false;
     bool anyNonReductionCarried = false;
-    bool pipelineOk = child != nullptr;
+    // How many leading chain levels have componentwise non-negative
+    // distance on *every* ordering-relevant dependence: a depth-d
+    // point-to-point sync grid orders exactly those dependences.
+    std::int64_t pipeDepth =
+        chain.size() >= 2 ? static_cast<std::int64_t>(chain.size()) : 0;
     for (const auto& d : podg.deps) {
       if (d.kind == DepKind::Input) continue;
       auto lk = commonLevelOf(scop, d, loop.get());
@@ -246,41 +255,50 @@ ParallelismStats detectParallelism(ir::Program& program,
       if (!mn) {
         // Unbounded-below distance: no parallelism of any kind.
         anyCarried = anyNonReductionCarried = true;
-        pipelineOk = false;
+        pipeDepth = 0;
+        continue;
+      }
+      // Reduction dependences are discharged by accumulator privatization
+      // (Reduction / ReductionPipeline execution), never by the sync grid.
+      if (options.recognizeReductions && d.fromReduction) {
+        bool zeroRed = (*mn == 0) && mx && (*mx == 0);
+        if (!zeroRed) anyCarried = true;
         continue;
       }
       bool zero = (*mn == 0) && mx && (*mx == 0);
-      if (zero) continue;
-      anyCarried = true;
-      if (options.recognizeReductions && d.fromReduction) continue;
-      anyNonReductionCarried = true;
-      // Pipeline needs componentwise non-negative distances on this level
-      // and the chained child level.
-      if (*mn < 0) {
-        pipelineOk = false;
-        continue;
+      if (!zero) {
+        anyCarried = true;
+        anyNonReductionCarried = true;
       }
-      if (child) {
-        auto lk1 = commonLevelOf(scop, d, child);
-        if (!lk1) {
-          pipelineOk = false;
-        } else {
-          auto mn1 = restricted.minOf(distExpr(d, *lk1));
-          if (!mn1 || *mn1 < 0) pipelineOk = false;
-        }
+      // Every dependence constrains the pipeline depth — including those
+      // with zero distance at this level: a distance like (0, 1, -1) is
+      // lexicographically positive yet not componentwise non-negative over
+      // three levels, so a 3-deep grid would reorder it. (At two levels
+      // lexicographic positivity makes (0, negative) impossible, which is
+      // why the old two-level check could skip zero-distance dependences.)
+      std::int64_t okPrefix = 0;
+      for (const Loop* lvl : chain) {
+        auto lkN = commonLevelOf(scop, d, lvl);
+        if (!lkN) break;
+        auto mnN = restricted.minOf(distExpr(d, *lkN));
+        if (!mnN || *mnN < 0) break;
+        ++okPrefix;
       }
+      pipeDepth = std::min(pipeDepth, okPrefix);
     }
+    loop->pipelineDepth = 0;
     if (!anyCarried) {
       loop->parallel = ParallelKind::Doall;
     } else if (!anyNonReductionCarried) {
       loop->parallel = ParallelKind::Reduction;
-    } else if (pipelineOk && options.allowPipeline) {
+    } else if (pipeDepth >= 2 && options.allowPipeline) {
       bool reductionsToo = false;
       for (const auto& d : podg.deps)
         if (d.fromReduction && commonLevelOf(scop, d, loop.get()))
           reductionsToo = true;
       loop->parallel = reductionsToo ? ParallelKind::ReductionPipeline
                                      : ParallelKind::Pipeline;
+      loop->pipelineDepth = pipeDepth;
     } else {
       loop->parallel = ParallelKind::None;
     }
@@ -296,7 +314,10 @@ ParallelismStats detectParallelism(ir::Program& program,
           break;
         case Node::Kind::Loop: {
           auto l = std::static_pointer_cast<Loop>(n);
-          if (covered) l->parallel = ParallelKind::None;
+          if (covered) {
+            l->parallel = ParallelKind::None;
+            l->pipelineDepth = 0;
+          }
           clear(l->body, covered || l->parallel != ParallelKind::None);
           break;
         }
@@ -318,9 +339,11 @@ ParallelismStats detectParallelism(ir::Program& program,
         break;
       case ParallelKind::Pipeline:
         ++stats.pipeline;
+        if (l->pipelineDepth >= 3) ++stats.pipelineDepth3;
         break;
       case ParallelKind::ReductionPipeline:
         ++stats.reductionPipeline;
+        if (l->pipelineDepth >= 3) ++stats.pipelineDepth3;
         break;
       case ParallelKind::None:
         break;
@@ -454,7 +477,9 @@ int tileForLocality(ir::Program& program, const AstOptions& options) {
       t->step = carriesDeps ? options.timeTileSize : options.tileSize;
       t->isTileLoop = true;
       t->parallel = l->parallel;
+      t->pipelineDepth = l->pipelineDepth;
       l->parallel = ParallelKind::None;
+      l->pipelineDepth = 0;
       tiles.push_back(t);
     }
     // Point loops get tile-bounded ranges and are marked as members of a

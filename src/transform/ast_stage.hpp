@@ -52,6 +52,9 @@ struct ParallelismStats {
   int reduction = 0;
   int pipeline = 0;
   int reductionPipeline = 0;
+  /// Pipeline-kind marks whose sync depth reaches three levels (the
+  /// runtime's 3D doacross grid applies).
+  int pipelineDepth3 = 0;
   int total() const { return doall + reduction + pipeline + reductionPipeline; }
 };
 

@@ -293,6 +293,34 @@ TEST(Session, ReanalyzingUnchangedProgramIsSkipped) {
   EXPECT_EQ(reg.counter("analysis.skipped_unchanged").value(), 1);
 }
 
+TEST(Session, LegalityReusedAcrossIteratorRename) {
+  // Renaming an iterator changes the program text (so the full analysis
+  // batch re-runs) but not the schedule or domains, so the legality
+  // verifier — whose verdict is keyed on a rename-invariant hash — must
+  // reuse the previous verdict instead of recomputing.
+  obs::Registry reg;
+  ir::Program p = kernels::buildKernel("gemm");
+  AnalysisSession session({}, &reg);
+  session.analyze(p, "<input>");
+  EXPECT_EQ(reg.counter("analysis.legality.reused_unchanged").value(), 0);
+
+  auto loops = loopsOf(p, 0);
+  ASSERT_FALSE(loops.empty());
+  ir::renameIterInTree(loops[0], loops[0]->iter, "w9");
+  session.analyze(p, "rename");
+  EXPECT_EQ(reg.counter("analysis.legality.reused_unchanged").value(), 1);
+  EXPECT_FALSE(hasDiagnostic(session.engine(), Severity::Error, "legality",
+                             "origin-mismatch"));
+
+  // A domain change must invalidate the key: adding a redundant min-part to
+  // a bound leaves behavior intact but alters the printed domain.
+  auto loops2 = loopsOf(p, 0);
+  ASSERT_GE(loops2.size(), 1u);
+  loops2[0]->upper.parts.push_back(ir::AffExpr(1000000));
+  session.analyze(p, "bound-change");
+  EXPECT_EQ(reg.counter("analysis.legality.reused_unchanged").value(), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Mutation corpus: the negative half of the contract
 

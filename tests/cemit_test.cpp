@@ -48,7 +48,10 @@ TEST(CEmit, PipelineMarkedAsComment) {
   o.enableRegisterTiling = false;
   Program q = transform::optimize(p, o);
   std::string src = emitC(q);
-  EXPECT_NE(src.find("/* polyast: pipeline */"), std::string::npos) << src;
+  // The mark comment carries the sync-chain depth the detector proved, so
+  // a downstream pass knows which doacross construct the loop needs.
+  EXPECT_NE(src.find("/* polyast: pipeline depth=3 */"), std::string::npos)
+      << src;
 }
 
 TEST(CEmit, GuardsBecomeIfs) {

@@ -433,6 +433,118 @@ TEST(ParExec, EmitsRuntimeSpansWhenTraced) {
   EXPECT_GE(chunks, 1u);
 }
 
+TEST(ParExec, EveryKernelMatchesSequentialWithNoFallbacks) {
+  // Full executor coverage: across the whole PolyBench table and both the
+  // tiled and untiled flows, every parallelism mark must reach a runtime
+  // construct (zero sequential fallbacks) and the parallel buffers must
+  // match the sequential interpretation — bit-for-bit for doall/pipeline
+  // execution (statement instances are merely reordered), and within
+  // reassociation tolerance when reduction accumulators were privatized.
+  for (const auto& info : kernels::allKernels()) {
+    for (const char* preset : {"polyast", "polyast-notile"}) {
+      ir::Program p = kernels::buildKernel(info.name);
+      flow::PassContext ctx;
+      obs::Registry local;
+      ctx.metrics = &local;
+      ir::Program q = flow::makePipeline(preset).run(p, ctx);
+      auto params = oddParams(q);
+      Context seq = kernels::makeContext(q, params);
+      Context par = kernels::makeContext(q, params);
+      run(q, seq);
+      runtime::ThreadPool pool(3);
+      ParallelRunReport rep = runParallel(q, par, pool);
+      EXPECT_EQ(rep.sequentialFallbacks, 0)
+          << info.name << " / " << preset << "\n"
+          << rep.summary();
+      const bool reassociates =
+          rep.reductionLoops + rep.reductionPipelineLoops > 0;
+      const double diff = par.maxAbsDiff(seq);
+      if (reassociates)
+        EXPECT_LE(diff, 1e-9) << info.name << " / " << preset;
+      else
+        EXPECT_DOUBLE_EQ(diff, 0.0) << info.name << " / " << preset;
+    }
+  }
+}
+
+TEST(ParExec, ReductionKernelPrivatizesAndMatches) {
+  // mvt's fused form reduces into x1 and x2: the executor must map the
+  // marks onto parallelReduce (not fall back) and merge per-thread
+  // accumulators into the shared targets.
+  ir::Program p = kernels::buildKernel("mvt");
+  flow::PassContext ctx;
+  obs::Registry local;
+  ctx.metrics = &local;
+  ir::Program q = flow::makePipeline("polyast").run(p, ctx);
+  auto params = oddParams(q);
+  Context seq = kernels::makeContext(q, params);
+  Context par = kernels::makeContext(q, params);
+  run(q, seq);
+  runtime::ThreadPool pool(3);
+  ParallelRunReport rep = runParallel(q, par, pool);
+  EXPECT_GE(rep.reductionLoops, 1);
+  EXPECT_EQ(rep.sequentialFallbacks, 0) << rep.summary();
+  EXPECT_LE(par.maxAbsDiff(seq), 1e-9);
+}
+
+TEST(ParExec, TimeTiledStencilUsesPipeline3D) {
+  // seidel-2d's time-tiled nest is a rectangular 3-deep tile chain whose
+  // mark claims sync depth 3: the executor must use the 3D doacross grid.
+  ir::Program p = kernels::buildKernel("seidel-2d");
+  flow::PassContext ctx;
+  obs::Registry local;
+  ctx.metrics = &local;
+  ir::Program q = flow::makePipeline("polyast").run(p, ctx);
+  auto params = oddParams(q);
+  Context seq = kernels::makeContext(q, params);
+  Context par = kernels::makeContext(q, params);
+  run(q, seq);
+  runtime::ThreadPool pool(3);
+  ParallelRunReport rep = runParallel(q, par, pool);
+  EXPECT_GE(rep.pipeline3dLoops, 1) << rep.summary();
+  EXPECT_EQ(rep.sequentialFallbacks, 0);
+  EXPECT_DOUBLE_EQ(par.maxAbsDiff(seq), 0.0);
+}
+
+TEST(ParExec, SkewedStencilUsesDynamicPipeline) {
+  // Untiled jacobi-1d-imper is a skewed (non-rectangular) pipeline with a
+  // non-unit inner step whose rows share one stride lattice: the dynamic
+  // 2D doacross must apply instead of a sequential fallback.
+  ir::Program p = kernels::buildKernel("jacobi-1d-imper");
+  flow::PassContext ctx;
+  obs::Registry local;
+  ctx.metrics = &local;
+  ir::Program q = flow::makePipeline("polyast-notile").run(p, ctx);
+  auto params = oddParams(q);
+  Context seq = kernels::makeContext(q, params);
+  Context par = kernels::makeContext(q, params);
+  run(q, seq);
+  runtime::ThreadPool pool(3);
+  ParallelRunReport rep = runParallel(q, par, pool);
+  EXPECT_GE(rep.pipelineDynamicLoops, 1) << rep.summary();
+  EXPECT_EQ(rep.sequentialFallbacks, 0);
+  EXPECT_DOUBLE_EQ(par.maxAbsDiff(seq), 0.0);
+}
+
+TEST(ParExec, GuidedScheduleSelectedForImbalancedDoall) {
+  // symm's triangular doall loops reference the marked iterator in inner
+  // bounds; the executor must pick the guided schedule for them.
+  ir::Program p = kernels::buildKernel("symm");
+  flow::PassContext ctx;
+  obs::Registry local;
+  ctx.metrics = &local;
+  ir::Program q = flow::makePipeline("polyast").run(p, ctx);
+  auto params = oddParams(q);
+  Context seq = kernels::makeContext(q, params);
+  Context par = kernels::makeContext(q, params);
+  run(q, seq);
+  runtime::ThreadPool pool(3);
+  ParallelRunReport rep = runParallel(q, par, pool);
+  EXPECT_GE(rep.guidedLoops, 1) << rep.summary();
+  EXPECT_EQ(rep.sequentialFallbacks, 0);
+  EXPECT_LE(par.maxAbsDiff(seq), 1e-9);
+}
+
 TEST(ParExec, RunSubtreeExecutesWithBindings) {
   // i-loop body executed directly for i = 2 must touch exactly row 2.
   ir::Program p = kernels::buildKernel("gemm");

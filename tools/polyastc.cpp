@@ -324,10 +324,17 @@ int main(int argc, char** argv) {
     exec::run(out, seq);
     exec::ParallelRunReport rep = exec::runParallel(out, par, pool);
     double diff = par.maxAbsDiff(seq);
+    // Doall and pipeline execution reorder whole statement instances, so
+    // every cell's arithmetic is bit-identical; reduction privatization
+    // reassociates the accumulated sums, so those runs get a tolerance.
+    const bool reassociates =
+        rep.reductionLoops + rep.reductionPipelineLoops > 0;
+    const double tolerance = reassociates ? 1e-9 : 0.0;
     std::cerr << rep.summary() << "\n"
               << "parallel vs sequential max abs diff: " << diff << " on "
-              << pool.threadCount() << " threads\n";
-    if (!(diff <= 1e-9)) {
+              << pool.threadCount() << " threads (tolerance "
+              << tolerance << ")\n";
+    if (!(diff <= tolerance)) {
       std::cerr << "error: parallel execution diverged\n";
       dynamicBroken = true;
     }
