@@ -22,11 +22,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "support/error.hpp"
@@ -40,6 +42,13 @@ namespace polyast::bench {
 ///   POLYAST_BENCH_METRICS=FILE write metrics JSON (CSV if .csv) at exit
 /// Unset means everything stays disabled — the timed loops then pay only
 /// the relaxed-load checks documented in runtime/parallel.hpp.
+///
+/// When metrics are requested the session also opens a hardware-counter
+/// group (obs::PerfSession) on the main thread for the whole process, so
+/// the exported metrics carry `perf.wall_ns` / `perf.cycles` / ... —
+/// exactly what `bench_compare --metrics` ingests into the benchmark
+/// history. POLYAST_PERF=off keeps wall/TSC only (degraded mode, noted as
+/// `obs.perf.degraded` in the artifact).
 class ObsSession {
  public:
   ObsSession() {
@@ -50,8 +59,16 @@ class ObsSession {
       obs::Tracer::global().setEnabled(true);
     if ((obs && *obs && *obs != '0') || !metrics_.empty())
       obs::Registry::global().setTimingEnabled(true);
+    if (!metrics_.empty()) {
+      perf_ = std::make_unique<obs::PerfAggregate>();
+      perf_->beginThread();
+    }
   }
   ~ObsSession() {
+    if (perf_) {
+      perf_->endThread();  // main-thread counters over the process lifetime
+      perf_->recordTo(obs::Registry::global());
+    }
     if (!trace_.empty())
       obs::writeChromeTraceFile(trace_, obs::Tracer::global());
     if (!metrics_.empty())
@@ -66,6 +83,7 @@ class ObsSession {
 
   std::string trace_;
   std::string metrics_;
+  std::unique_ptr<obs::PerfAggregate> perf_;
 };
 
 /// Installs the process-wide ObsSession (idempotent); called from pool()

@@ -5,8 +5,10 @@
 // iteration domain under the parameter assumptions. A non-empty
 // intersection with (sub >= extent) or (sub <= -1) is an out-of-bounds
 // finding (error when an integer witness exists at the test parameters
-// and the stride modeling is exact; warning otherwise). Rank mismatches
-// and unknown arrays are always errors.
+// and the stride modeling is exact; warning otherwise). Every finding
+// carries the exact parameter condition under which it fires (the
+// violation set projected onto the parameters) in detail["condition"].
+// Rank mismatches and unknown arrays are always errors.
 //
 // IR well-formedness lints:
 //   * empty-domain   — a statement whose domain has no points under the
@@ -53,6 +55,52 @@ void toStmtRow(const AffExpr& e, const PolyStmt& ps, const Scop& scop,
   c = e.constant();
 }
 
+/// Renders one projected constraint over the parameters as a comparison
+/// with every negative term moved to the right-hand side, e.g.
+/// {NI: 1, NJ: -1, const: -1} >= 0  ->  "NI >= NJ + 1".
+std::string formatParamConstraint(const Constraint& c,
+                                  const std::vector<std::string>& names) {
+  std::string lhs, rhs;
+  auto addTerm = [](std::string& side, std::int64_t coeff,
+                    const std::string& name) {
+    if (!side.empty()) side += " + ";
+    if (coeff != 1) side += std::to_string(coeff) + "*";
+    side += name;
+  };
+  for (std::size_t i = 0; i < c.coeffs.size() && i < names.size(); ++i) {
+    if (c.coeffs[i] > 0) addTerm(lhs, c.coeffs[i], names[i]);
+    if (c.coeffs[i] < 0) addTerm(rhs, -c.coeffs[i], names[i]);
+  }
+  if (c.constant > 0 || lhs.empty()) {
+    if (!lhs.empty()) lhs += " + ";
+    lhs += std::to_string(std::max<std::int64_t>(c.constant, 0));
+  }
+  if (c.constant < 0 || rhs.empty()) {
+    if (!rhs.empty()) rhs += " + ";
+    rhs += std::to_string(c.constant < 0 ? -c.constant : 0);
+  }
+  return lhs + (c.isEquality ? " == " : " >= ") + rhs;
+}
+
+/// Exact condition on the parameters under which the violation set has
+/// (rational) points: the set projected onto the parameter columns.
+/// "true" when the violation is possible for every parameter assignment.
+std::string formatParamCondition(const IntSet& s, std::size_t paramBase,
+                                 std::size_t numParams) {
+  std::vector<std::size_t> keep;
+  for (std::size_t p = 0; p < numParams; ++p) keep.push_back(paramBase + p);
+  IntSet proj = s.project(keep);
+  std::string out;
+  for (const auto& c : proj.constraints()) {
+    bool trivial = c.constant >= 0 && !c.isEquality;
+    for (auto coeff : c.coeffs) trivial = trivial && coeff == 0;
+    if (trivial) continue;  // holds for every parameter value
+    if (!out.empty()) out += " and ";
+    out += formatParamConstraint(c, proj.varNames());
+  }
+  return out.empty() ? "true" : out;
+}
+
 void checkSide(const AnalysisInput& in, const PolyStmt& ps,
                const poly::Access& acc, std::size_t accIdx, std::size_t dim,
                const AffExpr& violation, const std::string& what,
@@ -83,6 +131,14 @@ void checkSide(const AnalysisInput& in, const PolyStmt& ps,
 
   bool inexact = !ps.exactStrides;
   std::size_t paramBase = ps.iters.size();
+  // The exact parameter condition under which the violation has points:
+  // project the (domain ∧ violation) set onto the parameter columns. For
+  // symm-style conditional overflows this names the regime, e.g.
+  // "NI >= NJ + 1".
+  std::string condition =
+      formatParamCondition(s, paramBase, in.scop->params.size());
+  d.detail["condition"] = condition;
+  if (condition != "true") d.message += " when " + condition;
   auto witness =
       findIntegerWitness(s, paramBase, in.scop->params, *in.options);
   if (witness) d.detail["witness"] = formatWitness(s.varNames(), *witness);

@@ -1,0 +1,149 @@
+#include "dl/dl_predict.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace polyast::dl {
+
+namespace {
+
+using ir::AffExpr;
+
+/// AffExpr::evaluate that treats unbound names as 0 instead of throwing —
+/// prediction must never fail on exotic bounds, only coarsen.
+std::int64_t evalSoft(const AffExpr& e,
+                      const std::map<std::string, std::int64_t>& env) {
+  std::int64_t v = e.constant();
+  for (const auto& [n, c] : e.coeffs()) {
+    auto it = env.find(n);
+    if (it != env.end()) v += c * it->second;
+  }
+  return v;
+}
+
+std::int64_t evalLower(const ir::Bound& b,
+                       const std::map<std::string, std::int64_t>& env) {
+  std::int64_t v = 0;
+  bool first = true;
+  for (const auto& part : b.parts) {
+    std::int64_t p = evalSoft(part, env);
+    v = first ? p : std::max(v, p);
+    first = false;
+  }
+  return v;
+}
+
+std::int64_t evalUpper(const ir::Bound& b,
+                       const std::map<std::string, std::int64_t>& env) {
+  std::int64_t v = 0;
+  bool first = true;
+  for (const auto& part : b.parts) {
+    std::int64_t p = evalSoft(part, env);
+    v = first ? p : std::min(v, p);
+    first = false;
+  }
+  return v;
+}
+
+/// Estimated trip count of `loop` under `env`, and pins the iterator at
+/// its midpoint in `env` so inner bounds that reference it evaluate to the
+/// average-case value.
+std::int64_t estimateTrip(const ir::Loop& loop,
+                          std::map<std::string, std::int64_t>& env) {
+  std::int64_t step = loop.step == 0 ? 1 : loop.step;
+  std::int64_t lb = evalLower(loop.lower, env);
+  std::int64_t ub = evalUpper(loop.upper, env);
+  std::int64_t trip =
+      ub > lb ? (ub - lb + step - 1) / step : 0;
+  env[loop.iter] = trip > 0 ? lb + ((trip - 1) / 2) * step : lb;
+  return trip;
+}
+
+std::string chainName(const std::vector<std::shared_ptr<ir::Loop>>& loops) {
+  if (loops.empty()) return "<top>";
+  std::string s;
+  for (const auto& l : loops) {
+    if (!s.empty()) s += ".";
+    s += l->iter;
+  }
+  return s;
+}
+
+}  // namespace
+
+ProgramPrediction predictProgram(
+    const ir::Program& p, const std::map<std::string, std::int64_t>& params,
+    const CacheParams& cache) {
+  std::map<std::string, std::int64_t> base;
+  for (const auto& name : p.params) {
+    auto it = params.find(name);
+    if (it != params.end()) {
+      base[name] = it->second;
+    } else {
+      auto d = p.paramDefaults.find(name);
+      base[name] = d == p.paramDefaults.end() ? 0 : d->second;
+    }
+  }
+
+  // Group statements by their enclosing-loop chain, preserving textual
+  // order. Pointer identity of the chain is the grouping key: two
+  // statements in the same innermost body share every Loop node.
+  struct Group {
+    std::vector<std::shared_ptr<ir::Loop>> loops;
+    LoopNestModel model;
+  };
+  std::vector<Group> groups;
+  p.forEachStmt([&](const std::shared_ptr<ir::Stmt>& stmt,
+                    const std::vector<std::shared_ptr<ir::Loop>>& loops) {
+    if (groups.empty() || groups.back().loops != loops) {
+      Group g;
+      g.loops = loops;
+      for (const auto& l : loops) g.model.iters.push_back(l->iter);
+      groups.push_back(std::move(g));
+    }
+    groups.back().model.stmts.push_back(stmt);
+  });
+
+  ProgramPrediction out;
+  for (const auto& g : groups) {
+    NestPrediction n;
+    n.nest = chainName(g.loops);
+    n.iters = g.model.iters;
+    n.stmts = static_cast<int>(g.model.stmts.size());
+
+    // Walk the chain outermost-in: every trip estimate pins its iterator
+    // at the midpoint, so inner (possibly tile-origin-relative or
+    // triangular) bounds see average-case values.
+    std::map<std::string, std::int64_t> env = base;
+    std::map<std::string, std::int64_t> tile;
+    for (const auto& l : g.loops) {
+      std::int64_t trip = std::max<std::int64_t>(estimateTrip(*l, env), 1);
+      if (l->isTileLoop) {
+        n.tileCount *= static_cast<double>(trip);
+      } else {
+        n.tileIterations *= static_cast<double>(trip);
+        tile[l->iter] = trip;
+      }
+    }
+    n.totalIterations = n.tileIterations * n.tileCount;
+    n.distinctLines = distinctLines(g.model, tile, cache);
+    n.memCostPerIter = memCostPerIteration(g.model, tile, cache);
+    n.predictedLines = n.distinctLines * n.tileCount;
+
+    out.predictedLines += n.predictedLines;
+    out.predictedCost += n.memCostPerIter * n.totalIterations;
+    out.nests.push_back(std::move(n));
+  }
+  return out;
+}
+
+void recordPrediction(const ProgramPrediction& pred, obs::Registry& reg) {
+  reg.gauge("dl.predict.lines").set(pred.predictedLines);
+  reg.gauge("dl.predict.cost").set(pred.predictedCost);
+  reg.gauge("dl.predict.nests")
+      .set(static_cast<double>(pred.nests.size()));
+  for (const auto& n : pred.nests)
+    reg.gauge("dl.predict.nest." + n.nest + ".lines").set(n.predictedLines);
+}
+
+}  // namespace polyast::dl

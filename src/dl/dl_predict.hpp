@@ -1,0 +1,76 @@
+// Whole-program DL predictions for validation telemetry.
+//
+// dl_model.hpp answers the optimizer's *relative* questions (which
+// permutation, is fusion profitable). This module asks the model for an
+// *absolute* prediction of the optimized program — per loop nest, how many
+// distinct cache lines will be fetched — so `polyastc --execute --perf`
+// can put the prediction next to measured hardware counters in the
+// `polyast-dlcheck-v1` artifact and the suite-level rank correlation can
+// say whether the model that chose the schedule ordered the kernels the
+// way the hardware does.
+//
+// The prediction is an estimate by construction: loop trip counts are
+// evaluated at concrete parameter bindings with every outer iterator
+// pinned to the midpoint of its own range (triangular nests become
+// average-case rectangles), and DL's uniform-group / unit-stride rules
+// are the model's, not the machine's. Absolute accuracy is not the goal —
+// cross-kernel *ranking* fidelity is, which is what the dlcheck summary
+// measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dl/dl_model.hpp"
+#include "ir/ast.hpp"
+#include "obs/metrics.hpp"
+
+namespace polyast::dl {
+
+/// Prediction for one loop nest (a maximal group of statements sharing the
+/// same enclosing-loop chain).
+struct NestPrediction {
+  /// Dotted iterator chain, outermost first ("tt.t.ii.jj.i.j"); "<top>"
+  /// for loop-less statements.
+  std::string nest;
+  std::vector<std::string> iters;  ///< enclosing iterators, outermost first
+  int stmts = 0;
+  /// Estimated iterations of one intra-tile execution (product of
+  /// point/plain-loop trips). 1 for loop-less statements.
+  double tileIterations = 1.0;
+  /// Estimated number of tile executions (product of inter-tile-loop
+  /// trips); 1 when the nest is untiled.
+  double tileCount = 1.0;
+  double totalIterations = 1.0;  ///< tileIterations * tileCount
+  /// DL(t): distinct lines one tile touches.
+  double distinctLines = 0.0;
+  /// costPerLine * DL(t) / tileIterations.
+  double memCostPerIter = 0.0;
+  /// distinctLines * tileCount — the nest's predicted line fetches, the
+  /// number dlcheck compares against measured cache misses.
+  double predictedLines = 0.0;
+};
+
+/// Program-level roll-up of every nest prediction.
+struct ProgramPrediction {
+  std::vector<NestPrediction> nests;
+  double predictedLines = 0.0;  ///< sum over nests
+  double predictedCost = 0.0;   ///< sum of memCostPerIter * totalIterations
+};
+
+/// Predicts the *current* loop structure of `p` (call it on the pipeline
+/// output so tiling/permutation are reflected) at the given parameter
+/// bindings. Parameters absent from `params` fall back to
+/// Program::paramDefaults, then to 0.
+ProgramPrediction predictProgram(
+    const ir::Program& p, const std::map<std::string, std::int64_t>& params,
+    const CacheParams& cache = {});
+
+/// Records a prediction into `reg` at schedule-selection time:
+/// `dl.predict.lines` / `dl.predict.cost` / `dl.predict.nests` gauges plus
+/// per-nest `dl.predict.nest.<chain>.lines` gauges.
+void recordPrediction(const ProgramPrediction& pred, obs::Registry& reg);
+
+}  // namespace polyast::dl

@@ -585,12 +585,16 @@ std::string ParallelRunReport::summary() const {
 }
 
 ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
-                              runtime::ThreadPool& pool) {
+                              runtime::ThreadPool& pool,
+                              obs::PerfAggregate* perf) {
   obs::Span span(obs::Tracer::global(), "exec.parallel", "exec");
   span.attr("program", program.name);
   span.attr("threads",
             static_cast<std::int64_t>(pool.threadCount()));
-  return Walker(program, ctx, pool).run();
+  if (perf) pool.runOnAll([&](unsigned) { perf->beginThread(); });
+  ParallelRunReport report = Walker(program, ctx, pool).run();
+  if (perf) pool.runOnAll([&](unsigned) { perf->endThread(); });
+  return report;
 }
 
 }  // namespace polyast::exec

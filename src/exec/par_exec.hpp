@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "exec/interp.hpp"
+#include "obs/perf.hpp"
 #include "runtime/parallel.hpp"
 
 namespace polyast::exec {
@@ -63,7 +64,14 @@ struct ParallelRunReport {
 /// Executes `program` over `ctx` on `pool`, exploiting the parallelism
 /// marks as described above. Sequential program regions are interpreted on
 /// the calling thread.
+///
+/// When `perf` is non-null, every pool thread (including the caller)
+/// opens a hardware-counter session for the duration of the run via
+/// PerfAggregate::beginThread/endThread — this is how `polyastc --execute
+/// --perf` attributes counters to the measured program rather than to
+/// setup/teardown. Degraded sessions still capture wall/TSC time.
 ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
-                              runtime::ThreadPool& pool);
+                              runtime::ThreadPool& pool,
+                              obs::PerfAggregate* perf = nullptr);
 
 }  // namespace polyast::exec

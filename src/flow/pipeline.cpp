@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "dl/dl_predict.hpp"
 #include "ir/cemit.hpp"
 #include "obs/trace.hpp"
 
@@ -139,6 +140,12 @@ ir::Program PassPipeline::run(const ir::Program& input,
   out.name = input.name + nameSuffix;
   ctx.report.totalMillis = msSince(pipelineStart);
   ctx.metrics->gauge("flow.total_millis").set(ctx.report.totalMillis);
+
+  // Schedule selection is final here: record what the DL model predicts
+  // for the loop structure the pipeline just committed to (dl.predict.*),
+  // so `--perf` runs can put measured counters next to it (dlcheck).
+  dl::recordPrediction(
+      dl::predictProgram(out, ctx.verify.params), *ctx.metrics);
   return out;
 }
 

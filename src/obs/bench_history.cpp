@@ -1,0 +1,143 @@
+#include "obs/bench_history.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace polyast::obs {
+
+const BenchKernelSample* BenchEntry::find(const std::string& kernel) const {
+  for (const auto& k : kernels)
+    if (k.kernel == kernel) return &k;
+  return nullptr;
+}
+
+BenchHistory parseBenchHistory(const std::string& text) {
+  JsonValue root = parseJson(text);
+  POLYAST_CHECK(root.isObject(), "bench history: not a JSON object");
+  const JsonValue* schema = root.find("schema");
+  POLYAST_CHECK(schema && schema->isString() &&
+                    schema->text == "polyast-bench-history-v1",
+                "bench history: missing/wrong schema tag");
+  BenchHistory out;
+  if (const JsonValue* host = root.find("host"); host && host->isString())
+    out.host = host->text;
+  const JsonValue* entries = root.find("entries");
+  POLYAST_CHECK(entries && entries->isArray(),
+                "bench history: missing entries array");
+  for (const JsonValue& e : entries->items) {
+    POLYAST_CHECK(e.isObject(), "bench history: entry is not an object");
+    BenchEntry entry;
+    if (const JsonValue* v = e.find("timestamp"); v && v->isString())
+      entry.timestamp = v->text;
+    if (const JsonValue* v = e.find("label"); v && v->isString())
+      entry.label = v->text;
+    const JsonValue* kernels = e.find("kernels");
+    POLYAST_CHECK(kernels && kernels->isArray(),
+                  "bench history: entry without kernels array");
+    for (const JsonValue& k : kernels->items) {
+      POLYAST_CHECK(k.isObject(), "bench history: kernel is not an object");
+      BenchKernelSample sample;
+      const JsonValue* name = k.find("kernel");
+      POLYAST_CHECK(name && name->isString(),
+                    "bench history: kernel without name");
+      sample.kernel = name->text;
+      const JsonValue* wall = k.find("wall_ns");
+      POLYAST_CHECK(wall && wall->isNumber(),
+                    "bench history: kernel without wall_ns");
+      sample.wallNs = wall->number;
+      if (const JsonValue* c = k.find("counters"); c && c->isObject())
+        for (const auto& [cname, cv] : c->members)
+          if (cv.isNumber()) sample.counters[cname] = cv.number;
+      entry.kernels.push_back(std::move(sample));
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+BenchHistory loadBenchHistory(const std::string& path,
+                              const std::string& host) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    BenchHistory fresh;
+    fresh.host = host;
+    return fresh;  // first run: no history yet
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseBenchHistory(buf.str());
+}
+
+void saveBenchHistory(const std::string& path, const BenchHistory& history,
+                      std::size_t maxEntries) {
+  std::ofstream out(path);
+  POLYAST_CHECK(out.good(), "cannot write " + path);
+  std::size_t first = 0;
+  if (maxEntries > 0 && history.entries.size() > maxEntries)
+    first = history.entries.size() - maxEntries;
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value("polyast-bench-history-v1");
+  w.key("host").value(history.host);
+  w.key("entries").beginArray();
+  for (std::size_t i = first; i < history.entries.size(); ++i) {
+    const BenchEntry& e = history.entries[i];
+    w.beginObject();
+    w.key("timestamp").value(e.timestamp);
+    w.key("label").value(e.label);
+    w.key("kernels").beginArray();
+    for (const auto& k : e.kernels) {
+      w.beginObject();
+      w.key("kernel").value(k.kernel);
+      w.key("wall_ns").value(k.wallNs);
+      w.key("counters").beginObject();
+      for (const auto& [name, v] : k.counters) w.key(name).value(v);
+      w.endObject();
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+  POLYAST_CHECK(out.good(), "error writing " + path);
+}
+
+BenchCompareResult compareAgainstLatest(const BenchHistory& history,
+                                        const BenchEntry& head,
+                                        double thresholdPct) {
+  BenchCompareResult out;
+  if (history.entries.empty()) {
+    out.firstRun = true;
+    return out;
+  }
+  const BenchEntry& base = history.entries.back();
+  std::set<std::string> baseSeen;
+  for (const auto& k : head.kernels) {
+    const BenchKernelSample* b = base.find(k.kernel);
+    if (!b) {
+      out.added.push_back(k.kernel);
+      continue;
+    }
+    baseSeen.insert(k.kernel);
+    BenchDelta d;
+    d.kernel = k.kernel;
+    d.baseNs = b->wallNs;
+    d.headNs = k.wallNs;
+    d.deltaPct =
+        b->wallNs > 0.0 ? (k.wallNs / b->wallNs - 1.0) * 100.0 : 0.0;
+    d.regression = d.deltaPct > thresholdPct;
+    if (d.regression) ++out.regressions;
+    out.deltas.push_back(std::move(d));
+  }
+  for (const auto& k : base.kernels)
+    if (!baseSeen.count(k.kernel)) out.removed.push_back(k.kernel);
+  return out;
+}
+
+}  // namespace polyast::obs

@@ -1,0 +1,83 @@
+// Versioned benchmark history (`polyast-bench-history-v1`) and the
+// regression comparison behind tools/bench_compare.
+//
+// A history file (BENCH_<host>.json) is an append-only list of entries;
+// each entry holds one suite run: per-kernel wall time plus whatever
+// hardware counters perf.hpp delivered. tools/bench_compare appends the
+// current run and compares it against the previous entry, failing the
+// build on per-kernel slowdowns beyond a threshold — the project's first
+// measured perf gate (ROADMAP: "fast as the hardware allows" needs a
+// recorded trajectory to regress against).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace polyast::obs {
+
+/// One kernel's numbers inside one entry.
+struct BenchKernelSample {
+  std::string kernel;
+  double wallNs = 0.0;
+  /// Hardware counters when available ("cycles", "l1d_misses", ...).
+  std::map<std::string, double> counters;
+};
+
+/// One recorded suite run.
+struct BenchEntry {
+  std::string timestamp;  ///< caller-supplied (ISO-8601 in CI); may be ""
+  std::string label;      ///< e.g. the git SHA or "local"
+  std::vector<BenchKernelSample> kernels;
+
+  const BenchKernelSample* find(const std::string& kernel) const;
+};
+
+struct BenchHistory {
+  std::string host;  ///< free-form machine tag ("ci", a hostname)
+  std::vector<BenchEntry> entries;
+};
+
+/// Parses a history file's contents; throws polyast::Error on malformed
+/// input or a wrong schema tag.
+BenchHistory parseBenchHistory(const std::string& text);
+
+/// Loads `path`; a missing file yields an empty history (first run).
+/// Throws on unreadable/malformed contents.
+BenchHistory loadBenchHistory(const std::string& path,
+                              const std::string& host);
+
+/// Writes the polyast-bench-history-v1 JSON, keeping at most `maxEntries`
+/// most-recent entries (0 = unlimited).
+void saveBenchHistory(const std::string& path, const BenchHistory& history,
+                      std::size_t maxEntries = 0);
+
+/// One kernel's delta between the previous entry and the head run.
+struct BenchDelta {
+  std::string kernel;
+  double baseNs = 0.0;
+  double headNs = 0.0;
+  /// headNs / baseNs - 1 as a percentage (+20 = 20% slower).
+  double deltaPct = 0.0;
+  bool regression = false;  ///< deltaPct > threshold
+};
+
+struct BenchCompareResult {
+  /// No previous entry to compare against (empty history): recorded only.
+  bool firstRun = false;
+  std::vector<BenchDelta> deltas;  ///< kernels present in both entries
+  /// Kernels only in the head run (new) or only in the base (removed) —
+  /// reported, never failed on.
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  int regressions = 0;
+};
+
+/// Compares `head` against the last entry of `history` (which must not yet
+/// contain `head`). A kernel regresses when its wall time grows more than
+/// `thresholdPct` percent.
+BenchCompareResult compareAgainstLatest(const BenchHistory& history,
+                                        const BenchEntry& head,
+                                        double thresholdPct);
+
+}  // namespace polyast::obs

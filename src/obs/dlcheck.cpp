@@ -1,0 +1,139 @@
+#include "obs/dlcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace polyast::obs {
+
+namespace {
+
+/// Average ranks (1-based; ties share the mean of their positions).
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size(), 0.0);
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (a.size() != b.size() || a.size() < 2) return nan;
+  std::vector<double> ra = ranks(a), rb = ranks(b);
+  double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    double da = ra[i] - ma, db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return nan;
+  return cov / std::sqrt(va * vb);
+}
+
+void writeDlCheck(std::ostream& out, const DlCheckReport& report) {
+  bool anyDegraded = false;
+  for (const auto& k : report.kernels)
+    if (k.threadsDegraded > 0 || k.measured.degraded) anyDegraded = true;
+
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value("polyast-dlcheck-v1");
+  w.key("threads").value(report.threads);
+  w.key("degraded").value(anyDegraded);
+  w.key("kernels").beginArray();
+  for (const auto& k : report.kernels) {
+    w.beginObject();
+    w.key("kernel").value(k.kernel);
+    w.key("pipeline").value(k.pipeline);
+    w.key("predicted").beginObject();
+    w.key("lines").value(k.predictedLines);
+    w.key("cost").value(k.predictedCost);
+    w.key("nests").value(k.nests);
+    w.endObject();
+    w.key("measured").beginObject();
+    w.key("degraded").value(k.measured.degraded);
+    if (!k.measured.degradedReason.empty())
+      w.key("degraded_reason").value(k.measured.degradedReason);
+    w.key("wall_ns").value(k.measured.wallNs);
+    w.key("tsc_cycles").value(k.measured.tscCycles);
+    w.key("multiplex_ratio").value(k.measured.multiplexRatio);
+    w.key("threads").value(k.threadsMeasured);
+    w.key("threads_degraded").value(k.threadsDegraded);
+    w.key("counters").beginObject();
+    for (const auto& [name, v] : k.measured.counters) w.key(name).value(v);
+    w.endObject();
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+
+  // Suite summary: rank-correlate predicted lines against each measured
+  // series over the kernels that have it.
+  auto correlate = [&](const std::string& series) {
+    std::vector<double> pred, meas;
+    for (const auto& k : report.kernels) {
+      double v;
+      if (series == "wall_ns") {
+        v = static_cast<double>(k.measured.wallNs);
+      } else {
+        std::int64_t c = k.measured.counter(series);
+        if (c < 0) continue;  // degraded / not opened on this kernel
+        v = static_cast<double>(c);
+      }
+      pred.push_back(k.predictedLines);
+      meas.push_back(v);
+    }
+    return spearman(pred, meas);
+  };
+  w.key("summary").beginObject();
+  w.key("kernel_count")
+      .value(static_cast<std::int64_t>(report.kernels.size()));
+  w.key("rank_correlation").beginObject();
+  for (const char* series :
+       {"l1d_misses", "llc_misses", "cycles", "wall_ns"}) {
+    double r = correlate(series);
+    w.key(series);
+    if (std::isnan(r)) w.null();
+    else w.value(r);
+  }
+  w.endObject();
+  w.endObject();
+  w.endObject();
+  out << "\n";
+}
+
+void writeDlCheckFile(const std::string& path, const DlCheckReport& report) {
+  std::ofstream out(path);
+  POLYAST_CHECK(out.good(), "cannot write " + path);
+  writeDlCheck(out, report);
+  POLYAST_CHECK(out.good(), "error writing " + path);
+}
+
+}  // namespace polyast::obs

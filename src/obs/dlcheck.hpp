@@ -1,0 +1,63 @@
+// The `polyast-dlcheck-v1` artifact: DL-model predictions next to measured
+// hardware counters, per kernel, plus a suite-level Spearman
+// rank-correlation summary.
+//
+// This is the predicted-vs-measured closing of the loop: the flow pipeline
+// chose schedules using DL's distinct-lines estimates; `polyastc --execute
+// --perf` measures the same optimized nests with perf.hpp sessions and
+// writes both sides here so CI (obs_validate --dlcheck) and humans can see
+// whether the model ordered the kernels the way the hardware does.
+//
+// The obs layer cannot depend on src/dl (dl links obs), so the report
+// takes plain numbers; src/dl/dl_predict.hpp produces them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/perf.hpp"
+
+namespace polyast::obs {
+
+/// One kernel's predicted-vs-measured record.
+struct DlCheckKernel {
+  std::string kernel;    ///< e.g. "gemm"
+  std::string pipeline;  ///< preset that produced the schedule ("polyast")
+  /// DL-model side (dl::predictProgram on the optimized program).
+  double predictedLines = 0.0;
+  double predictedCost = 0.0;
+  int nests = 0;
+  /// Hardware side: summed per-thread readings of the measured execution.
+  PerfReading measured;
+  int threadsMeasured = 0;
+  int threadsDegraded = 0;
+};
+
+struct DlCheckReport {
+  std::vector<DlCheckKernel> kernels;
+  int threads = 1;  ///< thread-pool size of the measured runs
+};
+
+/// Spearman rank correlation of two equal-length samples (average ranks on
+/// ties). Returns NaN when undefined: fewer than two points, length
+/// mismatch, or zero variance in either sample.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Writes the polyast-dlcheck-v1 JSON:
+/// {"schema":"polyast-dlcheck-v1","threads":N,"degraded":bool,
+///  "kernels":[{"kernel","pipeline",
+///    "predicted":{"lines","cost","nests"},
+///    "measured":{"degraded","degraded_reason"?,"wall_ns","tsc_cycles",
+///                "multiplex_ratio","threads","threads_degraded",
+///                "counters":{...}}}],
+///  "summary":{"kernel_count",
+///    "rank_correlation":{"l1d_misses","llc_misses","cycles","wall_ns"}}}
+/// Correlations pair predicted lines with the measured series across
+/// kernels; entries are null when undefined (degraded counters, < 2
+/// kernels, or zero variance). Top-level "degraded" is true when any
+/// kernel had a degraded thread.
+void writeDlCheck(std::ostream& out, const DlCheckReport& report);
+void writeDlCheckFile(const std::string& path, const DlCheckReport& report);
+
+}  // namespace polyast::obs

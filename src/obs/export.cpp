@@ -108,20 +108,27 @@ void writeMetricsCsv(std::ostream& out, const MetricsSnapshot& snapshot) {
   for (const auto& [name, v] : snapshot.counters)
     out << "counter," << csvEscape(name) << ",value," << v << "\n";
   for (const auto& [name, v] : snapshot.gauges)
-    out << "gauge," << csvEscape(name) << ",value," << v << "\n";
+    out << "gauge," << csvEscape(name) << ",value," << formatJsonNumber(v)
+        << "\n";
   for (const auto& [name, h] : snapshot.histograms) {
+    // Bucket edges render via the same shortest-round-trip formatter as
+    // the JSON exporter, so `le_<bound>` keys match the JSON `bounds`
+    // array textually (previously they were truncated to ostream's
+    // default 6 significant digits — "le_2.09715e+06").
     for (std::size_t i = 0; i < h.bucketCounts.size(); ++i) {
-      std::ostringstream key;
-      key << "le_";
-      if (i < h.bounds.size()) key << h.bounds[i];
-      else key << "inf";
-      out << "histogram," << csvEscape(name) << "," << key.str() << ","
+      std::string key = "le_";
+      if (i < h.bounds.size()) key += formatJsonNumber(h.bounds[i]);
+      else key += "inf";
+      out << "histogram," << csvEscape(name) << "," << key << ","
           << h.bucketCounts[i] << "\n";
     }
     out << "histogram," << csvEscape(name) << ",count," << h.count << "\n";
-    out << "histogram," << csvEscape(name) << ",sum," << h.sum << "\n";
-    out << "histogram," << csvEscape(name) << ",min," << h.min << "\n";
-    out << "histogram," << csvEscape(name) << ",max," << h.max << "\n";
+    out << "histogram," << csvEscape(name) << ",sum,"
+        << formatJsonNumber(h.sum) << "\n";
+    out << "histogram," << csvEscape(name) << ",min,"
+        << formatJsonNumber(h.min) << "\n";
+    out << "histogram," << csvEscape(name) << ",max,"
+        << formatJsonNumber(h.max) << "\n";
   }
   for (const auto& [name, text] : snapshot.notes)
     out << "note," << csvEscape(name) << ",text," << csvEscape(text) << "\n";

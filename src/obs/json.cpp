@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/error.hpp"
 
@@ -62,16 +63,21 @@ JsonWriter& JsonWriter::value(const std::string& v) {
 
 JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
 
+std::string formatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[64];
+  // Shortest round-trip-exact rendering: grow precision until strtod
+  // gives the value back. 17 significant digits always round-trip.
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
 JsonWriter& JsonWriter::value(double v) {
   separate();
-  if (!std::isfinite(v)) {
-    // JSON has no inf/nan; exporters clamp to null.
-    out_ << "null";
-    return *this;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out_ << buf;
+  out_ << formatJsonNumber(v);
   return *this;
 }
 

@@ -16,6 +16,13 @@
 
 namespace polyast::obs {
 
+/// Canonical decimal rendering of a finite double: the shortest string
+/// that round-trips to the same value ("128", "0.4", "2097152"). Every
+/// exporter (JSON and CSV) renders numbers through this, so the same
+/// histogram bucket edge prints identically in every artifact — consumers
+/// may join on the text. Non-finite values render as "null".
+std::string formatJsonNumber(double v);
+
 /// Streaming JSON writer with automatic comma placement. Usage:
 ///   JsonWriter w(out);
 ///   w.beginObject();

@@ -72,6 +72,11 @@ std::vector<double> expBounds(double start, double factor, int count) {
   return bounds;
 }
 
+const std::vector<double>& waitLatencyBounds() {
+  static const std::vector<double> bounds = expBounds(128.0, 4.0, 14);
+  return bounds;
+}
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;

@@ -83,6 +83,13 @@ class Histogram {
 /// the default shape for latency histograms in nanoseconds.
 std::vector<double> expBounds(double start, double factor, int count);
 
+/// The documented, stable bucket edges for runtime wait-latency histograms
+/// (`runtime.pipeline.wait_ns.*`): 14 integer-valued nanosecond bounds
+/// 128 * 4^k, k = 0..13 (128 ns .. ~8.6 s), plus the implicit overflow
+/// bucket. Exporters render these edges identically in JSON and CSV (see
+/// obs::formatJsonNumber); consumers may key on the rendered text.
+const std::vector<double>& waitLatencyBounds();
+
 /// Plain-value view of one histogram (see Registry::snapshot()).
 struct HistogramData {
   std::vector<double> bounds;

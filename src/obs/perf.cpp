@@ -1,0 +1,358 @@
+#include "obs/perf.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace polyast::obs {
+
+namespace {
+
+std::uint64_t wallNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t tscNow() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+const char* perfCounterName(PerfCounter c) {
+  switch (c) {
+    case PerfCounter::Cycles: return "cycles";
+    case PerfCounter::Instructions: return "instructions";
+    case PerfCounter::L1DMisses: return "l1d_misses";
+    case PerfCounter::LLCMisses: return "llc_misses";
+    case PerfCounter::DTLBMisses: return "dtlb_misses";
+  }
+  return "unknown";
+}
+
+const std::vector<PerfCounter>& defaultPerfCounters() {
+  static const std::vector<PerfCounter> set = {
+      PerfCounter::Cycles, PerfCounter::Instructions, PerfCounter::L1DMisses,
+      PerfCounter::LLCMisses, PerfCounter::DTLBMisses};
+  return set;
+}
+
+bool perfDisabledByEnv() {
+  const char* v = std::getenv("POLYAST_PERF");
+  if (!v) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0;
+}
+
+PerfReading& PerfReading::operator+=(const PerfReading& o) {
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  wallNs += o.wallNs;
+  tscCycles += o.tscCycles;
+  // Keep the worst (smallest) multiplex ratio of any contribution: the
+  // totals are at most as trustworthy as their most-multiplexed part.
+  if (o.multiplexRatio < multiplexRatio) multiplexRatio = o.multiplexRatio;
+  if (!o.degraded) degraded = false;
+  else if (degradedReason.empty()) degradedReason = o.degradedReason;
+  return *this;
+}
+
+std::int64_t PerfReading::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? -1 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// PerfSession
+
+struct PerfSession::Impl {
+  PerfOptions opts;
+  bool degraded = true;
+  std::string reason;
+  std::vector<PerfCounter> active;  ///< counters that opened, group order
+#if defined(__linux__)
+  std::vector<int> fds;  ///< fds[0] is the group leader
+#endif
+  std::uint64_t wallStart = 0;
+  std::uint64_t tscStart = 0;
+  bool running = false;
+};
+
+#if defined(__linux__)
+
+namespace {
+
+long perfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int groupFd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, groupFd, flags);
+}
+
+/// type/config pair for one PerfCounter.
+bool counterConfig(PerfCounter c, std::uint32_t& type, std::uint64_t& config) {
+  auto hwCache = [](std::uint64_t cache, std::uint64_t op,
+                    std::uint64_t result) {
+    return cache | (op << 8) | (result << 16);
+  };
+  switch (c) {
+    case PerfCounter::Cycles:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_CPU_CYCLES;
+      return true;
+    case PerfCounter::Instructions:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_INSTRUCTIONS;
+      return true;
+    case PerfCounter::L1DMisses:
+      type = PERF_TYPE_HW_CACHE;
+      config = hwCache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                       PERF_COUNT_HW_CACHE_RESULT_MISS);
+      return true;
+    case PerfCounter::LLCMisses:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_CACHE_MISSES;
+      return true;
+    case PerfCounter::DTLBMisses:
+      type = PERF_TYPE_HW_CACHE;
+      config = hwCache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                       PERF_COUNT_HW_CACHE_RESULT_MISS);
+      return true;
+  }
+  return false;
+}
+
+const char* errnoName(int e) {
+  switch (e) {
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case ENOSYS: return "ENOSYS";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case EOPNOTSUPP: return "EOPNOTSUPP";
+    case EINVAL: return "EINVAL";
+    case EMFILE: return "EMFILE";
+    default: return "errno";
+  }
+}
+
+}  // namespace
+
+#endif  // __linux__
+
+PerfSession::PerfSession(const PerfOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = opts;
+  if (opts.forceDegraded || perfDisabledByEnv()) {
+    impl_->reason = "forced";
+    return;
+  }
+#if defined(__linux__)
+  for (PerfCounter c : opts.counters) {
+    std::uint32_t type = 0;
+    std::uint64_t config = 0;
+    if (!counterConfig(c, type, config)) continue;
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = impl_->fds.empty() ? 1 : 0;  // group starts disabled
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    int groupFd = impl_->fds.empty() ? -1 : impl_->fds.front();
+    long fd = perfEventOpen(&attr, 0, -1, groupFd, PERF_FLAG_FD_CLOEXEC);
+    if (fd < 0) {
+      if (impl_->fds.empty()) {
+        // Leader failed: the whole session degrades and remembers why.
+        impl_->reason = errnoName(errno);
+        return;
+      }
+      continue;  // drop this member, keep the rest of the group
+    }
+    impl_->fds.push_back(static_cast<int>(fd));
+    impl_->active.push_back(c);
+  }
+  if (!impl_->fds.empty()) {
+    impl_->degraded = false;
+    impl_->reason.clear();
+  } else {
+    impl_->reason = "no-counters";
+  }
+#else
+  impl_->reason = "unsupported-platform";
+#endif
+}
+
+PerfSession::~PerfSession() {
+#if defined(__linux__)
+  if (impl_)
+    for (int fd : impl_->fds) close(fd);
+#endif
+}
+
+PerfSession::PerfSession(PerfSession&&) noexcept = default;
+PerfSession& PerfSession::operator=(PerfSession&&) noexcept = default;
+
+bool PerfSession::degraded() const { return impl_->degraded; }
+const std::string& PerfSession::degradedReason() const {
+  return impl_->reason;
+}
+std::vector<PerfCounter> PerfSession::activeCounters() const {
+  return impl_->active;
+}
+
+void PerfSession::start() {
+#if defined(__linux__)
+  if (!impl_->degraded) {
+    ioctl(impl_->fds.front(), PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(impl_->fds.front(), PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+  impl_->wallStart = wallNowNs();
+  impl_->tscStart = tscNow();
+  impl_->running = true;
+}
+
+PerfReading PerfSession::stop() {
+  PerfReading out;
+  if (!impl_->running) return out;
+  impl_->running = false;
+  out.wallNs = wallNowNs() - impl_->wallStart;
+  std::uint64_t tsc = tscNow();
+  out.tscCycles = tsc >= impl_->tscStart ? tsc - impl_->tscStart : 0;
+  out.degraded = impl_->degraded;
+  out.degradedReason = impl_->reason;
+#if defined(__linux__)
+  if (!impl_->degraded) {
+    ioctl(impl_->fds.front(), PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    // Grouped read: { nr, time_enabled, time_running, values[nr] }.
+    std::vector<std::uint64_t> buf(3 + impl_->fds.size() + 1, 0);
+    ssize_t n = read(impl_->fds.front(), buf.data(),
+                     buf.size() * sizeof(std::uint64_t));
+    if (n >= static_cast<ssize_t>(3 * sizeof(std::uint64_t)) &&
+        buf[0] == impl_->fds.size()) {
+      double scale = 1.0;
+      if (buf[2] > 0 && buf[1] > buf[2]) {
+        scale = static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+        out.multiplexRatio =
+            static_cast<double>(buf[2]) / static_cast<double>(buf[1]);
+      }
+      for (std::size_t i = 0; i < impl_->active.size(); ++i) {
+        double v = static_cast<double>(buf[3 + i]) * scale;
+        out.counters[perfCounterName(impl_->active[i])] =
+            static_cast<std::int64_t>(v);
+      }
+    } else {
+      out.degraded = true;
+      out.degradedReason = "group-read-failed";
+      out.counters.clear();
+    }
+  }
+#endif
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PerfAggregate
+
+namespace {
+
+/// Dense per-thread key; reuses the tracer's thread-id assignment so perf
+/// sessions and trace lanes agree on thread identity.
+std::uint64_t threadKey() { return threadId(); }
+
+}  // namespace
+
+PerfAggregate::PerfAggregate(PerfOptions opts) : opts_(std::move(opts)) {}
+PerfAggregate::~PerfAggregate() = default;
+
+void PerfAggregate::beginThread() {
+  auto session = std::make_unique<PerfSession>(opts_);
+  session->start();
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_[threadKey()] = std::move(session);
+}
+
+void PerfAggregate::endThread() {
+  std::unique_ptr<PerfSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_.find(threadKey());
+    if (it == live_.end()) return;
+    session = std::move(it->second);
+    live_.erase(it);
+  }
+  PerfReading r = session->stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++threadsMeasured_;
+  if (r.degraded) {
+    ++threadsDegraded_;
+    if (firstDegradedReason_.empty()) firstDegradedReason_ = r.degradedReason;
+  }
+  totals_ += r;
+}
+
+PerfReading PerfAggregate::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+int PerfAggregate::threadsMeasured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threadsMeasured_;
+}
+
+int PerfAggregate::threadsDegraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threadsDegraded_;
+}
+
+void PerfAggregate::recordTo(Registry& reg, const std::string& prefix) const {
+  PerfReading t;
+  int measured = 0, degraded = 0;
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    t = totals_;
+    measured = threadsMeasured_;
+    degraded = threadsDegraded_;
+    reason = firstDegradedReason_;
+  }
+  for (const auto& [name, v] : t.counters)
+    reg.counter(prefix + "." + name).add(v);
+  reg.counter(prefix + ".wall_ns").add(static_cast<std::int64_t>(t.wallNs));
+  reg.counter(prefix + ".tsc_cycles")
+      .add(static_cast<std::int64_t>(t.tscCycles));
+  reg.gauge(prefix + ".threads").set(static_cast<double>(measured));
+  if (degraded > 0)
+    reg.note("obs.perf.degraded",
+             reason.empty() ? "unknown" : reason + " (" +
+                 std::to_string(degraded) + "/" + std::to_string(measured) +
+                 " threads)");
+}
+
+}  // namespace polyast::obs

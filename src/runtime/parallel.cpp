@@ -35,7 +35,7 @@ obs::Histogram* waitHistogram(unsigned tid) {
   if (!obs::Registry::global().timingEnabled()) return nullptr;
   return &obs::Registry::global().histogram(
       "runtime.pipeline.wait_ns.t" + std::to_string(tid),
-      obs::expBounds(128.0, 4.0, 14));
+      obs::waitLatencyBounds());
 }
 
 /// Worker id of the thread inside the current runOnAll job (see

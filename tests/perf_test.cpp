@@ -1,0 +1,392 @@
+// Tests for the hardware-counter layer (obs/perf.hpp), the DL-validation
+// artifact (obs/dlcheck.hpp), the benchmark history / regression gate
+// (obs/bench_history.hpp), and the stable-number-rendering guarantees
+// (formatJsonNumber, waitLatencyBounds).
+//
+// Hardware counters are environment-dependent, so every PerfSession test
+// either forces degraded mode (the deterministic path CI exercises via
+// POLYAST_PERF=off) or asserts invariants that hold on both paths: a
+// session must never crash and must always deliver wall time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_history.hpp"
+#include "obs/dlcheck.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "support/error.hpp"
+
+namespace polyast::obs {
+namespace {
+
+void burn() {
+  volatile double x = 0.0;
+  for (int i = 0; i < 200000; ++i) x += static_cast<double>(i) * 1e-9;
+}
+
+// --------------------------------------------------------------------------
+// PerfSession / PerfReading
+
+TEST(PerfSession, ForcedDegradedStillMeasuresWallTime) {
+  PerfOptions opts;
+  opts.forceDegraded = true;
+  PerfSession session(opts);
+  EXPECT_TRUE(session.degraded());
+  EXPECT_EQ(session.degradedReason(), "forced");
+  EXPECT_TRUE(session.activeCounters().empty());
+
+  session.start();
+  burn();
+  PerfReading r = session.stop();
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.degradedReason, "forced");
+  EXPECT_TRUE(r.counters.empty());
+  EXPECT_GT(r.wallNs, 0u);
+  EXPECT_EQ(r.counter("cycles"), -1);  // absent counter sentinel
+}
+
+TEST(PerfSession, DefaultSessionNeverCrashes) {
+  // Real counters when the machine has a PMU, a named degraded reason
+  // when it does not — never an exception, and always wall time.
+  PerfSession session;
+  session.start();
+  burn();
+  PerfReading r = session.stop();
+  EXPECT_GT(r.wallNs, 0u);
+  if (r.degraded) {
+    EXPECT_FALSE(r.degradedReason.empty());
+    EXPECT_TRUE(r.counters.empty());
+  } else {
+    EXPECT_FALSE(r.counters.empty());
+    EXPECT_GE(r.counter("cycles"), 0);
+    EXPECT_GT(r.multiplexRatio, 0.0);
+  }
+}
+
+TEST(PerfSession, RestartableAcrossStartStopCycles) {
+  PerfOptions opts;
+  opts.forceDegraded = true;
+  PerfSession session(opts);
+  session.start();
+  PerfReading first = session.stop();
+  session.start();
+  burn();
+  PerfReading second = session.stop();
+  EXPECT_GT(second.wallNs, 0u);
+  EXPECT_GE(first.wallNs, 0u);
+}
+
+TEST(PerfReading, AccumulateSumsAndKeepsWorstMultiplex) {
+  PerfReading a;
+  a.degraded = false;
+  a.counters["cycles"] = 100;
+  a.counters["l1d_misses"] = 7;
+  a.wallNs = 10;
+  a.tscCycles = 5;
+  a.multiplexRatio = 1.0;
+
+  PerfReading b;
+  b.degraded = false;
+  b.counters["cycles"] = 50;
+  b.wallNs = 7;
+  b.multiplexRatio = 0.5;
+
+  a += b;
+  EXPECT_FALSE(a.degraded);
+  EXPECT_EQ(a.counter("cycles"), 150);
+  EXPECT_EQ(a.counter("l1d_misses"), 7);
+  EXPECT_EQ(a.wallNs, 17u);
+  EXPECT_EQ(a.tscCycles, 5u);
+  EXPECT_DOUBLE_EQ(a.multiplexRatio, 0.5);  // worst of any contribution
+}
+
+TEST(PerfReading, DegradedOnlyWhenEveryContributionDegraded) {
+  PerfReading total;  // default-constructed: degraded, empty
+  PerfReading degradedPart;
+  degradedPart.degraded = true;
+  degradedPart.degradedReason = "forced";
+  degradedPart.wallNs = 3;
+  total += degradedPart;
+  EXPECT_TRUE(total.degraded);
+  EXPECT_EQ(total.degradedReason, "forced");
+
+  PerfReading livePart;
+  livePart.degraded = false;
+  livePart.counters["cycles"] = 9;
+  total += livePart;
+  EXPECT_FALSE(total.degraded);  // one live thread makes the total live
+  EXPECT_EQ(total.counter("cycles"), 9);
+}
+
+// --------------------------------------------------------------------------
+// PerfAggregate
+
+TEST(PerfAggregate, CollectsPerThreadReadings) {
+  PerfOptions opts;
+  opts.forceDegraded = true;  // deterministic on every host
+  PerfAggregate agg(opts);
+
+  agg.beginThread();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t)
+    workers.emplace_back([&agg] {
+      agg.beginThread();
+      burn();
+      agg.endThread();
+    });
+  for (auto& w : workers) w.join();
+  burn();
+  agg.endThread();
+
+  EXPECT_EQ(agg.threadsMeasured(), 4);
+  EXPECT_EQ(agg.threadsDegraded(), 4);
+  PerfReading t = agg.totals();
+  EXPECT_TRUE(t.degraded);
+  EXPECT_GT(t.wallNs, 0u);
+}
+
+TEST(PerfAggregate, EndWithoutBeginIsANoOp) {
+  PerfAggregate agg;
+  agg.endThread();
+  EXPECT_EQ(agg.threadsMeasured(), 0);
+}
+
+TEST(PerfAggregate, RecordToWritesMetricsAndDegradedNote) {
+  PerfOptions opts;
+  opts.forceDegraded = true;
+  PerfAggregate agg(opts);
+  agg.beginThread();
+  burn();
+  agg.endThread();
+
+  Registry reg;
+  agg.recordTo(reg);
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GT(snap.counter("perf.wall_ns"), 0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("perf.threads"), 1.0);
+  ASSERT_TRUE(snap.notes.count("obs.perf.degraded"));
+  EXPECT_NE(snap.notes.at("obs.perf.degraded").find("forced"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Spearman rank correlation
+
+TEST(Spearman, PerfectMonotoneIsOne) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{10, 200, 3000, 40000, 500000};  // any monotone map
+  EXPECT_DOUBLE_EQ(spearman(a, b), 1.0);
+  std::vector<double> rev{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(spearman(a, rev), -1.0);
+}
+
+TEST(Spearman, TiesUseAverageRanks) {
+  // {1, 2, 2, 3} vs {1, 2, 2, 3}: still a perfect correlation with the
+  // tied pair sharing rank 2.5.
+  std::vector<double> a{1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(a, a), 1.0);
+}
+
+TEST(Spearman, UndefinedCasesAreNaN) {
+  EXPECT_TRUE(std::isnan(spearman({}, {})));
+  EXPECT_TRUE(std::isnan(spearman({1.0}, {2.0})));            // < 2 points
+  EXPECT_TRUE(std::isnan(spearman({1, 2}, {1, 2, 3})));       // mismatch
+  EXPECT_TRUE(std::isnan(spearman({7, 7, 7}, {1, 2, 3})));    // no variance
+}
+
+// --------------------------------------------------------------------------
+// dlcheck artifact round-trip
+
+TEST(DlCheck, WriterEmitsSchemaValidV1) {
+  DlCheckReport report;
+  report.threads = 2;
+  for (int i = 0; i < 3; ++i) {
+    DlCheckKernel k;
+    k.kernel = "k" + std::to_string(i);
+    k.pipeline = "polyast";
+    k.predictedLines = 10.0 * (i + 1);
+    k.predictedCost = 10.0 * (i + 1);
+    k.nests = i + 1;
+    k.measured.degraded = true;
+    k.measured.degradedReason = "forced";
+    k.measured.wallNs = static_cast<std::uint64_t>(1000 * (i + 1));
+    k.threadsMeasured = 2;
+    k.threadsDegraded = 2;
+    report.kernels.push_back(std::move(k));
+  }
+
+  std::ostringstream out;
+  writeDlCheck(out, report);
+  JsonValue root = parseJson(out.str());
+
+  ASSERT_TRUE(root.isObject());
+  EXPECT_EQ(root.find("schema")->text, "polyast-dlcheck-v1");
+  EXPECT_EQ(root.find("threads")->number, 2.0);
+  EXPECT_TRUE(root.find("degraded")->boolValue);
+  const JsonValue* kernels = root.find("kernels");
+  ASSERT_TRUE(kernels && kernels->isArray());
+  ASSERT_EQ(kernels->items.size(), 3u);
+  const JsonValue& k0 = kernels->items[0];
+  EXPECT_EQ(k0.find("kernel")->text, "k0");
+  EXPECT_EQ(k0.find("predicted")->find("lines")->number, 10.0);
+  const JsonValue* measured = k0.find("measured");
+  ASSERT_TRUE(measured);
+  EXPECT_TRUE(measured->find("degraded")->boolValue);
+  EXPECT_EQ(measured->find("degraded_reason")->text, "forced");
+  EXPECT_EQ(measured->find("wall_ns")->number, 1000.0);
+
+  const JsonValue* summary = root.find("summary");
+  ASSERT_TRUE(summary);
+  EXPECT_EQ(summary->find("kernel_count")->number, 3.0);
+  const JsonValue* corr = summary->find("rank_correlation");
+  ASSERT_TRUE(corr && corr->isObject());
+  // Predicted lines and wall_ns are both strictly increasing here.
+  const JsonValue* wall = corr->find("wall_ns");
+  ASSERT_TRUE(wall && wall->isNumber());
+  EXPECT_DOUBLE_EQ(wall->number, 1.0);
+  // Degraded run: hardware-counter correlations are undefined -> null.
+  const JsonValue* l1d = corr->find("l1d_misses");
+  ASSERT_TRUE(l1d);
+  EXPECT_EQ(l1d->kind, JsonValue::Kind::Null);
+}
+
+// --------------------------------------------------------------------------
+// Benchmark history + regression comparison
+
+BenchEntry makeEntry(const std::string& label, double gemmNs,
+                     double mvtNs) {
+  BenchEntry e;
+  e.label = label;
+  e.kernels.push_back({"gemm", gemmNs, {{"cycles", gemmNs * 3.0}}});
+  e.kernels.push_back({"mvt", mvtNs, {}});
+  return e;
+}
+
+TEST(BenchHistory, RoundTripsThroughDisk) {
+  const std::string path = "perf_test_bench_history.json";
+  BenchHistory h;
+  h.host = "test";
+  h.entries.push_back(makeEntry("a", 1e6, 5e5));
+  h.entries.push_back(makeEntry("b", 1.1e6, 5.1e5));
+  saveBenchHistory(path, h);
+
+  BenchHistory back = loadBenchHistory(path, "test");
+  std::remove(path.c_str());
+  EXPECT_EQ(back.host, "test");
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[1].label, "b");
+  const BenchKernelSample* gemm = back.entries[1].find("gemm");
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_DOUBLE_EQ(gemm->wallNs, 1.1e6);
+  EXPECT_DOUBLE_EQ(gemm->counters.at("cycles"), 3.3e6);
+  EXPECT_EQ(back.entries[1].find("nope"), nullptr);
+}
+
+TEST(BenchHistory, MissingFileIsFirstRun) {
+  BenchHistory h = loadBenchHistory("perf_test_no_such_file.json", "test");
+  EXPECT_TRUE(h.entries.empty());
+  BenchCompareResult r =
+      compareAgainstLatest(h, makeEntry("head", 1e6, 5e5), 10.0);
+  EXPECT_TRUE(r.firstRun);
+  EXPECT_EQ(r.regressions, 0);
+}
+
+TEST(BenchHistory, SaveTrimsToMaxEntries) {
+  const std::string path = "perf_test_bench_trim.json";
+  BenchHistory h;
+  h.host = "test";
+  for (int i = 0; i < 5; ++i)
+    h.entries.push_back(makeEntry("e" + std::to_string(i), 1e6, 5e5));
+  saveBenchHistory(path, h, 2);
+  BenchHistory back = loadBenchHistory(path, "test");
+  std::remove(path.c_str());
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].label, "e3");  // most-recent entries survive
+  EXPECT_EQ(back.entries[1].label, "e4");
+}
+
+TEST(BenchHistory, MalformedContentsThrow) {
+  EXPECT_THROW(parseBenchHistory("{\"schema\":\"wrong\"}"), Error);
+  EXPECT_THROW(parseBenchHistory("not json"), Error);
+}
+
+TEST(BenchCompare, DetectsInjectedSlowdown) {
+  BenchHistory h;
+  h.entries.push_back(makeEntry("base", 1e6, 5e5));
+
+  // 2% drift passes a 10% gate.
+  BenchCompareResult ok =
+      compareAgainstLatest(h, makeEntry("head", 1.02e6, 4.95e5), 10.0);
+  EXPECT_FALSE(ok.firstRun);
+  EXPECT_EQ(ok.regressions, 0);
+  ASSERT_EQ(ok.deltas.size(), 2u);
+
+  // Injected 20% slowdown on gemm fails it, naming the kernel.
+  BenchCompareResult bad =
+      compareAgainstLatest(h, makeEntry("head", 1.2e6, 5e5), 10.0);
+  EXPECT_EQ(bad.regressions, 1);
+  bool found = false;
+  for (const auto& d : bad.deltas)
+    if (d.kernel == "gemm") {
+      EXPECT_TRUE(d.regression);
+      EXPECT_NEAR(d.deltaPct, 20.0, 0.01);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+
+  // The same head passes a 25% threshold.
+  EXPECT_EQ(compareAgainstLatest(h, makeEntry("head", 1.2e6, 5e5), 25.0)
+                .regressions,
+            0);
+}
+
+TEST(BenchCompare, ReportsAddedAndRemovedKernels) {
+  BenchHistory h;
+  h.entries.push_back(makeEntry("base", 1e6, 5e5));
+  BenchEntry head;
+  head.label = "head";
+  head.kernels.push_back({"gemm", 1e6, {}});
+  head.kernels.push_back({"syrk", 2e6, {}});  // new kernel
+  BenchCompareResult r = compareAgainstLatest(h, head, 10.0);
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0], "syrk");
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0], "mvt");
+  EXPECT_EQ(r.regressions, 0);  // added/removed never fail the gate
+}
+
+// --------------------------------------------------------------------------
+// Stable number rendering (satellite of the dlcheck work: bucket edges and
+// counter values must print identically in every exporter).
+
+TEST(FormatJsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(formatJsonNumber(128.0), "128");
+  EXPECT_EQ(formatJsonNumber(2097152.0), "2097152");  // not "2.09715e+06"
+  EXPECT_EQ(formatJsonNumber(0.5), "0.5");
+  EXPECT_EQ(formatJsonNumber(-3.0), "-3");
+  EXPECT_EQ(formatJsonNumber(0.0), "0");
+  // Round-trip guarantee on a value with no short decimal form.
+  std::string s = formatJsonNumber(0.1);
+  EXPECT_DOUBLE_EQ(std::stod(s), 0.1);
+  EXPECT_EQ(formatJsonNumber(std::nan("")), "null");
+}
+
+TEST(WaitLatencyBounds, StableDocumentedEdges) {
+  const std::vector<double>& b = waitLatencyBounds();
+  ASSERT_EQ(b.size(), 14u);
+  EXPECT_DOUBLE_EQ(b.front(), 128.0);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b[i], b[i - 1] * 4.0);
+    // Integer-valued edges: they render exactly in CSV/JSON exports.
+    EXPECT_DOUBLE_EQ(b[i], std::floor(b[i]));
+  }
+}
+
+}  // namespace
+}  // namespace polyast::obs

@@ -1,0 +1,287 @@
+// bench_compare — the benchmark-regression gate.
+//
+// Ingests per-kernel timing/counter data (polyast-dlcheck-v1 artifacts
+// from `polyastc --execute --perf-out`, and/or polyast-metrics-v1 files
+// from the benches' POLYAST_BENCH_METRICS), appends one entry to a
+// versioned history file (BENCH_<host>.json, schema
+// polyast-bench-history-v1), compares against the previous entry, and
+// exits nonzero when any kernel's wall time regressed beyond the
+// threshold.
+//
+// Usage:
+//   bench_compare --history FILE [--dlcheck FILE]... [--metrics FILE]...
+//                 [--label STR] [--timestamp STR] [--host STR]
+//                 [--threshold PCT] [--max-entries N] [--record-only]
+//   bench_compare --selftest
+//
+//   --dlcheck FILE    one sample per kernel in the artifact (wall_ns +
+//                     hardware counters when not degraded)
+//   --metrics FILE    one sample named after the file's basename;
+//                     wall_ns comes from the `perf.wall_ns` counter
+//                     (fallback: gauge `flow.total_millis` * 1e6),
+//                     counters from every `perf.*` counter
+//   --threshold PCT   per-kernel wall-time growth that fails the gate
+//                     (default 10)
+//   --max-entries N   history entries kept after appending (default 50)
+//   --record-only     append + report, never fail (CI seeding mode)
+//   --selftest        run the built-in first-run / no-regression /
+//                     injected-20%-slowdown checks and exit
+//
+// Exit codes: 0 ok (including first run), 1 usage/io/malformed input,
+// 5 regression detected.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_history.hpp"
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+using namespace polyast;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: bench_compare --history FILE [--dlcheck FILE]..."
+         " [--metrics FILE]...\n"
+         "                     [--label STR] [--timestamp STR] [--host STR]\n"
+         "                     [--threshold PCT] [--max-entries N]"
+         " [--record-only]\n"
+         "       bench_compare --selftest\n"
+         "exit codes: 0 ok/first-run, 1 usage/io, 5 regression\n";
+  return 1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  POLYAST_CHECK(in.good(), "cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Samples from a polyast-dlcheck-v1 artifact: one per kernel.
+void ingestDlCheck(const std::string& path,
+                   std::vector<obs::BenchKernelSample>& out) {
+  obs::JsonValue root = obs::parseJson(slurp(path));
+  const obs::JsonValue* schema = root.find("schema");
+  POLYAST_CHECK(schema && schema->isString() &&
+                    schema->text == "polyast-dlcheck-v1",
+                path + ": not a polyast-dlcheck-v1 artifact");
+  const obs::JsonValue* kernels = root.find("kernels");
+  POLYAST_CHECK(kernels && kernels->isArray(), path + ": no kernels array");
+  for (const obs::JsonValue& k : kernels->items) {
+    obs::BenchKernelSample sample;
+    const obs::JsonValue* name = k.find("kernel");
+    POLYAST_CHECK(name && name->isString(), path + ": kernel without name");
+    sample.kernel = name->text;
+    const obs::JsonValue* measured = k.find("measured");
+    POLYAST_CHECK(measured && measured->isObject(),
+                  path + ": kernel without measured object");
+    const obs::JsonValue* wall = measured->find("wall_ns");
+    POLYAST_CHECK(wall && wall->isNumber(),
+                  path + ": measured without wall_ns");
+    sample.wallNs = wall->number;
+    if (const obs::JsonValue* c = measured->find("counters");
+        c && c->isObject())
+      for (const auto& [cname, cv] : c->members)
+        if (cv.isNumber()) sample.counters[cname] = cv.number;
+    out.push_back(std::move(sample));
+  }
+}
+
+std::string baseName(const std::string& path) {
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos)
+    name = name.substr(slash + 1);
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos)
+    name = name.substr(0, dot);
+  return name;
+}
+
+/// One sample from a polyast-metrics-v1 snapshot (a whole bench process),
+/// named after the file.
+void ingestMetrics(const std::string& path,
+                   std::vector<obs::BenchKernelSample>& out) {
+  obs::JsonValue root = obs::parseJson(slurp(path));
+  const obs::JsonValue* schema = root.find("schema");
+  POLYAST_CHECK(schema && schema->isString() &&
+                    schema->text == "polyast-metrics-v1",
+                path + ": not a polyast-metrics-v1 artifact");
+  obs::BenchKernelSample sample;
+  sample.kernel = baseName(path);
+  const obs::JsonValue* counters = root.find("counters");
+  if (counters && counters->isObject()) {
+    for (const auto& [name, v] : counters->members) {
+      if (name.rfind("perf.", 0) == 0 && v.isNumber())
+        sample.counters[name.substr(5)] = v.number;
+    }
+  }
+  if (auto it = sample.counters.find("wall_ns");
+      it != sample.counters.end()) {
+    sample.wallNs = it->second;
+    sample.counters.erase(it);
+  } else if (const obs::JsonValue* gauges = root.find("gauges")) {
+    const obs::JsonValue* total =
+        gauges->isObject() ? gauges->find("flow.total_millis") : nullptr;
+    POLYAST_CHECK(total && total->isNumber(),
+                  path + ": no perf.wall_ns counter and no "
+                         "flow.total_millis gauge to time by");
+    sample.wallNs = total->number * 1e6;
+  }
+  out.push_back(std::move(sample));
+}
+
+void printResult(const obs::BenchCompareResult& res, double thresholdPct) {
+  if (res.firstRun) {
+    std::cerr << "bench_compare: first run, history seeded (no baseline to"
+                 " compare against)\n";
+    return;
+  }
+  for (const auto& d : res.deltas) {
+    std::fprintf(stderr, "  %-24s %12.0f ns -> %12.0f ns  %+7.2f%%%s\n",
+                 d.kernel.c_str(), d.baseNs, d.headNs, d.deltaPct,
+                 d.regression ? "  REGRESSION" : "");
+  }
+  for (const auto& k : res.added)
+    std::cerr << "  " << k << ": new kernel (no baseline)\n";
+  for (const auto& k : res.removed)
+    std::cerr << "  " << k << ": dropped since previous entry\n";
+  std::cerr << "bench_compare: " << res.deltas.size() << " kernel(s), "
+            << res.regressions << " regression(s) beyond +" << thresholdPct
+            << "%\n";
+}
+
+/// Built-in check of the gate itself: first-run, no-regression, and an
+/// injected 20% slowdown that the default threshold must catch, exercised
+/// through a real file round-trip.
+int selftest() {
+  const std::string path = "bench_compare_selftest_history.json";
+  auto entry = [](double gemmNs, double mvtNs) {
+    obs::BenchEntry e;
+    e.label = "selftest";
+    e.kernels.push_back({"gemm", gemmNs, {{"cycles", gemmNs * 3.0}}});
+    e.kernels.push_back({"mvt", mvtNs, {}});
+    return e;
+  };
+  int failures = 0;
+  auto expect = [&](bool ok, const char* what) {
+    std::cerr << "  " << (ok ? "ok" : "FAIL") << ": " << what << "\n";
+    if (!ok) ++failures;
+  };
+  try {
+    // 1. First run: empty history, nothing to compare.
+    obs::BenchHistory history = obs::loadBenchHistory(path + ".missing", "ci");
+    obs::BenchCompareResult r =
+        obs::compareAgainstLatest(history, entry(1000000, 500000), 10.0);
+    expect(r.firstRun && r.regressions == 0, "first run records only");
+    history.entries.push_back(entry(1000000, 500000));
+    obs::saveBenchHistory(path, history);
+
+    // 2. No regression: same times within noise (+2%).
+    history = obs::loadBenchHistory(path, "ci");
+    expect(history.entries.size() == 1, "history round-trips through disk");
+    r = obs::compareAgainstLatest(history, entry(1020000, 495000), 10.0);
+    expect(!r.firstRun && r.regressions == 0 && r.deltas.size() == 2,
+           "2% drift passes a 10% gate");
+
+    // 3. Injected 20% slowdown on gemm must be detected.
+    r = obs::compareAgainstLatest(history, entry(1200000, 500000), 10.0);
+    bool caught = r.regressions == 1 && !r.deltas.empty();
+    bool rightKernel = false;
+    for (const auto& d : r.deltas)
+      if (d.kernel == "gemm" && d.regression &&
+          std::fabs(d.deltaPct - 20.0) < 0.5)
+        rightKernel = true;
+    expect(caught && rightKernel, "injected 20% slowdown detected on gemm");
+
+    // 4. The slowdown passes a record-only style looser threshold of 25%.
+    r = obs::compareAgainstLatest(history, entry(1200000, 500000), 25.0);
+    expect(r.regressions == 0, "20% slowdown passes a 25% threshold");
+  } catch (const Error& e) {
+    std::cerr << "  FAIL: exception: " << e.what() << "\n";
+    ++failures;
+  }
+  std::remove(path.c_str());
+  std::cerr << "bench_compare --selftest: "
+            << (failures == 0 ? "all checks passed" : "CHECKS FAILED")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string historyPath;
+  std::vector<std::string> dlcheckFiles;
+  std::vector<std::string> metricsFiles;
+  std::string label = "local";
+  std::string timestamp;
+  std::string host = "local";
+  double thresholdPct = 10.0;
+  std::size_t maxEntries = 50;
+  bool recordOnly = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inlineValue;
+    bool hasInline = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      inlineValue = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      hasInline = true;
+    }
+    auto next = [&]() -> std::string {
+      if (hasInline) return inlineValue;
+      if (i + 1 >= argc) {
+        usage();
+        exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--selftest") return selftest();
+    else if (arg == "--history") historyPath = next();
+    else if (arg == "--dlcheck") dlcheckFiles.push_back(next());
+    else if (arg == "--metrics") metricsFiles.push_back(next());
+    else if (arg == "--label") label = next();
+    else if (arg == "--timestamp") timestamp = next();
+    else if (arg == "--host") host = next();
+    else if (arg == "--threshold") thresholdPct = std::stod(next());
+    else if (arg == "--max-entries")
+      maxEntries = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--record-only") recordOnly = true;
+    else return usage();
+  }
+  if (historyPath.empty() || (dlcheckFiles.empty() && metricsFiles.empty()))
+    return usage();
+
+  try {
+    obs::BenchEntry head;
+    head.label = label;
+    head.timestamp = timestamp;
+    for (const auto& f : dlcheckFiles) ingestDlCheck(f, head.kernels);
+    for (const auto& f : metricsFiles) ingestMetrics(f, head.kernels);
+    POLYAST_CHECK(!head.kernels.empty(), "no kernel samples in the inputs");
+
+    obs::BenchHistory history = obs::loadBenchHistory(historyPath, host);
+    if (history.host.empty()) history.host = host;
+    obs::BenchCompareResult res =
+        obs::compareAgainstLatest(history, head, thresholdPct);
+    history.entries.push_back(std::move(head));
+    obs::saveBenchHistory(historyPath, history, maxEntries);
+    printResult(res, thresholdPct);
+    std::cerr << "bench_compare: history '" << historyPath << "' now has "
+              << history.entries.size() << " entr"
+              << (history.entries.size() == 1 ? "y" : "ies") << "\n";
+    if (res.regressions > 0 && !recordOnly) return 5;
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "bench_compare: error: " << e.what() << "\n";
+    return 1;
+  }
+}

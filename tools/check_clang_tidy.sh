@@ -1,21 +1,51 @@
 #!/usr/bin/env bash
-# clang-tidy warning-count gate (see .clang-tidy for the check set).
+# clang-tidy warning gate (see .clang-tidy for the check set).
 #
 # Runs clang-tidy over every translation unit in the compile database and
-# compares the number of distinct warnings against the checked-in
-# baseline (ci/clang-tidy-baseline.txt). The count must never increase;
-# when a PR removes warnings, re-run with --update-baseline and commit
-# the lowered number so the gate ratchets down.
+# counts distinct warnings (file:line:col + check name, so a header
+# warning surfacing in many TUs counts once). The gate then enforces the
+# mode recorded in ci/clang-tidy-baseline.txt:
+#
+#   auto  — enforcing merge-base diff mode (the default): the same count
+#           is measured at the merge-base of HEAD and --base-ref in a
+#           temporary git worktree, and the gate FAILS when HEAD has more
+#           distinct warnings than the base. No checked-in number to go
+#           stale; every PR is compared against exactly the code it
+#           branched from.
+#   N     — fixed ceiling (legacy ratchet): fail when the count exceeds
+#           N; re-record a lower N with --update-baseline when a PR
+#           removes warnings.
+#   -1    — uncalibrated: print the measured count and exit 0.
 #
 # Usage: tools/check_clang_tidy.sh BUILD_DIR [--update-baseline]
+#                                            [--base-ref REF]
 #
-# The baseline value -1 means "uncalibrated": the script prints the
-# measured count and exits 0 so a maintainer can record the first real
-# number (CI uploads the log as an artifact either way).
+# --base-ref defaults to origin/main (falling back to main). When the
+# base cannot be resolved at all (e.g. a shallow clone or the very first
+# push of a branch) the gate reports the head count and exits 0 — the
+# enforcing comparison happens on the PR, where the base is known.
 set -euo pipefail
 
-build_dir=${1:?usage: $0 BUILD_DIR [--update-baseline]}
-update=${2:-}
+usage() {
+  echo "usage: $0 BUILD_DIR [--update-baseline] [--base-ref REF]" >&2
+  exit 1
+}
+
+build_dir=${1:-}
+[ -n "$build_dir" ] || usage
+shift
+update=0
+base_ref=
+while [ $# -gt 0 ]; do
+  case $1 in
+    --update-baseline) update=1 ;;
+    --base-ref) base_ref=${2:?--base-ref needs a ref}; shift ;;
+    --base-ref=*) base_ref=${1#*=} ;;
+    *) usage ;;
+  esac
+  shift
+done
+
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 baseline_file="$repo_root/ci/clang-tidy-baseline.txt"
 
@@ -28,25 +58,72 @@ baseline_file="$repo_root/ci/clang-tidy-baseline.txt"
 runner=$(command -v run-clang-tidy || command -v run-clang-tidy-18 || true)
 [ -n "$runner" ] || { echo "error: run-clang-tidy not found" >&2; exit 1; }
 
-log=$(mktemp)
-# run-clang-tidy exits non-zero when any warning fires; the gate is the
-# count comparison below, not the raw exit code.
-"$runner" -quiet -p "$build_dir" "$repo_root/(src|tools)/.*\.cpp$" \
-  >"$log" 2>&1 || true
+# Prints one line per distinct warning site found under $2 (a tree root)
+# using the compile database in $1. run-clang-tidy exits non-zero when
+# any warning fires; the gate is the comparison below, not the exit code.
+list_warnings() {
+  local log
+  log=$(mktemp)
+  "$runner" -quiet -p "$1" "$2/(src|tools)/.*\.cpp$" >"$log" 2>&1 || true
+  grep -E 'warning: .* \[[a-z0-9,-]+\]$' "$log" | sort -u || true
+  rm -f "$log"
+}
 
-# One line per distinct warning site (file:line:col + check name), so a
-# header warning surfacing in many TUs counts once.
-count=$(grep -E 'warning: .* \[[a-z0-9,-]+\]$' "$log" | sort -u | wc -l)
-echo "clang-tidy: $count distinct warning(s)"
-grep -E 'warning: .* \[[a-z0-9,-]+\]$' "$log" | sort -u | head -50 || true
+head_lines=$(mktemp)
+list_warnings "$build_dir" "$repo_root" >"$head_lines"
+count=$(wc -l <"$head_lines")
+echo "clang-tidy: $count distinct warning(s) at HEAD"
+head -50 "$head_lines"
+rm -f "$head_lines"
 
-if [ "$update" = "--update-baseline" ]; then
+if [ "$update" = 1 ]; then
   printf '%s\n' "$count" >"$baseline_file"
   echo "baseline updated: $baseline_file = $count"
   exit 0
 fi
 
 baseline=$(grep -v '^#' "$baseline_file" | head -1)
+
+if [ "$baseline" = "auto" ]; then
+  ref=${base_ref:-origin/main}
+  base_sha=$(git -C "$repo_root" merge-base HEAD "$ref" 2>/dev/null || true)
+  [ -n "$base_sha" ] ||
+    base_sha=$(git -C "$repo_root" merge-base HEAD main 2>/dev/null || true)
+  if [ -z "$base_sha" ]; then
+    echo "NOTE: cannot resolve a base commit (ref '$ref');" \
+         "measured $count warning(s), diff gate skipped"
+    exit 0
+  fi
+  if [ "$(git -C "$repo_root" rev-parse HEAD)" = "$base_sha" ]; then
+    echo "OK: HEAD is the base commit ($count warning(s), nothing to diff)"
+    exit 0
+  fi
+  worktree=$(mktemp -d)
+  cleanup() {
+    git -C "$repo_root" worktree remove --force "$worktree" \
+      >/dev/null 2>&1 || true
+    rm -rf "$worktree"
+  }
+  trap cleanup EXIT
+  git -C "$repo_root" worktree add --detach "$worktree" "$base_sha" \
+    >/dev/null
+  cmake -S "$worktree" -B "$worktree/build" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  base_lines=$(mktemp)
+  list_warnings "$worktree/build" "$worktree" >"$base_lines"
+  base_count=$(wc -l <"$base_lines")
+  rm -f "$base_lines"
+  echo "clang-tidy: $base_count distinct warning(s) at base" \
+       "${base_sha:0:12}"
+  if [ "$count" -gt "$base_count" ]; then
+    echo "FAIL: HEAD has $count warning(s) > base $base_count" \
+         "(fix the new warnings; the count must not increase)" >&2
+    exit 1
+  fi
+  echo "OK: $count <= base $base_count"
+  exit 0
+fi
+
 if [ "$baseline" = "-1" ]; then
   echo "baseline uncalibrated; measured $count." \
        "Record it with: $0 $build_dir --update-baseline"

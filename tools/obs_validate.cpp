@@ -6,6 +6,8 @@
 //                [--require-histogram NAME]...
 //   obs_validate --diagnostics FILE [--require-analysis NAME]...
 //                [--max-errors N]
+//   obs_validate --dlcheck FILE [--require-kernel NAME]...
+//                [--min-kernels N]
 //
 // Used by CI to check that the files produced by `polyastc --trace-out /
 // --metrics-out` (and by the benches) conform to the documented schemas
@@ -27,6 +29,14 @@
 //     severity in {error, warning, remark} and an all-string detail
 //     object. --require-analysis asserts at least one diagnostic from the
 //     named analysis; --max-errors bounds summary.errors.
+//   * dlcheck: "schema" == "polyast-dlcheck-v1" as written by `polyastc
+//     --execute --perf-out` — per-kernel predicted (lines/cost/nests) and
+//     measured (wall_ns/counters, with degraded bookkeeping) objects plus
+//     a summary whose kernel_count matches and whose rank_correlation
+//     entries are each null or a number in [-1, 1]. Non-degraded kernels
+//     must carry hardware counters; degraded ones must say why.
+//     --require-kernel asserts a kernel entry exists; --min-kernels
+//     bounds the suite size from below.
 //
 // Exit code 0 when valid, 1 with a diagnostic on stderr otherwise.
 #include <cmath>
@@ -51,7 +61,9 @@ int usage() {
                "       obs_validate --metrics FILE"
                " [--require-counter NAME]... [--require-histogram NAME]...\n"
                "       obs_validate --diagnostics FILE"
-               " [--require-analysis NAME]... [--max-errors N]\n";
+               " [--require-analysis NAME]... [--max-errors N]\n"
+               "       obs_validate --dlcheck FILE"
+               " [--require-kernel NAME]... [--min-kernels N]\n";
   return 2;
 }
 
@@ -253,18 +265,125 @@ int validateDiagnostics(const obs::JsonValue& root,
   return 0;
 }
 
+int validateDlCheck(const obs::JsonValue& root,
+                    const std::vector<std::string>& requiredKernels,
+                    std::int64_t minKernels) {
+  if (!root.isObject()) return fail("dlcheck: top level is not an object");
+  const obs::JsonValue* schema = root.find("schema");
+  if (!schema || !schema->isString() || schema->text != "polyast-dlcheck-v1")
+    return fail("dlcheck: missing schema \"polyast-dlcheck-v1\"");
+  const obs::JsonValue* threads = root.find("threads");
+  if (!isFiniteNumber(threads) || threads->number < 1)
+    return fail("dlcheck: missing positive numeric threads");
+  const obs::JsonValue* degraded = root.find("degraded");
+  if (!degraded || degraded->kind != obs::JsonValue::Kind::Bool)
+    return fail("dlcheck: missing boolean degraded");
+  const obs::JsonValue* kernels = root.find("kernels");
+  if (!kernels || !kernels->isArray())
+    return fail("dlcheck: missing kernels array");
+  std::set<std::string> names;
+  std::size_t degradedKernels = 0;
+  std::size_t index = 0;
+  for (const auto& k : kernels->items) {
+    std::string at = "dlcheck: kernel " + std::to_string(index++);
+    if (!k.isObject()) return fail(at + " is not an object");
+    for (const char* field : {"kernel", "pipeline"}) {
+      const obs::JsonValue* v = k.find(field);
+      if (!v || !v->isString())
+        return fail(at + ": missing string \"" + field + "\"");
+    }
+    at = "dlcheck: kernel '" + k.find("kernel")->text + "'";
+    if (!names.insert(k.find("kernel")->text).second)
+      return fail(at + ": duplicate entry");
+    const obs::JsonValue* pred = k.find("predicted");
+    if (!pred || !pred->isObject())
+      return fail(at + ": missing predicted object");
+    for (const char* field : {"lines", "cost", "nests"}) {
+      const obs::JsonValue* v = pred->find(field);
+      if (!isFiniteNumber(v) || v->number < 0)
+        return fail(at + ": predicted." + field +
+                    " is not a non-negative number");
+    }
+    const obs::JsonValue* meas = k.find("measured");
+    if (!meas || !meas->isObject())
+      return fail(at + ": missing measured object");
+    for (const char* field :
+         {"wall_ns", "tsc_cycles", "multiplex_ratio", "threads",
+          "threads_degraded"}) {
+      const obs::JsonValue* v = meas->find(field);
+      if (!isFiniteNumber(v) || v->number < 0)
+        return fail(at + ": measured." + field +
+                    " is not a non-negative number");
+    }
+    const obs::JsonValue* kd = meas->find("degraded");
+    if (!kd || kd->kind != obs::JsonValue::Kind::Bool)
+      return fail(at + ": measured.degraded is not a boolean");
+    const obs::JsonValue* counters = meas->find("counters");
+    if (!counters || !counters->isObject())
+      return fail(at + ": missing measured.counters object");
+    for (const auto& [cname, cv] : counters->members)
+      if (!isFiniteNumber(&cv) || cv.number < 0)
+        return fail(at + ": counter '" + cname + "' is not a non-negative"
+                    " number");
+    if (kd->boolValue) {
+      ++degradedKernels;
+      // A degraded measurement must say why (the whole point of the
+      // obs.perf.degraded contract) and still carry wall time.
+      const obs::JsonValue* reason = meas->find("degraded_reason");
+      if (!reason || !reason->isString() || reason->text.empty())
+        return fail(at + ": degraded without degraded_reason");
+      if (meas->find("wall_ns")->number <= 0)
+        return fail(at + ": degraded measurement without wall time");
+    } else if (counters->members.empty()) {
+      return fail(at + ": non-degraded measurement without counters");
+    }
+  }
+  if (degradedKernels > 0 && !degraded->boolValue)
+    return fail("dlcheck: degraded kernels present but top-level degraded"
+                " is false");
+  const obs::JsonValue* summary = root.find("summary");
+  if (!summary || !summary->isObject())
+    return fail("dlcheck: missing summary object");
+  const obs::JsonValue* count = summary->find("kernel_count");
+  if (!isFiniteNumber(count) ||
+      count->number != static_cast<double>(kernels->items.size()))
+    return fail("dlcheck: summary.kernel_count does not match the kernels"
+                " array");
+  const obs::JsonValue* corr = summary->find("rank_correlation");
+  if (!corr || !corr->isObject())
+    return fail("dlcheck: missing summary.rank_correlation object");
+  for (const auto& [series, v] : corr->members) {
+    if (v.kind == obs::JsonValue::Kind::Null) continue;
+    if (!v.isNumber() || v.number < -1.0 || v.number > 1.0)
+      return fail("dlcheck: rank_correlation." + series +
+                  " is not null or in [-1, 1]");
+  }
+  for (const auto& want : requiredKernels)
+    if (!names.count(want))
+      return fail("dlcheck: required kernel '" + want + "' not found");
+  if (static_cast<std::int64_t>(names.size()) < minKernels)
+    return fail("dlcheck: " + std::to_string(names.size()) +
+                " kernel(s), expected >= " + std::to_string(minKernels));
+  std::cout << "dlcheck ok: " << names.size() << " kernels ("
+            << degradedKernels << " degraded)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string traceFile;
   std::string metricsFile;
   std::string diagnosticsFile;
+  std::string dlcheckFile;
   std::vector<std::string> requiredSpans;
   std::vector<std::string> requiredCounters;
   std::vector<std::string> requiredHistograms;
   std::vector<std::string> requiredAnalyses;
+  std::vector<std::string> requiredKernels;
   std::int64_t minThreads = 0;
   std::int64_t maxErrors = -1;
+  std::int64_t minKernels = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string inlineValue;
@@ -285,16 +404,19 @@ int main(int argc, char** argv) {
     if (arg == "--trace") traceFile = next();
     else if (arg == "--metrics") metricsFile = next();
     else if (arg == "--diagnostics") diagnosticsFile = next();
+    else if (arg == "--dlcheck") dlcheckFile = next();
     else if (arg == "--require-span") requiredSpans.push_back(next());
     else if (arg == "--require-counter") requiredCounters.push_back(next());
     else if (arg == "--require-histogram") requiredHistograms.push_back(next());
     else if (arg == "--require-analysis") requiredAnalyses.push_back(next());
+    else if (arg == "--require-kernel") requiredKernels.push_back(next());
     else if (arg == "--min-threads") minThreads = std::stoll(next());
     else if (arg == "--max-errors") maxErrors = std::stoll(next());
+    else if (arg == "--min-kernels") minKernels = std::stoll(next());
     else return usage();
   }
   int modes = (traceFile.empty() ? 0 : 1) + (metricsFile.empty() ? 0 : 1) +
-              (diagnosticsFile.empty() ? 0 : 1);
+              (diagnosticsFile.empty() ? 0 : 1) + (dlcheckFile.empty() ? 0 : 1);
   if (modes != 1) return usage();
   try {
     if (!traceFile.empty())
@@ -303,6 +425,9 @@ int main(int argc, char** argv) {
     if (!metricsFile.empty())
       return validateMetrics(obs::parseJson(slurp(metricsFile)),
                              requiredCounters, requiredHistograms);
+    if (!dlcheckFile.empty())
+      return validateDlCheck(obs::parseJson(slurp(dlcheckFile)),
+                             requiredKernels, minKernels);
     return validateDiagnostics(obs::parseJson(slurp(diagnosticsFile)),
                                requiredAnalyses, maxErrors);
   } catch (const ::polyast::Error& e) {

@@ -10,13 +10,17 @@
 //            [--verify-each-pass] [--dump-after PASS|all]
 //            [--analyze[=legality,races,bounds]] [--fail-on error|warning]
 //            [--diagnostics-out FILE]
-//            [--execute] [--threads N]
+//            [--execute] [--threads N] [--perf] [--perf-out FILE]
 //            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //
 // Flags also accept the --flag=value form. --flow is kept for
 // compatibility and maps onto the pipeline presets (polyast, pocc,
 // pocc-maxfuse, identity); --pipeline selects any registered preset,
 // including the ablation variants (see --list-pipelines).
+//
+// <kernel> may be `all`: every suite kernel runs through the same flags
+// (emission is suppressed). Combined with --execute --perf --perf-out
+// this produces the suite-level polyast-dlcheck-v1 artifact.
 //
 // --verify-each-pass runs the interpreter oracle after every pass on
 // verification-scale parameters (extents sized to cross at least two
@@ -60,6 +64,16 @@
 //                       runtime at test scale (doall/pipeline marks map
 //                       onto the thread pool) and validate the buffers
 //                       against a sequential interpretation.
+//   --perf              measure the --execute run with per-thread
+//                       hardware-counter sessions (src/obs/perf.hpp;
+//                       implies --execute). Degrades gracefully to
+//                       wall/TSC-only when perf_event_open is
+//                       unavailable (POLYAST_PERF=off forces this).
+//   --perf-out FILE     write the polyast-dlcheck-v1 JSON: the DL
+//                       model's predicted distinct lines per kernel
+//                       next to the measured counters, plus a
+//                       suite-level rank-correlation summary (implies
+//                       --perf).
 //
 // Examples:
 //   polyastc 2mm --pipeline polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
@@ -69,18 +83,23 @@
 //       --trace-out trace.json --metrics-out metrics.json
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/analysis.hpp"
 #include "analysis/mutations.hpp"
+#include "dl/dl_predict.hpp"
 #include "exec/par_exec.hpp"
 #include "flow/analyze.hpp"
 #include "flow/presets.hpp"
 #include "ir/cemit.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/dlcheck.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -100,9 +119,11 @@ int usage() {
          "                [--analyze[=legality,races,bounds]]"
          " [--fail-on error|warning]\n"
          "                [--diagnostics-out FILE]\n"
-         "                [--execute] [--threads N]\n"
+         "                [--execute] [--threads N] [--perf]"
+         " [--perf-out FILE]\n"
          "                [--trace-out FILE] [--metrics-out FILE]"
          " [--obs-summary]\n"
+         "kernel may be 'all' to run every suite kernel (no emission)\n"
          "exit codes: 0 ok, 2 analysis findings, 3 dynamic verification"
          " break, 4 usage\n";
   return 4;
@@ -139,9 +160,11 @@ int main(int argc, char** argv) {
   std::string metricsOut;
   bool obsSummary = false;
   bool execute = false;
+  bool perf = false;
+  std::string perfOut;
   unsigned threads = 0;
   flow::PipelineOptions options;
-  flow::PassContext ctx;
+  flow::DumpOptions dump;
   bool openmp = true;
   bool verifyEachPass = false;
   bool analyze = false;
@@ -200,12 +223,17 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-out") metricsOut = next();
     else if (arg == "--obs-summary") obsSummary = true;
     else if (arg == "--execute") execute = true;
-    else if (arg == "--threads") threads = static_cast<unsigned>(nextInt());
+    else if (arg == "--perf") perf = true;
+    else if (arg == "--perf-out") {
+      perfOut = next();
+      perf = true;
+    } else if (arg == "--threads") threads = static_cast<unsigned>(nextInt());
     else if (arg == "--dump-after") {
-      ctx.dump.after.insert(next());
-      ctx.dump.stream = &std::cerr;
+      dump.after.insert(next());
+      dump.stream = &std::cerr;
     } else return usage();
   }
+  if (perf) execute = true;  // counters measure the parallel run
   if (!flow::hasPipelinePreset(pipeline)) {
     std::cerr << "unknown pipeline '" << pipeline
               << "' (try --list-pipelines)\n";
@@ -238,109 +266,156 @@ int main(int argc, char** argv) {
   if (!metricsOut.empty() || obsSummary)
     obs::Registry::global().setTimingEnabled(true);
 
-  ir::Program program;
-  try {
-    program = kernels::buildKernel(kernel);
-  } catch (const ::polyast::Error&) {
-    std::cerr << "unknown kernel '" << kernel << "' (try --list)\n";
-    return 4;
+  if (emit != "c" && emit != "ir" && emit != "none") return usage();
+
+  std::vector<std::string> kernelNames;
+  if (kernel == "all") {
+    for (const auto& k : kernels::allKernels()) kernelNames.push_back(k.name);
+    emit = "none";  // 22 concatenated translation units help nobody
+  } else {
+    kernelNames.push_back(kernel);
   }
 
-  // Test-scale parameters, conditioned inputs (solver kernels need e.g.
-  // diagonally dominant matrices). Shared by --execute and the analysis
-  // witness search.
-  std::map<std::string, std::int64_t> params;
-  for (const auto& name : program.params)
-    params[name] = name == "TSTEPS" ? 3 : 7;
-
-  if (verifyEachPass) {
-    // Verification-scale parameters: the spatial extents must exceed the
-    // tile size (two full tiles plus an odd remainder) and the time extent
-    // the time-tile size, or the oracle only ever executes the degenerate
-    // boundary-tile special case and proves nothing about the steady
-    // state the tiled code spends its life in.
-    std::map<std::string, std::int64_t> verifyParams;
-    for (const auto& name : program.params)
-      verifyParams[name] = name == "TSTEPS"
-                               ? options.ast.timeTileSize + 2
-                               : 2 * options.ast.tileSize + 5;
-    ctx.verify.enabled = true;
-    ctx.verify.continueAfterFailure = true;
-    ctx.verify.makeContext = [verifyParams](const ir::Program& p) {
-      return kernels::makeContext(p, verifyParams);
-    };
-  }
-
+  // One pool for every measured kernel, created on first use so plain
+  // compilations never spin up threads.
+  std::unique_ptr<runtime::ThreadPool> pool;
+  obs::DlCheckReport dlreport;
   bool dynamicBroken = false;
   bool analysisFailed = false;
-  std::shared_ptr<analysis::AnalysisSession> session;
-  ir::Program out;
+  ir::Program out;  // last kernel's result, for emission
+
+  for (const auto& kernelName : kernelNames) {
+    ir::Program program;
+    try {
+      program = kernels::buildKernel(kernelName);
+    } catch (const ::polyast::Error&) {
+      std::cerr << "unknown kernel '" << kernelName << "' (try --list)\n";
+      return 4;
+    }
+
+    // Test-scale parameters, conditioned inputs (solver kernels need e.g.
+    // diagonally dominant matrices). Shared by --execute, the analysis
+    // witness search, and the DL predictions in the dlcheck artifact.
+    std::map<std::string, std::int64_t> params;
+    for (const auto& name : program.params)
+      params[name] = name == "TSTEPS" ? 3 : 7;
+
+    flow::PassContext ctx;
+    ctx.dump = dump;
+    if (verifyEachPass) {
+      // Verification-scale parameters: the spatial extents must exceed the
+      // tile size (two full tiles plus an odd remainder) and the time
+      // extent the time-tile size, or the oracle only ever executes the
+      // degenerate boundary-tile special case and proves nothing about the
+      // steady state the tiled code spends its life in.
+      std::map<std::string, std::int64_t> verifyParams;
+      for (const auto& name : program.params)
+        verifyParams[name] = name == "TSTEPS"
+                                 ? options.ast.timeTileSize + 2
+                                 : 2 * options.ast.tileSize + 5;
+      ctx.verify.enabled = true;
+      ctx.verify.continueAfterFailure = true;
+      ctx.verify.makeContext = [verifyParams](const ir::Program& p) {
+        return kernels::makeContext(p, verifyParams);
+      };
+    }
+
+    std::shared_ptr<analysis::AnalysisSession> session;
+    try {
+      flow::PassPipeline pipe = flow::makePipeline(pipeline, options);
+      if (analyze) {
+        aopt.witnessParams = params;
+        session = std::make_shared<analysis::AnalysisSession>(aopt);
+        pipe = flow::withAnalysis(pipe, session);
+      }
+      out = pipe.run(program, ctx);
+      std::cerr << "pipeline '" << pipeline << "' on " << kernelName << " ("
+                << ctx.report.passes.size() << " passes"
+                << (verifyEachPass ? ", oracle-verified" : "") << "):\n"
+                << ctx.report.summary();
+      if (int broken = ctx.report.brokenPasses(); broken > 0) {
+        std::cerr << "error: " << broken << " pass(es) broke semantics\n";
+        dynamicBroken = true;
+      }
+    } catch (const flow::VerificationError& e) {
+      std::cerr << "pipeline '" << pipeline << "' FAILED VERIFICATION on "
+                << kernelName << "\n"
+                << ctx.report.summary() << "error: " << e.what() << "\n";
+      return 3;
+    }
+
+    if (session) {
+      const auto& engine = session->engine();
+      std::cerr << "analysis:\n" << engine.summary();
+      if (!diagnosticsOut.empty() &&
+          !analysis::writeDiagnosticsFile(diagnosticsOut, engine,
+                                          program.name, pipeline)) {
+        std::cerr << "error: cannot write " << diagnosticsOut << "\n";
+        return 1;
+      }
+      std::size_t fatal =
+          engine.errors() + (failOn == "warning" ? engine.warnings() : 0);
+      if (fatal > 0) {
+        std::cerr << "error: " << fatal << " analysis finding(s) at/above --"
+                  << "fail-on=" << failOn << "\n";
+        analysisFailed = true;
+      }
+    }
+
+    if (execute) {
+      // Run the transformed program on the parallel runtime and check it
+      // against a plain sequential interpretation of the same program.
+      if (!pool) pool = std::make_unique<runtime::ThreadPool>(threads);
+      exec::Context seq = kernels::makeContext(out, params);
+      exec::Context par = kernels::makeContext(out, params);
+      exec::run(out, seq);
+      obs::PerfAggregate agg;
+      exec::ParallelRunReport rep =
+          exec::runParallel(out, par, *pool, perf ? &agg : nullptr);
+      double diff = par.maxAbsDiff(seq);
+      // Doall and pipeline execution reorder whole statement instances, so
+      // every cell's arithmetic is bit-identical; reduction privatization
+      // reassociates the accumulated sums, so those runs get a tolerance.
+      const bool reassociates =
+          rep.reductionLoops + rep.reductionPipelineLoops > 0;
+      const double tolerance = reassociates ? 1e-9 : 0.0;
+      std::cerr << rep.summary() << "\n"
+                << "parallel vs sequential max abs diff: " << diff << " on "
+                << pool->threadCount() << " threads (tolerance "
+                << tolerance << ")\n";
+      if (!(diff <= tolerance)) {
+        std::cerr << "error: parallel execution diverged\n";
+        dynamicBroken = true;
+      }
+
+      if (perf) {
+        agg.recordTo(obs::Registry::global());
+        dl::ProgramPrediction pred = dl::predictProgram(out, params);
+        obs::DlCheckKernel entry;
+        entry.kernel = kernelName;
+        entry.pipeline = pipeline;
+        entry.predictedLines = pred.predictedLines;
+        entry.predictedCost = pred.predictedCost;
+        entry.nests = static_cast<int>(pred.nests.size());
+        entry.measured = agg.totals();
+        entry.threadsMeasured = agg.threadsMeasured();
+        entry.threadsDegraded = agg.threadsDegraded();
+        std::cerr << "perf " << kernelName << ": wall_ns="
+                  << entry.measured.wallNs;
+        for (const auto& [cname, v] : entry.measured.counters)
+          std::cerr << " " << cname << "=" << v;
+        if (entry.threadsDegraded > 0)
+          std::cerr << " (degraded: " << entry.measured.degradedReason << ")";
+        std::cerr << " | predicted lines=" << entry.predictedLines << "\n";
+        dlreport.kernels.push_back(std::move(entry));
+      }
+    }
+  }
+
+  if (pool) dlreport.threads = static_cast<int>(pool->threadCount());
+
   try {
-    flow::PassPipeline pipe = flow::makePipeline(pipeline, options);
-    if (analyze) {
-      aopt.witnessParams = params;
-      session = std::make_shared<analysis::AnalysisSession>(aopt);
-      pipe = flow::withAnalysis(pipe, session);
-    }
-    out = pipe.run(program, ctx);
-    std::cerr << "pipeline '" << pipeline << "' (" << ctx.report.passes.size()
-              << " passes" << (verifyEachPass ? ", oracle-verified" : "")
-              << "):\n"
-              << ctx.report.summary();
-    if (int broken = ctx.report.brokenPasses(); broken > 0) {
-      std::cerr << "error: " << broken << " pass(es) broke semantics\n";
-      dynamicBroken = true;
-    }
-  } catch (const flow::VerificationError& e) {
-    std::cerr << "pipeline '" << pipeline << "' FAILED VERIFICATION\n"
-              << ctx.report.summary() << "error: " << e.what() << "\n";
-    return 3;
-  }
-
-  if (session) {
-    const auto& engine = session->engine();
-    std::cerr << "analysis:\n" << engine.summary();
-    if (!diagnosticsOut.empty() &&
-        !analysis::writeDiagnosticsFile(diagnosticsOut, engine, program.name,
-                                        pipeline)) {
-      std::cerr << "error: cannot write " << diagnosticsOut << "\n";
-      return 1;
-    }
-    std::size_t fatal =
-        engine.errors() + (failOn == "warning" ? engine.warnings() : 0);
-    if (fatal > 0) {
-      std::cerr << "error: " << fatal << " analysis finding(s) at/above --"
-                << "fail-on=" << failOn << "\n";
-      analysisFailed = true;
-    }
-  }
-
-  if (execute) {
-    // Run the transformed program on the parallel runtime and check it
-    // against a plain sequential interpretation of the same program.
-    runtime::ThreadPool pool(threads);
-    exec::Context seq = kernels::makeContext(out, params);
-    exec::Context par = kernels::makeContext(out, params);
-    exec::run(out, seq);
-    exec::ParallelRunReport rep = exec::runParallel(out, par, pool);
-    double diff = par.maxAbsDiff(seq);
-    // Doall and pipeline execution reorder whole statement instances, so
-    // every cell's arithmetic is bit-identical; reduction privatization
-    // reassociates the accumulated sums, so those runs get a tolerance.
-    const bool reassociates =
-        rep.reductionLoops + rep.reductionPipelineLoops > 0;
-    const double tolerance = reassociates ? 1e-9 : 0.0;
-    std::cerr << rep.summary() << "\n"
-              << "parallel vs sequential max abs diff: " << diff << " on "
-              << pool.threadCount() << " threads (tolerance "
-              << tolerance << ")\n";
-    if (!(diff <= tolerance)) {
-      std::cerr << "error: parallel execution diverged\n";
-      dynamicBroken = true;
-    }
-  }
-
-  try {
+    if (perf && !perfOut.empty()) obs::writeDlCheckFile(perfOut, dlreport);
     if (!traceOut.empty())
       obs::writeChromeTraceFile(traceOut, obs::Tracer::global());
     if (!metricsOut.empty())
@@ -358,8 +433,6 @@ int main(int argc, char** argv) {
     ir::CEmitOptions copt;
     copt.openmp = openmp;
     std::cout << ir::emitC(out, copt);
-  } else if (emit != "none") {
-    return usage();
   }
   // Dynamic breaks outrank static findings: the oracle caught an actual
   // wrong answer, not just a possible one.
