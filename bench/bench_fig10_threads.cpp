@@ -4,6 +4,7 @@
 // counts — on a multicore host this reproduces the scaling dimension; on a
 // single core every row degenerates to the same number, which is itself
 // the documented substitution.
+#include "common/backend_bench.hpp"
 #include "common/bench_common.hpp"
 #include "common/native_blas.hpp"
 #include "common/native_pipeline.hpp"
@@ -11,6 +12,14 @@
 
 namespace polyast::bench {
 namespace {
+
+// POLYAST_BENCH_BACKEND=native adds interp-vs-native IR execution rows
+// (gemm: the kernel whose native-vs-interpreted gap the regression gate
+// tracks).
+const bool kBackendBenches = [] {
+  registerBackendBenches("fig10/gemm_polyast", "gemm");
+  return true;
+}();
 
 void BM_gemm_threads(benchmark::State& state) {
   static GemmProblem p(256);

@@ -5,11 +5,18 @@
 // ratios are the reproduction target):
 //   Nehalem: original 2.4 GF/s | PoCC 14 GF/s | our flow 19 GF/s
 //   Power7:  original 0.5 GF/s | PoCC 29 GF/s | our flow 62 GF/s
+#include "common/backend_bench.hpp"
 #include "common/bench_driver.hpp"
 #include "common/native_blas.hpp"
 
 namespace polyast::bench {
 namespace {
+
+// POLYAST_BENCH_BACKEND=native adds interp-vs-native IR execution rows.
+const bool kBackendBenches = [] {
+  registerBackendBenches("table1/2mm", "2mm");
+  return true;
+}();
 
 Mm2Problem& problem() {
   static Mm2Problem p(320);

@@ -1,0 +1,94 @@
+#include "common/backend_bench.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/bench_common.hpp"
+#include "exec/backend.hpp"
+#include "flow/presets.hpp"
+#include "kernels/polybench.hpp"
+
+namespace polyast::bench {
+namespace {
+
+/// Verification-scale parameters (see polyastc --verify-each-pass): the
+/// spatial extents cross two full tiles plus an odd remainder, the time
+/// extent the time-tile size, so the steady-state tiled code dominates.
+std::map<std::string, std::int64_t> verificationParams(
+    const ir::Program& program) {
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : program.params)
+    params[name] = name == "TSTEPS" ? kTimeTile + 2 : 2 * kTile + 5;
+  return params;
+}
+
+const ir::Program& transformed(const std::string& kernel,
+                               const std::string& pipeline) {
+  static std::map<std::string, ir::Program> cache;
+  const std::string key = kernel + "|" + pipeline;
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    ir::Program program = kernels::buildKernel(kernel);
+    flow::PassContext ctx;
+    it = cache.emplace(key, flow::makePipeline(pipeline).run(program, ctx))
+             .first;
+  }
+  return it->second;
+}
+
+void runBackendCase(benchmark::State& state, const std::string& kernel,
+                    const std::string& pipeline,
+                    const std::string& backendName) {
+  const ir::Program& program = transformed(kernel, pipeline);
+  const auto params = verificationParams(program);
+  auto backend = exec::makeBackend(backendName);
+  backend->prepare(program);  // native: compile outside the timed loop
+
+  double bestNs = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    state.PauseTiming();
+    exec::Context ctx = kernels::makeContext(program, params);
+    state.ResumeTiming();
+    const auto t0 = std::chrono::steady_clock::now();
+    backend->run(program, ctx, pool());
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    if (ns < bestNs) bestNs = ns;
+    benchmark::ClobberMemory();
+  }
+
+  auto& registry = obs::Registry::global();
+  registry.gauge("perf.backend_" + backendName + "_wall_ns").set(bestNs);
+  state.counters["wall_ns"] = bestNs;
+  const double interpNs =
+      registry.gauge("perf.backend_interp_wall_ns").value();
+  if (backendName == "native" && interpNs > 0.0 && bestNs > 0.0)
+    registry.gauge("perf.backend_native_speedup").set(interpNs / bestNs);
+}
+
+}  // namespace
+
+void registerBackendBenches(const char* prefix, const char* kernel,
+                            const char* pipeline) {
+  const char* env = std::getenv("POLYAST_BENCH_BACKEND");
+  if (!env || !*env) return;
+  for (const char* backendName : {"interp", "native"}) {
+    const std::string name =
+        std::string(prefix) + "/backend_" + backendName;
+    const std::string k = kernel;
+    const std::string p = pipeline;
+    const std::string b = backendName;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [k, p, b](benchmark::State& state) { runBackendCase(state, k, p, b); })
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace polyast::bench

@@ -1,0 +1,25 @@
+// Execution-backend comparison rider for the figure benches.
+//
+// registerBackendBenches() is a no-op unless POLYAST_BENCH_BACKEND is set
+// (any non-empty value; `native` is the conventional one). When set, it
+// registers two extra benchmark cases, "<prefix>/backend_interp" and
+// "<prefix>/backend_native", that run the flow-transformed IR kernel at
+// verification scale (two full tiles plus a remainder per spatial extent)
+// through the execution backends (exec/backend.hpp) on the shared pool.
+//
+// Besides the google-benchmark timings, the best wall time per backend is
+// recorded as `perf.backend_<name>_wall_ns` gauges — plus
+// `perf.backend_native_speedup` once both have run — so a
+// POLYAST_BENCH_METRICS=FILE artifact carries interp and native side by
+// side and `bench_compare --metrics` ingests them into the benchmark
+// history.
+#pragma once
+
+namespace polyast::bench {
+
+/// Registers the backend comparison cases for one kernel (call from a
+/// static initializer, before benchmark::Initialize runs).
+void registerBackendBenches(const char* prefix, const char* kernel,
+                            const char* pipeline = "polyast");
+
+}  // namespace polyast::bench

@@ -1,0 +1,50 @@
+#include "exec/backend.hpp"
+
+#include "exec/native_exec.hpp"
+#include "support/error.hpp"
+
+namespace polyast::exec {
+
+void Backend::prepare(const ir::Program&) {}
+
+double Backend::toleranceFor(const ParallelRunReport& report) {
+  const bool reassociates =
+      report.reductionLoops + report.reductionPipelineLoops > 0;
+  return reassociates ? 1e-9 : 0.0;
+}
+
+VerifyResult Backend::verify(const ir::Program& program, Context& ctx,
+                             Context& oracle, runtime::ThreadPool& pool,
+                             ParallelRunReport* reportOut,
+                             obs::PerfAggregate* perf) {
+  polyast::exec::run(program, oracle);  // the sequential interpreter
+  ParallelRunReport report = this->run(program, ctx, pool, perf);
+  VerifyResult result;
+  result.maxAbsDiff = ctx.maxAbsDiff(oracle);
+  result.tolerance = toleranceFor(report);
+  if (reportOut) *reportOut = std::move(report);
+  return result;
+}
+
+ParallelRunReport InterpBackend::run(const ir::Program& program,
+                                     Context& ctx,
+                                     runtime::ThreadPool& pool,
+                                     obs::PerfAggregate* perf) {
+  return runParallel(program, ctx, pool, perf);
+}
+
+std::vector<std::string> backendNames() { return {"interp", "native"}; }
+
+bool hasBackend(const std::string& name) {
+  for (const auto& n : backendNames())
+    if (n == name) return true;
+  return false;
+}
+
+std::unique_ptr<Backend> makeBackend(const std::string& name) {
+  if (name == "interp") return std::make_unique<InterpBackend>();
+  if (name == "native") return std::make_unique<NativeBackend>();
+  POLYAST_CHECK(false, "unknown execution backend '" + name + "'");
+}
+
+}  // namespace polyast::exec

@@ -1,0 +1,87 @@
+// Execution-backend abstraction: one interface over the two ways a
+// transformed Program can run on the shared-memory runtime.
+//
+//   * InterpBackend — the interpreted executor (exec/par_exec): each
+//     runtime thread interprets its chunk/cell through a SubtreeRunner.
+//     Always available; test-scale validation and trace production.
+//   * NativeBackend (exec/native_exec.hpp) — emits the program as a C
+//     kernel TU, compiles it with the system toolchain into a shared
+//     object (content-hash cached on disk), dlopens it, and runs the
+//     machine-code kernel on the same ThreadPool through the
+//     runtime/capi.hpp shim. Degrades to the interpreter when no
+//     toolchain is available.
+//
+// Both backends fill the same ParallelRunReport with the same counting
+// semantics, record the same exec.* metrics, and are differentially
+// verified against the sequential interpreter oracle through
+// Backend::verify — which is what `polyastc --execute --backend=NAME`
+// runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/par_exec.hpp"
+
+namespace polyast::exec {
+
+/// Outcome of one differential run against the sequential oracle.
+struct VerifyResult {
+  double maxAbsDiff = 0.0;  ///< over all buffers, backend vs oracle
+  double tolerance = 0.0;   ///< 0 exact; 1e-9 when reductions reassociate
+  bool passed() const { return maxAbsDiff <= tolerance; }
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable identifier ("interp", "native"); appears in reports, spans and
+  /// the exec.backend metric note.
+  virtual std::string name() const = 0;
+
+  /// One-time per-program setup (native: emit + compile + load the shared
+  /// object). Idempotent; never throws — preparation failures surface as
+  /// degraded runs. The interpreter needs none.
+  virtual void prepare(const ir::Program& program);
+
+  /// Executes `program` over `ctx` on `pool`. With `perf`, every pool
+  /// thread opens a hardware-counter session for the duration of the run.
+  virtual ParallelRunReport run(const ir::Program& program, Context& ctx,
+                                runtime::ThreadPool& pool,
+                                obs::PerfAggregate* perf = nullptr) = 0;
+
+  /// Runs `program` twice — sequentially interpreted over `oracle`, then
+  /// through this backend over `ctx` — and compares all buffers.
+  /// `reportOut` (optional) receives the backend's run report.
+  VerifyResult verify(const ir::Program& program, Context& ctx,
+                      Context& oracle, runtime::ThreadPool& pool,
+                      ParallelRunReport* reportOut = nullptr,
+                      obs::PerfAggregate* perf = nullptr);
+
+  /// Comparison tolerance implied by what a run did: doall/pipeline
+  /// execution reorders whole statement instances (bit-identical cells),
+  /// reduction privatization reassociates the accumulated sums.
+  static double toleranceFor(const ParallelRunReport& report);
+};
+
+/// The interpreted executor behind the Backend interface (wraps
+/// runParallel).
+class InterpBackend : public Backend {
+ public:
+  std::string name() const override { return "interp"; }
+  ParallelRunReport run(const ir::Program& program, Context& ctx,
+                        runtime::ThreadPool& pool,
+                        obs::PerfAggregate* perf = nullptr) override;
+};
+
+/// Registered backend names, in presentation order.
+std::vector<std::string> backendNames();
+
+bool hasBackend(const std::string& name);
+
+/// Constructs a backend by name; POLYAST_CHECKs that the name is known.
+std::unique_ptr<Backend> makeBackend(const std::string& name);
+
+}  // namespace polyast::exec

@@ -1,0 +1,319 @@
+#include "exec/native_exec.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ir/cemit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/capi.hpp"
+#include "support/error.hpp"
+
+// The emitter and the shim must agree on the kernel ABI; bump both
+// constants together (see runtime/capi.hpp).
+static_assert(polyast::ir::kNativeKernelAbi == POLYAST_CAPI_ABI_VERSION,
+              "ir/cemit.hpp and runtime/capi.hpp ABI versions diverged");
+
+namespace polyast::exec {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using KernelEntry = void (*)(const polyast_kernel_args*);
+
+std::string envOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? v : fallback;
+}
+
+/// First usable C compiler: $POLYAST_JIT_CC, $CC, then the first of
+/// cc/gcc/clang on PATH. Empty when none exists.
+std::string findCompiler() {
+  std::string fromEnv = envOr("POLYAST_JIT_CC", envOr("CC", ""));
+  if (!fromEnv.empty()) return fromEnv;
+  for (const char* cand : {"cc", "gcc", "clang"}) {
+    std::string probe = "command -v ";
+    probe += cand;
+    probe += " >/dev/null 2>&1";
+    if (std::system(probe.c_str()) == 0) return cand;
+  }
+  return "";
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (char c : s)
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        1099511628211ULL;
+  return h;
+}
+
+/// Cache key: the TU text, the exact compile command shape, and the capi
+/// ABI version — any of them changing must miss the cache.
+std::string contentKey(const std::string& tu, const std::string& spec) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(h, tu);
+  h = fnv1a(h, "\x1f");
+  h = fnv1a(h, spec);
+  h = fnv1a(h, "\x1f");
+  h = fnv1a(h, std::to_string(POLYAST_CAPI_ABI_VERSION));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string readFileTail(const std::string& path, std::size_t maxBytes) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  if (text.size() > maxBytes)
+    text = "..." + text.substr(text.size() - maxBytes);
+  for (char& c : text)
+    if (c == '\n') c = ' ';
+  return text;
+}
+
+struct LoadedKernel {
+  void* handle = nullptr;
+  KernelEntry entry = nullptr;
+  std::string error;  ///< why this program cannot run natively
+  /// Consumed by the next run()'s report, so bench loops that reuse a
+  /// prepared kernel do not re-report the one-time compile every
+  /// iteration.
+  std::int64_t pendingCompiles = 0;
+  std::int64_t pendingCacheHits = 0;
+};
+
+}  // namespace
+
+struct NativeBackend::Impl {
+  NativeBackendOptions opts;
+  bool disabled = false;
+  std::string disabledReason;
+  std::string compiler;
+  std::map<std::string, LoadedKernel> kernels;  // by content key
+  std::string lastReason;  ///< degradedReason() of the latest prepare
+
+  ~Impl() {
+    for (auto& [key, k] : kernels)
+      if (k.handle) dlclose(k.handle);
+  }
+
+  std::string compileSpec() const {
+    std::string spec =
+        compiler + " -std=c11 -O2 -fPIC -shared -ffp-contract=off -Wall";
+    for (const auto& f : opts.extraFlags) spec += " " + f;
+    return spec;
+  }
+
+  LoadedKernel& prepareTu(const std::string& tu) {
+    const std::string key = contentKey(tu, disabled ? "off" : compileSpec());
+    auto [it, fresh] = kernels.try_emplace(key);
+    LoadedKernel& k = *&it->second;
+    if (!fresh) {
+      lastReason = k.error;
+      return k;
+    }
+    if (disabled) {
+      k.error = disabledReason;
+      lastReason = k.error;
+      return k;
+    }
+    if (compiler.empty()) {
+      k.error =
+          "no C compiler found (tried $POLYAST_JIT_CC, $CC, cc, gcc, clang)";
+      lastReason = k.error;
+      return k;
+    }
+
+    const fs::path dir = jitCacheDir(opts);
+    const fs::path so = dir / (key + ".so");
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      k.error = "cannot create JIT cache dir " + dir.string() + ": " +
+                ec.message();
+      lastReason = k.error;
+      return k;
+    }
+
+    if (fs::exists(so, ec)) {
+      k.pendingCacheHits = 1;
+    } else {
+      const fs::path src = dir / (key + ".c");
+      const fs::path log = dir / (key + ".log");
+      const fs::path tmp =
+          dir / (key + ".so.tmp." + std::to_string(getpid()));
+      {
+        std::ofstream out(src);
+        out << tu;
+        if (!out) {
+          k.error = "cannot write " + src.string();
+          lastReason = k.error;
+          return k;
+        }
+      }
+      // Compile to a private temp name, then rename: concurrent processes
+      // racing on one cache entry each publish a complete object.
+      const std::string cmd = compileSpec() + " -o \"" + tmp.string() +
+                              "\" \"" + src.string() + "\" -lm 2>\"" +
+                              log.string() + "\"";
+      const int rc = std::system(cmd.c_str());
+      if (rc != 0) {
+        k.error = "compile failed (" + compiler +
+                  "): " + readFileTail(log.string(), 400);
+        lastReason = k.error;
+        return k;
+      }
+      fs::rename(tmp, so, ec);
+      if (ec) {
+        k.error = "cannot publish " + so.string() + ": " + ec.message();
+        lastReason = k.error;
+        return k;
+      }
+      k.pendingCompiles = 1;
+    }
+
+    k.handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!k.handle) {
+      const char* err = dlerror();
+      k.error = std::string("dlopen failed: ") + (err ? err : "(unknown)");
+      lastReason = k.error;
+      return k;
+    }
+    auto abi = reinterpret_cast<std::int64_t (*)(void)>(
+        dlsym(k.handle, "polyast_kernel_abi"));
+    auto entry =
+        reinterpret_cast<KernelEntry>(dlsym(k.handle, "polyast_kernel_run"));
+    if (!abi || !entry) {
+      k.error = "dlsym failed: kernel entry points missing";
+    } else if (abi() != POLYAST_CAPI_ABI_VERSION) {
+      k.error = "kernel ABI v" + std::to_string(abi()) +
+                " does not match runtime ABI v" +
+                std::to_string(POLYAST_CAPI_ABI_VERSION);
+    } else {
+      k.entry = entry;
+    }
+    if (!k.error.empty()) {
+      dlclose(k.handle);
+      k.handle = nullptr;
+    }
+    lastReason = k.error;
+    return k;
+  }
+};
+
+NativeBackend::NativeBackend(NativeBackendOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->opts = std::move(options);
+  if (impl_->opts.forceOff) {
+    impl_->disabled = true;
+    impl_->disabledReason = "native JIT forced off";
+  } else if (jitDisabledByEnv()) {
+    impl_->disabled = true;
+    impl_->disabledReason = "native JIT disabled by POLYAST_JIT";
+  } else {
+    impl_->compiler = findCompiler();
+  }
+}
+
+NativeBackend::~NativeBackend() = default;
+
+void NativeBackend::prepare(const ir::Program& program) {
+  impl_->prepareTu(ir::emitNativeKernelTU(program));
+}
+
+std::string NativeBackend::degradedReason() const {
+  return impl_->lastReason;
+}
+
+ParallelRunReport NativeBackend::run(const ir::Program& program,
+                                     Context& ctx,
+                                     runtime::ThreadPool& pool,
+                                     obs::PerfAggregate* perf) {
+  LoadedKernel& k = impl_->prepareTu(ir::emitNativeKernelTU(program));
+  if (!k.entry) {
+    // Degrade to the interpreter (which records its own run metrics), and
+    // make the degradation itself observable.
+    ParallelRunReport report = runParallel(program, ctx, pool, perf);
+    report.nativeFallbacks = 1;
+    report.notes.push_back("native backend degraded to interpreter: " +
+                           k.error);
+    auto& m = obs::Registry::global();
+    m.counter("exec.native.fallbacks").add(1);
+    m.note("exec.native.degraded", k.error);
+    return report;
+  }
+
+  obs::Span span(obs::Tracer::global(), "exec.parallel", "exec");
+  span.attr("program", program.name);
+  span.attr("threads", static_cast<std::int64_t>(pool.threadCount()));
+  span.attr("backend", "native");
+
+  std::vector<std::int64_t> params;
+  params.reserve(program.params.size());
+  for (const auto& name : program.params) params.push_back(ctx.param(name));
+  std::vector<double*> buffers;
+  buffers.reserve(program.arrays.size());
+  for (const auto& a : program.arrays)
+    buffers.push_back(ctx.buffer(a.name).data());
+
+  polyast_kernel_args args;
+  args.params = params.data();
+  args.buffers = buffers.data();
+  args.pool = &pool;
+  args.rt = polyast_runtime_api_get();
+
+  runtime::capi::resetRunCounters();
+  if (perf) pool.runOnAll([&](unsigned) { perf->beginThread(); });
+  k.entry(&args);
+  if (perf) pool.runOnAll([&](unsigned) { perf->endThread(); });
+  const runtime::capi::RunCounters counters =
+      runtime::capi::takeRunCounters();
+
+  ParallelRunReport report;
+  report.backend = "native";
+  report.doallLoops = counters.doallLoops;
+  report.guidedLoops = counters.guidedLoops;
+  report.reductionLoops = counters.reductionLoops;
+  report.pipelineLoops = counters.pipelineLoops;
+  report.pipelineDynamicLoops = counters.pipelineDynamicLoops;
+  report.pipeline3dLoops = counters.pipeline3dLoops;
+  report.reductionPipelineLoops = counters.reductionPipelineLoops;
+  report.sequentialFallbacks = counters.sequentialFallbacks;
+  report.notes = counters.notes;
+  report.nativeCompiles = k.pendingCompiles;
+  report.nativeCacheHits = k.pendingCacheHits;
+  k.pendingCompiles = 0;
+  k.pendingCacheHits = 0;
+  recordRunMetrics(report);
+  return report;
+}
+
+std::string jitCacheDir(const NativeBackendOptions& options) {
+  if (!options.cacheDir.empty()) return options.cacheDir;
+  std::string fromEnv = envOr("POLYAST_JIT_CACHE", "");
+  if (!fromEnv.empty()) return fromEnv;
+  return "/tmp/polyast-jit-" + std::to_string(getuid());
+}
+
+bool jitDisabledByEnv() {
+  const char* v = std::getenv("POLYAST_JIT");
+  if (!v) return false;
+  const std::string s = v;
+  return s == "off" || s == "0" || s == "false";
+}
+
+}  // namespace polyast::exec

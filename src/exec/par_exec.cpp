@@ -36,102 +36,15 @@ bool containsParallelMark(const ir::NodePtr& node) {
   return false;
 }
 
-/// The single loop child of a pipeline-marked loop's body, or null when the
-/// body is not exactly one loop (possibly wrapped in nested blocks).
-std::shared_ptr<ir::Loop> soleLoopChild(const ir::NodePtr& body) {
-  ir::NodePtr cur = body;
-  while (cur->kind == ir::Node::Kind::Block) {
-    const auto& kids = std::static_pointer_cast<ir::Block>(cur)->children;
-    if (kids.size() != 1) return nullptr;
-    cur = kids.front();
-  }
-  if (cur->kind != ir::Node::Kind::Loop) return nullptr;
-  return std::static_pointer_cast<ir::Loop>(cur);
-}
-
-bool boundsIndependentOf(const ir::Loop& loop, const std::string& iter) {
-  for (const auto& p : loop.lower.parts)
-    if (p.coeff(iter) != 0) return false;
-  for (const auto& p : loop.upper.parts)
-    if (p.coeff(iter) != 0) return false;
-  return true;
-}
-
-/// True if any loop strictly inside `node` has a bound referencing `iter`
-/// — the trip space under the marked loop is then imbalanced across its
-/// iterations (triangular/trapezoidal), which is what the guided doall
-/// schedule exists for.
-bool innerBoundsReference(const ir::NodePtr& node, const std::string& iter) {
-  switch (node->kind) {
-    case ir::Node::Kind::Block: {
-      for (const auto& c : std::static_pointer_cast<ir::Block>(node)->children)
-        if (innerBoundsReference(c, iter)) return true;
-      return false;
-    }
-    case ir::Node::Kind::Loop: {
-      auto l = std::static_pointer_cast<ir::Loop>(node);
-      if (!boundsIndependentOf(*l, iter)) return true;
-      return innerBoundsReference(l->body, iter);
-    }
-    case ir::Node::Kind::Stmt:
-      return false;
-  }
-  return false;
-}
-
-/// Arrays that may be privatized per thread under a Reduction /
-/// ReductionPipeline mark: every access to them inside `node` is an
-/// associative accumulation (+= / -=) — never a read, never a plain
-/// assignment. Privatizing such an array into a zero-initialized private
-/// buffer and summing the buffers into the target afterwards preserves
-/// semantics up to reassociation of the accumulated sums, whether or not
-/// the accumulator cell is actually reused across the marked iterations.
-///
-/// Every other array stays shared. That is race-free exactly when the mark
-/// is valid: a verified Reduction mark proves every loop-carried
-/// dependence is a same-statement reduction update, and such updates only
-/// exist on accumulate-only arrays — so accesses to shared arrays from
-/// different chunks never touch the same cell. (The races analysis is the
-/// independent checker of that claim; the executor trusts marks the same
-/// way it does for Doall.)
-std::vector<std::string> privatizableArrays(const ir::NodePtr& node) {
-  struct Use {
-    bool read = false;
-    bool setWrite = false;    // Set / *= / /= — not additively mergeable
-    bool accumWrite = false;  // += / -=
-  };
-  std::map<std::string, Use> uses;
-  std::function<void(const ir::NodePtr&)> collect =
-      [&](const ir::NodePtr& n) {
-        switch (n->kind) {
-          case ir::Node::Kind::Block:
-            for (const auto& c :
-                 std::static_pointer_cast<ir::Block>(n)->children)
-              collect(c);
-            break;
-          case ir::Node::Kind::Loop:
-            collect(std::static_pointer_cast<ir::Loop>(n)->body);
-            break;
-          case ir::Node::Kind::Stmt: {
-            auto s = std::static_pointer_cast<ir::Stmt>(n);
-            if (s->op == ir::AssignOp::AddAssign ||
-                s->op == ir::AssignOp::SubAssign)
-              uses[s->lhsArray].accumWrite = true;
-            else
-              uses[s->lhsArray].setWrite = true;
-            std::vector<ir::ArrayUse> reads;
-            ir::collectArrayUses(s->rhs, reads);
-            for (const auto& r : reads) uses[r.array].read = true;
-            break;
-          }
-        }
-      };
-  collect(node);
-  std::vector<std::string> out;
-  for (const auto& [name, u] : uses)
-    if (u.accumWrite && !u.read && !u.setWrite) out.push_back(name);
-  return out;
-}
+// The shape/privatization queries the walker uses to pick a runtime
+// construct (soleLoopChild, boundsIndependentOf, innerBoundsReference,
+// privatizableArrays) live in ir/ast.hpp: the native kernel emitter must
+// make the exact same mapping decisions at emit time, so both layers
+// consume one implementation.
+using ir::boundsIndependentOf;
+using ir::innerBoundsReference;
+using ir::privatizableArrays;
+using ir::soleLoopChild;
 
 class Walker {
  public:
@@ -142,17 +55,6 @@ class Walker {
 
   ParallelRunReport run() {
     walk(prog_.root);
-    auto& m = obs::Registry::global();
-    m.counter("exec.par.doall_loops").add(report_.doallLoops);
-    m.counter("exec.par.guided_loops").add(report_.guidedLoops);
-    m.counter("exec.par.reduction_loops").add(report_.reductionLoops);
-    m.counter("exec.par.pipeline_loops").add(report_.pipelineLoops);
-    m.counter("exec.par.pipeline_dynamic_loops")
-        .add(report_.pipelineDynamicLoops);
-    m.counter("exec.par.pipeline3d_loops").add(report_.pipeline3dLoops);
-    m.counter("exec.par.reduction_pipeline_loops")
-        .add(report_.reductionPipelineLoops);
-    m.counter("exec.par.sequential_fallbacks").add(report_.sequentialFallbacks);
     return std::move(report_);
   }
 
@@ -574,14 +476,39 @@ class Walker {
 
 std::string ParallelRunReport::summary() const {
   std::ostringstream os;
-  os << "parallel execution: " << doallLoops << " doall (" << guidedLoops
-     << " guided), " << reductionLoops << " reduction, " << pipelineLoops
-     << " pipeline (" << pipelineDynamicLoops << " dynamic, "
-     << pipeline3dLoops << " 3d), " << reductionPipelineLoops
-     << " reduction-pipeline, " << sequentialFallbacks
-     << " sequential fallback(s)";
+  os << "parallel execution [" << backend << "]: " << doallLoops
+     << " doall (" << guidedLoops << " guided), " << reductionLoops
+     << " reduction, " << pipelineLoops << " pipeline ("
+     << pipelineDynamicLoops << " dynamic, " << pipeline3dLoops << " 3d), "
+     << reductionPipelineLoops << " reduction-pipeline, "
+     << sequentialFallbacks << " sequential fallback(s)";
+  if (nativeCompiles + nativeCacheHits + nativeFallbacks > 0)
+    os << "; native: " << nativeCompiles << " compile(s), "
+       << nativeCacheHits << " cache hit(s), " << nativeFallbacks
+       << " backend fallback(s)";
   for (const auto& n : notes) os << "\n  - " << n;
   return os.str();
+}
+
+void recordRunMetrics(const ParallelRunReport& report) {
+  auto& m = obs::Registry::global();
+  m.counter("exec.par.doall_loops").add(report.doallLoops);
+  m.counter("exec.par.guided_loops").add(report.guidedLoops);
+  m.counter("exec.par.reduction_loops").add(report.reductionLoops);
+  m.counter("exec.par.pipeline_loops").add(report.pipelineLoops);
+  m.counter("exec.par.pipeline_dynamic_loops")
+      .add(report.pipelineDynamicLoops);
+  m.counter("exec.par.pipeline3d_loops").add(report.pipeline3dLoops);
+  m.counter("exec.par.reduction_pipeline_loops")
+      .add(report.reductionPipelineLoops);
+  m.counter("exec.par.sequential_fallbacks").add(report.sequentialFallbacks);
+  if (report.nativeCompiles > 0)
+    m.counter("exec.native.compiles").add(report.nativeCompiles);
+  if (report.nativeCacheHits > 0)
+    m.counter("exec.native.cache_hits").add(report.nativeCacheHits);
+  if (report.nativeFallbacks > 0)
+    m.counter("exec.native.fallbacks").add(report.nativeFallbacks);
+  m.note("exec.backend", report.backend);
 }
 
 ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
@@ -591,9 +518,11 @@ ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
   span.attr("program", program.name);
   span.attr("threads",
             static_cast<std::int64_t>(pool.threadCount()));
+  span.attr("backend", "interp");
   if (perf) pool.runOnAll([&](unsigned) { perf->beginThread(); });
   ParallelRunReport report = Walker(program, ctx, pool).run();
   if (perf) pool.runOnAll([&](unsigned) { perf->endThread(); });
+  recordRunMetrics(report);
   return report;
 }
 

@@ -46,8 +46,13 @@
 
 namespace polyast::exec {
 
-/// What the harness did with the program's parallelism marks.
+/// What the executing backend did with the program's parallelism marks.
+/// Emitted by both execution backends (exec/backend.hpp): the interpreter
+/// fills it while walking, the native backend from the runtime shim's
+/// spawn-site counters — same counting semantics (per dynamic encounter,
+/// counted even when the trip space turns out empty).
 struct ParallelRunReport {
+  std::string backend = "interp";   ///< which backend produced this report
   std::int64_t doallLoops = 0;      ///< loops executed via parallelForBlocked
   std::int64_t guidedLoops = 0;     ///< doall loops on the guided schedule
   std::int64_t reductionLoops = 0;  ///< loops executed via parallelReduce
@@ -56,6 +61,9 @@ struct ParallelRunReport {
   std::int64_t pipeline3dLoops = 0;       ///< triples via pipeline3D
   std::int64_t reductionPipelineLoops = 0;  ///< pipelines with privatization
   std::int64_t sequentialFallbacks = 0;  ///< marked loops run sequentially
+  std::int64_t nativeCompiles = 0;   ///< native backend: TUs compiled
+  std::int64_t nativeCacheHits = 0;  ///< native backend: cached .so reused
+  std::int64_t nativeFallbacks = 0;  ///< native backend: degraded to interp
   std::vector<std::string> notes;   ///< one line per fallback, with reason
 
   std::string summary() const;
@@ -73,5 +81,12 @@ struct ParallelRunReport {
 ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
                               runtime::ThreadPool& pool,
                               obs::PerfAggregate* perf = nullptr);
+
+/// Records a finished run's counters into the global metrics registry:
+/// `exec.par.*` for the mark counters, `exec.native.*` for the native
+/// backend's compile/cache/fallback counters (only when nonzero), and the
+/// `exec.backend` note naming the backend that executed. Every backend
+/// calls this exactly once per run (runParallel does it internally).
+void recordRunMetrics(const ParallelRunReport& report);
 
 }  // namespace polyast::exec

@@ -275,4 +275,77 @@ std::string printProgram(const Program& p) {
   return os.str();
 }
 
+std::shared_ptr<Loop> soleLoopChild(const NodePtr& body) {
+  NodePtr cur = body;
+  while (cur->kind == Node::Kind::Block) {
+    const auto& kids = std::static_pointer_cast<Block>(cur)->children;
+    if (kids.size() != 1) return nullptr;
+    cur = kids.front();
+  }
+  if (cur->kind != Node::Kind::Loop) return nullptr;
+  return std::static_pointer_cast<Loop>(cur);
+}
+
+bool boundsIndependentOf(const Loop& loop, const std::string& iter) {
+  for (const auto& p : loop.lower.parts)
+    if (p.coeff(iter) != 0) return false;
+  for (const auto& p : loop.upper.parts)
+    if (p.coeff(iter) != 0) return false;
+  return true;
+}
+
+bool innerBoundsReference(const NodePtr& node, const std::string& iter) {
+  switch (node->kind) {
+    case Node::Kind::Block: {
+      for (const auto& c : std::static_pointer_cast<Block>(node)->children)
+        if (innerBoundsReference(c, iter)) return true;
+      return false;
+    }
+    case Node::Kind::Loop: {
+      auto l = std::static_pointer_cast<Loop>(node);
+      if (!boundsIndependentOf(*l, iter)) return true;
+      return innerBoundsReference(l->body, iter);
+    }
+    case Node::Kind::Stmt:
+      return false;
+  }
+  return false;
+}
+
+std::vector<std::string> privatizableArrays(const NodePtr& node) {
+  struct Use {
+    bool read = false;
+    bool setWrite = false;    // Set / *= / /= — not additively mergeable
+    bool accumWrite = false;  // += / -=
+  };
+  std::map<std::string, Use> uses;
+  std::function<void(const NodePtr&)> collect = [&](const NodePtr& n) {
+    switch (n->kind) {
+      case Node::Kind::Block:
+        for (const auto& c : std::static_pointer_cast<Block>(n)->children)
+          collect(c);
+        break;
+      case Node::Kind::Loop:
+        collect(std::static_pointer_cast<Loop>(n)->body);
+        break;
+      case Node::Kind::Stmt: {
+        auto s = std::static_pointer_cast<Stmt>(n);
+        if (s->op == AssignOp::AddAssign || s->op == AssignOp::SubAssign)
+          uses[s->lhsArray].accumWrite = true;
+        else
+          uses[s->lhsArray].setWrite = true;
+        std::vector<ArrayUse> reads;
+        collectArrayUses(s->rhs, reads);
+        for (const auto& r : reads) uses[r.array].read = true;
+        break;
+      }
+    }
+  };
+  collect(node);
+  std::vector<std::string> out;
+  for (const auto& [name, u] : uses)
+    if (u.accumWrite && !u.read && !u.setWrite) out.push_back(name);
+  return out;
+}
+
 }  // namespace polyast::ir

@@ -165,4 +165,30 @@ void renameIterInTree(const NodePtr& node, std::string from,
 std::string printNode(const NodePtr& node, int indent = 0);
 std::string printProgram(const Program& p);
 
+// Structural queries shared by the parallel executor (exec/par_exec) and
+// the native kernel emitter (ir/cemit): both must map parallelism marks
+// onto the same runtime construct for a program, so the shape decisions
+// live here, once.
+
+/// The single loop child of `body`, descending through nested one-child
+/// blocks; null when the body is not exactly one loop.
+std::shared_ptr<Loop> soleLoopChild(const NodePtr& body);
+
+/// True when neither bound of `loop` references the iterator `iter`.
+bool boundsIndependentOf(const Loop& loop, const std::string& iter);
+
+/// True if any loop strictly inside `node` has a bound referencing `iter`
+/// — the trip space under a marked loop is then imbalanced across its
+/// iterations (triangular/trapezoidal), which the guided doall schedule
+/// exists for.
+bool innerBoundsReference(const NodePtr& node, const std::string& iter);
+
+/// Arrays that may be privatized per thread under a Reduction /
+/// ReductionPipeline mark rooted at `node`: every access to them inside is
+/// an associative accumulation (+= / -=) — never a read, never a plain
+/// assignment. Privatizing such an array into a zero-initialized private
+/// buffer and summing the buffers into the target afterwards preserves
+/// semantics up to reassociation of the accumulated sums.
+std::vector<std::string> privatizableArrays(const NodePtr& node);
+
 }  // namespace polyast::ir

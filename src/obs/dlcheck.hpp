@@ -24,6 +24,7 @@ namespace polyast::obs {
 struct DlCheckKernel {
   std::string kernel;    ///< e.g. "gemm"
   std::string pipeline;  ///< preset that produced the schedule ("polyast")
+  std::string backend = "interp";  ///< execution backend measured
   /// DL-model side (dl::predictProgram on the optimized program).
   double predictedLines = 0.0;
   double predictedCost = 0.0;
@@ -46,7 +47,7 @@ double spearman(const std::vector<double>& a, const std::vector<double>& b);
 
 /// Writes the polyast-dlcheck-v1 JSON:
 /// {"schema":"polyast-dlcheck-v1","threads":N,"degraded":bool,
-///  "kernels":[{"kernel","pipeline",
+///  "kernels":[{"kernel","pipeline","backend",
 ///    "predicted":{"lines","cost","nests"},
 ///    "measured":{"degraded","degraded_reason"?,"wall_ns","tsc_cycles",
 ///                "multiplex_ratio","threads","threads_degraded",

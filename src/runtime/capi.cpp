@@ -1,0 +1,185 @@
+#include "runtime/capi.hpp"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
+
+namespace {
+
+using polyast::runtime::capi::RunCounters;
+
+// Spawn-site counters of the currently executing native kernel. Counts are
+// issued from the thread driving the kernel entry (spawn sites live in the
+// kernel function, never inside outlined chunk/cell bodies), but the shim
+// locks anyway so a future emitter that spawns from workers stays correct.
+RunCounters g_counters;  // NOLINT(cert-err58-cpp)
+std::mutex g_countersMutex;
+
+polyast::runtime::ThreadPool &pool(void *p) {
+  return *static_cast<polyast::runtime::ThreadPool *>(p);
+}
+
+}  // namespace
+
+extern "C" {
+
+static void capiParallelForBlocked(void *p, int64_t trips, int schedule,
+                                   int64_t minBlock,
+                                   void (*chunk)(void *, unsigned, int64_t,
+                                                 int64_t),
+                                   void *env) {
+  using polyast::runtime::ForOptions;
+  using polyast::runtime::Schedule;
+  ForOptions opts;
+  if (schedule == POLYAST_SCHEDULE_GUIDED) {
+    opts.schedule = Schedule::Guided;
+    opts.minBlock = minBlock;
+  }
+  polyast::obs::Span span(polyast::obs::Tracer::global(), "exec.doall",
+                          "exec");
+  span.attr("backend", "native");
+  span.attr("trips", trips);
+  span.attr("schedule",
+            opts.schedule == Schedule::Guided ? "guided" : "static");
+  polyast::runtime::parallelForBlocked(
+      pool(p), 0, trips,
+      [&](unsigned tid, std::int64_t begin, std::int64_t end) {
+        chunk(env, tid, begin, end);
+      },
+      opts);
+}
+
+static void capiParallelReduce(void *p, int64_t trips,
+                               const polyast_reduce_target *targets,
+                               int64_t nTargets,
+                               void (*chunk)(void *, unsigned,
+                                             double *const *, int64_t,
+                                             int64_t),
+                               void *env) {
+  std::vector<polyast::runtime::ReduceTarget> ts;
+  ts.reserve(static_cast<std::size_t>(nTargets));
+  for (int64_t i = 0; i < nTargets; ++i)
+    ts.push_back({targets[i].data, static_cast<std::size_t>(targets[i].size)});
+  polyast::obs::Span span(polyast::obs::Tracer::global(), "exec.reduction",
+                          "exec");
+  span.attr("backend", "native");
+  span.attr("trips", trips);
+  span.attr("privatized", nTargets);
+  polyast::runtime::parallelReduce(
+      pool(p), 0, trips, ts,
+      [&](unsigned tid, const std::vector<double *> &priv,
+          std::int64_t begin, std::int64_t end) {
+        chunk(env, tid, priv.data(), begin, end);
+      });
+}
+
+static void capiPipeline2D(void *p, int64_t rows, int64_t cols,
+                           void (*cell)(void *, int64_t, int64_t),
+                           void *env) {
+  polyast::obs::Span span(polyast::obs::Tracer::global(), "exec.pipeline",
+                          "exec");
+  span.attr("backend", "native");
+  span.attr("rows", rows);
+  span.attr("cols", cols);
+  polyast::runtime::pipeline2D(
+      pool(p), rows, cols,
+      [&](std::int64_t r, std::int64_t c) { cell(env, r, c); });
+}
+
+static void capiPipeline3D(void *p, int64_t planes, int64_t rows,
+                           int64_t cols,
+                           void (*cell)(void *, int64_t, int64_t, int64_t),
+                           void *env) {
+  polyast::obs::Span span(polyast::obs::Tracer::global(), "exec.pipeline3d",
+                          "exec");
+  span.attr("backend", "native");
+  span.attr("planes", planes);
+  span.attr("rows", rows);
+  span.attr("cols", cols);
+  polyast::runtime::pipeline3D(
+      pool(p), planes, rows, cols,
+      [&](std::int64_t pp, std::int64_t r, std::int64_t c) {
+        cell(env, pp, r, c);
+      });
+}
+
+static void capiPipelineDynamic2D(void *p, const int64_t *rowCols,
+                                  int64_t rows,
+                                  int64_t (*need)(void *, int64_t, int64_t),
+                                  void (*cell)(void *, int64_t, int64_t),
+                                  void *env) {
+  std::vector<std::int64_t> cols(rowCols, rowCols + rows);
+  polyast::obs::Span span(polyast::obs::Tracer::global(),
+                          "exec.pipeline_dynamic", "exec");
+  span.attr("backend", "native");
+  span.attr("rows", rows);
+  polyast::runtime::pipelineDynamic2D(
+      pool(p), cols,
+      [&](std::int64_t r, std::int64_t c) { return need(env, r, c); },
+      [&](std::int64_t r, std::int64_t c) { cell(env, r, c); });
+}
+
+static unsigned capiThreadCount(void *p) { return pool(p).threadCount(); }
+
+static unsigned capiCurrentTid(void) {
+  return polyast::runtime::ThreadPool::currentTid();
+}
+
+static void capiCount(int what) {
+  std::lock_guard<std::mutex> lock(g_countersMutex);
+  switch (what) {
+    case POLYAST_COUNT_DOALL: ++g_counters.doallLoops; break;
+    case POLYAST_COUNT_GUIDED: ++g_counters.guidedLoops; break;
+    case POLYAST_COUNT_REDUCTION: ++g_counters.reductionLoops; break;
+    case POLYAST_COUNT_PIPELINE: ++g_counters.pipelineLoops; break;
+    case POLYAST_COUNT_PIPELINE_DYNAMIC:
+      ++g_counters.pipelineDynamicLoops;
+      break;
+    case POLYAST_COUNT_PIPELINE_3D: ++g_counters.pipeline3dLoops; break;
+    case POLYAST_COUNT_REDUCTION_PIPELINE:
+      ++g_counters.reductionPipelineLoops;
+      break;
+    default: break;
+  }
+}
+
+static void capiCountFallback(const char *note) {
+  std::lock_guard<std::mutex> lock(g_countersMutex);
+  ++g_counters.sequentialFallbacks;
+  g_counters.notes.emplace_back(note ? note : "(unnamed fallback)");
+}
+
+const polyast_runtime_api *polyast_runtime_api_get(void) {
+  static const polyast_runtime_api kApi = {
+      POLYAST_CAPI_ABI_VERSION,
+      &capiParallelForBlocked,
+      &capiParallelReduce,
+      &capiPipeline2D,
+      &capiPipeline3D,
+      &capiPipelineDynamic2D,
+      &capiThreadCount,
+      &capiCurrentTid,
+      &capiCount,
+      &capiCountFallback,
+  };
+  return &kApi;
+}
+
+} /* extern "C" */
+
+namespace polyast::runtime::capi {
+
+void resetRunCounters() {
+  std::lock_guard<std::mutex> lock(g_countersMutex);
+  g_counters = RunCounters{};
+}
+
+RunCounters takeRunCounters() {
+  std::lock_guard<std::mutex> lock(g_countersMutex);
+  return g_counters;
+}
+
+}  // namespace polyast::runtime::capi

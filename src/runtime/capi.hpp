@@ -1,0 +1,151 @@
+// C ABI shim between JIT-compiled kernel TUs and the C++ parallel runtime.
+//
+// The native execution backend (exec/native_exec) compiles emitted C
+// kernels into shared objects. Those TUs cannot include C++ headers, so
+// every parallel construct is reached through a table of C function
+// pointers (polyast_runtime_api) handed to the kernel entry point inside
+// polyast_kernel_args — no dynamic-symbol resolution against the host
+// process is needed, which keeps the objects loadable without -rdynamic.
+// The emitted TU textually re-declares these structs (ir/cemit's native
+// emitter); POLYAST_CAPI_ABI_VERSION guards the two copies against drift:
+// the backend refuses to run a kernel whose exported polyast_kernel_abi()
+// disagrees, and the version participates in the on-disk cache key so a
+// stale object from an older build is never loaded.
+//
+// Spawn sites report what they ran through the count / count_fallback
+// hooks, which feed a process-global RunCounters snapshot — that is how a
+// native run produces the same ParallelRunReport the interpreter fills
+// while walking (same counting semantics: one count per dynamic encounter,
+// counted even when the trip space turns out empty).
+#pragma once
+
+#include <stdint.h>
+
+#define POLYAST_CAPI_ABI_VERSION 1
+
+/* Spawn-site event kinds for polyast_runtime_api::count (mirror the
+   counters of exec::ParallelRunReport). */
+#define POLYAST_COUNT_DOALL 0
+#define POLYAST_COUNT_GUIDED 1
+#define POLYAST_COUNT_REDUCTION 2
+#define POLYAST_COUNT_PIPELINE 3
+#define POLYAST_COUNT_PIPELINE_DYNAMIC 4
+#define POLYAST_COUNT_PIPELINE_3D 5
+#define POLYAST_COUNT_REDUCTION_PIPELINE 6
+
+/* Schedules for polyast_runtime_api::parallel_for_blocked. */
+#define POLYAST_SCHEDULE_STATIC 0
+#define POLYAST_SCHEDULE_GUIDED 1
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* One accumulator array of a multi-target reduction
+   (runtime::ReduceTarget). */
+typedef struct polyast_reduce_target {
+  double *data;
+  uint64_t size;
+} polyast_reduce_target;
+
+/* Function-pointer table into the C++ runtime. Field order and types are
+   part of the ABI — bump POLYAST_CAPI_ABI_VERSION on any change and keep
+   the copy emitted by ir/cemit's native emitter in sync. */
+typedef struct polyast_runtime_api {
+  int64_t abi_version;
+
+  /* runtime::parallelForBlocked over [0, trips): chunk(env, tid, begin,
+     end) per contiguous block, schedule POLYAST_SCHEDULE_*. */
+  void (*parallel_for_blocked)(void *pool, int64_t trips, int schedule,
+                               int64_t min_block,
+                               void (*chunk)(void *env, unsigned tid,
+                                             int64_t begin, int64_t end),
+                               void *env);
+
+  /* runtime::parallelReduce: chunk receives one zero-initialized private
+     buffer per target (in target order); the runtime merges them into the
+     targets after the chunks drain. */
+  void (*parallel_reduce)(void *pool, int64_t trips,
+                          const polyast_reduce_target *targets,
+                          int64_t n_targets,
+                          void (*chunk)(void *env, unsigned tid,
+                                        double *const *priv, int64_t begin,
+                                        int64_t end),
+                          void *env);
+
+  /* runtime::pipeline2D over rows x cols. */
+  void (*pipeline_2d)(void *pool, int64_t rows, int64_t cols,
+                      void (*cell)(void *env, int64_t r, int64_t c),
+                      void *env);
+
+  /* runtime::pipeline3D over planes x rows x cols. */
+  void (*pipeline_3d)(void *pool, int64_t planes, int64_t rows, int64_t cols,
+                      void (*cell)(void *env, int64_t p, int64_t r,
+                                   int64_t c),
+                      void *env);
+
+  /* runtime::pipelineDynamic2D over a ragged grid: row r has row_cols[r]
+     cells; need(env, r, c) is the row-relative await count into row r-1. */
+  void (*pipeline_dynamic_2d)(void *pool, const int64_t *row_cols,
+                              int64_t rows,
+                              int64_t (*need)(void *env, int64_t r,
+                                              int64_t c),
+                              void (*cell)(void *env, int64_t r, int64_t c),
+                              void *env);
+
+  /* ThreadPool::threadCount / ThreadPool::currentTid. */
+  unsigned (*thread_count)(void *pool);
+  unsigned (*current_tid)(void);
+
+  /* Spawn-site accounting: count(POLYAST_COUNT_*) per construct entered,
+     count_fallback(note) per marked loop emitted as a sequential nest. */
+  void (*count)(int what);
+  void (*count_fallback)(const char *note);
+} polyast_runtime_api;
+
+/* What the backend passes to the kernel entry point
+   (polyast_kernel_run). params follow Program::params order, buffers
+   Program::arrays order. */
+typedef struct polyast_kernel_args {
+  const int64_t *params;
+  double *const *buffers;
+  void *pool; /* runtime::ThreadPool* */
+  const polyast_runtime_api *rt;
+} polyast_kernel_args;
+
+/* The process-wide runtime table (function pointers into src/runtime). */
+const polyast_runtime_api *polyast_runtime_api_get(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+
+#include <string>
+#include <vector>
+
+namespace polyast::runtime::capi {
+
+/// Snapshot of the spawn-site counters one kernel invocation produced.
+/// Field names mirror exec::ParallelRunReport.
+struct RunCounters {
+  std::int64_t doallLoops = 0;
+  std::int64_t guidedLoops = 0;
+  std::int64_t reductionLoops = 0;
+  std::int64_t pipelineLoops = 0;
+  std::int64_t pipelineDynamicLoops = 0;
+  std::int64_t pipeline3dLoops = 0;
+  std::int64_t reductionPipelineLoops = 0;
+  std::int64_t sequentialFallbacks = 0;
+  std::vector<std::string> notes;  ///< one per count_fallback call
+};
+
+/// Zeroes the process-global counters (call before the kernel entry).
+/// The counters are process-global like the obs registry: one native
+/// kernel invocation at a time.
+void resetRunCounters();
+
+/// Returns the counters accumulated since the last reset.
+RunCounters takeRunCounters();
+
+}  // namespace polyast::runtime::capi
+
+#endif /* __cplusplus */

@@ -1,0 +1,225 @@
+#include "exec/native_exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "flow/presets.hpp"
+#include "ir/cemit.hpp"
+#include "kernels/polybench.hpp"
+#include "runtime/parallel.hpp"
+
+namespace polyast::exec {
+namespace {
+
+bool haveCompiler() {
+  return std::system("command -v cc > /dev/null 2>&1") == 0;
+}
+
+/// Per-test-binary cache directory, fresh on every run so compile/cache
+/// counter assertions are deterministic.
+std::string freshCacheDir() {
+  char tmpl[] = "/tmp/polyast_native_test_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir ? dir : "/tmp/polyast_native_test_fallback";
+}
+
+/// Test-scale parameters (same choice as polyastc --execute): small, but
+/// enough trips for every loop kind to fire.
+std::map<std::string, std::int64_t> testParams(const ir::Program& p) {
+  std::map<std::string, std::int64_t> params;
+  for (const auto& name : p.params)
+    params[name] = name == "TSTEPS" ? 3 : 7;
+  return params;
+}
+
+ir::Program transformed(const std::string& kernel,
+                        const std::string& pipeline) {
+  ir::Program p = kernels::buildKernel(kernel);
+  flow::PassContext ctx;
+  return flow::makePipeline(pipeline).run(p, ctx);
+}
+
+NativeBackendOptions strictOptions(const std::string& cacheDir) {
+  NativeBackendOptions opts;
+  opts.cacheDir = cacheDir;
+  // The emitted TU must be warning-clean even under -Wextra.
+  opts.extraFlags = {"-Wextra", "-Werror"};
+  return opts;
+}
+
+/// Every kernel x both flows: the native run must match the sequential
+/// oracle within the reduction tolerance, must not degrade, and must
+/// report exactly the same parallel-construct counters as the
+/// interpreted backend on the same program.
+class NativeVsInterp
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {
+};
+
+TEST_P(NativeVsInterp, MatchesOracleAndInterpCounters) {
+  if (!haveCompiler()) GTEST_SKIP() << "no C compiler on PATH";
+  const auto& [kernel, pipeline] = GetParam();
+  static std::string cacheDir = freshCacheDir();
+
+  ir::Program p = transformed(kernel, pipeline);
+  auto params = testParams(p);
+  runtime::ThreadPool pool(4);
+
+  NativeBackend native(strictOptions(cacheDir));
+  native.prepare(p);
+  ASSERT_EQ(native.degradedReason(), "");
+
+  Context ctx = kernels::makeContext(p, params);
+  Context oracle = kernels::makeContext(p, params);
+  ParallelRunReport rep;
+  VerifyResult check = native.verify(p, ctx, oracle, pool, &rep);
+  EXPECT_TRUE(check.passed())
+      << kernel << "/" << pipeline << ": maxAbsDiff=" << check.maxAbsDiff
+      << " tolerance=" << check.tolerance;
+  EXPECT_EQ(rep.backend, "native");
+  EXPECT_EQ(rep.nativeFallbacks, 0) << rep.summary();
+
+  // Counting-semantics parity: the native shim counts constructs at the
+  // same points the interpreted walker does.
+  InterpBackend interp;
+  Context ictx = kernels::makeContext(p, params);
+  ParallelRunReport irep = interp.run(p, ictx, pool);
+  EXPECT_EQ(rep.doallLoops, irep.doallLoops);
+  EXPECT_EQ(rep.guidedLoops, irep.guidedLoops);
+  EXPECT_EQ(rep.reductionLoops, irep.reductionLoops);
+  EXPECT_EQ(rep.pipelineLoops, irep.pipelineLoops);
+  EXPECT_EQ(rep.pipelineDynamicLoops, irep.pipelineDynamicLoops);
+  EXPECT_EQ(rep.pipeline3dLoops, irep.pipeline3dLoops);
+  EXPECT_EQ(rep.reductionPipelineLoops, irep.reductionPipelineLoops);
+  EXPECT_EQ(rep.sequentialFallbacks, irep.sequentialFallbacks);
+}
+
+std::vector<std::pair<std::string, std::string>> allCases() {
+  std::vector<std::pair<std::string, std::string>> cases;
+  for (const auto& k : kernels::allKernels())
+    for (const char* pipeline : {"polyast", "polyast-notile"})
+      cases.emplace_back(k.name, pipeline);
+  return cases;
+}
+
+std::string caseName(
+    const ::testing::TestParamInfo<std::pair<std::string, std::string>>&
+        info) {
+  std::string s = info.param.first + "_" + info.param.second;
+  for (char& c : s)
+    if (c == '-') c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NativeVsInterp,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+/// Steady-state check at verification scale: the spatial extents cross
+/// two full tiles plus a remainder, the time extent the time-tile size,
+/// so the tiled fast path (not just boundary cases) runs natively.
+TEST(NativeExec, VerificationScaleGemmAndSeidel) {
+  if (!haveCompiler()) GTEST_SKIP() << "no C compiler on PATH";
+  std::string cacheDir = freshCacheDir();
+  runtime::ThreadPool pool(4);
+  for (const char* kernel : {"gemm", "seidel-2d"}) {
+    ir::Program p = transformed(kernel, "polyast");
+    std::map<std::string, std::int64_t> params;
+    for (const auto& name : p.params)
+      params[name] = name == "TSTEPS" ? 7 : 69;  // 2*tile+5, timeTile+2
+    NativeBackend native(strictOptions(cacheDir));
+    Context ctx = kernels::makeContext(p, params);
+    Context oracle = kernels::makeContext(p, params);
+    ParallelRunReport rep;
+    VerifyResult check = native.verify(p, ctx, oracle, pool, &rep);
+    EXPECT_TRUE(check.passed())
+        << kernel << ": maxAbsDiff=" << check.maxAbsDiff;
+    EXPECT_EQ(rep.nativeFallbacks, 0) << rep.summary();
+  }
+}
+
+TEST(NativeExec, CacheHitOnSecondBackend) {
+  if (!haveCompiler()) GTEST_SKIP() << "no C compiler on PATH";
+  std::string cacheDir = freshCacheDir();
+  ir::Program p = transformed("gemm", "polyast");
+  auto params = testParams(p);
+  runtime::ThreadPool pool(2);
+
+  NativeBackend first(strictOptions(cacheDir));
+  Context c1 = kernels::makeContext(p, params);
+  ParallelRunReport r1 = first.run(p, c1, pool);
+  EXPECT_EQ(r1.nativeCompiles, 1);
+  EXPECT_EQ(r1.nativeCacheHits, 0);
+
+  // Same program content in a fresh backend instance: the shared object
+  // is reused from disk, nothing recompiles.
+  NativeBackend second(strictOptions(cacheDir));
+  Context c2 = kernels::makeContext(p, params);
+  ParallelRunReport r2 = second.run(p, c2, pool);
+  EXPECT_EQ(r2.nativeCompiles, 0);
+  EXPECT_EQ(r2.nativeCacheHits, 1);
+
+  // Compile/cache-hit counts are consume-once: a re-run of an already
+  // loaded kernel reports neither.
+  Context c3 = kernels::makeContext(p, params);
+  ParallelRunReport r3 = second.run(p, c3, pool);
+  EXPECT_EQ(r3.nativeCompiles, 0);
+  EXPECT_EQ(r3.nativeCacheHits, 0);
+}
+
+TEST(NativeExec, ForcedOffDegradesToInterp) {
+  ir::Program p = transformed("gemm", "polyast");
+  auto params = testParams(p);
+  runtime::ThreadPool pool(2);
+
+  NativeBackendOptions opts;
+  opts.forceOff = true;
+  NativeBackend native(opts);
+  native.prepare(p);
+  EXPECT_NE(native.degradedReason(), "");
+
+  Context ctx = kernels::makeContext(p, params);
+  Context oracle = kernels::makeContext(p, params);
+  ParallelRunReport rep;
+  VerifyResult check = native.verify(p, ctx, oracle, pool, &rep);
+  // Degradation must still produce correct results via the interpreter.
+  EXPECT_TRUE(check.passed());
+  EXPECT_EQ(rep.backend, "interp");
+  EXPECT_EQ(rep.nativeFallbacks, 1);
+  bool noted = false;
+  for (const auto& n : rep.notes)
+    if (n.find("degraded to interpreter") != std::string::npos) noted = true;
+  EXPECT_TRUE(noted) << rep.summary();
+}
+
+/// Satellite contract for CEmitOptions::withMain=false: a kernel-only
+/// benchmark TU (no main, no seeder) that compiles standalone under
+/// -Wall -Werror.
+TEST(NativeExec, KernelOnlyTuCompilesWarningClean) {
+  if (!haveCompiler()) GTEST_SKIP() << "no C compiler on PATH";
+  ir::Program p = transformed("gemm", "polyast");
+  ir::CEmitOptions opts;
+  opts.openmp = false;
+  opts.withMain = false;
+  std::string src = ir::emitC(p, opts);
+  EXPECT_EQ(src.find("int main"), std::string::npos);
+  EXPECT_EQ(src.find("polyast_seed"), std::string::npos);
+
+  std::string base = "/tmp/polyast_native_test_kernel_only";
+  {
+    std::ofstream f(base + ".c");
+    f << src;
+  }
+  std::string compile = "cc -c -std=c11 -O2 -Wall -Werror -o " + base +
+                        ".o " + base + ".c";
+  EXPECT_EQ(std::system(compile.c_str()), 0) << src;
+}
+
+}  // namespace
+}  // namespace polyast::exec

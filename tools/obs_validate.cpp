@@ -7,7 +7,7 @@
 //   obs_validate --diagnostics FILE [--require-analysis NAME]...
 //                [--max-errors N]
 //   obs_validate --dlcheck FILE [--require-kernel NAME]...
-//                [--min-kernels N]
+//                [--min-kernels N] [--require-backend NAME]
 //
 // Used by CI to check that the files produced by `polyastc --trace-out /
 // --metrics-out` (and by the benches) conform to the documented schemas
@@ -34,9 +34,12 @@
 //     measured (wall_ns/counters, with degraded bookkeeping) objects plus
 //     a summary whose kernel_count matches and whose rank_correlation
 //     entries are each null or a number in [-1, 1]. Non-degraded kernels
-//     must carry hardware counters; degraded ones must say why.
+//     must carry hardware counters; degraded ones must say why. Every
+//     kernel entry names the execution backend that produced it.
 //     --require-kernel asserts a kernel entry exists; --min-kernels
-//     bounds the suite size from below.
+//     bounds the suite size from below; --require-backend asserts every
+//     entry was executed by the named backend (e.g. "native" to catch a
+//     silently-degraded JIT run).
 //
 // Exit code 0 when valid, 1 with a diagnostic on stderr otherwise.
 #include <cmath>
@@ -63,7 +66,8 @@ int usage() {
                "       obs_validate --diagnostics FILE"
                " [--require-analysis NAME]... [--max-errors N]\n"
                "       obs_validate --dlcheck FILE"
-               " [--require-kernel NAME]... [--min-kernels N]\n";
+               " [--require-kernel NAME]... [--min-kernels N]"
+               " [--require-backend NAME]\n";
   return 2;
 }
 
@@ -267,7 +271,8 @@ int validateDiagnostics(const obs::JsonValue& root,
 
 int validateDlCheck(const obs::JsonValue& root,
                     const std::vector<std::string>& requiredKernels,
-                    std::int64_t minKernels) {
+                    std::int64_t minKernels,
+                    const std::string& requiredBackend) {
   if (!root.isObject()) return fail("dlcheck: top level is not an object");
   const obs::JsonValue* schema = root.find("schema");
   if (!schema || !schema->isString() || schema->text != "polyast-dlcheck-v1")
@@ -287,12 +292,16 @@ int validateDlCheck(const obs::JsonValue& root,
   for (const auto& k : kernels->items) {
     std::string at = "dlcheck: kernel " + std::to_string(index++);
     if (!k.isObject()) return fail(at + " is not an object");
-    for (const char* field : {"kernel", "pipeline"}) {
+    for (const char* field : {"kernel", "pipeline", "backend"}) {
       const obs::JsonValue* v = k.find(field);
       if (!v || !v->isString())
         return fail(at + ": missing string \"" + field + "\"");
     }
     at = "dlcheck: kernel '" + k.find("kernel")->text + "'";
+    if (!requiredBackend.empty() &&
+        k.find("backend")->text != requiredBackend)
+      return fail(at + ": backend '" + k.find("backend")->text +
+                  "', expected '" + requiredBackend + "'");
     if (!names.insert(k.find("kernel")->text).second)
       return fail(at + ": duplicate entry");
     const obs::JsonValue* pred = k.find("predicted");
@@ -381,6 +390,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> requiredHistograms;
   std::vector<std::string> requiredAnalyses;
   std::vector<std::string> requiredKernels;
+  std::string requiredBackend;
   std::int64_t minThreads = 0;
   std::int64_t maxErrors = -1;
   std::int64_t minKernels = 0;
@@ -410,6 +420,7 @@ int main(int argc, char** argv) {
     else if (arg == "--require-histogram") requiredHistograms.push_back(next());
     else if (arg == "--require-analysis") requiredAnalyses.push_back(next());
     else if (arg == "--require-kernel") requiredKernels.push_back(next());
+    else if (arg == "--require-backend") requiredBackend = next();
     else if (arg == "--min-threads") minThreads = std::stoll(next());
     else if (arg == "--max-errors") maxErrors = std::stoll(next());
     else if (arg == "--min-kernels") minKernels = std::stoll(next());
@@ -427,7 +438,7 @@ int main(int argc, char** argv) {
                              requiredCounters, requiredHistograms);
     if (!dlcheckFile.empty())
       return validateDlCheck(obs::parseJson(slurp(dlcheckFile)),
-                             requiredKernels, minKernels);
+                             requiredKernels, minKernels, requiredBackend);
     return validateDiagnostics(obs::parseJson(slurp(diagnosticsFile)),
                                requiredAnalyses, maxErrors);
   } catch (const ::polyast::Error& e) {

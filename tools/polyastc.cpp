@@ -10,7 +10,8 @@
 //            [--verify-each-pass] [--dump-after PASS|all]
 //            [--analyze[=legality,races,bounds]] [--fail-on error|warning]
 //            [--diagnostics-out FILE]
-//            [--execute] [--threads N] [--perf] [--perf-out FILE]
+//            [--execute] [--backend interp|native] [--threads N]
+//            [--perf] [--perf-out FILE]
 //            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //
 // Flags also accept the --flag=value form. --flow is kept for
@@ -64,6 +65,14 @@
 //                       runtime at test scale (doall/pipeline marks map
 //                       onto the thread pool) and validate the buffers
 //                       against a sequential interpretation.
+//   --backend NAME      execution backend for --execute: `interp`
+//                       (default, interpreted executor) or `native`
+//                       (JIT-compile the program to a shared object via
+//                       the system C toolchain — cached under
+//                       $POLYAST_JIT_CACHE — and run the machine code
+//                       on the same thread pool; degrades to interp
+//                       with a reported reason when no toolchain is
+//                       usable or POLYAST_JIT=off).
 //   --perf              measure the --execute run with per-thread
 //                       hardware-counter sessions (src/obs/perf.hpp;
 //                       implies --execute). Degrades gracefully to
@@ -91,6 +100,7 @@
 #include "analysis/analysis.hpp"
 #include "analysis/mutations.hpp"
 #include "dl/dl_predict.hpp"
+#include "exec/backend.hpp"
 #include "exec/par_exec.hpp"
 #include "flow/analyze.hpp"
 #include "flow/presets.hpp"
@@ -119,8 +129,9 @@ int usage() {
          "                [--analyze[=legality,races,bounds]]"
          " [--fail-on error|warning]\n"
          "                [--diagnostics-out FILE]\n"
-         "                [--execute] [--threads N] [--perf]"
-         " [--perf-out FILE]\n"
+         "                [--execute] [--backend interp|native]"
+         " [--threads N] [--perf]\n"
+         "                [--perf-out FILE]\n"
          "                [--trace-out FILE] [--metrics-out FILE]"
          " [--obs-summary]\n"
          "kernel may be 'all' to run every suite kernel (no emission)\n"
@@ -160,6 +171,7 @@ int main(int argc, char** argv) {
   std::string metricsOut;
   bool obsSummary = false;
   bool execute = false;
+  std::string backend = "interp";
   bool perf = false;
   std::string perfOut;
   unsigned threads = 0;
@@ -223,6 +235,7 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-out") metricsOut = next();
     else if (arg == "--obs-summary") obsSummary = true;
     else if (arg == "--execute") execute = true;
+    else if (arg == "--backend") backend = next();
     else if (arg == "--perf") perf = true;
     else if (arg == "--perf-out") {
       perfOut = next();
@@ -234,6 +247,17 @@ int main(int argc, char** argv) {
     } else return usage();
   }
   if (perf) execute = true;  // counters measure the parallel run
+  if (!exec::hasBackend(backend)) {
+    std::cerr << "unknown backend '" << backend << "' (";
+    bool first = true;
+    for (const auto& n : exec::backendNames()) {
+      if (!first) std::cerr << ", ";
+      std::cerr << n;
+      first = false;
+    }
+    std::cerr << ")\n";
+    return 4;
+  }
   if (!flow::hasPipelinePreset(pipeline)) {
     std::cerr << "unknown pipeline '" << pipeline
               << "' (try --list-pipelines)\n";
@@ -279,6 +303,9 @@ int main(int argc, char** argv) {
   // One pool for every measured kernel, created on first use so plain
   // compilations never spin up threads.
   std::unique_ptr<runtime::ThreadPool> pool;
+  // One backend across the kernel loop: a `all`-suite native run reuses
+  // the process's loaded kernels and reports cache hits per program.
+  std::unique_ptr<exec::Backend> execBackend;
   obs::DlCheckReport dlreport;
   bool dynamicBroken = false;
   bool analysisFailed = false;
@@ -363,27 +390,25 @@ int main(int argc, char** argv) {
     }
 
     if (execute) {
-      // Run the transformed program on the parallel runtime and check it
-      // against a plain sequential interpretation of the same program.
+      // Run the transformed program on the selected execution backend and
+      // check it against a plain sequential interpretation of the same
+      // program. Doall and pipeline execution reorder whole statement
+      // instances, so every cell's arithmetic is bit-identical; reduction
+      // privatization reassociates the accumulated sums, so those runs get
+      // a tolerance (Backend::toleranceFor).
       if (!pool) pool = std::make_unique<runtime::ThreadPool>(threads);
+      if (!execBackend) execBackend = exec::makeBackend(backend);
       exec::Context seq = kernels::makeContext(out, params);
       exec::Context par = kernels::makeContext(out, params);
-      exec::run(out, seq);
       obs::PerfAggregate agg;
-      exec::ParallelRunReport rep =
-          exec::runParallel(out, par, *pool, perf ? &agg : nullptr);
-      double diff = par.maxAbsDiff(seq);
-      // Doall and pipeline execution reorder whole statement instances, so
-      // every cell's arithmetic is bit-identical; reduction privatization
-      // reassociates the accumulated sums, so those runs get a tolerance.
-      const bool reassociates =
-          rep.reductionLoops + rep.reductionPipelineLoops > 0;
-      const double tolerance = reassociates ? 1e-9 : 0.0;
+      exec::ParallelRunReport rep;
+      exec::VerifyResult check = execBackend->verify(
+          out, par, seq, *pool, &rep, perf ? &agg : nullptr);
       std::cerr << rep.summary() << "\n"
-                << "parallel vs sequential max abs diff: " << diff << " on "
-                << pool->threadCount() << " threads (tolerance "
-                << tolerance << ")\n";
-      if (!(diff <= tolerance)) {
+                << "parallel vs sequential max abs diff: "
+                << check.maxAbsDiff << " on " << pool->threadCount()
+                << " threads (tolerance " << check.tolerance << ")\n";
+      if (!check.passed()) {
         std::cerr << "error: parallel execution diverged\n";
         dynamicBroken = true;
       }
@@ -394,6 +419,7 @@ int main(int argc, char** argv) {
         obs::DlCheckKernel entry;
         entry.kernel = kernelName;
         entry.pipeline = pipeline;
+        entry.backend = rep.backend;
         entry.predictedLines = pred.predictedLines;
         entry.predictedCost = pred.predictedCost;
         entry.nests = static_cast<int>(pred.nests.size());
