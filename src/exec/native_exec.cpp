@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "ir/cemit.hpp"
+#include "obs/attrib.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/capi.hpp"
@@ -89,6 +90,10 @@ struct LoadedKernel {
   void* handle = nullptr;
   KernelEntry entry = nullptr;
   std::string error;  ///< why this program cannot run natively
+  /// Stable category of `error` for metrics ("disabled", "no-compiler",
+  /// "cache-io", "compile-error", "dlopen-error", "dlsym-error",
+  /// "abi-mismatch"); empty when the kernel loaded.
+  std::string errorKind;
   /// Consumed by the next run()'s report, so bench loops that reuse a
   /// prepared kernel do not re-report the one-time compile every
   /// iteration.
@@ -128,12 +133,14 @@ struct NativeBackend::Impl {
     }
     if (disabled) {
       k.error = disabledReason;
+      k.errorKind = "disabled";
       lastReason = k.error;
       return k;
     }
     if (compiler.empty()) {
       k.error =
           "no C compiler found (tried $POLYAST_JIT_CC, $CC, cc, gcc, clang)";
+      k.errorKind = "no-compiler";
       lastReason = k.error;
       return k;
     }
@@ -145,6 +152,7 @@ struct NativeBackend::Impl {
     if (ec) {
       k.error = "cannot create JIT cache dir " + dir.string() + ": " +
                 ec.message();
+      k.errorKind = "cache-io";
       lastReason = k.error;
       return k;
     }
@@ -161,6 +169,7 @@ struct NativeBackend::Impl {
         out << tu;
         if (!out) {
           k.error = "cannot write " + src.string();
+          k.errorKind = "cache-io";
           lastReason = k.error;
           return k;
         }
@@ -174,12 +183,14 @@ struct NativeBackend::Impl {
       if (rc != 0) {
         k.error = "compile failed (" + compiler +
                   "): " + readFileTail(log.string(), 400);
+        k.errorKind = "compile-error";
         lastReason = k.error;
         return k;
       }
       fs::rename(tmp, so, ec);
       if (ec) {
         k.error = "cannot publish " + so.string() + ": " + ec.message();
+        k.errorKind = "cache-io";
         lastReason = k.error;
         return k;
       }
@@ -190,6 +201,7 @@ struct NativeBackend::Impl {
     if (!k.handle) {
       const char* err = dlerror();
       k.error = std::string("dlopen failed: ") + (err ? err : "(unknown)");
+      k.errorKind = "dlopen-error";
       lastReason = k.error;
       return k;
     }
@@ -199,16 +211,26 @@ struct NativeBackend::Impl {
         reinterpret_cast<KernelEntry>(dlsym(k.handle, "polyast_kernel_run"));
     if (!abi || !entry) {
       k.error = "dlsym failed: kernel entry points missing";
+      k.errorKind = "dlsym-error";
     } else if (abi() != POLYAST_CAPI_ABI_VERSION) {
       k.error = "kernel ABI v" + std::to_string(abi()) +
                 " does not match runtime ABI v" +
                 std::to_string(POLYAST_CAPI_ABI_VERSION);
+      k.errorKind = "abi-mismatch";
     } else {
       k.entry = entry;
     }
     if (!k.error.empty()) {
       dlclose(k.handle);
       k.handle = nullptr;
+      // A published object that loads but exports the wrong (or no) kernel
+      // ABI can only be a stale artifact (e.g. written by an older build
+      // whose cache key hashed the same inputs differently) — evict it so
+      // the next backend instance recompiles instead of re-degrading on
+      // every run forever.
+      std::error_code evictEc;
+      if (fs::remove(so, evictEc))
+        k.error += " (evicted stale " + so.filename().string() + ")";
     }
     lastReason = k.error;
     return k;
@@ -249,11 +271,16 @@ ParallelRunReport NativeBackend::run(const ir::Program& program,
     // make the degradation itself observable.
     ParallelRunReport report = runParallel(program, ctx, pool, perf);
     report.nativeFallbacks = 1;
-    report.notes.push_back("native backend degraded to interpreter: " +
-                           k.error);
+    report.notes.push_back("native backend degraded to interpreter [" +
+                           k.errorKind + "]: " + k.error);
     auto& m = obs::Registry::global();
     m.counter("exec.native.fallbacks").add(1);
     m.note("exec.native.degraded", k.error);
+    // The stable category ("no-compiler", "compile-error", "dlopen-error",
+    // "abi-mismatch", ...) as its own named note, so --obs-summary readers
+    // and dashboards can key on *why* without parsing the prose.
+    m.note("exec.native.degraded_reason", k.errorKind);
+    m.counter("exec.native.fallback." + k.errorKind).add(1);
     return report;
   }
 
@@ -278,7 +305,12 @@ ParallelRunReport NativeBackend::run(const ir::Program& program,
 
   runtime::capi::resetRunCounters();
   if (perf) pool.runOnAll([&](unsigned) { perf->beginThread(); });
+  // Per-construct attribution: the kernel reports construct boundaries
+  // back through args.rt->construct_enter/exit on this (driving) thread.
+  obs::ConstructProfiler* cprof = obs::ConstructProfiler::current();
+  if (cprof) cprof->beginRun("native");
   k.entry(&args);
+  if (cprof) cprof->endRun();
   if (perf) pool.runOnAll([&](unsigned) { perf->endThread(); });
   const runtime::capi::RunCounters counters =
       runtime::capi::takeRunCounters();

@@ -7,6 +7,7 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/attrib.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -51,6 +52,12 @@ class Walker {
   Walker(const ir::Program& program, Context& ctx, runtime::ThreadPool& pool)
       : prog_(program), ctx_(ctx), pool_(pool) {
     for (const auto& [k, v] : ctx.params()) env_[k] = v;
+    // Construct-level attribution: index the marked loops once per run
+    // (one predicate when hooks are inactive — the walkLoop hot path
+    // then never touches the hooks).
+    if (obs::constructHooksActive())
+      for (const auto& c : ir::collectParallelConstructs(program))
+        constructIds_[c.loop.get()] = c.id;
   }
 
   ParallelRunReport run() {
@@ -155,6 +162,24 @@ class Walker {
 
   void walkLoop(const std::shared_ptr<ir::Loop>& l) {
     POLYAST_CHECK(l->step >= 1, "non-positive loop step");
+    // Attribution bracket around the whole dispatch (including the
+    // sequential fallbacks below): one enter/exit pair per dynamic
+    // encounter, fired even when the trip space turns out empty — the
+    // exact semantics the native emitter compiles into kernel TUs.
+    struct ConstructGuard {
+      std::int64_t id = -1;
+      ~ConstructGuard() {
+        if (id >= 0) obs::constructExit(id);
+      }
+    } guard;
+    if (l->parallel != ir::ParallelKind::None && !constructIds_.empty()) {
+      auto it = constructIds_.find(l.get());
+      if (it != constructIds_.end()) {
+        guard.id = it->second;
+        const std::string kind = ir::parallelKindName(l->parallel);
+        obs::constructEnter(guard.id, kind.c_str(), l->iter.c_str());
+      }
+    }
     switch (l->parallel) {
       case ir::ParallelKind::Doall:
         runDoall(l);
@@ -469,6 +494,8 @@ class Walker {
   Context& ctx_;
   runtime::ThreadPool& pool_;
   std::map<std::string, std::int64_t> env_;
+  /// Marked loop -> attribution construct id; empty when hooks inactive.
+  std::map<const ir::Loop*, std::int64_t> constructIds_;
   ParallelRunReport report_;
 };
 
@@ -520,7 +547,13 @@ ParallelRunReport runParallel(const ir::Program& program, Context& ctx,
             static_cast<std::int64_t>(pool.threadCount()));
   span.attr("backend", "interp");
   if (perf) pool.runOnAll([&](unsigned) { perf->beginThread(); });
+  // Per-construct attribution, bracketed tightly around the walk (the
+  // native backend brackets its own kernel entry the same way, so this
+  // also covers its degraded-to-interpreter path with the right backend).
+  obs::ConstructProfiler* cprof = obs::ConstructProfiler::current();
+  if (cprof) cprof->beginRun("interp");
   ParallelRunReport report = Walker(program, ctx, pool).run();
+  if (cprof) cprof->endRun();
   if (perf) pool.runOnAll([&](unsigned) { perf->endThread(); });
   recordRunMetrics(report);
   return report;

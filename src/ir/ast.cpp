@@ -348,4 +348,37 @@ std::vector<std::string> privatizableArrays(const NodePtr& node) {
   return out;
 }
 
+std::vector<ParallelConstruct> collectParallelConstructs(const Program& p) {
+  std::vector<ParallelConstruct> out;
+  std::vector<std::string> chain;
+  std::function<void(const NodePtr&)> walk = [&](const NodePtr& n) {
+    switch (n->kind) {
+      case Node::Kind::Block:
+        for (const auto& c : std::static_pointer_cast<Block>(n)->children)
+          walk(c);
+        break;
+      case Node::Kind::Loop: {
+        auto l = std::static_pointer_cast<Loop>(n);
+        if (l->parallel != ParallelKind::None) {
+          ParallelConstruct c;
+          c.id = static_cast<std::int64_t>(out.size());
+          c.loop = l;
+          c.chain = chain;
+          c.chain.push_back(l->iter);
+          out.push_back(std::move(c));
+          return;  // inner marks run sequentially — not constructs
+        }
+        chain.push_back(l->iter);
+        walk(l->body);
+        chain.pop_back();
+        break;
+      }
+      case Node::Kind::Stmt:
+        break;
+    }
+  };
+  walk(p.root);
+  return out;
+}
+
 }  // namespace polyast::ir

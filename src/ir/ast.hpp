@@ -191,4 +191,25 @@ bool innerBoundsReference(const NodePtr& node, const std::string& iter);
 /// semantics up to reassociation of the accumulated sums.
 std::vector<std::string> privatizableArrays(const NodePtr& node);
 
+/// One runtime parallel construct of a program: a marked loop that the
+/// executor/emitter will dispatch to the runtime (marks nested inside
+/// another mark run sequentially in both backends and are not constructs).
+/// `id` is the construct's position in pre-order — stable across both
+/// backends for the same program, so it keys construct-level attribution.
+/// `chain` is the enclosing sequential iterators outermost-first, ending
+/// with the construct's own iterator (a prefix of every statement's
+/// iterator chain inside the construct — how DL per-nest predictions are
+/// matched to constructs).
+struct ParallelConstruct {
+  std::int64_t id = 0;
+  std::shared_ptr<Loop> loop;
+  std::vector<std::string> chain;
+};
+
+/// Enumerates the parallel constructs of `p` in pre-order. The walk does
+/// not descend into a marked loop (inner marks are sequentialized by both
+/// backends) and accumulates the iterator chain through ParallelKind::None
+/// loops, mirroring the dispatch structure of exec/par_exec and ir/cemit.
+std::vector<ParallelConstruct> collectParallelConstructs(const Program& p);
+
 }  // namespace polyast::ir

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -161,7 +162,13 @@ std::vector<std::string> freeIters(const Program& p, const NodePtr& node) {
 class KernelEmitter {
  public:
   KernelEmitter(const Program& p, const KernelFunctionOptions& opt)
-      : p_(p), opt_(opt) {}
+      : p_(p), opt_(opt) {
+    // Construct ids for the attribution hooks: the same pre-order
+    // enumeration the interp walker uses, so both backends report
+    // identical (id, kind, iter) rows for a program.
+    for (const auto& c : collectParallelConstructs(p))
+      constructIds_[c.loop.get()] = c.id;
+  }
 
   std::string emit() {
     std::ostringstream body;
@@ -280,7 +287,19 @@ class KernelEmitter {
         auto l = std::static_pointer_cast<Loop>(node);
         if (opt_.parallel == ParallelLowering::Runtime && !inParallel &&
             l->parallel != ParallelKind::None) {
+          // Attribution bracket: one enter/exit pair per dynamic
+          // encounter, fired even when the trip space is empty and around
+          // sequential fallbacks — the exact counting semantics of the
+          // interpreted walker's construct hooks.
+          auto cid = constructIds_.find(l.get());
+          POLYAST_CHECK(cid != constructIds_.end(),
+                        "marked loop missing from the construct index");
+          os << pad << "polyast_rt->construct_enter(" << cid->second << ", \""
+             << parallelKindName(l->parallel) << "\", \"" << l->iter
+             << "\");\n";
           emitParallel(os, l, depth);
+          os << pad << "polyast_rt->construct_exit(" << cid->second
+             << ");\n";
           break;
         }
         if (opt_.parallel != ParallelLowering::Runtime) {
@@ -759,6 +778,7 @@ class KernelEmitter {
   const Program& p_;
   KernelFunctionOptions opt_;
   std::ostringstream aux_;
+  std::map<const Loop*, std::int64_t> constructIds_;
   int id_ = 0;
 };
 
@@ -867,6 +887,9 @@ std::string nativeCapiDecls() {
         "  unsigned (*current_tid)(void);\n"
         "  void (*count)(int what);\n"
         "  void (*count_fallback)(const char *note);\n"
+        "  void (*construct_enter)(int64_t id, const char *kind,"
+        " const char *iter);\n"
+        "  void (*construct_exit)(int64_t id);\n"
         "} polyast_runtime_api;\n"
         "\n"
         "typedef struct polyast_kernel_args {\n"

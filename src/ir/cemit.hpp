@@ -77,6 +77,6 @@ std::string emitNativeKernelTU(const Program& program);
 /// ABI version stamped into native TUs via polyast_kernel_abi(). Mirrors
 /// POLYAST_CAPI_ABI_VERSION in runtime/capi.hpp (bump both together; the
 /// native backend static_asserts their equality).
-constexpr std::int64_t kNativeKernelAbi = 1;
+constexpr std::int64_t kNativeKernelAbi = 2;
 
 }  // namespace polyast::ir

@@ -1,0 +1,314 @@
+#include "obs/attrib.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "obs/dlcheck.hpp"  // spearman
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace polyast::obs {
+
+namespace {
+
+std::atomic<ConstructProfiler*> g_profiler{nullptr};
+
+/// Per-thread stack of open construct spans. Hooks fire on the driving
+/// thread of the run; the stack keeps enter/exit pairs balanced even if
+/// the tracer is toggled between them (exit only pops what enter pushed).
+std::vector<std::unique_ptr<Span>>& spanStack() {
+  thread_local std::vector<std::unique_ptr<Span>> stack;
+  return stack;
+}
+
+/// Counter-wise difference of two cumulative samples from one session
+/// (cur was read after last, so every series is monotone non-decreasing).
+PerfReading diffReading(const PerfReading& cur, const PerfReading& last) {
+  PerfReading d;
+  d.degraded = cur.degraded;
+  d.degradedReason = cur.degradedReason;
+  d.multiplexRatio = cur.multiplexRatio;
+  d.wallNs = cur.wallNs - last.wallNs;
+  d.tscCycles = cur.tscCycles >= last.tscCycles
+                    ? cur.tscCycles - last.tscCycles
+                    : 0;
+  for (const auto& [name, v] : cur.counters) {
+    auto it = last.counters.find(name);
+    std::int64_t prev = it == last.counters.end() ? 0 : it->second;
+    d.counters[name] = v >= prev ? v - prev : 0;
+  }
+  return d;
+}
+
+/// Accumulates a telescoped delta into a row/residual reading without
+/// PerfReading::operator+='s degraded-vote semantics (a zero-delta
+/// contribution must not flip the degraded flag).
+void charge(PerfReading& into, const PerfReading& delta) {
+  into.degraded = delta.degraded;
+  into.degradedReason = delta.degradedReason;
+  into.multiplexRatio = delta.multiplexRatio;
+  into.wallNs += delta.wallNs;
+  into.tscCycles += delta.tscCycles;
+  for (const auto& [name, v] : delta.counters) into.counters[name] += v;
+}
+
+}  // namespace
+
+ConstructProfiler::ConstructProfiler(PerfOptions opts)
+    : opts_(std::move(opts)) {}
+
+ConstructProfiler::~ConstructProfiler() {
+  ConstructProfiler* self = this;
+  g_profiler.compare_exchange_strong(self, nullptr);
+}
+
+ConstructProfiler* ConstructProfiler::current() {
+  return g_profiler.load(std::memory_order_acquire);
+}
+
+void ConstructProfiler::install() {
+  g_profiler.store(this, std::memory_order_release);
+}
+
+void ConstructProfiler::uninstall() {
+  ConstructProfiler* self = this;
+  g_profiler.compare_exchange_strong(self, nullptr);
+}
+
+void ConstructProfiler::beginRun(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend_ = backend;
+  rows_.clear();
+  stack_.clear();
+  lastSample_ = PerfReading{};
+  lastSample_.wallNs = 0;
+  residual_ = PerfReading{};
+  residual_.degraded = false;
+  total_ = PerfReading{};
+  // A fresh session per run: it is bound to the calling (driving) thread,
+  // which may differ between runs.
+  session_ = std::make_unique<PerfSession>(opts_);
+  session_->start();
+  running_ = true;
+}
+
+void ConstructProfiler::endRun() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!running_) return;
+  boundary();  // charge the tail since the last construct boundary
+  total_ = lastSample_;
+  session_->stop();
+  session_.reset();
+  running_ = false;
+  stack_.clear();
+}
+
+void ConstructProfiler::boundary() {
+  PerfReading cur = session_->sample();
+  PerfReading delta = diffReading(cur, lastSample_);
+  if (stack_.empty()) {
+    charge(residual_, delta);
+  } else {
+    charge(rows_[stack_.back()].measured, delta);
+  }
+  lastSample_ = std::move(cur);
+}
+
+void ConstructProfiler::enter(std::int64_t id, const char* kind,
+                              const char* iter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!running_) return;
+  boundary();
+  ConstructRow& row = rows_[id];
+  if (row.enters == 0) {
+    row.id = id;
+    row.kind = kind;
+    row.iter = iter;
+  }
+  ++row.enters;
+  stack_.push_back(id);
+}
+
+void ConstructProfiler::exit(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!running_) return;
+  boundary();
+  if (!stack_.empty() && stack_.back() == id) stack_.pop_back();
+}
+
+std::vector<ConstructRow> ConstructProfiler::rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ConstructRow> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) out.push_back(row);
+  return out;
+}
+
+PerfReading ConstructProfiler::residual() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return residual_;
+}
+
+PerfReading ConstructProfiler::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+bool ConstructProfiler::degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_.degraded;
+}
+
+const std::string& ConstructProfiler::degradedReason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_.degradedReason;
+}
+
+bool constructHooksActive() {
+  return ConstructProfiler::current() != nullptr ||
+         Tracer::global().enabled();
+}
+
+void constructEnter(std::int64_t id, const char* kind, const char* iter) {
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    auto span = std::make_unique<Span>(
+        tracer, std::string(kind) + ":" + iter, "construct");
+    span->attr("construct", id);
+    span->attr("kind", kind);
+    span->attr("iter", iter);
+    spanStack().push_back(std::move(span));
+  }
+  if (ConstructProfiler* p = ConstructProfiler::current())
+    p->enter(id, kind, iter);
+}
+
+void constructExit(std::int64_t id) {
+  if (ConstructProfiler* p = ConstructProfiler::current()) p->exit(id);
+  // Pop only spans this thread pushed: a tracer enabled mid-run leaves
+  // the stack empty here, and the exit is then span-free.
+  if (!spanStack().empty()) spanStack().pop_back();
+}
+
+namespace {
+
+void writeReading(JsonWriter& w, const PerfReading& r, bool withDegraded) {
+  w.beginObject();
+  if (withDegraded) {
+    w.key("degraded").value(r.degraded);
+    if (!r.degradedReason.empty())
+      w.key("degraded_reason").value(r.degradedReason);
+    w.key("multiplex_ratio").value(r.multiplexRatio);
+  }
+  w.key("wall_ns").value(r.wallNs);
+  w.key("tsc_cycles").value(r.tscCycles);
+  w.key("counters").beginObject();
+  for (const auto& [name, v] : r.counters) w.key(name).value(v);
+  w.endObject();
+  w.endObject();
+}
+
+/// Spearman of predicted-vs-measured over a construct set; NaN-safe.
+struct AttribCorrelation {
+  std::vector<double> cost, wall, lines, l1d;
+
+  void add(const AttribConstruct& c) {
+    cost.push_back(c.predictedCost);
+    wall.push_back(static_cast<double>(c.measured.wallNs));
+    std::int64_t misses = c.measured.counter("l1d_misses");
+    if (misses >= 0) {
+      lines.push_back(c.predictedLines);
+      l1d.push_back(static_cast<double>(misses));
+    }
+  }
+
+  void write(JsonWriter& w) const {
+    w.key("rank_correlation").beginObject();
+    auto emit = [&](const char* name, double r) {
+      w.key(name);
+      if (std::isnan(r)) w.null();
+      else w.value(r);
+    };
+    emit("cost_vs_wall_ns", spearman(cost, wall));
+    emit("lines_vs_l1d_misses", spearman(lines, l1d));
+    w.endObject();
+  }
+};
+
+}  // namespace
+
+void writeAttrib(std::ostream& out, const AttribReport& report) {
+  bool anyDegraded = false;
+  std::size_t constructCount = 0;
+  for (const auto& k : report.kernels) {
+    if (k.total.degraded) anyDegraded = true;
+    constructCount += k.constructs.size();
+  }
+
+  JsonWriter w(out);
+  AttribCorrelation pooled;
+  w.beginObject();
+  w.key("schema").value("polyast-attrib-v1");
+  w.key("threads").value(report.threads);
+  w.key("degraded").value(anyDegraded);
+  w.key("kernels").beginArray();
+  for (const auto& k : report.kernels) {
+    AttribCorrelation local;
+    w.beginObject();
+    w.key("kernel").value(k.kernel);
+    w.key("pipeline").value(k.pipeline);
+    w.key("backend").value(k.backend);
+    w.key("total");
+    writeReading(w, k.total, /*withDegraded=*/true);
+    w.key("residual");
+    writeReading(w, k.residual, /*withDegraded=*/false);
+    w.key("constructs").beginArray();
+    for (const auto& c : k.constructs) {
+      local.add(c);
+      pooled.add(c);
+      w.beginObject();
+      w.key("id").value(c.id);
+      w.key("kind").value(c.kind);
+      w.key("iter").value(c.iter);
+      w.key("nest").value(c.nest);
+      w.key("enters").value(c.enters);
+      w.key("predicted").beginObject();
+      w.key("lines").value(c.predictedLines);
+      w.key("cost").value(c.predictedCost);
+      w.key("iters").value(c.predictedIters);
+      w.key("nests").value(c.predictedNests);
+      w.endObject();
+      w.key("measured");
+      writeReading(w, c.measured, /*withDegraded=*/false);
+      w.endObject();
+    }
+    w.endArray();
+    w.key("summary").beginObject();
+    w.key("construct_count")
+        .value(static_cast<std::int64_t>(k.constructs.size()));
+    local.write(w);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("summary").beginObject();
+  w.key("kernel_count").value(static_cast<std::int64_t>(report.kernels.size()));
+  w.key("construct_count").value(static_cast<std::int64_t>(constructCount));
+  pooled.write(w);
+  w.endObject();
+  w.endObject();
+  out << "\n";
+}
+
+void writeAttribFile(const std::string& path, const AttribReport& report) {
+  std::ofstream out(path);
+  POLYAST_CHECK(out.good(), "cannot write " + path);
+  writeAttrib(out, report);
+  POLYAST_CHECK(out.good(), "error writing " + path);
+}
+
+}  // namespace polyast::obs

@@ -108,9 +108,9 @@ void saveBenchHistory(const std::string& path, const BenchHistory& history,
   POLYAST_CHECK(out.good(), "error writing " + path);
 }
 
-BenchCompareResult compareAgainstLatest(const BenchHistory& history,
-                                        const BenchEntry& head,
-                                        double thresholdPct) {
+BenchCompareResult compareAgainstLatest(
+    const BenchHistory& history, const BenchEntry& head, double thresholdPct,
+    const std::map<std::string, double>* perKernelThresholds) {
   BenchCompareResult out;
   if (history.entries.empty()) {
     out.firstRun = true;
@@ -131,13 +131,36 @@ BenchCompareResult compareAgainstLatest(const BenchHistory& history,
     d.headNs = k.wallNs;
     d.deltaPct =
         b->wallNs > 0.0 ? (k.wallNs / b->wallNs - 1.0) * 100.0 : 0.0;
-    d.regression = d.deltaPct > thresholdPct;
+    d.thresholdPct = thresholdPct;
+    if (perKernelThresholds)
+      if (auto it = perKernelThresholds->find(k.kernel);
+          it != perKernelThresholds->end())
+        d.thresholdPct = it->second;
+    d.regression = d.deltaPct > d.thresholdPct;
     if (d.regression) ++out.regressions;
     out.deltas.push_back(std::move(d));
   }
   for (const auto& k : base.kernels)
     if (!baseSeen.count(k.kernel)) out.removed.push_back(k.kernel);
   return out;
+}
+
+std::map<std::string, double> characterizeNoiseFloor(
+    const BenchHistory& history, const BenchEntry& head) {
+  std::map<std::string, double> floor;
+  auto absorb = [&](const BenchEntry& e) {
+    for (const auto& k : e.kernels) {
+      double spread = 0.0;
+      if (auto it = k.counters.find("wall_spread_pct");
+          it != k.counters.end() && it->second > 0.0)
+        spread = it->second;
+      auto [slot, inserted] = floor.emplace(k.kernel, spread);
+      if (!inserted && spread > slot->second) slot->second = spread;
+    }
+  };
+  for (const auto& e : history.entries) absorb(e);
+  absorb(head);
+  return floor;
 }
 
 }  // namespace polyast::obs

@@ -59,7 +59,10 @@ struct BenchDelta {
   double headNs = 0.0;
   /// headNs / baseNs - 1 as a percentage (+20 = 20% slower).
   double deltaPct = 0.0;
-  bool regression = false;  ///< deltaPct > threshold
+  /// The threshold this kernel was judged against (the global one, or its
+  /// characterized per-series value under --auto-threshold).
+  double thresholdPct = 0.0;
+  bool regression = false;  ///< deltaPct > thresholdPct
 };
 
 struct BenchCompareResult {
@@ -75,9 +78,23 @@ struct BenchCompareResult {
 
 /// Compares `head` against the last entry of `history` (which must not yet
 /// contain `head`). A kernel regresses when its wall time grows more than
-/// `thresholdPct` percent.
-BenchCompareResult compareAgainstLatest(const BenchHistory& history,
-                                        const BenchEntry& head,
-                                        double thresholdPct);
+/// its threshold: `perKernelThresholds[kernel]` when the map is given and
+/// has the kernel, else `thresholdPct`.
+BenchCompareResult compareAgainstLatest(
+    const BenchHistory& history, const BenchEntry& head, double thresholdPct,
+    const std::map<std::string, double>* perKernelThresholds = nullptr);
+
+/// Per-kernel noise floor, in percent, characterized from repeat spread.
+///
+/// collapseRepeats (bench_compare) records each kernel's within-run spread
+/// as the `wall_spread_pct` counter ((max-min)/median over repeats). The
+/// noise floor of a series is the worst spread ever observed for it —
+/// the max of `wall_spread_pct` across every history entry and the head
+/// run. Kernels with no recorded spread anywhere get 0 (the caller's
+/// floor clamp takes over). This is what --auto-threshold scales into a
+/// per-series regression threshold: a kernel whose repeats routinely
+/// disagree by 8% must not gate at 5%.
+std::map<std::string, double> characterizeNoiseFloor(
+    const BenchHistory& history, const BenchEntry& head);
 
 }  // namespace polyast::obs

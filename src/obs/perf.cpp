@@ -276,6 +276,45 @@ PerfReading PerfSession::stop() {
   return out;
 }
 
+PerfReading PerfSession::sample() {
+  PerfReading out;
+  if (!impl_->running) return out;
+  out.wallNs = wallNowNs() - impl_->wallStart;
+  std::uint64_t tsc = tscNow();
+  out.tscCycles = tsc >= impl_->tscStart ? tsc - impl_->tscStart : 0;
+  out.degraded = impl_->degraded;
+  out.degradedReason = impl_->reason;
+#if defined(__linux__)
+  if (!impl_->degraded) {
+    // Same grouped read as stop(), but the group stays enabled and is not
+    // reset: the reading is cumulative since start(), so consecutive
+    // samples are monotone and their differences telescope exactly.
+    std::vector<std::uint64_t> buf(3 + impl_->fds.size() + 1, 0);
+    ssize_t n = read(impl_->fds.front(), buf.data(),
+                     buf.size() * sizeof(std::uint64_t));
+    if (n >= static_cast<ssize_t>(3 * sizeof(std::uint64_t)) &&
+        buf[0] == impl_->fds.size()) {
+      double scale = 1.0;
+      if (buf[2] > 0 && buf[1] > buf[2]) {
+        scale = static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+        out.multiplexRatio =
+            static_cast<double>(buf[2]) / static_cast<double>(buf[1]);
+      }
+      for (std::size_t i = 0; i < impl_->active.size(); ++i) {
+        double v = static_cast<double>(buf[3 + i]) * scale;
+        out.counters[perfCounterName(impl_->active[i])] =
+            static_cast<std::int64_t>(v);
+      }
+    } else {
+      out.degraded = true;
+      out.degradedReason = "group-read-failed";
+      out.counters.clear();
+    }
+  }
+#endif
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // PerfAggregate
 

@@ -109,6 +109,11 @@ class PerfSession {
   void start();
   /// Disables the group and returns the deltas since start().
   PerfReading stop();
+  /// Reads the group without disabling or resetting it: the cumulative
+  /// deltas since start(). Consecutive samples are monotone, so their
+  /// differences attribute disjoint intervals exactly (obs/attrib uses
+  /// this at construct boundaries). Must run on the session's thread.
+  PerfReading sample();
 
  private:
   struct Impl;

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/attrib.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
@@ -152,6 +153,25 @@ static void capiCountFallback(const char *note) {
   g_counters.notes.emplace_back(note ? note : "(unnamed fallback)");
 }
 
+static void capiConstructEnter(int64_t id, const char *kind,
+                               const char *iter) {
+  polyast::obs::constructEnter(id, kind, iter);
+}
+
+static void capiConstructExit(int64_t id) { polyast::obs::constructExit(id); }
+
+/* The no-op table entries: when no tracer or profiler is active, kernels
+   get these instead — the disabled-attribution cost is one indirect call
+   per construct encounter, with no predicate behind it. */
+static void capiConstructEnterNoop(int64_t id, const char *kind,
+                                   const char *iter) {
+  (void)id;
+  (void)kind;
+  (void)iter;
+}
+
+static void capiConstructExitNoop(int64_t id) { (void)id; }
+
 const polyast_runtime_api *polyast_runtime_api_get(void) {
   static const polyast_runtime_api kApi = {
       POLYAST_CAPI_ABI_VERSION,
@@ -164,8 +184,27 @@ const polyast_runtime_api *polyast_runtime_api_get(void) {
       &capiCurrentTid,
       &capiCount,
       &capiCountFallback,
+      &capiConstructEnter,
+      &capiConstructExit,
   };
-  return &kApi;
+  static const polyast_runtime_api kApiNoHooks = {
+      POLYAST_CAPI_ABI_VERSION,
+      &capiParallelForBlocked,
+      &capiParallelReduce,
+      &capiPipeline2D,
+      &capiPipeline3D,
+      &capiPipelineDynamic2D,
+      &capiThreadCount,
+      &capiCurrentTid,
+      &capiCount,
+      &capiCountFallback,
+      &capiConstructEnterNoop,
+      &capiConstructExitNoop,
+  };
+  /* Selected per run: the native backend fetches the table immediately
+     before each kernel entry, so toggling tracing/profiling between runs
+     picks the right variant without re-JITting anything. */
+  return polyast::obs::constructHooksActive() ? &kApi : &kApiNoHooks;
 }
 
 } /* extern "C" */

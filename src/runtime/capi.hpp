@@ -21,7 +21,7 @@
 
 #include <stdint.h>
 
-#define POLYAST_CAPI_ABI_VERSION 1
+#define POLYAST_CAPI_ABI_VERSION 2
 
 /* Spawn-site event kinds for polyast_runtime_api::count (mirror the
    counters of exec::ParallelRunReport). */
@@ -101,6 +101,17 @@ typedef struct polyast_runtime_api {
      count_fallback(note) per marked loop emitted as a sequential nest. */
   void (*count)(int what);
   void (*count_fallback)(const char *note);
+
+  /* ABI v2: construct-level attribution hooks. The emitter brackets every
+     runtime construct dispatch (one pair per dynamic encounter, fired even
+     when the trip space is empty — same semantics as count). `id` is the
+     construct's pre-order index (ir::collectParallelConstructs), `kind` is
+     ir::parallelKindName text, `iter` the marked loop's iterator. When no
+     tracer or profiler is active, polyast_runtime_api_get() returns a
+     table whose hook entries are no-op functions — the kernel-side cost of
+     disabled attribution is one indirect call per construct encounter. */
+  void (*construct_enter)(int64_t id, const char *kind, const char *iter);
+  void (*construct_exit)(int64_t id);
 } polyast_runtime_api;
 
 /* What the backend passes to the kernel entry point

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -13,6 +14,7 @@
 #include "flow/presets.hpp"
 #include "ir/cemit.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/attrib.hpp"
 #include "runtime/parallel.hpp"
 
 namespace polyast::exec {
@@ -76,6 +78,12 @@ TEST_P(NativeVsInterp, MatchesOracleAndInterpCounters) {
   native.prepare(p);
   ASSERT_EQ(native.degradedReason(), "");
 
+  // Attribution parity rides along: with a profiler installed, the JIT
+  // kernel must report the same construct rows through the ABI-v2 hooks
+  // as the interpreted walker does through direct calls.
+  obs::ConstructProfiler prof;
+  prof.install();
+
   Context ctx = kernels::makeContext(p, params);
   Context oracle = kernels::makeContext(p, params);
   ParallelRunReport rep;
@@ -85,12 +93,28 @@ TEST_P(NativeVsInterp, MatchesOracleAndInterpCounters) {
       << " tolerance=" << check.tolerance;
   EXPECT_EQ(rep.backend, "native");
   EXPECT_EQ(rep.nativeFallbacks, 0) << rep.summary();
+  EXPECT_EQ(prof.backend(), "native");
+  std::vector<obs::ConstructRow> nativeRows = prof.rows();
 
   // Counting-semantics parity: the native shim counts constructs at the
   // same points the interpreted walker does.
   InterpBackend interp;
   Context ictx = kernels::makeContext(p, params);
   ParallelRunReport irep = interp.run(p, ictx, pool);
+  EXPECT_EQ(prof.backend(), "interp");
+  std::vector<obs::ConstructRow> interpRows = prof.rows();
+  prof.uninstall();
+
+  ASSERT_EQ(nativeRows.size(), interpRows.size())
+      << kernel << "/" << pipeline;
+  for (std::size_t i = 0; i < nativeRows.size(); ++i) {
+    EXPECT_EQ(nativeRows[i].id, interpRows[i].id);
+    EXPECT_EQ(nativeRows[i].kind, interpRows[i].kind);
+    EXPECT_EQ(nativeRows[i].iter, interpRows[i].iter);
+    EXPECT_EQ(nativeRows[i].enters, interpRows[i].enters)
+        << kernel << "/" << pipeline << " construct " << nativeRows[i].id;
+  }
+
   EXPECT_EQ(rep.doallLoops, irep.doallLoops);
   EXPECT_EQ(rep.guidedLoops, irep.guidedLoops);
   EXPECT_EQ(rep.reductionLoops, irep.reductionLoops);
@@ -171,6 +195,69 @@ TEST(NativeExec, CacheHitOnSecondBackend) {
   ParallelRunReport r3 = second.run(p, c3, pool);
   EXPECT_EQ(r3.nativeCompiles, 0);
   EXPECT_EQ(r3.nativeCacheHits, 0);
+}
+
+/// A cached shared object stamped with an older kernel ABI must be
+/// evicted, not retried: the run that finds it degrades once (with the
+/// abi-mismatch reason), deletes it, and the next backend instance
+/// recompiles instead of re-degrading forever.
+TEST(NativeExec, StaleAbiObjectIsEvictedNotRetried) {
+  if (!haveCompiler()) GTEST_SKIP() << "no C compiler on PATH";
+  namespace fs = std::filesystem;
+  std::string cacheDir = freshCacheDir();
+  ir::Program p = transformed("gemm", "polyast");
+  auto params = testParams(p);
+  runtime::ThreadPool pool(2);
+
+  {
+    // Scoped: the backend must dlclose its handle before the overwrite
+    // below, or dlopen would hand the later instance the already-loaded
+    // image for the same path instead of re-reading the file.
+    NativeBackend first(strictOptions(cacheDir));
+    Context c1 = kernels::makeContext(p, params);
+    ParallelRunReport r1 = first.run(p, c1, pool);
+    ASSERT_EQ(r1.nativeCompiles, 1);
+    ASSERT_EQ(r1.nativeFallbacks, 0) << r1.summary();
+  }
+
+  // Overwrite the cached object with one stamped with the previous ABI,
+  // as if it survived from before the hook-table bump.
+  std::string so;
+  for (const auto& e : fs::directory_iterator(cacheDir))
+    if (e.path().extension() == ".so") so = e.path().string();
+  ASSERT_FALSE(so.empty());
+  std::string staleSrc = cacheDir + "/stale_abi.c";
+  {
+    std::ofstream f(staleSrc);
+    f << "#include <stdint.h>\n"
+         "int64_t polyast_kernel_abi(void) { return "
+      << (ir::kNativeKernelAbi - 1)
+      << "; }\n"
+         "void polyast_kernel_run(const void* a) { (void)a; }\n";
+  }
+  std::string compile =
+      "cc -shared -fPIC -O0 -o " + so + " " + staleSrc;
+  ASSERT_EQ(std::system(compile.c_str()), 0);
+
+  NativeBackend second(strictOptions(cacheDir));
+  Context c2 = kernels::makeContext(p, params);
+  ParallelRunReport r2 = second.run(p, c2, pool);
+  EXPECT_EQ(r2.backend, "interp");
+  EXPECT_EQ(r2.nativeFallbacks, 1);
+  bool noted = false;
+  for (const auto& n : r2.notes)
+    if (n.find("abi-mismatch") != std::string::npos &&
+        n.find("evicted") != std::string::npos)
+      noted = true;
+  EXPECT_TRUE(noted) << r2.summary();
+  EXPECT_FALSE(fs::exists(so)) << "stale object still in the cache";
+
+  NativeBackend third(strictOptions(cacheDir));
+  Context c3 = kernels::makeContext(p, params);
+  ParallelRunReport r3 = third.run(p, c3, pool);
+  EXPECT_EQ(r3.backend, "native");
+  EXPECT_EQ(r3.nativeCompiles, 1) << "eviction must force a recompile";
+  EXPECT_EQ(r3.nativeFallbacks, 0) << r3.summary();
 }
 
 TEST(NativeExec, ForcedOffDegradesToInterp) {

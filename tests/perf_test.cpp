@@ -15,11 +15,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/attrib.hpp"
 #include "obs/bench_history.hpp"
 #include "obs/dlcheck.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace polyast::obs {
@@ -122,6 +124,169 @@ TEST(PerfReading, DegradedOnlyWhenEveryContributionDegraded) {
   total += livePart;
   EXPECT_FALSE(total.degraded);  // one live thread makes the total live
   EXPECT_EQ(total.counter("cycles"), 9);
+}
+
+TEST(PerfSession, SampleReadsCumulativelyWithoutStopping) {
+  PerfOptions opts;
+  opts.forceDegraded = true;
+  PerfSession session(opts);
+  session.start();
+  burn();
+  PerfReading first = session.sample();
+  burn();
+  PerfReading second = session.sample();
+  PerfReading final = session.stop();
+  // Samples are cumulative since start() and monotone non-decreasing;
+  // the session keeps running across them.
+  EXPECT_GT(first.wallNs, 0u);
+  EXPECT_GE(second.wallNs, first.wallNs);
+  EXPECT_GE(final.wallNs, second.wallNs);
+}
+
+// --------------------------------------------------------------------------
+// ConstructProfiler
+
+TEST(ConstructProfiler, RowsPlusResidualTelescopeExactlyToTotal) {
+  PerfOptions opts;
+  opts.forceDegraded = true;  // deterministic wall-clock-only path
+  ConstructProfiler prof(opts);
+  prof.install();
+  EXPECT_EQ(ConstructProfiler::current(), &prof);
+  EXPECT_TRUE(constructHooksActive());
+
+  prof.beginRun("interp");
+  constructEnter(0, "doall", "i");
+  burn();
+  constructExit(0);
+  constructEnter(1, "reduction", "j");
+  burn();
+  constructExit(1);
+  constructEnter(0, "doall", "i");  // second dynamic encounter
+  constructExit(0);
+  prof.endRun();
+  prof.uninstall();
+  EXPECT_EQ(ConstructProfiler::current(), nullptr);
+
+  EXPECT_EQ(prof.backend(), "interp");
+  std::vector<ConstructRow> rows = prof.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 0);
+  EXPECT_EQ(rows[0].kind, "doall");
+  EXPECT_EQ(rows[0].iter, "i");
+  EXPECT_EQ(rows[0].enters, 2);
+  EXPECT_EQ(rows[1].id, 1);
+  EXPECT_EQ(rows[1].kind, "reduction");
+  EXPECT_EQ(rows[1].enters, 1);
+
+  // The telescoping invariant is exact equality, not approximation.
+  std::uint64_t sum = prof.residual().wallNs;
+  for (const auto& r : rows) sum += r.measured.wallNs;
+  EXPECT_EQ(sum, prof.total().wallNs);
+  EXPECT_GT(prof.total().wallNs, 0u);
+}
+
+TEST(ConstructProfiler, ForcedDegradedCarriesReasonIntoTotal) {
+  PerfOptions opts;
+  opts.forceDegraded = true;
+  ConstructProfiler prof(opts);
+  prof.beginRun("native");
+  constructEnter(0, "doall", "i");
+  constructExit(0);
+  prof.endRun();
+  EXPECT_EQ(prof.backend(), "native");
+  EXPECT_TRUE(prof.degraded());
+  EXPECT_EQ(prof.degradedReason(), "forced");
+}
+
+TEST(ConstructProfiler, HooksAreNoOpsWhenNothingIsInstalled) {
+  ASSERT_EQ(ConstructProfiler::current(), nullptr);
+  EXPECT_FALSE(constructHooksActive());
+  constructEnter(3, "doall", "i");  // must be safe, not crash
+  constructExit(3);
+}
+
+TEST(ConstructProfiler, HooksEmitConstructSpansWhenTracerEnabled) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.setEnabled(true);
+  EXPECT_TRUE(constructHooksActive());  // tracer alone activates hooks
+  constructEnter(4, "pipeline", "t");
+  constructExit(4);
+  tracer.setEnabled(false);
+
+  bool found = false;
+  for (const auto& s : tracer.spans())
+    if (s.category == "construct" && s.name == "pipeline:t") found = true;
+  EXPECT_TRUE(found);
+  tracer.clear();
+}
+
+// --------------------------------------------------------------------------
+// polyast-attrib-v1 writer
+
+TEST(AttribReport, WriterEmitsSchemaValidV1) {
+  AttribReport report;
+  report.threads = 2;
+  AttribKernel k;
+  k.kernel = "gemm";
+  k.pipeline = "polyast";
+  k.backend = "native";
+  k.total.degraded = true;
+  k.total.degradedReason = "forced";
+  k.total.wallNs = 1000;
+  k.residual.wallNs = 100;
+  for (int i = 0; i < 3; ++i) {
+    AttribConstruct c;
+    c.id = i;
+    c.kind = "doall";
+    c.iter = "i";
+    c.nest = "i";
+    c.enters = 1;
+    c.predictedCost = 10.0 * (i + 1);
+    c.measured.wallNs = static_cast<std::uint64_t>(200 + 100 * i);
+    k.constructs.push_back(std::move(c));
+  }
+  report.kernels.push_back(std::move(k));
+
+  std::ostringstream out;
+  writeAttrib(out, report);
+  JsonValue root = parseJson(out.str());
+
+  ASSERT_TRUE(root.isObject());
+  EXPECT_EQ(root.find("schema")->text, "polyast-attrib-v1");
+  EXPECT_EQ(root.find("threads")->number, 2.0);
+  EXPECT_TRUE(root.find("degraded")->boolValue);
+  const JsonValue* kernels = root.find("kernels");
+  ASSERT_TRUE(kernels && kernels->isArray());
+  ASSERT_EQ(kernels->items.size(), 1u);
+  const JsonValue& k0 = kernels->items[0];
+  EXPECT_EQ(k0.find("backend")->text, "native");
+  EXPECT_EQ(k0.find("total")->find("degraded_reason")->text, "forced");
+
+  // Telescoping: residual + construct rows == total, exactly.
+  double sum = k0.find("residual")->find("wall_ns")->number;
+  for (const auto& c : k0.find("constructs")->items)
+    sum += c.find("measured")->find("wall_ns")->number;
+  EXPECT_DOUBLE_EQ(sum, k0.find("total")->find("wall_ns")->number);
+
+  const JsonValue* summary = k0.find("summary");
+  ASSERT_TRUE(summary);
+  EXPECT_EQ(summary->find("construct_count")->number, 3.0);
+  const JsonValue* corr = summary->find("rank_correlation");
+  ASSERT_TRUE(corr && corr->isObject());
+  // Predicted cost and measured wall time are both strictly increasing.
+  const JsonValue* cost = corr->find("cost_vs_wall_ns");
+  ASSERT_TRUE(cost && cost->isNumber());
+  EXPECT_DOUBLE_EQ(cost->number, 1.0);
+  // Degraded run: no l1d_misses counter anywhere -> null.
+  const JsonValue* l1d = corr->find("lines_vs_l1d_misses");
+  ASSERT_TRUE(l1d);
+  EXPECT_EQ(l1d->kind, JsonValue::Kind::Null);
+
+  const JsonValue* pooled = root.find("summary");
+  ASSERT_TRUE(pooled);
+  EXPECT_EQ(pooled->find("kernel_count")->number, 1.0);
+  EXPECT_EQ(pooled->find("construct_count")->number, 3.0);
 }
 
 // --------------------------------------------------------------------------
@@ -359,6 +524,46 @@ TEST(BenchCompare, ReportsAddedAndRemovedKernels) {
   ASSERT_EQ(r.removed.size(), 1u);
   EXPECT_EQ(r.removed[0], "mvt");
   EXPECT_EQ(r.regressions, 0);  // added/removed never fail the gate
+}
+
+TEST(BenchCompare, PerKernelThresholdsOverrideTheGlobalOne) {
+  BenchHistory h;
+  h.entries.push_back(makeEntry("base", 1e6, 5e5));
+  std::map<std::string, double> gates{{"gemm", 25.0}, {"mvt", 5.0}};
+  // gemm +20% passes its widened 25% gate; mvt +8% fails its tight 5%
+  // one — both judged against their own threshold, not the global 10%.
+  BenchCompareResult r =
+      compareAgainstLatest(h, makeEntry("head", 1.2e6, 5.4e5), 10.0, &gates);
+  EXPECT_EQ(r.regressions, 1);
+  for (const auto& d : r.deltas) {
+    if (d.kernel == "gemm") {
+      EXPECT_FALSE(d.regression);
+      EXPECT_DOUBLE_EQ(d.thresholdPct, 25.0);
+    }
+    if (d.kernel == "mvt") {
+      EXPECT_TRUE(d.regression);
+      EXPECT_DOUBLE_EQ(d.thresholdPct, 5.0);
+    }
+  }
+}
+
+TEST(BenchHistory, NoiseFloorIsTheWorstSpreadAcrossHistoryAndHead) {
+  BenchHistory h;
+  BenchEntry a = makeEntry("a", 1e6, 5e5);
+  a.kernels[0].counters["wall_spread_pct"] = 4.0;  // gemm's worst
+  BenchEntry b = makeEntry("b", 1e6, 5e5);
+  b.kernels[0].counters["wall_spread_pct"] = 2.0;
+  b.kernels[1].counters["wall_spread_pct"] = 7.0;  // mvt's worst
+  h.entries.push_back(std::move(a));
+  h.entries.push_back(std::move(b));
+  BenchEntry head = makeEntry("head", 1e6, 5e5);
+  head.kernels[0].counters["wall_spread_pct"] = 3.0;
+  head.kernels.push_back({"syrk", 2e6, {}});  // no spread recorded anywhere
+
+  std::map<std::string, double> floor = characterizeNoiseFloor(h, head);
+  EXPECT_DOUBLE_EQ(floor.at("gemm"), 4.0);
+  EXPECT_DOUBLE_EQ(floor.at("mvt"), 7.0);
+  EXPECT_DOUBLE_EQ(floor.at("syrk"), 0.0);  // the caller's floor clamps it
 }
 
 // --------------------------------------------------------------------------

@@ -33,16 +33,34 @@
 // the runner's timing variance instead of hiding it.
 //   --threshold PCT   per-kernel wall-time growth that fails the gate
 //                     (default 10)
+//   --auto-threshold  variance characterization: judge each series
+//                     against its own measured noise instead of the
+//                     global threshold. A series' noise floor is the
+//                     largest `wall_spread_pct` ever recorded for it
+//                     (all history entries plus the head run); its gate
+//                     is clamp(--threshold-floor,
+//                     --threshold-mult x noise_floor, --max-threshold).
+//                     Quiet kernels gate tightly; a kernel whose repeats
+//                     routinely disagree by 8% is not failed at 5%.
+//   --threshold-floor PCT  auto-threshold lower clamp (default 5)
+//   --threshold-mult M     auto-threshold noise multiplier (default 3)
+//   --max-threshold PCT    auto-threshold upper clamp (default 25)
 //   --max-entries N   history entries kept after appending (default 50)
 //   --record-only     append + report, never fail (CI seeding mode)
 //   --selftest        run the built-in first-run / no-regression /
-//                     injected-20%-slowdown checks and exit
+//                     injected-20%-slowdown / auto-threshold checks
+//                     and exit
+//
+// Setting POLYAST_BENCH_GATE=warn in the environment downgrades detected
+// regressions to a warning (exit 0) — the escape hatch for unblocking CI
+// while a noisy runner or an accepted slowdown is being dealt with.
 //
 // Exit codes: 0 ok (including first run), 1 usage/io/malformed input,
 // 5 regression detected.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <iostream>
@@ -63,9 +81,12 @@ int usage() {
       << "usage: bench_compare --history FILE [--dlcheck FILE]..."
          " [--metrics FILE]...\n"
          "                     [--label STR] [--timestamp STR] [--host STR]\n"
-         "                     [--threshold PCT] [--max-entries N]"
+         "                     [--threshold PCT] [--auto-threshold]\n"
+         "                     [--threshold-floor PCT] [--threshold-mult M]\n"
+         "                     [--max-threshold PCT] [--max-entries N]"
          " [--record-only]\n"
          "       bench_compare --selftest\n"
+         "POLYAST_BENCH_GATE=warn downgrades regressions to exit 0\n"
          "exit codes: 0 ok/first-run, 1 usage/io, 5 regression\n";
   return 1;
 }
@@ -202,24 +223,41 @@ void collapseRepeats(std::vector<obs::BenchKernelSample>& samples) {
   }
 }
 
-void printResult(const obs::BenchCompareResult& res, double thresholdPct) {
+/// Per-series gates for --auto-threshold:
+/// clamp(floorPct, mult x noise_floor, capPct) per kernel.
+std::map<std::string, double> characterizedThresholds(
+    const obs::BenchHistory& history, const obs::BenchEntry& head,
+    double floorPct, double mult, double capPct) {
+  std::map<std::string, double> out;
+  for (const auto& [kernel, noise] :
+       obs::characterizeNoiseFloor(history, head))
+    out[kernel] = std::clamp(mult * noise, floorPct, capPct);
+  return out;
+}
+
+void printResult(const obs::BenchCompareResult& res, double thresholdPct,
+                 bool autoThreshold) {
   if (res.firstRun) {
     std::cerr << "bench_compare: first run, history seeded (no baseline to"
                  " compare against)\n";
     return;
   }
   for (const auto& d : res.deltas) {
-    std::fprintf(stderr, "  %-24s %12.0f ns -> %12.0f ns  %+7.2f%%%s\n",
+    std::fprintf(stderr,
+                 "  %-24s %12.0f ns -> %12.0f ns  %+7.2f%% (gate +%.1f%%)%s\n",
                  d.kernel.c_str(), d.baseNs, d.headNs, d.deltaPct,
-                 d.regression ? "  REGRESSION" : "");
+                 d.thresholdPct, d.regression ? "  REGRESSION" : "");
   }
   for (const auto& k : res.added)
     std::cerr << "  " << k << ": new kernel (no baseline)\n";
   for (const auto& k : res.removed)
     std::cerr << "  " << k << ": dropped since previous entry\n";
   std::cerr << "bench_compare: " << res.deltas.size() << " kernel(s), "
-            << res.regressions << " regression(s) beyond +" << thresholdPct
-            << "%\n";
+            << res.regressions << " regression(s) beyond ";
+  if (autoThreshold)
+    std::cerr << "their characterized per-series thresholds\n";
+  else
+    std::cerr << "+" << thresholdPct << "%\n";
 }
 
 /// Built-in check of the gate itself: first-run, no-regression, and an
@@ -288,6 +326,30 @@ int selftest() {
                     reps[1].counters.count("repeats") == 0;
     expect(medianOk && spreadOk,
            "3 repeats collapse to median with spread counters");
+
+    // 6. --auto-threshold: a quiet series gates at the floor (a real 20%
+    // slowdown is still caught), a noisy one absorbs its own spread (a
+    // noise-floor-sized delta passes instead of flapping the gate).
+    obs::BenchHistory noisyHist;
+    noisyHist.host = "ci";
+    obs::BenchEntry base = entry(1000000, 500000);
+    base.kernels[0].counters["wall_spread_pct"] = 1.0;  // gemm: quiet
+    base.kernels[1].counters["wall_spread_pct"] = 6.0;  // mvt: noisy
+    noisyHist.entries.push_back(base);
+    obs::BenchEntry drift = entry(1200000, 575000);  // gemm +20%, mvt +15%
+    auto gates = characterizedThresholds(noisyHist, drift, 5.0, 3.0, 25.0);
+    r = obs::compareAgainstLatest(noisyHist, drift, 10.0, &gates);
+    bool gemmCaught = false;
+    bool mvtPassed = false;
+    for (const auto& d : r.deltas) {
+      if (d.kernel == "gemm")
+        gemmCaught = d.regression && d.thresholdPct == 5.0;
+      if (d.kernel == "mvt")
+        mvtPassed = !d.regression && d.thresholdPct == 18.0;
+    }
+    expect(r.regressions == 1 && gemmCaught && mvtPassed,
+           "auto-threshold: 20% slowdown caught at the floor, 15% drift on"
+           " a 6%-spread series passes its 18% gate");
   } catch (const Error& e) {
     std::cerr << "  FAIL: exception: " << e.what() << "\n";
     ++failures;
@@ -309,6 +371,10 @@ int main(int argc, char** argv) {
   std::string timestamp;
   std::string host = "local";
   double thresholdPct = 10.0;
+  bool autoThreshold = false;
+  double thresholdFloor = 5.0;
+  double thresholdMult = 3.0;
+  double maxThreshold = 25.0;
   std::size_t maxEntries = 50;
   bool recordOnly = false;
 
@@ -337,6 +403,10 @@ int main(int argc, char** argv) {
     else if (arg == "--timestamp") timestamp = next();
     else if (arg == "--host") host = next();
     else if (arg == "--threshold") thresholdPct = std::stod(next());
+    else if (arg == "--auto-threshold") autoThreshold = true;
+    else if (arg == "--threshold-floor") thresholdFloor = std::stod(next());
+    else if (arg == "--threshold-mult") thresholdMult = std::stod(next());
+    else if (arg == "--max-threshold") maxThreshold = std::stod(next());
     else if (arg == "--max-entries")
       maxEntries = static_cast<std::size_t>(std::stoul(next()));
     else if (arg == "--record-only") recordOnly = true;
@@ -356,15 +426,27 @@ int main(int argc, char** argv) {
 
     obs::BenchHistory history = obs::loadBenchHistory(historyPath, host);
     if (history.host.empty()) history.host = host;
-    obs::BenchCompareResult res =
-        obs::compareAgainstLatest(history, head, thresholdPct);
+    std::map<std::string, double> gates;
+    if (autoThreshold)
+      gates = characterizedThresholds(history, head, thresholdFloor,
+                                      thresholdMult, maxThreshold);
+    obs::BenchCompareResult res = obs::compareAgainstLatest(
+        history, head, thresholdPct, autoThreshold ? &gates : nullptr);
     history.entries.push_back(std::move(head));
     obs::saveBenchHistory(historyPath, history, maxEntries);
-    printResult(res, thresholdPct);
+    printResult(res, thresholdPct, autoThreshold);
     std::cerr << "bench_compare: history '" << historyPath << "' now has "
               << history.entries.size() << " entr"
               << (history.entries.size() == 1 ? "y" : "ies") << "\n";
-    if (res.regressions > 0 && !recordOnly) return 5;
+    if (res.regressions > 0 && !recordOnly) {
+      if (const char* gate = std::getenv("POLYAST_BENCH_GATE");
+          gate && std::string(gate) == "warn") {
+        std::cerr << "bench_compare: POLYAST_BENCH_GATE=warn set —"
+                     " reporting the regression(s) without failing\n";
+        return 0;
+      }
+      return 5;
+    }
     return 0;
   } catch (const Error& e) {
     std::cerr << "bench_compare: error: " << e.what() << "\n";

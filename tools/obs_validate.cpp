@@ -8,6 +8,9 @@
 //                [--max-errors N]
 //   obs_validate --dlcheck FILE [--require-kernel NAME]...
 //                [--min-kernels N] [--require-backend NAME]
+//   obs_validate --attrib FILE [--require-kernel NAME]...
+//                [--min-kernels N] [--require-backend NAME]
+//                [--min-constructs N]
 //
 // Used by CI to check that the files produced by `polyastc --trace-out /
 // --metrics-out` (and by the benches) conform to the documented schemas
@@ -40,6 +43,17 @@
 //     bounds the suite size from below; --require-backend asserts every
 //     entry was executed by the named backend (e.g. "native" to catch a
 //     silently-degraded JIT run).
+//   * attrib: "schema" == "polyast-attrib-v1" as written by `polyastc
+//     --attrib-out` — per-kernel total/residual readings plus one row per
+//     parallel construct (id/kind/iter/nest/enters, predicted
+//     lines/cost/iters/nests, measured wall/tsc/counters). The telescoping
+//     invariant is enforced: residual + sum(construct rows) must equal the
+//     kernel total *exactly* for wall_ns, and for every hardware counter
+//     that all rows carry (a counter missing from some row — e.g. a
+//     mid-run group-read failure — is skipped, not failed). Per-kernel and
+//     pooled rank_correlation entries must each be null or in [-1, 1].
+//     --require-kernel / --min-kernels / --require-backend as for dlcheck;
+//     --min-constructs bounds the pooled construct count from below.
 //
 // Exit code 0 when valid, 1 with a diagnostic on stderr otherwise.
 #include <cmath>
@@ -67,7 +81,11 @@ int usage() {
                " [--require-analysis NAME]... [--max-errors N]\n"
                "       obs_validate --dlcheck FILE"
                " [--require-kernel NAME]... [--min-kernels N]"
-               " [--require-backend NAME]\n";
+               " [--require-backend NAME]\n"
+               "       obs_validate --attrib FILE"
+               " [--require-kernel NAME]... [--min-kernels N]\n"
+               "                    [--require-backend NAME]"
+               " [--min-constructs N]\n";
   return 2;
 }
 
@@ -378,6 +396,205 @@ int validateDlCheck(const obs::JsonValue& root,
   return 0;
 }
 
+/// Validates one reading object ({wall_ns, tsc_cycles, counters{...}},
+/// optionally with degraded bookkeeping) and collects its numbers into
+/// `wall`/`counters` for the telescoping sum check.
+int readAttribReading(const obs::JsonValue* r, const std::string& at,
+                      bool withDegraded, double* wall,
+                      std::map<std::string, double>* counters,
+                      std::set<std::string>* missing) {
+  if (!r || !r->isObject()) return fail(at + " is not an object");
+  for (const char* field : {"wall_ns", "tsc_cycles"}) {
+    const obs::JsonValue* v = r->find(field);
+    if (!isFiniteNumber(v) || v->number < 0)
+      return fail(at + "." + field + " is not a non-negative number");
+  }
+  if (withDegraded) {
+    const obs::JsonValue* d = r->find("degraded");
+    if (!d || d->kind != obs::JsonValue::Kind::Bool)
+      return fail(at + ".degraded is not a boolean");
+    if (d->boolValue) {
+      const obs::JsonValue* reason = r->find("degraded_reason");
+      if (!reason || !reason->isString() || reason->text.empty())
+        return fail(at + ": degraded without degraded_reason");
+    }
+  }
+  const obs::JsonValue* cs = r->find("counters");
+  if (!cs || !cs->isObject())
+    return fail(at + ": missing counters object");
+  for (const auto& [cname, cv] : cs->members)
+    if (!isFiniteNumber(&cv) || cv.number < 0)
+      return fail(at + ": counter '" + cname +
+                  "' is not a non-negative number");
+  if (wall) *wall += r->find("wall_ns")->number;
+  if (counters && missing) {
+    // A counter absent from this reading cannot participate in an exact
+    // sum check across readings.
+    for (const auto& [cname, total] : *counters)
+      if (!cs->find(cname)) missing->insert(cname);
+    for (const auto& [cname, cv] : cs->members) (*counters)[cname] += cv.number;
+  }
+  return 0;
+}
+
+int checkRankCorrelation(const obs::JsonValue* parent,
+                         const std::string& at) {
+  const obs::JsonValue* corr =
+      parent ? parent->find("rank_correlation") : nullptr;
+  if (!corr || !corr->isObject())
+    return fail(at + ": missing rank_correlation object");
+  for (const auto& [series, v] : corr->members) {
+    if (v.kind == obs::JsonValue::Kind::Null) continue;
+    if (!v.isNumber() || v.number < -1.0 || v.number > 1.0)
+      return fail(at + ": rank_correlation." + series +
+                  " is not null or in [-1, 1]");
+  }
+  return 0;
+}
+
+int validateAttrib(const obs::JsonValue& root,
+                   const std::vector<std::string>& requiredKernels,
+                   std::int64_t minKernels,
+                   const std::string& requiredBackend,
+                   std::int64_t minConstructs) {
+  if (!root.isObject()) return fail("attrib: top level is not an object");
+  const obs::JsonValue* schema = root.find("schema");
+  if (!schema || !schema->isString() || schema->text != "polyast-attrib-v1")
+    return fail("attrib: missing schema \"polyast-attrib-v1\"");
+  const obs::JsonValue* threads = root.find("threads");
+  if (!isFiniteNumber(threads) || threads->number < 1)
+    return fail("attrib: missing positive numeric threads");
+  const obs::JsonValue* degraded = root.find("degraded");
+  if (!degraded || degraded->kind != obs::JsonValue::Kind::Bool)
+    return fail("attrib: missing boolean degraded");
+  const obs::JsonValue* kernels = root.find("kernels");
+  if (!kernels || !kernels->isArray())
+    return fail("attrib: missing kernels array");
+  std::set<std::string> names;
+  std::size_t totalConstructs = 0;
+  std::size_t index = 0;
+  for (const auto& k : kernels->items) {
+    std::string at = "attrib: kernel " + std::to_string(index++);
+    if (!k.isObject()) return fail(at + " is not an object");
+    for (const char* field : {"kernel", "pipeline", "backend"}) {
+      const obs::JsonValue* v = k.find(field);
+      if (!v || !v->isString())
+        return fail(at + ": missing string \"" + field + "\"");
+    }
+    at = "attrib: kernel '" + k.find("kernel")->text + "'";
+    if (!requiredBackend.empty() &&
+        k.find("backend")->text != requiredBackend)
+      return fail(at + ": backend '" + k.find("backend")->text +
+                  "', expected '" + requiredBackend + "'");
+    if (!names.insert(k.find("kernel")->text).second)
+      return fail(at + ": duplicate entry");
+
+    double totalWall = 0;
+    std::map<std::string, double> totalCounters;
+    std::set<std::string> unusedMissing;
+    if (int rc = readAttribReading(k.find("total"), at + ".total",
+                                   /*withDegraded=*/true, &totalWall,
+                                   &totalCounters, &unusedMissing))
+      return rc;
+
+    // Telescoping sum: residual + every construct row == total.
+    double sumWall = 0;
+    std::map<std::string, double> sumCounters;
+    std::set<std::string> missing;
+    if (int rc = readAttribReading(k.find("residual"), at + ".residual",
+                                   /*withDegraded=*/false, &sumWall,
+                                   &sumCounters, &missing))
+      return rc;
+    const obs::JsonValue* constructs = k.find("constructs");
+    if (!constructs || !constructs->isArray())
+      return fail(at + ": missing constructs array");
+    std::set<double> ids;
+    for (const auto& c : constructs->items) {
+      std::string cat = at + " construct " + std::to_string(ids.size());
+      if (!c.isObject()) return fail(cat + " is not an object");
+      for (const char* field : {"kind", "iter", "nest"}) {
+        const obs::JsonValue* v = c.find(field);
+        if (!v || !v->isString())
+          return fail(cat + ": missing string \"" + field + "\"");
+      }
+      const obs::JsonValue* id = c.find("id");
+      if (!isFiniteNumber(id) || id->number < 0)
+        return fail(cat + ": missing non-negative numeric id");
+      if (!ids.insert(id->number).second)
+        return fail(cat + ": duplicate construct id");
+      const obs::JsonValue* enters = c.find("enters");
+      if (!isFiniteNumber(enters) || enters->number < 1)
+        return fail(cat + ": enters is not a positive number");
+      const obs::JsonValue* pred = c.find("predicted");
+      if (!pred || !pred->isObject())
+        return fail(cat + ": missing predicted object");
+      for (const char* field : {"lines", "cost", "iters", "nests"}) {
+        const obs::JsonValue* v = pred->find(field);
+        if (!isFiniteNumber(v) || v->number < 0)
+          return fail(cat + ": predicted." + field +
+                      " is not a non-negative number");
+      }
+      if (int rc = readAttribReading(c.find("measured"), cat + ".measured",
+                                     /*withDegraded=*/false, &sumWall,
+                                     &sumCounters, &missing))
+        return rc;
+    }
+    totalConstructs += ids.size();
+
+    if (sumWall != totalWall)
+      return fail(at + ": residual + construct wall_ns (" +
+                  std::to_string(sumWall) + ") != total wall_ns (" +
+                  std::to_string(totalWall) + ")");
+    for (const auto& [cname, total] : totalCounters) {
+      // Exact per-counter telescoping, unless some row lacks the counter
+      // (a group read failed mid-run) — then the sum is undefined.
+      if (missing.count(cname)) continue;
+      auto it = sumCounters.find(cname);
+      if (it == sumCounters.end() || it->second != total)
+        return fail(at + ": residual + construct '" + cname +
+                    "' does not sum to the total");
+    }
+
+    const obs::JsonValue* summary = k.find("summary");
+    if (!summary || !summary->isObject())
+      return fail(at + ": missing summary object");
+    const obs::JsonValue* count = summary->find("construct_count");
+    if (!isFiniteNumber(count) ||
+        count->number != static_cast<double>(ids.size()))
+      return fail(at + ": summary.construct_count does not match the"
+                  " constructs array");
+    if (int rc = checkRankCorrelation(summary, at + ".summary")) return rc;
+  }
+
+  const obs::JsonValue* summary = root.find("summary");
+  if (!summary || !summary->isObject())
+    return fail("attrib: missing summary object");
+  const obs::JsonValue* count = summary->find("kernel_count");
+  if (!isFiniteNumber(count) ||
+      count->number != static_cast<double>(kernels->items.size()))
+    return fail("attrib: summary.kernel_count does not match the kernels"
+                " array");
+  const obs::JsonValue* ccount = summary->find("construct_count");
+  if (!isFiniteNumber(ccount) ||
+      ccount->number != static_cast<double>(totalConstructs))
+    return fail("attrib: summary.construct_count does not match the"
+                " per-kernel construct arrays");
+  if (int rc = checkRankCorrelation(summary, "attrib: summary")) return rc;
+  for (const auto& want : requiredKernels)
+    if (!names.count(want))
+      return fail("attrib: required kernel '" + want + "' not found");
+  if (static_cast<std::int64_t>(names.size()) < minKernels)
+    return fail("attrib: " + std::to_string(names.size()) +
+                " kernel(s), expected >= " + std::to_string(minKernels));
+  if (static_cast<std::int64_t>(totalConstructs) < minConstructs)
+    return fail("attrib: " + std::to_string(totalConstructs) +
+                " construct(s), expected >= " +
+                std::to_string(minConstructs));
+  std::cout << "attrib ok: " << names.size() << " kernels, "
+            << totalConstructs << " constructs\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -385,6 +602,7 @@ int main(int argc, char** argv) {
   std::string metricsFile;
   std::string diagnosticsFile;
   std::string dlcheckFile;
+  std::string attribFile;
   std::vector<std::string> requiredSpans;
   std::vector<std::string> requiredCounters;
   std::vector<std::string> requiredHistograms;
@@ -394,6 +612,7 @@ int main(int argc, char** argv) {
   std::int64_t minThreads = 0;
   std::int64_t maxErrors = -1;
   std::int64_t minKernels = 0;
+  std::int64_t minConstructs = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string inlineValue;
@@ -415,6 +634,7 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics") metricsFile = next();
     else if (arg == "--diagnostics") diagnosticsFile = next();
     else if (arg == "--dlcheck") dlcheckFile = next();
+    else if (arg == "--attrib") attribFile = next();
     else if (arg == "--require-span") requiredSpans.push_back(next());
     else if (arg == "--require-counter") requiredCounters.push_back(next());
     else if (arg == "--require-histogram") requiredHistograms.push_back(next());
@@ -424,10 +644,12 @@ int main(int argc, char** argv) {
     else if (arg == "--min-threads") minThreads = std::stoll(next());
     else if (arg == "--max-errors") maxErrors = std::stoll(next());
     else if (arg == "--min-kernels") minKernels = std::stoll(next());
+    else if (arg == "--min-constructs") minConstructs = std::stoll(next());
     else return usage();
   }
   int modes = (traceFile.empty() ? 0 : 1) + (metricsFile.empty() ? 0 : 1) +
-              (diagnosticsFile.empty() ? 0 : 1) + (dlcheckFile.empty() ? 0 : 1);
+              (diagnosticsFile.empty() ? 0 : 1) + (dlcheckFile.empty() ? 0 : 1) +
+              (attribFile.empty() ? 0 : 1);
   if (modes != 1) return usage();
   try {
     if (!traceFile.empty())
@@ -439,6 +661,9 @@ int main(int argc, char** argv) {
     if (!dlcheckFile.empty())
       return validateDlCheck(obs::parseJson(slurp(dlcheckFile)),
                              requiredKernels, minKernels, requiredBackend);
+    if (!attribFile.empty())
+      return validateAttrib(obs::parseJson(slurp(attribFile)), requiredKernels,
+                            minKernels, requiredBackend, minConstructs);
     return validateDiagnostics(obs::parseJson(slurp(diagnosticsFile)),
                                requiredAnalyses, maxErrors);
   } catch (const ::polyast::Error& e) {

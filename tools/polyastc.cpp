@@ -11,7 +11,7 @@
 //            [--analyze[=legality,races,bounds]] [--fail-on error|warning]
 //            [--diagnostics-out FILE]
 //            [--execute] [--backend interp|native] [--threads N]
-//            [--perf] [--perf-out FILE]
+//            [--perf] [--perf-out FILE] [--attrib-out FILE]
 //            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
 //
 // Flags also accept the --flag=value form. --flow is kept for
@@ -83,6 +83,15 @@
 //                       next to the measured counters, plus a
 //                       suite-level rank-correlation summary (implies
 //                       --perf).
+//   --attrib-out FILE   write the polyast-attrib-v1 JSON (implies
+//                       --perf): per parallel construct — doall,
+//                       reduction, pipeline — the counter deltas
+//                       attributed at construct boundaries, next to the
+//                       DL model's per-nest predictions, with
+//                       per-kernel and pooled rank correlations. Works
+//                       on both backends (native kernels report
+//                       construct boundaries through the capi hook
+//                       table).
 //
 // Examples:
 //   polyastc 2mm --pipeline polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
@@ -90,6 +99,7 @@
 //   polyastc seidel-2d --pipeline polyast --verify-each-pass --dump-after all
 //   polyastc gemm --pipeline polyast --execute \
 //       --trace-out trace.json --metrics-out metrics.json
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -106,6 +116,7 @@
 #include "flow/presets.hpp"
 #include "ir/cemit.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/attrib.hpp"
 #include "obs/dlcheck.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -131,7 +142,7 @@ int usage() {
          "                [--diagnostics-out FILE]\n"
          "                [--execute] [--backend interp|native]"
          " [--threads N] [--perf]\n"
-         "                [--perf-out FILE]\n"
+         "                [--perf-out FILE] [--attrib-out FILE]\n"
          "                [--trace-out FILE] [--metrics-out FILE]"
          " [--obs-summary]\n"
          "kernel may be 'all' to run every suite kernel (no emission)\n"
@@ -174,6 +185,7 @@ int main(int argc, char** argv) {
   std::string backend = "interp";
   bool perf = false;
   std::string perfOut;
+  std::string attribOut;
   unsigned threads = 0;
   flow::PipelineOptions options;
   flow::DumpOptions dump;
@@ -239,6 +251,9 @@ int main(int argc, char** argv) {
     else if (arg == "--perf") perf = true;
     else if (arg == "--perf-out") {
       perfOut = next();
+      perf = true;
+    } else if (arg == "--attrib-out") {
+      attribOut = next();
       perf = true;
     } else if (arg == "--threads") threads = static_cast<unsigned>(nextInt());
     else if (arg == "--dump-after") {
@@ -307,6 +322,7 @@ int main(int argc, char** argv) {
   // the process's loaded kernels and reports cache hits per program.
   std::unique_ptr<exec::Backend> execBackend;
   obs::DlCheckReport dlreport;
+  obs::AttribReport attribReport;
   bool dynamicBroken = false;
   bool analysisFailed = false;
   ir::Program out;  // last kernel's result, for emission
@@ -401,9 +417,19 @@ int main(int argc, char** argv) {
       exec::Context seq = kernels::makeContext(out, params);
       exec::Context par = kernels::makeContext(out, params);
       obs::PerfAggregate agg;
+      // Construct-level attribution rides along with --perf: the profiler
+      // is installed across verify() — the sequential oracle runs hookless
+      // (it never dispatches constructs), and the backend run brackets
+      // itself with beginRun/endRun on its driving thread.
+      std::unique_ptr<obs::ConstructProfiler> cprof;
+      if (perf) {
+        cprof = std::make_unique<obs::ConstructProfiler>();
+        cprof->install();
+      }
       exec::ParallelRunReport rep;
       exec::VerifyResult check = execBackend->verify(
           out, par, seq, *pool, &rep, perf ? &agg : nullptr);
+      if (cprof) cprof->uninstall();
       std::cerr << rep.summary() << "\n"
                 << "parallel vs sequential max abs diff: "
                 << check.maxAbsDiff << " on " << pool->threadCount()
@@ -434,14 +460,64 @@ int main(int argc, char** argv) {
           std::cerr << " (degraded: " << entry.measured.degradedReason << ")";
         std::cerr << " | predicted lines=" << entry.predictedLines << "\n";
         dlreport.kernels.push_back(std::move(entry));
+
+        // Construct-level attribution: pair the profiler's measured rows
+        // with the DL model's per-nest predictions. A nest belongs to the
+        // construct whose iterator chain prefixes the nest's chain (the
+        // construct's marked loop encloses the nest); sequential nests
+        // match no construct and stay in the residual.
+        obs::AttribKernel ak;
+        ak.kernel = kernelName;
+        ak.pipeline = pipeline;
+        ak.backend = cprof->backend().empty() ? rep.backend
+                                              : cprof->backend();
+        ak.total = cprof->total();
+        ak.residual = cprof->residual();
+        std::map<std::int64_t, std::vector<std::string>> chains;
+        for (const auto& c : ir::collectParallelConstructs(out))
+          chains[c.id] = c.chain;
+        for (const auto& row : cprof->rows()) {
+          obs::AttribConstruct ac;
+          ac.id = row.id;
+          ac.kind = row.kind;
+          ac.iter = row.iter;
+          ac.enters = row.enters;
+          ac.measured = row.measured;
+          const std::vector<std::string>& chain = chains[row.id];
+          for (std::size_t ci = 0; ci < chain.size(); ++ci)
+            ac.nest += (ci ? "." : "") + chain[ci];
+          for (const auto& n : pred.nests) {
+            if (n.iters.size() < chain.size()) continue;
+            if (!std::equal(chain.begin(), chain.end(), n.iters.begin()))
+              continue;
+            ac.predictedLines += n.predictedLines;
+            ac.predictedCost += n.memCostPerIter * n.totalIterations;
+            ac.predictedIters += n.totalIterations;
+            ++ac.predictedNests;
+          }
+          std::cerr << "attrib " << kernelName << "@" << ak.backend << " ["
+                    << ac.id << "] " << ac.kind << ":" << ac.nest
+                    << " enters=" << ac.enters << " wall_ns="
+                    << ac.measured.wallNs;
+          for (const auto& [cname, v] : ac.measured.counters)
+            std::cerr << " " << cname << "=" << v;
+          std::cerr << " | predicted cost=" << ac.predictedCost << "\n";
+          ak.constructs.push_back(std::move(ac));
+        }
+        attribReport.kernels.push_back(std::move(ak));
       }
     }
   }
 
-  if (pool) dlreport.threads = static_cast<int>(pool->threadCount());
+  if (pool) {
+    dlreport.threads = static_cast<int>(pool->threadCount());
+    attribReport.threads = static_cast<int>(pool->threadCount());
+  }
 
   try {
     if (perf && !perfOut.empty()) obs::writeDlCheckFile(perfOut, dlreport);
+    if (perf && !attribOut.empty())
+      obs::writeAttribFile(attribOut, attribReport);
     if (!traceOut.empty())
       obs::writeChromeTraceFile(traceOut, obs::Tracer::global());
     if (!metricsOut.empty())
