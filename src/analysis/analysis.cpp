@@ -119,10 +119,12 @@ void AnalysisSession::analyze(ir::Program& program,
 
   if (!baseline_) captureBaseline(program);
 
-  // The race analysis is the only consumer of the re-extracted dependence
-  // graph, and recomputing dependences on a fully transformed (tiled,
-  // unrolled) program is the single most expensive step here. Nothing can
-  // race before the first parallel mark appears, so skip it outright.
+  // The race and reduction analyses are the only consumers of the
+  // re-extracted dependence graph, and recomputing dependences on a fully
+  // transformed (tiled, unrolled) program is the single most expensive
+  // step here. Nothing can race — and no relaxed accumulation can
+  // interleave — before the first parallel mark appears, so skip it
+  // outright.
   bool hasMarks = false;
   program.forEachStmt([&](const std::shared_ptr<ir::Stmt>&,
                           const std::vector<std::shared_ptr<ir::Loop>>& loops) {
@@ -138,7 +140,8 @@ void AnalysisSession::analyze(ir::Program& program,
     scop = poly::extractScop(program, sopt);
     // Dependence re-extraction can also trip over a non-affine escape
     // (extraction itself never maps access subscripts).
-    if (options_.races && hasMarks) podg = poly::computeDependences(*scop);
+    if ((options_.races || options_.reductions) && hasMarks)
+      podg = poly::computeDependences(*scop);
   } catch (const Error& e) {
     // Non-affine escape (or malformed loop): the program left the class
     // the analyses can reason about — itself a well-formedness finding.
@@ -178,6 +181,10 @@ void AnalysisSession::analyze(ir::Program& program,
     if (options_.races) {
       obs::Span s("analysis.races", "analysis");
       runRaces(in, engine_);
+    }
+    if (options_.reductions) {
+      obs::Span s("analysis.reductions", "analysis");
+      runReductions(in, engine_);
     }
     if (options_.bounds) {
       obs::Span s("analysis.bounds", "analysis");

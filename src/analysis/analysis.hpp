@@ -50,6 +50,17 @@ struct AnalysisOptions {
   bool legality = true;
   bool races = true;
   bool bounds = true;
+  /// Reduction soundness re-verification: every reduction-classified self
+  /// edge of the current dependence graph must either execute sequentially
+  /// inside one cell of every enclosing parallel construct or land in a
+  /// construct the executor privatizes (reductions.cpp).
+  bool reductions = true;
+  /// The pipeline ran with --reductions=relaxed: the affine scheduler was
+  /// allowed to drop proven-pure accumulation edges, so a violated
+  /// *relaxable* baseline dependence is the expected reassociation, not a
+  /// bug — legality downgrades it to a remark and the reductions pass
+  /// carries the proof obligation instead.
+  bool relaxedReductions = false;
   /// Parameter lower bound assumed by every polyhedral question (matches
   /// ScopOptions::paramMin).
   std::int64_t paramMin = 4;
@@ -77,6 +88,17 @@ struct AnalysisInput {
 void runLegality(const AnalysisInput& in, DiagnosticEngine& engine);
 void runRaces(const AnalysisInput& in, DiagnosticEngine& engine);
 void runBounds(const AnalysisInput& in, DiagnosticEngine& engine);
+void runReductions(const AnalysisInput& in, DiagnosticEngine& engine);
+
+/// The reduction pass's vouching contract, shared with the race analysis:
+/// a reduction-classified dependence carried by a Reduction /
+/// ReductionPipeline mark is benign only when the executor will actually
+/// privatize its accumulator inside that construct. Computed from the same
+/// ir::privatizableArrays helper the interpreter walker and the native
+/// kernel emitter consume, so the static proof and the runtime discharge
+/// can never disagree about the obligation (reductions.cpp).
+bool reductionEdgeVouched(const poly::Dependence& d,
+                          const std::shared_ptr<ir::Loop>& mark);
 
 /// One analysis session: baseline capture + repeated analyze() calls over
 /// the (mutating) program, accumulating diagnostics across the pipeline.

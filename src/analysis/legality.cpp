@@ -75,14 +75,23 @@ void reportViolation(const AnalysisInput& in, const Dependence& dep,
                      const PolyStmt& srcCur, const PolyStmt& dstCur,
                      std::size_t depth, const std::string& row,
                      const IntSet& bad, DiagnosticEngine& engine) {
+  // Under --reductions=relaxed the scheduler was licensed to reorder
+  // proven-pure accumulation edges: a violated *relaxable* baseline edge
+  // is the expected reassociation, recorded as a remark; the reductions
+  // analysis carries the runtime proof obligation for it instead.
+  const bool relaxed =
+      in.options->relaxedReductions && dep.relaxable();
   Diagnostic d;
   d.analysis = "legality";
-  d.code = "violated-dependence";
+  d.code = relaxed ? "relaxed-dependence" : "violated-dependence";
   d.afterPass = in.afterPass;
   d.location = locationOf(dstCur);
   d.message = poly::depKindName(dep.kind) + " dependence " +
               stmtName(srcCur) + " -> " + stmtName(dstCur) + " on '" +
-              dep.array + "' is violated at depth " + std::to_string(depth);
+              dep.array + "' is " +
+              (relaxed ? "reassociated (relaxed reduction)"
+                       : "violated") +
+              " at depth " + std::to_string(depth);
   d.detail["kind"] = poly::depKindName(dep.kind);
   d.detail["array"] = dep.array;
   d.detail["src"] = stmtName(srcCur);
@@ -101,8 +110,13 @@ void reportViolation(const AnalysisInput& in, const Dependence& dep,
       findIntegerWitness(bad, paramBase, in.scop->params, *in.options);
   if (witness) d.detail["witness"] = formatWitness(bad.varNames(), *witness);
   if (inexact) d.detail["stride_overapprox"] = "true";
-  d.severity =
-      (witness && !inexact) ? Severity::Error : Severity::Warning;
+  if (relaxed) {
+    d.detail["reduction_class"] = poly::reductionClassName(dep.reduction);
+    d.severity = Severity::Remark;
+  } else {
+    d.severity =
+        (witness && !inexact) ? Severity::Error : Severity::Warning;
+  }
   engine.report(std::move(d));
 }
 

@@ -1,5 +1,6 @@
 #include "analysis/mutations.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "analysis/analysis.hpp"
@@ -102,6 +103,42 @@ const std::vector<Mutation>& mutationCorpus() {
          auto stmts = p.statements();
          POLYAST_CHECK(stmts.size() == 2, "mutation: expected two stmts");
          stmts[1]->lhsSubs[1] += AffExpr(1);
+       }},
+      {"nonassoc-relaxation", "gemm", "reductions", "unproven-relaxation",
+       "turn the gemm update into C[i][j] *= ... while keeping it flagged "
+       "a reduction and marking the k loop Reduction; the operator left "
+       "the associative whitelist, so the edge has no purity proof",
+       [](ir::Program& p) {
+         auto stmts = p.statements();
+         POLYAST_CHECK(stmts.size() == 2, "mutation: expected two stmts");
+         stmts[1]->op = ir::AssignOp::MulAssign;
+         stmts[1]->isReductionUpdate = true;  // the flag is never trusted
+         requireLoop(p, "k")->parallel = ir::ParallelKind::Reduction;
+       }},
+      {"escaped-relaxation", "gemm", "reductions", "escaped-relaxation",
+       "mark the gemm k loop Doall; the proven-pure accumulation edge on "
+       "C is interleaved by a construct that will not privatize it",
+       [](ir::Program& p) {
+         requireLoop(p, "k")->parallel = ir::ParallelKind::Doall;
+       }},
+      {"aliased-accumulation", "gemm", "reductions", "unproven-relaxation",
+       "insert a plain store C[i][0] = 0.0 into the gemm k loop marked "
+       "Reduction; the may-alias write between accumulations voids the "
+       "purity proof (and makes C unprivatizable)",
+       [](ir::Program& p) {
+         auto k = requireLoop(p, "k");
+         k->parallel = ir::ParallelKind::Reduction;
+         auto stmts = p.statements();
+         int maxId = 0;
+         for (const auto& s : stmts) maxId = std::max(maxId, s->id);
+         auto store = std::make_shared<ir::Stmt>();
+         store->id = maxId + 1;
+         store->label = "Sz";
+         store->op = ir::AssignOp::Set;
+         store->lhsArray = "C";
+         store->lhsSubs = {AffExpr::term("i"), AffExpr(0)};
+         store->rhs = ir::floatLit(0.0);
+         k->body->children.insert(k->body->children.begin(), store);
        }},
   };
   return corpus;

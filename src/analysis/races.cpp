@@ -83,7 +83,9 @@ std::string boundStr(const std::optional<std::int64_t>& b) {
 
 void checkMark(const AnalysisInput& in,
                const std::shared_ptr<Loop>& loopPtr, const PolyStmt& rep,
-               std::size_t level, DiagnosticEngine& engine) {
+               std::size_t level,
+               const std::map<const Loop*, std::int64_t>& constructIds,
+               DiagnosticEngine& engine) {
   const Scop& scop = *in.scop;
   const Loop* loop = loopPtr.get();
   ParallelKind kind = loop->parallel;
@@ -171,16 +173,26 @@ void checkMark(const AnalysisInput& in,
         break;
       case ParallelKind::Reduction:
       case ParallelKind::ReductionPipeline:
-        if (d.fromReduction) {
-          // fromReduction implies an associative accumulator update
-          // (+= / -=); anything else never gets the flag.
+        if (reductionEdgeVouched(d, loopPtr)) {
+          // The reduction analysis vouches for the edge: it is a
+          // reduction-classified accumulator update AND the executor will
+          // privatize its target inside this construct — a reduction flag
+          // alone is no longer uniformly benign (the accumulator could be
+          // read or set-written inside the construct, or the purity proof
+          // could have failed; reductions.cpp reports those precisely).
           covered = true;
           break;
         }
         if (kind == ParallelKind::Reduction) {
           code = "reduction-race";
-          why = "carries a " + poly::depKindName(d.kind) + " dependence on '" +
-                d.array + "' that is not the reduction accumulator update";
+          why = d.fromReduction()
+                    ? "carries a reduction-classified dependence on '" +
+                          d.array +
+                          "' whose accumulator the construct does not "
+                          "privatize"
+                    : "carries a " + poly::depKindName(d.kind) +
+                          " dependence on '" + d.array +
+                          "' that is not the reduction accumulator update";
           break;
         }
         [[fallthrough]];
@@ -232,6 +244,20 @@ void checkMark(const AnalysisInput& in,
     diag.detail["dst"] = stmtName(dst);
     diag.detail["level"] = std::to_string(*lk);
     diag.detail["distance"] = "[" + boundStr(mn) + "," + boundStr(mx) + "]";
+    // Covering-construct provenance: the runtime construct this mark maps
+    // onto (-1 when the mark is nested under another mark and therefore
+    // runs sequentially in-cell).
+    auto cid = constructIds.find(loop);
+    diag.detail["construct_id"] =
+        std::to_string(cid != constructIds.end() ? cid->second : -1);
+    if (d.fromReduction()) {
+      // Reduction-edge provenance: which classification the edge carries
+      // and why, so a flagged reduction edge is attributable without
+      // re-running the classifier.
+      diag.detail["reduction_class"] = poly::reductionClassName(d.reduction);
+      if (!d.reductionWhy.empty())
+        diag.detail["reduction_why"] = d.reductionWhy;
+    }
     if (!syncChain.empty()) {
       diag.detail["sync_depth"] = std::to_string(syncChain.size());
       diag.detail["violating_level"] = std::to_string(violLevel);
@@ -270,6 +296,11 @@ void runRaces(const AnalysisInput& in, DiagnosticEngine& engine) {
   if (!in.podg) return;
   const Scop& scop = *in.scop;
 
+  std::map<const Loop*, std::int64_t> constructIds;
+  if (in.program)
+    for (const auto& c : ir::collectParallelConstructs(*in.program))
+      constructIds[c.loop.get()] = c.id;
+
   std::int64_t marks = 0;
   std::set<const Loop*> seen;
   for (const auto& ps : scop.stmts) {
@@ -278,7 +309,7 @@ void runRaces(const AnalysisInput& in, DiagnosticEngine& engine) {
       if (l->parallel == ParallelKind::None) continue;
       if (!seen.insert(l.get()).second) continue;
       ++marks;
-      checkMark(in, l, ps, k, engine);
+      checkMark(in, l, ps, k, constructIds, engine);
     }
   }
   engine.metrics().counter("analysis.races.marks_checked").add(marks);

@@ -49,6 +49,7 @@ std::vector<Ref> collectRefs(const LoopNestModel& nest) {
   std::vector<Ref> refs;
   std::set<std::string> seen;
   auto add = [&](const std::string& array, const std::vector<AffExpr>& subs) {
+    if (nest.privatized.count(array)) return;  // register-resident
     std::ostringstream key;
     key << array;
     for (const auto& s : subs) key << "[" << s.str() << "]";

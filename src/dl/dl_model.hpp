@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,11 @@ struct CacheParams {
 struct LoopNestModel {
   std::vector<std::string> iters;  ///< outermost first
   std::vector<std::shared_ptr<const ir::Stmt>> stmts;
+  /// Arrays scored as privatized: a proven-pure accumulator the executor
+  /// keeps in a register (or a per-thread copy) contributes no memory
+  /// traffic, so its references are excluded from the footprint. Set by
+  /// the affine scheduler under --reductions=relaxed.
+  std::set<std::string> privatized;
 };
 
 /// Number of distinct lines accessed by one tile, with tile size

@@ -35,6 +35,9 @@ PassPipeline poccPipeline(std::string name, PipelineOptions o) {
   transform::AffineOptions aopt = o.affine;
   aopt.preferOriginalOrder = true;
   aopt.fusion = o.plutoFusion;
+  // The doall-only baseline never privatizes accumulators, so relaxed
+  // schedules could never discharge their proof obligations here.
+  aopt.reductions = poly::ReductionMode::Strict;
   // Pluto's flow is total: always fall back to the identity schedule.
   pipe.add(std::make_shared<AffineTransformPass>(aopt, o.ast.paramMin,
                                                  /*fallbackToIdentity=*/true));

@@ -25,6 +25,10 @@ struct DlCheckKernel {
   std::string kernel;    ///< e.g. "gemm"
   std::string pipeline;  ///< preset that produced the schedule ("polyast")
   std::string backend = "interp";  ///< execution backend measured
+  /// Reduction scheduling mode the schedule was selected under
+  /// ("strict"/"relaxed") — relaxed runs form separate history series in
+  /// bench_compare (`kernel@relaxed`).
+  std::string reductions = "strict";
   /// DL-model side (dl::predictProgram on the optimized program).
   double predictedLines = 0.0;
   double predictedCost = 0.0;

@@ -22,6 +22,15 @@ std::string depKindName(DepKind k) {
   return "?";
 }
 
+std::string reductionClassName(ReductionClass c) {
+  switch (c) {
+    case ReductionClass::None: return "none";
+    case ReductionClass::Unproven: return "unproven";
+    case ReductionClass::Relaxable: return "relaxable";
+  }
+  return "?";
+}
+
 std::vector<std::size_t> PoDG::edgesBetween(int srcId, int dstId) const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < deps.size(); ++i)
@@ -107,7 +116,92 @@ DepKind classify(bool srcWrite, bool dstWrite) {
   return DepKind::Input;
 }
 
+std::string assignOpToken(ir::AssignOp op) {
+  switch (op) {
+    case ir::AssignOp::Set: return "=";
+    case ir::AssignOp::AddAssign: return "+=";
+    case ir::AssignOp::SubAssign: return "-=";
+    case ir::AssignOp::MulAssign: return "*=";
+    case ir::AssignOp::DivAssign: return "/=";
+  }
+  return "?";
+}
+
 }  // namespace
+
+ReductionClass classifySelfAccumulation(const Scop& scop, const PolyStmt& ps,
+                                        std::size_t level, std::string* op,
+                                        std::string* why) {
+  const ir::Stmt& s = *ps.stmt;
+  *op = assignOpToken(s.op);
+  // (1) Operator whitelist: only += / -= are associative and commutative
+  // over the accumulator (a -= x is a += (-x)). The syntactic flag alone is
+  // not trusted -- a mutated/corrupted flag must not unlock relaxation.
+  if (s.op != ir::AssignOp::AddAssign && s.op != ir::AssignOp::SubAssign) {
+    *why = "operator '" + *op + "' is not in the associative/commutative " +
+           "whitelist (+=, -=)";
+    return ReductionClass::Unproven;
+  }
+  // (2) Single read-modify-write of one cell: the statement's only
+  // accesses to the accumulator array are the lhs write plus the one
+  // implicit read-modify-write read of the same cell. An extra rhs read —
+  // even of the same cell, as in `a += a*x` — makes the contribution
+  // depend on the running value, so reordering is no longer a pure
+  // reassociation.
+  std::size_t accWrites = 0;
+  std::size_t accReads = 0;
+  for (const auto& acc : ps.accesses) {
+    if (acc.array != s.lhsArray) continue;
+    acc.isWrite ? ++accWrites : ++accReads;
+    if (acc.subs != s.lhsSubs) {
+      *why = "statement touches more than one cell of '" + s.lhsArray + "'";
+      return ReductionClass::Unproven;
+    }
+  }
+  if (accWrites != 1 || accReads != 1) {
+    *why = "statement is not a single read-modify-write of '" + s.lhsArray +
+           "' (" + std::to_string(accWrites) + " write(s), " +
+           std::to_string(accReads) + " read(s))";
+    return ReductionClass::Unproven;
+  }
+  // (3) No intervening may-alias write: no other statement nested inside
+  // the carrying loop writes the accumulator array — otherwise reordering
+  // the accumulation instances could move them across that write.
+  // Exception: another pure additive accumulation (+= / -=) into the same
+  // array is jointly reassociable with this one (contributions commute and
+  // every cross edge between the two statements is retained), so unrolled
+  // copies of the update keep their proof on the transformed program.
+  // Subscript disambiguation is deliberately not attempted here
+  // (may-alias).
+  if (level >= 1 && level <= ps.loops.size()) {
+    const ir::Loop* carrier = ps.loops[level - 1].get();
+    for (const auto& other : scop.stmts) {
+      if (other.stmt->id == s.id) continue;
+      if (other.stmt->op == ir::AssignOp::AddAssign ||
+          other.stmt->op == ir::AssignOp::SubAssign)
+        continue;
+      bool inside = false;
+      for (const auto& l : other.loops)
+        if (l.get() == carrier) inside = true;
+      if (!inside) continue;
+      for (const auto& acc : other.accesses) {
+        if (acc.isWrite && acc.array == s.lhsArray) {
+          *why = "intervening may-alias write of '" + s.lhsArray + "' by " +
+                 other.stmt->label + std::to_string(other.stmt->id) +
+                 " inside the carrying loop " + carrier->iter;
+          return ReductionClass::Unproven;
+        }
+      }
+    }
+  }
+  *why = "pure self-accumulation '" + s.lhsArray + " " + *op +
+         " ...': single-cell read-modify-write, no intervening writes " +
+         "inside carrying loop" +
+         (level >= 1 && level <= ps.loops.size()
+              ? " " + ps.loops[level - 1]->iter
+              : "");
+  return ReductionClass::Relaxable;
+}
 
 IntSet jointPairSpace(const Scop& scop, const PolyStmt& src,
                       const PolyStmt& dst) {
@@ -131,6 +225,8 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
   static obs::Counter& proven = reg.counter("poly.dep.proven");
   static obs::Counter& disproven = reg.counter("poly.dep.disproven");
   static obs::Counter& reductions = reg.counter("poly.dep.reduction_edges");
+  static obs::Counter& relaxableEdges =
+      reg.counter("poly.dep.relaxable_edges");
   obs::Span span("poly.dependences", "poly");
   std::int64_t testedHere = 0, provenHere = 0;
   PoDG podg;
@@ -202,10 +298,18 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
             dep.srcAcc = ai;
             dep.dstAcc = bi;
             dep.poly = std::move(set);
-            dep.fromReduction = sameStmt && src.stmt->isReductionUpdate &&
-                                a.array == src.stmt->lhsArray &&
-                                b.array == src.stmt->lhsArray;
-            if (dep.fromReduction) reductions.add();
+            // Accumulation edges get the checked classification: the
+            // syntactic flag only nominates the edge, the static purity
+            // proof decides whether relaxation may ever drop it.
+            if (sameStmt && src.stmt->isReductionUpdate &&
+                a.array == src.stmt->lhsArray &&
+                b.array == src.stmt->lhsArray) {
+              dep.reduction = classifySelfAccumulation(
+                  scop, src, level, &dep.reductionOp, &dep.reductionWhy);
+              reductions.add();
+              if (dep.reduction == ReductionClass::Relaxable)
+                relaxableEdges.add();
+            }
             podg.deps.push_back(std::move(dep));
           }
         }
@@ -293,7 +397,7 @@ std::vector<DepVector> dependenceVectors(const Scop& scop, const PoDG& podg) {
     v.srcId = dep.srcId;
     v.dstId = dep.dstId;
     v.kind = dep.kind;
-    v.fromReduction = dep.fromReduction;
+    v.reduction = dep.reduction;
     std::size_t n = dep.poly.numVars();
     for (std::size_t k = 0; k < cl; ++k) {
       LinExpr diff = LinExpr::var(dep.srcDim + k, n) - LinExpr::var(k, n);

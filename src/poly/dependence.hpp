@@ -24,6 +24,19 @@ enum class DepKind { Flow, Anti, Output, Input };
 
 std::string depKindName(DepKind k);
 
+/// Classification of accumulation (reduction) dependences, following the
+/// mark -> relax -> re-prove scheme of "Polly's Polyhedral Scheduling in
+/// the Presence of Reductions". Only `Relaxable` edges may be dropped by
+/// the relaxed affine-selection mode; the proof is purely static and the
+/// `reductions` analysis pass re-establishes it post-transform.
+enum class ReductionClass {
+  None,       ///< not an accumulation dependence
+  Unproven,   ///< syntactic reduction update, but the purity proof failed
+  Relaxable,  ///< proven pure associative/commutative self-accumulation
+};
+
+std::string reductionClassName(ReductionClass c);
+
 struct Dependence {
   int srcId = -1;
   int dstId = -1;
@@ -43,8 +56,18 @@ struct Dependence {
   /// the trailing columns.
   IntSet poly;
   /// Both endpoints are the same reduction-update statement and the
-  /// dependence flows through the accumulated cell.
-  bool fromReduction = false;
+  /// dependence flows through the accumulated cell; `Relaxable` only after
+  /// the static purity proof succeeded (operator whitelist, single
+  /// read-modify-write of one cell, no intervening may-alias write inside
+  /// the carrying loop).
+  ReductionClass reduction = ReductionClass::None;
+  /// Provenance of the classification: accumulation operator token
+  /// ("+=" / "-=") and the proof (or the reason the proof failed).
+  std::string reductionOp;
+  std::string reductionWhy;
+
+  bool fromReduction() const { return reduction != ReductionClass::None; }
+  bool relaxable() const { return reduction == ReductionClass::Relaxable; }
 };
 
 /// The polyhedral dependence (multi-)graph: one edge per dependence
@@ -65,6 +88,19 @@ IntSet jointPairSpace(const Scop& scop, const PolyStmt& src,
 
 /// Computes all flow/anti/output (and optionally input) dependences.
 PoDG computeDependences(const Scop& scop, bool includeInput = false);
+
+/// The static purity proof behind `Dependence::reduction`: classifies the
+/// self-accumulation dependence of `ps` carried at `level` (>= 1). Returns
+/// `Relaxable` iff the statement is a whitelisted associative/commutative
+/// update (`+=` / `-=`), every access it makes to the accumulator array
+/// names the same cell (single read-modify-write), and no other statement
+/// nested inside the carrying loop writes (may-alias) the accumulator
+/// array. `op` receives the operator token, `why` the proof summary or the
+/// rejection reason. Exposed so the post-transform `reductions` analysis
+/// pass re-proves exactly the predicate the scheduler relied on.
+ReductionClass classifySelfAccumulation(const Scop& scop, const PolyStmt& ps,
+                                        std::size_t level, std::string* op,
+                                        std::string* why);
 
 /// Strongly connected components of the statement graph induced by the
 /// dependences selected by `edgeFilter` (input deps are normally excluded).
@@ -93,8 +129,11 @@ struct DepVector {
   int srcId = -1;
   int dstId = -1;
   DepKind kind = DepKind::Flow;
-  bool fromReduction = false;
+  ReductionClass reduction = ReductionClass::None;
   std::vector<DepVectorElem> elems;  ///< one per common loop, outer first
+
+  bool fromReduction() const { return reduction != ReductionClass::None; }
+  bool relaxable() const { return reduction == ReductionClass::Relaxable; }
 };
 
 /// Summarizes every dependence of the PoDG into distance vectors.

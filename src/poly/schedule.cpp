@@ -135,11 +135,16 @@ DepStatus checkDependence(const Scop& scop, const Dependence& dep,
   return DepStatus::Respected;
 }
 
+std::string reductionModeName(ReductionMode m) {
+  return m == ReductionMode::Relaxed ? "relaxed" : "strict";
+}
+
 bool scheduleIsLegal(const Scop& scop, const PoDG& podg,
-                     const ScheduleMap& schedules) {
+                     const ScheduleMap& schedules, ReductionMode mode) {
   std::size_t rows = normalizedRows(scop);
   for (const auto& dep : podg.deps) {
     if (dep.kind == DepKind::Input) continue;
+    if (mode == ReductionMode::Relaxed && dep.relaxable()) continue;
     if (checkDependence(scop, dep, schedules, rows) != DepStatus::Carried)
       return false;
   }

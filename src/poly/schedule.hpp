@@ -57,11 +57,25 @@ enum class DepStatus {
 DepStatus checkDependence(const Scop& scop, const Dependence& dep,
                           const ScheduleMap& schedules, std::size_t numRows);
 
+/// Reduction handling of the legality oracle (ROADMAP item 4). `Strict`
+/// treats accumulation dependences as ordinary carried edges; `Relaxed`
+/// drops edges whose static purity proof succeeded
+/// (`Dependence::relaxable()`) from legality decisions — every schedule
+/// chosen this way must afterwards be re-proven safe by the `reductions`
+/// analysis pass (each dropped edge must land inside a construct the
+/// executor privatizes).
+enum class ReductionMode { Strict, Relaxed };
+
+std::string reductionModeName(ReductionMode m);
+
 /// Number of rows of the normalized timestamp space: 2*Dmax + 1.
 std::size_t normalizedRows(const Scop& scop);
 
 /// Full legality: every dependence is carried by the complete schedules.
+/// Under `ReductionMode::Relaxed`, proven-relaxable accumulation edges are
+/// exempt (the caller owes their safety to the reductions analysis pass).
 bool scheduleIsLegal(const Scop& scop, const PoDG& podg,
-                     const ScheduleMap& schedules);
+                     const ScheduleMap& schedules,
+                     ReductionMode mode = ReductionMode::Strict);
 
 }  // namespace polyast::poly

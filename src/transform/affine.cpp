@@ -41,17 +41,43 @@ class AffineScheduler {
       } else {
         // DL preference: best permutation order (outer->inner) of this
         // statement's own nest.
-        dl::LoopNestModel nest{ps.iters, {ps.stmt}};
+        dl::LoopNestModel nest{ps.iters, {ps.stmt}, {}};
+        if (opt.reductions == poly::ReductionMode::Relaxed) {
+          // Widened candidate set: a proven-pure accumulator is scored as
+          // privatized (register-resident), so the preference is driven by
+          // the data operands instead of the accumulation target. Strict
+          // mode keeps the accumulator's footprint term, which anchors the
+          // preference to the original accumulation-innermost order.
+          for (const auto& dep : podg_.deps)
+            if (dep.srcId == ps.stmt->id && dep.dstId == ps.stmt->id &&
+                dep.relaxable()) {
+              nest.privatized.insert(ps.stmt->lhsArray);
+              break;
+            }
+        }
         for (const auto& name : dl::bestPermutationOrder(nest, opt.cache)) {
           auto it = std::find(ps.iters.begin(), ps.iters.end(), name);
           s.dlPref.push_back(
               static_cast<std::size_t>(it - ps.iters.begin()));
         }
       }
+      if (getenv("POLYAST_DLPREF")) {
+        fprintf(stderr, "dlpref stmt %d:", ps.stmt->id);
+        for (std::size_t j : s.dlPref)
+          fprintf(stderr, " %s", ps.iters[j].c_str());
+        fprintf(stderr, "\n");
+      }
       st_[ps.stmt->id] = std::move(s);
     }
     for (std::size_t i = 0; i < podg_.deps.size(); ++i) {
       if (podg_.deps[i].kind == DepKind::Input) continue;
+      // Relaxed mode drops proven-pure accumulation edges from every
+      // legality decision (SCCs, permutation, retiming, fusion,
+      // parallelism preservation); the reductions analysis pass re-proves
+      // the resulting schedules safe afterwards.
+      if (opt.reductions == poly::ReductionMode::Relaxed &&
+          podg_.deps[i].relaxable())
+        continue;
       deps_.push_back({i, podg_.deps[i].poly, false});
     }
   }
@@ -64,10 +90,12 @@ class AffineScheduler {
                   "legal schedule");
     ScheduleMap out;
     for (auto& [id, s] : st_) out[id] = s.sched;
-    if (debug_ && !poly::scheduleIsLegal(scop_, podg_, out)) {
+    if (debug_ && !poly::scheduleIsLegal(scop_, podg_, out, opt_.reductions)) {
       std::size_t rows = poly::normalizedRows(scop_);
       for (const auto& d : podg_.deps) {
         if (d.kind == DepKind::Input) continue;
+        if (opt_.reductions == poly::ReductionMode::Relaxed && d.relaxable())
+          continue;
         auto st2 = poly::checkDependence(scop_, d, out, rows);
         if (st2 != poly::DepStatus::Carried)
           fprintf(stderr, "dep %d->%d (%s, L%zu, %s): %s\n", d.srcId,
@@ -78,7 +106,7 @@ class AffineScheduler {
       for (auto& [id, sc] : out)
         fprintf(stderr, "stmt %d: %s\n", id, sc.str().c_str());
     }
-    POLYAST_CHECK(poly::scheduleIsLegal(scop_, podg_, out),
+    POLYAST_CHECK(poly::scheduleIsLegal(scop_, podg_, out, opt_.reductions),
                   "affine scheduler produced an illegal schedule");
     return out;
   }

@@ -45,6 +45,11 @@ struct AffineOptions {
   int maxCombos = 128;
   /// Retiming coefficients are bounded to keep generated bounds sane.
   std::int64_t maxShift = 16;
+  /// Reduction handling: `Relaxed` lets Algorithms 2-5 ignore
+  /// proven-relaxable accumulation edges, widening the candidate set the
+  /// DL model scores. Schedules selected under relaxation must be
+  /// re-proven safe by the `reductions` analysis pass.
+  poly::ReductionMode reductions = poly::ReductionMode::Strict;
 };
 
 /// Runs Algorithms 2-5 and returns the selected schedules. The schedules

@@ -260,7 +260,7 @@ ParallelismStats detectParallelism(ir::Program& program,
       }
       // Reduction dependences are discharged by accumulator privatization
       // (Reduction / ReductionPipeline execution), never by the sync grid.
-      if (options.recognizeReductions && d.fromReduction) {
+      if (options.recognizeReductions && d.relaxable()) {
         bool zeroRed = (*mn == 0) && mx && (*mx == 0);
         if (!zeroRed) anyCarried = true;
         continue;
@@ -294,7 +294,7 @@ ParallelismStats detectParallelism(ir::Program& program,
     } else if (pipeDepth >= 2 && options.allowPipeline) {
       bool reductionsToo = false;
       for (const auto& d : podg.deps)
-        if (d.fromReduction && commonLevelOf(scop, d, loop.get()))
+        if (d.relaxable() && commonLevelOf(scop, d, loop.get()))
           reductionsToo = true;
       loop->parallel = reductionsToo ? ParallelKind::ReductionPipeline
                                      : ParallelKind::Pipeline;
@@ -467,7 +467,7 @@ int tileForLocality(ir::Program& program, const AstOptions& options) {
       // skewed stencil) get the smaller time-tile size.
       bool carriesDeps = false;
       for (const Dependence* d : deps) {
-        if (d->fromReduction) continue;  // reductions don't shrink the tile
+        if (d->relaxable()) continue;  // reductions don't shrink the tile
         auto lk = commonLevelOf(scop, *d, l.get());
         if (!lk) continue;
         auto mx = d->poly.maxOf(distExpr(*d, *lk));

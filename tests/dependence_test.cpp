@@ -46,14 +46,135 @@ TEST(Dependences, ReductionFlagOnAccumulation) {
   PoDG g = computeDependences(scop);
   for (const auto& d : g.deps) {
     if (d.srcId == 1 && d.dstId == 1 && d.array == "C") {
-      EXPECT_TRUE(d.fromReduction);
+      EXPECT_TRUE(d.fromReduction());
     }
   }
   for (const auto& d : g.deps) {
     if (d.srcId == 0 && d.dstId == 1) {
-      EXPECT_FALSE(d.fromReduction);
+      EXPECT_FALSE(d.fromReduction());
     }
   }
+}
+
+TEST(ReductionClassification, GemmSelfEdgeRelaxable) {
+  ir::Program p = kernels::buildKernel("gemm");
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  bool sawSelf = false;
+  for (const auto& d : g.deps) {
+    if (d.srcId != 1 || d.dstId != 1 || d.array != "C") continue;
+    sawSelf = true;
+    EXPECT_EQ(d.reduction, ReductionClass::Relaxable) << d.reductionWhy;
+    EXPECT_TRUE(d.relaxable());
+    EXPECT_EQ(d.reductionOp, "+=");
+    EXPECT_NE(d.reductionWhy.find("pure self-accumulation"),
+              std::string::npos)
+        << d.reductionWhy;
+  }
+  EXPECT_TRUE(sawSelf);
+}
+
+TEST(ReductionClassification, SelfFeedbackUnproven) {
+  // A[i] += A[i] * B[k]: the contribution depends on the running value of
+  // the accumulator, so reordering the k instances is not a pure
+  // reassociation. The syntactic flag is forced on to prove the
+  // classification never trusts it.
+  ir::ProgramBuilder b("selffeed");
+  b.param("N", 8);
+  b.array("A", {b.p("N")}).array("B", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N")).beginLoop("k", 0, b.p("N"));
+  b.stmt("S", "A", {b.p("i")}, ir::AssignOp::AddAssign,
+         ir::arrayRef("A", {b.p("i")}) * ir::arrayRef("B", {b.p("k")}));
+  b.endLoop().endLoop();
+  ir::Program p = b.build();
+  p.statements()[0]->isReductionUpdate = true;  // never trusted
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  bool sawSelf = false;
+  for (const auto& d : g.deps) {
+    if (d.srcId != 0 || d.dstId != 0 || d.kind == DepKind::Input) continue;
+    sawSelf = true;
+    EXPECT_EQ(d.reduction, ReductionClass::Unproven) << d.reductionWhy;
+    EXPECT_NE(d.reductionWhy.find("read-modify-write"), std::string::npos)
+        << d.reductionWhy;
+  }
+  EXPECT_TRUE(sawSelf);
+}
+
+TEST(ReductionClassification, NonWhitelistOperatorUnproven) {
+  // A[i] *= B[k] with a forced reduction flag: *= is not in the
+  // associative/commutative whitelist.
+  ir::ProgramBuilder b("scaledown");
+  b.param("N", 8);
+  b.array("A", {b.p("N")}).array("B", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N")).beginLoop("k", 0, b.p("N"));
+  b.stmt("S", "A", {b.p("i")}, ir::AssignOp::MulAssign,
+         ir::arrayRef("B", {b.p("k")}));
+  b.endLoop().endLoop();
+  ir::Program p = b.build();
+  p.statements()[0]->isReductionUpdate = true;  // never trusted
+  Scop scop = extractScop(p);
+  PoDG g = computeDependences(scop);
+  bool sawSelf = false;
+  for (const auto& d : g.deps) {
+    if (d.srcId != 0 || d.dstId != 0 || d.kind == DepKind::Input) continue;
+    sawSelf = true;
+    EXPECT_EQ(d.reduction, ReductionClass::Unproven) << d.reductionWhy;
+    EXPECT_NE(d.reductionWhy.find("whitelist"), std::string::npos)
+        << d.reductionWhy;
+  }
+  EXPECT_TRUE(sawSelf);
+}
+
+TEST(ReductionClassification, InterveningSetWriteUnproven) {
+  // A plain store into the accumulator array inside the carrying loop:
+  // reordering the accumulation could move instances across it, and
+  // subscript disambiguation is deliberately not attempted (may-alias).
+  ir::ProgramBuilder b("aliased");
+  b.param("N", 8);
+  b.array("A", {b.p("N")}).array("B", {b.p("N"), b.p("N")});
+  b.beginLoop("i", 0, b.p("N")).beginLoop("k", 0, b.p("N"));
+  b.stmt("S1", "A", {b.p("i")}, ir::AssignOp::AddAssign,
+         ir::arrayRef("B", {b.p("i"), b.p("k")}));
+  b.stmt("S2", "A", {AffExpr(0)}, ir::AssignOp::Set, ir::floatLit(0.0));
+  b.endLoop().endLoop();
+  Scop scop = extractScop(b.build());
+  PoDG g = computeDependences(scop);
+  bool sawSelf = false;
+  for (const auto& d : g.deps) {
+    if (d.srcId != 0 || d.dstId != 0 || d.kind == DepKind::Input) continue;
+    sawSelf = true;
+    EXPECT_EQ(d.reduction, ReductionClass::Unproven) << d.reductionWhy;
+    EXPECT_NE(d.reductionWhy.find("intervening may-alias write"),
+              std::string::npos)
+        << d.reductionWhy;
+  }
+  EXPECT_TRUE(sawSelf);
+}
+
+TEST(ReductionClassification, SiblingAccumulationStaysRelaxable) {
+  // Two additive accumulations into the same array are jointly
+  // reassociable (unrolled copies of one update must keep their proof on
+  // the transformed program).
+  ir::ProgramBuilder b("siblings");
+  b.param("N", 8);
+  b.array("A", {b.p("N")}).array("B", {b.p("N"), b.p("N")});
+  b.beginLoop("i", 0, b.p("N")).beginLoop("k", 0, b.p("N"));
+  b.stmt("S1", "A", {b.p("i")}, ir::AssignOp::AddAssign,
+         ir::arrayRef("B", {b.p("i"), b.p("k")}));
+  b.stmt("S2", "A", {b.p("i")}, ir::AssignOp::AddAssign,
+         ir::arrayRef("B", {b.p("k"), b.p("i")}));
+  b.endLoop().endLoop();
+  Scop scop = extractScop(b.build());
+  PoDG g = computeDependences(scop);
+  bool sawSelf = false;
+  for (const auto& d : g.deps) {
+    if (d.srcId != d.dstId || d.kind == DepKind::Input) continue;
+    if (!d.fromReduction()) continue;
+    sawSelf = true;
+    EXPECT_EQ(d.reduction, ReductionClass::Relaxable) << d.reductionWhy;
+  }
+  EXPECT_TRUE(sawSelf);
 }
 
 TEST(Dependences, StencilDistances) {

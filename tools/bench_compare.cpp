@@ -119,6 +119,12 @@ void ingestDlCheck(const std::string& path,
     if (const obs::JsonValue* backend = k.find("backend");
         backend && backend->isString() && backend->text != "interp")
       sample.kernel += "@" + backend->text;
+    // Relaxed-reduction schedules too: the widened schedule space changes
+    // what executes, so strict and relaxed timings must not be compared
+    // against each other.
+    if (const obs::JsonValue* red = k.find("reductions");
+        red && red->isString() && red->text == "relaxed")
+      sample.kernel += "@relaxed";
     const obs::JsonValue* measured = k.find("measured");
     POLYAST_CHECK(measured && measured->isObject(),
                   path + ": kernel without measured object");

@@ -269,6 +269,29 @@ int validateDiagnostics(const obs::JsonValue& root,
     for (const auto& [key, v] : detail->members)
       if (!v.isString())
         return fail(at + ": detail." + key + " is not a string");
+    // Reduction-edge provenance: whenever an analysis reports a
+    // reduction-classified dependence — the reductions pass always, the
+    // race analysis when detail.reduction_class is present — the finding
+    // must name the statement pair, the dependence level, and the
+    // covering construct, or it is not actionable.
+    const std::string& from = d.find("analysis")->text;
+    if (from == "reductions" || detail->find("reduction_class")) {
+      for (const char* field : {"array", "src", "dst", "level",
+                                "construct_id"}) {
+        const obs::JsonValue* v = detail->find(field);
+        if (!v || !v->isString() || v->text.empty())
+          return fail(at + ": reduction-edge diagnostic missing detail." +
+                      field);
+      }
+      if (from == "reductions") {
+        for (const char* field : {"class", "construct", "construct_kind"}) {
+          const obs::JsonValue* v = detail->find(field);
+          if (!v || !v->isString() || v->text.empty())
+            return fail(at + ": reductions diagnostic missing detail." +
+                        field);
+        }
+      }
+    }
   }
   const char* names[3] = {"errors", "warnings", "remarks"};
   for (int s = 0; s < 3; ++s)

@@ -8,7 +8,9 @@
 //            [--emit c|ir|none] [--tile N] [--time-tile N]
 //            [--no-tiling] [--no-regtile] [--no-openmp]
 //            [--verify-each-pass] [--dump-after PASS|all]
-//            [--analyze[=legality,races,bounds]] [--fail-on error|warning]
+//            [--reductions strict|relaxed]
+//            [--analyze[=legality,races,bounds,reductions]]
+//            [--fail-on error|warning]
 //            [--diagnostics-out FILE]
 //            [--execute] [--backend interp|native] [--threads N]
 //            [--perf] [--perf-out FILE] [--attrib-out FILE]
@@ -33,8 +35,9 @@
 //
 // --analyze interleaves the static analyses (src/analysis) with the
 // pipeline: legality (violated baseline dependences), races (parallel
-// marks re-proven), bounds (subscripts vs extents + lints) — after the
-// input and after every pass. Optionally restrict to a comma-separated
+// marks re-proven), reductions (relaxed reduction schedules re-proven
+// from the post-transform dependence graph), bounds (subscripts vs
+// extents + lints) — after the input and after every pass. Optionally restrict to a comma-separated
 // subset. --fail-on picks the severity that fails the run (default
 // error); --diagnostics-out writes the polyast-diagnostics-v1 JSON
 // (validated by tools/obs_validate --diagnostics).
@@ -137,7 +140,8 @@ int usage() {
          "                [--emit c|ir|none] [--tile N] [--time-tile N]\n"
          "                [--no-tiling] [--no-regtile] [--no-openmp]\n"
          "                [--verify-each-pass] [--dump-after PASS|all]\n"
-         "                [--analyze[=legality,races,bounds]]"
+         "                [--reductions strict|relaxed]\n"
+         "                [--analyze[=legality,races,bounds,reductions]]"
          " [--fail-on error|warning]\n"
          "                [--diagnostics-out FILE]\n"
          "                [--execute] [--backend interp|native]"
@@ -232,6 +236,18 @@ int main(int argc, char** argv) {
       else if (flowName == "none") pipeline = "identity";
       else return usage();
     } else if (arg == "--emit") emit = next();
+    else if (arg == "--reductions") {
+      std::string mode = next();
+      if (mode == "strict")
+        options.affine.reductions = poly::ReductionMode::Strict;
+      else if (mode == "relaxed")
+        options.affine.reductions = poly::ReductionMode::Relaxed;
+      else {
+        std::cerr << "expected strict|relaxed for --reductions, got '"
+                  << mode << "'\n";
+        return 4;
+      }
+    }
     else if (arg == "--tile") options.ast.tileSize = nextInt();
     else if (arg == "--time-tile") options.ast.timeTileSize = nextInt();
     else if (arg == "--no-tiling") options.enableTiling = false;
@@ -282,7 +298,7 @@ int main(int argc, char** argv) {
 
   analysis::AnalysisOptions aopt;
   if (!analyzeList.empty()) {
-    aopt.legality = aopt.races = aopt.bounds = false;
+    aopt.legality = aopt.races = aopt.bounds = aopt.reductions = false;
     std::string list = analyzeList;
     while (!list.empty()) {
       auto comma = list.find(',');
@@ -291,13 +307,20 @@ int main(int argc, char** argv) {
       if (name == "legality") aopt.legality = true;
       else if (name == "races") aopt.races = true;
       else if (name == "bounds") aopt.bounds = true;
+      else if (name == "reductions") aopt.reductions = true;
       else {
         std::cerr << "unknown analysis '" << name
-                  << "' (legality, races, bounds)\n";
+                  << "' (legality, races, bounds, reductions)\n";
         return 4;
       }
     }
   }
+  // Tell the analyses which scheduling contract the pipeline ran under:
+  // in relaxed mode a violated relaxable baseline edge is the licensed
+  // reassociation (legality remark), and the reductions pass carries the
+  // proof obligation for it.
+  aopt.relaxedReductions =
+      options.affine.reductions == poly::ReductionMode::Relaxed;
 
   if (!traceOut.empty()) obs::Tracer::global().setEnabled(true);
   // Metrics counters are always on; per-event latency timing (histograms)
@@ -446,6 +469,7 @@ int main(int argc, char** argv) {
         entry.kernel = kernelName;
         entry.pipeline = pipeline;
         entry.backend = rep.backend;
+        entry.reductions = aopt.relaxedReductions ? "relaxed" : "strict";
         entry.predictedLines = pred.predictedLines;
         entry.predictedCost = pred.predictedCost;
         entry.nests = static_cast<int>(pred.nests.size());
