@@ -14,36 +14,48 @@
 namespace polyast::bench {
 namespace {
 
-/// Verification-scale parameters (see polyastc --verify-each-pass): the
-/// spatial extents cross two full tiles plus an odd remainder, the time
-/// extent the time-tile size, so the steady-state tiled code dominates.
-std::map<std::string, std::int64_t> verificationParams(
-    const ir::Program& program) {
+/// Bench-scale parameters: the spatial extents cross four full tiles
+/// plus an odd remainder (double the verification scale used by
+/// polyastc --verify-each-pass), the time extent the time-tile size, so
+/// the steady-state tiled code — not the per-run walking and dispatch
+/// overhead — dominates what the backend comparison measures.
+std::map<std::string, std::int64_t> benchParams(const ir::Program& program) {
   std::map<std::string, std::int64_t> params;
   for (const auto& name : program.params)
-    params[name] = name == "TSTEPS" ? kTimeTile + 2 : 2 * kTile + 5;
+    params[name] = name == "TSTEPS" ? kTimeTile + 2 : 4 * kTile + 5;
   return params;
 }
 
 const ir::Program& transformed(const std::string& kernel,
-                               const std::string& pipeline) {
+                               const std::string& pipeline, bool simd) {
   static std::map<std::string, ir::Program> cache;
-  const std::string key = kernel + "|" + pipeline;
+  const std::string key =
+      kernel + "|" + pipeline + (simd ? "|simd" : "");
   auto it = cache.find(key);
   if (it == cache.end()) {
     ir::Program program = kernels::buildKernel(kernel);
+    flow::PipelineOptions popt;
+    popt.ast.simd = simd;
     flow::PassContext ctx;
-    it = cache.emplace(key, flow::makePipeline(pipeline).run(program, ctx))
+    it = cache
+             .emplace(key,
+                      flow::makePipeline(pipeline, popt).run(program, ctx))
              .first;
   }
   return it->second;
 }
 
+/// `caseName` is one of interp / native / native-simd; the last runs the
+/// native backend on the simd-tagged transform (packed microkernels),
+/// while plain `native` pins --simd=off so its history series stays the
+/// scalar baseline the simd speedup is measured against.
 void runBackendCase(benchmark::State& state, const std::string& kernel,
                     const std::string& pipeline,
-                    const std::string& backendName) {
-  const ir::Program& program = transformed(kernel, pipeline);
-  const auto params = verificationParams(program);
+                    const std::string& caseName) {
+  const bool simd = caseName == "native-simd";
+  const std::string backendName = simd ? "native" : caseName;
+  const ir::Program& program = transformed(kernel, pipeline, simd);
+  const auto params = benchParams(program);
   auto backend = exec::makeBackend(backendName);
   backend->prepare(program);  // native: compile outside the timed loop
 
@@ -62,13 +74,25 @@ void runBackendCase(benchmark::State& state, const std::string& kernel,
     benchmark::ClobberMemory();
   }
 
+  std::string gaugeName = caseName;
+  for (char& c : gaugeName)
+    if (c == '-') c = '_';
   auto& registry = obs::Registry::global();
-  registry.gauge("perf.backend_" + backendName + "_wall_ns").set(bestNs);
+  registry.gauge("perf.backend_" + gaugeName + "_wall_ns").set(bestNs);
   state.counters["wall_ns"] = bestNs;
   const double interpNs =
       registry.gauge("perf.backend_interp_wall_ns").value();
-  if (backendName == "native" && interpNs > 0.0 && bestNs > 0.0)
+  if (caseName == "native" && interpNs > 0.0 && bestNs > 0.0)
     registry.gauge("perf.backend_native_speedup").set(interpNs / bestNs);
+  if (simd) {
+    // Speedup of the packed microkernels over the scalar native run (the
+    // registration order guarantees the scalar case already ran).
+    const double scalarNs =
+        registry.gauge("perf.backend_native_wall_ns").value();
+    if (scalarNs > 0.0 && bestNs > 0.0)
+      registry.gauge("perf.backend_native_simd_speedup")
+          .set(scalarNs / bestNs);
+  }
 }
 
 }  // namespace
@@ -77,12 +101,11 @@ void registerBackendBenches(const char* prefix, const char* kernel,
                             const char* pipeline) {
   const char* env = std::getenv("POLYAST_BENCH_BACKEND");
   if (!env || !*env) return;
-  for (const char* backendName : {"interp", "native"}) {
-    const std::string name =
-        std::string(prefix) + "/backend_" + backendName;
+  for (const char* caseName : {"interp", "native", "native-simd"}) {
+    const std::string name = std::string(prefix) + "/backend_" + caseName;
     const std::string k = kernel;
     const std::string p = pipeline;
-    const std::string b = backendName;
+    const std::string b = caseName;
     benchmark::RegisterBenchmark(
         name.c_str(),
         [k, p, b](benchmark::State& state) { runBackendCase(state, k, p, b); })

@@ -2,17 +2,23 @@
 //
 // registerBackendBenches() is a no-op unless POLYAST_BENCH_BACKEND is set
 // (any non-empty value; `native` is the conventional one). When set, it
-// registers two extra benchmark cases, "<prefix>/backend_interp" and
-// "<prefix>/backend_native", that run the flow-transformed IR kernel at
-// verification scale (two full tiles plus a remainder per spatial extent)
-// through the execution backends (exec/backend.hpp) on the shared pool.
+// registers three extra benchmark cases — "<prefix>/backend_interp",
+// "<prefix>/backend_native" (scalar native: the transform runs with
+// simd=off, keeping this series the scalar baseline) and
+// "<prefix>/backend_native-simd" (packed SIMD microkernels) — that run
+// the flow-transformed IR kernel at bench scale (four full tiles plus a
+// remainder per spatial extent, so steady-state tiled compute dominates
+// the per-run dispatch overhead) through the execution backends
+// (exec/backend.hpp) on the shared pool.
 //
-// Besides the google-benchmark timings, the best wall time per backend is
-// recorded as `perf.backend_<name>_wall_ns` gauges — plus
-// `perf.backend_native_speedup` once both have run — so a
-// POLYAST_BENCH_METRICS=FILE artifact carries interp and native side by
-// side and `bench_compare --metrics` ingests them into the benchmark
-// history.
+// Besides the google-benchmark timings, the best wall time per case is
+// recorded as `perf.backend_<name>_wall_ns` gauges
+// (`perf.backend_native_simd_wall_ns` for the simd case) — plus
+// `perf.backend_native_speedup` (native vs interp) and
+// `perf.backend_native_simd_speedup` (simd vs scalar native) once the
+// respective baselines have run — so a POLYAST_BENCH_METRICS=FILE
+// artifact carries all cases side by side and `bench_compare --metrics`
+// ingests them into the benchmark history.
 #pragma once
 
 namespace polyast::bench {

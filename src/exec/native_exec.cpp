@@ -1,6 +1,7 @@
 #include "exec/native_exec.hpp"
 
 #include <dlfcn.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -35,18 +36,47 @@ std::string envOr(const char* name, const std::string& fallback) {
   return (v && *v) ? v : fallback;
 }
 
+/// POSIX shell single-quoting: safe for any byte sequence including
+/// spaces, quotes and metacharacters (a ' becomes '\'' ).
+std::string shellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+/// std::system with the wait status decoded: the raw return value is a
+/// wait(2) status, not an exit code — comparing it to 0 happens to work
+/// but misreads signal deaths. Returns the exit code, or -1 when the
+/// shell could not run or the child died on a signal.
+int runShell(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  return -1;
+}
+
 /// First usable C compiler: $POLYAST_JIT_CC, $CC, then the first of
-/// cc/gcc/clang on PATH. Empty when none exists.
+/// cc/gcc/clang on PATH. Empty when none exists. The env lookups stay
+/// fresh per call (tests repoint $POLYAST_JIT_CC between backends); the
+/// PATH scan is cached per process — it spawns a shell, which is
+/// measurable in suites constructing hundreds of backends.
 std::string findCompiler() {
   std::string fromEnv = envOr("POLYAST_JIT_CC", envOr("CC", ""));
   if (!fromEnv.empty()) return fromEnv;
-  for (const char* cand : {"cc", "gcc", "clang"}) {
-    std::string probe = "command -v ";
-    probe += cand;
-    probe += " >/dev/null 2>&1";
-    if (std::system(probe.c_str()) == 0) return cand;
-  }
-  return "";
+  static const std::string scanned = []() -> std::string {
+    for (const char* cand : {"cc", "gcc", "clang"})
+      if (runShell(std::string("command -v ") + cand +
+                   " >/dev/null 2>&1") == 0)
+        return cand;
+    return "";
+  }();
+  return scanned;
 }
 
 std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
@@ -56,13 +86,19 @@ std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
   return h;
 }
 
-/// Cache key: the TU text, the exact compile command shape, and the capi
-/// ABI version — any of them changing must miss the cache.
-std::string contentKey(const std::string& tu, const std::string& spec) {
+/// Cache key: the TU text, the exact compile command shape, the compiler
+/// identity/version probe, and the capi ABI version — any of them changing
+/// must miss the cache. The version component is what keeps a cache
+/// shared across toolchain upgrades honest: the same `cc` name pointing
+/// at a different compiler must not serve stale objects.
+std::string contentKey(const std::string& tu, const std::string& spec,
+                       const std::string& compilerVersion) {
   std::uint64_t h = 1469598103934665603ULL;
   h = fnv1a(h, tu);
   h = fnv1a(h, "\x1f");
   h = fnv1a(h, spec);
+  h = fnv1a(h, "\x1f");
+  h = fnv1a(h, compilerVersion);
   h = fnv1a(h, "\x1f");
   h = fnv1a(h, std::to_string(POLYAST_CAPI_ABI_VERSION));
   char buf[17];
@@ -91,9 +127,12 @@ struct LoadedKernel {
   KernelEntry entry = nullptr;
   std::string error;  ///< why this program cannot run natively
   /// Stable category of `error` for metrics ("disabled", "no-compiler",
-  /// "cache-io", "compile-error", "dlopen-error", "dlsym-error",
-  /// "abi-mismatch"); empty when the kernel loaded.
+  /// "cache-io", "compile-error", "simd-compile-error", "dlopen-error",
+  /// "dlsym-error", "abi-mismatch"); empty when the kernel loaded.
   std::string errorKind;
+  /// Informational note attached to every run of this kernel (set on the
+  /// scalar retry kernel when the toolchain rejected the SIMD TU).
+  std::string note;
   /// Consumed by the next run()'s report, so bench loops that reuse a
   /// prepared kernel do not re-report the one-time compile every
   /// iteration.
@@ -110,21 +149,102 @@ struct NativeBackend::Impl {
   std::string compiler;
   std::map<std::string, LoadedKernel> kernels;  // by content key
   std::string lastReason;  ///< degradedReason() of the latest prepare
+  bool lastUsedSimd = false;  ///< latest prepared kernel is the SIMD TU
+
+  /// Compiler identity probe (`cc --version`), folded into every cache
+  /// key. Cached per backend instance — not per process — so tests (and
+  /// long-lived hosts) that swap the toolchain behind an unchanged name
+  /// observe fresh keys from a fresh backend.
+  bool versionProbed = false;
+  std::string compilerVersion;
+
+  /// Lazy `-march=native` acceptance probe for SIMD TUs (rejected by e.g.
+  /// aarch64 gcc, where the spelling is -mcpu). Probed at most once.
+  bool marchProbed = false;
+  std::string marchFlag;
 
   ~Impl() {
     for (auto& [key, k] : kernels)
       if (k.handle) dlclose(k.handle);
   }
 
-  std::string compileSpec() const {
+  const std::string& compilerVersionId() {
+    if (versionProbed || compiler.empty()) return compilerVersion;
+    versionProbed = true;
+    // The compiler string may legitimately carry flags ($CC="gcc -m32"),
+    // so it is interpolated unquoted, like the compile command itself.
+    FILE* p = popen((compiler + " --version 2>&1").c_str(), "r");
+    if (p) {
+      char buf[256];
+      while (std::fgets(buf, sizeof(buf), p)) compilerVersion += buf;
+      pclose(p);
+    }
+    return compilerVersion;
+  }
+
+  const std::string& nativeArchFlag() {
+    if (marchProbed || compiler.empty()) return marchFlag;
+    marchProbed = true;
+    const fs::path dir = jitCacheDir(opts);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return marchFlag;
+    const std::string stem = "march-probe-" + std::to_string(getpid());
+    const fs::path src = dir / (stem + ".c");
+    const fs::path out = dir / (stem + ".so");
+    {
+      std::ofstream o(src);
+      o << "int polyast_march_probe;\n";
+      if (!o) return marchFlag;
+    }
+    const std::string cmd = compiler +
+                            " -std=c11 -O2 -fPIC -shared -march=native -o " +
+                            shellQuote(out.string()) + " " +
+                            shellQuote(src.string()) + " >/dev/null 2>&1";
+    if (runShell(cmd) == 0) marchFlag = " -march=native";
+    fs::remove(src, ec);
+    fs::remove(out, ec);
+    return marchFlag;
+  }
+
+  std::string compileSpec(bool simdTu) {
     std::string spec =
         compiler + " -std=c11 -O2 -fPIC -shared -ffp-contract=off -Wall";
+    if (simdTu) spec += " -fopenmp-simd" + nativeArchFlag();
     for (const auto& f : opts.extraFlags) spec += " " + f;
     return spec;
   }
 
-  LoadedKernel& prepareTu(const std::string& tu) {
-    const std::string key = contentKey(tu, disabled ? "off" : compileSpec());
+  /// Emit the right TU shape for the program and load it, retrying a
+  /// toolchain-rejected SIMD TU with the scalar TU (still a native run —
+  /// the interpreter fallback is only for kernels that cannot load at
+  /// all).
+  LoadedKernel& prepareProgram(const ir::Program& program) {
+    if (ir::programHasMicroKernels(program)) {
+      LoadedKernel& k = prepareTu(ir::emitNativeKernelTU(program), true);
+      if (k.entry || k.errorKind != "simd-compile-error") {
+        lastUsedSimd = k.entry != nullptr;
+        return k;
+      }
+      ir::NativeTUOptions scalarOpt;
+      scalarOpt.simd = false;
+      LoadedKernel& s =
+          prepareTu(ir::emitNativeKernelTU(program, scalarOpt), false);
+      if (s.note.empty())
+        s.note = "native simd TU rejected by toolchain"
+                 " [simd-compile-error]; running scalar native: " +
+                 k.error;
+      lastUsedSimd = false;
+      return s;
+    }
+    lastUsedSimd = false;
+    return prepareTu(ir::emitNativeKernelTU(program), false);
+  }
+
+  LoadedKernel& prepareTu(const std::string& tu, bool simdTu) {
+    const std::string key =
+        contentKey(tu, disabled ? "off" : compileSpec(simdTu),
+                   disabled ? "" : compilerVersionId());
     auto [it, fresh] = kernels.try_emplace(key);
     LoadedKernel& k = *&it->second;
     if (!fresh) {
@@ -176,14 +296,19 @@ struct NativeBackend::Impl {
       }
       // Compile to a private temp name, then rename: concurrent processes
       // racing on one cache entry each publish a complete object.
-      const std::string cmd = compileSpec() + " -o \"" + tmp.string() +
-                              "\" \"" + src.string() + "\" -lm 2>\"" +
-                              log.string() + "\"";
-      const int rc = std::system(cmd.c_str());
-      if (rc != 0) {
+      const std::string cmd = compileSpec(simdTu) + " -o " +
+                              shellQuote(tmp.string()) + " " +
+                              shellQuote(src.string()) + " -lm 2>" +
+                              shellQuote(log.string());
+      if (runShell(cmd) != 0) {
         k.error = "compile failed (" + compiler +
                   "): " + readFileTail(log.string(), 400);
-        k.errorKind = "compile-error";
+        k.errorKind = simdTu ? "simd-compile-error" : "compile-error";
+        if (simdTu) {
+          auto& m = obs::Registry::global();
+          m.counter("exec.native.fallback.simd-compile-error").add(1);
+          m.note("exec.native.simd_degraded", k.error);
+        }
         lastReason = k.error;
         return k;
       }
@@ -254,18 +379,20 @@ NativeBackend::NativeBackend(NativeBackendOptions options)
 NativeBackend::~NativeBackend() = default;
 
 void NativeBackend::prepare(const ir::Program& program) {
-  impl_->prepareTu(ir::emitNativeKernelTU(program));
+  impl_->prepareProgram(program);
 }
 
 std::string NativeBackend::degradedReason() const {
   return impl_->lastReason;
 }
 
+bool NativeBackend::usedSimd() const { return impl_->lastUsedSimd; }
+
 ParallelRunReport NativeBackend::run(const ir::Program& program,
                                      Context& ctx,
                                      runtime::ThreadPool& pool,
                                      obs::PerfAggregate* perf) {
-  LoadedKernel& k = impl_->prepareTu(ir::emitNativeKernelTU(program));
+  LoadedKernel& k = impl_->prepareProgram(program);
   if (!k.entry) {
     // Degrade to the interpreter (which records its own run metrics), and
     // make the degradation itself observable.
@@ -326,6 +453,7 @@ ParallelRunReport NativeBackend::run(const ir::Program& program,
   report.reductionPipelineLoops = counters.reductionPipelineLoops;
   report.sequentialFallbacks = counters.sequentialFallbacks;
   report.notes = counters.notes;
+  if (!k.note.empty()) report.notes.push_back(k.note);
   report.nativeCompiles = k.pendingCompiles;
   report.nativeCacheHits = k.pendingCacheHits;
   k.pendingCompiles = 0;

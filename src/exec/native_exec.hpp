@@ -59,6 +59,11 @@ class NativeBackend : public Backend {
   /// when it can).
   std::string degradedReason() const;
 
+  /// True when the most recently prepared program loaded the packed-SIMD
+  /// TU (microkernel tags present and the toolchain accepted the vector
+  /// extensions); false for scalar TUs, scalar retries and degradations.
+  bool usedSimd() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

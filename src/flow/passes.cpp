@@ -215,6 +215,10 @@ PassResult IntraTileVectorizePass::run(ir::Program& program, PassContext&) {
       std::swap(a.step, b.step);
       std::swap(a.parallel, b.parallel);
       std::swap(a.pipelineDepth, b.pipelineDepth);
+      // The SIMD legality facts belong to the dimension being moved, like
+      // the mark itself (register tiling reads them after this pass).
+      std::swap(a.simdSafe, b.simdSafe);
+      std::swap(a.reductionCarried, b.reductionCarried);
     };
     for (std::size_t i = best; i + 1 < chain.size(); ++i)
       header(*chain[i], *chain[i + 1]);

@@ -59,6 +59,9 @@ NodePtr Loop::clone() const {
   l->isTileLoop = isTileLoop;
   l->isPointLoop = isPointLoop;
   l->unroll = unroll;
+  l->simdSafe = simdSafe;
+  l->reductionCarried = reductionCarried;
+  l->microKernel = microKernel;  // immutable tag, safely shared
   return l;
 }
 
@@ -233,6 +236,9 @@ void printRec(const NodePtr& node, int indent, std::ostringstream& os) {
       else os << " += " << l->step;
       os << ") {";
       if (l->isTileLoop) os << "  // tile";
+      if (l->microKernel)
+        os << "  // simd microkernel (lane=" << l->microKernel->laneIter
+           << ", stream=" << l->microKernel->streamIter << ")";
       os << "\n";
       printRec(l->body, indent + 1, os);
       os << pad << "}\n";
@@ -379,6 +385,29 @@ std::vector<ParallelConstruct> collectParallelConstructs(const Program& p) {
   };
   walk(p.root);
   return out;
+}
+
+bool programHasMicroKernels(const Program& p) {
+  bool found = false;
+  std::function<void(const NodePtr&)> walk = [&](const NodePtr& n) {
+    if (found) return;
+    switch (n->kind) {
+      case Node::Kind::Block:
+        for (const auto& c : std::static_pointer_cast<Block>(n)->children)
+          walk(c);
+        break;
+      case Node::Kind::Loop: {
+        auto l = std::static_pointer_cast<Loop>(n);
+        if (l->microKernel) found = true;
+        else walk(l->body);
+        break;
+      }
+      case Node::Kind::Stmt:
+        break;
+    }
+  };
+  walk(p.root);
+  return found;
 }
 
 }  // namespace polyast::ir

@@ -65,6 +65,28 @@ struct Bound {
   std::string str(bool isLower) const;
 };
 
+/// A contraction nest proven fit for packed SIMD lowering (Sec. IV-C
+/// carried to machine code): a two-deep point-loop pair around a single
+/// accumulation `C[..lane..] += X * L[..lane..]` where the lane loop
+/// carries no dependence (vector lanes are independent iterations) and the
+/// stream loop carries only relaxable reduction edges (the PR-8
+/// `ReductionClass` proof that it is pure accumulation). The tag is pure
+/// metadata: the nest itself stays rolled scalar IR, the interpreter runs
+/// it as-is, and only the native emitter consumes the tag — so packed and
+/// scalar runs evaluate the identical per-cell operation sequence
+/// (stream-ascending accumulation) and stay bit-exact under
+/// -ffp-contract=off.
+struct MicroKernelTag {
+  std::string laneIter;    ///< vectorized iterator (unit stride in the store)
+  std::string streamIter;  ///< contraction (reduction-carried) iterator
+  /// Compile-time panel bounds: the tile windows bounding the point loops
+  /// guarantee extents never exceed these, so the packed panels are
+  /// fixed-size stack buffers (a runtime guard falls back to the scalar
+  /// nest if a window is somehow larger).
+  std::int64_t maxLane = 0;
+  std::int64_t maxStream = 0;
+};
+
 struct Loop final : Node {
   Loop() : Node(Kind::Loop) {}
   NodePtr clone() const override;
@@ -86,6 +108,18 @@ struct Loop final : Node {
   bool isTileLoop = false;   ///< inter-tile loop created by tiling
   bool isPointLoop = false;  ///< intra-tile loop of a tiled (permutable) band
   std::int64_t unroll = 1;   ///< register-tiling unroll factor applied
+  /// SIMD legality facts from the dependence analysis (set alongside
+  /// Loop::parallel, transferred through tiling/permutation like
+  /// pipelineDepth): `simdSafe` — no dependence is carried at this level,
+  /// so lanes along this iterator may be evaluated in any order without
+  /// changing any per-cell operation sequence; `reductionCarried` — every
+  /// dependence carried here is a relaxable reduction edge (pure
+  /// accumulation; streaming this loop sequentially per cell is exact).
+  bool simdSafe = false;
+  bool reductionCarried = false;
+  /// Set by register tiling when this loop roots a recognized contraction
+  /// nest (see MicroKernelTag); null for every other loop.
+  std::shared_ptr<const MicroKernelTag> microKernel;
 };
 
 struct Stmt final : Node {
@@ -211,5 +245,10 @@ struct ParallelConstruct {
 /// backends) and accumulates the iterator chain through ParallelKind::None
 /// loops, mirroring the dispatch structure of exec/par_exec and ir/cemit.
 std::vector<ParallelConstruct> collectParallelConstructs(const Program& p);
+
+/// True when any loop of `p` carries a MicroKernelTag — the native emitter
+/// will produce packed SIMD code for it (used to pick SIMD compile flags
+/// and to report the lowering in diagnostics).
+bool programHasMicroKernels(const Program& p);
 
 }  // namespace polyast::ir

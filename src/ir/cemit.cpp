@@ -285,6 +285,10 @@ class KernelEmitter {
         break;
       case Node::Kind::Loop: {
         auto l = std::static_pointer_cast<Loop>(node);
+        if (opt_.simd && l->microKernel) {
+          emitMicroKernel(os, l, depth, inParallel);
+          break;
+        }
         if (opt_.parallel == ParallelLowering::Runtime && !inParallel &&
             l->parallel != ParallelKind::None) {
           // Attribution bracket: one enter/exit pair per dynamic
@@ -329,6 +333,217 @@ class KernelEmitter {
         emitStmt(os, std::static_pointer_cast<Stmt>(node), pad);
         break;
     }
+  }
+
+  // ---- packed SIMD microkernel lowering --------------------------------
+
+  static bool exprUsesIterName(const ExprPtr& e, const std::string& iter) {
+    if (!e) return false;
+    if (e->kind == Expr::Kind::IterRef && e->name == iter) return true;
+    if (e->kind == Expr::Kind::ArrayRef)
+      for (const auto& s : e->subs)
+        if (s.coeff(iter) != 0) return true;
+    return exprUsesIterName(e->lhs, iter) || exprUsesIterName(e->rhs, iter) ||
+           exprUsesIterName(e->cond, iter);
+  }
+
+  /// The plain rolled emission of a loop, ignoring any microkernel tag —
+  /// the in-place scalar fallback branch of emitMicroKernel.
+  void emitScalarNest(std::ostream& os, const std::shared_ptr<Loop>& l,
+                      int depth, bool inParallel) {
+    std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    os << pad << "for (int64_t " << l->iter << " = "
+       << cBound(l->lower, true) << "; " << l->iter << " < "
+       << cBound(l->upper, false) << "; " << l->iter << " += " << l->step
+       << ") {\n";
+    emitNode(os, l->body, depth + 1, inParallel);
+    os << pad << "}\n";
+  }
+
+  /// Packed SIMD lowering of a tagged contraction nest (legality contract
+  /// in ir::MicroKernelTag). The two point loops are replaced wholesale
+  /// and the lane dimension runs in vector blocks (32 lanes / eight
+  /// polyast_v4d accumulators, then 8 lanes / two) held across the whole
+  /// stream loop. When the lane-strided factor is contiguous in the lane
+  /// (unit lane coefficient in its minor subscript — gemm, 2mm) the
+  /// vectors load straight from the source array; otherwise (syrk's
+  /// transposed factor) both factors are first packed into fixed-size
+  /// aligned panels. Bit-exactness with the rolled nest: per output cell
+  /// the stream-order of the adds is unchanged, the values combined are
+  /// the very expressions the scalar code evaluates (IEEE multiply is
+  /// commutative bit-for-bit), and partial blocks run scalar lanes so no
+  /// padded lane ever touches the output. Panel-path windows larger than
+  /// the panels — impossible for tiles this pipeline produces, but cheap
+  /// to guard — take the original rolled nest.
+  void emitMicroKernel(std::ostream& os, const std::shared_ptr<Loop>& l,
+                       int depth, bool inParallel) {
+    const MicroKernelTag& tag = *l->microKernel;
+    auto inner = soleLoopChild(l->body);
+    POLYAST_CHECK(inner && inner->body->children.size() == 1 &&
+                      inner->body->children.front()->kind == Node::Kind::Stmt,
+                  "microkernel tag on a non-contraction nest");
+    auto stmt = std::static_pointer_cast<Stmt>(inner->body->children.front());
+    const Loop& lane = l->iter == tag.laneIter ? *l : *inner;
+    const Loop& stream = l->iter == tag.streamIter ? *l : *inner;
+    POLYAST_CHECK(lane.iter == tag.laneIter && stream.iter == tag.streamIter,
+                  "microkernel tag does not match the nest iterators");
+    POLYAST_CHECK(stmt->guards.empty() && stmt->op == AssignOp::AddAssign &&
+                      stmt->rhs && stmt->rhs->kind == Expr::Kind::Binary &&
+                      stmt->rhs->binOp == BinOp::Mul,
+                  "microkernel statement is not a multiply-accumulate");
+    ExprPtr laneRef, invariant;
+    for (const auto& [cand, other] :
+         {std::pair(stmt->rhs->lhs, stmt->rhs->rhs),
+          std::pair(stmt->rhs->rhs, stmt->rhs->lhs)}) {
+      if (cand->kind == Expr::Kind::ArrayRef &&
+          exprUsesIterName(cand, lane.iter) &&
+          !exprUsesIterName(other, lane.iter)) {
+        laneRef = cand;
+        invariant = other;
+        break;
+      }
+    }
+    POLYAST_CHECK(laneRef, "microkernel rhs has no lane-strided factor");
+
+    // Direct-load eligibility: the lane appears only in the minor
+    // subscript of the streamed factor, with coefficient 1, so lane
+    // neighbours are adjacent in memory and the vectors can load straight
+    // from the source array — no panel, no per-visit packing cost.
+    bool direct = !laneRef->subs.empty() &&
+                  laneRef->subs.back().coeff(lane.iter) == 1;
+    for (std::size_t i = 0; direct && i + 1 < laneRef->subs.size(); ++i)
+      if (laneRef->subs[i].coeff(lane.iter) != 0) direct = false;
+
+    const std::string KT = std::to_string(tag.maxStream);
+    const std::string JT = std::to_string(tag.maxLane);
+    std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    std::string p2 = pad + "  ", p3 = p2 + "  ", p4 = p3 + "  ",
+                p5 = p4 + "  ", p6 = p5 + "  ";
+    os << pad << "{ /* " << (direct ? "direct" : "packed")
+       << " simd microkernel: lane=" << tag.laneIter
+       << " stream=" << tag.streamIter << " */\n";
+    os << p2 << "const int64_t polyast_mk_klo = " << cBound(stream.lower, true)
+       << ";\n";
+    os << p2 << "const int64_t polyast_mk_khi = "
+       << cBound(stream.upper, false) << ";\n";
+    os << p2 << "const int64_t polyast_mk_jlo = " << cBound(lane.lower, true)
+       << ";\n";
+    os << p2 << "const int64_t polyast_mk_jhi = " << cBound(lane.upper, false)
+       << ";\n";
+    os << p2 << "const int64_t polyast_mk_kn = polyast_mk_khi -"
+       << " polyast_mk_klo;\n";
+    os << p2 << "const int64_t polyast_mk_jn = polyast_mk_jhi -"
+       << " polyast_mk_jlo;\n";
+    if (direct)
+      os << p2 << "if (polyast_mk_kn > 0 && polyast_mk_jn > 0) {\n";
+    else
+      os << p2 << "if (polyast_mk_kn > 0 && polyast_mk_jn > 0 &&"
+         << " polyast_mk_kn <= " << KT << " && polyast_mk_jn <= " << JT
+         << ") {\n";
+    if (!direct) {
+      os << p3 << "double polyast_mk_a[" << KT
+         << "] __attribute__((aligned(32)));\n";
+      os << p3 << "double polyast_mk_b[" << KT << " * " << JT
+         << "] __attribute__((aligned(32)));\n";
+      os << p3 << "for (int64_t polyast_mk_p = 0;"
+         << " polyast_mk_p < polyast_mk_kn; ++polyast_mk_p) {\n";
+      os << p4 << "const int64_t " << stream.iter
+         << " = polyast_mk_klo + polyast_mk_p; (void)" << stream.iter << ";\n";
+      os << p4 << "polyast_mk_a[polyast_mk_p] = " << cExpr(invariant) << ";\n";
+      os << p4 << "#pragma omp simd\n";
+      os << p4 << "for (int64_t polyast_mk_q = 0;"
+         << " polyast_mk_q < polyast_mk_jn; ++polyast_mk_q) {\n";
+      os << p5 << "const int64_t " << lane.iter
+         << " = polyast_mk_jlo + polyast_mk_q;\n";
+      os << p5 << "polyast_mk_b[polyast_mk_p * " << JT
+         << " + polyast_mk_q] = " << cExpr(laneRef) << ";\n";
+      os << p4 << "}\n";
+      os << p3 << "}\n";
+    }
+    // Output-row base pointer at lane == jlo; the lane coefficient in the
+    // store is 1, so lane lanes are contiguous from here.
+    os << p3 << "double *restrict polyast_mk_c;\n";
+    os << p3 << "{\n";
+    os << p4 << "const int64_t " << lane.iter << " = polyast_mk_jlo;\n";
+    os << p4 << "polyast_mk_c = &"
+       << linearIndex(stmt->lhsArray, stmt->lhsSubs) << ";\n";
+    os << p3 << "}\n";
+    // Vector blocks in two tiers: 32-lane blocks carry eight independent
+    // accumulator chains (the per-cell add chain is serial by the
+    // bit-exactness contract, so across-lane chains are the only
+    // instruction-level parallelism available — eight chains hide the
+    // vector-add latency completely), then 8-lane blocks mop up.
+    os << p3 << "int64_t polyast_mk_q = 0;\n";
+    for (int lanes : {32, 8}) {
+      const int accs = lanes / 4;
+      os << p3 << "for (; polyast_mk_q + " << lanes
+         << " <= polyast_mk_jn; polyast_mk_q += " << lanes << ") {\n";
+      for (int a = 0; a < accs; ++a)
+        os << p4 << "polyast_v4d polyast_mk_acc" << a
+           << " = *(const polyast_v4d *)(polyast_mk_c + polyast_mk_q + "
+           << 4 * a << ");\n";
+      os << p4 << "for (int64_t polyast_mk_p = 0;"
+         << " polyast_mk_p < polyast_mk_kn; ++polyast_mk_p) {\n";
+      if (direct) {
+        os << p5 << "const int64_t " << stream.iter
+           << " = polyast_mk_klo + polyast_mk_p; (void)" << stream.iter
+           << ";\n";
+        os << p5 << "const double polyast_mk_sc = " << cExpr(invariant)
+           << ";\n";
+        os << p5 << "const polyast_v4d polyast_mk_s = {polyast_mk_sc,"
+           << " polyast_mk_sc, polyast_mk_sc, polyast_mk_sc};\n";
+        os << p5 << "const double *polyast_mk_brow;\n";
+        os << p5 << "{\n";
+        os << p6 << "const int64_t " << lane.iter
+           << " = polyast_mk_jlo + polyast_mk_q;\n";
+        os << p6 << "polyast_mk_brow = &"
+           << linearIndex(laneRef->name, laneRef->subs) << ";\n";
+        os << p5 << "}\n";
+      } else {
+        os << p5 << "const double polyast_mk_sc ="
+           << " polyast_mk_a[polyast_mk_p];\n";
+        os << p5 << "const polyast_v4d polyast_mk_s = {polyast_mk_sc,"
+           << " polyast_mk_sc, polyast_mk_sc, polyast_mk_sc};\n";
+        os << p5 << "const double *polyast_mk_brow = polyast_mk_b +"
+           << " polyast_mk_p * " << JT << " + polyast_mk_q;\n";
+      }
+      for (int a = 0; a < accs; ++a)
+        os << p5 << "polyast_mk_acc" << a << " += polyast_mk_s *"
+           << " *(const polyast_v4d *)(polyast_mk_brow + " << 4 * a
+           << ");\n";
+      os << p4 << "}\n";
+      for (int a = 0; a < accs; ++a)
+        os << p4 << "*(polyast_v4d *)(polyast_mk_c + polyast_mk_q + "
+           << 4 * a << ") = polyast_mk_acc" << a << ";\n";
+      os << p3 << "}\n";
+    }
+    os << p3 << "for (; polyast_mk_q < polyast_mk_jn; ++polyast_mk_q) {\n";
+    os << p4 << "double polyast_mk_acc = polyast_mk_c[polyast_mk_q];\n";
+    if (direct) {
+      os << p4 << "const int64_t " << lane.iter
+         << " = polyast_mk_jlo + polyast_mk_q;\n";
+      os << p4 << "for (int64_t polyast_mk_p = 0;"
+         << " polyast_mk_p < polyast_mk_kn; ++polyast_mk_p) {\n";
+      os << p5 << "const int64_t " << stream.iter
+         << " = polyast_mk_klo + polyast_mk_p; (void)" << stream.iter << ";\n";
+      os << p5 << "polyast_mk_acc += " << cExpr(stmt->rhs) << ";\n";
+      os << p4 << "}\n";
+    } else {
+      os << p4 << "for (int64_t polyast_mk_p = 0;"
+         << " polyast_mk_p < polyast_mk_kn; ++polyast_mk_p)\n";
+      os << p5 << "polyast_mk_acc += polyast_mk_a[polyast_mk_p] *"
+         << " polyast_mk_b[polyast_mk_p * " << JT << " + polyast_mk_q];\n";
+    }
+    os << p4 << "polyast_mk_c[polyast_mk_q] = polyast_mk_acc;\n";
+    os << p3 << "}\n";
+    if (direct) {
+      os << p2 << "}\n";
+    } else {
+      os << p2 << "} else if (polyast_mk_kn > 0 && polyast_mk_jn > 0) {\n";
+      emitScalarNest(os, l, depth + 1, inParallel);
+      os << p2 << "}\n";
+    }
+    os << pad << "}\n";
   }
 
   // ---- runtime lowering of parallelism marks ---------------------------
@@ -936,7 +1151,9 @@ std::string emitC(const Program& program, const CEmitOptions& options) {
   return os.str();
 }
 
-std::string emitNativeKernelTU(const Program& program) {
+std::string emitNativeKernelTU(const Program& program,
+                               const NativeTUOptions& options) {
+  const bool simd = options.simd && programHasMicroKernels(program);
   std::ostringstream os;
   os << "/* Generated by PolyAST (native backend) from program '"
      << program.name << "'.\n"
@@ -947,6 +1164,12 @@ std::string emitNativeKernelTU(const Program& program) {
   os << "#include <math.h>\n#include <stdint.h>\n#include <stdlib.h>\n\n";
   os << "#define POLYAST_MAX(a, b) ((a) > (b) ? (a) : (b))\n";
   os << "#define POLYAST_MIN(a, b) ((a) < (b) ? (a) : (b))\n\n";
+  if (simd)
+    os << "/* Packed microkernels use portable GCC/Clang vector extensions"
+          " (no\n"
+          " * intrinsics); aligned(8) permits unaligned loads/stores. */\n"
+          "typedef double polyast_v4d\n"
+          "    __attribute__((vector_size(32), aligned(8), may_alias));\n\n";
   os << nativeCapiDecls();
   os << "static const polyast_runtime_api *polyast_rt;\n"
         "static void *polyast_pool;\n\n";
@@ -957,6 +1180,7 @@ std::string emitNativeKernelTU(const Program& program) {
   KernelFunctionOptions ko;
   ko.parallel = ParallelLowering::Runtime;
   ko.name = "polyast_kernel";
+  ko.simd = simd;
   os << emitKernelFunction(program, ko) << "\n";
   os << "int64_t polyast_kernel_abi(void) { return " << kNativeKernelAbi
      << "; }\n\n";

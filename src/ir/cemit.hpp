@@ -60,6 +60,11 @@ struct KernelFunctionOptions {
   /// calls is an -Werror=unused-function in a standalone compile, and the
   /// point of that TU is to be linked against a harness.
   bool external = false;
+  /// Lower ir::MicroKernelTag nests to packed SIMD microkernels. Requires
+  /// the TU preamble to define the polyast_v4d vector type (the native TU
+  /// does, emitC does not — the source-to-source output stays portable
+  /// scalar C). Off emits tagged nests as the plain rolled loops.
+  bool simd = false;
 };
 
 /// The reusable kernel-emission core: returns the kernel function
@@ -71,8 +76,17 @@ struct KernelFunctionOptions {
 std::string emitKernelFunction(const Program& program,
                                const KernelFunctionOptions& options = {});
 
+struct NativeTUOptions {
+  /// Lower ir::MicroKernelTag nests to packed SIMD microkernels (portable
+  /// GCC/Clang vector extensions + `#pragma omp simd`, no intrinsics). Off
+  /// emits the plain rolled point loops — the scalar retry TU the backend
+  /// falls back to when a toolchain rejects the vector TU.
+  bool simd = true;
+};
+
 /// Emits the self-contained JIT TU for the native execution backend.
-std::string emitNativeKernelTU(const Program& program);
+std::string emitNativeKernelTU(const Program& program,
+                               const NativeTUOptions& options = {});
 
 /// ABI version stamped into native TUs via polyast_kernel_abi(). Mirrors
 /// POLYAST_CAPI_ABI_VERSION in runtime/capi.hpp (bump both together; the

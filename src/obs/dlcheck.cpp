@@ -74,6 +74,7 @@ void writeDlCheck(std::ostream& out, const DlCheckReport& report) {
     w.key("pipeline").value(k.pipeline);
     w.key("backend").value(k.backend);
     w.key("reductions").value(k.reductions);
+    w.key("simd").value(k.simd);
     w.key("predicted").beginObject();
     w.key("lines").value(k.predictedLines);
     w.key("cost").value(k.predictedCost);

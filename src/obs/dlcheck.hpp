@@ -29,6 +29,11 @@ struct DlCheckKernel {
   /// ("strict"/"relaxed") — relaxed runs form separate history series in
   /// bench_compare (`kernel@relaxed`).
   std::string reductions = "strict";
+  /// Whether the measured native run executed packed SIMD microkernels
+  /// ("on"/"off"). Always "off" for interp runs, scalar TUs, --simd=off
+  /// and scalar retries after a rejected vector TU; "on" native runs form
+  /// the `kernel@native-simd` history series in bench_compare.
+  std::string simd = "off";
   /// DL-model side (dl::predictProgram on the optimized program).
   double predictedLines = 0.0;
   double predictedCost = 0.0;

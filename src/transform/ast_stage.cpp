@@ -239,6 +239,12 @@ ParallelismStats detectParallelism(ir::Program& program,
 
     bool anyCarried = false;
     bool anyNonReductionCarried = false;
+    // SIMD legality facts, kept separate from the mark decision: they are
+    // intrinsic to the dependences (relaxability is a property of the
+    // edge, not of the recognizeReductions toggle) and survive on the
+    // loop through tiling and header permutation.
+    bool carriedAny = false;       // any dependence carried at this level
+    bool carriedNonRelax = false;  // any non-reduction dependence carried
     // How many leading chain levels have componentwise non-negative
     // distance on *every* ordering-relevant dependence: a depth-d
     // point-to-point sync grid orders exactly those dependences.
@@ -252,6 +258,12 @@ ParallelismStats detectParallelism(ir::Program& program,
       if (restricted.isEmpty()) continue;  // ordered by outer loops
       auto mn = restricted.minOf(distExpr(d, *lk));
       auto mx = restricted.maxOf(distExpr(d, *lk));
+      if (!mn) {
+        carriedAny = carriedNonRelax = true;
+      } else if (!((*mn == 0) && mx && (*mx == 0))) {
+        carriedAny = true;
+        if (!d.relaxable()) carriedNonRelax = true;
+      }
       if (!mn) {
         // Unbounded-below distance: no parallelism of any kind.
         anyCarried = anyNonReductionCarried = true;
@@ -286,6 +298,8 @@ ParallelismStats detectParallelism(ir::Program& program,
       }
       pipeDepth = std::min(pipeDepth, okPrefix);
     }
+    loop->simdSafe = !carriedAny;
+    loop->reductionCarried = carriedAny && !carriedNonRelax;
     loop->pipelineDepth = 0;
     if (!anyCarried) {
       loop->parallel = ParallelKind::Doall;
@@ -524,19 +538,22 @@ int tileForLocality(ir::Program& program, const AstOptions& options) {
 
 namespace {
 
-/// Guarded unrolling: the loop steps by `factor`; the body is replicated
-/// with iterator offsets 0..factor-1, each replica o >= 1 guarded by the
+/// Guarded unrolling, generalized to any positive step: the loop's step is
+/// multiplied by `factor`; the body is replicated with iterator offsets
+/// o * step for o in 0..factor-1, each replica o >= 1 guarded by the
 /// loop's upper bounds so partial final iterations stay correct.
 void unrollGuarded(const LoopPtr& loop, std::int64_t factor) {
   POLYAST_CHECK(factor >= 2, "unroll factor must be >= 2");
-  POLYAST_CHECK(loop->step == 1, "unrolling requires a unit-step loop");
+  POLYAST_CHECK(loop->step >= 1, "unrolling requires a positive loop step");
+  const std::int64_t step = loop->step;
   auto newBody = std::make_shared<Block>();
   for (std::int64_t o = 0; o < factor; ++o) {
     auto copy = std::static_pointer_cast<Block>(loop->body->clone());
     if (o > 0) {
-      ir::substituteIterInTree(copy, loop->iter,
-                               AffExpr::term(loop->iter) + AffExpr(o));
-      // Guard every statement in the replica: iter + o < upper.
+      ir::substituteIterInTree(
+          copy, loop->iter,
+          AffExpr::term(loop->iter) + AffExpr(o * step));
+      // Guard every statement in the replica: iter + o*step < upper.
       std::function<void(const NodePtr&)> guard = [&](const NodePtr& n) {
         switch (n->kind) {
           case Node::Kind::Block:
@@ -551,7 +568,7 @@ void unrollGuarded(const LoopPtr& loop, std::int64_t factor) {
             auto s = std::static_pointer_cast<ir::Stmt>(n);
             for (const auto& up : loop->upper.parts)
               s->guards.push_back(up - AffExpr::term(loop->iter) -
-                                  AffExpr(o) - AffExpr(1));
+                                  AffExpr(o * step) - AffExpr(1));
             break;
           }
         }
@@ -561,18 +578,128 @@ void unrollGuarded(const LoopPtr& loop, std::int64_t factor) {
     for (const auto& c : copy->children) newBody->children.push_back(c);
   }
   loop->body = newBody;
-  loop->step = factor;
+  loop->step = step * factor;
   loop->unroll = factor;
+}
+
+/// True when `e` references the iterator `iter` anywhere — as an IterRef
+/// or inside an affine array subscript.
+bool exprUsesIter(const ir::ExprPtr& e, const std::string& iter) {
+  if (!e) return false;
+  if (e->kind == ir::Expr::Kind::IterRef && e->name == iter) return true;
+  if (e->kind == ir::Expr::Kind::ArrayRef)
+    for (const auto& s : e->subs)
+      if (s.coeff(iter) != 0) return true;
+  return exprUsesIter(e->lhs, iter) || exprUsesIter(e->rhs, iter) ||
+         exprUsesIter(e->cond, iter);
+}
+
+/// Recognizes the packed-microkernel shape rooted at `outer`: a chained
+/// pair of step-1 point loops around a single unguarded accumulation
+///     C[..lane..] += X * L[..lane..]
+/// where, for some assignment of {lane, stream} to the two iterators:
+///   * lane has coefficient exactly 1 in C's last subscript, none in the
+///     others (unit-stride vector store), and carries no dependence
+///     (Loop::simdSafe — lanes are independent, so vector evaluation
+///     preserves every per-cell operation sequence);
+///   * stream indexes neither C subscript (same accumulator cell across
+///     the stream) and carries only relaxable reduction edges
+///     (Loop::reductionCarried — the PR-8 ReductionClass proof that this
+///     is a pure contraction);
+///   * the rhs is one multiply whose lane side is a single array load
+///     (packed into the lane panel; transposed/strided accesses are fine —
+///     packing absorbs the layout) and whose other side X is
+///     lane-invariant (packed once per stream element; same value, same
+///     association (X * L) as the scalar nest).
+/// Returns the tag, or null when the nest does not match.
+std::shared_ptr<const ir::MicroKernelTag> recognizeMicroKernel(
+    const LoopPtr& outer, const AstOptions& options) {
+  // Packed panels are fixed-size stack buffers sized by the tile window;
+  // keep them stack-safe.
+  const std::int64_t cap = std::max(options.tileSize, options.timeTileSize);
+  if (cap < 1 || cap > 128) return nullptr;
+  if (outer->isTileLoop || !outer->isPointLoop || outer->step != 1)
+    return nullptr;
+  if (outer->body->children.size() != 1 ||
+      outer->body->children.front()->kind != Node::Kind::Loop)
+    return nullptr;
+  auto inner =
+      std::static_pointer_cast<Loop>(outer->body->children.front());
+  if (inner->isTileLoop || !inner->isPointLoop || inner->step != 1)
+    return nullptr;
+  if (inner->body->children.size() != 1 ||
+      inner->body->children.front()->kind != Node::Kind::Stmt)
+    return nullptr;
+  auto stmt =
+      std::static_pointer_cast<ir::Stmt>(inner->body->children.front());
+  if (stmt->op != ir::AssignOp::AddAssign || !stmt->guards.empty() ||
+      !stmt->isReductionUpdate || stmt->lhsSubs.empty())
+    return nullptr;
+  // Both windows must be computable at the nest root (rectangular pair).
+  if (!ir::boundsIndependentOf(*inner, outer->iter)) return nullptr;
+
+  auto tryRoles = [&](const LoopPtr& lane, const LoopPtr& stream)
+      -> std::shared_ptr<const ir::MicroKernelTag> {
+    if (!lane->simdSafe || !stream->reductionCarried) return nullptr;
+    if (stmt->lhsSubs.back().coeff(lane->iter) != 1) return nullptr;
+    for (std::size_t i = 0; i + 1 < stmt->lhsSubs.size(); ++i)
+      if (stmt->lhsSubs[i].coeff(lane->iter) != 0) return nullptr;
+    for (const auto& sub : stmt->lhsSubs)
+      if (sub.coeff(stream->iter) != 0) return nullptr;
+    const auto& rhs = stmt->rhs;
+    if (!rhs || rhs->kind != ir::Expr::Kind::Binary ||
+        rhs->binOp != ir::BinOp::Mul)
+      return nullptr;
+    for (const auto& [laneSide, other] :
+         {std::pair(rhs->lhs, rhs->rhs), std::pair(rhs->rhs, rhs->lhs)}) {
+      if (!laneSide || laneSide->kind != ir::Expr::Kind::ArrayRef) continue;
+      bool usesLane = false;
+      for (const auto& s : laneSide->subs)
+        if (s.coeff(lane->iter) != 0) usesLane = true;
+      if (!usesLane || exprUsesIter(other, lane->iter)) continue;
+      auto tag = std::make_shared<ir::MicroKernelTag>();
+      tag->laneIter = lane->iter;
+      tag->streamIter = stream->iter;
+      tag->maxLane = tag->maxStream = cap;
+      return tag;
+    }
+    return nullptr;
+  };
+  if (auto tag = tryRoles(inner, outer)) return tag;
+  return tryRoles(outer, inner);
 }
 
 }  // namespace
 
 int registerTile(ir::Program& program, const AstOptions& options) {
   int unrolled = 0;
+  // SIMD microkernel tagging first: tagged contraction nests stay rolled —
+  // the interpreter runs the rolled nest and the native emitter lowers the
+  // tag to packed vector code with the identical per-cell operation order,
+  // so the two stay bit-exact. Tagged nests are excluded from
+  // unroll-and-jam below.
+  if (options.simd) {
+    std::vector<std::pair<LoopPtr, std::shared_ptr<const ir::MicroKernelTag>>>
+        tags;
+    forEachLoop(program, [&](const LoopPtr& l, const std::vector<LoopPtr>&) {
+      if (auto tag = recognizeMicroKernel(l, options))
+        tags.emplace_back(l, std::move(tag));
+    });
+    for (auto& [l, tag] : tags) l->microKernel = std::move(tag);
+  }
+  auto underMicroKernel = [](const LoopPtr& l,
+                             const std::vector<LoopPtr>& ancestors) {
+    if (l->microKernel) return true;
+    for (const auto& a : ancestors)
+      if (a->microKernel) return true;
+    return false;
+  };
   // Innermost loops first (collect, then mutate).
   std::vector<LoopPtr> inner;
-  forEachLoop(program, [&](const LoopPtr& l, const std::vector<LoopPtr>&) {
-    if (l->isTileLoop || l->step != 1) return;
+  forEachLoop(program, [&](const LoopPtr& l,
+                           const std::vector<LoopPtr>& ancestors) {
+    if (l->isTileLoop || l->step < 1) return;
+    if (underMicroKernel(l, ancestors)) return;
     bool hasLoopChild = false;
     for (const auto& c : l->body->children)
       if (c->kind == Node::Kind::Loop) hasLoopChild = true;
@@ -589,8 +716,10 @@ int registerTile(ir::Program& program, const AstOptions& options) {
     // exactly the (already unrolled) inner loop and its bounds do not
     // depend on the outer iterator.
     std::vector<LoopPtr> outers;
-    forEachLoop(program, [&](const LoopPtr& l, const std::vector<LoopPtr>&) {
-      if (l->isTileLoop || l->step != 1) return;
+    forEachLoop(program, [&](const LoopPtr& l,
+                             const std::vector<LoopPtr>& ancestors) {
+      if (l->isTileLoop || l->step < 1) return;
+      if (underMicroKernel(l, ancestors)) return;
       // Jamming reorders iterations across the inner loop; it is only
       // legal for permutable pairs, which is guaranteed exactly for the
       // point loops of a tiled band (Sec. IV-C: "loops within a tile are
@@ -619,14 +748,17 @@ int registerTile(ir::Program& program, const AstOptions& options) {
     for (const auto& l : outers) {
       auto innerLoop =
           std::static_pointer_cast<Loop>(l->body->children.front());
-      // Jam: replicate the inner loop's body with outer-iterator offsets.
+      // Jam: replicate the inner loop's body with outer-iterator offsets
+      // (multiples of the outer step, so strided point loops jam too).
+      const std::int64_t ostep = l->step;
       auto jammed = std::make_shared<Block>();
       for (std::int64_t o = 0; o < options.unrollOuter; ++o) {
         auto copy =
             std::static_pointer_cast<Block>(innerLoop->body->clone());
         if (o > 0) {
-          ir::substituteIterInTree(copy, l->iter,
-                                   AffExpr::term(l->iter) + AffExpr(o));
+          ir::substituteIterInTree(
+              copy, l->iter,
+              AffExpr::term(l->iter) + AffExpr(o * ostep));
           std::function<void(const NodePtr&)> guard = [&](const NodePtr& n) {
             switch (n->kind) {
               case Node::Kind::Block:
@@ -641,7 +773,7 @@ int registerTile(ir::Program& program, const AstOptions& options) {
                 auto s = std::static_pointer_cast<ir::Stmt>(n);
                 for (const auto& up : l->upper.parts)
                   s->guards.push_back(up - AffExpr::term(l->iter) -
-                                      AffExpr(o) - AffExpr(1));
+                                      AffExpr(o * ostep) - AffExpr(1));
                 break;
               }
             }
@@ -651,7 +783,7 @@ int registerTile(ir::Program& program, const AstOptions& options) {
         for (const auto& c : copy->children) jammed->children.push_back(c);
       }
       innerLoop->body = jammed;
-      l->step = options.unrollOuter;
+      l->step = ostep * options.unrollOuter;
       l->unroll = options.unrollOuter;
       ++unrolled;
     }

@@ -38,6 +38,11 @@ struct AstOptions {
   /// When false, the detector never reports pipeline parallelism (the
   /// baseline converts such loops to wavefront doall instead).
   bool allowPipeline = true;
+  /// When true, register tiling tags gemm-like contraction nests inside
+  /// tiled bands (ir::MicroKernelTag) instead of unrolling them; the
+  /// native backend lowers tagged nests to packed SIMD microkernels. Off
+  /// reproduces the scalar lowering byte-for-byte.
+  bool simd = true;
 };
 
 /// Loop skewing to make dependence distances non-negative inside maximal

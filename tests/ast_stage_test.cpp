@@ -240,6 +240,31 @@ TEST(RegisterTiling, UnrollAndJamReplicatesInnerBody) {
   expectSameSemantics(p, q, {{"N", 9}});
 }
 
+/// Non-unit-step loops (tiled point loops that still carry a stride)
+/// must unroll too: replicas advance by o*step and the guarded
+/// remainder handles trip counts that are not multiples of the factor.
+TEST(RegisterTiling, StridedLoopUnrollsWithGuardedRemainder) {
+  ir::ProgramBuilder b("strided");
+  b.param("N", 20);
+  b.array("A", {b.p("N")});
+  b.beginLoop("i", 0, b.p("N"));
+  b.stmt("S", "A", {v("i")}, ir::AssignOp::AddAssign, ir::floatLit(1.0));
+  b.endLoop();
+  ir::Program p = b.build();
+  loopsOf(p)[0]->step = 3;
+  ir::Program q = p.deepCopy();
+  AstOptions opt;
+  opt.unrollInner = 2;
+  opt.unrollOuter = 1;
+  int n = registerTile(q, opt);
+  EXPECT_GE(n, 1) << ir::printProgram(q);
+  EXPECT_EQ(loopsOf(q)[0]->step, 6);
+  // N=20: i = 0,3,...,18 — seven trips, so the second replica must be
+  // guarded off on the tail; N=19 ends exactly on a replica boundary.
+  expectSameSemantics(p, q, {{"N", 20}});
+  expectSameSemantics(p, q, {{"N", 19}});
+}
+
 TEST(RegisterTiling, NoJamOutsidePermutableBands) {
   // seidel-2d untiled: jamming the i loop over j would be illegal; only
   // the innermost loop may be unrolled.

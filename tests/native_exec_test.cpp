@@ -260,6 +260,73 @@ TEST(NativeExec, StaleAbiObjectIsEvictedNotRetried) {
   EXPECT_EQ(r3.nativeFallbacks, 0) << r3.summary();
 }
 
+/// Regression for the stale-compiler cache-key bug: the shared-object
+/// key must incorporate the compiler's identity probe (`--version`
+/// output), so a toolchain upgrade — or a $POLYAST_JIT_CC switch between
+/// same-named wrappers — recompiles instead of reusing an object built
+/// by the old compiler. Same version → cache hit; changed version under
+/// the identical compile command → recompile.
+TEST(NativeExec, CompilerVersionChangeInvalidatesCacheKey) {
+  if (!haveCompiler()) GTEST_SKIP() << "no C compiler on PATH";
+  std::string cacheDir = freshCacheDir();
+  std::string wrapper = cacheDir + "/cc-wrapper";
+  auto writeWrapper = [&](const std::string& version) {
+    {
+      std::ofstream f(wrapper);
+      f << "#!/bin/sh\n"
+           "if [ \"$1\" = \"--version\" ]; then echo '"
+        << version
+        << "'; exit 0; fi\n"
+           "exec cc \"$@\"\n";
+    }
+    std::filesystem::permissions(wrapper,
+                                 std::filesystem::perms::owner_all |
+                                     std::filesystem::perms::group_read |
+                                     std::filesystem::perms::others_read);
+  };
+  writeWrapper("polyast test toolchain 1.0");
+  const char* oldCc = std::getenv("POLYAST_JIT_CC");
+  const std::string saved = oldCc ? oldCc : "";
+  setenv("POLYAST_JIT_CC", wrapper.c_str(), 1);
+
+  ir::Program p = transformed("gemm", "polyast");
+  auto params = testParams(p);
+  runtime::ThreadPool pool(2);
+
+  {
+    NativeBackend first(strictOptions(cacheDir));
+    Context c1 = kernels::makeContext(p, params);
+    ParallelRunReport r1 = first.run(p, c1, pool);
+    EXPECT_EQ(r1.backend, "native") << r1.summary();
+    EXPECT_EQ(r1.nativeCompiles, 1);
+  }
+  {
+    // Same wrapper, same version: the probe is part of the key but
+    // stable, so the object is reused.
+    NativeBackend second(strictOptions(cacheDir));
+    Context c2 = kernels::makeContext(p, params);
+    ParallelRunReport r2 = second.run(p, c2, pool);
+    EXPECT_EQ(r2.nativeCompiles, 0);
+    EXPECT_EQ(r2.nativeCacheHits, 1);
+  }
+  writeWrapper("polyast test toolchain 2.0");
+  {
+    // Identical compile command, different --version output: the key
+    // must change, so the stale object is NOT reused.
+    NativeBackend third(strictOptions(cacheDir));
+    Context c3 = kernels::makeContext(p, params);
+    ParallelRunReport r3 = third.run(p, c3, pool);
+    EXPECT_EQ(r3.backend, "native") << r3.summary();
+    EXPECT_EQ(r3.nativeCompiles, 1) << "stale-compiler object reused";
+    EXPECT_EQ(r3.nativeCacheHits, 0);
+  }
+
+  if (oldCc)
+    setenv("POLYAST_JIT_CC", saved.c_str(), 1);
+  else
+    unsetenv("POLYAST_JIT_CC");
+}
+
 TEST(NativeExec, ForcedOffDegradesToInterp) {
   ir::Program p = transformed("gemm", "polyast");
   auto params = testParams(p);

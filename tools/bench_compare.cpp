@@ -116,9 +116,16 @@ void ingestDlCheck(const std::string& path,
     sample.kernel = name->text;
     // Native-backend measurements get their own history series: a JIT run
     // and an interpreted run of one kernel are different experiments.
+    // Likewise packed-SIMD native runs ("simd":"on") vs scalar native —
+    // they execute different machine code, so `gemm@native-simd` and
+    // `gemm@native` are separate series.
     if (const obs::JsonValue* backend = k.find("backend");
-        backend && backend->isString() && backend->text != "interp")
+        backend && backend->isString() && backend->text != "interp") {
       sample.kernel += "@" + backend->text;
+      if (const obs::JsonValue* simd = k.find("simd");
+          simd && simd->isString() && simd->text == "on")
+        sample.kernel += "-simd";
+    }
     // Relaxed-reduction schedules too: the widened schedule space changes
     // what executes, so strict and relaxed timings must not be compared
     // against each other.

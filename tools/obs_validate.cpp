@@ -4,10 +4,12 @@
 //   obs_validate --trace FILE [--require-span NAME]... [--min-threads N]
 //   obs_validate --metrics FILE [--require-counter NAME]...
 //                [--require-histogram NAME]...
+//                (--require-counter matches counters and gauges)
 //   obs_validate --diagnostics FILE [--require-analysis NAME]...
 //                [--max-errors N]
 //   obs_validate --dlcheck FILE [--require-kernel NAME]...
 //                [--min-kernels N] [--require-backend NAME]
+//                [--require-simd on|off]
 //   obs_validate --attrib FILE [--require-kernel NAME]...
 //                [--min-kernels N] [--require-backend NAME]
 //                [--min-constructs N]
@@ -42,7 +44,10 @@
 //     --require-kernel asserts a kernel entry exists; --min-kernels
 //     bounds the suite size from below; --require-backend asserts every
 //     entry was executed by the named backend (e.g. "native" to catch a
-//     silently-degraded JIT run).
+//     silently-degraded JIT run). The optional "simd" field must be
+//     "on"/"off" (whether the native run executed packed SIMD
+//     microkernels); --require-simd asserts it on every entry — e.g.
+//     "on" to catch a toolchain silently rejecting the vector TU.
 //   * attrib: "schema" == "polyast-attrib-v1" as written by `polyastc
 //     --attrib-out` — per-kernel total/residual readings plus one row per
 //     parallel construct (id/kind/iter/nest/enters, predicted
@@ -80,8 +85,9 @@ int usage() {
                "       obs_validate --diagnostics FILE"
                " [--require-analysis NAME]... [--max-errors N]\n"
                "       obs_validate --dlcheck FILE"
-               " [--require-kernel NAME]... [--min-kernels N]"
-               " [--require-backend NAME]\n"
+               " [--require-kernel NAME]... [--min-kernels N]\n"
+               "                    [--require-backend NAME]"
+               " [--require-simd on|off]\n"
                "       obs_validate --attrib FILE"
                " [--require-kernel NAME]... [--min-kernels N]\n"
                "                    [--require-backend NAME]"
@@ -204,8 +210,8 @@ int validateMetrics(const obs::JsonValue& root,
     }
   }
   for (const auto& want : requiredCounters)
-    if (!root.find("counters")->find(want))
-      return fail("metrics: required counter '" + want + "' not found");
+    if (!root.find("counters")->find(want) && !root.find("gauges")->find(want))
+      return fail("metrics: required counter/gauge '" + want + "' not found");
   for (const auto& want : requiredHistograms)
     if (!root.find("histograms")->find(want))
       return fail("metrics: required histogram '" + want + "' not found");
@@ -313,7 +319,8 @@ int validateDiagnostics(const obs::JsonValue& root,
 int validateDlCheck(const obs::JsonValue& root,
                     const std::vector<std::string>& requiredKernels,
                     std::int64_t minKernels,
-                    const std::string& requiredBackend) {
+                    const std::string& requiredBackend,
+                    const std::string& requiredSimd) {
   if (!root.isObject()) return fail("dlcheck: top level is not an object");
   const obs::JsonValue* schema = root.find("schema");
   if (!schema || !schema->isString() || schema->text != "polyast-dlcheck-v1")
@@ -345,6 +352,13 @@ int validateDlCheck(const obs::JsonValue& root,
                   "', expected '" + requiredBackend + "'");
     if (!names.insert(k.find("kernel")->text).second)
       return fail(at + ": duplicate entry");
+    const obs::JsonValue* simd = k.find("simd");
+    if (simd && (!simd->isString() ||
+                 (simd->text != "on" && simd->text != "off")))
+      return fail(at + ": simd is not \"on\"/\"off\"");
+    if (!requiredSimd.empty() && (!simd || simd->text != requiredSimd))
+      return fail(at + ": simd '" + (simd ? simd->text : "(missing)") +
+                  "', expected '" + requiredSimd + "'");
     const obs::JsonValue* pred = k.find("predicted");
     if (!pred || !pred->isObject())
       return fail(at + ": missing predicted object");
@@ -632,6 +646,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> requiredAnalyses;
   std::vector<std::string> requiredKernels;
   std::string requiredBackend;
+  std::string requiredSimd;
   std::int64_t minThreads = 0;
   std::int64_t maxErrors = -1;
   std::int64_t minKernels = 0;
@@ -664,6 +679,7 @@ int main(int argc, char** argv) {
     else if (arg == "--require-analysis") requiredAnalyses.push_back(next());
     else if (arg == "--require-kernel") requiredKernels.push_back(next());
     else if (arg == "--require-backend") requiredBackend = next();
+    else if (arg == "--require-simd") requiredSimd = next();
     else if (arg == "--min-threads") minThreads = std::stoll(next());
     else if (arg == "--max-errors") maxErrors = std::stoll(next());
     else if (arg == "--min-kernels") minKernels = std::stoll(next());
@@ -683,7 +699,8 @@ int main(int argc, char** argv) {
                              requiredCounters, requiredHistograms);
     if (!dlcheckFile.empty())
       return validateDlCheck(obs::parseJson(slurp(dlcheckFile)),
-                             requiredKernels, minKernels, requiredBackend);
+                             requiredKernels, minKernels, requiredBackend,
+                             requiredSimd);
     if (!attribFile.empty())
       return validateAttrib(obs::parseJson(slurp(attribFile)), requiredKernels,
                             minKernels, requiredBackend, minConstructs);

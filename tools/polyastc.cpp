@@ -6,6 +6,7 @@
 //   polyastc --analysis-selfcheck
 //   polyastc <kernel> [--pipeline NAME | --flow polyast|pocc|pocc-maxfuse|none]
 //            [--emit c|ir|none] [--tile N] [--time-tile N]
+//            [--simd on|off]
 //            [--no-tiling] [--no-regtile] [--no-openmp]
 //            [--verify-each-pass] [--dump-after PASS|all]
 //            [--reductions strict|relaxed]
@@ -114,6 +115,7 @@
 #include "analysis/mutations.hpp"
 #include "dl/dl_predict.hpp"
 #include "exec/backend.hpp"
+#include "exec/native_exec.hpp"
 #include "exec/par_exec.hpp"
 #include "flow/analyze.hpp"
 #include "flow/presets.hpp"
@@ -138,6 +140,7 @@ int usage() {
          "                [--pipeline NAME] [--flow polyast|pocc|"
          "pocc-maxfuse|none]\n"
          "                [--emit c|ir|none] [--tile N] [--time-tile N]\n"
+         "                [--simd on|off]\n"
          "                [--no-tiling] [--no-regtile] [--no-openmp]\n"
          "                [--verify-each-pass] [--dump-after PASS|all]\n"
          "                [--reductions strict|relaxed]\n"
@@ -245,6 +248,15 @@ int main(int argc, char** argv) {
       else {
         std::cerr << "expected strict|relaxed for --reductions, got '"
                   << mode << "'\n";
+        return 4;
+      }
+    }
+    else if (arg == "--simd") {
+      std::string mode = next();
+      if (mode == "on") options.ast.simd = true;
+      else if (mode == "off") options.ast.simd = false;
+      else {
+        std::cerr << "expected on|off for --simd, got '" << mode << "'\n";
         return 4;
       }
     }
@@ -470,6 +482,10 @@ int main(int argc, char** argv) {
         entry.pipeline = pipeline;
         entry.backend = rep.backend;
         entry.reductions = aopt.relaxedReductions ? "relaxed" : "strict";
+        // Effective, not requested: a scalar retry after a rejected
+        // vector TU (or an interp degradation) reports "off".
+        auto* native = dynamic_cast<exec::NativeBackend*>(execBackend.get());
+        entry.simd = native && native->usedSimd() ? "on" : "off";
         entry.predictedLines = pred.predictedLines;
         entry.predictedCost = pred.predictedCost;
         entry.nests = static_cast<int>(pred.nests.size());
