@@ -1,0 +1,160 @@
+// bench_compile_scale — compile-time stress driver over the synthetic
+// SCoP generator (common/scop_gen.hpp).
+//
+// Usage:
+//   bench_compile_scale [--out FILE] [--pipeline NAME]
+//                       [--families deep,wide,dense] [--scale default|small]
+//                       [--seed N] [--list]
+//
+// For each family it generates the synthetic program, runs the selected
+// pipeline under a selfprof::Collector bracket, and prints one line of
+// timing to stderr. --out writes the polyast-compile-profile-v1 artifact
+// with one row per family; bench_compare ingests those rows as
+// `compile@<family>` series (wall = compile_ms), so compile-time
+// regressions at scale trip the same blocking gate kernel wall-time
+// uses. Flags accept both "--flag value" and "--flag=value".
+//
+// Unlike the google-benchmark drivers this is a plain executable: the
+// measured quantity is one deterministic pipeline run per family
+// (repeats are the caller's job — CI runs it 3× and lets
+// bench_compare's median-of-repeats collapsing do the rest).
+#include <chrono>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/scop_gen.hpp"
+#include "flow/presets.hpp"
+#include "ir/ast.hpp"
+#include "obs/selfprof.hpp"
+#include "support/error.hpp"
+
+using namespace polyast;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_compile_scale [--out FILE] [--pipeline NAME]\n"
+               "                           [--families deep,wide,dense]\n"
+               "                           [--scale default|small] [--seed N]"
+               " [--list]\n";
+  return 4;
+}
+
+/// Family scale presets: `default` stresses well beyond PolyBench shapes
+/// (depth-7 nests, 24-statement chains); `small` keeps ctest smoke runs
+/// fast while exercising every code path.
+int familySize(const std::string& family, const std::string& scale) {
+  bool small = scale == "small";
+  if (family == "deep") return small ? 4 : 7;
+  if (family == "wide") return small ? 6 : 24;
+  if (family == "dense") return small ? 4 : 12;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::string pipeline = "polyast";
+  std::string familiesArg;
+  std::string scale = "default";
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inlineValue;
+    bool hasInline = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      inlineValue = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      hasInline = true;
+    }
+    auto next = [&]() -> std::string {
+      if (hasInline) return inlineValue;
+      if (i + 1 >= argc) {
+        usage();
+        exit(4);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      for (const auto& f : scopgen::families()) std::cout << f << "\n";
+      return 0;
+    }
+    if (arg == "--out") out = next();
+    else if (arg == "--pipeline") pipeline = next();
+    else if (arg == "--families") familiesArg = next();
+    else if (arg == "--scale") scale = next();
+    else if (arg == "--seed") {
+      try {
+        seed = std::stoull(next());
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else return usage();
+  }
+  if (scale != "default" && scale != "small") return usage();
+  if (!flow::hasPipelinePreset(pipeline)) {
+    std::cerr << "unknown pipeline '" << pipeline << "'\n";
+    return 4;
+  }
+
+  std::vector<std::string> families;
+  if (familiesArg.empty()) {
+    families = scopgen::families();
+  } else {
+    std::string list = familiesArg;
+    while (!list.empty()) {
+      auto comma = list.find(',');
+      families.push_back(list.substr(0, comma));
+      list = comma == std::string::npos ? "" : list.substr(comma + 1);
+    }
+  }
+
+  obs::selfprof::Collector collector;
+  std::string generator;
+  try {
+    for (const auto& family : families) {
+      scopgen::GenOptions gopt;
+      gopt.family = family;
+      gopt.seed = seed;
+      gopt.size = familySize(family, scale);
+      if (gopt.size == 0) {
+        std::cerr << "unknown family '" << family << "' (deep, wide, dense)\n";
+        return 4;
+      }
+      ir::Program program = scopgen::generate(gopt);
+      std::int64_t stmts = 0;
+      std::set<const ir::Loop*> loopSet;
+      for (const auto& [id, loops] : program.enclosingLoops()) {
+        ++stmts;
+        for (const auto& l : loops) loopSet.insert(l.get());
+      }
+      if (!generator.empty()) generator += " ";
+      generator += scopgen::label(gopt);
+
+      flow::PipelineOptions options;
+      flow::PassPipeline pipe = flow::makePipeline(pipeline, options);
+      flow::PassContext ctx;
+      collector.beginScop();
+      auto t0 = std::chrono::steady_clock::now();
+      pipe.run(program, ctx);
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      collector.endScop(family, stmts,
+                        static_cast<std::int64_t>(loopSet.size()), ms);
+      std::cerr << "compile@" << family << ": " << ms << " ms (" << stmts
+                << " stmts, " << loopSet.size() << " loops, "
+                << ctx.report.passes.size() << " passes)\n";
+    }
+    if (!out.empty())
+      obs::selfprof::writeCompileProfileFile(
+          out, collector.finish(pipeline, generator));
+  } catch (const ::polyast::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

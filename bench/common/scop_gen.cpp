@@ -1,0 +1,149 @@
+#include "common/scop_gen.hpp"
+
+#include "ir/builder.hpp"
+#include "ir/expr.hpp"
+#include "support/error.hpp"
+
+namespace polyast::scopgen {
+
+namespace {
+
+using ir::AffExpr;
+using ir::AssignOp;
+using ir::ExprPtr;
+using ir::ProgramBuilder;
+
+/// splitmix64: tiny, deterministic, and identical on every platform —
+/// exactly what a reproducible generator needs (std::mt19937's
+/// distributions are not bit-stable across standard libraries).
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, bound).
+  std::int64_t below(std::int64_t bound) {
+    return static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(bound));
+  }
+};
+
+AffExpr v(const std::string& name) { return AffExpr::term(name); }
+AffExpr n(std::int64_t c) { return AffExpr(c); }
+
+std::string iterName(int level) { return "i" + std::to_string(level); }
+
+/// One chain of `size` nested loops with a two-statement recurrence at
+/// the bottom. Accesses pair the outermost/innermost iterators, so every
+/// dependence test works in the full 2*size-dimensional joint space.
+ir::Program genDeep(const GenOptions& opt, SplitMix64& rng) {
+  int depth = opt.size;
+  ProgramBuilder b("scopgen_deep");
+  b.param("N", opt.extent);
+  // Subscripts sum two iterators plus a small shift; 2N+4 covers them.
+  AffExpr dim = v("N") * 2 + n(4);
+  b.array("A", {dim, dim});
+  b.array("B", {dim, dim});
+  for (int l = 0; l < depth; ++l) b.beginLoop(iterName(l), 0, b.p("N"));
+  AffExpr row = v(iterName(0)) + v(iterName(depth - 1));
+  AffExpr col = v(iterName(depth / 2)) + v(iterName(depth - 1));
+  std::int64_t s1 = 1 + rng.below(2);
+  std::int64_t s2 = rng.below(3);
+  // S0 carries a recurrence on A (flow dep at several levels); S1 reads
+  // A's freshly written cell, adding a loop-independent edge.
+  b.stmt("S", "A", {row, col},
+         AssignOp::Set,
+         ir::arrayRef("A", {row - n(s1), col}) +
+             ir::arrayRef("B", {row, col + n(s2)}));
+  b.stmt("T", "B", {row, col + n(s2)},
+         AssignOp::Set,
+         ir::arrayRef("A", {row, col}) * ir::floatLit(0.5));
+  for (int l = 0; l < depth; ++l) b.endLoop();
+  return b.build();
+}
+
+/// `size` separate 2-deep nests, statement k writing A<k+1> from A<k> —
+/// a producer→consumer chain whose all-pairs dependence scan and fusion
+/// structure scale quadratically with size.
+ir::Program genWide(const GenOptions& opt, SplitMix64& rng) {
+  int count = opt.size;
+  ProgramBuilder b("scopgen_wide");
+  b.param("N", opt.extent);
+  AffExpr dim = v("N") + n(4);
+  for (int k = 0; k <= count; ++k)
+    b.array("A" + std::to_string(k), {dim, dim});
+  for (int k = 0; k < count; ++k) {
+    std::string src = "A" + std::to_string(k);
+    std::string dst = "A" + std::to_string(k + 1);
+    std::int64_t shift = rng.below(3);
+    b.beginLoop("i", 0, b.p("N"));
+    b.beginLoop("j", 0, b.p("N"));
+    b.stmt("S" + std::to_string(k), dst, {v("i"), v("j")},
+           AssignOp::Set,
+           ir::arrayRef(src, {v("i"), v("j")}) +
+               ir::arrayRef(src, {v("i"), v("j") + n(shift)}));
+    b.endLoop();
+    b.endLoop();
+  }
+  return b.build();
+}
+
+/// `size` statements sharing one 2-deep nest, rotating writes through 3
+/// shared arrays with shifted reads of the other two — most statement
+/// pairs end up dependence-connected, so the selection search works on
+/// large SCCs.
+ir::Program genDense(const GenOptions& opt, SplitMix64& rng) {
+  int count = opt.size;
+  ProgramBuilder b("scopgen_dense");
+  b.param("N", opt.extent);
+  AffExpr dim = v("N") + n(4);
+  const char* arrays[3] = {"A", "B", "C"};
+  for (const char* a : arrays) b.array(a, {dim, dim});
+  b.beginLoop("i", 0, b.p("N"));
+  b.beginLoop("j", 0, b.p("N"));
+  for (int m = 0; m < count; ++m) {
+    const char* w = arrays[m % 3];
+    const char* r1 = arrays[(m + 1) % 3];
+    const char* r2 = arrays[(m + 2) % 3];
+    std::int64_t s1 = rng.below(3);
+    std::int64_t s2 = rng.below(2);
+    b.stmt("S" + std::to_string(m), w, {v("i") + n(s2), v("j")},
+           AssignOp::Set,
+           ir::arrayRef(r1, {v("i"), v("j") + n(s1)}) +
+               ir::arrayRef(r2, {v("i") + n(s2), v("j")}) * ir::floatLit(0.25));
+  }
+  b.endLoop();
+  b.endLoop();
+  return b.build();
+}
+
+}  // namespace
+
+const std::vector<std::string>& families() {
+  static const std::vector<std::string> f = {"deep", "wide", "dense"};
+  return f;
+}
+
+std::string label(const GenOptions& opt) {
+  return opt.family + "(size=" + std::to_string(opt.size) +
+         ",seed=" + std::to_string(opt.seed) +
+         ",extent=" + std::to_string(opt.extent) + ")";
+}
+
+ir::Program generate(const GenOptions& opt) {
+  POLYAST_CHECK(opt.size > 0, "scopgen: size must be positive");
+  SplitMix64 rng{opt.seed};
+  if (opt.family == "deep") {
+    POLYAST_CHECK(opt.size >= 2, "scopgen: deep needs depth >= 2");
+    return genDeep(opt, rng);
+  }
+  if (opt.family == "wide") return genWide(opt, rng);
+  if (opt.family == "dense") return genDense(opt, rng);
+  POLYAST_CHECK(false, "scopgen: unknown family '" + opt.family +
+                           "' (deep, wide, dense)");
+  return ir::Program();  // unreachable
+}
+
+}  // namespace polyast::scopgen

@@ -1,0 +1,54 @@
+// Deterministic synthetic SCoP generator for compile-time stress
+// benchmarking (bench_compile_scale) and tests.
+//
+// PolyBench tops out at depth-3 nests with a handful of statements; the
+// compile-time hot paths (FM elimination over joint dependence spaces,
+// the SCC-by-SCC selection search) only show their asymptotic behaviour
+// beyond that. Three families scale the two axes independently:
+//
+//   deep   one chain of `size` nested loops with a statement pair at the
+//          bottom — joint dependence spaces of 2*size iterators, the FM
+//          core's worst axis.
+//   wide   `size` separate 2-deep nests chained producer→consumer — the
+//          all-pairs dependence scan and the fusion/selection structure
+//          scale as size².
+//   dense  `size` statements sharing one 2-deep nest, rotating through 3
+//          shared arrays with shifted accesses — a dense dependence
+//          graph (most statement pairs connected) driving large SCCs
+//          through the selection search.
+//
+// Generation is a pure function of GenOptions: the same (family, size,
+// seed, extent) produces byte-identical IR (ir::printProgram), which the
+// determinism test pins. The PRNG (splitmix64) only picks small access
+// shifts, so every program stays affine and every dependence is honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+
+namespace polyast::scopgen {
+
+struct GenOptions {
+  std::string family = "deep";  ///< deep | wide | dense
+  /// Family scale: nest depth (deep) or statement count (wide/dense).
+  int size = 6;
+  std::uint64_t seed = 42;
+  /// Default value of the extent parameter N.
+  std::int64_t extent = 20;
+};
+
+/// The supported family names, in documentation order.
+const std::vector<std::string>& families();
+
+/// Human-readable provenance label, e.g. "deep(size=6,seed=42,extent=20)"
+/// — recorded in the compile-profile artifact's "generator" field.
+std::string label(const GenOptions& opt);
+
+/// Builds the synthetic program. Throws polyast::Error on an unknown
+/// family or a non-positive size.
+ir::Program generate(const GenOptions& opt);
+
+}  // namespace polyast::scopgen

@@ -57,6 +57,11 @@ class Pass {
 struct PassReport {
   std::string pass;
   double millis = 0.0;
+  /// Process peak RSS (VmHWM, KiB) observed right after the pass ran; 0
+  /// when procfs is unavailable. Monotone across passes — a jump over the
+  /// previous pass's value attributes an allocation high-water to this
+  /// pass (also exported as gauge `flow.<pass>.rss_hwm_kb`).
+  std::int64_t rssHwmKb = 0;
   bool succeeded = true;
   std::map<std::string, std::int64_t> counters;
   std::string note;

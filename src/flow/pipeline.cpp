@@ -7,6 +7,7 @@
 
 #include "dl/dl_predict.hpp"
 #include "ir/cemit.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/trace.hpp"
 
 namespace polyast::flow {
@@ -25,6 +26,9 @@ double msSince(std::chrono::steady_clock::time_point t0) {
 /// paths cannot drift.
 void recordPassMetrics(obs::Registry& metrics, const PassReport& record) {
   metrics.counter("flow." + record.pass + ".runs").add();
+  if (record.rssHwmKb > 0)
+    metrics.gauge("flow." + record.pass + ".rss_hwm_kb")
+        .set(static_cast<double>(record.rssHwmKb));
   for (const auto& [name, value] : record.counters)
     metrics.counter("flow." + name).add(value);
   if (!record.succeeded) {
@@ -61,7 +65,10 @@ ir::Program PassPipeline::run(const ir::Program& input,
                               PassContext& ctx) const {
   auto pipelineStart = std::chrono::steady_clock::now();
   obs::Tracer& tracer = obs::Tracer::global();
-  obs::Span pipelineSpan(tracer, "pipeline:" + name_, "flow");
+  // Lazy name: the concatenation runs only when tracing is enabled, so a
+  // disabled compile pays one relaxed load here, not a string build.
+  obs::Span pipelineSpan(
+      tracer, [this] { return "pipeline:" + name_; }, "flow");
   pipelineSpan.attr("program", input.name);
   pipelineSpan.attr("passes",
                     static_cast<std::int64_t>(passes_.size()));
@@ -84,10 +91,12 @@ ir::Program PassPipeline::run(const ir::Program& input,
     auto t0 = std::chrono::steady_clock::now();
     PassResult result = pass->run(out, ctx);
     record.millis = msSince(t0);
+    record.rssHwmKb = obs::selfprof::peakRssKb();
     record.succeeded = result.succeeded;
     record.counters = std::move(result.counters);
     record.note = std::move(result.note);
     span.attr("succeeded", record.succeeded);
+    if (record.rssHwmKb > 0) span.attr("rss_hwm_kb", record.rssHwmKb);
     for (const auto& [name, value] : record.counters)
       span.attr(name, value);
     if (!record.note.empty()) span.attr("note", record.note);
@@ -127,8 +136,11 @@ ir::Program PassPipeline::run(const ir::Program& input,
         record.semanticsBroken = true;
         record.verifyNote = os.str();
         span.attr("semantics_broken", true);
-        tracer.instant("semantics-break", "verify",
-                       {{"pass", obs::AttrValue(pass->name())}});
+        // The attr vector is built before instant() can check enabled();
+        // guard here so a disabled run never pays for it.
+        if (tracer.enabled())
+          tracer.instant("semantics-break", "verify",
+                         {{"pass", obs::AttrValue(pass->name())}});
         reference = std::move(current);
         referenceInstances = instances;
       }

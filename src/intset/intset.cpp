@@ -5,10 +5,13 @@
 #include <map>
 #include <sstream>
 
+#include "obs/selfprof.hpp"
 #include "support/error.hpp"
 #include "support/rational.hpp"
 
 namespace polyast {
+
+namespace selfprof = obs::selfprof;
 
 namespace {
 
@@ -214,6 +217,11 @@ std::vector<Constraint> IntSet::prune(std::vector<Constraint> cs) {
 
 std::vector<Constraint> IntSet::eliminate(std::vector<Constraint> cs,
                                           std::size_t var) {
+  // Self-profiling: one elimination, cs.size() rows in; the matching
+  // constraints_out is counted at each exit below (post-prune).
+  selfprof::count(selfprof::Op::FmEliminations);
+  selfprof::count(selfprof::Op::FmConstraintsIn,
+                  static_cast<std::int64_t>(cs.size()));
   // Prefer Gaussian substitution when an equality involves `var`.
   std::size_t eqIdx = cs.size();
   std::int64_t bestAbs = 0;
@@ -251,7 +259,10 @@ std::vector<Constraint> IntSet::eliminate(std::vector<Constraint> cs,
       dropColumn(c);
       out.push_back(std::move(c));
     }
-    return prune(out);
+    out = prune(out);
+    selfprof::count(selfprof::Op::FmConstraintsOut,
+                    static_cast<std::int64_t>(out.size()));
+    return out;
   }
   // Classic Fourier–Motzkin on inequalities.
   std::vector<Constraint> lowers, uppers;
@@ -282,10 +293,14 @@ std::vector<Constraint> IntSet::eliminate(std::vector<Constraint> cs,
       dropColumn(c);
       out.push_back(std::move(c));
     }
-  return prune(out);
+  out = prune(out);
+  selfprof::count(selfprof::Op::FmConstraintsOut,
+                  static_cast<std::int64_t>(out.size()));
+  return out;
 }
 
 bool IntSet::isEmpty() const {
+  selfprof::count(selfprof::Op::IntsetEmptyTests);
   std::vector<Constraint> cs = prune(cs_);
   for (std::size_t remaining = numVars(); remaining > 0; --remaining) {
     for (const auto& c : cs)
@@ -293,7 +308,10 @@ bool IntSet::isEmpty() const {
     // Cap hit: "maybe nonempty" is the conservative direction for every
     // caller (dependences are kept, analyses report at reduced severity).
     std::size_t var = 0;
-    if (!chooseFmVar(cs, remaining, &var)) return false;
+    if (!chooseFmVar(cs, remaining, &var)) {
+      selfprof::count(selfprof::Op::FmCapHits);
+      return false;
+    }
     cs = eliminate(std::move(cs), var);
   }
   for (const auto& c : cs)
@@ -313,6 +331,7 @@ bool IntSet::contains(const std::vector<std::int64_t>& point) const {
 }
 
 IntSet IntSet::project(const std::vector<std::size_t>& keep) const {
+  selfprof::count(selfprof::Op::IntsetProjects);
   std::vector<bool> keepMask(numVars(), false);
   for (std::size_t k : keep) {
     POLYAST_CHECK(k < numVars(), "project index out of range");
@@ -352,6 +371,7 @@ IntSet IntSet::project(const std::vector<std::size_t>& keep) const {
 }
 
 std::optional<std::int64_t> IntSet::minOf(const LinExpr& e) const {
+  selfprof::count(selfprof::Op::IntsetBoundQueries);
   POLYAST_CHECK(e.coeffs.size() == numVars(), "minOf dimension mismatch");
   // Append t = e, eliminate every original variable, read bounds on t.
   std::vector<Constraint> cs;
@@ -376,7 +396,10 @@ std::optional<std::int64_t> IntSet::minOf(const LinExpr& e) const {
     // decline to conclude anything from an unbounded distance).
     std::size_t cols = numVars() - i;
     std::size_t var = 0;
-    if (!chooseFmVar(cs, cols, &var)) return std::nullopt;
+    if (!chooseFmVar(cs, cols, &var)) {
+      selfprof::count(selfprof::Op::FmCapHits);
+      return std::nullopt;
+    }
     cs = eliminate(std::move(cs), var);
   }
   std::optional<std::int64_t> lo, hi;

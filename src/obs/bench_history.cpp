@@ -1,5 +1,6 @@
 #include "obs/bench_history.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -160,6 +161,29 @@ std::map<std::string, double> characterizeNoiseFloor(
   };
   for (const auto& e : history.entries) absorb(e);
   absorb(head);
+
+  // Fallback for series that never carry a within-run spread (single-shot
+  // measurements such as compile@<family> rows): characterize from the
+  // run-to-run variation of the recorded wall times instead. Only the
+  // trailing window of history entries counts (old machines/configs would
+  // poison the floor) and the head run is excluded — a head regression
+  // must not widen its own threshold.
+  constexpr std::size_t kCrossEntryWindow = 8;
+  std::size_t first = history.entries.size() > kCrossEntryWindow
+                          ? history.entries.size() - kCrossEntryWindow
+                          : 0;
+  for (auto& [kernel, spread] : floor) {
+    if (spread > 0.0) continue;
+    std::vector<double> walls;
+    for (std::size_t i = first; i < history.entries.size(); ++i)
+      if (const BenchKernelSample* s = history.entries[i].find(kernel))
+        if (s->wallNs > 0.0) walls.push_back(s->wallNs);
+    if (walls.size() < 2) continue;  // nothing to characterize from yet
+    std::sort(walls.begin(), walls.end());
+    double median = walls[walls.size() / 2];
+    if (median <= 0.0) continue;
+    spread = (walls.back() - walls.front()) / median * 100.0;
+  }
   return floor;
 }
 

@@ -90,10 +90,14 @@ BenchCompareResult compareAgainstLatest(
 /// as the `wall_spread_pct` counter ((max-min)/median over repeats). The
 /// noise floor of a series is the worst spread ever observed for it —
 /// the max of `wall_spread_pct` across every history entry and the head
-/// run. Kernels with no recorded spread anywhere get 0 (the caller's
-/// floor clamp takes over). This is what --auto-threshold scales into a
-/// per-series regression threshold: a kernel whose repeats routinely
-/// disagree by 8% must not gate at 5%.
+/// run. Series with no recorded spread anywhere (single-shot series such
+/// as compile@<family> rows, and gauge-backed series) fall back to the
+/// run-to-run spread of their wall times over the trailing 8 history
+/// entries — (max-min)/median, head excluded so a head regression cannot
+/// widen its own threshold. Series still without data get 0 (the
+/// caller's floor clamp takes over). This is what --auto-threshold
+/// scales into a per-series regression threshold: a kernel whose repeats
+/// routinely disagree by 8% must not gate at 5%.
 std::map<std::string, double> characterizeNoiseFloor(
     const BenchHistory& history, const BenchEntry& head);
 

@@ -1,0 +1,168 @@
+#include "obs/selfprof.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace polyast::obs::selfprof {
+
+namespace {
+
+constexpr const char* kOpNames[kOpCount] = {
+    "fm.eliminations",  "fm.constraints_in", "fm.constraints_out",
+    "fm.cap_hits",      "intset.empty_tests", "intset.projects",
+    "intset.bound_queries", "dep.tests",     "dep.proven",
+    "dep.disproven",    "dep.sampled_tests", "dep.sampled_ns",
+    "sel.candidates",   "sel.cap_hits",      "sel.fallbacks",
+};
+
+/// Reads one "Vm...: <n> kB" line from /proc/self/status. Returns 0 when
+/// the file or field is unavailable (non-Linux, restricted procfs).
+std::int64_t readProcStatusKb(const char* field) {
+  std::ifstream status("/proc/self/status");
+  if (!status.good()) return 0;
+  std::string line;
+  const std::string prefix = std::string(field) + ":";
+  while (std::getline(status, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    std::size_t i = prefix.size();
+    while (i < line.size() && !std::isdigit(static_cast<unsigned char>(line[i])))
+      ++i;
+    std::int64_t kb = 0;
+    bool any = false;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+      kb = kb * 10 + (line[i] - '0');
+      any = true;
+      ++i;
+    }
+    return any ? kb : 0;
+  }
+  return 0;
+}
+
+void writeCounterObject(JsonWriter& w,
+                        const std::vector<std::pair<std::string, std::int64_t>>&
+                            counters) {
+  w.beginObject();
+  for (const auto& [name, v] : counters) w.key(name).value(v);
+  w.endObject();
+}
+
+}  // namespace
+
+const char* opName(Op op) { return kOpNames[static_cast<int>(op)]; }
+
+const std::array<Op, kOpCount>& allOps() {
+  static const std::array<Op, kOpCount> ops = [] {
+    std::array<Op, kOpCount> a{};
+    for (int i = 0; i < kOpCount; ++i) a[i] = static_cast<Op>(i);
+    return a;
+  }();
+  return ops;
+}
+
+std::int64_t currentRssKb() { return readProcStatusKb("VmRSS"); }
+std::int64_t peakRssKb() { return readProcStatusKb("VmHWM"); }
+
+Snapshot snapshot() {
+  Snapshot s{};
+  for (int i = 0; i < kOpCount; ++i) s[i] = value(static_cast<Op>(i));
+  return s;
+}
+
+void Collector::beginScop() {
+  base_ = snapshot();
+  open_ = true;
+}
+
+void Collector::endScop(std::string scop, std::int64_t statements,
+                        std::int64_t loops, double compileMs) {
+  POLYAST_CHECK(open_, "selfprof: endScop without beginScop");
+  open_ = false;
+  Snapshot now = snapshot();
+  ScopRow row;
+  row.scop = std::move(scop);
+  row.statements = statements;
+  row.loops = loops;
+  row.compileMs = compileMs;
+  row.rssHwmKb = peakRssKb();
+  row.counters.reserve(kOpCount);
+  for (int i = 0; i < kOpCount; ++i)
+    row.counters.emplace_back(kOpNames[i], now[i] - base_[i]);
+  rows_.push_back(std::move(row));
+}
+
+CompileProfile Collector::finish(std::string pipeline,
+                                 std::string generator) const {
+  CompileProfile profile;
+  profile.pipeline = std::move(pipeline);
+  profile.generator = std::move(generator);
+  profile.scops = rows_;
+  profile.rssHwmKb = peakRssKb();
+  Snapshot totals = snapshot();
+  Snapshot rowSum{};
+  for (const auto& row : rows_)
+    for (int i = 0; i < kOpCount; ++i) rowSum[i] += row.counters[i].second;
+  profile.totals.reserve(kOpCount);
+  profile.residual.reserve(kOpCount);
+  for (int i = 0; i < kOpCount; ++i) {
+    profile.totals.emplace_back(kOpNames[i], totals[i]);
+    profile.residual.emplace_back(kOpNames[i], totals[i] - rowSum[i]);
+  }
+  return profile;
+}
+
+void mirrorToRegistry(Registry& reg) {
+  for (Op op : allOps()) {
+    Counter& c = reg.counter(std::string("selfprof.") + opName(op));
+    std::int64_t delta = value(op) - c.value();
+    if (delta > 0) c.add(delta);
+  }
+}
+
+void writeCompileProfile(std::ostream& out, const CompileProfile& profile) {
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("schema").value("polyast-compile-profile-v1");
+  w.key("pipeline").value(profile.pipeline);
+  if (!profile.generator.empty()) w.key("generator").value(profile.generator);
+  w.key("scops").beginArray();
+  for (const auto& row : profile.scops) {
+    w.beginObject();
+    w.key("scop").value(row.scop);
+    w.key("statements").value(row.statements);
+    w.key("loops").value(row.loops);
+    w.key("compile_ms").value(row.compileMs);
+    w.key("rss_hwm_kb").value(row.rssHwmKb);
+    w.key("counters");
+    writeCounterObject(w, row.counters);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("residual").beginObject();
+  w.key("counters");
+  writeCounterObject(w, profile.residual);
+  w.endObject();
+  w.key("totals").beginObject();
+  w.key("rss_hwm_kb").value(profile.rssHwmKb);
+  w.key("counters");
+  writeCounterObject(w, profile.totals);
+  w.endObject();
+  w.endObject();
+  out << "\n";
+}
+
+void writeCompileProfileFile(const std::string& path,
+                             const CompileProfile& profile) {
+  std::ofstream out(path);
+  POLYAST_CHECK(out.good(), "cannot write " + path);
+  writeCompileProfile(out, profile);
+  POLYAST_CHECK(out.good(), "error writing " + path);
+}
+
+}  // namespace polyast::obs::selfprof

@@ -24,6 +24,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -110,6 +111,17 @@ class Span {
       : Span(Tracer::global(), name, category) {}
   /// Dynamic name (e.g. a pass name); only materialized when enabled.
   Span(Tracer& tracer, const std::string& name, const char* category);
+  /// Lazily-built dynamic name: `build` runs only when the tracer is
+  /// enabled, so a disabled run pays the one relaxed atomic load and
+  /// nothing else — no string concatenation at the call site. Use for
+  /// names assembled from parts ("pipeline:" + name).
+  template <typename Fn,
+            std::enable_if_t<std::is_invocable_r_v<std::string, Fn&>, int> = 0>
+  Span(Tracer& tracer, Fn&& build, const char* category) {
+    if (!tracer.enabled()) return;
+    rec_.name = build();
+    open(tracer, category);
+  }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -126,6 +138,16 @@ class Span {
   /// Dynamic keys (e.g. pass counter names).
   void attr(const std::string& key, std::int64_t value);
   void attr(const std::string& key, const std::string& value);
+  /// Lazily-built attribute value: `build` runs only when the span is
+  /// active, so inactive spans never pay for value construction (the
+  /// disabled-cost guarantee; pinned by
+  /// Trace.LazySpanCostsNothingWhenDisabled). `build()` may return any
+  /// type an attr() overload accepts.
+  template <typename Fn,
+            std::enable_if_t<std::is_invocable_v<Fn&>, int> = 0>
+  void attrLazy(const char* key, Fn&& build) {
+    if (tracer_) attr(key, build());
+  }
 
   /// Ends the span early (idempotent; the destructor then does nothing).
   void end();

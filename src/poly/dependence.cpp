@@ -5,10 +5,13 @@
 #include <map>
 
 #include "obs/metrics.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace polyast::poly {
+
+namespace selfprof = obs::selfprof;
 
 using ir::AffExpr;
 
@@ -280,11 +283,28 @@ PoDG computeDependences(const Scop& scop, bool includeInput) {
             }
             ++testedHere;
             tested.add();
-            if (set.isEmpty()) {
+            // Self-profiling extends the poly.dep.* outcome counters with
+            // cost: every kSampleEvery-th emptiness test is wall-timed so
+            // average per-test cost is recoverable from the profile
+            // artifact without two clock reads per test.
+            selfprof::count(selfprof::Op::DepTests);
+            bool empty;
+            if (selfprof::sampleTick()) {
+              std::int64_t t0 = selfprof::nowNs();
+              empty = set.isEmpty();
+              selfprof::count(selfprof::Op::DepSampledNs,
+                              selfprof::nowNs() - t0);
+              selfprof::count(selfprof::Op::DepSampledTests);
+            } else {
+              empty = set.isEmpty();
+            }
+            if (empty) {
               disproven.add();
+              selfprof::count(selfprof::Op::DepDisproven);
               continue;
             }
             proven.add();
+            selfprof::count(selfprof::Op::DepProven);
             ++provenHere;
 
             Dependence dep;

@@ -6,6 +6,7 @@
 #include <functional>
 #include <set>
 
+#include "obs/selfprof.hpp"
 #include "poly/codegen.hpp"
 #include "support/error.hpp"
 
@@ -289,10 +290,17 @@ class AffineScheduler {
         }
         return false;
       };
-      if (rec(0, target) && found) return found;
+      if (rec(0, target) && found) {
+        obs::selfprof::count(obs::selfprof::Op::SelCandidates, tried);
+        return found;
+      }
       if (tried >= opt_.maxCombos) break;
     }
+    obs::selfprof::count(obs::selfprof::Op::SelCandidates, tried);
+    if (tried >= opt_.maxCombos)
+      obs::selfprof::count(obs::selfprof::Op::SelCapHits);
     // Fallback: original loop order (first unscheduled original index).
+    obs::selfprof::count(obs::selfprof::Op::SelFallbacks);
     std::map<int, std::size_t> iters;
     for (int id : group) {
       const auto& s = st_.at(id);

@@ -40,6 +40,58 @@ TEST(Trace, DisabledSpanIsInertAndRecordsNothing) {
   EXPECT_TRUE(tracer.spans().empty());
 }
 
+TEST(Trace, LazySpanCostsNothingWhenDisabled) {
+  // The disabled-cost guarantee for dynamic names and attributes: the
+  // builder lambdas must never run while the tracer is off — a disabled
+  // run pays one relaxed atomic load, no string assembly.
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  int nameBuilds = 0;
+  int attrBuilds = 0;
+  {
+    Span s(
+        tracer,
+        [&] {
+          ++nameBuilds;
+          return std::string("lazy:name");
+        },
+        "test");
+    EXPECT_FALSE(s.active());
+    s.attrLazy("k", [&] {
+      ++attrBuilds;
+      return std::int64_t{42};
+    });
+  }
+  EXPECT_EQ(nameBuilds, 0);
+  EXPECT_EQ(attrBuilds, 0);
+  EXPECT_TRUE(tracer.spans().empty());
+
+  // Enabled: both builders run exactly once and land in the record.
+  tracer.setEnabled(true);
+  {
+    Span s(
+        tracer,
+        [&] {
+          ++nameBuilds;
+          return std::string("lazy:name");
+        },
+        "test");
+    EXPECT_TRUE(s.active());
+    s.attrLazy("k", [&] {
+      ++attrBuilds;
+      return std::int64_t{42};
+    });
+  }
+  EXPECT_EQ(nameBuilds, 1);
+  EXPECT_EQ(attrBuilds, 1);
+  std::vector<SpanRecord> spans = tracer.spans();
+  const SpanRecord* rec = findSpan(spans, "lazy:name");
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->attrs.size(), 1u);
+  EXPECT_EQ(rec->attrs[0].first, "k");
+  EXPECT_EQ(std::get<std::int64_t>(rec->attrs[0].second), 42);
+}
+
 TEST(Trace, NestingWithinAThreadAndIsolationAcrossThreads) {
   Tracer tracer;
   tracer.setEnabled(true);

@@ -1,0 +1,264 @@
+// Compile-time self-profiling tests: exact FM counter deltas on a
+// hand-counted elimination, the Collector's telescoping invariant
+// (residual + sum(rows) == totals per counter), the
+// polyast-compile-profile-v1 artifact round-trip through the bundled
+// JSON parser, registry mirroring, RSS gauge sanity, and the synthetic
+// SCoP generator (determinism, family distinctness, pipeline smoke).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/scop_gen.hpp"
+#include "flow/presets.hpp"
+#include "intset/intset.hpp"
+#include "ir/ast.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/selfprof.hpp"
+#include "support/error.hpp"
+
+namespace polyast {
+namespace {
+
+namespace sp = obs::selfprof;
+
+/// Per-op deltas across a piece of work. Counters are process-global and
+/// monotone, so tests always compare snapshots, never absolute values.
+sp::Snapshot deltaSince(const sp::Snapshot& base) {
+  sp::Snapshot now = sp::snapshot();
+  for (int i = 0; i < sp::kOpCount; ++i) now[i] -= base[i];
+  return now;
+}
+
+std::int64_t at(const sp::Snapshot& s, sp::Op op) {
+  return s[static_cast<int>(op)];
+}
+
+TEST(SelfProf, OpNamesAreStableAndDistinct) {
+  std::map<std::string, int> seen;
+  for (sp::Op op : sp::allOps()) ++seen[sp::opName(op)];
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(sp::kOpCount));
+  EXPECT_EQ(sp::opName(sp::Op::FmEliminations), std::string("fm.eliminations"));
+  EXPECT_EQ(sp::opName(sp::Op::SelFallbacks), std::string("sel.fallbacks"));
+}
+
+TEST(SelfProf, FmCountersExactOnHandCountedElimination) {
+  // The box {0 <= x <= 5, 0 <= y <= 5}: one isEmpty() runs exactly two
+  // eliminations. Eliminating x sees 4 rows and emits 2 (y's bounds pass
+  // through untouched; the single lower*upper product 5 >= 0 is pruned as
+  // trivially true). Eliminating y sees those 2 rows and emits 0.
+  IntSet s({"x", "y"});
+  s.addBounds(0, 0, 5);
+  s.addBounds(1, 0, 5);
+  sp::Snapshot base = sp::snapshot();
+  EXPECT_FALSE(s.isEmpty());
+  sp::Snapshot d = deltaSince(base);
+  EXPECT_EQ(at(d, sp::Op::IntsetEmptyTests), 1);
+  EXPECT_EQ(at(d, sp::Op::FmEliminations), 2);
+  EXPECT_EQ(at(d, sp::Op::FmConstraintsIn), 6);   // 4 rows, then 2
+  EXPECT_EQ(at(d, sp::Op::FmConstraintsOut), 2);  // 2 rows, then 0
+  EXPECT_EQ(at(d, sp::Op::FmCapHits), 0);
+}
+
+TEST(SelfProf, BoundQueriesAndProjectionsCount) {
+  IntSet s({"x", "y"});
+  s.addBounds(0, 1, 4);
+  s.addBounds(1, 2, 6);
+  sp::Snapshot base = sp::snapshot();
+  EXPECT_EQ(s.minOf(LinExpr::var(0, 2)), 1);
+  EXPECT_EQ(s.maxOf(LinExpr::var(1, 2)), 6);
+  IntSet p = s.project({0});
+  sp::Snapshot d = deltaSince(base);
+  EXPECT_EQ(at(d, sp::Op::IntsetBoundQueries), 2);  // maxOf delegates to minOf
+  EXPECT_EQ(at(d, sp::Op::IntsetProjects), 1);
+  EXPECT_EQ(p.numVars(), 1u);
+}
+
+TEST(SelfProf, CollectorTelescopingIsExact) {
+  sp::Collector collector;
+  auto work = [](std::int64_t lo, std::int64_t hi) {
+    IntSet s({"x", "y"});
+    s.addBounds(0, lo, hi);
+    s.addBounds(1, lo, hi);
+    (void)s.isEmpty();
+  };
+  collector.beginScop();
+  work(0, 5);
+  collector.endScop("a", 1, 1, 0.5);
+  work(0, 7);  // outside any bracket: must land in the residual
+  collector.beginScop();
+  work(0, 5);
+  work(0, 5);
+  collector.endScop("b", 2, 2, 1.0);
+
+  sp::CompileProfile profile = collector.finish("test-pipeline", "gen-note");
+  EXPECT_EQ(profile.pipeline, "test-pipeline");
+  EXPECT_EQ(profile.generator, "gen-note");
+  ASSERT_EQ(profile.scops.size(), 2u);
+  EXPECT_EQ(profile.scops[0].scop, "a");
+  EXPECT_EQ(profile.scops[1].scop, "b");
+
+  // Row "b" did exactly twice row "a"'s work, and the telescoping
+  // invariant holds exactly for every counter.
+  for (int i = 0; i < sp::kOpCount; ++i) {
+    const auto& [name, totalV] = profile.totals[i];
+    EXPECT_EQ(profile.scops[0].counters[i].first, name);
+    EXPECT_EQ(profile.scops[1].counters[i].second,
+              2 * profile.scops[0].counters[i].second)
+        << name;
+    EXPECT_EQ(profile.residual[i].second + profile.scops[0].counters[i].second +
+                  profile.scops[1].counters[i].second,
+              totalV)
+        << name;
+  }
+  // The out-of-bracket isEmpty() is visible in the residual.
+  EXPECT_GE(profile.residual[static_cast<int>(sp::Op::IntsetEmptyTests)].second,
+            1);
+}
+
+TEST(SelfProf, EndScopWithoutBeginThrowsAndAbandonDropsRow) {
+  sp::Collector collector;
+  EXPECT_THROW(collector.endScop("x", 1, 1, 0.0), Error);
+  collector.beginScop();
+  collector.abandonScop();
+  EXPECT_THROW(collector.endScop("x", 1, 1, 0.0), Error);
+  EXPECT_TRUE(collector.finish("p").scops.empty());
+}
+
+TEST(SelfProf, ArtifactRoundTripsThroughJsonParser) {
+  sp::Collector collector;
+  collector.beginScop();
+  IntSet s({"x"});
+  s.addBounds(0, 0, 3);
+  (void)s.isEmpty();
+  collector.endScop("only", 3, 2, 1.25);
+  sp::CompileProfile profile = collector.finish("polyast", "unit-test");
+
+  std::ostringstream out;
+  sp::writeCompileProfile(out, profile);
+  obs::JsonValue root = obs::parseJson(out.str());
+  ASSERT_TRUE(root.isObject());
+  EXPECT_EQ(root.find("schema")->text, "polyast-compile-profile-v1");
+  EXPECT_EQ(root.find("pipeline")->text, "polyast");
+  EXPECT_EQ(root.find("generator")->text, "unit-test");
+  const obs::JsonValue* scops = root.find("scops");
+  ASSERT_TRUE(scops && scops->isArray());
+  ASSERT_EQ(scops->items.size(), 1u);
+  const obs::JsonValue& row = scops->items[0];
+  EXPECT_EQ(row.find("scop")->text, "only");
+  EXPECT_EQ(row.find("statements")->number, 3);
+  EXPECT_EQ(row.find("loops")->number, 2);
+  EXPECT_DOUBLE_EQ(row.find("compile_ms")->number, 1.25);
+  // Every counter survives with its exact value, and the JSON totals
+  // telescope just like the in-memory profile.
+  const obs::JsonValue* rowCounters = row.find("counters");
+  const obs::JsonValue* residual = root.find("residual")->find("counters");
+  const obs::JsonValue* totals = root.find("totals")->find("counters");
+  ASSERT_TRUE(rowCounters && residual && totals);
+  for (int i = 0; i < sp::kOpCount; ++i) {
+    const auto& [name, v] = profile.scops[0].counters[i];
+    const obs::JsonValue* rv = rowCounters->find(name);
+    ASSERT_TRUE(rv) << name;
+    EXPECT_EQ(rv->number, static_cast<double>(v)) << name;
+    EXPECT_EQ(residual->find(name)->number + rv->number,
+              totals->find(name)->number)
+        << name;
+  }
+}
+
+TEST(SelfProf, MirrorToRegistryAddsDeltasIdempotently) {
+  obs::Registry reg;
+  sp::mirrorToRegistry(reg);
+  const std::string key = std::string("selfprof.") +
+                          sp::opName(sp::Op::IntsetEmptyTests);
+  EXPECT_EQ(reg.counter(key).value(), sp::value(sp::Op::IntsetEmptyTests));
+  // A second mirror with no new work adds nothing...
+  sp::mirrorToRegistry(reg);
+  EXPECT_EQ(reg.counter(key).value(), sp::value(sp::Op::IntsetEmptyTests));
+  // ...and after more work, only the delta.
+  IntSet s({"x"});
+  s.addBounds(0, 0, 1);
+  (void)s.isEmpty();
+  sp::mirrorToRegistry(reg);
+  EXPECT_EQ(reg.counter(key).value(), sp::value(sp::Op::IntsetEmptyTests));
+}
+
+TEST(SelfProf, RssGaugesAreSaneOnLinux) {
+  std::int64_t current = sp::currentRssKb();
+  std::int64_t peak = sp::peakRssKb();
+  EXPECT_GE(current, 0);
+  EXPECT_GE(peak, 0);
+  // Where procfs delivers both, the high-water mark bounds the current.
+  if (current > 0 && peak > 0) {
+    EXPECT_GE(peak, current);
+  }
+}
+
+TEST(ScopGen, SameSeedIsByteIdentical) {
+  for (const std::string& family : scopgen::families()) {
+    scopgen::GenOptions opt;
+    opt.family = family;
+    opt.size = 4;
+    opt.seed = 1234;
+    std::string a = ir::printProgram(scopgen::generate(opt));
+    std::string b = ir::printProgram(scopgen::generate(opt));
+    EXPECT_EQ(a, b) << family;
+    EXPECT_FALSE(a.empty()) << family;
+  }
+}
+
+TEST(ScopGen, SeedAndFamilyChangeTheProgram) {
+  scopgen::GenOptions opt;
+  opt.family = "dense";
+  opt.size = 6;
+  opt.seed = 1;
+  std::string base = ir::printProgram(scopgen::generate(opt));
+  opt.seed = 2;
+  EXPECT_NE(ir::printProgram(scopgen::generate(opt)), base);
+  scopgen::GenOptions deep = opt;
+  deep.family = "deep";
+  scopgen::GenOptions wide = opt;
+  wide.family = "wide";
+  EXPECT_NE(ir::printProgram(scopgen::generate(deep)),
+            ir::printProgram(scopgen::generate(wide)));
+}
+
+TEST(ScopGen, LabelRecordsProvenanceAndBadOptionsThrow) {
+  scopgen::GenOptions opt;
+  opt.family = "wide";
+  opt.size = 3;
+  opt.seed = 9;
+  opt.extent = 16;
+  EXPECT_EQ(scopgen::label(opt), "wide(size=3,seed=9,extent=16)");
+  opt.family = "nope";
+  EXPECT_THROW(scopgen::generate(opt), Error);
+  opt.family = "deep";
+  opt.size = 0;
+  EXPECT_THROW(scopgen::generate(opt), Error);
+}
+
+TEST(ScopGen, EveryFamilyCompilesThroughThePipeline) {
+  for (const std::string& family : scopgen::families()) {
+    scopgen::GenOptions opt;
+    opt.family = family;
+    opt.size = 3;
+    ir::Program program = scopgen::generate(opt);
+    flow::PipelineOptions options;
+    flow::PassPipeline pipe = flow::makePipeline("polyast", options);
+    flow::PassContext ctx;
+    sp::Snapshot base = sp::snapshot();
+    EXPECT_NO_THROW(pipe.run(program, ctx)) << family;
+    sp::Snapshot d = deltaSince(base);
+    // Compiling a synthetic SCoP must exercise the instrumented hot
+    // paths: dependence tests ran, and every test has one outcome.
+    EXPECT_GT(at(d, sp::Op::DepTests), 0) << family;
+    EXPECT_EQ(at(d, sp::Op::DepProven) + at(d, sp::Op::DepDisproven),
+              at(d, sp::Op::DepTests))
+        << family;
+  }
+}
+
+}  // namespace
+}  // namespace polyast

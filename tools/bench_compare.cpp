@@ -1,15 +1,17 @@
 // bench_compare — the benchmark-regression gate.
 //
 // Ingests per-kernel timing/counter data (polyast-dlcheck-v1 artifacts
-// from `polyastc --execute --perf-out`, and/or polyast-metrics-v1 files
-// from the benches' POLYAST_BENCH_METRICS), appends one entry to a
-// versioned history file (BENCH_<host>.json, schema
-// polyast-bench-history-v1), compares against the previous entry, and
-// exits nonzero when any kernel's wall time regressed beyond the
+// from `polyastc --execute --perf-out`, polyast-metrics-v1 files from
+// the benches' POLYAST_BENCH_METRICS, and/or polyast-compile-profile-v1
+// artifacts from `polyastc --compile-profile-out` / bench_compile_scale),
+// appends one entry to a versioned history file (BENCH_<host>.json,
+// schema polyast-bench-history-v1), compares against the previous entry,
+// and exits nonzero when any kernel's wall time regressed beyond the
 // threshold.
 //
 // Usage:
 //   bench_compare --history FILE [--dlcheck FILE]... [--metrics FILE]...
+//                 [--compile-profile FILE]...
 //                 [--label STR] [--timestamp STR] [--host STR]
 //                 [--threshold PCT] [--max-entries N] [--record-only]
 //   bench_compare --selftest
@@ -25,6 +27,11 @@
 //                     counters from every `perf.*` counter and gauge
 //                     (the benches' backend-comparison gauges
 //                     `perf.backend_*` ride along here)
+//   --compile-profile FILE  one sample per SCoP row, named
+//                     `compile@<scop>` with wall_ns = compile_ms * 1e6;
+//                     the row's selfprof counters plus rss_hwm_kb /
+//                     statements / loops ride along, so compile-time
+//                     regressions gate exactly like kernel wall time
 //
 // Passing the same suite artifact several times (CI runs the measurement
 // N>=3 times) collapses repeated samples of one kernel to their median
@@ -48,7 +55,8 @@
 //   --max-entries N   history entries kept after appending (default 50)
 //   --record-only     append + report, never fail (CI seeding mode)
 //   --selftest        run the built-in first-run / no-regression /
-//                     injected-20%-slowdown / auto-threshold checks
+//                     injected-20%-slowdown / auto-threshold /
+//                     compile-profile-gate / cross-entry-noise checks
 //                     and exit
 //
 // Setting POLYAST_BENCH_GATE=warn in the environment downgrades detected
@@ -80,6 +88,7 @@ int usage() {
   std::cerr
       << "usage: bench_compare --history FILE [--dlcheck FILE]..."
          " [--metrics FILE]...\n"
+         "                     [--compile-profile FILE]...\n"
          "                     [--label STR] [--timestamp STR] [--host STR]\n"
          "                     [--threshold PCT] [--auto-threshold]\n"
          "                     [--threshold-floor PCT] [--threshold-mult M]\n"
@@ -143,6 +152,39 @@ void ingestDlCheck(const std::string& path,
         c && c->isObject())
       for (const auto& [cname, cv] : c->members)
         if (cv.isNumber()) sample.counters[cname] = cv.number;
+    out.push_back(std::move(sample));
+  }
+}
+
+/// Samples from a polyast-compile-profile-v1 artifact: one per SCoP row,
+/// as `compile@<scop>` series. The measured quantity is the compiler's
+/// own per-SCoP wall time (`compile_ms`), so a scheduling-search or
+/// FM-core slowdown trips the same gate machinery as a kernel runtime
+/// regression. The row's operation counters and shape (statements,
+/// loops, rss_hwm_kb) ride along as counters for post-hoc diagnosis.
+void ingestCompileProfile(const std::string& path,
+                          std::vector<obs::BenchKernelSample>& out) {
+  obs::JsonValue root = obs::parseJson(slurp(path));
+  const obs::JsonValue* schema = root.find("schema");
+  POLYAST_CHECK(schema && schema->isString() &&
+                    schema->text == "polyast-compile-profile-v1",
+                path + ": not a polyast-compile-profile-v1 artifact");
+  const obs::JsonValue* scops = root.find("scops");
+  POLYAST_CHECK(scops && scops->isArray(), path + ": no scops array");
+  for (const obs::JsonValue& s : scops->items) {
+    obs::BenchKernelSample sample;
+    const obs::JsonValue* name = s.find("scop");
+    POLYAST_CHECK(name && name->isString(), path + ": scop without name");
+    sample.kernel = "compile@" + name->text;
+    const obs::JsonValue* ms = s.find("compile_ms");
+    POLYAST_CHECK(ms && ms->isNumber(), path + ": scop without compile_ms");
+    sample.wallNs = ms->number * 1e6;
+    if (const obs::JsonValue* c = s.find("counters"); c && c->isObject())
+      for (const auto& [cname, cv] : c->members)
+        if (cv.isNumber()) sample.counters[cname] = cv.number;
+    for (const char* shape : {"statements", "loops", "rss_hwm_kb"})
+      if (const obs::JsonValue* v = s.find(shape); v && v->isNumber())
+        sample.counters[shape] = v->number;
     out.push_back(std::move(sample));
   }
 }
@@ -363,6 +405,76 @@ int selftest() {
     expect(r.regressions == 1 && gemmCaught && mvtPassed,
            "auto-threshold: 20% slowdown caught at the floor, 15% drift on"
            " a 6%-spread series passes its 18% gate");
+
+    // 7. compile@<scop> series from a compile-profile artifact gate
+    // exactly like kernel wall time: an injected 20% compile slowdown on
+    // one family is caught, the flat family passes.
+    auto writeProfile = [](const std::string& file, double deepMs,
+                           double wideMs) {
+      std::ofstream out(file);
+      out << "{\"schema\":\"polyast-compile-profile-v1\","
+             "\"pipeline\":\"polyast\",\"scops\":["
+             "{\"scop\":\"deep\",\"statements\":2,\"loops\":7,"
+             "\"compile_ms\":" << deepMs << ",\"rss_hwm_kb\":0,"
+             "\"counters\":{\"fm.eliminations\":10}},"
+             "{\"scop\":\"wide\",\"statements\":24,\"loops\":48,"
+             "\"compile_ms\":" << wideMs << ",\"rss_hwm_kb\":0,"
+             "\"counters\":{\"fm.eliminations\":4}}],"
+             "\"residual\":{\"counters\":{\"fm.eliminations\":0}},"
+             "\"totals\":{\"rss_hwm_kb\":0,"
+             "\"counters\":{\"fm.eliminations\":14}}}\n";
+    };
+    const std::string profBase = path + ".profile_base.json";
+    const std::string profHead = path + ".profile_head.json";
+    writeProfile(profBase, 100.0, 40.0);
+    writeProfile(profHead, 120.0, 40.5);
+    obs::BenchHistory compHist;
+    compHist.host = "ci";
+    obs::BenchEntry compBase;
+    ingestCompileProfile(profBase, compBase.kernels);
+    bool ingested = compBase.kernels.size() == 2 &&
+                    compBase.kernels[0].kernel == "compile@deep" &&
+                    compBase.kernels[0].wallNs == 100.0 * 1e6 &&
+                    compBase.kernels[0].counters.at("fm.eliminations") == 10 &&
+                    compBase.kernels[0].counters.at("statements") == 2;
+    compHist.entries.push_back(compBase);
+    obs::BenchEntry compHead;
+    ingestCompileProfile(profHead, compHead.kernels);
+    r = obs::compareAgainstLatest(compHist, compHead, 10.0);
+    bool deepCaught = false;
+    bool widePassed = false;
+    for (const auto& d : r.deltas) {
+      if (d.kernel == "compile@deep")
+        deepCaught = d.regression && std::fabs(d.deltaPct - 20.0) < 0.5;
+      if (d.kernel == "compile@wide") widePassed = !d.regression;
+    }
+    expect(ingested && r.regressions == 1 && deepCaught && widePassed,
+           "compile-profile rows gate as compile@<scop>: injected 20%"
+           " compile slowdown caught");
+    std::remove(profBase.c_str());
+    std::remove(profHead.c_str());
+
+    // 8. Series without wall_spread_pct anywhere (single-shot compile@
+    // rows) get their noise floor from cross-entry wall-time variation,
+    // head excluded: 100/108/100 ms history -> 8% spread -> a 24% gate,
+    // so a 15% head drift passes instead of flapping at the 5% floor.
+    obs::BenchHistory crossHist;
+    crossHist.host = "ci";
+    for (double ms : {100.0, 108.0, 100.0}) {
+      obs::BenchEntry e;
+      e.label = "selftest";
+      e.kernels.push_back({"compile@deep", ms * 1e6, {}});
+      crossHist.entries.push_back(std::move(e));
+    }
+    obs::BenchEntry crossHead;
+    crossHead.kernels.push_back({"compile@deep", 115.0 * 1e6, {}});
+    gates = characterizedThresholds(crossHist, crossHead, 5.0, 3.0, 25.0);
+    r = obs::compareAgainstLatest(crossHist, crossHead, 10.0, &gates);
+    bool gateWidened = gates.count("compile@deep") &&
+                       std::fabs(gates.at("compile@deep") - 24.0) < 1e-9;
+    expect(gateWidened && r.regressions == 0,
+           "cross-entry noise floor: 8% run-to-run spread widens the gate"
+           " to 24%, 15% drift passes");
   } catch (const Error& e) {
     std::cerr << "  FAIL: exception: " << e.what() << "\n";
     ++failures;
@@ -380,6 +492,7 @@ int main(int argc, char** argv) {
   std::string historyPath;
   std::vector<std::string> dlcheckFiles;
   std::vector<std::string> metricsFiles;
+  std::vector<std::string> compileProfileFiles;
   std::string label = "local";
   std::string timestamp;
   std::string host = "local";
@@ -412,6 +525,7 @@ int main(int argc, char** argv) {
     else if (arg == "--history") historyPath = next();
     else if (arg == "--dlcheck") dlcheckFiles.push_back(next());
     else if (arg == "--metrics") metricsFiles.push_back(next());
+    else if (arg == "--compile-profile") compileProfileFiles.push_back(next());
     else if (arg == "--label") label = next();
     else if (arg == "--timestamp") timestamp = next();
     else if (arg == "--host") host = next();
@@ -425,7 +539,8 @@ int main(int argc, char** argv) {
     else if (arg == "--record-only") recordOnly = true;
     else return usage();
   }
-  if (historyPath.empty() || (dlcheckFiles.empty() && metricsFiles.empty()))
+  if (historyPath.empty() || (dlcheckFiles.empty() && metricsFiles.empty() &&
+                              compileProfileFiles.empty()))
     return usage();
 
   try {
@@ -434,6 +549,8 @@ int main(int argc, char** argv) {
     head.timestamp = timestamp;
     for (const auto& f : dlcheckFiles) ingestDlCheck(f, head.kernels);
     for (const auto& f : metricsFiles) ingestMetrics(f, head.kernels);
+    for (const auto& f : compileProfileFiles)
+      ingestCompileProfile(f, head.kernels);
     POLYAST_CHECK(!head.kernels.empty(), "no kernel samples in the inputs");
     collapseRepeats(head.kernels);
 

@@ -13,6 +13,8 @@
 //   obs_validate --attrib FILE [--require-kernel NAME]...
 //                [--min-kernels N] [--require-backend NAME]
 //                [--min-constructs N]
+//   obs_validate --compile-profile FILE [--require-scop NAME]...
+//                [--min-scops N]
 //
 // Used by CI to check that the files produced by `polyastc --trace-out /
 // --metrics-out` (and by the benches) conform to the documented schemas
@@ -59,6 +61,18 @@
 //     pooled rank_correlation entries must each be null or in [-1, 1].
 //     --require-kernel / --min-kernels / --require-backend as for dlcheck;
 //     --min-constructs bounds the pooled construct count from below.
+//   * compile-profile: "schema" == "polyast-compile-profile-v1" as
+//     written by `polyastc --compile-profile-out` / `bench_compile_scale
+//     --out` — string pipeline (plus optional generator provenance), one
+//     row per SCoP (scop/statements/loops/compile_ms/rss_hwm_kb and a
+//     counters object), a residual, and totals. Every counters object
+//     must carry the same counter names with non-negative integer
+//     values; per-row outcome counters must be internally consistent
+//     (dep.proven + dep.disproven == dep.tests, dep.sampled_tests <=
+//     dep.tests); row rss_hwm_kb gauges cannot exceed the totals gauge
+//     (VmHWM is monotone); and the telescoping invariant is exact:
+//     residual + sum(rows) == totals for every counter. --require-scop
+//     asserts a row exists; --min-scops bounds the row count from below.
 //
 // Exit code 0 when valid, 1 with a diagnostic on stderr otherwise.
 #include <cmath>
@@ -91,7 +105,9 @@ int usage() {
                "       obs_validate --attrib FILE"
                " [--require-kernel NAME]... [--min-kernels N]\n"
                "                    [--require-backend NAME]"
-               " [--min-constructs N]\n";
+               " [--min-constructs N]\n"
+               "       obs_validate --compile-profile FILE"
+               " [--require-scop NAME]... [--min-scops N]\n";
   return 2;
 }
 
@@ -632,6 +648,144 @@ int validateAttrib(const obs::JsonValue& root,
   return 0;
 }
 
+/// Validates a counters object: every member a non-negative integer.
+/// Accumulates into `sums` when given.
+int readProfileCounters(const obs::JsonValue* cs, const std::string& at,
+                        std::map<std::string, double>* sums) {
+  if (!cs || !cs->isObject())
+    return fail(at + ": missing counters object");
+  for (const auto& [cname, cv] : cs->members) {
+    if (!isFiniteNumber(&cv) || cv.number < 0 ||
+        cv.number != std::floor(cv.number))
+      return fail(at + ": counter '" + cname +
+                  "' is not a non-negative integer");
+    if (sums) (*sums)[cname] += cv.number;
+  }
+  return 0;
+}
+
+int validateCompileProfile(const obs::JsonValue& root,
+                           const std::vector<std::string>& requiredScops,
+                           std::int64_t minScops) {
+  if (!root.isObject())
+    return fail("compile-profile: top level is not an object");
+  const obs::JsonValue* schema = root.find("schema");
+  if (!schema || !schema->isString() ||
+      schema->text != "polyast-compile-profile-v1")
+    return fail("compile-profile: missing schema"
+                " \"polyast-compile-profile-v1\"");
+  const obs::JsonValue* pipeline = root.find("pipeline");
+  if (!pipeline || !pipeline->isString() || pipeline->text.empty())
+    return fail("compile-profile: missing string pipeline");
+  const obs::JsonValue* generator = root.find("generator");
+  if (generator && !generator->isString())
+    return fail("compile-profile: generator is not a string");
+
+  const obs::JsonValue* totals = root.find("totals");
+  if (!totals || !totals->isObject())
+    return fail("compile-profile: missing totals object");
+  const obs::JsonValue* totalRss = totals->find("rss_hwm_kb");
+  if (!isFiniteNumber(totalRss) || totalRss->number < 0)
+    return fail("compile-profile: totals.rss_hwm_kb is not a non-negative"
+                " number");
+  std::map<std::string, double> totalCounters;
+  if (int rc = readProfileCounters(totals->find("counters"),
+                                   "compile-profile: totals",
+                                   &totalCounters))
+    return rc;
+
+  // Every counters object (rows, residual) must carry exactly the
+  // totals' counter names — a missing name would silently break the
+  // telescoping check, an extra one could never telescope.
+  auto sameNames = [&](const obs::JsonValue* cs, const std::string& at) -> int {
+    if (cs->members.size() != totalCounters.size())
+      return fail(at + ": counter names do not match totals");
+    for (const auto& [cname, cv] : cs->members)
+      if (!totalCounters.count(cname))
+        return fail(at + ": counter '" + cname + "' not present in totals");
+    return 0;
+  };
+
+  const obs::JsonValue* scops = root.find("scops");
+  if (!scops || !scops->isArray())
+    return fail("compile-profile: missing scops array");
+  std::set<std::string> names;
+  std::map<std::string, double> rowSums;
+  for (const auto& row : scops->items) {
+    std::string at = "compile-profile: scop " + std::to_string(names.size());
+    if (!row.isObject()) return fail(at + " is not an object");
+    const obs::JsonValue* name = row.find("scop");
+    if (!name || !name->isString() || name->text.empty())
+      return fail(at + ": missing string scop");
+    at = "compile-profile: scop '" + name->text + "'";
+    if (!names.insert(name->text).second)
+      return fail(at + ": duplicate entry");
+    const obs::JsonValue* stmts = row.find("statements");
+    if (!isFiniteNumber(stmts) || stmts->number < 1 ||
+        stmts->number != std::floor(stmts->number))
+      return fail(at + ": statements is not a positive integer");
+    const obs::JsonValue* loops = row.find("loops");
+    if (!isFiniteNumber(loops) || loops->number < 0 ||
+        loops->number != std::floor(loops->number))
+      return fail(at + ": loops is not a non-negative integer");
+    const obs::JsonValue* ms = row.find("compile_ms");
+    if (!isFiniteNumber(ms) || ms->number < 0)
+      return fail(at + ": compile_ms is not a non-negative number");
+    const obs::JsonValue* rss = row.find("rss_hwm_kb");
+    if (!isFiniteNumber(rss) || rss->number < 0)
+      return fail(at + ": rss_hwm_kb is not a non-negative number");
+    // VmHWM is monotone over the process lifetime, so no row can exceed
+    // the final total.
+    if (rss->number > totalRss->number)
+      return fail(at + ": rss_hwm_kb exceeds totals.rss_hwm_kb");
+    const obs::JsonValue* cs = row.find("counters");
+    if (int rc = readProfileCounters(cs, at, &rowSums)) return rc;
+    if (int rc = sameNames(cs, at)) return rc;
+    // Outcome consistency: every dependence test either proves or
+    // disproves, and only tests can be sampled.
+    auto counter = [&](const char* cname) -> double {
+      const obs::JsonValue* v = cs->find(cname);
+      return v ? v->number : 0.0;
+    };
+    if (counter("dep.proven") + counter("dep.disproven") !=
+        counter("dep.tests"))
+      return fail(at + ": dep.proven + dep.disproven != dep.tests");
+    if (counter("dep.sampled_tests") > counter("dep.tests"))
+      return fail(at + ": dep.sampled_tests exceeds dep.tests");
+  }
+
+  const obs::JsonValue* residual = root.find("residual");
+  if (!residual || !residual->isObject())
+    return fail("compile-profile: missing residual object");
+  std::map<std::string, double> residualSums;
+  const obs::JsonValue* rcs = residual->find("counters");
+  if (int rc = readProfileCounters(rcs, "compile-profile: residual",
+                                   &residualSums))
+    return rc;
+  if (int rc = sameNames(rcs, "compile-profile: residual")) return rc;
+
+  // The telescoping invariant: work outside any SCoP bracket (residual)
+  // plus the per-SCoP rows must reproduce the process totals *exactly*.
+  for (const auto& [cname, total] : totalCounters) {
+    double sum = residualSums[cname] + rowSums[cname];
+    if (sum != total)
+      return fail("compile-profile: residual + rows for '" + cname + "' (" +
+                  std::to_string(sum) + ") != total (" +
+                  std::to_string(total) + ")");
+  }
+
+  for (const auto& want : requiredScops)
+    if (!names.count(want))
+      return fail("compile-profile: required scop '" + want + "' not found");
+  if (static_cast<std::int64_t>(names.size()) < minScops)
+    return fail("compile-profile: " + std::to_string(names.size()) +
+                " scop(s), expected >= " + std::to_string(minScops));
+  std::cout << "compile-profile ok: " << names.size() << " scops, "
+            << totalCounters.size() << " counters, pipeline '"
+            << pipeline->text << "'\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -640,6 +794,8 @@ int main(int argc, char** argv) {
   std::string diagnosticsFile;
   std::string dlcheckFile;
   std::string attribFile;
+  std::string compileProfileFile;
+  std::vector<std::string> requiredScops;
   std::vector<std::string> requiredSpans;
   std::vector<std::string> requiredCounters;
   std::vector<std::string> requiredHistograms;
@@ -651,6 +807,7 @@ int main(int argc, char** argv) {
   std::int64_t maxErrors = -1;
   std::int64_t minKernels = 0;
   std::int64_t minConstructs = 0;
+  std::int64_t minScops = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string inlineValue;
@@ -673,6 +830,8 @@ int main(int argc, char** argv) {
     else if (arg == "--diagnostics") diagnosticsFile = next();
     else if (arg == "--dlcheck") dlcheckFile = next();
     else if (arg == "--attrib") attribFile = next();
+    else if (arg == "--compile-profile") compileProfileFile = next();
+    else if (arg == "--require-scop") requiredScops.push_back(next());
     else if (arg == "--require-span") requiredSpans.push_back(next());
     else if (arg == "--require-counter") requiredCounters.push_back(next());
     else if (arg == "--require-histogram") requiredHistograms.push_back(next());
@@ -684,11 +843,13 @@ int main(int argc, char** argv) {
     else if (arg == "--max-errors") maxErrors = std::stoll(next());
     else if (arg == "--min-kernels") minKernels = std::stoll(next());
     else if (arg == "--min-constructs") minConstructs = std::stoll(next());
+    else if (arg == "--min-scops") minScops = std::stoll(next());
     else return usage();
   }
   int modes = (traceFile.empty() ? 0 : 1) + (metricsFile.empty() ? 0 : 1) +
               (diagnosticsFile.empty() ? 0 : 1) + (dlcheckFile.empty() ? 0 : 1) +
-              (attribFile.empty() ? 0 : 1);
+              (attribFile.empty() ? 0 : 1) +
+              (compileProfileFile.empty() ? 0 : 1);
   if (modes != 1) return usage();
   try {
     if (!traceFile.empty())
@@ -704,6 +865,9 @@ int main(int argc, char** argv) {
     if (!attribFile.empty())
       return validateAttrib(obs::parseJson(slurp(attribFile)), requiredKernels,
                             minKernels, requiredBackend, minConstructs);
+    if (!compileProfileFile.empty())
+      return validateCompileProfile(obs::parseJson(slurp(compileProfileFile)),
+                                    requiredScops, minScops);
     return validateDiagnostics(obs::parseJson(slurp(diagnosticsFile)),
                                requiredAnalyses, maxErrors);
   } catch (const ::polyast::Error& e) {

@@ -16,6 +16,7 @@
 //            [--execute] [--backend interp|native] [--threads N]
 //            [--perf] [--perf-out FILE] [--attrib-out FILE]
 //            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]
+//            [--compile-profile-out FILE]
 //
 // Flags also accept the --flag=value form. --flow is kept for
 // compatibility and maps onto the pipeline presets (polyast, pocc,
@@ -96,6 +97,15 @@
 //                       on both backends (native kernels report
 //                       construct boundaries through the capi hook
 //                       table).
+//   --compile-profile-out FILE
+//                       write the polyast-compile-profile-v1 JSON: the
+//                       compiler's own hot-path counters (FM
+//                       eliminations, IntSet ops, dependence tests with
+//                       sampled cost, selection-search candidates) as
+//                       per-kernel rows that telescope exactly to the
+//                       process totals, plus compile wall time and
+//                       peak-RSS gauges (validated by tools/obs_validate
+//                       --compile-profile; see docs/OBSERVABILITY.md).
 //
 // Examples:
 //   polyastc 2mm --pipeline polyast --emit c > 2mm_opt.c && cc -O3 2mm_opt.c
@@ -108,6 +118,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -126,6 +137,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
+#include "obs/selfprof.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -152,6 +164,7 @@ int usage() {
          "                [--perf-out FILE] [--attrib-out FILE]\n"
          "                [--trace-out FILE] [--metrics-out FILE]"
          " [--obs-summary]\n"
+         "                [--compile-profile-out FILE]\n"
          "kernel may be 'all' to run every suite kernel (no emission)\n"
          "exit codes: 0 ok, 2 analysis findings, 3 dynamic verification"
          " break, 4 usage\n";
@@ -193,6 +206,7 @@ int main(int argc, char** argv) {
   bool perf = false;
   std::string perfOut;
   std::string attribOut;
+  std::string compileProfileOut;
   unsigned threads = 0;
   flow::PipelineOptions options;
   flow::DumpOptions dump;
@@ -283,7 +297,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--attrib-out") {
       attribOut = next();
       perf = true;
-    } else if (arg == "--threads") threads = static_cast<unsigned>(nextInt());
+    } else if (arg == "--compile-profile-out") compileProfileOut = next();
+    else if (arg == "--threads") threads = static_cast<unsigned>(nextInt());
     else if (arg == "--dump-after") {
       dump.after.insert(next());
       dump.stream = &std::cerr;
@@ -358,6 +373,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<exec::Backend> execBackend;
   obs::DlCheckReport dlreport;
   obs::AttribReport attribReport;
+  // Per-kernel brackets around pipe.run: the counter deltas become one
+  // profile row per kernel, telescoping to the process totals.
+  obs::selfprof::Collector selfprofCollector;
   bool dynamicBroken = false;
   bool analysisFailed = false;
   ir::Program out;  // last kernel's result, for emission
@@ -406,7 +424,19 @@ int main(int argc, char** argv) {
         session = std::make_shared<analysis::AnalysisSession>(aopt);
         pipe = flow::withAnalysis(pipe, session);
       }
+      if (!compileProfileOut.empty()) selfprofCollector.beginScop();
       out = pipe.run(program, ctx);
+      if (!compileProfileOut.empty()) {
+        std::int64_t stmts = 0;
+        std::set<const ir::Loop*> loopSet;
+        for (const auto& [id, loops] : program.enclosingLoops()) {
+          ++stmts;
+          for (const auto& l : loops) loopSet.insert(l.get());
+        }
+        selfprofCollector.endScop(kernelName, stmts,
+                                  static_cast<std::int64_t>(loopSet.size()),
+                                  ctx.report.totalMillis);
+      }
       std::cerr << "pipeline '" << pipeline << "' on " << kernelName << " ("
                 << ctx.report.passes.size() << " passes"
                 << (verifyEachPass ? ", oracle-verified" : "") << "):\n"
@@ -558,10 +588,17 @@ int main(int argc, char** argv) {
     if (perf && !perfOut.empty()) obs::writeDlCheckFile(perfOut, dlreport);
     if (perf && !attribOut.empty())
       obs::writeAttribFile(attribOut, attribReport);
+    if (!compileProfileOut.empty())
+      obs::selfprof::writeCompileProfileFile(compileProfileOut,
+                                             selfprofCollector.finish(pipeline));
     if (!traceOut.empty())
       obs::writeChromeTraceFile(traceOut, obs::Tracer::global());
-    if (!metricsOut.empty())
+    if (!metricsOut.empty()) {
+      // Mirror the self-profiling totals as selfprof.* counters so one
+      // metrics artifact carries them next to the flow.* pass metrics.
+      obs::selfprof::mirrorToRegistry(obs::Registry::global());
       obs::writeMetricsFile(metricsOut, obs::Registry::global().snapshot());
+    }
   } catch (const ::polyast::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
